@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Ablation studies of the design choices the paper calls out: the loop
+ * buffer (§III.C), the L0 BTB (§III.B), the two-level branch-
+ * prediction buffer (§III.A), the dual-issue LSU (§V.A), the pseudo
+ * double store (§V.B), the memory-dependence predictor (§V.A) and the
+ * snoop filter (§VI). Each ablation runs the code most sensitive to
+ * the mechanism — registry kernels where suitable, targeted
+ * microkernels where the mechanism needs a specific pattern.
+ */
+
+#include "bench_common.h"
+
+namespace xt910
+{
+namespace
+{
+
+using namespace reg;
+
+uint64_t
+kernelCycles(const std::string &key, const SystemConfig &cfg,
+             const char *kernel)
+{
+    WorkloadOptions o;
+    o.streamBytes = 256 * 1024;
+    WorkloadBuild wb = findWorkload(kernel).build(o);
+    return bench::cachedRun(key, cfg, wb).cycles;
+}
+
+/** Tiny-body loop: the LBUF's target pattern (§III.C). */
+Program
+tinyLoopProgram()
+{
+    Assembler a;
+    a.li(s0, 60000);
+    a.label("loop");
+    a.addi(a0, a0, 1);
+    a.addi(a1, a1, 3);
+    a.xor_(a2, a0, a1);
+    a.addi(s0, s0, -1);
+    a.bnez(s0, "loop");
+    a.ebreak();
+    return a.assemble();
+}
+
+/** Slow store address + independent same-address load: the §V.A
+ *  speculation-failure pattern the dependence predictor tames. */
+Program
+violationProgram()
+{
+    Assembler a;
+    a.la(s1, "buf");
+    a.li(s0, 20000);
+    a.label("loop");
+    a.mul(t0, s0, s0);
+    a.andi(t1, t0, 0);
+    a.add(t2, s1, t1);  // store address depends on the slow mul
+    a.sd(t0, t2, 0);
+    a.ld(a1, s1, 0);    // same address, independent -> speculates
+    a.add(a2, a2, a1);
+    a.addi(s0, s0, -1);
+    a.bnez(s0, "loop");
+    a.ebreak();
+    a.align(8);
+    a.label("buf");
+    a.zero(8);
+    return a.assemble();
+}
+
+/** 4 cores scanning private L1-spilling regions: every L2 access is
+ *  to an unshared line, exactly the traffic the snoop filter saves
+ *  from probing the other L1s (§VI). */
+Program
+smpPrivateScanProgram()
+{
+    Assembler a;
+    // Private 128 KiB per hart (spills a 32 KiB L1D, fits the L2).
+    a.csrr(t0, 0xf14);
+    a.slli(t0, t0, 20);
+    a.li(s1, int64_t(0xa100'0000));
+    a.add(s1, s1, t0);
+    a.li(s0, 8); // passes
+    a.label("outer");
+    a.li(t1, 0);
+    a.li(t2, 2048); // lines
+    a.label("loop");
+    a.slli(t3, t1, 6);
+    a.add(t3, t3, s1);
+    a.ld(t4, t3, 0);
+    a.add(a0, a0, t4);
+    a.addi(t1, t1, 1);
+    a.blt(t1, t2, "loop");
+    a.addi(s0, s0, -1);
+    a.bnez(s0, "outer");
+    a.ebreak();
+    return a.assemble();
+}
+
+uint64_t
+runProgram(const Program &p, const SystemConfig &cfg)
+{
+    System sys(cfg);
+    sys.loadProgram(p);
+    return sys.run().cycles;
+}
+
+struct Ablation
+{
+    const char *name;
+    const char *paperRef;
+    std::string kernels;
+    double (*slowdown)();
+};
+
+double
+registryAblation(const std::vector<const char *> &kernels,
+                 void (*disable)(SystemConfig &), const char *tag)
+{
+    SystemConfig base = xt910Preset().config;
+    SystemConfig off = base;
+    disable(off);
+    uint64_t cb = 0, co = 0;
+    for (const char *k : kernels) {
+        cb += kernelCycles(std::string("abl/base/") + k, base, k);
+        co += kernelCycles(std::string("abl/") + tag + "/" + k, off, k);
+    }
+    return double(co) / double(cb);
+}
+
+double
+loopBufferAblation()
+{
+    SystemConfig base = xt910Preset().config;
+    SystemConfig off = base;
+    off.core.lbuf.enabled = false;
+    Program p = tinyLoopProgram();
+    return double(runProgram(p, off)) / double(runProgram(p, base));
+}
+
+double
+memDepAblation()
+{
+    SystemConfig base = xt910Preset().config;
+    SystemConfig off = base;
+    off.core.memDepPredict = false;
+    Program p = violationProgram();
+    return double(runProgram(p, off)) / double(runProgram(p, base));
+}
+
+double
+snoopFilterAblation()
+{
+    SystemConfig base = xt910Preset().config;
+    base.numCores = 4;
+    base.mem.l1d.sizeBytes = 32 * 1024; // scans always spill to L2
+    SystemConfig off = base;
+    off.mem.snoopFilter = false;
+    Program p = smpPrivateScanProgram();
+    return double(runProgram(p, off)) / double(runProgram(p, base));
+}
+
+double
+l0BtbAblation()
+{
+    return registryAblation({"list", "state", "huffman"},
+                            [](SystemConfig &c) {
+                                c.core.btb.l0Enabled = false;
+                                c.core.lbuf.enabled = false;
+                            },
+                            "l0btb");
+}
+
+double
+twoLevelBufAblation()
+{
+    return registryAblation(
+        {"state", "tblook", "bitfield"},
+        [](SystemConfig &c) { c.core.direction.twoLevelBuf = false; },
+        "buf12");
+}
+
+double
+dualLsuAblation()
+{
+    return registryAblation(
+        {"matrix", "numsort", "stream_copy"},
+        [](SystemConfig &c) { c.core.lsuDualIssue = false; }, "lsu");
+}
+
+double
+pseudoStoreAblation()
+{
+    return registryAblation(
+        {"matrix", "numsort", "idctrn"},
+        [](SystemConfig &c) { c.core.pseudoDualStore = false; }, "pds");
+}
+
+const Ablation ablations[] = {
+    {"loop_buffer", "§III.C", "tiny 5-inst loop", loopBufferAblation},
+    {"l0_btb", "§III.B", "list,state,huffman", l0BtbAblation},
+    {"two_level_buf", "§III.A", "state,tblook,bitfield",
+     twoLevelBufAblation},
+    {"dual_issue_lsu", "§V.A", "matrix,numsort,stream_copy",
+     dualLsuAblation},
+    {"pseudo_dual_store", "§V.B", "matrix,numsort,idctrn",
+     pseudoStoreAblation},
+    {"mem_dep_predict", "§V.A", "store-load collision loop",
+     memDepAblation},
+    {"snoop_filter", "§VI", "4-core private L2-resident scans",
+     snoopFilterAblation},
+};
+
+} // namespace
+} // namespace xt910
+
+int
+main(int argc, char **argv)
+{
+    using namespace xt910;
+    benchmark::Initialize(&argc, argv);
+    static std::map<std::string, double> memo;
+    auto slowdownOf = [](const Ablation &ab) {
+        auto it = memo.find(ab.name);
+        if (it == memo.end())
+            it = memo.emplace(ab.name, ab.slowdown()).first;
+        return it->second;
+    };
+    for (const Ablation &ab : ablations) {
+        benchmark::RegisterBenchmark(
+            (std::string("ablation/") + ab.name).c_str(),
+            [&ab, &slowdownOf](benchmark::State &st) {
+                double s = 0;
+                for (auto _ : st)
+                    s = slowdownOf(ab);
+                st.counters["slowdown"] = s;
+            })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    std::printf("\nAblations — cycles with mechanism disabled / "
+                "baseline XT-910 (>1.0 means the mechanism helps)\n");
+    bench::rule('-', 76);
+    std::printf("%-20s %-8s %-34s %9s\n", "mechanism", "paper",
+                "workload", "slowdown");
+    bench::rule('-', 76);
+    for (const Ablation &ab : ablations)
+        std::printf("%-20s %-8s %-34s %8.3fx\n", ab.name, ab.paperRef,
+                    ab.kernels.c_str(), slowdownOf(ab));
+    bench::rule('-', 76);
+    return 0;
+}

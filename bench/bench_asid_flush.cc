@@ -1,0 +1,80 @@
+/**
+ * @file
+ * §V.E text — 16-bit ASID: "the number of TLB flushes caused by
+ * context switch is decreased by almost 10X" versus the narrower ASID
+ * it replaces. Modelled with the ASID allocator + TLB over a context-
+ * switch churn of processes, for several working-set sizes.
+ */
+
+#include "bench_common.h"
+#include "mmu/pagetable.h"
+
+namespace xt910
+{
+namespace
+{
+
+uint64_t
+flushesWith(unsigned asidBits, unsigned contexts, unsigned switches)
+{
+    Tlb tlb(TlbParams{}, "tlb");
+    AsidAllocator alloc(asidBits);
+    Xorshift64 rng(42);
+    for (unsigned i = 0; i < switches; ++i) {
+        // Round-robin with jitter, like a loaded scheduler.
+        uint64_t ctx = (i + rng.below(3)) % contexts;
+        alloc.acquire(ctx, tlb);
+    }
+    return alloc.flushCount();
+}
+
+} // namespace
+} // namespace xt910
+
+int
+main(int argc, char **argv)
+{
+    using namespace xt910;
+    benchmark::Initialize(&argc, argv);
+    const unsigned switches = 200'000;
+    for (unsigned contexts : {64u, 300u, 1000u, 5000u}) {
+        benchmark::RegisterBenchmark(
+            ("asid/contexts" + std::to_string(contexts)).c_str(),
+            [contexts](benchmark::State &st) {
+                uint64_t n8 = 0, n16 = 0;
+                for (auto _ : st) {
+                    n8 = flushesWith(8, contexts, switches);
+                    n16 = flushesWith(16, contexts, switches);
+                }
+                st.counters["flushes_8b"] = double(n8);
+                st.counters["flushes_16b"] = double(n16);
+            })
+            ->Iterations(1);
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    std::printf("\n§V.E — TLB flushes from context switches vs ASID "
+                "width (%u switches)\n", switches);
+    bench::rule();
+    std::printf("%-10s %14s %14s %12s\n", "contexts", "8-bit ASID",
+                "16-bit ASID", "reduction");
+    bench::rule();
+    for (unsigned contexts : {64u, 300u, 1000u, 5000u}) {
+        uint64_t n8 = flushesWith(8, contexts, switches);
+        uint64_t n16 = flushesWith(16, contexts, switches);
+        if (n16 == 0 && n8 > 0)
+            std::printf("%-10u %14llu %14llu %12s\n", contexts,
+                        static_cast<unsigned long long>(n8),
+                        static_cast<unsigned long long>(n16),
+                        ">10x (none)");
+        else
+            std::printf("%-10u %14llu %14llu %11.1fx\n", contexts,
+                        static_cast<unsigned long long>(n8),
+                        static_cast<unsigned long long>(n16),
+                        n16 ? double(n8) / double(n16) : 0.0);
+    }
+    bench::rule();
+    std::printf("paper: almost 10x fewer context-switch TLB flushes; the\n16-bit ASID removes rollover entirely at realistic context\ncounts (a >=10x reduction).\n");
+    return 0;
+}

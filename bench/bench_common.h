@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Shared helpers for the per-table/per-figure benchmark binaries. Each
+ * binary registers google-benchmark cases (one per simulated
+ * configuration, single-iteration, reporting counters) and prints the
+ * paper-style summary table after the run.
+ *
+ * Absolute scores are normalized model outputs; the reproduction claim
+ * is about the *relative* shape (who wins, by how much, where the
+ * crossovers are) — see EXPERIMENTS.md.
+ */
+
+#ifndef XT910_BENCH_COMMON_H
+#define XT910_BENCH_COMMON_H
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "baseline/presets.h"
+#include "core/system.h"
+#include "workloads/wl_common.h"
+#include "workloads/workload.h"
+
+namespace xt910
+{
+namespace bench
+{
+
+/** One simulated run's results. */
+struct SimResult
+{
+    uint64_t cycles = 0;
+    uint64_t insts = 0;
+    uint64_t workItems = 0;
+    bool correct = false;
+
+    double
+    ipc() const
+    {
+        return cycles ? double(insts) / double(cycles) : 0.0;
+    }
+
+    /** Logical work items per million cycles (a "per-MHz" rate). */
+    double
+    perMCycle() const
+    {
+        return cycles ? double(workItems) * 1e6 / double(cycles) : 0.0;
+    }
+};
+
+/** Run @p wb on @p cfg and check the architectural result. */
+inline SimResult
+simulate(const SystemConfig &cfg, const WorkloadBuild &wb)
+{
+    System sys(cfg);
+    sys.loadProgram(wb.program);
+    RunResult r = sys.run();
+    SimResult s;
+    s.cycles = r.cycles;
+    s.insts = r.insts;
+    s.workItems = wb.workItems;
+    s.correct = wl::readResult(sys.memory(), wb.program) == wb.expected;
+    return s;
+}
+
+/** Memoized runs keyed by an arbitrary string. */
+inline SimResult
+cachedRun(const std::string &key, const SystemConfig &cfg,
+          const WorkloadBuild &wb)
+{
+    static std::map<std::string, SimResult> cache;
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+    SimResult s = simulate(cfg, wb);
+    cache.emplace(key, s);
+    return s;
+}
+
+/** Emit a table separator / header line helper. */
+inline void
+rule(char c = '-', int width = 72)
+{
+    for (int i = 0; i < width; ++i)
+        std::putchar(c);
+    std::putchar('\n');
+}
+
+} // namespace bench
+} // namespace xt910
+
+#endif // XT910_BENCH_COMMON_H

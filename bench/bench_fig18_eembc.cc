@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Fig. 18 — EEMBC(-automotive-like) performance normalized to
+ * Cortex-A73. The paper shows XT-910 roughly on par with the A73 with
+ * per-kernel scatter. Normalized performance here is
+ * (A73 cycles / XT-910 cycles) x (frequency ratio).
+ */
+
+#include <cmath>
+
+#include "bench_common.h"
+
+namespace xt910
+{
+namespace
+{
+
+double
+normalizedVsA73(const Workload &w, const CorePreset &xt,
+                const CorePreset &a73)
+{
+    WorkloadOptions o;
+    WorkloadBuild wb = w.build(o);
+    auto sx = bench::cachedRun("fig18/xt/" + w.name, xt.config, wb);
+    auto sa = bench::cachedRun("fig18/a73/" + w.name, a73.config, wb);
+    double cycleRatio = double(sa.cycles) / double(sx.cycles);
+    return cycleRatio * (xt.freqGHz / a73.freqGHz);
+}
+
+} // namespace
+} // namespace xt910
+
+int
+main(int argc, char **argv)
+{
+    using namespace xt910;
+    benchmark::Initialize(&argc, argv);
+    CorePreset xt = xt910Preset();
+    CorePreset a73 = a73Preset();
+    auto suite = workloadsInSuite("eembc");
+    for (const Workload &w : suite) {
+        benchmark::RegisterBenchmark(
+            ("fig18/" + w.name).c_str(),
+            [w, xt, a73](benchmark::State &st) {
+                double n = 0;
+                for (auto _ : st)
+                    n = normalizedVsA73(w, xt, a73);
+                st.counters["norm_vs_a73"] = n;
+            })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    std::printf("\nFig. 18 — EEMBC-like, normalized to Cortex-A73-class"
+                " (=1.0)\n");
+    bench::rule();
+    std::printf("%-10s %16s\n", "kernel", "xt910 / a73");
+    bench::rule();
+    double geo = 1.0;
+    for (const Workload &w : suite) {
+        double n = normalizedVsA73(w, xt, a73);
+        geo *= n;
+        std::printf("%-10s %16.2f\n", w.name.c_str(), n);
+    }
+    geo = std::pow(geo, 1.0 / double(suite.size()));
+    bench::rule();
+    std::printf("%-10s %16.2f\n", "geomean", geo);
+    std::printf("paper: XT-910 roughly on par with A73 across the "
+                "suite, with per-kernel scatter.\n");
+    return 0;
+}

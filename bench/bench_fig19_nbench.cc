@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Fig. 19 — NBench-like performance normalized to Cortex-A73 (the
+ * paper: "overall, the performance of XT-910 is on par with the ARM
+ * Cortex-A73").
+ */
+
+#include <cmath>
+
+#include "bench_common.h"
+
+namespace xt910
+{
+namespace
+{
+
+double
+normalizedVsA73(const Workload &w, const CorePreset &xt,
+                const CorePreset &a73)
+{
+    WorkloadOptions o;
+    WorkloadBuild wb = w.build(o);
+    auto sx = bench::cachedRun("fig19/xt/" + w.name, xt.config, wb);
+    auto sa = bench::cachedRun("fig19/a73/" + w.name, a73.config, wb);
+    return double(sa.cycles) / double(sx.cycles) *
+           (xt.freqGHz / a73.freqGHz);
+}
+
+} // namespace
+} // namespace xt910
+
+int
+main(int argc, char **argv)
+{
+    using namespace xt910;
+    benchmark::Initialize(&argc, argv);
+    CorePreset xt = xt910Preset();
+    CorePreset a73 = a73Preset();
+    auto suite = workloadsInSuite("nbench");
+    for (const Workload &w : suite) {
+        benchmark::RegisterBenchmark(
+            ("fig19/" + w.name).c_str(),
+            [w, xt, a73](benchmark::State &st) {
+                double n = 0;
+                for (auto _ : st)
+                    n = normalizedVsA73(w, xt, a73);
+                st.counters["norm_vs_a73"] = n;
+            })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    std::printf("\nFig. 19 — NBench-like, normalized to Cortex-A73-class"
+                " (=1.0)\n");
+    bench::rule();
+    std::printf("%-10s %16s\n", "kernel", "xt910 / a73");
+    bench::rule();
+    double geo = 1.0;
+    for (const Workload &w : suite) {
+        double n = normalizedVsA73(w, xt, a73);
+        geo *= n;
+        std::printf("%-10s %16.2f\n", w.name.c_str(), n);
+    }
+    geo = std::pow(geo, 1.0 / double(suite.size()));
+    bench::rule();
+    std::printf("%-10s %16.2f\n", "geomean", geo);
+    std::printf("paper: on par with A73 overall.\n");
+    return 0;
+}

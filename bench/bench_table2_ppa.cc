@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Table II — XT-910 core performance in a 12nm FinFET: operating
+ * frequency (2.0-2.5 GHz by corner), silicon area per core (0.6 / 0.8
+ * mm^2 without/with the vector unit, excluding L2), and dynamic power
+ * (~100 uW/MHz per core). Regenerated from the first-order PPA model,
+ * plus the 7nm 2.8 GHz experiment mentioned in §II.
+ */
+
+#include "bench_common.h"
+#include "power/ppa.h"
+
+namespace xt910
+{
+namespace
+{
+
+MemSystemParams
+footnoteMem()
+{
+    // Table II footnote c: 32/64KB L1$, 256/512KB L2$.
+    MemSystemParams m;
+    m.l1i.sizeBytes = m.l1d.sizeBytes = 64 * 1024;
+    m.l2.sizeBytes = 512 * 1024;
+    return m;
+}
+
+} // namespace
+} // namespace xt910
+
+int
+main(int argc, char **argv)
+{
+    using namespace xt910;
+    benchmark::Initialize(&argc, argv);
+
+    benchmark::RegisterBenchmark("table2/ppa", [](benchmark::State &st) {
+        PpaResult r{};
+        for (auto _ : st)
+            r = estimatePpa(CoreParams{}, footnoteMem());
+        st.counters["area_mm2"] = r.coreAreaMm2;
+        st.counters["freq_ghz"] = r.freqGHz;
+        st.counters["uw_per_mhz"] = r.dynUwPerMhz;
+    })->Iterations(1);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    CoreParams withVec;
+    CoreParams noVec;
+    noVec.vecBitsPerCycle = 0;
+    MemSystemParams mem = footnoteMem();
+
+    PpaResult lvtV = estimatePpa(withVec, mem);
+    PpaResult ulvtV = estimatePpa(withVec, mem, TechNode::Tsmc12,
+                                  OperatingPoint::Ulvt1v0);
+    PpaResult lvtN = estimatePpa(noVec, mem);
+    PpaResult n7 = estimatePpa(withVec, mem, TechNode::Tsmc7);
+
+    std::printf("\nTable II — XT-910 core PPA (12nm FinFET model)\n");
+    bench::rule('-', 76);
+    std::printf("%-26s %-28s %s\n", "metric", "model", "paper");
+    bench::rule('-', 76);
+    std::printf("%-26s %.2f ~ %.2f GHz %13s %s\n", "Operating frequency",
+                lvtV.freqGHz, ulvtV.freqGHz, "",
+                "2.0 ~ 2.5 GHz (TT 85C)");
+    std::printf("%-26s %.2f / %.2f mm2 %12s %s\n", "Area per core",
+                lvtN.coreAreaMm2, lvtV.coreAreaMm2, "",
+                "0.6 / 0.8 mm2 (no-VEC/VEC)");
+    std::printf("%-26s ~%.0f uW/MHz %15s %s\n", "Dynamic power",
+                lvtN.dynUwPerMhz, "", "~100 uW/MHz (no VEC)");
+    std::printf("%-26s %.2f GHz %18s %s\n", "7nm experiment", n7.freqGHz,
+                "", "2.8 GHz (7nm FinFET)");
+    bench::rule('-', 76);
+    std::printf("footnote corners: a) %s  b) %s\n",
+                opName(OperatingPoint::Lvt0v8),
+                opName(OperatingPoint::Ulvt1v0));
+    std::printf("vector unit share: %.2f mm2; cluster L2 (512KB): %.2f "
+                "mm2 (excluded from core area, as in the paper)\n",
+                lvtV.vecAreaMm2, lvtV.l2AreaMm2);
+    return 0;
+}

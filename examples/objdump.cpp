@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Objdump-style listing of any registered workload: shows the real
+ * machine code the macro-assembler produced (including auto-compressed
+ * RVC forms) with the disassembler.
+ *
+ *   $ ./examples/objdump crc            # native flavour
+ *   $ ./examples/objdump crc extended   # with custom instructions
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+
+#include "isa/disasm.h"
+#include "workloads/workload.h"
+
+using namespace xt910;
+
+int
+main(int argc, char **argv)
+{
+    const char *name = argc > 1 ? argv[1] : "crc";
+    WorkloadOptions o;
+    o.extended = argc > 2 && std::strcmp(argv[2], "extended") == 0;
+
+    WorkloadBuild wb = findWorkload(name).build(o);
+    const Program &p = wb.program;
+
+    std::printf("%s (%s): %zu bytes, entry 0x%llx\n\n", name,
+                o.extended ? "extended" : "native", p.image.size(),
+                static_cast<unsigned long long>(p.entry));
+
+    unsigned compressed = 0, full = 0;
+    for (auto &[pc, di] : decodeImage(p)) {
+        std::printf("%8llx:  %-8s %s\n",
+                    static_cast<unsigned long long>(pc),
+                    di.len == 2 ? "(rvc)" : "",
+                    disassemble(di).c_str());
+        (di.len == 2 ? compressed : full) += 1;
+        if (di.op == Opcode::EBREAK)
+            break; // data section follows
+    }
+    std::printf("\n%u instructions: %u compressed, %u full "
+                "(%.0f%% code-size saving vs all-32-bit)\n",
+                compressed + full, compressed, full,
+                100.0 * (1.0 - double(2 * compressed + 4 * full) /
+                                   double(4 * (compressed + full))));
+    return 0;
+}

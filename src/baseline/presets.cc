@@ -1,0 +1,80 @@
+#include "baseline/presets.h"
+
+namespace xt910
+{
+
+namespace
+{
+
+MemSystemParams
+paperMemParams()
+{
+    // §X: "XT-910 is configured for the same L1 & L2 cache sizes" as
+    // the Kirin-970 A73: 64 KiB L1I + L1D, 2 MiB shared L2.
+    MemSystemParams m;
+    m.l1i.sizeBytes = 64 * 1024;
+    m.l1d.sizeBytes = 64 * 1024;
+    m.l2.sizeBytes = 2 * 1024 * 1024;
+    return m;
+}
+
+} // namespace
+
+CorePreset
+xt910Preset()
+{
+    SystemConfig cfg;
+    cfg.core = CoreParams{};
+    cfg.mem = paperMemParams();
+    return {"xt910", cfg, 2.5, true};
+}
+
+CorePreset
+xt910NoVecPreset()
+{
+    CorePreset p = xt910Preset();
+    p.name = "xt910-novec";
+    p.config.core.vecBitsPerCycle = 0;
+    p.hasVector = false;
+    return p;
+}
+
+CorePreset
+u74Preset()
+{
+    SystemConfig cfg;
+    cfg.core = u74ClassParams();
+    cfg.mem = paperMemParams();
+    cfg.mem.l1i.sizeBytes = 32 * 1024;
+    cfg.mem.l1d.sizeBytes = 32 * 1024;
+    return {"u74-class", cfg, 1.5, false};
+}
+
+CorePreset
+a73Preset()
+{
+    SystemConfig cfg;
+    cfg.core = a73ClassParams();
+    cfg.mem = paperMemParams();
+    return {"a73-class", cfg, 2.4, true};
+}
+
+CorePreset
+mcuPreset()
+{
+    SystemConfig cfg;
+    cfg.core = mcuClassParams();
+    cfg.mem = paperMemParams();
+    cfg.mem.l1i.sizeBytes = 16 * 1024;
+    cfg.mem.l1d.sizeBytes = 16 * 1024;
+    cfg.mem.l2.sizeBytes = 256 * 1024;
+    return {"mcu-class", cfg, 1.0, false};
+}
+
+std::vector<CorePreset>
+allPresets()
+{
+    return {mcuPreset(), u74Preset(), a73Preset(), xt910Preset()};
+}
+
+} // namespace xt910

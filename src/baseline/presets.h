@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Named full-system presets: the XT-910 configuration the paper
+ * describes plus the comparison points used in its evaluation section
+ * (SiFive-U74-class in-order dual-issue, Cortex-A73-class 2-wide OoO,
+ * and an MCU-class point for Fig. 17's low end).
+ */
+
+#ifndef XT910_BASELINE_PRESETS_H
+#define XT910_BASELINE_PRESETS_H
+
+#include <string>
+#include <vector>
+
+#include "core/system.h"
+
+namespace xt910
+{
+
+/** A named core+memory configuration with a frequency assumption. */
+struct CorePreset
+{
+    std::string name;
+    SystemConfig config;
+    double freqGHz;        ///< headline frequency for speed metrics
+    bool hasVector;
+};
+
+/** XT-910 as configured for the paper's comparisons: 64 KiB L1s, 2 MiB
+ *  L2 (matching the A73 comparison setup of §X), VLEN = 128. */
+CorePreset xt910Preset();
+
+/** XT-910 without the vector unit (Table II area point). */
+CorePreset xt910NoVecPreset();
+
+/** U74-class in-order dual-issue comparison core. */
+CorePreset u74Preset();
+
+/** Cortex-A73-class 2-wide OoO comparison core. */
+CorePreset a73Preset();
+
+/** Single-issue MCU-class point. */
+CorePreset mcuPreset();
+
+/** All presets, Fig.-17 style ordering (slowest first). */
+std::vector<CorePreset> allPresets();
+
+} // namespace xt910
+
+#endif // XT910_BASELINE_PRESETS_H

@@ -1,0 +1,102 @@
+#include "branch/btb.h"
+
+#include "common/bitutil.h"
+#include "common/log.h"
+
+namespace xt910
+{
+
+Btb::Btb(const BtbParams &p_, const std::string &name)
+    : stats(name),
+      l0Hits(stats, "l0_hits", "L0 BTB hits (IF-stage redirect)"),
+      l1Hits(stats, "l1_hits", "L1 BTB hits"),
+      missesCtr(stats, "misses", "BTB misses"),
+      l0Mispredicts(stats, "l0_mispredicts",
+                    "L0 targets corrected at IP"),
+      l1Mispredicts(stats, "l1_mispredicts",
+                    "L1 targets corrected at IB"),
+      p(p_)
+{
+    xt_assert(isPow2(p.l1Sets), "L1 BTB sets must be a power of two");
+    l0.resize(p.l0Entries);
+    l1.resize(size_t(p.l1Sets) * p.l1Ways);
+}
+
+std::optional<BtbHit>
+Btb::lookupL0(Addr pc, Cycle now)
+{
+    (void)now;
+    if (!p.l0Enabled)
+        return std::nullopt;
+    for (Entry &e : l0) {
+        if (e.valid && e.pc == pc) {
+            e.lastUse = ++useClock;
+            ++l0Hits;
+            return BtbHit{e.target, e.kind, true};
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<BtbHit>
+Btb::lookupL1(Addr pc, Cycle now)
+{
+    (void)now;
+    size_t set = (pc >> 1) & (p.l1Sets - 1);
+    for (unsigned w = 0; w < p.l1Ways; ++w) {
+        Entry &e = l1[set * p.l1Ways + w];
+        if (e.valid && e.pc == pc) {
+            e.lastUse = ++useClock;
+            ++l1Hits;
+            return BtbHit{e.target, e.kind, false};
+        }
+    }
+    ++missesCtr;
+    return std::nullopt;
+}
+
+void
+Btb::update(Addr pc, Addr target, BranchKind kind, bool promoteL0)
+{
+    ++useClock;
+    // L1 fill/update.
+    size_t set = (pc >> 1) & (p.l1Sets - 1);
+    Entry *dest = nullptr;
+    for (unsigned w = 0; w < p.l1Ways; ++w) {
+        Entry &e = l1[set * p.l1Ways + w];
+        if (e.valid && e.pc == pc) {
+            dest = &e;
+            break;
+        }
+        if (!dest && !e.valid)
+            dest = &e;
+    }
+    if (!dest) {
+        dest = &l1[set * p.l1Ways];
+        for (unsigned w = 1; w < p.l1Ways; ++w)
+            if (l1[set * p.l1Ways + w].lastUse < dest->lastUse)
+                dest = &l1[set * p.l1Ways + w];
+    }
+    *dest = Entry{true, pc, target, kind, useClock};
+
+    if (promoteL0 && p.l0Enabled) {
+        Entry *d0 = nullptr;
+        for (Entry &e : l0) {
+            if (e.valid && e.pc == pc) {
+                d0 = &e;
+                break;
+            }
+            if (!d0 && !e.valid)
+                d0 = &e;
+        }
+        if (!d0) {
+            d0 = &l0[0];
+            for (Entry &e : l0)
+                if (e.lastUse < d0->lastUse)
+                    d0 = &e;
+        }
+        *d0 = Entry{true, pc, target, kind, useClock};
+    }
+}
+
+} // namespace xt910

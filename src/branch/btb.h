@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Branch target prediction (§III.B): the cascaded BTB — a 16-entry
+ * fully-associative L0 BTB that redirects at the IF stage with zero
+ * bubbles, and a >1K-entry set-associative L1 BTB checked at the IB
+ * stage — plus the return-address stack and the indirect-branch
+ * predictor.
+ */
+
+#ifndef XT910_BRANCH_BTB_H
+#define XT910_BRANCH_BTB_H
+
+#include <optional>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace xt910
+{
+
+/** Kind of control-flow instruction a BTB entry describes. */
+enum class BranchKind : uint8_t { Conditional, Direct, Indirect, Return, Call };
+
+/** BTB configuration. */
+struct BtbParams
+{
+    unsigned l0Entries = 16;    ///< fully associative (paper: 16)
+    unsigned l1Sets = 256;      ///< 256 sets x 4 ways > 1K entries
+    unsigned l1Ways = 4;
+    bool l0Enabled = true;      ///< ablation knob
+};
+
+/** A predicted target. */
+struct BtbHit
+{
+    Addr target = 0;
+    BranchKind kind = BranchKind::Conditional;
+    bool fromL0 = false;
+};
+
+/** See file comment (L0 + L1 target buffers). */
+class Btb
+{
+  public:
+    Btb(const BtbParams &p, const std::string &name);
+
+    /** Look up @p pc in L0 (IF-stage path). */
+    std::optional<BtbHit> lookupL0(Addr pc, Cycle now);
+
+    /** Look up @p pc in L1 (IP/IB-stage path). */
+    std::optional<BtbHit> lookupL1(Addr pc, Cycle now);
+
+    /**
+     * Train both levels with a resolved taken branch. Hot branches
+     * that keep paying IP-stage redirect cost get promoted into L0
+     * (the paper: L0 captures programs whose bubbles IBUF can't hide).
+     */
+    void update(Addr pc, Addr target, BranchKind kind, bool promoteL0);
+
+    const BtbParams &params() const { return p; }
+
+    StatGroup stats;
+    Counter l0Hits;
+    Counter l1Hits;
+    Counter missesCtr;
+    Counter l0Mispredicts;  ///< L0 target wrong, fixed at IP (§III.B)
+    Counter l1Mispredicts;  ///< L1 target wrong, fixed at IB (§III.B)
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        Addr pc = 0;
+        Addr target = 0;
+        BranchKind kind = BranchKind::Conditional;
+        uint64_t lastUse = 0;
+    };
+
+    BtbParams p;
+    std::vector<Entry> l0;
+    std::vector<Entry> l1;
+    uint64_t useClock = 0;
+};
+
+/** Return-address stack (§III.B: subroutine return prediction). */
+class ReturnAddressStack
+{
+  public:
+    explicit ReturnAddressStack(unsigned depth = 16) : stack(depth) {}
+
+    void
+    push(Addr returnPc)
+    {
+        stack[top] = returnPc;
+        top = (top + 1) % stack.size();
+        if (count < stack.size())
+            ++count;
+    }
+
+    /** Pop a prediction; 0 when empty. */
+    Addr
+    pop()
+    {
+        if (count == 0)
+            return 0;
+        top = (top + stack.size() - 1) % stack.size();
+        --count;
+        return stack[top];
+    }
+
+    unsigned size() const { return count; }
+
+  private:
+    std::vector<Addr> stack;
+    unsigned top = 0;
+    unsigned count = 0;
+};
+
+/** Indirect-jump target predictor (§III.B), history-hashed. */
+class IndirectPredictor
+{
+  public:
+    explicit IndirectPredictor(unsigned entries = 256)
+        : table(entries)
+    {}
+
+    Addr
+    predict(Addr pc) const
+    {
+        const Entry &e = table[index(pc)];
+        return e.valid && e.pc == pc ? e.target : 0;
+    }
+
+    void
+    update(Addr pc, Addr target)
+    {
+        Entry &e = table[index(pc)];
+        e.valid = true;
+        e.pc = pc;
+        e.target = target;
+        history = (history << 4) ^ (target >> 1);
+    }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        Addr pc = 0;
+        Addr target = 0;
+    };
+
+    size_t
+    index(Addr pc) const
+    {
+        return ((pc >> 1) ^ history) % table.size();
+    }
+
+    std::vector<Entry> table;
+    uint64_t history = 0;
+};
+
+} // namespace xt910
+
+#endif // XT910_BRANCH_BTB_H

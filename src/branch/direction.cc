@@ -1,0 +1,85 @@
+#include "branch/direction.h"
+
+#include "common/bitutil.h"
+
+namespace xt910
+{
+
+DirectionPredictor::DirectionPredictor(const DirectionParams &p_,
+                                       const std::string &name)
+    : stats(name),
+      lookups(stats, "lookups", "direction predictions made"),
+      mispredicts(stats, "mispredicts", "direction mispredictions"),
+      p(p_)
+{
+    banks.assign(p.banks,
+                 std::vector<BankEntry>(size_t(1) << p.tableBits));
+    bankScore.assign(p.banks,
+                     std::vector<uint8_t>((size_t(1) << p.tableBits) / 16 +
+                                              1,
+                                          2));
+}
+
+size_t
+DirectionPredictor::index(Addr pc, unsigned bank) const
+{
+    // Each bank hashes pc and a different slice of the history so the
+    // banks behave like predictors of different history lengths.
+    unsigned hbits = p.historyBits * (bank + 1) / p.banks;
+    uint64_t h = history & mask(hbits);
+    return size_t(((pc >> 1) ^ h ^ (h << 3)) & mask(p.tableBits));
+}
+
+unsigned
+DirectionPredictor::chooseBank(Addr pc) const
+{
+    // Dynamic monitoring: pick the bank with the best recent score for
+    // this pc region.
+    unsigned best = 0;
+    for (unsigned b = 1; b < p.banks; ++b) {
+        size_t s = (pc >> 5) % bankScore[b].size();
+        if (bankScore[b][s] > bankScore[best][s])
+            best = b;
+    }
+    return best;
+}
+
+bool
+DirectionPredictor::predict(Addr pc)
+{
+    ++lookups;
+    unsigned b = chooseBank(pc);
+    return banks[b][index(pc, b)].counter >= 2;
+}
+
+bool
+DirectionPredictor::update(Addr pc, bool taken)
+{
+    unsigned chosen = chooseBank(pc);
+    bool predicted = banks[chosen][index(pc, chosen)].counter >= 2;
+    bool mispredict = predicted != taken;
+    if (mispredict)
+        ++mispredicts;
+
+    for (unsigned b = 0; b < p.banks; ++b) {
+        BankEntry &e = banks[b][index(pc, b)];
+        bool thisPredicted = e.counter >= 2;
+        // Saturating 2-bit counter update.
+        if (taken && e.counter < 3)
+            ++e.counter;
+        else if (!taken && e.counter > 0)
+            --e.counter;
+        // Score the bank's accuracy for the monitoring algorithm.
+        size_t s = (pc >> 5) % bankScore[b].size();
+        uint8_t &score = bankScore[b][s];
+        if (thisPredicted == taken && score < 3)
+            ++score;
+        else if (thisPredicted != taken && score > 0)
+            --score;
+    }
+
+    history = ((history << 1) | uint64_t(taken)) & mask(p.historyBits);
+    return mispredict;
+}
+
+} // namespace xt910

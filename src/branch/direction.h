@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Branch direction predictor (§III.A): history-based prediction values
+ * stored in banked high-density SRAMs, with a dynamic monitoring
+ * algorithm selecting among banks, fronted by the two-level prefetch
+ * buffer (BUF1/BUF2) that lets conditional branches in adjacent cycles
+ * be predicted back-to-back despite the SRAM read latency.
+ */
+
+#ifndef XT910_BRANCH_DIRECTION_H
+#define XT910_BRANCH_DIRECTION_H
+
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace xt910
+{
+
+/** Direction-predictor configuration. */
+struct DirectionParams
+{
+    unsigned tableBits = 12;   ///< entries per bank = 2^tableBits
+    unsigned banks = 4;        ///< SRAM banks holding prediction values
+    unsigned historyBits = 12; ///< global history length
+    /**
+     * The §III.A two-level prefetch buffer. When disabled, a branch
+     * whose prediction is consumed in the cycle right after the
+     * previous branch's must stall one cycle for the SRAM read.
+     */
+    bool twoLevelBuf = true;
+};
+
+/** See file comment. */
+class DirectionPredictor
+{
+  public:
+    DirectionPredictor(const DirectionParams &p, const std::string &name);
+
+    /** Predict the direction of the branch at @p pc. */
+    bool predict(Addr pc);
+
+    /** Train with the resolved outcome; returns true on mispredict. */
+    bool update(Addr pc, bool taken);
+
+    /**
+     * Cycle cost charged by the IFU when this branch is predicted in
+     * the cycle immediately after another branch (0 with BUF1/BUF2,
+     * 1 without, §III.A).
+     */
+    unsigned
+    backToBackPenalty() const
+    {
+        return p.twoLevelBuf ? 0 : 1;
+    }
+
+    const DirectionParams &params() const { return p; }
+
+    StatGroup stats;
+    Counter lookups;
+    Counter mispredicts;
+
+  private:
+    struct BankEntry
+    {
+        uint8_t counter = 2; ///< 2-bit, weakly taken
+    };
+
+    size_t index(Addr pc, unsigned bank) const;
+    unsigned chooseBank(Addr pc) const;
+
+    DirectionParams p;
+    std::vector<std::vector<BankEntry>> banks;
+    /** Per-bank success score for the dynamic monitoring algorithm. */
+    std::vector<std::vector<uint8_t>> bankScore;
+    uint64_t history = 0;
+};
+
+} // namespace xt910
+
+#endif // XT910_BRANCH_DIRECTION_H

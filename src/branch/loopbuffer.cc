@@ -1,0 +1,60 @@
+#include "branch/loopbuffer.h"
+
+namespace xt910
+{
+
+LoopBuffer::LoopBuffer(const LoopBufferParams &p_, const std::string &name)
+    : stats(name),
+      captures(stats, "captures", "loops captured into the LBUF"),
+      servedInsts(stats, "served_insts", "instructions served from LBUF"),
+      icacheAccessSaved(stats, "icache_saved",
+                        "fetch groups that skipped the L1I"),
+      flushesCtr(stats, "flushes", "LBUF flushes (context switches)"),
+      p(p_)
+{
+}
+
+void
+LoopBuffer::observeBackwardBranch(Addr bPc, Addr tgt, unsigned bodyInsts)
+{
+    if (!p.enabled)
+        return;
+    if (captured && bPc == branchPc && tgt == target)
+        return; // already streaming this loop
+    if (bodyInsts > p.entries)
+        return; // body does not fit
+    if (trainPc == bPc) {
+        if (++trainCount >= p.trainTrips) {
+            captured = true;
+            branchPc = bPc;
+            target = tgt;
+            ++captures;
+        }
+    } else {
+        trainPc = bPc;
+        trainCount = 1;
+    }
+}
+
+bool
+LoopBuffer::active(Addr pc) const
+{
+    return captured && pc >= target && pc <= branchPc;
+}
+
+void
+LoopBuffer::exitLoop()
+{
+    captured = false;
+    trainPc = 0;
+    trainCount = 0;
+}
+
+void
+LoopBuffer::flush()
+{
+    ++flushesCtr;
+    exitLoop();
+}
+
+} // namespace xt910

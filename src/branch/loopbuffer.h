@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The loop buffer (LBUF, §III.C): a 16-entry buffer that captures small
+ * loop bodies. While a loop streams from the LBUF, instruction fetch
+ * needs no L1 I-cache access (power), the backward jump inserts no
+ * bubble, and the last instruction of iteration i can issue together
+ * with the first instruction of iteration i+1 — keeping the IFU at its
+ * full 3 instructions/cycle. Forward branches inside the body (if/else)
+ * are allowed. A context switch flushes the LBUF.
+ */
+
+#ifndef XT910_BRANCH_LOOPBUFFER_H
+#define XT910_BRANCH_LOOPBUFFER_H
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace xt910
+{
+
+/** Loop-buffer configuration. */
+struct LoopBufferParams
+{
+    unsigned entries = 16;   ///< instructions held (paper: 16)
+    bool enabled = true;     ///< ablation knob
+    unsigned trainTrips = 2; ///< backward-jump repeats before capture
+};
+
+/** See file comment. */
+class LoopBuffer
+{
+  public:
+    LoopBuffer(const LoopBufferParams &p, const std::string &name);
+
+    /**
+     * Observe a taken backward branch at @p branchPc jumping to
+     * @p target containing @p bodyInsts instructions. Captures the
+     * loop once it has repeated trainTrips times and fits.
+     */
+    void observeBackwardBranch(Addr branchPc, Addr target,
+                               unsigned bodyInsts);
+
+    /** True when fetch at @p pc is currently served by the LBUF. */
+    bool active(Addr pc) const;
+
+    /** The captured loop's branch pc / target (0 when none). */
+    Addr loopBranch() const { return branchPc; }
+    Addr loopTarget() const { return target; }
+
+    /** Leaving the loop (fall-through or mispredicted exit). */
+    void exitLoop();
+
+    /** Context switch / exception: flush the buffer (§III.C). */
+    void flush();
+
+    const LoopBufferParams &params() const { return p; }
+    bool capturing() const { return captured; }
+
+    StatGroup stats;
+    Counter captures;          ///< loops captured
+    Counter servedInsts;       ///< instructions streamed from LBUF
+    Counter icacheAccessSaved; ///< fetch groups that skipped the L1I
+    Counter flushesCtr;
+
+  private:
+    LoopBufferParams p;
+    bool captured = false;
+    Addr branchPc = 0;
+    Addr target = 0;
+    Addr trainPc = 0;
+    unsigned trainCount = 0;
+};
+
+} // namespace xt910
+
+#endif // XT910_BRANCH_LOOPBUFFER_H

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by the encoder, decoder and cache/TLB
+ * index math. All helpers are constexpr and branch-free where possible.
+ */
+
+#ifndef XT910_COMMON_BITUTIL_H
+#define XT910_COMMON_BITUTIL_H
+
+#include <cstdint>
+
+namespace xt910
+{
+
+/** Extract bits [hi:lo] (inclusive) of @p val, right-justified. */
+constexpr uint64_t
+bits(uint64_t val, unsigned hi, unsigned lo)
+{
+    unsigned nbits = hi - lo + 1;
+    uint64_t mask = nbits >= 64 ? ~0ull : ((1ull << nbits) - 1);
+    return (val >> lo) & mask;
+}
+
+/** Extract the single bit @p pos of @p val. */
+constexpr uint64_t
+bit(uint64_t val, unsigned pos)
+{
+    return (val >> pos) & 1;
+}
+
+/** Insert @p field into bits [hi:lo] of @p val and return the result. */
+constexpr uint64_t
+insertBits(uint64_t val, unsigned hi, unsigned lo, uint64_t field)
+{
+    unsigned nbits = hi - lo + 1;
+    uint64_t mask = nbits >= 64 ? ~0ull : ((1ull << nbits) - 1);
+    return (val & ~(mask << lo)) | ((field & mask) << lo);
+}
+
+/** Sign-extend the low @p nbits bits of @p val to 64 bits. */
+constexpr int64_t
+sext(uint64_t val, unsigned nbits)
+{
+    unsigned shift = 64 - nbits;
+    return int64_t(val << shift) >> shift;
+}
+
+/** Zero-extend the low @p nbits bits of @p val. */
+constexpr uint64_t
+zext(uint64_t val, unsigned nbits)
+{
+    return nbits >= 64 ? val : val & ((1ull << nbits) - 1);
+}
+
+/** A mask with the low @p nbits bits set. */
+constexpr uint64_t
+mask(unsigned nbits)
+{
+    return nbits >= 64 ? ~0ull : (1ull << nbits) - 1;
+}
+
+/** True iff @p v is a power of two (0 is not). */
+constexpr bool
+isPow2(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Floor of log2 of @p v; log2Floor(0) is undefined (returns 0). */
+constexpr unsigned
+log2Floor(uint64_t v)
+{
+    unsigned r = 0;
+    while (v >>= 1)
+        ++r;
+    return r;
+}
+
+/** Ceil of log2 of @p v. */
+constexpr unsigned
+log2Ceil(uint64_t v)
+{
+    return v <= 1 ? 0 : log2Floor(v - 1) + 1;
+}
+
+/** Population count. */
+constexpr unsigned
+popCount(uint64_t v)
+{
+    unsigned r = 0;
+    while (v) {
+        v &= v - 1;
+        ++r;
+    }
+    return r;
+}
+
+/**
+ * Index of the most-significant set bit counting from bit 63 downwards,
+ * i.e. the semantics of the XT-910 custom ff1 instruction: the number of
+ * leading zero bits. Returns 64 when @p v is zero.
+ */
+constexpr unsigned
+countLeadingZeros(uint64_t v)
+{
+    if (v == 0)
+        return 64;
+    unsigned n = 0;
+    for (int i = 63; i >= 0 && !((v >> i) & 1); --i)
+        ++n;
+    return n;
+}
+
+/** Count of leading one bits (XT-910 custom ff0 semantics). */
+constexpr unsigned
+countLeadingOnes(uint64_t v)
+{
+    return countLeadingZeros(~v);
+}
+
+/** Byte-reverse a 64-bit value (XT-910 custom rev semantics). */
+constexpr uint64_t
+byteSwap64(uint64_t v)
+{
+    v = ((v & 0x00ff00ff00ff00ffull) << 8) | ((v >> 8) & 0x00ff00ff00ff00ffull);
+    v = ((v & 0x0000ffff0000ffffull) << 16) |
+        ((v >> 16) & 0x0000ffff0000ffffull);
+    return (v << 32) | (v >> 32);
+}
+
+} // namespace xt910
+
+#endif // XT910_COMMON_BITUTIL_H

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Minimal gem5-flavoured logging: panic() for model bugs, fatal() for
+ * user/configuration errors, warn()/inform() for status messages.
+ */
+
+#ifndef XT910_COMMON_LOG_H
+#define XT910_COMMON_LOG_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace xt910
+{
+
+namespace log_detail
+{
+
+/** Format the variadic tail into one string using ostream insertion. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace log_detail
+
+/** Abort: something happened that indicates a bug in the model itself. */
+#define xt_panic(...)                                                         \
+    ::xt910::log_detail::panicImpl(__FILE__, __LINE__,                        \
+                                   ::xt910::log_detail::concat(__VA_ARGS__))
+
+/** Exit(1): the simulation cannot continue due to a user/config error. */
+#define xt_fatal(...)                                                         \
+    ::xt910::log_detail::fatalImpl(__FILE__, __LINE__,                        \
+                                   ::xt910::log_detail::concat(__VA_ARGS__))
+
+/** Non-fatal warning about questionable but survivable behaviour. */
+#define xt_warn(...)                                                          \
+    ::xt910::log_detail::warnImpl(::xt910::log_detail::concat(__VA_ARGS__))
+
+/** Informational status message. */
+#define xt_inform(...)                                                        \
+    ::xt910::log_detail::informImpl(::xt910::log_detail::concat(__VA_ARGS__))
+
+/** Assert that holds in release builds too; panics with a message. */
+#define xt_assert(cond, ...)                                                  \
+    do {                                                                      \
+        if (!(cond))                                                          \
+            xt_panic("assertion failed: " #cond " ", __VA_ARGS__);            \
+    } while (0)
+
+} // namespace xt910
+
+#endif // XT910_COMMON_LOG_H

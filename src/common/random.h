@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Deterministic xorshift RNG. No simulation component may use host
+ * randomness; everything draws from a seeded Xorshift64 so runs are
+ * bit-reproducible.
+ */
+
+#ifndef XT910_COMMON_RANDOM_H
+#define XT910_COMMON_RANDOM_H
+
+#include <cstdint>
+
+namespace xt910
+{
+
+/** Marsaglia xorshift64* generator. */
+class Xorshift64
+{
+  public:
+    explicit Xorshift64(uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : state(seed ? seed : 1)
+    {}
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        uint64_t x = state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state = x;
+        return x * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform value in [0, bound); bound must be nonzero. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform value in [lo, hi] inclusive. */
+    uint64_t
+    range(uint64_t lo, uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    real()
+    {
+        return double(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+  private:
+    uint64_t state;
+};
+
+} // namespace xt910
+
+#endif // XT910_COMMON_RANDOM_H

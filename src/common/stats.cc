@@ -1,0 +1,40 @@
+#include "common/stats.h"
+
+#include <iomanip>
+
+namespace xt910
+{
+
+Counter::Counter(StatGroup &group, std::string name, std::string desc)
+    : _name(std::move(name)), _desc(std::move(desc))
+{
+    group.add(this);
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const Counter *c : _counters) {
+        os << std::left << std::setw(40) << (_name + "." + c->name())
+           << std::right << std::setw(16) << c->value()
+           << "  # " << c->desc() << "\n";
+    }
+}
+
+void
+StatGroup::resetAll()
+{
+    for (Counter *c : _counters)
+        c->reset();
+}
+
+const Counter *
+StatGroup::find(const std::string &name) const
+{
+    for (const Counter *c : _counters)
+        if (c->name() == name)
+            return c;
+    return nullptr;
+}
+
+} // namespace xt910

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * A tiny statistics package: named scalar counters grouped per component,
+ * dumpable as a text report. Components own a StatGroup; counters register
+ * themselves on construction, so declaring one is a single line.
+ */
+
+#ifndef XT910_COMMON_STATS_H
+#define XT910_COMMON_STATS_H
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace xt910
+{
+
+class StatGroup;
+
+/** A monotonically increasing (or assignable) scalar statistic. */
+class Counter
+{
+  public:
+    /** Register a counter named @p name with description @p desc. */
+    Counter(StatGroup &group, std::string name, std::string desc);
+
+    Counter &operator++() { ++_value; return *this; }
+    Counter &operator+=(uint64_t v) { _value += v; return *this; }
+    void set(uint64_t v) { _value = v; }
+    uint64_t value() const { return _value; }
+    const std::string &name() const { return _name; }
+    const std::string &desc() const { return _desc; }
+    void reset() { _value = 0; }
+
+  private:
+    std::string _name;
+    std::string _desc;
+    uint64_t _value = 0;
+};
+
+/**
+ * A named collection of counters. Components embed a StatGroup and
+ * declare Counter members initialized from it.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : _name(std::move(name)) {}
+
+    // Counters hold pointers into this group; neither may be copied/moved.
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    /** Called by Counter's constructor. */
+    void add(Counter *c) { _counters.push_back(c); }
+
+    /** Dump "group.counter value # desc" lines to @p os. */
+    void dump(std::ostream &os) const;
+
+    /** Zero every counter in the group. */
+    void resetAll();
+
+    const std::string &name() const { return _name; }
+    const std::vector<Counter *> &counters() const { return _counters; }
+
+    /** Look up a counter by name; nullptr when absent. */
+    const Counter *find(const std::string &name) const;
+
+  private:
+    std::string _name;
+    std::vector<Counter *> _counters;
+};
+
+} // namespace xt910
+
+#endif // XT910_COMMON_STATS_H

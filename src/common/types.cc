@@ -1,0 +1,18 @@
+#include "common/types.h"
+
+namespace xt910
+{
+
+const char *
+regClassName(RegClass rc)
+{
+    switch (rc) {
+      case RegClass::Int: return "int";
+      case RegClass::Fp: return "fp";
+      case RegClass::Vec: return "vec";
+      case RegClass::None: return "none";
+    }
+    return "?";
+}
+
+} // namespace xt910

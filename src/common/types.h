@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Fundamental scalar types and small enums shared by every subsystem.
+ */
+
+#ifndef XT910_COMMON_TYPES_H
+#define XT910_COMMON_TYPES_H
+
+#include <cstdint>
+#include <string>
+
+namespace xt910
+{
+
+/** A (virtual or physical) memory address. */
+using Addr = uint64_t;
+
+/** A simulation cycle number. */
+using Cycle = uint64_t;
+
+/** Architectural or physical register index. */
+using RegIndex = uint16_t;
+
+/** Invalid/unassigned register index sentinel. */
+constexpr RegIndex invalidReg = 0xffff;
+
+/** Address space identifier (the paper widens this to 16 bits, §V.E). */
+using Asid = uint16_t;
+
+/** Hart (hardware thread / core) identifier. */
+using HartId = uint32_t;
+
+/** Bytes per cache line throughout the model. */
+constexpr unsigned cacheLineBytes = 64;
+
+/** Log2 of the cache line size. */
+constexpr unsigned cacheLineShift = 6;
+
+/** Align an address down to its cache line base. */
+constexpr Addr
+lineAlign(Addr a)
+{
+    return a & ~Addr(cacheLineBytes - 1);
+}
+
+/** RISC-V privilege modes supported by XT-910 (Fig. 1 of the paper). */
+enum class PrivMode : uint8_t { User = 0, Supervisor = 1, Machine = 3 };
+
+/**
+ * Register file class. XT-910 renames scalar integer, floating point and
+ * vector registers independently (§IV).
+ */
+enum class RegClass : uint8_t { Int, Fp, Vec, None };
+
+/** Human-readable name of a register class. */
+const char *regClassName(RegClass rc);
+
+} // namespace xt910
+
+#endif // XT910_COMMON_TYPES_H

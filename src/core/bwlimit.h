@@ -1,0 +1,94 @@
+/**
+ * @file
+ * A per-cycle bandwidth limiter used to model pipeline-stage widths
+ * (decode 3/cycle, rename 4/cycle, issue 8/cycle, ...): schedule()
+ * books the earliest cycle at or after the request with spare slots.
+ */
+
+#ifndef XT910_CORE_BWLIMIT_H
+#define XT910_CORE_BWLIMIT_H
+
+#include <map>
+#include <set>
+
+#include "common/types.h"
+
+namespace xt910
+{
+
+/** See file comment. */
+class BandwidthLimiter
+{
+  public:
+    explicit BandwidthLimiter(unsigned perCycle) : width(perCycle) {}
+
+    /** Book a slot at the earliest cycle >= @p earliest. */
+    Cycle
+    schedule(Cycle earliest)
+    {
+        Cycle c = earliest;
+        auto it = booked.lower_bound(c);
+        while (it != booked.end() && it->first == c &&
+               it->second >= width) {
+            ++c;
+            it = booked.lower_bound(c);
+        }
+        ++booked[c];
+        // Prune ancient entries to bound memory.
+        if (booked.size() > 1024)
+            booked.erase(booked.begin(),
+                         booked.lower_bound(c > 512 ? c - 512 : 0));
+        return c;
+    }
+
+    unsigned perCycle() const { return width; }
+
+  private:
+    unsigned width;
+    std::map<Cycle, unsigned> booked;
+};
+
+/**
+ * A single-issue execution port with cycle-granular bookings. Unlike a
+ * monotonic "free-after" pointer, younger µops may book *earlier* idle
+ * cycles than an older µop that issues late — which is exactly what an
+ * out-of-order scheduler does with its issue slots.
+ */
+class PortSchedule
+{
+  public:
+    /** Earliest start >= @p earliest with @p len consecutive free
+     *  cycles. Does not book. */
+    Cycle
+    probe(Cycle earliest, unsigned len = 1) const
+    {
+        Cycle c = earliest;
+        auto it = busy.lower_bound(c);
+        while (it != busy.end() && *it < c + len) {
+            // Collision: restart just after the conflicting booking.
+            c = *it + 1;
+            it = busy.lower_bound(c);
+        }
+        return c;
+    }
+
+    /** Book cycles [start, start+len). */
+    void
+    book(Cycle start, unsigned len = 1)
+    {
+        for (unsigned i = 0; i < len; ++i)
+            busy.insert(start + i);
+        // Bound memory: forget bookings far in the past.
+        if (busy.size() > 4096) {
+            Cycle horizon = start > 2048 ? start - 2048 : 0;
+            busy.erase(busy.begin(), busy.lower_bound(horizon));
+        }
+    }
+
+  private:
+    std::set<Cycle> busy;
+};
+
+} // namespace xt910
+
+#endif // XT910_CORE_BWLIMIT_H

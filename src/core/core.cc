@@ -1,0 +1,752 @@
+#include "core/core.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/bitutil.h"
+#include "common/log.h"
+
+namespace xt910
+{
+
+namespace
+{
+
+/** Multiply-accumulate ops whose destination is also a source. */
+bool
+isMacOp(Opcode op)
+{
+    switch (op) {
+      case Opcode::XT_MULA:
+      case Opcode::XT_MULS:
+      case Opcode::XT_MULAH:
+      case Opcode::XT_MULSH:
+      case Opcode::VMACC_VV:
+      case Opcode::VMACC_VX:
+      case Opcode::VMADD_VV:
+      case Opcode::VWMACC_VV:
+      case Opcode::VFMACC_VV:
+      case Opcode::VFMACC_VF:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+XtCore::XtCore(unsigned coreId_, const CoreParams &params, MemSystem &ms,
+               const Memory &ptMem_)
+    : stats("core" + std::to_string(coreId_)),
+      uops(stats, "uops", "micro-operations processed"),
+      branchMispredicts(stats, "branch_mispredicts",
+                        "execute-stage branch redirects"),
+      targetMispredicts(stats, "target_mispredicts",
+                        "BTB/indirect/RAS target corrections"),
+      takenBubbles(stats, "taken_bubbles",
+                   "IP/IB-stage redirect bubbles paid"),
+      l0Redirects(stats, "l0_redirects", "zero-bubble IF-stage jumps"),
+      orderingViolations(stats, "ordering_violations",
+                         "LSU speculation failures (global flush)"),
+      forwardedLoads(stats, "forwarded_loads", "store-to-load forwards"),
+      blockedLoads(stats, "blocked_loads",
+                   "loads delayed by the dependence predictor"),
+      serializations(stats, "serializations", "pipeline drains"),
+      ptwWalks(stats, "ptw_walks", "page-table walks"),
+      ptwCycles(stats, "ptw_cycles", "cycles spent walking"),
+      coreId(coreId_),
+      p(params),
+      mem(ms),
+      ptMem(ptMem_),
+      dirPred(params.direction, "core" + std::to_string(coreId_) + ".bp"),
+      btb(params.btb, "core" + std::to_string(coreId_) + ".btb"),
+      lbuf(params.lbuf, "core" + std::to_string(coreId_) + ".lbuf"),
+      pf(params.prefetch, "core" + std::to_string(coreId_) + ".pf"),
+      itlb(params.tlb, "core" + std::to_string(coreId_) + ".itlb"),
+      dtlb(params.tlb, "core" + std::to_string(coreId_) + ".dtlb"),
+      decodeBw(params.decodeWidth),
+      renameBw(params.renameWidth),
+      issueBw(params.issueWidth),
+      retireBw(params.retireWidth)
+{
+    if (p.translation == TranslationMode::Paged)
+        xt_assert(p.pageTableRoot != 0,
+                  "Paged translation requires a page-table root");
+}
+
+void
+XtCore::contextSwitch(Asid newAsid, bool flushTlb)
+{
+    p.asid = newAsid;
+    lbuf.flush();
+    if (flushTlb) {
+        itlb.flushAll();
+        dtlb.flushAll();
+    }
+}
+
+std::pair<XtCore::Pipe, XtCore::Pipe>
+XtCore::pipesFor(OpClass cls) const
+{
+    switch (cls) {
+      case OpClass::IntAlu:
+      case OpClass::IntMul:
+        return {Alu0, Alu1};
+      case OpClass::IntDiv:
+        // Divide shares the multi-cycle ALU pipe (§II).
+        return {Alu1, Alu1};
+      case OpClass::Branch:
+      case OpClass::Jump:
+        return {Bju, Bju};
+      case OpClass::Load:
+      case OpClass::FpLoad:
+      case OpClass::VecLoad:
+      case OpClass::Amo:
+        return {LoadP, LoadP};
+      case OpClass::Store:
+      case OpClass::FpStore:
+      case OpClass::VecStore:
+        return {p.lsuDualIssue ? StAddrP : LoadP,
+                p.lsuDualIssue ? StAddrP : LoadP};
+      case OpClass::FpAlu:
+      case OpClass::FpMul:
+      case OpClass::FpDiv:
+      case OpClass::FpCvt:
+      case OpClass::VecAlu:
+      case OpClass::VecMul:
+      case OpClass::VecDiv:
+        return {FpVec0, FpVec1};
+      default:
+        return {Alu0, Alu1};
+    }
+}
+
+Cycle
+XtCore::readyOf(RegClass cls, RegIndex r) const
+{
+    if (cls == RegClass::None || r == invalidReg)
+        return 0;
+    if (cls == RegClass::Int && r == 0)
+        return 0;
+    return regReady[unsigned(cls)][r & 31];
+}
+
+void
+XtCore::setReady(RegClass cls, RegIndex r, Cycle c)
+{
+    if (cls == RegClass::None || r == invalidReg)
+        return;
+    if (cls == RegClass::Int && r == 0)
+        return;
+    regReady[unsigned(cls)][r & 31] = c;
+}
+
+Cycle
+XtCore::iqAdmit(unsigned g, Cycle when, unsigned capacity)
+{
+    auto &q = iqBusy[g];
+    // Entries that issued before `when` have left the queue.
+    while (!q.empty() && *q.begin() <= when)
+        q.erase(q.begin());
+    // Queue full: dispatch waits for the earliest occupant to issue.
+    while (q.size() >= capacity) {
+        when = *q.begin() + 1;
+        q.erase(q.begin());
+    }
+    return when;
+}
+
+Addr
+XtCore::translate(Addr va, bool isFetch, Cycle &when)
+{
+    if (p.translation == TranslationMode::Bare)
+        return va;
+    Tlb &tlb = isFetch ? itlb : dtlb;
+    if (auto hit = tlb.lookup(va, p.asid, when)) {
+        if (!hit->microHit && hit->jtlbProbes > 1)
+            when += hit->jtlbProbes - 1; // serial page-size probes
+        return hit->pa;
+    }
+    // Hardware page-table walk, charged as sequential memory reads.
+    ++ptwWalks;
+    Cycle start = when;
+    WalkResult w = walkSv39(ptMem, p.pageTableRoot, va);
+    if (!w.ok)
+        xt_fatal("page fault at va 0x", std::hex, va);
+    for (unsigned i = 0; i < w.levels; ++i) {
+        MemResult r = mem.read(coreId, w.pteAddr[i], when);
+        when = r.done + p.ptwCacheLatency;
+    }
+    tlb.insert(va, w.pa & ~mask(pageShift(w.size)), w.size, p.asid);
+    ptwCycles += when - start;
+    return w.pa;
+}
+
+bool
+XtCore::prefetchLine(Addr vaddr, bool toL1, Cycle when)
+{
+    Addr pa = vaddr;
+    if (p.translation == TranslationMode::Paged) {
+        auto hit = dtlb.lookup(vaddr, p.asid, when);
+        if (!hit)
+            return false; // cannot translate; stream stalls (§V.C)
+        pa = hit->pa;
+    }
+    mem.prefetchFill(coreId, pa, toL1, when);
+    return true;
+}
+
+void
+XtCore::prefetchTranslation(Addr vaddr, Cycle when)
+{
+    if (p.translation != TranslationMode::Paged || !p.tlbPrefetch)
+        return;
+    if (dtlb.lookup(vaddr, p.asid, when))
+        return;
+    WalkResult w = walkSv39(ptMem, p.pageTableRoot, vaddr);
+    if (!w.ok)
+        return;
+    ++ptwWalks;
+    // Background walk: charges DRAM/L2 bandwidth but stalls nothing.
+    Cycle t = when;
+    for (unsigned i = 0; i < w.levels; ++i)
+        t = mem.read(coreId, w.pteAddr[i], t).done;
+    dtlb.insert(vaddr, w.pa & ~mask(pageShift(w.size)), w.size, p.asid);
+}
+
+Cycle
+XtCore::frontend(const ExecRecord &rec)
+{
+    Addr pc = rec.pc;
+    if (lbuf.active(pc)) {
+        // Streaming from the loop buffer: no I-cache access, no taken-
+        // branch bubble; availability simply tracks the previous group.
+        ++lbuf.servedInsts;
+        return std::max(curWindowReady, fetchResume);
+    }
+    Addr window = pc & ~Addr(p.fetchBytes - 1);
+    if (window != curWindow || curWindowCount >= p.fetchMaxInsts) {
+        Cycle start = std::max(lastGroupStart + 1, fetchResume);
+        Cycle t = start;
+        Addr pa = translate(pc, true, t);
+        MemResult mr = mem.fetch(coreId, pa, t);
+        curWindowReady = mr.done + (p.frontendStages - 1);
+        curWindow = window;
+        curWindowCount = 0;
+        lastGroupStart = start;
+        // IFU run-ahead: sequential next-line prefetch keeps the IBUF
+        // supplied across I-cache misses (§III).
+        if (lineAlign(window) != lineAlign(prevFetchLine)) {
+            Cycle pt = start;
+            Addr seq = lineAlign(pa) + cacheLineBytes;
+            mem.prefetchInstLine(coreId, seq, pt);
+            mem.prefetchInstLine(coreId, seq + cacheLineBytes, pt);
+        }
+        prevFetchLine = window;
+    }
+    ++curWindowCount;
+    return std::max(curWindowReady, fetchResume);
+}
+
+void
+XtCore::predictAndTrain(const ExecRecord &rec, Cycle groupStart,
+                        Cycle execDone)
+{
+    const DecodedInst &di = rec.di;
+    const Addr pc = rec.pc;
+    const bool taken = rec.taken;
+    const Addr target = rec.nextPc;
+
+    bool dirMispredict = false;
+    if (di.isBranch()) {
+        dirMispredict = dirPred.update(pc, taken);
+        // Without BUF1/BUF2 a branch served right after another pays a
+        // one-cycle SRAM re-read bubble (§III.A).
+        static_assert(true);
+    }
+
+    const bool loopBranch =
+        lbuf.capturing() && pc == lbuf.loopBranch();
+
+    if (!taken) {
+        if (dirMispredict) {
+            ++branchMispredicts;
+            fetchResume =
+                std::max(fetchResume, execDone + p.execRedirectPenalty);
+            lbuf.exitLoop();
+        } else if (loopBranch) {
+            lbuf.exitLoop(); // predicted fall-through ends streaming
+        }
+        return;
+    }
+
+    // ---- taken path ----
+    if (di.isCall())
+        ras.push(pc + di.len);
+
+    if (dirMispredict) {
+        ++branchMispredicts;
+        fetchResume =
+            std::max(fetchResume, execDone + p.execRedirectPenalty);
+        btb.update(pc, target, BranchKind::Conditional, true);
+        if (di.isBranch() && target < pc)
+            lbuf.observeBackwardBranch(pc, target,
+                                       unsigned((pc - target) / 4 + 1));
+        return;
+    }
+
+    if (loopBranch && lbuf.active(target)) {
+        // Loop-buffer iteration: last and first instruction can even
+        // issue together (§III.C) — zero bubble.
+        ++lbuf.icacheAccessSaved;
+        return;
+    }
+
+    unsigned bubbles = 0;
+    bool execRedirect = false;
+
+    if (di.isReturn()) {
+        Addr pred = ras.pop();
+        if (pred != target) {
+            execRedirect = true;
+            ++targetMispredicts;
+        }
+        // Correct RAS prediction redirects at IF: no bubble.
+    } else if (di.isIndirect()) {
+        Addr pred = indirect.predict(pc);
+        if (pred == target) {
+            bubbles = p.ibRedirectBubbles; // resolved at IB
+        } else {
+            execRedirect = true;
+            ++targetMispredicts;
+        }
+        indirect.update(pc, target);
+    } else {
+        // Direct branch/jump: cascaded BTB (§III.B).
+        auto l0 = btb.lookupL0(pc, groupStart);
+        if (l0 && l0->target == target) {
+            ++l0Redirects; // IF-stage jump: bubble eliminated
+        } else if (l0) {
+            // L0 hit with stale target: corrected right away at IP.
+            ++targetMispredicts;
+            bubbles = p.ipRedirectBubbles;
+        } else {
+            auto l1 = btb.lookupL1(pc, groupStart);
+            if (l1 && l1->target != target)
+                ++targetMispredicts; // corrected at IB (§III.B)
+            bubbles = (l1 && l1->target != target)
+                          ? p.ibRedirectBubbles
+                          : p.ipRedirectBubbles;
+        }
+    }
+
+    // Back-to-back conditional branches without the two-level buffer
+    // pay one extra cycle (§III.A).
+    if (di.isBranch() && dirPred.backToBackPenalty() > 0)
+        bubbles += dirPred.backToBackPenalty();
+
+    if (execRedirect) {
+        fetchResume =
+            std::max(fetchResume, execDone + p.execRedirectPenalty);
+    } else if (bubbles > 0) {
+        takenBubbles += bubbles;
+        fetchResume = std::max(fetchResume, lastGroupStart + 1 + bubbles);
+    } else {
+        fetchResume = std::max(fetchResume, lastGroupStart + 1);
+    }
+
+    BranchKind kind = di.isReturn()     ? BranchKind::Return
+                      : di.isIndirect() ? BranchKind::Indirect
+                      : di.isCall()     ? BranchKind::Call
+                      : di.isBranch()   ? BranchKind::Conditional
+                                        : BranchKind::Direct;
+    btb.update(pc, target, kind, /*promoteL0=*/bubbles > 0);
+
+    if (di.isBranch() && target < pc)
+        lbuf.observeBackwardBranch(pc, target,
+                                   unsigned((pc - target) / 4 + 1));
+}
+
+Cycle
+XtCore::executeLoad(const ExecRecord &rec, Cycle issue)
+{
+    Cycle ag = issue + 1; // address generation (AG stage, §V.A)
+    Addr pa = translate(rec.memAddr, false, ag);
+
+    // Memory-dependence predictor: tagged loads wait for all older
+    // store addresses (§V.A "execution is blocked").
+    if (p.memDepPredict && taggedLoads.count(rec.pc)) {
+        Cycle wait = 0;
+        for (const SqEntry &s : sq)
+            wait = std::max(wait, s.addrReady);
+        if (wait > ag) {
+            ++blockedLoads;
+            ag = wait;
+        }
+    }
+
+    // Store queue search, youngest first.
+    for (auto it = sq.rbegin(); it != sq.rend(); ++it) {
+        const SqEntry &s = *it;
+        bool overlap = rec.memAddr < s.addr + s.size &&
+                       s.addr < rec.memAddr + rec.memSize;
+        if (!overlap)
+            continue;
+        bool contains = s.addr <= rec.memAddr &&
+                        rec.memAddr + rec.memSize <= s.addr + s.size;
+        if (s.addrReady > ag && !(p.memDepPredict &&
+                                  taggedLoads.count(rec.pc))) {
+            // The load executed before the older store's address was
+            // known: ordering violation -> global flush (§V.A).
+            ++orderingViolations;
+            if (p.memDepPredict)
+                taggedLoads.insert(rec.pc);
+            Cycle redo = std::max(s.dataReady, s.addrReady) +
+                         p.orderingFlushPenalty;
+            fetchResume = std::max(fetchResume, redo);
+            return redo + p.storeToLoadForwardLat;
+        }
+        if (contains) {
+            ++forwardedLoads;
+            return std::max(ag, s.dataReady) + p.storeToLoadForwardLat;
+        }
+        // Partial overlap: wait until the store drains to the cache.
+        Cycle drained = std::max(s.retire, ag);
+        MemResult r = mem.read(coreId, pa, drained);
+        pf.observe(rec.memAddr, !r.l1Hit, drained, *this);
+        return r.done;
+    }
+
+    MemResult r = mem.read(coreId, pa, ag);
+    pf.observe(rec.memAddr, !r.l1Hit, ag, *this);
+    return r.done;
+}
+
+Cycle
+XtCore::executeVectorMem(const ExecRecord &rec, Cycle issue, bool isStore,
+                         Cycle retireHint)
+{
+    // Vector load/store: 128 bits per cycle of load/store bandwidth
+    // (§VII); unique lines touched go through the cache port.
+    const unsigned elemBytes = rec.sew / 8;
+    Cycle ag = issue + 1;
+    Cycle done = ag;
+    Addr prevLine = ~Addr(0);
+    unsigned beats = 0;
+    for (unsigned i = 0; i < rec.vl && i < 256; ++i) {
+        Addr va = rec.memAddr + Addr(int64_t(i) * rec.memStride);
+        Addr line = lineAlign(va);
+        if (line == prevLine)
+            continue;
+        prevLine = line;
+        Cycle t = ag + beats * (Cycle(elemBytes) * 8 / 128 + 1) / 2;
+        Addr pa = translate(va, false, t);
+        if (isStore) {
+            mem.write(coreId, pa, std::max(t, retireHint));
+            pf.observe(va, false, t, *this);
+        } else {
+            MemResult r = mem.read(coreId, pa, t);
+            pf.observe(va, !r.l1Hit, t, *this);
+            done = std::max(done, r.done);
+        }
+        ++beats;
+    }
+    unsigned occupancy =
+        std::max(1u, (rec.vl * rec.sew + 127) / 128); // 128b/cycle
+    done = std::max(done, ag + occupancy);
+    return done;
+}
+
+void
+XtCore::consume(const ExecRecord &rec)
+{
+    const DecodedInst &di = rec.di;
+    const OpClass cls = di.cls();
+
+    // ------------------------------------------------------ frontend
+    Cycle groupStart = lastGroupStart;
+    Cycle avail = frontend(rec);
+    Cycle decodeC = decodeBw.schedule(avail);
+
+    // ------------------------------------------------ µop formation
+    const bool isScalarStore =
+        (cls == OpClass::Store || cls == OpClass::FpStore);
+    const bool splitStore = isScalarStore && p.pseudoDualStore;
+    const unsigned nUops = splitStore ? 2 : 1;
+
+    Cycle instDone = 0;
+    Cycle stAddrReady = 0, stDataReady = 0;
+
+    for (unsigned u = 0; u < nUops; ++u) {
+        ++uops;
+        const bool isStAddr = splitStore && u == 0;
+        const bool isStData = splitStore && u == 1;
+
+        // Rename: window capacity + width.
+        Cycle renameC = decodeC + 1;
+        if (rob.size() >= p.robEntries) {
+            renameC = std::max(renameC, rob.front());
+            rob.pop_front();
+        }
+        if (rec.isMemOp() && di.isLoad() && !di.isStore()) {
+            if (lqRetire.size() >= p.lqEntries) {
+                renameC = std::max(renameC, lqRetire.front());
+                lqRetire.pop_front();
+            }
+        }
+        if (isScalarStore && u == 0) {
+            if (sqRetireQ.size() >= p.sqEntries) {
+                renameC = std::max(renameC, sqRetireQ.front());
+                sqRetireQ.pop_front();
+            }
+        }
+        renameC = renameBw.schedule(renameC);
+
+        // Source readiness.
+        Cycle srcReady = 0;
+        if (isStAddr) {
+            srcReady = readyOf(di.rs1Class, di.rs1);
+            if (isCustom(di.op)) // indexed store: rs2 is the index
+                srcReady = std::max(srcReady,
+                                    readyOf(di.rs2Class, di.rs2));
+        } else if (isStData) {
+            RegIndex dataReg = isCustom(di.op) ? di.rs3 : di.rs2;
+            RegClass dataCls =
+                isCustom(di.op) ? di.rs3Class : di.rs2Class;
+            srcReady = readyOf(dataCls, dataReg);
+        } else {
+            srcReady = std::max({readyOf(di.rs1Class, di.rs1),
+                                 readyOf(di.rs2Class, di.rs2),
+                                 readyOf(di.rs3Class, di.rs3)});
+            // MAC-style ops also read their destination; a chain of
+            // dependent MACs forwards inside the accumulate stage, so
+            // the rd source uses the accumulator-ready time.
+            if (isMacOp(di.op)) {
+                Cycle acc = di.rdClass == RegClass::None ||
+                                    di.rd == invalidReg
+                                ? 0
+                                : accReady[unsigned(di.rdClass)]
+                                          [di.rd & 31];
+                srcReady = std::max(srcReady, acc);
+            }
+        }
+
+        // Serializing classes drain the pipeline first.
+        const bool serializes = cls == OpClass::Csr ||
+                                cls == OpClass::System ||
+                                cls == OpClass::Fence ||
+                                cls == OpClass::CacheOp;
+
+        // Pipe occupancy: pipelined units take one slot; the divider
+        // is unpipelined; vector ops occupy per their element count.
+        unsigned occupancy = 1;
+        if (cls == OpClass::IntDiv || cls == OpClass::FpDiv ||
+            cls == OpClass::VecDiv) {
+            occupancy = defaultLatency(di.op);
+        } else if (cls == OpClass::VecAlu || cls == OpClass::VecMul) {
+            unsigned bw = std::max(1u, p.vecBitsPerCycle);
+            occupancy = std::max(1u, (rec.vl * rec.sew + bw - 1) / bw);
+        } else if (cls == OpClass::VecLoad || cls == OpClass::VecStore) {
+            occupancy = std::max(1u, (rec.vl * rec.sew + 127) / 128);
+        }
+
+        auto [pipeA, pipeB] = pipesFor(cls);
+        if (isStData)
+            pipeA = pipeB = p.lsuDualIssue ? StDataP : LoadP;
+
+        Cycle issueMin =
+            std::max({renameC + 1, srcReady, serializeUntil});
+        if (serializes)
+            issueMin = std::max(issueMin, maxDone);
+        if (p.inOrder)
+            issueMin = std::max(issueMin, lastIssue);
+
+        // Distributed issue-queue capacity (§IV): dispatch into the
+        // class's queue can itself stall when the queue is clogged by
+        // long-latency-dependent µops.
+        unsigned iqGroup = pipeA <= Bju ? 0u
+                           : pipeA <= StDataP ? 1u
+                                              : 2u;
+        unsigned iqCap = iqGroup == 0   ? p.iqAluEntries
+                         : iqGroup == 1 ? p.iqMemEntries
+                                        : p.iqFpEntries;
+        Cycle dispatchAt = iqAdmit(iqGroup, renameC + 1, iqCap);
+        issueMin = std::max(issueMin, dispatchAt);
+
+        // OoO slot booking: younger µops may claim pipe cycles an
+        // older, later-issuing µop left idle.
+        Cycle ta = ports[pipeA].probe(issueMin, occupancy);
+        Cycle tb = pipeB != pipeA ? ports[pipeB].probe(issueMin, occupancy)
+                                  : ta;
+        Pipe pipe = ta <= tb ? pipeA : pipeB;
+        Cycle slot = std::min(ta, tb);
+        Cycle issueC = issueBw.schedule(slot);
+        if (issueC != slot)
+            issueC = ports[pipe].probe(issueC, occupancy);
+        ports[pipe].book(issueC, occupancy);
+        lastIssue = issueC;
+        iqBusy[iqGroup].insert(issueC);
+
+        // Execute.
+        Cycle done;
+        switch (cls) {
+          case OpClass::Load:
+          case OpClass::FpLoad:
+            done = executeLoad(rec, issueC);
+            break;
+          case OpClass::Amo: {
+            Cycle ag = issueC + 1;
+            Addr pa = translate(rec.memAddr, false, ag);
+            done = mem.amo(coreId, pa, ag).done;
+            break;
+          }
+          case OpClass::VecLoad:
+            done = executeVectorMem(rec, issueC, false, 0);
+            break;
+          case OpClass::VecStore:
+            done = executeVectorMem(rec, issueC, true,
+                                    issueC + 8 + p.retireStages);
+            break;
+          case OpClass::Store:
+          case OpClass::FpStore:
+            if (isStAddr) {
+                Cycle ag = issueC + 1;
+                Addr pa = translate(rec.memAddr, false, ag);
+                stAddrReady = ag;
+                done = ag;
+                // §V.B: the early address lets the cache query (and a
+                // write-allocate fill on a miss) start ahead of the
+                // data — the benefit the pseudo double store buys.
+                if (!mem.l1d(coreId).findLine(pa))
+                    mem.prefetchFill(coreId, pa, true, ag);
+                pf.observe(rec.memAddr, false, ag, *this);
+            } else if (isStData) {
+                stDataReady = issueC + 1;
+                done = stDataReady;
+            } else {
+                // Unsplit store: address generation also waits for the
+                // data operand (the cost §V.B's split removes).
+                Cycle ag = issueC + 1;
+                Addr pa = translate(rec.memAddr, false, ag);
+                stAddrReady = ag;
+                stDataReady = ag;
+                done = ag;
+                if (!mem.l1d(coreId).findLine(pa))
+                    mem.prefetchFill(coreId, pa, true, ag);
+                pf.observe(rec.memAddr, false, ag, *this);
+            }
+            break;
+          case OpClass::VecAlu:
+          case OpClass::VecMul:
+          case OpClass::VecDiv:
+            done = issueC + defaultLatency(di.op) + occupancy - 1;
+            break;
+          default:
+            done = issueC + defaultLatency(di.op);
+            break;
+        }
+
+        // Writeback / retirement.
+        if (!isStAddr && !isStData && di.writesReg()) {
+            setReady(di.rdClass, di.rd, done);
+            accReady[unsigned(di.rdClass)][di.rd & 31] =
+                isMacOp(di.op) ? issueC + 1 : done;
+        }
+
+        Cycle retireC = retireBw.schedule(
+            std::max(done + p.retireStages, lastRetire));
+        lastRetire = retireC;
+        rob.push_back(retireC);
+        instDone = std::max(instDone, done);
+
+        if (traceHook)
+            traceHook(UopTrace{rec.pc, avail, decodeC, renameC, issueC,
+                               done, retireC});
+
+        if (di.isLoad() && !di.isStore())
+            lqRetire.push_back(retireC);
+
+        if (serializes) {
+            ++serializations;
+            serializeUntil = std::max(serializeUntil, done);
+        }
+        maxDone = std::max(maxDone, done);
+    }
+
+    // Store completion bookkeeping: drain to cache post-retire (§V.B
+    // write buffer), record in SQ for later forwarding checks.
+    if (isScalarStore) {
+        SqEntry e;
+        e.pc = rec.pc;
+        e.addr = rec.memAddr;
+        e.size = rec.memSize;
+        e.addrReady = stAddrReady;
+        e.dataReady = std::max(stDataReady, stAddrReady);
+        e.retire = lastRetire;
+        sq.push_back(e);
+        if (sq.size() > p.sqEntries)
+            sq.pop_front();
+        sqRetireQ.push_back(lastRetire);
+        Cycle wb = lastRetire + 1;
+        Addr pa = rec.memAddr;
+        Cycle t = wb;
+        pa = translate(rec.memAddr, false, t);
+        mem.write(coreId, pa, t);
+    }
+
+    // Custom cache/TLB operations take their microarchitectural effect.
+    switch (di.op) {
+      case Opcode::XT_DCACHE_CALL:
+      case Opcode::XT_DCACHE_CIALL:
+        mem.invalidateL1D(coreId);
+        break;
+      case Opcode::XT_ICACHE_IALL:
+        mem.invalidateL1I(coreId);
+        break;
+      case Opcode::XT_TLB_IALL:
+        itlb.flushAll();
+        dtlb.flushAll();
+        break;
+      case Opcode::XT_TLB_IASID:
+        itlb.flushAsid(p.asid);
+        dtlb.flushAsid(p.asid);
+        break;
+      case Opcode::XT_TLB_BCAST:
+      case Opcode::SFENCE_VMA:
+        itlb.flushVa(rec.memAddr);
+        dtlb.flushVa(rec.memAddr);
+        break;
+      default:
+        break;
+    }
+
+    // Vector-configuration speculation: vl changes replay (§VII).
+    if (cls == OpClass::VecCfg) {
+        static constexpr unsigned vlChangePenalty = 6;
+        if (lastVlValid && rec.vl != lastVl)
+            fetchResume = std::max(fetchResume,
+                                   instDone + vlChangePenalty);
+        lastVl = rec.vl;
+        lastVlValid = true;
+    }
+
+    // Branch prediction bookkeeping + redirects for younger fetches.
+    if (di.isBranch() || di.isJump())
+        predictAndTrain(rec, groupStart, instDone);
+
+    ++nRetired;
+}
+
+void
+XtCore::dumpStats(std::ostream &os) const
+{
+    stats.dump(os);
+    dirPred.stats.dump(os);
+    btb.stats.dump(os);
+    lbuf.stats.dump(os);
+    pf.stats.dump(os);
+    itlb.stats.dump(os);
+    dtlb.stats.dump(os);
+}
+
+} // namespace xt910

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * The XT-910 out-of-order core timing model.
+ *
+ * The model consumes the functional simulator's retired-instruction
+ * stream (ExecRecord) in program order and computes, per µop, the cycle
+ * of every pipeline milestone — fetch group availability, decode,
+ * rename, issue, execute and retire — under the machine's width,
+ * window, dependency and memory-system constraints. This
+ * "scheduled-trace" style is cycle-approximate: it captures widths,
+ * structural hazards, dependency chains, branch-prediction and
+ * memory-hierarchy behaviour, while wrong-path work is modelled as
+ * redirect penalties rather than functionally executed (see DESIGN.md
+ * §5 for the fidelity statement).
+ */
+
+#ifndef XT910_CORE_CORE_H
+#define XT910_CORE_CORE_H
+
+#include <deque>
+#include <functional>
+#include <set>
+#include <unordered_set>
+
+#include "branch/btb.h"
+#include "branch/direction.h"
+#include "branch/loopbuffer.h"
+#include "core/bwlimit.h"
+#include "core/params.h"
+#include "func/iss.h"
+#include "mem/memsystem.h"
+#include "mem/prefetcher.h"
+#include "mmu/pagetable.h"
+#include "mmu/tlb.h"
+
+namespace xt910
+{
+
+/** See file comment. */
+class XtCore : public PrefetchSink
+{
+  public:
+    /**
+     * @param coreId  index into @p memSys
+     * @param ptMem   memory holding page tables (Paged mode); also the
+     *                program memory in the usual single-Memory setup
+     */
+    XtCore(unsigned coreId, const CoreParams &params, MemSystem &memSys,
+           const Memory &ptMem);
+
+    /** Advance the model by one architecturally retired instruction. */
+    void consume(const ExecRecord &rec);
+
+    /** Cycle the most recently consumed instruction retired. */
+    Cycle cycles() const { return lastRetire; }
+
+    uint64_t retired() const { return nRetired; }
+
+    double
+    ipc() const
+    {
+        return lastRetire ? double(nRetired) / double(lastRetire) : 0.0;
+    }
+
+    /**
+     * Model a context switch: new ASID (TLB kept, tagged), loop buffer
+     * flushed (§III.C). With @p flushTlb the TLB is fully flushed
+     * (narrow-ASID rollover path of §V.E).
+     */
+    void contextSwitch(Asid newAsid, bool flushTlb);
+
+    /** PrefetchSink: issue a line prefetch (translates first). */
+    bool prefetchLine(Addr vaddr, bool toL1, Cycle when) override;
+    /** PrefetchSink: warm the DTLB via a background walk. */
+    void prefetchTranslation(Addr vaddr, Cycle when) override;
+
+    // Component access for tests/benches.
+    DirectionPredictor &direction() { return dirPred; }
+    Btb &btbUnit() { return btb; }
+    LoopBuffer &loopBuffer() { return lbuf; }
+    StreamPrefetcher &prefetcher() { return pf; }
+    Tlb &dtlbUnit() { return dtlb; }
+    Tlb &itlbUnit() { return itlb; }
+    const CoreParams &params() const { return p; }
+
+    void dumpStats(std::ostream &os) const;
+
+    /** Per-µop pipeline milestones, for tracing and tests. */
+    struct UopTrace
+    {
+        Addr pc;
+        Cycle fetchAvail, decode, rename, issue, done, retire;
+    };
+
+    /** Optional per-µop trace hook (debug/analysis). */
+    std::function<void(const UopTrace &)> traceHook;
+
+    StatGroup stats;
+    Counter uops;
+    Counter branchMispredicts;
+    Counter targetMispredicts;
+    Counter takenBubbles;       ///< IP/IB redirect bubbles paid
+    Counter l0Redirects;        ///< zero-bubble IF-stage jumps
+    Counter orderingViolations; ///< LSU speculation failures (§V.A)
+    Counter forwardedLoads;     ///< store-to-load forwards
+    Counter blockedLoads;       ///< dep-predictor-delayed loads (§V.A)
+    Counter serializations;     ///< CSR/fence pipeline drains
+    Counter ptwWalks;
+    Counter ptwCycles;
+
+  private:
+    enum Pipe : uint8_t
+    {
+        Alu0,
+        Alu1,   ///< also the multi-cycle/divide pipe (§II)
+        Bju,
+        LoadP,
+        StAddrP,
+        StDataP,
+        FpVec0,
+        FpVec1,
+        NumPipes
+    };
+
+    struct SqEntry
+    {
+        Addr pc = 0;
+        Addr addr = 0;
+        unsigned size = 0;
+        Cycle addrReady = 0;
+        Cycle dataReady = 0;
+        Cycle retire = 0;
+    };
+
+    /** Frontend: cycle the instruction leaves the IBUF toward decode. */
+    Cycle frontend(const ExecRecord &rec);
+    /** Branch-prediction outcome applied to subsequent fetch. */
+    void predictAndTrain(const ExecRecord &rec, Cycle groupStart,
+                         Cycle execDone);
+    /** Translate; returns PA and charges TLB/PTW time into @p when. */
+    Addr translate(Addr va, bool isFetch, Cycle &when);
+    /** Candidate execution pipes for a class (second may equal first). */
+    std::pair<Pipe, Pipe> pipesFor(OpClass cls) const;
+    Cycle readyOf(RegClass cls, RegIndex r) const;
+    void setReady(RegClass cls, RegIndex r, Cycle c);
+    /** Load execution incl. forwarding / violation logic. */
+    Cycle executeLoad(const ExecRecord &rec, Cycle issue);
+    Cycle executeVectorMem(const ExecRecord &rec, Cycle issue,
+                           bool isStore, Cycle retireHint);
+
+    unsigned coreId;
+    CoreParams p;
+    MemSystem &mem;
+    const Memory &ptMem;
+
+    DirectionPredictor dirPred;
+    Btb btb;
+    LoopBuffer lbuf;
+    StreamPrefetcher pf;
+    Tlb itlb;
+    Tlb dtlb;
+    ReturnAddressStack ras;
+    IndirectPredictor indirect;
+
+    BandwidthLimiter decodeBw;
+    BandwidthLimiter renameBw;
+    BandwidthLimiter issueBw;
+    BandwidthLimiter retireBw;
+
+    std::array<PortSchedule, NumPipes> ports{};
+    std::array<std::array<Cycle, 32>, 3> regReady{}; // [RegClass][reg]
+    /**
+     * Accumulator-forwarding readiness: a MAC's destination is usable
+     * by a *dependent MAC* one cycle after issue (the accumulate adder
+     * forwards within the pipe), while general consumers wait the full
+     * latency in regReady.
+     */
+    std::array<std::array<Cycle, 32>, 3> accReady{};
+
+    // Frontend state.
+    Addr curWindow = ~Addr(0);
+    Cycle curWindowReady = 0;
+    unsigned curWindowCount = 0;
+    Cycle lastGroupStart = 0;
+    Cycle fetchResume = 0;
+    Addr prevFetchLine = ~Addr(0);
+
+    // Window occupancy (retire cycles of in-flight µops).
+    std::deque<Cycle> rob;
+    std::deque<Cycle> lqRetire;
+    std::deque<Cycle> sqRetireQ;
+
+    /** Issue-queue occupancy: issue cycles of dispatched µops per
+     *  queue group (Alu / Mem / FpVec). Entries leave when issued. */
+    std::array<std::multiset<Cycle>, 3> iqBusy;
+    /** Dispatch gating for a µop entering group @p g at @p when. */
+    Cycle iqAdmit(unsigned g, Cycle when, unsigned capacity);
+
+    std::deque<SqEntry> sq;  ///< recent stores for forwarding checks
+    std::unordered_set<Addr> taggedLoads; ///< mem-dep predictor
+
+    Cycle lastRetire = 0;
+    Cycle lastIssue = 0;       ///< for in-order mode
+    Cycle serializeUntil = 0;
+    Cycle maxDone = 0;         ///< completion fence for serializing ops
+    uint64_t nRetired = 0;
+
+    // vsetvl speculation state (§VII).
+    unsigned lastVl = 0;
+    bool lastVlValid = false;
+};
+
+} // namespace xt910
+
+#endif // XT910_CORE_CORE_H

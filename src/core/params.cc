@@ -1,0 +1,108 @@
+#include "core/params.h"
+
+namespace xt910
+{
+
+CoreParams
+u74ClassParams()
+{
+    // An in-order dual-issue application core in the SiFive U74 class:
+    // 8-stage pipeline, 2-wide, single-issue LSU, modest predictors.
+    CoreParams p;
+    p.inOrder = true;
+    p.decodeWidth = 2;
+    p.renameWidth = 2;
+    p.issueWidth = 2;
+    p.retireWidth = 2;
+    p.frontendStages = 2;
+    p.decodeToIssue = 2;
+    p.retireStages = 1;
+    p.execRedirectPenalty = 5;
+    p.ipRedirectBubbles = 1;
+    p.ibRedirectBubbles = 2;
+    p.robEntries = 16; // non-binding for in-order; kept small
+    p.lqEntries = 8;
+    p.sqEntries = 8;
+    p.lsuDualIssue = false;
+    p.pseudoDualStore = false;
+    p.memDepPredict = false;
+    p.direction.tableBits = 10;
+    p.direction.banks = 2;
+    p.direction.twoLevelBuf = false;
+    p.btb.l0Enabled = false;
+    p.btb.l1Sets = 64;
+    p.lbuf.enabled = false;
+    p.prefetch.enableL1 = true;
+    p.prefetch.enableL2 = false;
+    p.prefetch.mode = PrefetcherParams::Mode::Global;
+    p.prefetch.numStreams = 1;
+    p.prefetch.maxDepth = 8;
+    p.prefetch.distance = 2;
+    p.vecBitsPerCycle = 0; // no vector unit
+    return p;
+}
+
+CoreParams
+a73ClassParams()
+{
+    // A Cortex-A73-class OoO core: 2-wide decode, ~64-entry window,
+    // dual AGU, strong predictors, NEON-style fixed 128-bit SIMD
+    // (8x 16-bit MACs per cycle vs XT-910's 16, §X).
+    CoreParams p;
+    p.decodeWidth = 2;
+    p.renameWidth = 2;
+    p.issueWidth = 6;
+    p.retireWidth = 2;
+    p.frontendStages = 3;
+    p.execRedirectPenalty = 9;
+    p.robEntries = 64;
+    p.lqEntries = 16;
+    p.sqEntries = 12;
+    p.lsuDualIssue = true;
+    p.pseudoDualStore = false;
+    p.memDepPredict = true;
+    p.direction.tableBits = 13;
+    p.direction.banks = 4;
+    p.btb.l0Entries = 8;
+    p.btb.l1Sets = 512;
+    p.lbuf.enabled = false;
+    p.vecBitsPerCycle = 128; // NEON: half XT-910's MAC throughput
+    return p;
+}
+
+CoreParams
+mcuClassParams()
+{
+    // A single-issue in-order microcontroller-class point (the low end
+    // of Fig. 17's comparison set).
+    CoreParams p;
+    p.inOrder = true;
+    p.decodeWidth = 1;
+    p.renameWidth = 1;
+    p.issueWidth = 1;
+    p.retireWidth = 1;
+    p.frontendStages = 1;
+    p.decodeToIssue = 1;
+    p.retireStages = 1;
+    p.execRedirectPenalty = 3;
+    p.ipRedirectBubbles = 1;
+    p.ibRedirectBubbles = 1;
+    p.robEntries = 4;
+    p.lqEntries = 2;
+    p.sqEntries = 2;
+    p.lsuDualIssue = false;
+    p.pseudoDualStore = false;
+    p.memDepPredict = false;
+    p.direction.tableBits = 8;
+    p.direction.banks = 1;
+    p.direction.twoLevelBuf = false;
+    p.btb.l0Enabled = false;
+    p.btb.l1Sets = 32;
+    p.lbuf.enabled = false;
+    p.prefetch.enableL1 = false;
+    p.prefetch.enableL2 = false;
+    p.vecBitsPerCycle = 0;
+    return p;
+}
+
+} // namespace xt910

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Core timing-model parameters. The defaults describe XT-910 as the
+ * paper specifies it: 12-stage pipeline, 3-wide decode, 4-wide rename,
+ * 8-wide issue, 192-entry ROB, dual-issue out-of-order LSU with pseudo
+ * double store, two ALUs (+mul), shared multi-cycle/divide pipe, BJU,
+ * two FP/vector pipes, hybrid branch prediction with L0/L1 BTB and a
+ * loop buffer, multi-mode multi-stream prefetch, and multi-size TLBs.
+ */
+
+#ifndef XT910_CORE_PARAMS_H
+#define XT910_CORE_PARAMS_H
+
+#include "branch/btb.h"
+#include "branch/direction.h"
+#include "branch/loopbuffer.h"
+#include "mem/prefetcher.h"
+#include "mmu/tlb.h"
+
+namespace xt910
+{
+
+/** How virtual addresses are translated by the timing model. */
+enum class TranslationMode : uint8_t
+{
+    Bare,   ///< VA == PA, TLBs bypassed
+    Paged,  ///< SV39 via TLBs + hardware PTW on real tables
+};
+
+/** See file comment. */
+struct CoreParams
+{
+    // ----------------------------------------------------- frontend
+    unsigned fetchBytes = 16;     ///< 128-bit fetch line (§III)
+    unsigned fetchMaxInsts = 8;   ///< up to 8 per line (§III)
+    unsigned decodeWidth = 3;     ///< ID decodes 3 (§IV)
+    unsigned renameWidth = 4;     ///< IR renames up to 4 (§IV)
+    unsigned issueWidth = 8;      ///< 8 shared instruction slots (§IV)
+    unsigned retireWidth = 4;
+
+    // Pipeline-depth-derived latencies (12 stages: IF..RT2).
+    unsigned frontendStages = 3;  ///< IF -> IP -> IB before decode
+    unsigned decodeToIssue = 3;   ///< ID, IR, IS
+    unsigned retireStages = 2;    ///< RT1, RT2
+    /** Fetch-redirect penalty when a branch resolves at execute. */
+    unsigned execRedirectPenalty = 8;
+    /** Bubbles for a taken jump initiated at the IP stage (§III.A/B). */
+    unsigned ipRedirectBubbles = 2;
+    /** Bubbles when an L1-BTB correction happens at IB (§III.B). */
+    unsigned ibRedirectBubbles = 3;
+
+    // ------------------------------------------------------ windows
+    unsigned robEntries = 192;    ///< §IV
+    unsigned lqEntries = 32;
+    unsigned sqEntries = 24;
+    /**
+     * Distributed issue queues (§IV: "multiple independent out-of-order
+     * issue queues" feeding the 8 shared slots, age-vector scheduled).
+     * A µop occupies its class's queue from dispatch until issue.
+     */
+    unsigned iqAluEntries = 24;
+    unsigned iqMemEntries = 16;
+    unsigned iqFpEntries = 16;
+
+    // ------------------------------------------------ execution units
+    /**
+     * In-order issue mode for the comparison cores: µops issue in
+     * program order (stall-on-use), bounded by issueWidth.
+     */
+    bool inOrder = false;
+
+    bool lsuDualIssue = true;     ///< dual-issue OoO LSU (§V.A)
+    bool pseudoDualStore = true;  ///< st.addr/st.data split (§V.B)
+    bool memDepPredict = true;    ///< speculation-failure tagging (§V.A)
+    unsigned storeToLoadForwardLat = 1;
+    unsigned orderingFlushPenalty = 12; ///< global flush on violation
+
+    /** Vector datapath: result bits per cycle (2 slices x 128b ops). */
+    unsigned vecBitsPerCycle = 256; ///< §VII: 256-bit results/cycle
+    unsigned vlenBits = 128;        ///< VLEN = SLEN = 128 recommended
+
+    // ------------------------------------------------- predictors etc
+    DirectionParams direction{};
+    BtbParams btb{};
+    LoopBufferParams lbuf{};
+    PrefetcherParams prefetch{};
+    TlbParams tlb{};
+    bool tlbPrefetch = true;      ///< honour prefetcher TLB requests
+
+    TranslationMode translation = TranslationMode::Bare;
+    Addr pageTableRoot = 0;       ///< for TranslationMode::Paged
+    Asid asid = 0;
+    unsigned ptwCacheLatency = 4; ///< per-level PTW overhead cycles
+};
+
+/** An in-order dual-issue configuration ("u74-class" comparison core). */
+CoreParams u74ClassParams();
+
+/** A 2-wide OoO configuration standing in for Cortex-A73 (§X). */
+CoreParams a73ClassParams();
+
+/** A small in-order single-issue MCU-class point (Fig. 17 low end). */
+CoreParams mcuClassParams();
+
+} // namespace xt910
+
+#endif // XT910_CORE_PARAMS_H

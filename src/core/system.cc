@@ -1,0 +1,76 @@
+#include "core/system.h"
+
+#include <ostream>
+
+#include "common/log.h"
+
+namespace xt910
+{
+
+System::System(const SystemConfig &cfg_) : cfg(cfg_)
+{
+    MemSystemParams mp = cfg.mem;
+    mp.numCores = cfg.numCores;
+    memSys = std::make_unique<MemSystem>(mp);
+    IssOptions io = cfg.iss;
+    io.vlenBits = cfg.core.vlenBits ? cfg.core.vlenBits : io.vlenBits;
+    issModel = std::make_unique<Iss>(mem, cfg.numCores, io);
+    for (unsigned c = 0; c < cfg.numCores; ++c)
+        cores.push_back(
+            std::make_unique<XtCore>(c, cfg.core, *memSys, mem));
+}
+
+void
+System::loadProgram(const Program &p)
+{
+    issModel->loadProgram(p);
+}
+
+RunResult
+System::run()
+{
+    RunResult r;
+    r.coreCycles.assign(cfg.numCores, 0);
+    r.coreInsts.assign(cfg.numCores, 0);
+
+    uint64_t n = 0;
+    while (n < cfg.maxInsts && !issModel->allHalted()) {
+        // Step the hart whose timing model is furthest behind so the
+        // shared memory system sees accesses roughly in time order.
+        unsigned pick = 0;
+        bool found = false;
+        for (unsigned c = 0; c < cfg.numCores; ++c) {
+            if (issModel->halted(c))
+                continue;
+            if (!found || cores[c]->cycles() < cores[pick]->cycles()) {
+                pick = c;
+                found = true;
+            }
+        }
+        if (!found)
+            break;
+        ExecRecord rec = issModel->step(pick);
+        cores[pick]->consume(rec);
+        ++n;
+    }
+    if (n >= cfg.maxInsts)
+        xt_warn("run hit the instruction limit (", cfg.maxInsts, ")");
+
+    for (unsigned c = 0; c < cfg.numCores; ++c) {
+        r.coreCycles[c] = cores[c]->cycles();
+        r.coreInsts[c] = cores[c]->retired();
+        r.cycles = std::max(r.cycles, r.coreCycles[c]);
+        r.insts += r.coreInsts[c];
+    }
+    return r;
+}
+
+void
+System::dumpStats(std::ostream &os) const
+{
+    for (const auto &c : cores)
+        c->dumpStats(os);
+    memSys->dumpStats(os);
+}
+
+} // namespace xt910

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * System: the top-level convenience wrapper coupling the functional
+ * simulator (oracle) with one timing core per hart and a shared
+ * coherent memory system. This is the main entry point of the public
+ * API — examples, tests and benchmarks mostly only need this class.
+ *
+ *   Assembler a; ... build program ...
+ *   System sys(SystemConfig{});
+ *   sys.loadProgram(a.assemble());
+ *   auto r = sys.run();
+ *   std::cout << r.ipc() << "\n";
+ */
+
+#ifndef XT910_CORE_SYSTEM_H
+#define XT910_CORE_SYSTEM_H
+
+#include <memory>
+#include <vector>
+
+#include "core/core.h"
+#include "func/iss.h"
+#include "mem/memsystem.h"
+
+namespace xt910
+{
+
+/** Whole-system configuration. */
+struct SystemConfig
+{
+    unsigned numCores = 1;
+    CoreParams core{};          ///< applied to every core
+    MemSystemParams mem{};      ///< numCores is overridden
+    IssOptions iss{};           ///< vlen etc.
+    uint64_t maxInsts = 2'000'000'000;
+};
+
+/** Result of a run. */
+struct RunResult
+{
+    uint64_t insts = 0;        ///< instructions retired (all cores)
+    Cycle cycles = 0;          ///< max cycle count over cores
+    std::vector<Cycle> coreCycles;
+    std::vector<uint64_t> coreInsts;
+
+    double
+    ipc() const
+    {
+        return cycles ? double(insts) / double(cycles) : 0.0;
+    }
+};
+
+/** See file comment. */
+class System
+{
+  public:
+    explicit System(const SystemConfig &cfg);
+
+    /** Load a program; every hart starts at its entry. */
+    void loadProgram(const Program &p);
+
+    /** Run until all harts halt (or maxInsts); returns timing. */
+    RunResult run();
+
+    Iss &iss() { return *issModel; }
+    MemSystem &memSystem() { return *memSys; }
+    XtCore &core(unsigned i = 0) { return *cores[i]; }
+    Memory &memory() { return mem; }
+    const SystemConfig &config() const { return cfg; }
+
+    void dumpStats(std::ostream &os) const;
+
+  private:
+    SystemConfig cfg;
+    Memory mem;
+    std::unique_ptr<MemSystem> memSys;
+    std::unique_ptr<Iss> issModel;
+    std::vector<std::unique_ptr<XtCore>> cores;
+};
+
+} // namespace xt910
+
+#endif // XT910_CORE_SYSTEM_H

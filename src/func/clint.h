@@ -1,0 +1,130 @@
+/**
+ * @file
+ * CLINT-lite: the standard RISC-V core-local interruptor XT-910
+ * integrates (§II — "standard CLint and PLIC multi-core interrupt
+ * controllers, timers"). Memory-mapped at the conventional base:
+ *
+ *   base + 0x0000 + 4*hart  : msip   (software interrupt / IPI)
+ *   base + 0x4000 + 8*hart  : mtimecmp
+ *   base + 0xbff8           : mtime (read-only; advances with
+ *                             retired instructions in this model)
+ *
+ * The ISS routes loads/stores in this window here and takes machine
+ * timer/software interrupts when mstatus.MIE and the mie bits allow.
+ */
+
+#ifndef XT910_FUNC_CLINT_H
+#define XT910_FUNC_CLINT_H
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace xt910
+{
+
+/** See file comment. */
+class Clint
+{
+  public:
+    static constexpr Addr defaultBase = 0x0200'0000;
+    static constexpr Addr msipOff = 0x0;
+    static constexpr Addr mtimecmpOff = 0x4000;
+    static constexpr Addr mtimeOff = 0xbff8;
+    static constexpr Addr windowSize = 0xc000;
+
+    explicit Clint(unsigned numHarts, Addr base_ = defaultBase)
+        : base(base_), msip(numHarts, 0),
+          mtimecmp(numHarts, ~uint64_t(0))
+    {}
+
+    bool
+    contains(Addr a) const
+    {
+        return a >= base && a < base + windowSize;
+    }
+
+    /** Device read (1..8 bytes). */
+    uint64_t
+    read(Addr a, unsigned size) const
+    {
+        uint64_t v = regRead(a & ~Addr(7));
+        unsigned shift = unsigned(a & 7) * 8;
+        uint64_t maskv = size >= 8 ? ~0ull : ((1ull << (size * 8)) - 1);
+        return (v >> shift) & maskv;
+    }
+
+    /** Device write (1..8 bytes). */
+    void
+    write(Addr a, unsigned size, uint64_t value)
+    {
+        Addr reg = a & ~Addr(7);
+        uint64_t old = regRead(reg);
+        unsigned shift = unsigned(a & 7) * 8;
+        uint64_t maskv = size >= 8 ? ~0ull : ((1ull << (size * 8)) - 1);
+        uint64_t next =
+            (old & ~(maskv << shift)) | ((value & maskv) << shift);
+        regWrite(reg, next);
+    }
+
+    /** Advance the time base (the ISS ticks once per instruction). */
+    void tick(uint64_t n = 1) { mtime += n; }
+
+    bool
+    timerPending(unsigned hart) const
+    {
+        return mtime >= mtimecmp[hart];
+    }
+
+    bool softwarePending(unsigned hart) const { return msip[hart] & 1; }
+    void clearSoftware(unsigned hart) { msip[hart] = 0; }
+    void raiseSoftware(unsigned hart) { msip[hart] = 1; }
+
+    uint64_t time() const { return mtime; }
+    Addr baseAddr() const { return base; }
+
+  private:
+    uint64_t
+    regRead(Addr reg) const
+    {
+        Addr off = reg - base;
+        if (off >= mtimecmpOff && off < mtimecmpOff + 8 * msip.size())
+            return mtimecmp[(off - mtimecmpOff) / 8];
+        if (off == (mtimeOff & ~Addr(7)))
+            return mtime;
+        if (off < msipOff + 4 * msip.size()) {
+            // Two 32-bit msip registers share one 64-bit word.
+            unsigned h = unsigned((off - msipOff) / 4);
+            uint64_t lo = h < msip.size() ? msip[h] : 0;
+            uint64_t hi = h + 1 < msip.size() ? msip[h + 1] : 0;
+            return lo | (hi << 32);
+        }
+        return 0;
+    }
+
+    void
+    regWrite(Addr reg, uint64_t v)
+    {
+        Addr off = reg - base;
+        if (off >= mtimecmpOff && off < mtimecmpOff + 8 * msip.size()) {
+            mtimecmp[(off - mtimecmpOff) / 8] = v;
+            return;
+        }
+        if (off < msipOff + 4 * msip.size()) {
+            unsigned h = unsigned((off - msipOff) / 4);
+            if (h < msip.size())
+                msip[h] = uint32_t(v) & 1;
+            if (h + 1 < msip.size())
+                msip[h + 1] = uint32_t(v >> 32) & 1;
+        }
+    }
+
+    Addr base;
+    uint64_t mtime = 0;
+    std::vector<uint32_t> msip;
+    std::vector<uint64_t> mtimecmp;
+};
+
+} // namespace xt910
+
+#endif // XT910_FUNC_CLINT_H

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * CSR numbers the model understands. Only the registers the paper's
+ * workloads and experiments touch are implemented; everything else
+ * reads as zero and ignores writes (with a one-time warning).
+ */
+
+#ifndef XT910_FUNC_CSR_H
+#define XT910_FUNC_CSR_H
+
+#include <cstdint>
+
+namespace xt910
+{
+namespace csr
+{
+
+constexpr uint32_t mstatus = 0x300;
+constexpr uint32_t mtvec = 0x305;
+constexpr uint32_t mie = 0x304;
+constexpr uint32_t mepc = 0x341;
+constexpr uint32_t mcause = 0x342;
+constexpr uint32_t mip = 0x344;
+constexpr uint32_t satp = 0x180;
+constexpr uint32_t mhartid = 0xf14;
+constexpr uint32_t cycle = 0xc00;
+constexpr uint32_t time = 0xc01;
+constexpr uint32_t instret = 0xc02;
+// V-extension 0.7.1 CSRs.
+constexpr uint32_t vstart = 0x008;
+constexpr uint32_t vl = 0xc20;
+constexpr uint32_t vtype = 0xc21;
+constexpr uint32_t vlenb = 0xc22;
+// XT-910 custom: 16-bit wide ASID lives in a custom context register
+// (the paper extends the ASID to 16 bits, §V.E).
+constexpr uint32_t xt_asid = 0x7c0;
+
+} // namespace csr
+} // namespace xt910
+
+#endif // XT910_FUNC_CSR_H

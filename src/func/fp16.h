@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Minimal IEEE-754 binary16 conversion helpers. XT-910's vector unit
+ * supports half-precision (a differentiator over Cortex-A73 NEON per
+ * §X); the functional model converts through float for arithmetic.
+ */
+
+#ifndef XT910_FUNC_FP16_H
+#define XT910_FUNC_FP16_H
+
+#include <cstdint>
+#include <cstring>
+
+namespace xt910
+{
+
+/** Convert binary16 bits to float. */
+inline float
+fp16ToFloat(uint16_t h)
+{
+    uint32_t sign = (h >> 15) & 1;
+    uint32_t exp = (h >> 10) & 0x1f;
+    uint32_t frac = h & 0x3ff;
+    uint32_t out;
+    if (exp == 0) {
+        if (frac == 0) {
+            out = sign << 31;
+        } else {
+            // Subnormal: normalize.
+            int e = -1;
+            do {
+                frac <<= 1;
+                ++e;
+            } while (!(frac & 0x400));
+            frac &= 0x3ff;
+            out = (sign << 31) | (uint32_t(127 - 15 - e) << 23) |
+                  (frac << 13);
+        }
+    } else if (exp == 0x1f) {
+        out = (sign << 31) | 0x7f800000 | (frac << 13);
+    } else {
+        out = (sign << 31) | ((exp - 15 + 127) << 23) | (frac << 13);
+    }
+    float f;
+    std::memcpy(&f, &out, 4);
+    return f;
+}
+
+/** Convert float to binary16 bits (round to nearest even). */
+inline uint16_t
+floatToFp16(float f)
+{
+    uint32_t x;
+    std::memcpy(&x, &f, 4);
+    uint32_t sign = (x >> 31) & 1;
+    int32_t exp = int32_t((x >> 23) & 0xff) - 127 + 15;
+    uint32_t frac = x & 0x7fffff;
+    if (((x >> 23) & 0xff) == 0xff) // inf/nan
+        return uint16_t((sign << 15) | 0x7c00 | (frac ? 0x200 : 0));
+    if (exp >= 0x1f) // overflow -> inf
+        return uint16_t((sign << 15) | 0x7c00);
+    if (exp <= 0) {
+        if (exp < -10)
+            return uint16_t(sign << 15); // underflow to zero
+        // Subnormal result.
+        frac |= 0x800000;
+        unsigned shift = unsigned(14 - exp);
+        uint32_t half = frac >> shift;
+        uint32_t rem = frac & ((1u << shift) - 1);
+        uint32_t halfway = 1u << (shift - 1);
+        if (rem > halfway || (rem == halfway && (half & 1)))
+            ++half;
+        return uint16_t((sign << 15) | half);
+    }
+    // Normal: round mantissa from 23 to 10 bits.
+    uint32_t half = frac >> 13;
+    uint32_t rem = frac & 0x1fff;
+    if (rem > 0x1000 || (rem == 0x1000 && (half & 1)))
+        ++half;
+    if (half == 0x400) {
+        half = 0;
+        ++exp;
+        if (exp >= 0x1f)
+            return uint16_t((sign << 15) | 0x7c00);
+    }
+    return uint16_t((sign << 15) | (uint32_t(exp) << 10) | half);
+}
+
+} // namespace xt910
+
+#endif // XT910_FUNC_FP16_H

@@ -1,0 +1,1077 @@
+#include "func/iss.h"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+#include "common/bitutil.h"
+#include "common/log.h"
+#include "func/csr.h"
+#include "func/fp16.h"
+#include "isa/disasm.h"
+
+namespace xt910
+{
+
+namespace
+{
+
+double
+bitsToD(uint64_t b)
+{
+    return std::bit_cast<double>(b);
+}
+
+uint64_t
+dToBits(double d)
+{
+    return std::bit_cast<uint64_t>(d);
+}
+
+float
+bitsToF(uint64_t b)
+{
+    return std::bit_cast<float>(uint32_t(b));
+}
+
+uint64_t
+fToBits(float f)
+{
+    return uint64_t(std::bit_cast<uint32_t>(f)) | 0xffffffff00000000ull;
+}
+
+/** Read vector element @p i of the group starting at @p base. */
+uint64_t
+vGet(const ArchState &s, unsigned base, unsigned i, unsigned sewBits,
+     unsigned vlenBits)
+{
+    unsigned perReg = vlenBits / sewBits;
+    unsigned r = base + i / perReg;
+    unsigned slot = i % perReg;
+    unsigned bytes = sewBits / 8;
+    uint64_t v = 0;
+    std::memcpy(&v, s.v[r & 31].data() + size_t(slot) * bytes, bytes);
+    return v;
+}
+
+/** Write vector element @p i of the group starting at @p base. */
+void
+vSet(ArchState &s, unsigned base, unsigned i, unsigned sewBits,
+     unsigned vlenBits, uint64_t val)
+{
+    unsigned perReg = vlenBits / sewBits;
+    unsigned r = base + i / perReg;
+    unsigned slot = i % perReg;
+    unsigned bytes = sewBits / 8;
+    std::memcpy(s.v[r & 31].data() + size_t(slot) * bytes, &val, bytes);
+}
+
+/** Mask bit @p i lives in v0 (one bit per element, LSB-first). */
+bool
+maskBit(const ArchState &s, unsigned i)
+{
+    return (s.v[0][i / 8] >> (i % 8)) & 1;
+}
+
+int64_t
+sextSew(uint64_t v, unsigned sewBits)
+{
+    return sext(v, sewBits);
+}
+
+/** Interpret an element as double given SEW (16/32/64). */
+double
+vElemToF(uint64_t raw, unsigned sewBits)
+{
+    switch (sewBits) {
+      case 16: return double(fp16ToFloat(uint16_t(raw)));
+      case 32: return double(std::bit_cast<float>(uint32_t(raw)));
+      default: return std::bit_cast<double>(raw);
+    }
+}
+
+uint64_t
+fToVElem(double d, unsigned sewBits)
+{
+    switch (sewBits) {
+      case 16: return floatToFp16(float(d));
+      case 32: return std::bit_cast<uint32_t>(float(d));
+      default: return std::bit_cast<uint64_t>(d);
+    }
+}
+
+} // namespace
+
+Iss::Iss(Memory &mem_, unsigned numHarts, IssOptions opts_)
+    : mem(mem_), opts(opts_), harts(numHarts), clintDev(numHarts)
+{
+    xt_assert(isPow2(opts.vlenBits) && opts.vlenBits >= 64 &&
+                  opts.vlenBits <= 2048,
+              "VLEN must be a power of two in [64, 2048]");
+    for (unsigned i = 0; i < numHarts; ++i) {
+        harts[i].csrs[csr::mhartid] = i;
+        // Give each hart its own 1 MiB stack below stackBase.
+        harts[i].x[2] = opts.stackBase - uint64_t(i) * 0x100000;
+    }
+}
+
+void
+Iss::loadProgram(const Program &p)
+{
+    mem.loadProgram(p);
+    decodeCache.clear();
+    for (auto &h : harts) {
+        h.pc = p.entry;
+        h.halted = false;
+        h.instret = 0;
+    }
+}
+
+bool
+Iss::allHalted() const
+{
+    for (const auto &h : harts)
+        if (!h.halted)
+            return false;
+    return true;
+}
+
+uint64_t
+Iss::run(uint64_t maxInsts)
+{
+    uint64_t n = 0;
+    while (n < maxInsts && !allHalted()) {
+        for (unsigned h = 0; h < harts.size(); ++h) {
+            if (!harts[h].halted) {
+                step(h);
+                ++n;
+            }
+        }
+    }
+    return n;
+}
+
+const DecodedInst &
+Iss::fetchDecode(Addr pc)
+{
+    auto it = decodeCache.find(pc);
+    if (it != decodeCache.end())
+        return it->second;
+    uint32_t lo = uint32_t(mem.read(pc, 2));
+    uint32_t w = lo;
+    if ((lo & 3) == 3)
+        w |= uint32_t(mem.read(pc + 2, 2)) << 16;
+    DecodedInst di = decode(w);
+    if (!di.valid())
+        xt_fatal("illegal instruction at pc 0x", std::hex, pc, ": 0x", w);
+    if (!opts.enableCustom && isCustom(di.op))
+        xt_fatal("custom instruction ", mnemonic(di.op),
+                 " while custom extensions are disabled (pc 0x", std::hex,
+                 pc, ")");
+    return decodeCache.emplace(pc, di).first->second;
+}
+
+uint64_t
+Iss::readCsr(ArchState &s, uint32_t num) const
+{
+    switch (num) {
+      case csr::cycle:
+      case csr::time:
+      case csr::instret:
+        return s.instret;
+      case csr::vl:
+        return s.vl;
+      case csr::vtype:
+        return encodeVtype(s.vtype);
+      case csr::vlenb:
+        return opts.vlenBits / 8;
+      default: {
+        auto it = s.csrs.find(num);
+        return it == s.csrs.end() ? 0 : it->second;
+      }
+    }
+}
+
+void
+Iss::writeCsr(ArchState &s, uint32_t num, uint64_t v)
+{
+    s.csrs[num] = v;
+}
+
+void
+Iss::invalidateReservations(Addr addr, const ArchState *except)
+{
+    Addr line = lineAlign(addr);
+    for (auto &h : harts) {
+        if (&h != except && h.resValid && lineAlign(h.resAddr) == line)
+            h.resValid = false;
+    }
+}
+
+void
+Iss::maybeTakeInterrupt(ArchState &s, unsigned hartId)
+{
+    if (!opts.enableClint)
+        return;
+    uint64_t mstatusV = readCsr(s, csr::mstatus);
+    if (!(mstatusV & 0x8)) // mstatus.MIE
+        return;
+    uint64_t mieV = readCsr(s, csr::mie);
+    bool timer = (mieV & (1ull << 7)) && clintDev.timerPending(hartId);
+    bool soft = (mieV & (1ull << 3)) && clintDev.softwarePending(hartId);
+    if (!timer && !soft)
+        return;
+    // Machine trap entry: save pc/cause, stash MIE into MPIE, vector.
+    writeCsr(s, csr::mepc, s.pc);
+    writeCsr(s, csr::mcause,
+             (1ull << 63) | uint64_t(timer ? 7 : 3));
+    uint64_t next = (mstatusV & ~0x8ull) | ((mstatusV & 0x8) << 4);
+    writeCsr(s, csr::mstatus, next);
+    s.pc = readCsr(s, csr::mtvec) & ~Addr(3);
+}
+
+ExecRecord
+Iss::step(unsigned hartId)
+{
+    ArchState &s = harts[hartId];
+    ExecRecord rec;
+    if (s.halted) {
+        rec.halted = true;
+        return rec;
+    }
+    if (opts.enableClint)
+        clintDev.tick();
+    maybeTakeInterrupt(s, hartId);
+    const DecodedInst &di = fetchDecode(s.pc);
+    rec = execute(s, di, s.pc);
+    s.pc = rec.nextPc;
+    ++s.instret;
+    return rec;
+}
+
+ExecRecord
+Iss::execute(ArchState &s, const DecodedInst &di, Addr pc)
+{
+    using O = Opcode;
+    ExecRecord rec;
+    rec.pc = pc;
+    rec.di = di;
+    rec.nextPc = pc + di.len;
+
+    const uint64_t rs1 = s.readX(di.rs1 == invalidReg ? 0 : di.rs1 & 31);
+    const uint64_t rs2 = s.readX(di.rs2 == invalidReg ? 0 : di.rs2 & 31);
+    const int64_t imm = di.imm;
+    auto wr = [&](uint64_t v) { s.writeX(di.rd, v); };
+    auto wr32 = [&](int64_t v) { s.writeX(di.rd, uint64_t(int32_t(v))); };
+
+    auto doLoad = [&](unsigned size, bool sign) {
+        Addr a = rs1 + uint64_t(imm);
+        uint64_t v = opts.enableClint && clintDev.contains(a)
+                         ? clintDev.read(a, size)
+                         : mem.read(a, size);
+        rec.memAddr = a;
+        rec.memSize = size;
+        wr(sign ? uint64_t(sext(v, size * 8)) : v);
+    };
+    auto doStore = [&](unsigned size) {
+        Addr a = rs1 + uint64_t(imm);
+        if (opts.enableClint && clintDev.contains(a))
+            clintDev.write(a, size, rs2);
+        else
+            mem.write(a, size, rs2);
+        rec.memAddr = a;
+        rec.memSize = size;
+        invalidateReservations(a, nullptr);
+    };
+    auto branch = [&](bool cond) {
+        if (cond) {
+            rec.taken = true;
+            rec.nextPc = pc + uint64_t(imm);
+        }
+    };
+    // XT-910 indexed addressing: base + (index << shamt2).
+    auto xtAddr = [&](bool unsignedIdx) {
+        uint64_t idx = unsignedIdx ? uint64_t(uint32_t(rs2)) : rs2;
+        return rs1 + (idx << di.shamt2);
+    };
+    auto xtLoad = [&](unsigned size, bool sign, bool uidx) {
+        Addr a = xtAddr(uidx);
+        uint64_t v = mem.read(a, size);
+        rec.memAddr = a;
+        rec.memSize = size;
+        wr(sign ? uint64_t(sext(v, size * 8)) : v);
+    };
+    auto xtStore = [&](unsigned size) {
+        Addr a = xtAddr(false);
+        mem.write(a, size, s.readX(di.rs3 & 31));
+        rec.memAddr = a;
+        rec.memSize = size;
+        invalidateReservations(a, nullptr);
+    };
+    auto amoW = [&](auto fn) {
+        Addr a = rs1;
+        int32_t old = int32_t(mem.read(a, 4));
+        mem.write(a, 4, uint64_t(uint32_t(fn(old, int32_t(rs2)))));
+        wr(uint64_t(int64_t(old)));
+        rec.memAddr = a;
+        rec.memSize = 4;
+        invalidateReservations(a, nullptr);
+    };
+    auto amoD = [&](auto fn) {
+        Addr a = rs1;
+        int64_t old = int64_t(mem.read(a, 8));
+        mem.write(a, 8, uint64_t(fn(old, int64_t(rs2))));
+        wr(uint64_t(old));
+        rec.memAddr = a;
+        rec.memSize = 8;
+        invalidateReservations(a, nullptr);
+    };
+    auto frd1 = [&] { return bitsToD(s.f[di.rs1 & 31]); };
+    auto frd2 = [&] { return bitsToD(s.f[di.rs2 & 31]); };
+    auto frd3 = [&] { return bitsToD(s.f[di.rs3 & 31]); };
+    auto frs1 = [&] { return bitsToF(s.f[di.rs1 & 31]); };
+    auto frs2 = [&] { return bitsToF(s.f[di.rs2 & 31]); };
+    auto frs3 = [&] { return bitsToF(s.f[di.rs3 & 31]); };
+    auto wfd = [&](double d) { s.f[di.rd & 31] = dToBits(d); };
+    auto wfs = [&](float f) { s.f[di.rd & 31] = fToBits(f); };
+
+    switch (di.op) {
+      // ------------------------------------------------------ RV64I
+      case O::LUI: wr(uint64_t(imm)); break;
+      case O::AUIPC: wr(pc + uint64_t(imm)); break;
+      case O::JAL:
+        wr(pc + di.len);
+        rec.taken = true;
+        rec.nextPc = pc + uint64_t(imm);
+        break;
+      case O::JALR:
+        wr(pc + di.len);
+        rec.taken = true;
+        rec.nextPc = (rs1 + uint64_t(imm)) & ~Addr(1);
+        break;
+      case O::BEQ: branch(rs1 == rs2); break;
+      case O::BNE: branch(rs1 != rs2); break;
+      case O::BLT: branch(int64_t(rs1) < int64_t(rs2)); break;
+      case O::BGE: branch(int64_t(rs1) >= int64_t(rs2)); break;
+      case O::BLTU: branch(rs1 < rs2); break;
+      case O::BGEU: branch(rs1 >= rs2); break;
+      case O::LB: doLoad(1, true); break;
+      case O::LH: doLoad(2, true); break;
+      case O::LW: doLoad(4, true); break;
+      case O::LD: doLoad(8, true); break;
+      case O::LBU: doLoad(1, false); break;
+      case O::LHU: doLoad(2, false); break;
+      case O::LWU: doLoad(4, false); break;
+      case O::SB: doStore(1); break;
+      case O::SH: doStore(2); break;
+      case O::SW: doStore(4); break;
+      case O::SD: doStore(8); break;
+      case O::ADDI: wr(rs1 + uint64_t(imm)); break;
+      case O::SLTI: wr(int64_t(rs1) < imm); break;
+      case O::SLTIU: wr(rs1 < uint64_t(imm)); break;
+      case O::XORI: wr(rs1 ^ uint64_t(imm)); break;
+      case O::ORI: wr(rs1 | uint64_t(imm)); break;
+      case O::ANDI: wr(rs1 & uint64_t(imm)); break;
+      case O::SLLI: wr(rs1 << (imm & 63)); break;
+      case O::SRLI: wr(rs1 >> (imm & 63)); break;
+      case O::SRAI: wr(uint64_t(int64_t(rs1) >> (imm & 63))); break;
+      case O::ADD: wr(rs1 + rs2); break;
+      case O::SUB: wr(rs1 - rs2); break;
+      case O::SLL: wr(rs1 << (rs2 & 63)); break;
+      case O::SLT: wr(int64_t(rs1) < int64_t(rs2)); break;
+      case O::SLTU: wr(rs1 < rs2); break;
+      case O::XOR: wr(rs1 ^ rs2); break;
+      case O::SRL: wr(rs1 >> (rs2 & 63)); break;
+      case O::SRA: wr(uint64_t(int64_t(rs1) >> (rs2 & 63))); break;
+      case O::OR: wr(rs1 | rs2); break;
+      case O::AND: wr(rs1 & rs2); break;
+      case O::ADDIW: wr32(int64_t(rs1) + imm); break;
+      case O::SLLIW: wr32(int64_t(uint32_t(rs1) << (imm & 31))); break;
+      case O::SRLIW: wr32(int64_t(int32_t(uint32_t(rs1) >> (imm & 31)))); break;
+      case O::SRAIW: wr32(int32_t(rs1) >> (imm & 31)); break;
+      case O::ADDW: wr32(int64_t(rs1) + int64_t(rs2)); break;
+      case O::SUBW: wr32(int64_t(rs1) - int64_t(rs2)); break;
+      case O::SLLW: wr32(int64_t(uint32_t(rs1) << (rs2 & 31))); break;
+      case O::SRLW: wr32(int64_t(int32_t(uint32_t(rs1) >> (rs2 & 31)))); break;
+      case O::SRAW: wr32(int32_t(rs1) >> (rs2 & 31)); break;
+      case O::FENCE:
+        break;
+      case O::FENCE_I:
+        decodeCache.clear();
+        break;
+      case O::ECALL: {
+        uint64_t num = s.readX(17); // a7
+        uint64_t a0 = s.readX(10);
+        if (num == 93) { // exit
+            s.halted = true;
+            s.exitCode = int(a0);
+            rec.halted = true;
+        } else if (num == 64) { // write one char from a0
+            consoleBuf.push_back(char(a0));
+        } else {
+            xt_warn("unhandled ecall ", num, "; ignored");
+        }
+        break;
+      }
+      case O::EBREAK:
+        s.halted = true;
+        rec.halted = true;
+        break;
+      case O::MRET: {
+        rec.taken = true;
+        rec.nextPc = readCsr(s, csr::mepc);
+        uint64_t ms = readCsr(s, csr::mstatus);
+        // Restore MIE from MPIE; set MPIE.
+        ms = (ms & ~0x8ull) | ((ms >> 4) & 0x8);
+        ms |= 0x80;
+        writeCsr(s, csr::mstatus, ms);
+        break;
+      }
+      case O::SRET:
+        rec.taken = true;
+        rec.nextPc = readCsr(s, csr::mepc);
+        break;
+      case O::WFI:
+      case O::SFENCE_VMA:
+        break;
+
+      // ------------------------------------------------------ Zicsr
+      case O::CSRRW:
+      case O::CSRRS:
+      case O::CSRRC:
+      case O::CSRRWI:
+      case O::CSRRSI:
+      case O::CSRRCI: {
+        uint32_t num = uint32_t(imm) & 0xfff;
+        uint64_t old = readCsr(s, num);
+        uint64_t operand =
+            (di.op == O::CSRRWI || di.op == O::CSRRSI ||
+             di.op == O::CSRRCI)
+                ? uint64_t(di.rs1 & 31)
+                : rs1;
+        uint64_t next = old;
+        if (di.op == O::CSRRW || di.op == O::CSRRWI)
+            next = operand;
+        else if (di.op == O::CSRRS || di.op == O::CSRRSI)
+            next = old | operand;
+        else
+            next = old & ~operand;
+        if (next != old ||
+            (di.op == O::CSRRW || di.op == O::CSRRWI))
+            writeCsr(s, num, next);
+        wr(old);
+        break;
+      }
+
+      // ------------------------------------------------------ RV64M
+      case O::MUL: wr(rs1 * rs2); break;
+      case O::MULH:
+        wr(uint64_t((__int128(int64_t(rs1)) * __int128(int64_t(rs2))) >> 64));
+        break;
+      case O::MULHSU:
+        wr(uint64_t((__int128(int64_t(rs1)) * __int128(rs2)) >> 64));
+        break;
+      case O::MULHU:
+        using u128 = unsigned __int128;
+        wr(uint64_t((u128(rs1) * u128(rs2)) >> 64));
+        break;
+      case O::DIV: {
+        int64_t a = int64_t(rs1), b = int64_t(rs2);
+        wr(b == 0 ? ~0ull
+                  : (a == INT64_MIN && b == -1) ? uint64_t(a)
+                                                : uint64_t(a / b));
+        break;
+      }
+      case O::DIVU: wr(rs2 == 0 ? ~0ull : rs1 / rs2); break;
+      case O::REM: {
+        int64_t a = int64_t(rs1), b = int64_t(rs2);
+        wr(b == 0 ? uint64_t(a)
+                  : (a == INT64_MIN && b == -1) ? 0 : uint64_t(a % b));
+        break;
+      }
+      case O::REMU: wr(rs2 == 0 ? rs1 : rs1 % rs2); break;
+      case O::MULW: wr32(int64_t(int32_t(rs1)) * int32_t(rs2)); break;
+      case O::DIVW: {
+        int32_t a = int32_t(rs1), b = int32_t(rs2);
+        wr32(b == 0 ? -1 : (a == INT32_MIN && b == -1) ? a : a / b);
+        break;
+      }
+      case O::DIVUW: {
+        uint32_t a = uint32_t(rs1), b = uint32_t(rs2);
+        wr32(b == 0 ? -1 : int32_t(a / b));
+        break;
+      }
+      case O::REMW: {
+        int32_t a = int32_t(rs1), b = int32_t(rs2);
+        wr32(b == 0 ? a : (a == INT32_MIN && b == -1) ? 0 : a % b);
+        break;
+      }
+      case O::REMUW: {
+        uint32_t a = uint32_t(rs1), b = uint32_t(rs2);
+        wr32(b == 0 ? int32_t(a) : int32_t(a % b));
+        break;
+      }
+
+      // ------------------------------------------------------ RV64A
+      case O::LR_W: {
+        wr(uint64_t(int64_t(int32_t(mem.read(rs1, 4)))));
+        s.resValid = true;
+        s.resAddr = rs1;
+        rec.memAddr = rs1;
+        rec.memSize = 4;
+        break;
+      }
+      case O::LR_D: {
+        wr(mem.read(rs1, 8));
+        s.resValid = true;
+        s.resAddr = rs1;
+        rec.memAddr = rs1;
+        rec.memSize = 8;
+        break;
+      }
+      case O::SC_W:
+      case O::SC_D: {
+        unsigned size = di.op == O::SC_W ? 4 : 8;
+        bool ok = s.resValid && lineAlign(s.resAddr) == lineAlign(rs1);
+        if (ok) {
+            mem.write(rs1, size, rs2);
+            invalidateReservations(rs1, nullptr);
+        }
+        s.resValid = false;
+        wr(ok ? 0 : 1);
+        rec.memAddr = rs1;
+        rec.memSize = size;
+        break;
+      }
+      case O::AMOSWAP_W: amoW([](int32_t, int32_t b) { return b; }); break;
+      case O::AMOADD_W: amoW([](int32_t a, int32_t b) { return a + b; }); break;
+      case O::AMOXOR_W: amoW([](int32_t a, int32_t b) { return a ^ b; }); break;
+      case O::AMOAND_W: amoW([](int32_t a, int32_t b) { return a & b; }); break;
+      case O::AMOOR_W: amoW([](int32_t a, int32_t b) { return a | b; }); break;
+      case O::AMOMIN_W: amoW([](int32_t a, int32_t b) { return std::min(a, b); }); break;
+      case O::AMOMAX_W: amoW([](int32_t a, int32_t b) { return std::max(a, b); }); break;
+      case O::AMOMINU_W:
+        amoW([](int32_t a, int32_t b) {
+            return int32_t(std::min(uint32_t(a), uint32_t(b)));
+        });
+        break;
+      case O::AMOMAXU_W:
+        amoW([](int32_t a, int32_t b) {
+            return int32_t(std::max(uint32_t(a), uint32_t(b)));
+        });
+        break;
+      case O::AMOSWAP_D: amoD([](int64_t, int64_t b) { return b; }); break;
+      case O::AMOADD_D: amoD([](int64_t a, int64_t b) { return a + b; }); break;
+      case O::AMOXOR_D: amoD([](int64_t a, int64_t b) { return a ^ b; }); break;
+      case O::AMOAND_D: amoD([](int64_t a, int64_t b) { return a & b; }); break;
+      case O::AMOOR_D: amoD([](int64_t a, int64_t b) { return a | b; }); break;
+      case O::AMOMIN_D: amoD([](int64_t a, int64_t b) { return std::min(a, b); }); break;
+      case O::AMOMAX_D: amoD([](int64_t a, int64_t b) { return std::max(a, b); }); break;
+      case O::AMOMINU_D:
+        amoD([](int64_t a, int64_t b) {
+            return int64_t(std::min(uint64_t(a), uint64_t(b)));
+        });
+        break;
+      case O::AMOMAXU_D:
+        amoD([](int64_t a, int64_t b) {
+            return int64_t(std::max(uint64_t(a), uint64_t(b)));
+        });
+        break;
+
+      // ----------------------------------------------------- RV64F/D
+      case O::FLW: {
+        Addr a = rs1 + uint64_t(imm);
+        s.f[di.rd & 31] = mem.read(a, 4) | 0xffffffff00000000ull;
+        rec.memAddr = a;
+        rec.memSize = 4;
+        break;
+      }
+      case O::FLD: {
+        Addr a = rs1 + uint64_t(imm);
+        s.f[di.rd & 31] = mem.read(a, 8);
+        rec.memAddr = a;
+        rec.memSize = 8;
+        break;
+      }
+      case O::FSW: {
+        Addr a = rs1 + uint64_t(imm);
+        mem.write(a, 4, s.f[di.rs2 & 31]);
+        rec.memAddr = a;
+        rec.memSize = 4;
+        invalidateReservations(a, nullptr);
+        break;
+      }
+      case O::FSD: {
+        Addr a = rs1 + uint64_t(imm);
+        mem.write(a, 8, s.f[di.rs2 & 31]);
+        rec.memAddr = a;
+        rec.memSize = 8;
+        invalidateReservations(a, nullptr);
+        break;
+      }
+      case O::FADD_S: wfs(frs1() + frs2()); break;
+      case O::FSUB_S: wfs(frs1() - frs2()); break;
+      case O::FMUL_S: wfs(frs1() * frs2()); break;
+      case O::FDIV_S: wfs(frs1() / frs2()); break;
+      case O::FSQRT_S: wfs(std::sqrt(frs1())); break;
+      case O::FMADD_S: wfs(frs1() * frs2() + frs3()); break;
+      case O::FMSUB_S: wfs(frs1() * frs2() - frs3()); break;
+      case O::FNMSUB_S: wfs(-(frs1() * frs2()) + frs3()); break;
+      case O::FNMADD_S: wfs(-(frs1() * frs2()) - frs3()); break;
+      case O::FADD_D: wfd(frd1() + frd2()); break;
+      case O::FSUB_D: wfd(frd1() - frd2()); break;
+      case O::FMUL_D: wfd(frd1() * frd2()); break;
+      case O::FDIV_D: wfd(frd1() / frd2()); break;
+      case O::FSQRT_D: wfd(std::sqrt(frd1())); break;
+      case O::FMADD_D: wfd(frd1() * frd2() + frd3()); break;
+      case O::FMSUB_D: wfd(frd1() * frd2() - frd3()); break;
+      case O::FNMSUB_D: wfd(-(frd1() * frd2()) + frd3()); break;
+      case O::FNMADD_D: wfd(-(frd1() * frd2()) - frd3()); break;
+      case O::FSGNJ_S:
+        wfs(std::copysign(std::fabs(frs1()), frs2()));
+        break;
+      case O::FSGNJN_S:
+        wfs(std::copysign(std::fabs(frs1()), -frs2()));
+        break;
+      case O::FSGNJX_S: {
+        uint32_t a = std::bit_cast<uint32_t>(frs1());
+        uint32_t b = std::bit_cast<uint32_t>(frs2());
+        wfs(std::bit_cast<float>(uint32_t(a ^ (b & 0x80000000u))));
+        break;
+      }
+      case O::FSGNJ_D: wfd(std::copysign(std::fabs(frd1()), frd2())); break;
+      case O::FSGNJN_D:
+        wfd(std::copysign(std::fabs(frd1()), -frd2()));
+        break;
+      case O::FSGNJX_D: {
+        uint64_t a = dToBits(frd1());
+        uint64_t b = dToBits(frd2());
+        wfd(bitsToD(a ^ (b & 0x8000000000000000ull)));
+        break;
+      }
+      case O::FMIN_S: wfs(std::fmin(frs1(), frs2())); break;
+      case O::FMAX_S: wfs(std::fmax(frs1(), frs2())); break;
+      case O::FMIN_D: wfd(std::fmin(frd1(), frd2())); break;
+      case O::FMAX_D: wfd(std::fmax(frd1(), frd2())); break;
+      case O::FEQ_S: wr(frs1() == frs2()); break;
+      case O::FLT_S: wr(frs1() < frs2()); break;
+      case O::FLE_S: wr(frs1() <= frs2()); break;
+      case O::FEQ_D: wr(frd1() == frd2()); break;
+      case O::FLT_D: wr(frd1() < frd2()); break;
+      case O::FLE_D: wr(frd1() <= frd2()); break;
+      case O::FCLASS_S:
+      case O::FCLASS_D: {
+        double v = di.op == O::FCLASS_S ? double(frs1()) : frd1();
+        uint64_t cls;
+        if (std::isnan(v))
+            cls = 1 << 9;
+        else if (std::isinf(v))
+            cls = v < 0 ? 1 << 0 : 1 << 7;
+        else if (v == 0)
+            cls = std::signbit(v) ? 1 << 3 : 1 << 4;
+        else
+            cls = v < 0 ? 1 << 1 : 1 << 6;
+        wr(cls);
+        break;
+      }
+      case O::FCVT_W_S: wr32(int32_t(frs1())); break;
+      case O::FCVT_WU_S: wr32(int32_t(uint32_t(frs1()))); break;
+      case O::FCVT_L_S: wr(uint64_t(int64_t(frs1()))); break;
+      case O::FCVT_LU_S: wr(uint64_t(frs1())); break;
+      case O::FCVT_S_W: wfs(float(int32_t(rs1))); break;
+      case O::FCVT_S_WU: wfs(float(uint32_t(rs1))); break;
+      case O::FCVT_S_L: wfs(float(int64_t(rs1))); break;
+      case O::FCVT_S_LU: wfs(float(rs1)); break;
+      case O::FCVT_W_D: wr32(int32_t(frd1())); break;
+      case O::FCVT_WU_D: wr32(int32_t(uint32_t(frd1()))); break;
+      case O::FCVT_L_D: wr(uint64_t(int64_t(frd1()))); break;
+      case O::FCVT_LU_D: wr(uint64_t(frd1())); break;
+      case O::FCVT_D_W: wfd(double(int32_t(rs1))); break;
+      case O::FCVT_D_WU: wfd(double(uint32_t(rs1))); break;
+      case O::FCVT_D_L: wfd(double(int64_t(rs1))); break;
+      case O::FCVT_D_LU: wfd(double(rs1)); break;
+      case O::FCVT_S_D: wfs(float(frd1())); break;
+      case O::FCVT_D_S: wfd(double(frs1())); break;
+      case O::FMV_X_W: wr(uint64_t(int64_t(int32_t(s.f[di.rs1 & 31])))); break;
+      case O::FMV_W_X: s.f[di.rd & 31] = rs1 | 0xffffffff00000000ull; break;
+      case O::FMV_X_D: wr(s.f[di.rs1 & 31]); break;
+      case O::FMV_D_X: s.f[di.rd & 31] = rs1; break;
+
+      // ------------------------------------------- XT custom (§VIII)
+      case O::XT_LRB: xtLoad(1, true, false); break;
+      case O::XT_LRBU: xtLoad(1, false, false); break;
+      case O::XT_LRH: xtLoad(2, true, false); break;
+      case O::XT_LRHU: xtLoad(2, false, false); break;
+      case O::XT_LRW: xtLoad(4, true, false); break;
+      case O::XT_LRWU: xtLoad(4, false, false); break;
+      case O::XT_LRD: xtLoad(8, true, false); break;
+      case O::XT_LURW: xtLoad(4, true, true); break;
+      case O::XT_LURD: xtLoad(8, true, true); break;
+      case O::XT_SRB: xtStore(1); break;
+      case O::XT_SRH: xtStore(2); break;
+      case O::XT_SRW: xtStore(4); break;
+      case O::XT_SRD: xtStore(8); break;
+      case O::XT_ADDSL: wr(rs1 + (rs2 << di.shamt2)); break;
+      case O::XT_EXT: {
+        unsigned msb = unsigned(imm) >> 6, lsb = unsigned(imm) & 63;
+        wr(uint64_t(sext(bits(rs1, msb, lsb), msb - lsb + 1)));
+        break;
+      }
+      case O::XT_EXTU: {
+        unsigned msb = unsigned(imm) >> 6, lsb = unsigned(imm) & 63;
+        wr(bits(rs1, msb, lsb));
+        break;
+      }
+      case O::XT_FF0: wr(countLeadingOnes(rs1)); break;
+      case O::XT_FF1: wr(countLeadingZeros(rs1)); break;
+      case O::XT_REV: wr(byteSwap64(rs1)); break;
+      case O::XT_TSTNBZ: {
+        uint64_t out = 0;
+        for (unsigned i = 0; i < 8; ++i)
+            if (((rs1 >> (8 * i)) & 0xff) == 0)
+                out |= 0xffull << (8 * i);
+        wr(out);
+        break;
+      }
+      case O::XT_SRRI: {
+        unsigned sh = unsigned(imm) & 63;
+        wr(sh == 0 ? rs1 : (rs1 >> sh) | (rs1 << (64 - sh)));
+        break;
+      }
+      case O::XT_MULA: wr(s.readX(di.rd) + rs1 * rs2); break;
+      case O::XT_MULS: wr(s.readX(di.rd) - rs1 * rs2); break;
+      case O::XT_MULAH:
+        wr(uint64_t(int64_t(s.readX(di.rd)) +
+                    int64_t(int16_t(rs1)) * int64_t(int16_t(rs2))));
+        break;
+      case O::XT_MULSH:
+        wr(uint64_t(int64_t(s.readX(di.rd)) -
+                    int64_t(int16_t(rs1)) * int64_t(int16_t(rs2))));
+        break;
+      case O::XT_DCACHE_CALL:
+      case O::XT_DCACHE_CIALL:
+      case O::XT_DCACHE_CVA:
+      case O::XT_DCACHE_CIVA:
+      case O::XT_SYNC:
+      case O::XT_SYNC_I:
+      case O::XT_TLB_IALL:
+      case O::XT_TLB_IASID:
+      case O::XT_TLB_BCAST:
+        // Architecturally invisible in the flat functional model; the
+        // timing models give these their cache/TLB semantics.
+        break;
+      case O::XT_ICACHE_IALL:
+        decodeCache.clear();
+        break;
+
+      // ------------------------------------------------------ vector
+      default:
+        if (isVector(di.op)) {
+            execVector(s, di, rec);
+        } else {
+            xt_panic("unimplemented opcode ", mnemonic(di.op), " at pc 0x",
+                     std::hex, pc);
+        }
+        break;
+    }
+
+    return rec;
+}
+
+void
+Iss::execVector(ArchState &s, const DecodedInst &di, ExecRecord &rec)
+{
+    using O = Opcode;
+    const unsigned vlen = opts.vlenBits;
+    const uint64_t rs1 = s.readX(di.rs1 == invalidReg ? 0 : di.rs1 & 31);
+    const uint64_t rs2x = s.readX(di.rs2 == invalidReg ? 0 : di.rs2 & 31);
+
+    if (di.op == O::VSETVLI || di.op == O::VSETVL) {
+        VType vt = di.op == O::VSETVLI
+                       ? decodeVtype(uint32_t(di.imm))
+                       : decodeVtype(uint32_t(rs2x));
+        unsigned max = vlmax(vlen, vt);
+        // rs1 == x0 requests VLMAX (0.7.1 semantics).
+        uint64_t avl = (di.rs1 & 31) == 0 ? max : rs1;
+        s.vtype = vt;
+        s.vl = std::min<uint64_t>(avl, max);
+        s.writeX(di.rd, s.vl);
+        rec.vl = unsigned(s.vl);
+        rec.sew = vt.sew;
+        return;
+    }
+
+    const unsigned sew = s.vtype.sew;
+    const unsigned bytes = sew / 8;
+    const unsigned vl = unsigned(s.vl);
+    rec.vl = vl;
+    rec.sew = sew;
+
+    auto active = [&](unsigned i) { return di.vm || maskBit(s, i); };
+
+    switch (di.op) {
+      case O::VLE_V:
+      case O::VLSE_V:
+      case O::VLXE_V: {
+        int64_t stride = di.op == O::VLSE_V ? int64_t(rs2x)
+                                            : int64_t(bytes);
+        rec.memAddr = rs1;
+        rec.memSize = vl * bytes;
+        rec.memStride = stride;
+        for (unsigned i = 0; i < vl; ++i) {
+            if (!active(i))
+                continue;
+            Addr a;
+            if (di.op == O::VLXE_V)
+                a = rs1 + vGet(s, di.rs2 & 31, i, sew, vlen);
+            else
+                a = rs1 + uint64_t(stride) * i;
+            vSet(s, di.rd & 31, i, sew, vlen, mem.read(a, bytes));
+        }
+        break;
+      }
+      case O::VSE_V:
+      case O::VSSE_V:
+      case O::VSXE_V: {
+        int64_t stride = di.op == O::VSSE_V ? int64_t(rs2x)
+                                            : int64_t(bytes);
+        rec.memAddr = rs1;
+        rec.memSize = vl * bytes;
+        rec.memStride = stride;
+        for (unsigned i = 0; i < vl; ++i) {
+            if (!active(i))
+                continue;
+            Addr a;
+            if (di.op == O::VSXE_V)
+                a = rs1 + vGet(s, di.rs2 & 31, i, sew, vlen);
+            else
+                a = rs1 + uint64_t(stride) * i;
+            mem.write(a, bytes, vGet(s, di.rs3 & 31, i, sew, vlen));
+        }
+        invalidateReservations(rs1, nullptr);
+        break;
+      }
+
+      case O::VMV_V_V:
+        for (unsigned i = 0; i < vl; ++i)
+            vSet(s, di.rd & 31, i, sew, vlen,
+                 vGet(s, di.rs1 & 31, i, sew, vlen));
+        break;
+      case O::VMV_V_X:
+        for (unsigned i = 0; i < vl; ++i)
+            vSet(s, di.rd & 31, i, sew, vlen, rs1);
+        break;
+      case O::VMV_V_I:
+        for (unsigned i = 0; i < vl; ++i)
+            vSet(s, di.rd & 31, i, sew, vlen, uint64_t(di.imm));
+        break;
+      case O::VMV_X_S:
+        s.writeX(di.rd, uint64_t(sextSew(vGet(s, di.rs2 & 31, 0, sew, vlen),
+                                         sew)));
+        break;
+      case O::VMV_S_X:
+        vSet(s, di.rd & 31, 0, sew, vlen, rs1);
+        break;
+      case O::VFMV_V_F:
+        for (unsigned i = 0; i < vl; ++i)
+            vSet(s, di.rd & 31, i, sew, vlen,
+                 fToVElem(bitsToD(s.f[di.rs1 & 31]), sew));
+        break;
+      case O::VFMV_F_S:
+        s.f[di.rd & 31] =
+            dToBits(vElemToF(vGet(s, di.rs2 & 31, 0, sew, vlen), sew));
+        break;
+
+      case O::VSLIDEUP_VI: {
+        unsigned off = unsigned(di.imm);
+        for (unsigned i = vl; i-- > off;)
+            if (active(i))
+                vSet(s, di.rd & 31, i, sew, vlen,
+                     vGet(s, di.rs2 & 31, i - off, sew, vlen));
+        break;
+      }
+      case O::VSLIDEDOWN_VI: {
+        unsigned off = unsigned(di.imm);
+        for (unsigned i = 0; i < vl; ++i)
+            if (active(i))
+                vSet(s, di.rd & 31, i, sew, vlen,
+                     i + off < vl ? vGet(s, di.rs2 & 31, i + off, sew, vlen)
+                                  : 0);
+        break;
+      }
+
+      case O::VREDSUM_VS:
+      case O::VREDMAX_VS: {
+        int64_t acc = sextSew(vGet(s, di.rs1 & 31, 0, sew, vlen), sew);
+        for (unsigned i = 0; i < vl; ++i) {
+            if (!active(i))
+                continue;
+            int64_t e = sextSew(vGet(s, di.rs2 & 31, i, sew, vlen), sew);
+            acc = di.op == O::VREDSUM_VS ? acc + e : std::max(acc, e);
+        }
+        vSet(s, di.rd & 31, 0, sew, vlen, uint64_t(acc));
+        break;
+      }
+      case O::VFREDSUM_VS: {
+        double acc = vElemToF(vGet(s, di.rs1 & 31, 0, sew, vlen), sew);
+        for (unsigned i = 0; i < vl; ++i)
+            if (active(i))
+                acc += vElemToF(vGet(s, di.rs2 & 31, i, sew, vlen), sew);
+        vSet(s, di.rd & 31, 0, sew, vlen, fToVElem(acc, sew));
+        break;
+      }
+
+      case O::VWMUL_VV:
+      case O::VWMACC_VV: {
+        // Widening: destination EEW = 2 * SEW.
+        unsigned dsew = sew * 2;
+        for (unsigned i = 0; i < vl; ++i) {
+            if (!active(i))
+                continue;
+            int64_t a = sextSew(vGet(s, di.rs1 & 31, i, sew, vlen), sew);
+            int64_t b = sextSew(vGet(s, di.rs2 & 31, i, sew, vlen), sew);
+            int64_t d = a * b;
+            if (di.op == O::VWMACC_VV)
+                d += sextSew(vGet(s, di.rd & 31, i, dsew, vlen), dsew);
+            vSet(s, di.rd & 31, i, dsew, vlen, uint64_t(d));
+        }
+        break;
+      }
+
+      default: {
+        // Element-wise integer/FP/compare/merge ops share one loop.
+        for (unsigned i = 0; i < vl; ++i) {
+            if (!active(i) && di.op != O::VMERGE_VVM &&
+                di.op != O::VMERGE_VXM)
+                continue;
+            uint64_t aRaw = di.rs1Class == RegClass::Vec
+                                ? vGet(s, di.rs1 & 31, i, sew, vlen)
+                                : rs1;
+            uint64_t bRaw = vGet(s, di.rs2 & 31, i, sew, vlen);
+            int64_t a = di.rs1Class == RegClass::None
+                            ? di.imm
+                            : sextSew(aRaw, sew);
+            if (di.rs1Class == RegClass::Int)
+                a = sextSew(rs1, sew);
+            int64_t b = sextSew(bRaw, sew);
+            uint64_t au = zext(uint64_t(a), sew);
+            uint64_t bu = zext(uint64_t(b), sew);
+            uint64_t out = 0;
+            bool isCmp = false;
+            bool cmp = false;
+            switch (di.op) {
+              case O::VADD_VV:
+              case O::VADD_VX:
+              case O::VADD_VI: out = uint64_t(b + a); break;
+              case O::VSUB_VV:
+              case O::VSUB_VX: out = uint64_t(b - a); break;
+              case O::VRSUB_VX: out = uint64_t(a - b); break;
+              case O::VAND_VV:
+              case O::VAND_VX: out = bu & au; break;
+              case O::VOR_VV:
+              case O::VOR_VX: out = bu | au; break;
+              case O::VXOR_VV:
+              case O::VXOR_VX: out = bu ^ au; break;
+              case O::VSLL_VV:
+              case O::VSLL_VI: out = bu << (au & (sew - 1)); break;
+              case O::VSRL_VV:
+              case O::VSRL_VI: out = bu >> (au & (sew - 1)); break;
+              case O::VSRA_VV:
+              case O::VSRA_VI:
+                out = uint64_t(b >> (au & (sew - 1)));
+                break;
+              case O::VMIN_VV: out = uint64_t(std::min(b, a)); break;
+              case O::VMAX_VV: out = uint64_t(std::max(b, a)); break;
+              case O::VMINU_VV: out = std::min(bu, au); break;
+              case O::VMAXU_VV: out = std::max(bu, au); break;
+              case O::VMUL_VV:
+              case O::VMUL_VX: out = uint64_t(b * a); break;
+              case O::VMULH_VV:
+                out = uint64_t((__int128(b) * __int128(a)) >> sew);
+                break;
+              case O::VMACC_VV:
+              case O::VMACC_VX:
+                out = uint64_t(sextSew(vGet(s, di.rd & 31, i, sew, vlen),
+                                       sew) +
+                               a * b);
+                break;
+              case O::VMADD_VV:
+                out = uint64_t(a * sextSew(vGet(s, di.rd & 31, i, sew,
+                                                vlen),
+                                           sew) +
+                               b);
+                break;
+              case O::VDIV_VV:
+                out = a == 0 ? ~0ull : uint64_t(b / a);
+                break;
+              case O::VDIVU_VV:
+                out = au == 0 ? ~0ull : bu / au;
+                break;
+              case O::VMSEQ_VV:
+              case O::VMSEQ_VX:
+                isCmp = true;
+                cmp = b == a;
+                break;
+              case O::VMSNE_VV:
+                isCmp = true;
+                cmp = b != a;
+                break;
+              case O::VMSLT_VV:
+              case O::VMSLT_VX:
+                isCmp = true;
+                cmp = b < a;
+                break;
+              case O::VMSLTU_VV:
+                isCmp = true;
+                cmp = bu < au;
+                break;
+              case O::VMERGE_VVM:
+              case O::VMERGE_VXM:
+                out = maskBit(s, i) ? uint64_t(a) : bu;
+                break;
+              case O::VFADD_VV:
+              case O::VFADD_VF:
+              case O::VFSUB_VV:
+              case O::VFMUL_VV:
+              case O::VFMUL_VF:
+              case O::VFDIV_VV:
+              case O::VFMACC_VV:
+              case O::VFMACC_VF: {
+                double fa = di.rs1Class == RegClass::Fp
+                                ? bitsToD(s.f[di.rs1 & 31])
+                                : vElemToF(aRaw, sew);
+                double fb = vElemToF(bRaw, sew);
+                double r = 0;
+                switch (di.op) {
+                  case O::VFADD_VV:
+                  case O::VFADD_VF: r = fb + fa; break;
+                  case O::VFSUB_VV: r = fb - fa; break;
+                  case O::VFMUL_VV:
+                  case O::VFMUL_VF: r = fb * fa; break;
+                  case O::VFDIV_VV: r = fb / fa; break;
+                  default: // VFMACC: vd += vs1 * vs2
+                    r = vElemToF(vGet(s, di.rd & 31, i, sew, vlen), sew) +
+                        fa * fb;
+                    break;
+                }
+                out = fToVElem(r, sew);
+                break;
+              }
+              default:
+                xt_panic("unimplemented vector op ", mnemonic(di.op));
+            }
+            if (isCmp) {
+                // Compare results write one bit per element into vd.
+                uint8_t &byte = s.v[di.rd & 31][i / 8];
+                uint8_t bitSel = uint8_t(1u << (i % 8));
+                byte = uint8_t(cmp ? (byte | bitSel) : (byte & ~bitSel));
+            } else {
+                vSet(s, di.rd & 31, i, sew, vlen, out);
+            }
+        }
+        break;
+      }
+    }
+}
+
+} // namespace xt910

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The functional instruction-set simulator (ISS). It retires
+ * instructions architecturally and acts as the run-ahead oracle for the
+ * timing models: every step() returns an ExecRecord carrying the PC,
+ * decoded instruction, branch outcome and memory address — everything a
+ * timing model needs to replay the instruction through its pipeline.
+ */
+
+#ifndef XT910_FUNC_ISS_H
+#define XT910_FUNC_ISS_H
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "func/clint.h"
+#include "func/memory.h"
+#include "func/state.h"
+#include "isa/inst.h"
+#include "xasm/assembler.h"
+
+namespace xt910
+{
+
+/** One architecturally retired instruction, as seen by a timing model. */
+struct ExecRecord
+{
+    Addr pc = 0;
+    DecodedInst di;
+    Addr nextPc = 0;
+    bool taken = false;   ///< control transferred away from fallthrough
+    Addr memAddr = 0;     ///< first byte touched (loads/stores/AMO/vector)
+    uint32_t memSize = 0; ///< total bytes touched; 0 if not a memory op
+    int64_t memStride = 0;///< element stride for vector accesses
+    unsigned vl = 0;      ///< vector length in effect (vector ops)
+    unsigned sew = 0;     ///< element width in effect (vector ops)
+    bool halted = false;  ///< hart halted after this instruction
+
+    bool isMemOp() const { return memSize != 0; }
+};
+
+/** ISS construction options. */
+struct IssOptions
+{
+    unsigned vlenBits = 128;   ///< VLEN (the paper recommends 128, §VII)
+    bool enableCustom = true;  ///< non-standard extensions decodable
+    bool enableClint = true;   ///< CLINT timer/software interrupts (§II)
+    uint64_t stackBase = 0x8800'0000; ///< initial sp (grows down)
+};
+
+/** See file comment. */
+class Iss
+{
+  public:
+    Iss(Memory &mem, unsigned numHarts = 1, IssOptions opts = IssOptions());
+
+    /** Load @p p and point every hart's PC at its entry. */
+    void loadProgram(const Program &p);
+
+    ArchState &hart(unsigned i) { return harts[i]; }
+    const ArchState &hart(unsigned i) const { return harts[i]; }
+    unsigned numHarts() const { return unsigned(harts.size()); }
+
+    /** Execute one instruction on @p hartId. No-op if halted. */
+    ExecRecord step(unsigned hartId = 0);
+
+    /**
+     * Run hart 0 (or all harts round-robin) until everything halts or
+     * @p maxInsts instructions retire; returns instructions retired.
+     */
+    uint64_t run(uint64_t maxInsts = 100'000'000);
+
+    bool halted(unsigned hartId = 0) const { return harts[hartId].halted; }
+    bool allHalted() const;
+    int exitCode(unsigned hartId = 0) const
+    {
+        return harts[hartId].exitCode;
+    }
+
+    /** Characters written via the write "syscall". */
+    const std::string &console() const { return consoleBuf; }
+
+    Memory &memory() { return mem; }
+    const IssOptions &options() const { return opts; }
+    unsigned vlenBits() const { return opts.vlenBits; }
+
+    /** Decode (with caching) the instruction at @p pc. */
+    const DecodedInst &fetchDecode(Addr pc);
+
+    /** The core-local interruptor (timers + software interrupts). */
+    Clint &clint() { return clintDev; }
+
+  private:
+    ExecRecord execute(ArchState &s, const DecodedInst &di, Addr pc);
+    /** Deliver a pending machine interrupt, if enabled. */
+    void maybeTakeInterrupt(ArchState &s, unsigned hartId);
+    void execVector(ArchState &s, const DecodedInst &di, ExecRecord &rec);
+    uint64_t readCsr(ArchState &s, uint32_t num) const;
+    void writeCsr(ArchState &s, uint32_t num, uint64_t v);
+    void invalidateReservations(Addr addr, const ArchState *except);
+
+    Memory &mem;
+    IssOptions opts;
+    std::vector<ArchState> harts;
+    Clint clintDev;
+    std::string consoleBuf;
+    std::unordered_map<Addr, DecodedInst> decodeCache;
+};
+
+} // namespace xt910
+
+#endif // XT910_FUNC_ISS_H

@@ -1,0 +1,80 @@
+#include "func/memory.h"
+
+#include "common/log.h"
+#include "xasm/assembler.h"
+
+namespace xt910
+{
+
+uint8_t *
+Memory::pageFor(Addr addr)
+{
+    Addr vpn = addr >> pageShift;
+    auto it = pages.find(vpn);
+    if (it == pages.end()) {
+        auto page = std::make_unique<Page>();
+        page->fill(0);
+        it = pages.emplace(vpn, std::move(page)).first;
+    }
+    return it->second->data();
+}
+
+const uint8_t *
+Memory::pageForRead(Addr addr) const
+{
+    // Reads of untouched memory return zeroes; allocate lazily so the
+    // caller sees a consistent zero-filled page.
+    return const_cast<Memory *>(this)->pageFor(addr);
+}
+
+uint64_t
+Memory::read(Addr addr, unsigned size) const
+{
+    xt_assert(size >= 1 && size <= 8, "bad access size ", size);
+    uint64_t v = 0;
+    readBytes(addr, &v, size);
+    return v;
+}
+
+void
+Memory::write(Addr addr, unsigned size, uint64_t value)
+{
+    xt_assert(size >= 1 && size <= 8, "bad access size ", size);
+    writeBytes(addr, &value, size);
+}
+
+void
+Memory::readBytes(Addr addr, void *out, size_t n) const
+{
+    auto *dst = static_cast<uint8_t *>(out);
+    while (n > 0) {
+        Addr off = addr & (pageSize - 1);
+        size_t chunk = std::min<size_t>(n, pageSize - off);
+        std::memcpy(dst, pageForRead(addr) + off, chunk);
+        addr += chunk;
+        dst += chunk;
+        n -= chunk;
+    }
+}
+
+void
+Memory::writeBytes(Addr addr, const void *in, size_t n)
+{
+    auto *src = static_cast<const uint8_t *>(in);
+    while (n > 0) {
+        Addr off = addr & (pageSize - 1);
+        size_t chunk = std::min<size_t>(n, pageSize - off);
+        std::memcpy(pageFor(addr) + off, src, chunk);
+        addr += chunk;
+        src += chunk;
+        n -= chunk;
+    }
+}
+
+void
+Memory::loadProgram(const Program &p)
+{
+    writeBytes(p.base, p.image.data(), p.image.size());
+}
+
+} // namespace xt910

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Sparse simulated physical memory: 4 KiB pages allocated on first
+ * touch. Supports unaligned accesses of 1..8 bytes (the XT-910 LSU
+ * supports unaligned data access, §II) plus bulk copies for vector
+ * memory operations and program loading.
+ */
+
+#ifndef XT910_FUNC_MEMORY_H
+#define XT910_FUNC_MEMORY_H
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace xt910
+{
+
+struct Program;
+
+/** See file comment. */
+class Memory
+{
+  public:
+    static constexpr unsigned pageShift = 12;
+    static constexpr Addr pageSize = 1ull << pageShift;
+
+    /** Read @p size (1..8) bytes at @p addr, little-endian. */
+    uint64_t read(Addr addr, unsigned size) const;
+
+    /** Write the low @p size (1..8) bytes of @p value at @p addr. */
+    void write(Addr addr, unsigned size, uint64_t value);
+
+    /** Bulk read. */
+    void readBytes(Addr addr, void *out, size_t n) const;
+
+    /** Bulk write. */
+    void writeBytes(Addr addr, const void *in, size_t n);
+
+    /** Copy a program image into memory at its base address. */
+    void loadProgram(const Program &p);
+
+    /** Typed convenience accessors. */
+    template <typename T>
+    T
+    readT(Addr addr) const
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        T v;
+        readBytes(addr, &v, sizeof(T));
+        return v;
+    }
+
+    template <typename T>
+    void
+    writeT(Addr addr, T v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        writeBytes(addr, &v, sizeof(T));
+    }
+
+    /** Number of pages currently allocated (for tests). */
+    size_t pageCount() const { return pages.size(); }
+
+  private:
+    using Page = std::array<uint8_t, pageSize>;
+
+    uint8_t *pageFor(Addr addr);
+    const uint8_t *pageForRead(Addr addr) const;
+
+    mutable std::unordered_map<Addr, std::unique_ptr<Page>> pages;
+};
+
+} // namespace xt910
+
+#endif // XT910_FUNC_MEMORY_H

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Per-hart architectural state: program counter, the three register
+ * files that XT-910 renames independently (integer, FP, vector), the
+ * vector configuration, and the small CSR file.
+ */
+
+#ifndef XT910_FUNC_STATE_H
+#define XT910_FUNC_STATE_H
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.h"
+#include "isa/vtype.h"
+
+namespace xt910
+{
+
+/** See file comment. */
+struct ArchState
+{
+    /** Widest supported vector register, bytes (VLEN up to 2048). */
+    static constexpr unsigned maxVlenBytes = 256;
+
+    Addr pc = 0;
+    std::array<uint64_t, 32> x{};
+    std::array<uint64_t, 32> f{};  ///< raw FP bits (NaN boxing not modelled)
+    std::array<std::array<uint8_t, maxVlenBytes>, 32> v{};
+
+    // Vector configuration (vsetvl/vsetvli).
+    uint64_t vl = 0;
+    VType vtype{};
+
+    std::unordered_map<uint32_t, uint64_t> csrs;
+
+    // LR/SC reservation.
+    bool resValid = false;
+    Addr resAddr = 0;
+
+    bool halted = false;
+    int exitCode = 0;
+    uint64_t instret = 0;
+
+    uint64_t
+    readX(RegIndex r) const
+    {
+        return r == 0 ? 0 : x[r];
+    }
+
+    void
+    writeX(RegIndex r, uint64_t v_)
+    {
+        if (r != 0)
+            x[r] = v_;
+    }
+};
+
+} // namespace xt910
+
+#endif // XT910_FUNC_STATE_H

@@ -1,0 +1,211 @@
+#include "isa/disasm.h"
+
+#include <sstream>
+
+#include "isa/encoding.h"
+
+namespace xt910
+{
+
+const char *
+intRegName(RegIndex r)
+{
+    static const char *names[32] = {
+        "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+        "s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+        "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+        "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+    };
+    return r < 32 ? names[r] : "x?";
+}
+
+const char *
+fpRegName(RegIndex r)
+{
+    static const char *names[32] = {
+        "ft0", "ft1", "ft2", "ft3", "ft4", "ft5", "ft6", "ft7",
+        "fs0", "fs1", "fa0", "fa1", "fa2", "fa3", "fa4", "fa5",
+        "fa6", "fa7", "fs2", "fs3", "fs4", "fs5", "fs6", "fs7",
+        "fs8", "fs9", "fs10", "fs11", "ft8", "ft9", "ft10", "ft11",
+    };
+    return r < 32 ? names[r] : "f?";
+}
+
+std::string
+vecRegName(RegIndex r)
+{
+    return "v" + std::to_string(r);
+}
+
+namespace
+{
+
+std::string
+reg(RegClass cls, RegIndex r)
+{
+    switch (cls) {
+      case RegClass::Int: return intRegName(r);
+      case RegClass::Fp: return fpRegName(r);
+      case RegClass::Vec: return vecRegName(r);
+      default: return "?";
+    }
+}
+
+} // namespace
+
+std::string
+disassemble(const DecodedInst &di)
+{
+    if (!di.valid())
+        return "<invalid>";
+    const EncEntry *e = encEntryOf(di.op);
+    if (!e)
+        return mnemonic(di.op);
+
+    std::ostringstream os;
+    os << mnemonic(di.op);
+    auto rd = [&] { return reg(di.rdClass, di.rd); };
+    auto rs1 = [&] { return reg(di.rs1Class, di.rs1); };
+    auto rs2 = [&] { return reg(di.rs2Class, di.rs2); };
+    auto rs3 = [&] { return reg(di.rs3Class, di.rs3); };
+    auto maskSuffix = [&] { return di.vm ? "" : ", v0.t"; };
+
+    using F = EncFormat;
+    switch (e->fmt) {
+      case F::R:
+      case F::XtR:
+      case F::FpR:
+      case F::FpRF3:
+      case F::FpCmp:
+      case F::VSetVL:
+        os << " " << rd() << ", " << rs1() << ", " << rs2();
+        break;
+      case F::I:
+        if (opClass(di.op) == OpClass::Load)
+            os << " " << rd() << ", " << di.imm << "(" << rs1() << ")";
+        else
+            os << " " << rd() << ", " << rs1() << ", " << di.imm;
+        break;
+      case F::IShift:
+      case F::IShiftW:
+      case F::XtImm6:
+        os << " " << rd() << ", " << rs1() << ", " << di.imm;
+        break;
+      case F::S:
+      case F::FpStoreF:
+        os << " " << rs2() << ", " << di.imm << "(" << rs1() << ")";
+        break;
+      case F::FpLoadF:
+        os << " " << rd() << ", " << di.imm << "(" << rs1() << ")";
+        break;
+      case F::B:
+        os << " " << rs1() << ", " << rs2() << ", " << di.imm;
+        break;
+      case F::U:
+        os << " " << rd() << ", 0x" << std::hex << (di.imm >> 12);
+        break;
+      case F::J:
+        os << " " << rd() << ", " << di.imm;
+        break;
+      case F::Sys:
+      case F::XtCacheAll:
+        break;
+      case F::SfenceVma:
+        os << " " << rs1() << ", " << rs2();
+        break;
+      case F::CsrR:
+        os << " " << rd() << ", 0x" << std::hex << di.imm << std::dec
+           << ", " << rs1();
+        break;
+      case F::CsrI:
+        os << " " << rd() << ", 0x" << std::hex << di.imm << std::dec
+           << ", " << unsigned(di.rs1);
+        break;
+      case F::Amo:
+        os << " " << rd() << ", " << rs2() << ", (" << rs1() << ")";
+        break;
+      case F::AmoLr:
+        os << " " << rd() << ", (" << rs1() << ")";
+        break;
+      case F::FpRUnary:
+      case F::FpCvtToInt:
+      case F::FpCvtToFp:
+      case F::FpCvtFp:
+      case F::FpMvToInt:
+      case F::FpMvToFp:
+      case F::FpClass:
+      case F::XtUnary:
+        os << " " << rd() << ", " << rs1();
+        break;
+      case F::FpR4:
+        os << " " << rd() << ", " << rs1() << ", " << rs2() << ", "
+           << rs3();
+        break;
+      case F::VecVV:
+      case F::VecVVRed:
+      case F::VecVX:
+      case F::VecVF:
+        os << " " << rd() << ", " << rs2() << ", " << rs1()
+           << maskSuffix();
+        break;
+      case F::VecVI:
+        os << " " << rd() << ", " << rs2() << ", " << di.imm
+           << maskSuffix();
+        break;
+      case F::VecMvXS:
+      case F::VecMvFS:
+        os << " " << rd() << ", " << rs2();
+        break;
+      case F::VecMvSX:
+      case F::VecMvVX:
+      case F::VecMvVF:
+      case F::VecMvVV:
+        os << " " << rd() << ", " << rs1();
+        break;
+      case F::VecMvVI:
+        os << " " << rd() << ", " << di.imm;
+        break;
+      case F::VSetVLI:
+        os << " " << rd() << ", " << rs1() << ", 0x" << std::hex
+           << di.imm;
+        break;
+      case F::VecLdUnit:
+        os << " " << rd() << ", (" << rs1() << ")" << maskSuffix();
+        break;
+      case F::VecLdStride:
+      case F::VecLdIdx:
+        os << " " << rd() << ", (" << rs1() << "), " << rs2()
+           << maskSuffix();
+        break;
+      case F::VecStUnit:
+        os << " " << rs3() << ", (" << rs1() << ")" << maskSuffix();
+        break;
+      case F::VecStStride:
+      case F::VecStIdx:
+        os << " " << rs3() << ", (" << rs1() << "), " << rs2()
+           << maskSuffix();
+        break;
+      case F::XtAddSl:
+        os << " " << rd() << ", " << rs1() << ", " << rs2() << ", "
+           << unsigned(di.shamt2);
+        break;
+      case F::XtIdxLd:
+        os << " " << rd() << ", " << rs1() << ", " << rs2() << " << "
+           << unsigned(di.shamt2);
+        break;
+      case F::XtIdxSt:
+        os << " " << rs3() << ", " << rs1() << ", " << rs2() << " << "
+           << unsigned(di.shamt2);
+        break;
+      case F::XtExt:
+        os << " " << rd() << ", " << rs1() << ", " << (di.imm >> 6)
+           << ", " << (di.imm & 0x3f);
+        break;
+      case F::XtCacheVA:
+        os << " (" << rs1() << ")";
+        break;
+    }
+    return os.str();
+}
+
+} // namespace xt910

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Disassembler: renders a DecodedInst as assembly text for traces,
+ * debugging and the profiling example.
+ */
+
+#ifndef XT910_ISA_DISASM_H
+#define XT910_ISA_DISASM_H
+
+#include <string>
+
+#include "isa/inst.h"
+
+namespace xt910
+{
+
+/** ABI name of integer register @p r (x0 -> "zero", x2 -> "sp", ...). */
+const char *intRegName(RegIndex r);
+
+/** ABI name of FP register @p r ("ft0", "fa0", ...). */
+const char *fpRegName(RegIndex r);
+
+/** Vector register name ("v0".."v31"). */
+std::string vecRegName(RegIndex r);
+
+/** Render @p di as assembly text. */
+std::string disassemble(const DecodedInst &di);
+
+} // namespace xt910
+
+#endif // XT910_ISA_DISASM_H

@@ -1,0 +1,961 @@
+#include "isa/encoding.h"
+
+#include <array>
+
+#include "common/bitutil.h"
+#include "common/log.h"
+
+namespace xt910
+{
+
+namespace
+{
+
+// Field masks of the base 32-bit encoding.
+constexpr uint32_t fOp = 0x0000007f;
+constexpr uint32_t fRd = 0x00000f80;
+constexpr uint32_t fF3 = 0x00007000;
+constexpr uint32_t fRs1 = 0x000f8000;
+constexpr uint32_t fRs2 = 0x01f00000;
+constexpr uint32_t fF7 = 0xfe000000;
+constexpr uint32_t fF6 = 0xfc000000;
+constexpr uint32_t fF5 = 0xf8000000;   // AMO funct5 / Xt funct5
+constexpr uint32_t fVm = 0x02000000;
+constexpr uint32_t fSh2 = 0x06000000;  // Xt indexed-address shift
+
+constexpr uint32_t
+opF3(uint32_t op, uint32_t f3)
+{
+    return (f3 << 12) | op;
+}
+
+constexpr uint32_t
+opF3F7(uint32_t op, uint32_t f3, uint32_t f7)
+{
+    return (f7 << 25) | (f3 << 12) | op;
+}
+
+constexpr uint32_t
+opF3F5(uint32_t op, uint32_t f3, uint32_t f5)
+{
+    return (f5 << 27) | (f3 << 12) | op;
+}
+
+// Vector arithmetic: funct6 at 31:26, vm at 25, funct3 selects sub-space.
+// The vm bit is left clear here; entries whose mask pins vm (the vmv
+// family) OR it in explicitly via the vmSet argument.
+constexpr uint32_t
+vArith(uint32_t f3, uint32_t f6, bool vmSet = false)
+{
+    return (f6 << 26) | (uint32_t(vmSet) << 25) | (f3 << 12) | 0x57;
+}
+
+// Vector memory: nf=0, mew=0, mop at 27:26, width=7 (SEW); vm free.
+constexpr uint32_t
+vMem(uint32_t op, uint32_t mop)
+{
+    return (mop << 26) | (7u << 12) | op;
+}
+
+// funct3 sub-spaces of OP-V.
+constexpr uint32_t opIVV = 0, opFVV = 1, opMVV = 2, opIVI = 3;
+constexpr uint32_t opIVX = 4, opFVF = 5, opMVX = 6;
+
+constexpr uint32_t mOp = fOp;
+constexpr uint32_t mOpF3 = fOp | fF3;
+constexpr uint32_t mOpF3F7 = fOp | fF3 | fF7;
+constexpr uint32_t mShift64 = fOp | fF3 | fF6;
+constexpr uint32_t mAmo = fOp | fF3 | fF5;
+constexpr uint32_t mAmoLr = fOp | fF3 | fF5 | fRs2;
+constexpr uint32_t mFpR = fOp | fF7;               // rm free
+constexpr uint32_t mFpUnary = fOp | fF7 | fRs2;    // rm free
+constexpr uint32_t mFpMv = fOp | fF3 | fF7 | fRs2;
+constexpr uint32_t mR4 = fOp | 0x06000000;         // fmt bits 26:25
+constexpr uint32_t mExact = 0xffffffff;
+constexpr uint32_t mVArith = fOp | fF3 | fF6;                 // vm free
+constexpr uint32_t mVArithVm = fOp | fF3 | fF6 | fVm;
+constexpr uint32_t mVMv = fOp | fF3 | fF6 | fVm | fRs2;       // vs2 fixed
+constexpr uint32_t mVMvS = fOp | fF3 | fF6 | fVm | fRs1;      // vs1 fixed
+constexpr uint32_t mVMemUnit = fOp | fF3 | 0xfc000000 | fRs2; // lumop fixed
+constexpr uint32_t mVMemOther = fOp | fF3 | 0xfc000000;
+constexpr uint32_t mXtF5 = fOp | fF3 | fF5;        // shamt2 free
+constexpr uint32_t mXtF3 = fOp | fF3;
+constexpr uint32_t mXtUnary = fOp | fF3 | fF7 | fRs2;
+constexpr uint32_t mXtAll = fOp | fF3 | fF7 | fRs2 | fRs1 | fRd;
+constexpr uint32_t mXtVa = fOp | fF3 | fF7 | fRs2 | fRd;
+constexpr uint32_t mXtImm6 = fOp | fF3 | fF6;
+
+std::vector<EncEntry>
+buildTable()
+{
+    using F = EncFormat;
+    using O = Opcode;
+    std::vector<EncEntry> t;
+    auto add = [&](O op, F fmt, uint32_t match, uint32_t mask) {
+        t.push_back({op, fmt, match, mask});
+    };
+
+    // ----------------------------------------------------------- RV64I
+    add(O::LUI, F::U, 0x37, mOp);
+    add(O::AUIPC, F::U, 0x17, mOp);
+    add(O::JAL, F::J, 0x6f, mOp);
+    add(O::JALR, F::I, opF3(0x67, 0), mOpF3);
+    add(O::BEQ, F::B, opF3(0x63, 0), mOpF3);
+    add(O::BNE, F::B, opF3(0x63, 1), mOpF3);
+    add(O::BLT, F::B, opF3(0x63, 4), mOpF3);
+    add(O::BGE, F::B, opF3(0x63, 5), mOpF3);
+    add(O::BLTU, F::B, opF3(0x63, 6), mOpF3);
+    add(O::BGEU, F::B, opF3(0x63, 7), mOpF3);
+    add(O::LB, F::I, opF3(0x03, 0), mOpF3);
+    add(O::LH, F::I, opF3(0x03, 1), mOpF3);
+    add(O::LW, F::I, opF3(0x03, 2), mOpF3);
+    add(O::LD, F::I, opF3(0x03, 3), mOpF3);
+    add(O::LBU, F::I, opF3(0x03, 4), mOpF3);
+    add(O::LHU, F::I, opF3(0x03, 5), mOpF3);
+    add(O::LWU, F::I, opF3(0x03, 6), mOpF3);
+    add(O::SB, F::S, opF3(0x23, 0), mOpF3);
+    add(O::SH, F::S, opF3(0x23, 1), mOpF3);
+    add(O::SW, F::S, opF3(0x23, 2), mOpF3);
+    add(O::SD, F::S, opF3(0x23, 3), mOpF3);
+    add(O::ADDI, F::I, opF3(0x13, 0), mOpF3);
+    add(O::SLTI, F::I, opF3(0x13, 2), mOpF3);
+    add(O::SLTIU, F::I, opF3(0x13, 3), mOpF3);
+    add(O::XORI, F::I, opF3(0x13, 4), mOpF3);
+    add(O::ORI, F::I, opF3(0x13, 6), mOpF3);
+    add(O::ANDI, F::I, opF3(0x13, 7), mOpF3);
+    add(O::SLLI, F::IShift, opF3(0x13, 1), mShift64);
+    add(O::SRLI, F::IShift, opF3(0x13, 5), mShift64);
+    add(O::SRAI, F::IShift, opF3(0x13, 5) | (0x10u << 26), mShift64);
+    add(O::ADD, F::R, opF3F7(0x33, 0, 0x00), mOpF3F7);
+    add(O::SUB, F::R, opF3F7(0x33, 0, 0x20), mOpF3F7);
+    add(O::SLL, F::R, opF3F7(0x33, 1, 0x00), mOpF3F7);
+    add(O::SLT, F::R, opF3F7(0x33, 2, 0x00), mOpF3F7);
+    add(O::SLTU, F::R, opF3F7(0x33, 3, 0x00), mOpF3F7);
+    add(O::XOR, F::R, opF3F7(0x33, 4, 0x00), mOpF3F7);
+    add(O::SRL, F::R, opF3F7(0x33, 5, 0x00), mOpF3F7);
+    add(O::SRA, F::R, opF3F7(0x33, 5, 0x20), mOpF3F7);
+    add(O::OR, F::R, opF3F7(0x33, 6, 0x00), mOpF3F7);
+    add(O::AND, F::R, opF3F7(0x33, 7, 0x00), mOpF3F7);
+    add(O::ADDIW, F::I, opF3(0x1b, 0), mOpF3);
+    add(O::SLLIW, F::IShiftW, opF3F7(0x1b, 1, 0x00), mOpF3F7);
+    add(O::SRLIW, F::IShiftW, opF3F7(0x1b, 5, 0x00), mOpF3F7);
+    add(O::SRAIW, F::IShiftW, opF3F7(0x1b, 5, 0x20), mOpF3F7);
+    add(O::ADDW, F::R, opF3F7(0x3b, 0, 0x00), mOpF3F7);
+    add(O::SUBW, F::R, opF3F7(0x3b, 0, 0x20), mOpF3F7);
+    add(O::SLLW, F::R, opF3F7(0x3b, 1, 0x00), mOpF3F7);
+    add(O::SRLW, F::R, opF3F7(0x3b, 5, 0x00), mOpF3F7);
+    add(O::SRAW, F::R, opF3F7(0x3b, 5, 0x20), mOpF3F7);
+    add(O::FENCE, F::Sys, opF3(0x0f, 0), mOpF3);
+    add(O::FENCE_I, F::Sys, opF3(0x0f, 1), mOpF3);
+    add(O::ECALL, F::Sys, 0x00000073, mExact);
+    add(O::EBREAK, F::Sys, 0x00100073, mExact);
+    add(O::MRET, F::Sys, 0x30200073, mExact);
+    add(O::SRET, F::Sys, 0x10200073, mExact);
+    add(O::WFI, F::Sys, 0x10500073, mExact);
+    add(O::SFENCE_VMA, F::SfenceVma, opF3F7(0x73, 0, 0x09),
+        mOpF3F7 | fRd);
+
+    // ----------------------------------------------------------- Zicsr
+    add(O::CSRRW, F::CsrR, opF3(0x73, 1), mOpF3);
+    add(O::CSRRS, F::CsrR, opF3(0x73, 2), mOpF3);
+    add(O::CSRRC, F::CsrR, opF3(0x73, 3), mOpF3);
+    add(O::CSRRWI, F::CsrI, opF3(0x73, 5), mOpF3);
+    add(O::CSRRSI, F::CsrI, opF3(0x73, 6), mOpF3);
+    add(O::CSRRCI, F::CsrI, opF3(0x73, 7), mOpF3);
+
+    // ----------------------------------------------------------- RV64M
+    add(O::MUL, F::R, opF3F7(0x33, 0, 0x01), mOpF3F7);
+    add(O::MULH, F::R, opF3F7(0x33, 1, 0x01), mOpF3F7);
+    add(O::MULHSU, F::R, opF3F7(0x33, 2, 0x01), mOpF3F7);
+    add(O::MULHU, F::R, opF3F7(0x33, 3, 0x01), mOpF3F7);
+    add(O::DIV, F::R, opF3F7(0x33, 4, 0x01), mOpF3F7);
+    add(O::DIVU, F::R, opF3F7(0x33, 5, 0x01), mOpF3F7);
+    add(O::REM, F::R, opF3F7(0x33, 6, 0x01), mOpF3F7);
+    add(O::REMU, F::R, opF3F7(0x33, 7, 0x01), mOpF3F7);
+    add(O::MULW, F::R, opF3F7(0x3b, 0, 0x01), mOpF3F7);
+    add(O::DIVW, F::R, opF3F7(0x3b, 4, 0x01), mOpF3F7);
+    add(O::DIVUW, F::R, opF3F7(0x3b, 5, 0x01), mOpF3F7);
+    add(O::REMW, F::R, opF3F7(0x3b, 6, 0x01), mOpF3F7);
+    add(O::REMUW, F::R, opF3F7(0x3b, 7, 0x01), mOpF3F7);
+
+    // ----------------------------------------------------------- RV64A
+    add(O::LR_W, F::AmoLr, opF3F5(0x2f, 2, 0x02), mAmoLr);
+    add(O::LR_D, F::AmoLr, opF3F5(0x2f, 3, 0x02), mAmoLr);
+    add(O::SC_W, F::Amo, opF3F5(0x2f, 2, 0x03), mAmo);
+    add(O::SC_D, F::Amo, opF3F5(0x2f, 3, 0x03), mAmo);
+    struct AmoRow { O w, d; uint32_t f5; };
+    const AmoRow amos[] = {
+        {O::AMOSWAP_W, O::AMOSWAP_D, 0x01},
+        {O::AMOADD_W, O::AMOADD_D, 0x00},
+        {O::AMOXOR_W, O::AMOXOR_D, 0x04},
+        {O::AMOAND_W, O::AMOAND_D, 0x0c},
+        {O::AMOOR_W, O::AMOOR_D, 0x08},
+        {O::AMOMIN_W, O::AMOMIN_D, 0x10},
+        {O::AMOMAX_W, O::AMOMAX_D, 0x14},
+        {O::AMOMINU_W, O::AMOMINU_D, 0x18},
+        {O::AMOMAXU_W, O::AMOMAXU_D, 0x1c},
+    };
+    for (const auto &a : amos) {
+        add(a.w, F::Amo, opF3F5(0x2f, 2, a.f5), mAmo);
+        add(a.d, F::Amo, opF3F5(0x2f, 3, a.f5), mAmo);
+    }
+
+    // --------------------------------------------------------- RV64F/D
+    add(O::FLW, F::FpLoadF, opF3(0x07, 2), mOpF3);
+    add(O::FLD, F::FpLoadF, opF3(0x07, 3), mOpF3);
+    add(O::FSW, F::FpStoreF, opF3(0x27, 2), mOpF3);
+    add(O::FSD, F::FpStoreF, opF3(0x27, 3), mOpF3);
+    add(O::FADD_S, F::FpR, 0x53 | (0x00u << 25), mFpR);
+    add(O::FADD_D, F::FpR, 0x53 | (0x01u << 25), mFpR);
+    add(O::FSUB_S, F::FpR, 0x53 | (0x04u << 25), mFpR);
+    add(O::FSUB_D, F::FpR, 0x53 | (0x05u << 25), mFpR);
+    add(O::FMUL_S, F::FpR, 0x53 | (0x08u << 25), mFpR);
+    add(O::FMUL_D, F::FpR, 0x53 | (0x09u << 25), mFpR);
+    add(O::FDIV_S, F::FpR, 0x53 | (0x0cu << 25), mFpR);
+    add(O::FDIV_D, F::FpR, 0x53 | (0x0du << 25), mFpR);
+    add(O::FSQRT_S, F::FpRUnary, 0x53 | (0x2cu << 25), mFpUnary);
+    add(O::FSQRT_D, F::FpRUnary, 0x53 | (0x2du << 25), mFpUnary);
+    add(O::FSGNJ_S, F::FpRF3, opF3F7(0x53, 0, 0x10), mOpF3F7);
+    add(O::FSGNJN_S, F::FpRF3, opF3F7(0x53, 1, 0x10), mOpF3F7);
+    add(O::FSGNJX_S, F::FpRF3, opF3F7(0x53, 2, 0x10), mOpF3F7);
+    add(O::FSGNJ_D, F::FpRF3, opF3F7(0x53, 0, 0x11), mOpF3F7);
+    add(O::FSGNJN_D, F::FpRF3, opF3F7(0x53, 1, 0x11), mOpF3F7);
+    add(O::FSGNJX_D, F::FpRF3, opF3F7(0x53, 2, 0x11), mOpF3F7);
+    add(O::FMIN_S, F::FpRF3, opF3F7(0x53, 0, 0x14), mOpF3F7);
+    add(O::FMAX_S, F::FpRF3, opF3F7(0x53, 1, 0x14), mOpF3F7);
+    add(O::FMIN_D, F::FpRF3, opF3F7(0x53, 0, 0x15), mOpF3F7);
+    add(O::FMAX_D, F::FpRF3, opF3F7(0x53, 1, 0x15), mOpF3F7);
+    add(O::FEQ_S, F::FpCmp, opF3F7(0x53, 2, 0x50), mOpF3F7);
+    add(O::FLT_S, F::FpCmp, opF3F7(0x53, 1, 0x50), mOpF3F7);
+    add(O::FLE_S, F::FpCmp, opF3F7(0x53, 0, 0x50), mOpF3F7);
+    add(O::FEQ_D, F::FpCmp, opF3F7(0x53, 2, 0x51), mOpF3F7);
+    add(O::FLT_D, F::FpCmp, opF3F7(0x53, 1, 0x51), mOpF3F7);
+    add(O::FLE_D, F::FpCmp, opF3F7(0x53, 0, 0x51), mOpF3F7);
+    add(O::FCLASS_S, F::FpClass, opF3F7(0x53, 1, 0x70), mFpMv);
+    add(O::FCLASS_D, F::FpClass, opF3F7(0x53, 1, 0x71), mFpMv);
+    add(O::FMADD_S, F::FpR4, 0x43, mR4);
+    add(O::FMSUB_S, F::FpR4, 0x47, mR4);
+    add(O::FNMSUB_S, F::FpR4, 0x4b, mR4);
+    add(O::FNMADD_S, F::FpR4, 0x4f, mR4);
+    add(O::FMADD_D, F::FpR4, 0x43 | (1u << 25), mR4);
+    add(O::FMSUB_D, F::FpR4, 0x47 | (1u << 25), mR4);
+    add(O::FNMSUB_D, F::FpR4, 0x4b | (1u << 25), mR4);
+    add(O::FNMADD_D, F::FpR4, 0x4f | (1u << 25), mR4);
+    auto cvt = [&](O op, F fmt, uint32_t f7, uint32_t rs2sel) {
+        add(op, fmt, (0x53u) | (f7 << 25) | (rs2sel << 20), mFpUnary);
+    };
+    cvt(O::FCVT_W_S, F::FpCvtToInt, 0x60, 0);
+    cvt(O::FCVT_WU_S, F::FpCvtToInt, 0x60, 1);
+    cvt(O::FCVT_L_S, F::FpCvtToInt, 0x60, 2);
+    cvt(O::FCVT_LU_S, F::FpCvtToInt, 0x60, 3);
+    cvt(O::FCVT_S_W, F::FpCvtToFp, 0x68, 0);
+    cvt(O::FCVT_S_WU, F::FpCvtToFp, 0x68, 1);
+    cvt(O::FCVT_S_L, F::FpCvtToFp, 0x68, 2);
+    cvt(O::FCVT_S_LU, F::FpCvtToFp, 0x68, 3);
+    cvt(O::FCVT_W_D, F::FpCvtToInt, 0x61, 0);
+    cvt(O::FCVT_WU_D, F::FpCvtToInt, 0x61, 1);
+    cvt(O::FCVT_L_D, F::FpCvtToInt, 0x61, 2);
+    cvt(O::FCVT_LU_D, F::FpCvtToInt, 0x61, 3);
+    cvt(O::FCVT_D_W, F::FpCvtToFp, 0x69, 0);
+    cvt(O::FCVT_D_WU, F::FpCvtToFp, 0x69, 1);
+    cvt(O::FCVT_D_L, F::FpCvtToFp, 0x69, 2);
+    cvt(O::FCVT_D_LU, F::FpCvtToFp, 0x69, 3);
+    cvt(O::FCVT_S_D, F::FpCvtFp, 0x20, 1);
+    cvt(O::FCVT_D_S, F::FpCvtFp, 0x21, 0);
+    add(O::FMV_X_W, F::FpMvToInt, opF3F7(0x53, 0, 0x70), mFpMv);
+    add(O::FMV_W_X, F::FpMvToFp, opF3F7(0x53, 0, 0x78), mFpMv);
+    add(O::FMV_X_D, F::FpMvToInt, opF3F7(0x53, 0, 0x71), mFpMv);
+    add(O::FMV_D_X, F::FpMvToFp, opF3F7(0x53, 0, 0x79), mFpMv);
+
+    // -------------------------------------------- V extension (0.7.1)
+    add(O::VSETVLI, F::VSetVLI, opF3(0x57, 7), mOpF3 | 0x80000000u);
+    add(O::VSETVL, F::VSetVL, opF3F7(0x57, 7, 0x40) | 0x80000000u,
+        mOpF3F7);
+    add(O::VLE_V, F::VecLdUnit, vMem(0x07, 0), mVMemUnit);
+    add(O::VLSE_V, F::VecLdStride, vMem(0x07, 2), mVMemOther);
+    add(O::VLXE_V, F::VecLdIdx, vMem(0x07, 3), mVMemOther);
+    add(O::VSE_V, F::VecStUnit, vMem(0x27, 0), mVMemUnit);
+    add(O::VSSE_V, F::VecStStride, vMem(0x27, 2), mVMemOther);
+    add(O::VSXE_V, F::VecStIdx, vMem(0x27, 3), mVMemOther);
+
+    auto vvv = [&](O op, uint32_t f6) {
+        add(op, F::VecVV, vArith(opIVV, f6), mVArith);
+    };
+    auto vvx = [&](O op, uint32_t f6) {
+        add(op, F::VecVX, vArith(opIVX, f6), mVArith);
+    };
+    auto vvi = [&](O op, uint32_t f6) {
+        add(op, F::VecVI, vArith(opIVI, f6), mVArith);
+    };
+    vvv(O::VADD_VV, 0x00);
+    vvx(O::VADD_VX, 0x00);
+    vvi(O::VADD_VI, 0x00);
+    vvv(O::VSUB_VV, 0x02);
+    vvx(O::VSUB_VX, 0x02);
+    vvx(O::VRSUB_VX, 0x03);
+    vvv(O::VMINU_VV, 0x04);
+    vvv(O::VMIN_VV, 0x05);
+    vvv(O::VMAXU_VV, 0x06);
+    vvv(O::VMAX_VV, 0x07);
+    vvv(O::VAND_VV, 0x09);
+    vvx(O::VAND_VX, 0x09);
+    vvv(O::VOR_VV, 0x0a);
+    vvx(O::VOR_VX, 0x0a);
+    vvv(O::VXOR_VV, 0x0b);
+    vvx(O::VXOR_VX, 0x0b);
+    vvi(O::VSLIDEUP_VI, 0x0e);
+    vvi(O::VSLIDEDOWN_VI, 0x0f);
+    vvv(O::VMSEQ_VV, 0x18);
+    vvx(O::VMSEQ_VX, 0x18);
+    vvv(O::VMSNE_VV, 0x19);
+    vvv(O::VMSLTU_VV, 0x1a);
+    vvv(O::VMSLT_VV, 0x1b);
+    vvx(O::VMSLT_VX, 0x1b);
+    vvv(O::VSLL_VV, 0x25);
+    vvi(O::VSLL_VI, 0x25);
+    vvv(O::VSRL_VV, 0x28);
+    vvi(O::VSRL_VI, 0x28);
+    vvv(O::VSRA_VV, 0x29);
+    vvi(O::VSRA_VI, 0x29);
+    // vmerge (vm = 0) / vmv (vm = 1, vs2 = 0) share funct6 0x17.
+    add(O::VMERGE_VVM, F::VecVV, vArith(opIVV, 0x17, false), mVArithVm);
+    add(O::VMERGE_VXM, F::VecVX, vArith(opIVX, 0x17, false), mVArithVm);
+    add(O::VMV_V_V, F::VecMvVV, vArith(opIVV, 0x17, true), mVMv);
+    add(O::VMV_V_X, F::VecMvVX, vArith(opIVX, 0x17, true), mVMv);
+    add(O::VMV_V_I, F::VecMvVI, vArith(opIVI, 0x17, true), mVMv);
+    // OPMVV / OPMVX space.
+    add(O::VREDSUM_VS, F::VecVVRed, vArith(opMVV, 0x00), mVArith);
+    add(O::VREDMAX_VS, F::VecVVRed, vArith(opMVV, 0x07), mVArith);
+    add(O::VMV_X_S, F::VecMvXS, vArith(opMVV, 0x10), mVMvS);
+    add(O::VMV_S_X, F::VecMvSX, vArith(opMVX, 0x10), mVMv);
+    add(O::VDIVU_VV, F::VecVV, vArith(opMVV, 0x20), mVArith);
+    add(O::VDIV_VV, F::VecVV, vArith(opMVV, 0x21), mVArith);
+    add(O::VMUL_VV, F::VecVV, vArith(opMVV, 0x25), mVArith);
+    add(O::VMUL_VX, F::VecVX, vArith(opMVX, 0x25), mVArith);
+    add(O::VMULH_VV, F::VecVV, vArith(opMVV, 0x27), mVArith);
+    add(O::VMADD_VV, F::VecVV, vArith(opMVV, 0x29), mVArith);
+    add(O::VMACC_VV, F::VecVV, vArith(opMVV, 0x2d), mVArith);
+    add(O::VMACC_VX, F::VecVX, vArith(opMVX, 0x2d), mVArith);
+    add(O::VWMUL_VV, F::VecVV, vArith(opMVV, 0x3b), mVArith);
+    add(O::VWMACC_VV, F::VecVV, vArith(opMVV, 0x3d), mVArith);
+    // OPFVV / OPFVF space.
+    add(O::VFADD_VV, F::VecVV, vArith(opFVV, 0x00), mVArith);
+    add(O::VFADD_VF, F::VecVF, vArith(opFVF, 0x00), mVArith);
+    add(O::VFREDSUM_VS, F::VecVVRed, vArith(opFVV, 0x01), mVArith);
+    add(O::VFSUB_VV, F::VecVV, vArith(opFVV, 0x02), mVArith);
+    add(O::VFMV_F_S, F::VecMvFS, vArith(opFVV, 0x10), mVMvS);
+    add(O::VFMV_V_F, F::VecMvVF, vArith(opFVF, 0x17), mVMv);
+    add(O::VFDIV_VV, F::VecVV, vArith(opFVV, 0x20), mVArith);
+    add(O::VFMUL_VV, F::VecVV, vArith(opFVV, 0x24), mVArith);
+    add(O::VFMUL_VF, F::VecVF, vArith(opFVF, 0x24), mVArith);
+    add(O::VFMACC_VV, F::VecVV, vArith(opFVV, 0x2c), mVArith);
+    add(O::VFMACC_VF, F::VecVF, vArith(opFVF, 0x2c), mVArith);
+
+    // ------------------------------------- XT-910 custom (custom-0)
+    const uint32_t xt = 0x0b;
+    add(O::XT_ADDSL, F::XtAddSl, opF3(xt, 1), mXtF5);
+    add(O::XT_EXT, F::XtExt, opF3(xt, 2), mXtF3);
+    add(O::XT_EXTU, F::XtExt, opF3(xt, 3), mXtF3);
+    auto idxLd = [&](O op, uint32_t f5) {
+        add(op, F::XtIdxLd, opF3F5(xt, 4, f5), mXtF5);
+    };
+    idxLd(O::XT_LRB, 0x00);
+    idxLd(O::XT_LRBU, 0x01);
+    idxLd(O::XT_LRH, 0x02);
+    idxLd(O::XT_LRHU, 0x03);
+    idxLd(O::XT_LRW, 0x04);
+    idxLd(O::XT_LRWU, 0x05);
+    idxLd(O::XT_LRD, 0x06);
+    idxLd(O::XT_LURW, 0x07);
+    idxLd(O::XT_LURD, 0x08);
+    auto idxSt = [&](O op, uint32_t f5) {
+        add(op, F::XtIdxSt, opF3F5(xt, 5, f5), mXtF5);
+    };
+    idxSt(O::XT_SRB, 0x00);
+    idxSt(O::XT_SRH, 0x02);
+    idxSt(O::XT_SRW, 0x04);
+    idxSt(O::XT_SRD, 0x06);
+    auto unary = [&](O op, uint32_t rs2sel) {
+        add(op, F::XtUnary, opF3F7(xt, 0, 0x40) | (rs2sel << 20),
+            mXtUnary);
+    };
+    unary(O::XT_FF0, 0);
+    unary(O::XT_FF1, 1);
+    unary(O::XT_REV, 2);
+    unary(O::XT_TSTNBZ, 3);
+    add(O::XT_SRRI, F::XtImm6, opF3(xt, 6) | (0x04u << 26), mXtImm6);
+    auto mac = [&](O op, uint32_t f7) {
+        add(op, F::XtR, opF3F7(xt, 0, f7), mOpF3F7);
+    };
+    mac(O::XT_MULA, 0x10);
+    mac(O::XT_MULS, 0x11);
+    mac(O::XT_MULAH, 0x12);
+    mac(O::XT_MULSH, 0x13);
+    auto cacheAll = [&](O op, uint32_t f7) {
+        add(op, F::XtCacheAll, opF3F7(xt, 7, f7), mXtAll);
+    };
+    cacheAll(O::XT_DCACHE_CALL, 0x01);
+    cacheAll(O::XT_DCACHE_CIALL, 0x02);
+    cacheAll(O::XT_ICACHE_IALL, 0x03);
+    cacheAll(O::XT_SYNC, 0x04);
+    cacheAll(O::XT_SYNC_I, 0x05);
+    cacheAll(O::XT_TLB_IALL, 0x06);
+    auto cacheVa = [&](O op, uint32_t f7) {
+        add(op, F::XtCacheVA, opF3F7(xt, 7, f7), mXtVa);
+    };
+    cacheVa(O::XT_TLB_IASID, 0x07);
+    cacheVa(O::XT_DCACHE_CVA, 0x08);
+    cacheVa(O::XT_DCACHE_CIVA, 0x09);
+    cacheVa(O::XT_TLB_BCAST, 0x0a);
+
+    return t;
+}
+
+// ------------------------------------------------ immediate codecs
+
+uint32_t
+encImmI(int64_t imm)
+{
+    return (uint32_t(imm) & 0xfff) << 20;
+}
+
+int64_t
+decImmI(uint32_t w)
+{
+    return sext(bits(w, 31, 20), 12);
+}
+
+uint32_t
+encImmS(int64_t imm)
+{
+    uint32_t u = uint32_t(imm);
+    return (bits(u, 11, 5) << 25) | (bits(u, 4, 0) << 7);
+}
+
+int64_t
+decImmS(uint32_t w)
+{
+    return sext((bits(w, 31, 25) << 5) | bits(w, 11, 7), 12);
+}
+
+uint32_t
+encImmB(int64_t imm)
+{
+    uint32_t u = uint32_t(imm);
+    return (bit(u, 12) << 31) | (bits(u, 10, 5) << 25) |
+           (bits(u, 4, 1) << 8) | (bit(u, 11) << 7);
+}
+
+int64_t
+decImmB(uint32_t w)
+{
+    return sext((bit(w, 31) << 12) | (bit(w, 7) << 11) |
+                    (bits(w, 30, 25) << 5) | (bits(w, 11, 8) << 1),
+                13);
+}
+
+uint32_t
+encImmU(int64_t imm)
+{
+    return uint32_t(imm) & 0xfffff000;
+}
+
+int64_t
+decImmU(uint32_t w)
+{
+    return sext(w & 0xfffff000, 32);
+}
+
+uint32_t
+encImmJ(int64_t imm)
+{
+    uint32_t u = uint32_t(imm);
+    return (bit(u, 20) << 31) | (bits(u, 10, 1) << 21) |
+           (bit(u, 11) << 20) | (bits(u, 19, 12) << 12);
+}
+
+int64_t
+decImmJ(uint32_t w)
+{
+    return sext((bit(w, 31) << 20) | (bits(w, 19, 12) << 12) |
+                    (bit(w, 20) << 11) | (bits(w, 30, 21) << 1),
+                21);
+}
+
+// --------------------------------------------- field packing tables
+
+uint32_t
+rdF(RegIndex r)
+{
+    return (uint32_t(r) & 0x1f) << 7;
+}
+
+uint32_t
+rs1F(RegIndex r)
+{
+    return (uint32_t(r) & 0x1f) << 15;
+}
+
+uint32_t
+rs2F(RegIndex r)
+{
+    return (uint32_t(r) & 0x1f) << 20;
+}
+
+uint32_t
+rs3F(RegIndex r)
+{
+    return (uint32_t(r) & 0x1f) << 27;
+}
+
+/** Validate that @p imm is representable in a @p bits-bit field. */
+void
+checkImm(int64_t imm, unsigned bits, const DecodedInst &di)
+{
+    int64_t lo = -(1ll << (bits - 1));
+    int64_t hi = (1ll << (bits - 1)) - 1;
+    if (imm < lo || imm > hi)
+        xt_fatal("immediate ", imm, " out of range for ",
+                 mnemonic(di.op), " (", bits, "-bit field)");
+}
+
+/** Pack the operand fields of @p di into @p w according to @p fmt. */
+uint32_t
+packOperands(EncFormat fmt, const DecodedInst &di, uint32_t w)
+{
+    using F = EncFormat;
+    switch (fmt) {
+      case F::I:
+      case F::FpLoadF:
+      case F::S:
+      case F::FpStoreF:
+        checkImm(di.imm, 12, di);
+        break;
+      case F::B:
+        checkImm(di.imm, 13, di);
+        break;
+      case F::J:
+        checkImm(di.imm, 21, di);
+        break;
+      case F::U:
+        checkImm(di.imm >> 12, 20, di);
+        break;
+      case F::VecVI:
+      case F::VecMvVI:
+        checkImm(di.imm, 5, di);
+        break;
+      default:
+        break;
+    }
+    switch (fmt) {
+      case F::R:
+      case F::XtR:
+        return w | rdF(di.rd) | rs1F(di.rs1) | rs2F(di.rs2);
+      case F::I:
+      case F::FpLoadF:
+        return w | rdF(di.rd) | rs1F(di.rs1) | encImmI(di.imm);
+      case F::IShift:
+        return w | rdF(di.rd) | rs1F(di.rs1) |
+               ((uint32_t(di.imm) & 0x3f) << 20);
+      case F::IShiftW:
+        return w | rdF(di.rd) | rs1F(di.rs1) |
+               ((uint32_t(di.imm) & 0x1f) << 20);
+      case F::S:
+      case F::FpStoreF:
+        return w | rs1F(di.rs1) | rs2F(di.rs2) | encImmS(di.imm);
+      case F::B:
+        return w | rs1F(di.rs1) | rs2F(di.rs2) | encImmB(di.imm);
+      case F::U:
+        return w | rdF(di.rd) | encImmU(di.imm);
+      case F::J:
+        return w | rdF(di.rd) | encImmJ(di.imm);
+      case F::Sys:
+        return w;
+      case F::SfenceVma:
+        return w | rs1F(di.rs1) | rs2F(di.rs2);
+      case F::CsrR:
+        return w | rdF(di.rd) | rs1F(di.rs1) |
+               ((uint32_t(di.imm) & 0xfff) << 20);
+      case F::CsrI:
+        // rs1 slot carries the 5-bit zimm, stored in di.rs1.
+        return w | rdF(di.rd) | rs1F(di.rs1) |
+               ((uint32_t(di.imm) & 0xfff) << 20);
+      case F::Amo:
+        return w | rdF(di.rd) | rs1F(di.rs1) | rs2F(di.rs2);
+      case F::AmoLr:
+        return w | rdF(di.rd) | rs1F(di.rs1);
+      case F::FpR:
+      case F::FpRF3:
+      case F::FpCmp:
+        return w | rdF(di.rd) | rs1F(di.rs1) | rs2F(di.rs2);
+      case F::FpRUnary:
+      case F::FpClass:
+      case F::FpCvtToInt:
+      case F::FpCvtToFp:
+      case F::FpCvtFp:
+      case F::FpMvToInt:
+      case F::FpMvToFp:
+        return w | rdF(di.rd) | rs1F(di.rs1);
+      case F::FpR4:
+        return w | rdF(di.rd) | rs1F(di.rs1) | rs2F(di.rs2) |
+               rs3F(di.rs3);
+      case F::VecVV:
+      case F::VecVVRed:
+      case F::VecVX:
+      case F::VecVF:
+        return w | rdF(di.rd) | rs1F(di.rs1) | rs2F(di.rs2) |
+               (di.vm ? fVm : 0);
+      case F::VecVI:
+        return w | rdF(di.rd) | ((uint32_t(di.imm) & 0x1f) << 15) |
+               rs2F(di.rs2) | (di.vm ? fVm : 0);
+      case F::VecMvXS:
+      case F::VecMvFS:
+        return w | rdF(di.rd) | rs2F(di.rs2);
+      case F::VecMvSX:
+      case F::VecMvVX:
+      case F::VecMvVF:
+        return w | rdF(di.rd) | rs1F(di.rs1);
+      case F::VecMvVV:
+        return w | rdF(di.rd) | rs1F(di.rs1);
+      case F::VecMvVI:
+        return w | rdF(di.rd) | ((uint32_t(di.imm) & 0x1f) << 15);
+      case F::VSetVLI:
+        return w | rdF(di.rd) | rs1F(di.rs1) |
+               ((uint32_t(di.imm) & 0x7ff) << 20);
+      case F::VSetVL:
+        return w | rdF(di.rd) | rs1F(di.rs1) | rs2F(di.rs2);
+      case F::VecLdUnit:
+        return w | rdF(di.rd) | rs1F(di.rs1) | (di.vm ? fVm : 0);
+      case F::VecLdStride:
+      case F::VecLdIdx:
+        return w | rdF(di.rd) | rs1F(di.rs1) | rs2F(di.rs2) |
+               (di.vm ? fVm : 0);
+      case F::VecStUnit:
+        return w | rdF(di.rs3) | rs1F(di.rs1) | (di.vm ? fVm : 0);
+      case F::VecStStride:
+      case F::VecStIdx:
+        return w | rdF(di.rs3) | rs1F(di.rs1) | rs2F(di.rs2) |
+               (di.vm ? fVm : 0);
+      case F::XtAddSl:
+        return w | rdF(di.rd) | rs1F(di.rs1) | rs2F(di.rs2) |
+               ((uint32_t(di.shamt2) & 3) << 25);
+      case F::XtIdxLd:
+        return w | rdF(di.rd) | rs1F(di.rs1) | rs2F(di.rs2) |
+               ((uint32_t(di.shamt2) & 3) << 25);
+      case F::XtIdxSt:
+        return w | rdF(di.rs3) | rs1F(di.rs1) | rs2F(di.rs2) |
+               ((uint32_t(di.shamt2) & 3) << 25);
+      case F::XtExt:
+        // imm packs msb<<6 | lsb.
+        return w | rdF(di.rd) | rs1F(di.rs1) |
+               ((uint32_t(di.imm) & 0xfff) << 20);
+      case F::XtImm6:
+        return w | rdF(di.rd) | rs1F(di.rs1) |
+               ((uint32_t(di.imm) & 0x3f) << 20);
+      case F::XtUnary:
+        return w | rdF(di.rd) | rs1F(di.rs1);
+      case F::XtCacheVA:
+        return w | rs1F(di.rs1);
+      case F::XtCacheAll:
+        return w;
+    }
+    xt_panic("unhandled encode format");
+}
+
+/** Unpack operand fields of @p w into @p di according to @p fmt. */
+void
+unpackOperands(EncFormat fmt, uint32_t w, DecodedInst &di)
+{
+    using F = EncFormat;
+    using RC = RegClass;
+    auto rd = RegIndex(bits(w, 11, 7));
+    auto rs1 = RegIndex(bits(w, 19, 15));
+    auto rs2 = RegIndex(bits(w, 24, 20));
+    auto rs3 = RegIndex(bits(w, 31, 27));
+    auto setRd = [&](RC c) { di.rd = rd; di.rdClass = c; };
+    auto setRs1 = [&](RC c) { di.rs1 = rs1; di.rs1Class = c; };
+    auto setRs2 = [&](RC c) { di.rs2 = rs2; di.rs2Class = c; };
+
+    switch (fmt) {
+      case F::R:
+      case F::XtR:
+        setRd(RC::Int); setRs1(RC::Int); setRs2(RC::Int);
+        break;
+      case F::I:
+        setRd(RC::Int); setRs1(RC::Int);
+        di.imm = decImmI(w);
+        break;
+      case F::FpLoadF:
+        setRd(RC::Fp); setRs1(RC::Int);
+        di.imm = decImmI(w);
+        break;
+      case F::IShift:
+        setRd(RC::Int); setRs1(RC::Int);
+        di.imm = int64_t(bits(w, 25, 20));
+        break;
+      case F::IShiftW:
+        setRd(RC::Int); setRs1(RC::Int);
+        di.imm = int64_t(bits(w, 24, 20));
+        break;
+      case F::S:
+        setRs1(RC::Int); setRs2(RC::Int);
+        di.imm = decImmS(w);
+        break;
+      case F::FpStoreF:
+        setRs1(RC::Int); setRs2(RC::Fp);
+        di.imm = decImmS(w);
+        break;
+      case F::B:
+        setRs1(RC::Int); setRs2(RC::Int);
+        di.imm = decImmB(w);
+        break;
+      case F::U:
+        setRd(RC::Int);
+        di.imm = decImmU(w);
+        break;
+      case F::J:
+        setRd(RC::Int);
+        di.imm = decImmJ(w);
+        break;
+      case F::Sys:
+        break;
+      case F::SfenceVma:
+        setRs1(RC::Int); setRs2(RC::Int);
+        break;
+      case F::CsrR:
+        setRd(RC::Int); setRs1(RC::Int);
+        di.imm = int64_t(bits(w, 31, 20));
+        break;
+      case F::CsrI:
+        setRd(RC::Int);
+        di.rs1 = rs1; // zimm5, not a register read
+        di.imm = int64_t(bits(w, 31, 20));
+        break;
+      case F::Amo:
+        setRd(RC::Int); setRs1(RC::Int); setRs2(RC::Int);
+        break;
+      case F::AmoLr:
+        setRd(RC::Int); setRs1(RC::Int);
+        break;
+      case F::FpR:
+      case F::FpRF3:
+        setRd(RC::Fp); setRs1(RC::Fp); setRs2(RC::Fp);
+        break;
+      case F::FpCmp:
+        setRd(RC::Int); setRs1(RC::Fp); setRs2(RC::Fp);
+        break;
+      case F::FpRUnary:
+      case F::FpCvtFp:
+        setRd(RC::Fp); setRs1(RC::Fp);
+        break;
+      case F::FpClass:
+      case F::FpCvtToInt:
+      case F::FpMvToInt:
+        setRd(RC::Int); setRs1(RC::Fp);
+        break;
+      case F::FpCvtToFp:
+      case F::FpMvToFp:
+        setRd(RC::Fp); setRs1(RC::Int);
+        break;
+      case F::FpR4:
+        setRd(RC::Fp); setRs1(RC::Fp); setRs2(RC::Fp);
+        di.rs3 = rs3;
+        di.rs3Class = RC::Fp;
+        break;
+      case F::VecVV:
+      case F::VecVVRed:
+        setRd(RC::Vec); setRs1(RC::Vec); setRs2(RC::Vec);
+        di.vm = bit(w, 25);
+        break;
+      case F::VecVX:
+        setRd(RC::Vec); setRs1(RC::Int); setRs2(RC::Vec);
+        di.vm = bit(w, 25);
+        break;
+      case F::VecVF:
+        setRd(RC::Vec); setRs1(RC::Fp); setRs2(RC::Vec);
+        di.vm = bit(w, 25);
+        break;
+      case F::VecVI:
+        setRd(RC::Vec); setRs2(RC::Vec);
+        di.imm = sext(bits(w, 19, 15), 5);
+        di.vm = bit(w, 25);
+        break;
+      case F::VecMvXS:
+        setRd(RC::Int); setRs2(RC::Vec);
+        break;
+      case F::VecMvFS:
+        setRd(RC::Fp); setRs2(RC::Vec);
+        break;
+      case F::VecMvSX:
+        setRd(RC::Vec); setRs1(RC::Int);
+        break;
+      case F::VecMvVX:
+        setRd(RC::Vec); setRs1(RC::Int);
+        break;
+      case F::VecMvVF:
+        setRd(RC::Vec); setRs1(RC::Fp);
+        break;
+      case F::VecMvVV:
+        setRd(RC::Vec); setRs1(RC::Vec);
+        break;
+      case F::VecMvVI:
+        setRd(RC::Vec);
+        di.imm = sext(bits(w, 19, 15), 5);
+        break;
+      case F::VSetVLI:
+        setRd(RC::Int); setRs1(RC::Int);
+        di.imm = int64_t(bits(w, 30, 20));
+        break;
+      case F::VSetVL:
+        setRd(RC::Int); setRs1(RC::Int); setRs2(RC::Int);
+        break;
+      case F::VecLdUnit:
+        setRd(RC::Vec); setRs1(RC::Int);
+        di.vm = bit(w, 25);
+        break;
+      case F::VecLdStride:
+        setRd(RC::Vec); setRs1(RC::Int); setRs2(RC::Int);
+        di.vm = bit(w, 25);
+        break;
+      case F::VecLdIdx:
+        setRd(RC::Vec); setRs1(RC::Int); setRs2(RC::Vec);
+        di.vm = bit(w, 25);
+        break;
+      case F::VecStUnit:
+        setRs1(RC::Int);
+        di.rs3 = rd;
+        di.rs3Class = RC::Vec;
+        di.vm = bit(w, 25);
+        break;
+      case F::VecStStride:
+        setRs1(RC::Int); setRs2(RC::Int);
+        di.rs3 = rd;
+        di.rs3Class = RC::Vec;
+        di.vm = bit(w, 25);
+        break;
+      case F::VecStIdx:
+        setRs1(RC::Int); setRs2(RC::Vec);
+        di.rs3 = rd;
+        di.rs3Class = RC::Vec;
+        di.vm = bit(w, 25);
+        break;
+      case F::XtAddSl:
+      case F::XtIdxLd:
+        setRd(RC::Int); setRs1(RC::Int); setRs2(RC::Int);
+        di.shamt2 = uint8_t(bits(w, 26, 25));
+        break;
+      case F::XtIdxSt:
+        setRs1(RC::Int); setRs2(RC::Int);
+        di.rs3 = rd;
+        di.rs3Class = RC::Int;
+        di.shamt2 = uint8_t(bits(w, 26, 25));
+        break;
+      case F::XtExt:
+        setRd(RC::Int); setRs1(RC::Int);
+        di.imm = int64_t(bits(w, 31, 20));
+        break;
+      case F::XtImm6:
+        setRd(RC::Int); setRs1(RC::Int);
+        di.imm = int64_t(bits(w, 25, 20));
+        break;
+      case F::XtUnary:
+        setRd(RC::Int); setRs1(RC::Int);
+        break;
+      case F::XtCacheVA:
+        setRs1(RC::Int);
+        break;
+      case F::XtCacheAll:
+        break;
+    }
+}
+
+/** Per-opcode entry index, built lazily. */
+const std::array<int, numOpcodes> &
+entryIndex()
+{
+    static const std::array<int, numOpcodes> idx = [] {
+        std::array<int, numOpcodes> a;
+        a.fill(-1);
+        const auto &tab = encodingTable();
+        for (size_t i = 0; i < tab.size(); ++i)
+            a[static_cast<unsigned>(tab[i].op)] = int(i);
+        return a;
+    }();
+    return idx;
+}
+
+/** Decode buckets by major opcode (low 7 bits). */
+const std::array<std::vector<const EncEntry *>, 128> &
+decodeBuckets()
+{
+    static const auto buckets = [] {
+        std::array<std::vector<const EncEntry *>, 128> b;
+        for (const auto &e : encodingTable())
+            b[e.match & 0x7f].push_back(&e);
+        return b;
+    }();
+    return buckets;
+}
+
+} // namespace
+
+const std::vector<EncEntry> &
+encodingTable()
+{
+    static const std::vector<EncEntry> table = buildTable();
+    return table;
+}
+
+const EncEntry *
+encEntryOf(Opcode op)
+{
+    if (op >= Opcode::NumOpcodes)
+        return nullptr;
+    int idx = entryIndex()[static_cast<unsigned>(op)];
+    return idx < 0 ? nullptr : &encodingTable()[size_t(idx)];
+}
+
+uint32_t
+encode(const DecodedInst &di)
+{
+    int idx = entryIndex()[static_cast<unsigned>(di.op)];
+    xt_assert(idx >= 0, "no encoding for opcode ", mnemonic(di.op));
+    const EncEntry &e = encodingTable()[size_t(idx)];
+    return packOperands(e.fmt, di, e.match);
+}
+
+DecodedInst
+decode32(uint32_t word)
+{
+    DecodedInst di;
+    di.raw = word;
+    di.len = 4;
+    for (const EncEntry *e : decodeBuckets()[word & 0x7f]) {
+        if ((word & e->mask) == e->match) {
+            di.op = e->op;
+            unpackOperands(e->fmt, word, di);
+            return di;
+        }
+    }
+    return di; // Invalid
+}
+
+DecodedInst
+decode(uint32_t word)
+{
+    if ((word & 3) == 3)
+        return decode32(word);
+    uint32_t expanded = expandRvc(uint16_t(word & 0xffff));
+    if (expanded == 0) {
+        DecodedInst di;
+        di.raw = word & 0xffff;
+        di.len = 2;
+        return di; // Invalid
+    }
+    DecodedInst di = decode32(expanded);
+    di.len = 2;
+    di.raw = expanded;
+    return di;
+}
+
+} // namespace xt910

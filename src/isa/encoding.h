@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Instruction encodings. A single table of (opcode, format, match, mask)
+ * entries drives both the encoder (used by the macro-assembler) and the
+ * decoder, so the two can never disagree.
+ *
+ * Standard RV64GC encodings follow the ratified ISA manual. The vector
+ * encodings follow the 0.7.1-era layout (OP-V major opcode, funct3
+ * sub-spaces, funct6 selectors); the XT-910 custom extension uses the
+ * custom-0 major opcode (0x0b) with funct3 sub-spaces, mirroring the
+ * structure of the real T-Head extensions. Since this repository owns
+ * both producer and consumer, internal consistency — enforced by
+ * round-trip property tests — is the requirement.
+ */
+
+#ifndef XT910_ISA_ENCODING_H
+#define XT910_ISA_ENCODING_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "isa/inst.h"
+#include "isa/opcodes.h"
+
+namespace xt910
+{
+
+/** Operand layout of an encoding-table entry. */
+enum class EncFormat : uint8_t
+{
+    R,           ///< rd, rs1, rs2 (integer)
+    I,           ///< rd, rs1, imm12
+    IShift,      ///< rd, rs1, shamt6
+    IShiftW,     ///< rd, rs1, shamt5 (word shifts)
+    S,           ///< rs1, rs2 = data, imm12
+    B,           ///< rs1, rs2, branch offset
+    U,           ///< rd, upper immediate
+    J,           ///< rd, jump offset
+    Sys,         ///< exact 32-bit match, no operands
+    SfenceVma,   ///< rs1, rs2
+    CsrR,        ///< rd, rs1, csr in imm
+    CsrI,        ///< rd, zimm5 (rs1 slot), csr in imm
+    Amo,         ///< rd, rs1, rs2
+    AmoLr,       ///< rd, rs1
+    FpR,         ///< fp rd/rs1/rs2; rm free
+    FpRUnary,    ///< fp rd, rs1 (sqrt); rm free
+    FpRF3,       ///< fp rd/rs1/rs2; funct3 fixed
+    FpCmp,       ///< int rd, fp rs1/rs2; funct3 fixed
+    FpClass,     ///< int rd, fp rs1
+    FpR4,        ///< fp rd/rs1/rs2/rs3
+    FpCvtToInt,  ///< int rd, fp rs1; rm free
+    FpCvtToFp,   ///< fp rd, int rs1; rm free
+    FpCvtFp,     ///< fp rd, fp rs1; rm free
+    FpMvToInt,   ///< int rd, fp rs1; f3 fixed
+    FpMvToFp,    ///< fp rd, int rs1; f3 fixed
+    FpLoadF,     ///< fp rd, int rs1, imm12
+    FpStoreF,    ///< fp rs2 = data, int rs1, imm12
+    VecVV,       ///< vd, vs1, vs2, vm
+    VecVVRed,    ///< vd, vs1, vs2 (reduction: vs2 is scalar acc)
+    VecVX,       ///< vd, int rs1, vs2, vm
+    VecVI,       ///< vd, imm5, vs2, vm
+    VecVF,       ///< vd, fp rs1, vs2, vm
+    VecMvXS,     ///< int rd, vs2
+    VecMvSX,     ///< vd, int rs1
+    VecMvFS,     ///< fp rd, vs2
+    VecMvVF,     ///< vd, fp rs1
+    VecMvVV,     ///< vd, vs1
+    VecMvVX,     ///< vd, int rs1
+    VecMvVI,     ///< vd, imm5
+    VSetVLI,     ///< rd, rs1, zimm11
+    VSetVL,      ///< rd, rs1, rs2
+    VecLdUnit,   ///< vd, rs1
+    VecLdStride, ///< vd, rs1, rs2 (byte stride)
+    VecLdIdx,    ///< vd, rs1, vs2 (index vector)
+    VecStUnit,   ///< vs3 = data, rs1
+    VecStStride, ///< vs3, rs1, rs2
+    VecStIdx,    ///< vs3, rs1, vs2
+    XtR,         ///< custom R-type (MAC: rd is also a source)
+    XtAddSl,     ///< rd, rs1, rs2, shamt2
+    XtIdxLd,     ///< rd, rs1 base, rs2 index, shamt2
+    XtIdxSt,     ///< rs3 = data (rd slot), rs1 base, rs2 index, shamt2
+    XtExt,       ///< rd, rs1, msb/lsb packed in imm
+    XtImm6,      ///< rd, rs1, imm6
+    XtUnary,     ///< rd, rs1
+    XtCacheVA,   ///< rs1 (virtual address)
+    XtCacheAll,  ///< no operands
+};
+
+/** One row of the master encoding table. */
+struct EncEntry
+{
+    Opcode op;
+    EncFormat fmt;
+    uint32_t match;
+    uint32_t mask;
+};
+
+/** The master encoding table (one entry per encodable opcode). */
+const std::vector<EncEntry> &encodingTable();
+
+/** Encoding-table entry for @p op; nullptr when the opcode has none. */
+const EncEntry *encEntryOf(Opcode op);
+
+/**
+ * Encode a decoded instruction back to its 32-bit word.
+ * Panics if the opcode has no table entry.
+ */
+uint32_t encode(const DecodedInst &di);
+
+/** Decode a 32-bit (non-compressed) word. Invalid op on no match. */
+DecodedInst decode32(uint32_t word);
+
+/**
+ * Decode at an instruction boundary: if the low two bits are not 11 the
+ * halfword is expanded from RVC first and the result carries len == 2.
+ */
+DecodedInst decode(uint32_t word);
+
+/** Expand a 16-bit RVC halfword to its 32-bit equivalent; 0 if illegal. */
+uint32_t expandRvc(uint16_t half);
+
+/**
+ * Try to compress an instruction to its RVC form. Returns nullopt when
+ * no compressed encoding exists for these operands.
+ */
+std::optional<uint16_t> compressInst(const DecodedInst &di);
+
+} // namespace xt910
+
+#endif // XT910_ISA_ENCODING_H

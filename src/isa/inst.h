@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The decoded-instruction record shared by the functional simulator,
+ * the assembler and the timing models.
+ */
+
+#ifndef XT910_ISA_INST_H
+#define XT910_ISA_INST_H
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "isa/opcodes.h"
+
+namespace xt910
+{
+
+/**
+ * A fully decoded instruction. Register fields are architectural
+ * indices; invalidReg marks an unused slot. For indexed stores
+ * (XT_SR*), rs1 is the base, rs2 the index and rs3 the data source.
+ */
+struct DecodedInst
+{
+    Opcode op = Opcode::Invalid;
+    uint8_t len = 4;          ///< 2 (compressed) or 4 bytes
+
+    RegIndex rd = invalidReg;
+    RegIndex rs1 = invalidReg;
+    RegIndex rs2 = invalidReg;
+    RegIndex rs3 = invalidReg;
+
+    RegClass rdClass = RegClass::None;
+    RegClass rs1Class = RegClass::None;
+    RegClass rs2Class = RegClass::None;
+    RegClass rs3Class = RegClass::None;
+
+    int64_t imm = 0;          ///< sign-extended immediate / CSR number
+    uint8_t shamt2 = 0;       ///< 2-bit shift for xt indexed addressing
+    bool vm = true;           ///< vector: unmasked when true
+
+    uint32_t raw = 0;         ///< original encoding (expanded if RVC)
+
+    bool valid() const { return op != Opcode::Invalid; }
+    OpClass cls() const { return opClass(op); }
+    bool isLoad() const { return isMemRead(op); }
+    bool isStore() const { return isMemWrite(op); }
+    bool isBranch() const { return opClass(op) == OpClass::Branch; }
+    bool isJump() const { return opClass(op) == OpClass::Jump; }
+
+    /** True when the instruction writes an architectural register. */
+    bool
+    writesReg() const
+    {
+        if (rdClass == RegClass::None)
+            return false;
+        // x0 writes are architectural no-ops.
+        return !(rdClass == RegClass::Int && rd == 0);
+    }
+
+    /** True if the instruction is a call (writes the link register). */
+    bool
+    isCall() const
+    {
+        return (op == Opcode::JAL || op == Opcode::JALR) &&
+               rdClass == RegClass::Int && (rd == 1 || rd == 5);
+    }
+
+    /** True if the instruction is a return (jalr through x1/x5). */
+    bool
+    isReturn() const
+    {
+        return op == Opcode::JALR && (rs1 == 1 || rs1 == 5) &&
+               !(rdClass == RegClass::Int && (rd == 1 || rd == 5));
+    }
+
+    /** True for indirect jumps that are not returns. */
+    bool
+    isIndirect() const
+    {
+        return op == Opcode::JALR && !isReturn();
+    }
+};
+
+} // namespace xt910
+
+#endif // XT910_ISA_INST_H

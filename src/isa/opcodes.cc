@@ -1,0 +1,136 @@
+#include "isa/opcodes.h"
+
+#include <array>
+
+namespace xt910
+{
+
+namespace
+{
+
+struct OpInfo
+{
+    const char *mnem;
+    OpClass cls;
+    uint8_t lat;
+};
+
+constexpr std::array<OpInfo, numOpcodes> opTable = {{
+#define X(op, mnem, cls, lat) OpInfo{mnem, OpClass::cls, lat},
+#include "isa/opcodes.def"
+#undef X
+}};
+
+} // namespace
+
+const char *
+mnemonic(Opcode op)
+{
+    if (op >= Opcode::NumOpcodes)
+        return "<invalid>";
+    return opTable[static_cast<unsigned>(op)].mnem;
+}
+
+OpClass
+opClass(Opcode op)
+{
+    return opTable[static_cast<unsigned>(op)].cls;
+}
+
+unsigned
+defaultLatency(Opcode op)
+{
+    return opTable[static_cast<unsigned>(op)].lat;
+}
+
+const char *
+opClassName(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::IntAlu: return "IntAlu";
+      case OpClass::IntMul: return "IntMul";
+      case OpClass::IntDiv: return "IntDiv";
+      case OpClass::Branch: return "Branch";
+      case OpClass::Jump: return "Jump";
+      case OpClass::Load: return "Load";
+      case OpClass::Store: return "Store";
+      case OpClass::Amo: return "Amo";
+      case OpClass::FpAlu: return "FpAlu";
+      case OpClass::FpMul: return "FpMul";
+      case OpClass::FpDiv: return "FpDiv";
+      case OpClass::FpCvt: return "FpCvt";
+      case OpClass::Csr: return "Csr";
+      case OpClass::System: return "System";
+      case OpClass::Fence: return "Fence";
+      case OpClass::CacheOp: return "CacheOp";
+      case OpClass::VecCfg: return "VecCfg";
+      case OpClass::VecAlu: return "VecAlu";
+      case OpClass::VecMul: return "VecMul";
+      case OpClass::VecDiv: return "VecDiv";
+      case OpClass::VecLoad: return "VecLoad";
+      case OpClass::VecStore: return "VecStore";
+      default: return "?";
+    }
+}
+
+bool
+isControlFlow(Opcode op)
+{
+    OpClass c = opClass(op);
+    return c == OpClass::Branch || c == OpClass::Jump;
+}
+
+bool
+isMemRead(Opcode op)
+{
+    switch (opClass(op)) {
+      case OpClass::Load:
+      case OpClass::FpLoad:
+      case OpClass::VecLoad:
+        return true;
+      case OpClass::Amo:
+        // SC only writes, but treating it as read+write is harmless.
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isMemWrite(Opcode op)
+{
+    switch (opClass(op)) {
+      case OpClass::Store:
+      case OpClass::FpStore:
+      case OpClass::VecStore:
+        return true;
+      case OpClass::Amo:
+        return !(op == Opcode::LR_W || op == Opcode::LR_D);
+      default:
+        return false;
+    }
+}
+
+bool
+isVector(Opcode op)
+{
+    switch (opClass(op)) {
+      case OpClass::VecCfg:
+      case OpClass::VecAlu:
+      case OpClass::VecMul:
+      case OpClass::VecDiv:
+      case OpClass::VecLoad:
+      case OpClass::VecStore:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isCustom(Opcode op)
+{
+    return op >= Opcode::XT_LRB && op <= Opcode::XT_TLB_BCAST;
+}
+
+} // namespace xt910

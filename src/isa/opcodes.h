@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Opcode enumeration and static per-opcode metadata generated from
+ * opcodes.def (single source of truth shared by the encoder, decoder,
+ * functional simulator and timing model).
+ */
+
+#ifndef XT910_ISA_OPCODES_H
+#define XT910_ISA_OPCODES_H
+
+#include <cstdint>
+
+namespace xt910
+{
+
+/** Execution-resource class an instruction is routed to (§IV). */
+enum class OpClass : uint8_t
+{
+    IntAlu,   ///< single-cycle ALU (two pipes)
+    IntMul,   ///< integer multiply (shares the ALU pipes)
+    IntDiv,   ///< divide (shares the multi-cycle ALU pipe)
+    Branch,   ///< conditional branch (BJU pipe)
+    Jump,     ///< unconditional jump / call / return (BJU pipe)
+    Load,     ///< load pipe of the dual-issue LSU
+    Store,    ///< store pipe of the dual-issue LSU
+    Amo,      ///< atomic memory operation (LSU, serializing)
+    FpAlu,    ///< scalar FP add/compare/sign ops
+    FpMul,    ///< scalar FP multiply / fused MAC
+    FpDiv,    ///< scalar FP divide / sqrt
+    FpCvt,    ///< FP converts and moves
+    FpLoad,   ///< FP load (load pipe)
+    FpStore,  ///< FP store (store pipe)
+    Csr,      ///< CSR access (serializing)
+    System,   ///< ecall/ebreak/fences w/ privilege effects
+    Fence,    ///< memory ordering fence
+    CacheOp,  ///< XT-910 custom cache/TLB maintenance
+    VecCfg,   ///< vsetvl/vsetvli
+    VecAlu,   ///< vector integer/FP simple ops
+    VecMul,   ///< vector multiply / MAC
+    VecDiv,   ///< vector divide
+    VecLoad,  ///< vector load
+    VecStore, ///< vector store
+    NumClasses
+};
+
+/** One enumerator per semantic operation the model understands. */
+enum class Opcode : uint16_t
+{
+#define X(op, mnem, cls, lat) op,
+#include "isa/opcodes.def"
+#undef X
+    NumOpcodes,
+    Invalid = NumOpcodes
+};
+
+constexpr unsigned numOpcodes = static_cast<unsigned>(Opcode::NumOpcodes);
+
+/** Assembly mnemonic for @p op. */
+const char *mnemonic(Opcode op);
+
+/** Execution class for @p op. */
+OpClass opClass(Opcode op);
+
+/** Default execute latency (cycles) for @p op; memory ops exclude cache. */
+unsigned defaultLatency(Opcode op);
+
+/** Human-readable name of an OpClass. */
+const char *opClassName(OpClass cls);
+
+/** True for conditional branches and unconditional jumps. */
+bool isControlFlow(Opcode op);
+
+/** True for any instruction that reads memory (incl. AMO, vector). */
+bool isMemRead(Opcode op);
+
+/** True for any instruction that writes memory (incl. AMO, vector). */
+bool isMemWrite(Opcode op);
+
+/** True for any vector-unit instruction. */
+bool isVector(Opcode op);
+
+/** True for XT-910 custom ("xthead") extension instructions. */
+bool isCustom(Opcode op);
+
+} // namespace xt910
+
+#endif // XT910_ISA_OPCODES_H

@@ -1,0 +1,487 @@
+/**
+ * @file
+ * RVC (compressed) instruction expansion and compression. Expansion maps
+ * a 16-bit halfword to the equivalent 32-bit encoding, which is then run
+ * through the ordinary 32-bit decoder; compression is the inverse used
+ * by the assembler's auto-compression pass.
+ */
+
+#include "common/bitutil.h"
+#include "isa/encoding.h"
+
+namespace xt910
+{
+
+namespace
+{
+
+// Build 32-bit encodings directly (opcode-major constants).
+uint32_t
+mkR(uint32_t opc, uint32_t f3, uint32_t f7, uint32_t rd, uint32_t rs1,
+    uint32_t rs2)
+{
+    return (f7 << 25) | (rs2 << 20) | (rs1 << 15) | (f3 << 12) |
+           (rd << 7) | opc;
+}
+
+uint32_t
+mkI(uint32_t opc, uint32_t f3, uint32_t rd, uint32_t rs1, int32_t imm)
+{
+    return ((uint32_t(imm) & 0xfff) << 20) | (rs1 << 15) | (f3 << 12) |
+           (rd << 7) | opc;
+}
+
+uint32_t
+mkS(uint32_t opc, uint32_t f3, uint32_t rs1, uint32_t rs2, int32_t imm)
+{
+    uint32_t u = uint32_t(imm);
+    return (bits(u, 11, 5) << 25) | (rs2 << 20) | (rs1 << 15) |
+           (f3 << 12) | (bits(u, 4, 0) << 7) | opc;
+}
+
+uint32_t
+mkB(uint32_t opc, uint32_t f3, uint32_t rs1, uint32_t rs2, int32_t imm)
+{
+    uint32_t u = uint32_t(imm);
+    return (bit(u, 12) << 31) | (bits(u, 10, 5) << 25) | (rs2 << 20) |
+           (rs1 << 15) | (f3 << 12) | (bits(u, 4, 1) << 8) |
+           (bit(u, 11) << 7) | opc;
+}
+
+uint32_t
+mkJ(uint32_t rd, int32_t imm)
+{
+    uint32_t u = uint32_t(imm);
+    return (bit(u, 20) << 31) | (bits(u, 10, 1) << 21) |
+           (bit(u, 11) << 20) | (bits(u, 19, 12) << 12) | (rd << 7) |
+           0x6f;
+}
+
+uint32_t
+mkU(uint32_t opc, uint32_t rd, int32_t imm)
+{
+    return (uint32_t(imm) & 0xfffff000) | (rd << 7) | opc;
+}
+
+} // namespace
+
+uint32_t
+expandRvc(uint16_t h)
+{
+    const uint32_t op = h & 3;
+    const uint32_t f3 = bits(h, 15, 13);
+    const uint32_t rdFull = bits(h, 11, 7);
+    const uint32_t rs2Full = bits(h, 6, 2);
+    const uint32_t rdP = 8 + bits(h, 4, 2);   // rd'/rs2'
+    const uint32_t rs1P = 8 + bits(h, 9, 7);  // rs1'/rd'
+
+    if (op == 0) {
+        switch (f3) {
+          case 0: { // c.addi4spn
+            uint32_t imm = (bits(h, 10, 7) << 6) | (bits(h, 12, 11) << 4) |
+                           (bit(h, 5) << 3) | (bit(h, 6) << 2);
+            if (imm == 0)
+                return 0;
+            return mkI(0x13, 0, rdP, 2, int32_t(imm));
+          }
+          case 1: { // c.fld
+            uint32_t imm = (bits(h, 6, 5) << 6) | (bits(h, 12, 10) << 3);
+            return mkI(0x07, 3, rdP, rs1P, int32_t(imm));
+          }
+          case 2: { // c.lw
+            uint32_t imm = (bit(h, 5) << 6) | (bits(h, 12, 10) << 3) |
+                           (bit(h, 6) << 2);
+            return mkI(0x03, 2, rdP, rs1P, int32_t(imm));
+          }
+          case 3: { // c.ld
+            uint32_t imm = (bits(h, 6, 5) << 6) | (bits(h, 12, 10) << 3);
+            return mkI(0x03, 3, rdP, rs1P, int32_t(imm));
+          }
+          case 5: { // c.fsd
+            uint32_t imm = (bits(h, 6, 5) << 6) | (bits(h, 12, 10) << 3);
+            return mkS(0x27, 3, rs1P, rdP, int32_t(imm));
+          }
+          case 6: { // c.sw
+            uint32_t imm = (bit(h, 5) << 6) | (bits(h, 12, 10) << 3) |
+                           (bit(h, 6) << 2);
+            return mkS(0x23, 2, rs1P, rdP, int32_t(imm));
+          }
+          case 7: { // c.sd
+            uint32_t imm = (bits(h, 6, 5) << 6) | (bits(h, 12, 10) << 3);
+            return mkS(0x23, 3, rs1P, rdP, int32_t(imm));
+          }
+          default:
+            return 0;
+        }
+    }
+
+    if (op == 1) {
+        switch (f3) {
+          case 0: { // c.addi / c.nop
+            int32_t imm = int32_t(sext((bit(h, 12) << 5) | bits(h, 6, 2), 6));
+            return mkI(0x13, 0, rdFull, rdFull, imm);
+          }
+          case 1: { // c.addiw
+            if (rdFull == 0)
+                return 0;
+            int32_t imm = int32_t(sext((bit(h, 12) << 5) | bits(h, 6, 2), 6));
+            return mkI(0x1b, 0, rdFull, rdFull, imm);
+          }
+          case 2: { // c.li
+            int32_t imm = int32_t(sext((bit(h, 12) << 5) | bits(h, 6, 2), 6));
+            return mkI(0x13, 0, rdFull, 0, imm);
+          }
+          case 3: {
+            if (rdFull == 2) { // c.addi16sp
+                int32_t imm = int32_t(
+                    sext((bit(h, 12) << 9) | (bits(h, 4, 3) << 7) |
+                             (bit(h, 5) << 6) | (bit(h, 2) << 5) |
+                             (bit(h, 6) << 4),
+                         10));
+                if (imm == 0)
+                    return 0;
+                return mkI(0x13, 0, 2, 2, imm);
+            }
+            // c.lui
+            int32_t imm = int32_t(
+                sext((bit(h, 12) << 17) | (bits(h, 6, 2) << 12), 18));
+            if (imm == 0 || rdFull == 0)
+                return 0;
+            return mkU(0x37, rdFull, imm);
+          }
+          case 4: {
+            uint32_t sub = bits(h, 11, 10);
+            if (sub == 0 || sub == 1) { // c.srli / c.srai
+                uint32_t shamt = (bit(h, 12) << 5) | bits(h, 6, 2);
+                uint32_t f6 = sub == 0 ? 0x00 : 0x10;
+                return (f6 << 26) | (shamt << 20) | (rs1P << 15) |
+                       (5u << 12) | (rs1P << 7) | 0x13;
+            }
+            if (sub == 2) { // c.andi
+                int32_t imm =
+                    int32_t(sext((bit(h, 12) << 5) | bits(h, 6, 2), 6));
+                return mkI(0x13, 7, rs1P, rs1P, imm);
+            }
+            uint32_t sub2 = bits(h, 6, 5);
+            if (bit(h, 12) == 0) {
+                switch (sub2) {
+                  case 0: return mkR(0x33, 0, 0x20, rs1P, rs1P, rdP); // sub
+                  case 1: return mkR(0x33, 4, 0x00, rs1P, rs1P, rdP); // xor
+                  case 2: return mkR(0x33, 6, 0x00, rs1P, rs1P, rdP); // or
+                  case 3: return mkR(0x33, 7, 0x00, rs1P, rs1P, rdP); // and
+                }
+            } else {
+                switch (sub2) {
+                  case 0: return mkR(0x3b, 0, 0x20, rs1P, rs1P, rdP); // subw
+                  case 1: return mkR(0x3b, 0, 0x00, rs1P, rs1P, rdP); // addw
+                  default: return 0;
+                }
+            }
+            return 0;
+          }
+          case 5: { // c.j
+            int32_t imm = int32_t(sext(
+                (bit(h, 12) << 11) | (bit(h, 8) << 10) |
+                    (bits(h, 10, 9) << 8) | (bit(h, 6) << 7) |
+                    (bit(h, 7) << 6) | (bit(h, 2) << 5) |
+                    (bit(h, 11) << 4) | (bits(h, 5, 3) << 1),
+                12));
+            return mkJ(0, imm);
+          }
+          case 6:
+          case 7: { // c.beqz / c.bnez
+            int32_t imm = int32_t(
+                sext((bit(h, 12) << 8) | (bits(h, 6, 5) << 6) |
+                         (bit(h, 2) << 5) | (bits(h, 11, 10) << 3) |
+                         (bits(h, 4, 3) << 1),
+                     9));
+            return mkB(0x63, f3 == 6 ? 0 : 1, rs1P, 0, imm);
+          }
+        }
+        return 0;
+    }
+
+    if (op == 2) {
+        switch (f3) {
+          case 0: { // c.slli
+            uint32_t shamt = (bit(h, 12) << 5) | bits(h, 6, 2);
+            return (shamt << 20) | (rdFull << 15) | (1u << 12) |
+                   (rdFull << 7) | 0x13;
+          }
+          case 1: { // c.fldsp
+            uint32_t imm = (bits(h, 4, 2) << 6) | (bit(h, 12) << 5) |
+                           (bits(h, 6, 5) << 3);
+            return mkI(0x07, 3, rdFull, 2, int32_t(imm));
+          }
+          case 2: { // c.lwsp
+            if (rdFull == 0)
+                return 0;
+            uint32_t imm = (bits(h, 3, 2) << 6) | (bit(h, 12) << 5) |
+                           (bits(h, 6, 4) << 2);
+            return mkI(0x03, 2, rdFull, 2, int32_t(imm));
+          }
+          case 3: { // c.ldsp
+            if (rdFull == 0)
+                return 0;
+            uint32_t imm = (bits(h, 4, 2) << 6) | (bit(h, 12) << 5) |
+                           (bits(h, 6, 5) << 3);
+            return mkI(0x03, 3, rdFull, 2, int32_t(imm));
+          }
+          case 4: {
+            if (bit(h, 12) == 0) {
+                if (rs2Full == 0) { // c.jr
+                    if (rdFull == 0)
+                        return 0;
+                    return mkI(0x67, 0, 0, rdFull, 0);
+                }
+                // c.mv: add rd, x0, rs2
+                return mkR(0x33, 0, 0x00, rdFull, 0, rs2Full);
+            }
+            if (rdFull == 0 && rs2Full == 0)
+                return 0x00100073; // c.ebreak
+            if (rs2Full == 0)      // c.jalr
+                return mkI(0x67, 0, 1, rdFull, 0);
+            // c.add
+            return mkR(0x33, 0, 0x00, rdFull, rdFull, rs2Full);
+          }
+          case 5: { // c.fsdsp
+            uint32_t imm = (bits(h, 9, 7) << 6) | (bits(h, 12, 10) << 3);
+            return mkS(0x27, 3, 2, rs2Full, int32_t(imm));
+          }
+          case 6: { // c.swsp
+            uint32_t imm = (bits(h, 8, 7) << 6) | (bits(h, 12, 9) << 2);
+            return mkS(0x23, 2, 2, rs2Full, int32_t(imm));
+          }
+          case 7: { // c.sdsp
+            uint32_t imm = (bits(h, 9, 7) << 6) | (bits(h, 12, 10) << 3);
+            return mkS(0x23, 3, 2, rs2Full, int32_t(imm));
+          }
+        }
+        return 0;
+    }
+
+    return 0;
+}
+
+namespace
+{
+
+bool
+isPrime(RegIndex r)
+{
+    return r >= 8 && r <= 15;
+}
+
+bool
+fitsImm6(int64_t v)
+{
+    return v >= -32 && v <= 31;
+}
+
+uint16_t
+cr(uint32_t f4, uint32_t rd, uint32_t rs2)
+{
+    return uint16_t((f4 << 12) | (rd << 7) | (rs2 << 2) | 2);
+}
+
+uint16_t
+ci(uint32_t f3, uint32_t imm5, uint32_t rd, uint32_t imm40, uint32_t op)
+{
+    return uint16_t((f3 << 13) | (imm5 << 12) | (rd << 7) | (imm40 << 2) |
+                    op);
+}
+
+} // namespace
+
+std::optional<uint16_t>
+compressInst(const DecodedInst &di)
+{
+    using O = Opcode;
+    const RegIndex rd = di.rd, rs1 = di.rs1, rs2 = di.rs2;
+    const int64_t imm = di.imm;
+
+    switch (di.op) {
+      case O::ADDI:
+        if (rd == rs1 && fitsImm6(imm)) // c.addi (incl. c.nop)
+            return ci(0, bit(imm, 5), rd, bits(imm, 4, 0), 1);
+        if (rs1 == 0 && rd != 0 && fitsImm6(imm)) // c.li
+            return ci(2, bit(imm, 5), rd, bits(imm, 4, 0), 1);
+        if (rd == 0 && rs1 == 0 && imm == 0)
+            return ci(0, 0, 0, 0, 1); // canonical c.nop
+        if (rd == 2 && rs1 == 2 && imm != 0 && imm % 16 == 0 &&
+            imm >= -512 && imm <= 496) { // c.addi16sp
+            uint32_t lo = (bit(imm, 4) << 4) | (bit(imm, 6) << 3) |
+                          (bits(imm, 8, 7) << 1) | bit(imm, 5);
+            return ci(3, bit(imm, 9), 2, lo, 1);
+        }
+        if (isPrime(rd) && rs1 == 2 && imm > 0 && imm % 4 == 0 &&
+            imm < 1024) { // c.addi4spn
+            uint32_t u = uint32_t(imm);
+            return uint16_t((0u << 13) | (bits(u, 5, 4) << 11) |
+                            (bits(u, 9, 6) << 7) | (bit(u, 2) << 6) |
+                            (bit(u, 3) << 5) | ((rd - 8) << 2) | 0);
+        }
+        if (rd != 0 && imm == 0) // mv rd, rs1 -> c.mv
+            return cr(8, rd, rs1);
+        return std::nullopt;
+      case O::ADDIW:
+        if (rd == rs1 && rd != 0 && fitsImm6(imm))
+            return ci(1, bit(imm, 5), rd, bits(imm, 4, 0), 1);
+        return std::nullopt;
+      case O::LUI: {
+        int64_t hi = imm >> 12;
+        if (rd != 0 && rd != 2 && hi != 0 && hi >= -32 && hi <= 31)
+            return ci(3, bit(hi, 5), rd, bits(hi, 4, 0), 1);
+        return std::nullopt;
+      }
+      case O::LW:
+        if (isPrime(rd) && isPrime(rs1) && imm >= 0 && imm < 128 &&
+            imm % 4 == 0) {
+            uint32_t u = uint32_t(imm);
+            return uint16_t((2u << 13) | (bits(u, 5, 3) << 10) |
+                            ((rs1 - 8) << 7) | (bit(u, 2) << 6) |
+                            (bit(u, 6) << 5) | ((rd - 8) << 2) | 0);
+        }
+        if (rd != 0 && rs1 == 2 && imm >= 0 && imm < 256 && imm % 4 == 0) {
+            uint32_t u = uint32_t(imm);
+            return uint16_t((2u << 13) | (bit(u, 5) << 12) | (rd << 7) |
+                            (bits(u, 4, 2) << 4) | (bits(u, 7, 6) << 2) |
+                            2);
+        }
+        return std::nullopt;
+      case O::LD:
+      case O::FLD: {
+        bool isFp = di.op == O::FLD;
+        uint32_t q0f3 = isFp ? 1u : 3u;
+        uint32_t q2f3 = isFp ? 1u : 3u;
+        if ((isFp || isPrime(rd)) && (!isFp || isPrime(rd)) &&
+            isPrime(rd) && isPrime(rs1) && imm >= 0 && imm < 256 &&
+            imm % 8 == 0) {
+            uint32_t u = uint32_t(imm);
+            return uint16_t((q0f3 << 13) | (bits(u, 5, 3) << 10) |
+                            ((rs1 - 8) << 7) | (bits(u, 7, 6) << 5) |
+                            ((rd - 8) << 2) | 0);
+        }
+        if ((isFp || rd != 0) && rs1 == 2 && imm >= 0 && imm < 512 &&
+            imm % 8 == 0) {
+            uint32_t u = uint32_t(imm);
+            return uint16_t(((q2f3 + 0u) << 13) | (bit(u, 5) << 12) |
+                            (rd << 7) | (bits(u, 4, 3) << 5) |
+                            (bits(u, 8, 6) << 2) | 2);
+        }
+        return std::nullopt;
+      }
+      case O::SW:
+        if (isPrime(rs1) && isPrime(rs2) && imm >= 0 && imm < 128 &&
+            imm % 4 == 0) {
+            uint32_t u = uint32_t(imm);
+            return uint16_t((6u << 13) | (bits(u, 5, 3) << 10) |
+                            ((rs1 - 8) << 7) | (bit(u, 2) << 6) |
+                            (bit(u, 6) << 5) | ((rs2 - 8) << 2) | 0);
+        }
+        if (rs1 == 2 && imm >= 0 && imm < 256 && imm % 4 == 0) {
+            uint32_t u = uint32_t(imm);
+            return uint16_t((6u << 13) | (bits(u, 5, 2) << 9) |
+                            (bits(u, 7, 6) << 7) | (rs2 << 2) | 2);
+        }
+        return std::nullopt;
+      case O::SD:
+      case O::FSD: {
+        uint32_t f3q0 = di.op == O::FSD ? 5u : 7u;
+        if (isPrime(rs1) && isPrime(rs2) && imm >= 0 && imm < 256 &&
+            imm % 8 == 0) {
+            uint32_t u = uint32_t(imm);
+            return uint16_t((f3q0 << 13) | (bits(u, 5, 3) << 10) |
+                            ((rs1 - 8) << 7) | (bits(u, 7, 6) << 5) |
+                            ((rs2 - 8) << 2) | 0);
+        }
+        if (rs1 == 2 && imm >= 0 && imm < 512 && imm % 8 == 0) {
+            uint32_t u = uint32_t(imm);
+            return uint16_t((f3q0 << 13) | (bits(u, 5, 3) << 10) |
+                            (bits(u, 8, 6) << 7) | (rs2 << 2) | 2);
+        }
+        return std::nullopt;
+      }
+      case O::SLLI:
+        if (rd == rs1 && rd != 0 && imm > 0 && imm < 64)
+            return ci(0, bit(imm, 5), rd, bits(imm, 4, 0), 2);
+        return std::nullopt;
+      case O::SRLI:
+      case O::SRAI:
+        if (rd == rs1 && isPrime(rd) && imm > 0 && imm < 64) {
+            uint32_t sub = di.op == O::SRLI ? 0u : 1u;
+            return uint16_t((4u << 13) | (bit(imm, 5) << 12) |
+                            (sub << 10) | ((rd - 8) << 7) |
+                            (bits(imm, 4, 0) << 2) | 1);
+        }
+        return std::nullopt;
+      case O::ANDI:
+        if (rd == rs1 && isPrime(rd) && fitsImm6(imm))
+            return uint16_t((4u << 13) | (bit(imm, 5) << 12) |
+                            (2u << 10) | ((rd - 8) << 7) |
+                            (bits(imm, 4, 0) << 2) | 1);
+        return std::nullopt;
+      case O::ADD:
+        if (rd != 0 && rd == rs1 && rs2 != 0) // c.add
+            return cr(9, rd, rs2);
+        if (rd != 0 && rs1 == 0 && rs2 != 0) // c.mv
+            return cr(8, rd, rs2);
+        return std::nullopt;
+      case O::SUB:
+      case O::XOR:
+      case O::OR:
+      case O::AND:
+      case O::SUBW:
+      case O::ADDW: {
+        if (rd != rs1 || !isPrime(rd) || !isPrime(rs2))
+            return std::nullopt;
+        uint32_t hiBit, sub2;
+        switch (di.op) {
+          case O::SUB: hiBit = 0; sub2 = 0; break;
+          case O::XOR: hiBit = 0; sub2 = 1; break;
+          case O::OR: hiBit = 0; sub2 = 2; break;
+          case O::AND: hiBit = 0; sub2 = 3; break;
+          case O::SUBW: hiBit = 1; sub2 = 0; break;
+          default: hiBit = 1; sub2 = 1; break; // ADDW
+        }
+        return uint16_t((4u << 13) | (hiBit << 12) | (3u << 10) |
+                        ((rd - 8) << 7) | (sub2 << 5) | ((rs2 - 8) << 2) |
+                        1);
+      }
+      case O::JAL:
+        if (rd == 0 && imm >= -2048 && imm <= 2046) {
+            uint32_t u = uint32_t(imm);
+            return uint16_t((5u << 13) | (bit(u, 11) << 12) |
+                            (bit(u, 4) << 11) | (bits(u, 9, 8) << 9) |
+                            (bit(u, 10) << 8) | (bit(u, 6) << 7) |
+                            (bit(u, 7) << 6) | (bits(u, 3, 1) << 3) |
+                            (bit(u, 5) << 2) | 1);
+        }
+        return std::nullopt;
+      case O::JALR:
+        if (imm != 0 || rs1 == 0)
+            return std::nullopt;
+        if (rd == 0) // c.jr
+            return cr(8, rs1, 0);
+        if (rd == 1) // c.jalr
+            return cr(9, rs1, 0);
+        return std::nullopt;
+      case O::BEQ:
+      case O::BNE:
+        if (rs2 == 0 && isPrime(rs1) && imm >= -256 && imm <= 254) {
+            uint32_t u = uint32_t(imm);
+            uint32_t f3 = di.op == O::BEQ ? 6u : 7u;
+            return uint16_t((f3 << 13) | (bit(u, 8) << 12) |
+                            (bits(u, 4, 3) << 10) | ((rs1 - 8) << 7) |
+                            (bits(u, 7, 6) << 5) | (bit(u, 2) << 4) |
+                            (bit(u, 1) << 3) | (bit(u, 5) << 2) | 1);
+        }
+        return std::nullopt;
+      case O::EBREAK:
+        return uint16_t(0x9002);
+      default:
+        return std::nullopt;
+    }
+}
+
+} // namespace xt910

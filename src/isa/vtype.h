@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Vector type (vtype) CSR helpers for the 0.7.1-flavoured V extension:
+ * element width (SEW) and register grouping (LMUL), plus the vtypei
+ * immediate layout used by vsetvli.
+ */
+
+#ifndef XT910_ISA_VTYPE_H
+#define XT910_ISA_VTYPE_H
+
+#include <cstdint>
+
+namespace xt910
+{
+
+/** Decoded vtype: SEW in bits and LMUL as a small power of two. */
+struct VType
+{
+    unsigned sew = 64;  ///< element width in bits: 8/16/32/64
+    unsigned lmul = 1;  ///< register group multiplier: 1/2/4/8
+    bool fp = false;    ///< element interpretation hint (model-only)
+
+    bool operator==(const VType &) const = default;
+};
+
+/** Pack a VType into the vsetvli immediate (vtype[4:2]=vsew, [1:0]=vlmul). */
+constexpr uint32_t
+encodeVtype(const VType &vt)
+{
+    unsigned vsew = vt.sew == 8 ? 0 : vt.sew == 16 ? 1 : vt.sew == 32 ? 2 : 3;
+    unsigned vlmul = vt.lmul == 1 ? 0 : vt.lmul == 2 ? 1
+                                    : vt.lmul == 4   ? 2
+                                                     : 3;
+    return (vsew << 2) | vlmul;
+}
+
+/** Unpack a vtypei immediate. */
+constexpr VType
+decodeVtype(uint32_t vtypei)
+{
+    VType vt;
+    vt.sew = 8u << ((vtypei >> 2) & 7);
+    vt.lmul = 1u << (vtypei & 3);
+    return vt;
+}
+
+/**
+ * VLMAX for a given configuration: (VLEN / SEW) * LMUL, the paper's
+ * recommended configuration being VLEN = SLEN = 128 with two 64-bit
+ * slices (§VII).
+ */
+constexpr unsigned
+vlmax(unsigned vlenBits, const VType &vt)
+{
+    return (vlenBits / vt.sew) * vt.lmul;
+}
+
+} // namespace xt910
+
+#endif // XT910_ISA_VTYPE_H

@@ -1,0 +1,194 @@
+#include "mem/cache.h"
+
+#include "common/bitutil.h"
+#include "common/log.h"
+
+namespace xt910
+{
+
+const char *
+coherStateName(CoherState s)
+{
+    switch (s) {
+      case CoherState::Invalid: return "I";
+      case CoherState::Shared: return "S";
+      case CoherState::Exclusive: return "E";
+      case CoherState::Owned: return "O";
+      case CoherState::Modified: return "M";
+    }
+    return "?";
+}
+
+Cache::Cache(const CacheParams &p_)
+    : stats(p_.name),
+      hits(stats, "hits", "demand hits"),
+      misses(stats, "misses", "demand misses"),
+      evictions(stats, "evictions", "lines evicted"),
+      writebacks(stats, "writebacks", "dirty lines written back"),
+      prefetchFills(stats, "prefetch_fills", "lines filled by prefetch"),
+      prefetchUseful(stats, "prefetch_useful",
+                     "prefetched lines later demanded"),
+      invalidations(stats, "invalidations", "coherence invalidations"),
+      eccCorrected(stats, "ecc_corrected",
+                   "single-bit errors corrected by ECC"),
+      eccDetected(stats, "ecc_detected",
+                  "errors detected but not correctable"),
+      p(p_)
+{
+    xt_assert(isPow2(p.lineBytes), "line size must be a power of two");
+    xt_assert(p.assoc >= 1, "associativity must be >= 1");
+    xt_assert(p.sizeBytes % (p.lineBytes * p.assoc) == 0,
+              p.name, ": size not divisible by way size");
+    sets = p.sizeBytes / (p.lineBytes * p.assoc);
+    xt_assert(isPow2(sets), p.name, ": set count must be a power of two");
+    lineShift = log2Floor(p.lineBytes);
+    setShift = log2Floor(sets);
+    lines.resize(size_t(sets) * p.assoc);
+}
+
+uint32_t
+Cache::setIndex(Addr addr) const
+{
+    return uint32_t((addr >> lineShift) & (sets - 1));
+}
+
+Addr
+Cache::tagOf(Addr addr) const
+{
+    return addr >> (lineShift + setShift);
+}
+
+Addr
+Cache::lineAddr(uint32_t set, const Line &l) const
+{
+    return (l.tag << (lineShift + setShift)) |
+           (Addr(set) << lineShift);
+}
+
+Cache::Line *
+Cache::findLine(Addr addr)
+{
+    uint32_t s = setIndex(addr);
+    Addr tag = tagOf(addr);
+    for (uint32_t w = 0; w < p.assoc; ++w) {
+        Line &l = lines[size_t(s) * p.assoc + w];
+        if (l.valid() && l.tag == tag)
+            return &l;
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(Addr addr) const
+{
+    return const_cast<Cache *>(this)->findLine(addr);
+}
+
+void
+Cache::touch(Addr addr, Cycle now)
+{
+    if (Line *l = findLine(addr)) {
+        l->lastUse = now;
+        if (l->prefetched) {
+            l->prefetched = false;
+            ++prefetchUseful;
+        }
+    }
+}
+
+Cache::Victim
+Cache::insert(Addr addr, CoherState st, Cycle now, bool wasPrefetch)
+{
+    Victim v;
+    uint32_t s = setIndex(addr);
+    Addr tag = tagOf(addr);
+
+    Line *dest = nullptr;
+    for (uint32_t w = 0; w < p.assoc; ++w) {
+        Line &l = lines[size_t(s) * p.assoc + w];
+        if (l.valid() && l.tag == tag) {
+            dest = &l; // refill of an already-present line
+            break;
+        }
+        if (!l.valid() && !dest)
+            dest = &l;
+    }
+    if (!dest) {
+        // Evict the least recently used way.
+        dest = &lines[size_t(s) * p.assoc];
+        for (uint32_t w = 1; w < p.assoc; ++w) {
+            Line &l = lines[size_t(s) * p.assoc + w];
+            if (l.lastUse < dest->lastUse)
+                dest = &l;
+        }
+        v.valid = true;
+        v.addr = lineAddr(s, *dest);
+        v.dirty = isDirty(dest->state);
+        v.state = dest->state;
+        ++evictions;
+        if (v.dirty)
+            ++writebacks;
+    }
+
+    dest->tag = tag;
+    dest->state = st;
+    dest->lastUse = now;
+    dest->prefetched = wasPrefetch;
+    if (wasPrefetch)
+        ++prefetchFills;
+    return v;
+}
+
+bool
+Cache::invalidate(Addr addr)
+{
+    if (Line *l = findLine(addr)) {
+        bool dirty = isDirty(l->state);
+        l->state = CoherState::Invalid;
+        ++invalidations;
+        return dirty;
+    }
+    return false;
+}
+
+void
+Cache::invalidateAll()
+{
+    for (Line &l : lines)
+        l.state = CoherState::Invalid;
+}
+
+void
+Cache::setState(Addr addr, CoherState st)
+{
+    if (Line *l = findLine(addr))
+        l->state = st;
+}
+
+
+bool
+Cache::injectBitError(Addr addr)
+{
+    if (Line *l = findLine(addr)) {
+        l->bitError = true;
+        return true;
+    }
+    return false;
+}
+
+bool
+Cache::resolveError(Addr addr)
+{
+    Line *l = findLine(addr);
+    if (!l || !l->bitError)
+        return false;
+    l->bitError = false;
+    if (p.ecc) {
+        ++eccCorrected; // SECDED corrects the single-bit upset
+        return false;
+    }
+    ++eccDetected; // parity: detected, data not recoverable
+    return true;
+}
+
+} // namespace xt910

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Set-associative cache structure model with MOESI line states and LRU
+ * replacement. This class models *contents and state only*; timing and
+ * coherence policy live in MemSystem so the same structure serves L1I,
+ * L1D and the shared inclusive L2 (§II, §VI).
+ */
+
+#ifndef XT910_MEM_CACHE_H
+#define XT910_MEM_CACHE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace xt910
+{
+
+/** MOESI coherence states (the paper's L2 supports MOSEI, §VI). */
+enum class CoherState : uint8_t
+{
+    Invalid,
+    Shared,
+    Exclusive,
+    Owned,
+    Modified,
+};
+
+const char *coherStateName(CoherState s);
+
+/** True when the state implies the line may be dirty vs memory. */
+constexpr bool
+isDirty(CoherState s)
+{
+    return s == CoherState::Modified || s == CoherState::Owned;
+}
+
+/** Cache geometry and behaviour parameters. */
+struct CacheParams
+{
+    std::string name = "cache";
+    uint32_t sizeBytes = 32 * 1024;
+    uint32_t assoc = 4;
+    uint32_t lineBytes = cacheLineBytes;
+    uint32_t hitLatency = 3;   ///< cycles from access to data
+    uint32_t mshrs = 8;        ///< outstanding misses supported
+    /**
+     * SECDED ECC on the data array (Table I: the L2 "supports both ECC
+     * and parity check"). With ECC, injected single-bit errors are
+     * corrected on access; without it they are only detected (parity).
+     */
+    bool ecc = false;
+};
+
+/** See file comment. */
+class Cache
+{
+  public:
+    struct Line
+    {
+        Addr tag = 0;
+        CoherState state = CoherState::Invalid;
+        uint64_t lastUse = 0;   ///< LRU timestamp
+        bool prefetched = false;///< filled by a prefetch, not yet used
+        bool bitError = false;  ///< injected single-bit upset pending
+        bool valid() const { return state != CoherState::Invalid; }
+    };
+
+    explicit Cache(const CacheParams &p);
+
+    /** Look up @p addr; returns the line or nullptr. No LRU update. */
+    Line *findLine(Addr addr);
+    const Line *findLine(Addr addr) const;
+
+    /** Record a use of @p addr for replacement (call on hits). */
+    void touch(Addr addr, Cycle now);
+
+    /** Outcome of an insert: the line that had to leave, if any. */
+    struct Victim
+    {
+        bool valid = false;
+        Addr addr = 0;
+        bool dirty = false;
+        CoherState state = CoherState::Invalid;
+    };
+
+    /**
+     * Fill @p addr in state @p st, evicting the LRU way if needed.
+     * @p wasPrefetch marks prefetch-injected fills for accuracy stats.
+     */
+    Victim insert(Addr addr, CoherState st, Cycle now,
+                  bool wasPrefetch = false);
+
+    /** Drop @p addr if present; returns whether it was dirty. */
+    bool invalidate(Addr addr);
+
+    /** Invalidate everything (xt.dcache.ciall / icache.iall). */
+    void invalidateAll();
+
+    /** Set the state of a present line (coherence downgrades). */
+    void setState(Addr addr, CoherState st);
+
+    /**
+     * Fault injection: mark a single-bit upset in @p addr's line. On
+     * the next access the error is corrected (ECC) or merely detected
+     * (parity), updating the corresponding counters. Returns false
+     * when the line is not resident.
+     */
+    bool injectBitError(Addr addr);
+
+    /** Called by the access path: resolve any pending injected error.
+     *  Returns true if the access would deliver corrupted data (i.e.,
+     *  a detected-but-uncorrectable parity error). */
+    bool resolveError(Addr addr);
+
+    const CacheParams &params() const { return p; }
+    uint32_t numSets() const { return sets; }
+
+    /** Iterate all valid lines (for inclusive back-invalidation). */
+    template <typename Fn>
+    void
+    forEachLine(Fn &&fn) const
+    {
+        for (uint32_t s = 0; s < sets; ++s)
+            for (uint32_t w = 0; w < p.assoc; ++w)
+                if (lines[s * p.assoc + w].valid())
+                    fn(lineAddr(s, lines[s * p.assoc + w]));
+    }
+
+    StatGroup stats;
+    Counter hits;
+    Counter misses;
+    Counter evictions;
+    Counter writebacks;
+    Counter prefetchFills;
+    Counter prefetchUseful;
+    Counter invalidations;
+    Counter eccCorrected;   ///< single-bit errors corrected (ECC)
+    Counter eccDetected;    ///< errors detected but not correctable
+
+  private:
+    uint32_t setIndex(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+    Addr lineAddr(uint32_t set, const Line &l) const;
+
+    CacheParams p;
+    uint32_t sets;
+    unsigned lineShift;
+    unsigned setShift;
+    std::vector<Line> lines;
+};
+
+} // namespace xt910
+
+#endif // XT910_MEM_CACHE_H

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * First-order DRAM model: fixed access latency plus a line-granular
+ * bandwidth constraint. The paper's prefetch experiment (Fig. 21) pins
+ * the memory access delay at ~200 CPU cycles by configuring bus + DDR
+ * delay; this model exposes exactly those knobs.
+ */
+
+#ifndef XT910_MEM_DRAM_H
+#define XT910_MEM_DRAM_H
+
+#include <algorithm>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace xt910
+{
+
+/** DRAM timing parameters. */
+struct DramParams
+{
+    Cycle latency = 200;       ///< request -> first data (Fig. 21 setup)
+    Cycle cyclesPerLine = 4;   ///< minimum gap between line transfers
+};
+
+/** See file comment. */
+class Dram
+{
+  public:
+    explicit Dram(const DramParams &p = DramParams())
+        : stats("dram"),
+          reads(stats, "reads", "line reads"),
+          writes(stats, "writes", "line writebacks"),
+          busyStall(stats, "busy_stall_cycles",
+                    "cycles requests waited for bandwidth"),
+          params(p)
+    {}
+
+    /** A line read starting no earlier than @p when; returns data-ready. */
+    Cycle
+    read(Cycle when)
+    {
+        Cycle start = std::max(when, readFree);
+        busyStall += start - when;
+        readFree = start + params.cyclesPerLine;
+        ++reads;
+        return start + params.latency;
+    }
+
+    /**
+     * A line writeback. Posted: writes drain through the controller's
+     * write queue on their own bandwidth track and never delay reads
+     * (read-priority scheduling, as real DDR controllers do).
+     */
+    void
+    write(Cycle when)
+    {
+        writeFree = std::max(when, writeFree) + params.cyclesPerLine;
+        ++writes;
+    }
+
+    const DramParams &dramParams() const { return params; }
+
+    StatGroup stats;
+    Counter reads;
+    Counter writes;
+    Counter busyStall;
+
+  private:
+    DramParams params;
+    Cycle readFree = 0;
+    Cycle writeFree = 0;
+};
+
+} // namespace xt910
+
+#endif // XT910_MEM_DRAM_H

@@ -1,0 +1,398 @@
+#include "mem/memsystem.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/bitutil.h"
+#include "common/log.h"
+
+namespace xt910
+{
+
+MemSystem::MemSystem(const MemSystemParams &p_)
+    : stats("memsys"),
+      snoopProbes(stats, "snoop_probes", "coherence probes to L1s"),
+      snoopFiltered(stats, "snoop_filtered",
+                    "probes avoided by the snoop filter"),
+      c2cTransfers(stats, "c2c_transfers", "cache-to-cache transfers"),
+      upgrades(stats, "upgrades", "S->M write upgrades"),
+      crossCluster(stats, "cross_cluster",
+                   "transfers across the Ncore interconnect"),
+      mshrStalls(stats, "mshr_stall_cycles",
+                 "cycles spent waiting for a free MSHR"),
+      p(p_),
+      dramModel(p_.dram)
+{
+    xt_assert(p.numCores >= 1 && p.numCores <= 16,
+              "1..16 cores supported (4 clusters x 4 cores)");
+    for (unsigned c = 0; c < p.numCores; ++c) {
+        CacheParams ip = p.l1i;
+        ip.name = "core" + std::to_string(c) + "." + ip.name;
+        l1is.push_back(std::make_unique<Cache>(ip));
+        CacheParams dp = p.l1d;
+        dp.name = "core" + std::to_string(c) + "." + dp.name;
+        l1ds.push_back(std::make_unique<Cache>(dp));
+        l1dMshrs.emplace_back(p.l1d.mshrs, 0);
+        l1iMshrs.emplace_back(p.l1i.mshrs, 0);
+    }
+    for (unsigned cl = 0; cl < p.numClusters(); ++cl) {
+        CacheParams lp = p.l2;
+        lp.name = "cluster" + std::to_string(cl) + "." + lp.name;
+        l2s.push_back(std::make_unique<Cache>(lp));
+        inflight.emplace_back();
+    }
+}
+
+void
+MemSystem::dirAdd(Addr line, unsigned core)
+{
+    directory[line].sharers |= (1u << core);
+}
+
+void
+MemSystem::dirRemove(Addr line, unsigned core)
+{
+    auto it = directory.find(line);
+    if (it != directory.end()) {
+        it->second.sharers &= ~(1u << core);
+        if (it->second.sharers == 0)
+            directory.erase(it);
+    }
+}
+
+uint32_t
+MemSystem::dirSharers(Addr line) const
+{
+    auto it = directory.find(line);
+    return it == directory.end() ? 0 : it->second.sharers;
+}
+
+Cycle
+MemSystem::acquireMshr(std::vector<Cycle> &mshrs, Cycle when)
+{
+    // Pick the MSHR that frees earliest; stall if none is free now.
+    Cycle *best = &mshrs[0];
+    for (Cycle &m : mshrs)
+        if (m < *best)
+            best = &m;
+    Cycle start = std::max(when, *best);
+    mshrStalls += start - when;
+    *best = start; // reserved; extended by caller via return slot
+    return start;
+}
+
+void
+MemSystem::fillL1(unsigned core, Addr line, CoherState st, Cycle now,
+                  bool isFetch, bool wasPrefetch)
+{
+    Cache &c = isFetch ? *l1is[core] : *l1ds[core];
+    Cache::Victim v = c.insert(line, st, now, wasPrefetch);
+    if (!isFetch) {
+        dirAdd(line, core);
+        if (v.valid)
+            dirRemove(v.addr, core);
+        // Dirty victims write back into the (inclusive) L2.
+        if (v.valid && v.dirty)
+            l2s[p.clusterOf(core)]->setState(v.addr, CoherState::Modified);
+    }
+}
+
+void
+MemSystem::fillL2(unsigned cluster, Addr line, Cycle now, bool wasPrefetch)
+{
+    Cache::Victim v =
+        l2s[cluster]->insert(line, CoherState::Exclusive, now, wasPrefetch);
+    if (v.valid && v.dirty)
+        dramModel.write(now);
+    if (v.valid && p.inclusiveL2) {
+        // Inclusive L2: evicting a line removes it from the L1s above.
+        uint32_t sharers = dirSharers(v.addr);
+        for (unsigned c = 0; c < p.numCores; ++c) {
+            if (p.clusterOf(c) != cluster)
+                continue;
+            if (sharers & (1u << c)) {
+                l1ds[c]->invalidate(v.addr);
+                dirRemove(v.addr, c);
+            }
+            l1is[c]->invalidate(v.addr);
+        }
+    }
+}
+
+MemResult
+MemSystem::serviceMiss(unsigned core, Addr line, Cycle when, bool isWrite,
+                       bool isFetch)
+{
+    MemResult r;
+    const unsigned cluster = p.clusterOf(core);
+    Cycle t = when + p.busLatency;
+
+    // Merge with an identical in-flight fill.
+    auto &fl = inflight[cluster];
+    auto inf = fl.find(line);
+    if (inf != fl.end() && inf->second >= when) {
+        r.done = std::max(inf->second, t);
+        r.level = ServiceLevel::Merged;
+        return r;
+    }
+
+    // Coherence: find other L1 holders (data caches only).
+    uint32_t sharers = dirSharers(line) & ~(1u << core);
+    if (!p.snoopFilter) {
+        // Without a filter every L2 access probes every other L1.
+        snoopProbes += p.numCores - 1;
+        t += 2; // probe serialization cost
+    } else if (sharers == 0) {
+        ++snoopFiltered;
+    }
+
+    if (sharers != 0) {
+        snoopProbes += popCount(sharers);
+        bool remote = false;
+        for (unsigned c = 0; c < p.numCores; ++c) {
+            if (!(sharers & (1u << c)))
+                continue;
+            if (p.clusterOf(c) != cluster)
+                remote = true;
+            if (isWrite) {
+                l1ds[c]->invalidate(line);
+                dirRemove(line, c);
+            } else {
+                // MOESI: the owner keeps the line in Owned state.
+                Cache::Line *l = l1ds[c]->findLine(line);
+                if (l && (l->state == CoherState::Modified ||
+                          l->state == CoherState::Exclusive))
+                    l->state = CoherState::Owned;
+            }
+        }
+        ++c2cTransfers;
+        t += p.c2cLatency;
+        if (remote) {
+            ++crossCluster;
+            t += p.ncoreLatency;
+        }
+        // Data came from a peer cache; ensure L2 has it (inclusive).
+        if (!l2s[cluster]->findLine(line))
+            fillL2(cluster, line, t);
+        else
+            l2s[cluster]->touch(line, t);
+        fillL1(core, line,
+               isWrite ? CoherState::Modified : CoherState::Shared, t,
+               isFetch);
+        r.done = t;
+        r.level = ServiceLevel::Remote;
+        return r;
+    }
+
+    // L2 lookup.
+    Cache &l2c = *l2s[cluster];
+    if (Cache::Line *l = l2c.findLine(line)) {
+        ++l2c.hits;
+        l2c.touch(line, t);
+        (void)l;
+        t += p.l2.hitLatency;
+        if (l2c.resolveError(line))
+            t += p.l2.hitLatency; // uncorrectable: re-read from memory
+        fillL1(core, line,
+               isWrite ? CoherState::Modified : CoherState::Exclusive, t,
+               isFetch);
+        r.done = t;
+        r.level = ServiceLevel::L2;
+        r.l2Hit = true;
+        return r;
+    }
+    ++l2c.misses;
+
+    // DRAM.
+    Cycle ready = dramModel.read(t + p.l2.hitLatency);
+    fl[line] = ready;
+    if (fl.size() > 4096) {
+        // Lazy cleanup of long-completed fills.
+        for (auto it = fl.begin(); it != fl.end();)
+            it = it->second < when ? fl.erase(it) : std::next(it);
+    }
+    fillL2(cluster, line, ready);
+    fillL1(core, line,
+           isWrite ? CoherState::Modified : CoherState::Exclusive, ready,
+           isFetch);
+    r.done = ready;
+    r.level = ServiceLevel::Dram;
+    return r;
+}
+
+MemResult
+MemSystem::accessL1(unsigned core, Addr pa, Cycle when, bool isWrite,
+                    bool isFetch)
+{
+    Addr line = lineAlign(pa);
+    Cache &l1 = isFetch ? *l1is[core] : *l1ds[core];
+    MemResult r;
+
+    if (Cache::Line *l = l1.findLine(pa)) {
+        // Write to a Shared/Owned line needs an upgrade (invalidate
+        // other copies) before it can become Modified.
+        if (isWrite && (l->state == CoherState::Shared ||
+                        l->state == CoherState::Owned)) {
+            ++upgrades;
+            uint32_t sharers = dirSharers(line) & ~(1u << core);
+            snoopProbes += popCount(sharers);
+            for (unsigned c = 0; c < p.numCores; ++c) {
+                if (sharers & (1u << c)) {
+                    l1ds[c]->invalidate(line);
+                    dirRemove(line, c);
+                }
+            }
+            l->state = CoherState::Modified;
+            ++l1.hits;
+            l1.touch(pa, when);
+            r.done = when + l1.params().hitLatency + p.busLatency;
+            r.l1Hit = true;
+            r.level = ServiceLevel::L1;
+            return r;
+        }
+        if (isWrite)
+            l->state = CoherState::Modified;
+        ++l1.hits;
+        l1.touch(pa, when);
+        r.done = when + l1.params().hitLatency;
+        if (l1.resolveError(pa))
+            r.done += 1; // parity re-fetch handling (model: stall)
+        r.l1Hit = true;
+        r.level = ServiceLevel::L1;
+        // The line may still be in flight (fills are installed when the
+        // miss is issued, timestamped with their data-ready cycle): the
+        // consumer cannot see data before it arrives.
+        auto &fl = inflight[p.clusterOf(core)];
+        auto inf = fl.find(line);
+        if (inf != fl.end() && inf->second > when) {
+            r.done = inf->second + l1.params().hitLatency;
+            r.level = ServiceLevel::Merged;
+        }
+        return r;
+    }
+
+    ++l1.misses;
+    auto &mshrs = isFetch ? l1iMshrs[core] : l1dMshrs[core];
+    Cycle start = acquireMshr(mshrs, when);
+    MemResult miss = serviceMiss(core, line, start, isWrite, isFetch);
+    // Hold the MSHR until the fill returns.
+    for (Cycle &m : mshrs) {
+        if (m == start) {
+            m = miss.done;
+            break;
+        }
+    }
+    miss.done += l1.params().hitLatency; // fill -> data forward
+    return miss;
+}
+
+MemResult
+MemSystem::fetch(unsigned core, Addr pa, Cycle when)
+{
+    return accessL1(core, pa, when, false, true);
+}
+
+MemResult
+MemSystem::read(unsigned core, Addr pa, Cycle when)
+{
+    return accessL1(core, pa, when, false, false);
+}
+
+MemResult
+MemSystem::write(unsigned core, Addr pa, Cycle when)
+{
+    return accessL1(core, pa, when, true, false);
+}
+
+MemResult
+MemSystem::amo(unsigned core, Addr pa, Cycle when)
+{
+    // Atomic: behaves like a write but with a serialization penalty.
+    MemResult r = accessL1(core, pa, when, true, false);
+    r.done += 4;
+    return r;
+}
+
+Cycle
+MemSystem::prefetchFill(unsigned core, Addr pa, bool toL1, Cycle when)
+{
+    Addr line = lineAlign(pa);
+    const unsigned cluster = p.clusterOf(core);
+
+    // Already covered? Nothing to do.
+    if (toL1 && l1ds[core]->findLine(line))
+        return when;
+    if (!toL1 && l2s[cluster]->findLine(line))
+        return when;
+
+    auto &fl = inflight[cluster];
+    auto inf = fl.find(line);
+    Cycle ready;
+    if (inf != fl.end() && inf->second >= when) {
+        ready = inf->second;
+    } else if (l2s[cluster]->findLine(line)) {
+        ready = when + p.busLatency + p.l2.hitLatency;
+        l2s[cluster]->touch(line, when);
+    } else {
+        ready = dramModel.read(when + p.busLatency + p.l2.hitLatency);
+        fl[line] = ready;
+        fillL2(cluster, line, ready, /*wasPrefetch=*/!toL1);
+    }
+    if (toL1)
+        fillL1(core, line, CoherState::Exclusive, ready, false,
+               /*wasPrefetch=*/true);
+    return ready;
+}
+
+Cycle
+MemSystem::prefetchInstLine(unsigned core, Addr pa, Cycle when)
+{
+    Addr line = lineAlign(pa);
+    if (l1is[core]->findLine(line))
+        return when;
+    const unsigned cluster = p.clusterOf(core);
+    auto &fl = inflight[cluster];
+    auto inf = fl.find(line);
+    Cycle ready;
+    if (inf != fl.end() && inf->second >= when) {
+        ready = inf->second;
+    } else if (l2s[cluster]->findLine(line)) {
+        ready = when + p.busLatency + p.l2.hitLatency;
+        l2s[cluster]->touch(line, when);
+    } else {
+        ready = dramModel.read(when + p.busLatency + p.l2.hitLatency);
+        fl[line] = ready;
+        fillL2(cluster, line, ready);
+    }
+    l1is[core]->insert(line, CoherState::Shared, ready,
+                       /*wasPrefetch=*/true);
+    return ready;
+}
+
+void
+MemSystem::invalidateL1D(unsigned core)
+{
+    l1ds[core]->forEachLine([&](Addr a) { dirRemove(a, core); });
+    l1ds[core]->invalidateAll();
+}
+
+void
+MemSystem::invalidateL1I(unsigned core)
+{
+    l1is[core]->invalidateAll();
+}
+
+void
+MemSystem::dumpStats(std::ostream &os) const
+{
+    stats.dump(os);
+    for (const auto &c : l1is)
+        c->stats.dump(os);
+    for (const auto &c : l1ds)
+        c->stats.dump(os);
+    for (const auto &c : l2s)
+        c->stats.dump(os);
+    dramModel.stats.dump(os);
+}
+
+} // namespace xt910

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * The coherent memory hierarchy of an XT-910 system (§II, §VI):
+ * per-core L1 instruction and data caches, a shared inclusive L2 per
+ * cluster (MOESI), a snoop filter that limits inter-core probes, an
+ * Ncore-style interconnect between up to 4 clusters, and a DRAM model.
+ *
+ * Timing is modelled as completion-cycle arithmetic: each access at
+ * cycle T returns the cycle its data is available, advancing internal
+ * bandwidth/MSHR availability state. In-flight misses are merged, which
+ * is what lets prefetches hide demand latency (Fig. 21).
+ */
+
+#ifndef XT910_MEM_MEMSYSTEM_H
+#define XT910_MEM_MEMSYSTEM_H
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/cache.h"
+#include "mem/dram.h"
+
+namespace xt910
+{
+
+/** Memory-system configuration (Table I's cache knobs live here). */
+struct MemSystemParams
+{
+    unsigned numCores = 1;
+    unsigned coresPerCluster = 4; ///< paper: up to 4 cores per cluster
+
+    CacheParams l1i{.name = "l1i",
+                    .sizeBytes = 64 * 1024,
+                    .assoc = 4,
+                    .lineBytes = cacheLineBytes,
+                    .hitLatency = 2,
+                    .mshrs = 4};
+    CacheParams l1d{.name = "l1d",
+                    .sizeBytes = 64 * 1024,
+                    .assoc = 4,
+                    .lineBytes = cacheLineBytes,
+                    .hitLatency = 3,
+                    .mshrs = 8};
+    CacheParams l2{.name = "l2",
+                   .sizeBytes = 2 * 1024 * 1024,
+                   .assoc = 16,
+                   .lineBytes = cacheLineBytes,
+                   .hitLatency = 14,
+                   .mshrs = 16,
+                   .ecc = true}; // Table I: L2 has ECC + parity
+
+    DramParams dram{};
+
+    Cycle busLatency = 4;      ///< core <-> cluster L2 transport
+    Cycle c2cLatency = 18;     ///< snoop + cache-to-cache transfer
+    Cycle ncoreLatency = 30;   ///< cluster <-> cluster via Ncore
+    bool snoopFilter = true;   ///< filter probes (§VI)
+    bool inclusiveL2 = true;   ///< paper: inclusive shared L2
+
+    unsigned numClusters() const
+    {
+        return (numCores + coresPerCluster - 1) / coresPerCluster;
+    }
+    unsigned clusterOf(unsigned core) const
+    {
+        return core / coresPerCluster;
+    }
+};
+
+/** Where an access was ultimately serviced. */
+enum class ServiceLevel : uint8_t { L1, L2, Remote, Dram, Merged };
+
+/** Result of one access. */
+struct MemResult
+{
+    Cycle done = 0;            ///< data-available cycle
+    ServiceLevel level = ServiceLevel::L1;
+    bool l1Hit = false;
+    bool l2Hit = false;
+};
+
+/** See file comment. */
+class MemSystem
+{
+  public:
+    explicit MemSystem(const MemSystemParams &p);
+
+    /** Instruction fetch of a line through core's L1I. */
+    MemResult fetch(unsigned core, Addr pa, Cycle when);
+
+    /** Data read through core's L1D. */
+    MemResult read(unsigned core, Addr pa, Cycle when);
+
+    /** Data write (write-allocate, write-back) through core's L1D. */
+    MemResult write(unsigned core, Addr pa, Cycle when);
+
+    /** Atomic read-modify-write: serializing read+write. */
+    MemResult amo(unsigned core, Addr pa, Cycle when);
+
+    /**
+     * Prefetch fill toward core's L1 (toL1) or the cluster L2 only.
+     * Returns the fill-complete cycle.
+     */
+    Cycle prefetchFill(unsigned core, Addr pa, bool toL1, Cycle when);
+
+    /**
+     * Instruction-side sequential prefetch: the IFU's run-ahead fill
+     * into the L1I (the paper's IBUF keeps fetch ahead even across
+     * cache misses, §III). Returns the fill-complete cycle.
+     */
+    Cycle prefetchInstLine(unsigned core, Addr pa, Cycle when);
+
+    /** xt.dcache.ciall: invalidate the whole L1D of @p core. */
+    void invalidateL1D(unsigned core);
+    /** xt.icache.iall: invalidate the whole L1I of @p core. */
+    void invalidateL1I(unsigned core);
+
+    Cache &l1i(unsigned core) { return *l1is[core]; }
+    Cache &l1d(unsigned core) { return *l1ds[core]; }
+    Cache &l2(unsigned cluster) { return *l2s[cluster]; }
+    Dram &dram() { return dramModel; }
+    const MemSystemParams &params() const { return p; }
+
+    /** Dump all component stats. */
+    void dumpStats(std::ostream &os) const;
+
+    StatGroup stats;
+    Counter snoopProbes;       ///< L1 probes sent for coherence
+    Counter snoopFiltered;     ///< probes avoided by the snoop filter
+    Counter c2cTransfers;      ///< cache-to-cache data transfers
+    Counter upgrades;          ///< S->M write upgrades
+    Counter crossCluster;      ///< transfers that crossed the Ncore
+    Counter mshrStalls;        ///< cycles lost waiting for an MSHR
+
+  private:
+    struct DirEntry
+    {
+        uint32_t sharers = 0;  ///< bitmask of cores with an L1 copy
+    };
+
+    MemResult accessL1(unsigned core, Addr pa, Cycle when, bool isWrite,
+                       bool isFetch);
+    /** Service a miss from L2/remote/DRAM; returns data-ready cycle. */
+    MemResult serviceMiss(unsigned core, Addr line, Cycle when,
+                          bool isWrite, bool isFetch);
+    Cycle acquireMshr(std::vector<Cycle> &mshrs, Cycle when);
+    void fillL1(unsigned core, Addr line, CoherState st, Cycle now,
+                bool isFetch, bool wasPrefetch = false);
+    void fillL2(unsigned cluster, Addr line, Cycle now,
+                bool wasPrefetch = false);
+    void dirAdd(Addr line, unsigned core);
+    void dirRemove(Addr line, unsigned core);
+    uint32_t dirSharers(Addr line) const;
+
+    MemSystemParams p;
+    std::vector<std::unique_ptr<Cache>> l1is;
+    std::vector<std::unique_ptr<Cache>> l1ds;
+    std::vector<std::unique_ptr<Cache>> l2s;
+    Dram dramModel;
+
+    std::unordered_map<Addr, DirEntry> directory;
+    /** In-flight line fills per cluster: line -> data-ready cycle. */
+    std::vector<std::unordered_map<Addr, Cycle>> inflight;
+    std::vector<std::vector<Cycle>> l1dMshrs;
+    std::vector<std::vector<Cycle>> l1iMshrs;
+};
+
+} // namespace xt910
+
+#endif // XT910_MEM_MEMSYSTEM_H

@@ -1,0 +1,157 @@
+#include "mem/prefetcher.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/log.h"
+
+namespace xt910
+{
+
+StreamPrefetcher::StreamPrefetcher(const PrefetcherParams &p_,
+                                   const std::string &name)
+    : stats(name),
+      issuedL1(stats, "issued_l1", "prefetches filled toward L1"),
+      issuedL2(stats, "issued_l2", "prefetches filled toward L2"),
+      tlbPrefetches(stats, "tlb_prefetches",
+                    "cross-page translation prefetches"),
+      streamsTrained(stats, "streams_trained",
+                     "streams that reached confidence"),
+      droppedUntranslatable(stats, "dropped_untranslatable",
+                            "prefetches dropped for lack of translation"),
+      p(p_)
+{
+    unsigned n = p.mode == PrefetcherParams::Mode::Global ? 1
+                                                          : p.numStreams;
+    streams.resize(n);
+}
+
+void
+StreamPrefetcher::observe(Addr vaddr, bool miss, Cycle when,
+                          PrefetchSink &sink)
+{
+    (void)miss;
+    if (!p.anyEnabled())
+        return;
+    ++useClock;
+
+    // Step 1: stream matching / stride calculation.
+    Stream *match = nullptr;
+    for (Stream &s : streams) {
+        if (s.valid &&
+            std::llabs(int64_t(vaddr) - int64_t(s.lastAddr)) <=
+                int64_t(p.windowBytes)) {
+            match = &s;
+            break;
+        }
+    }
+    if (!match) {
+        // Allocate the LRU stream for a potential new pattern.
+        match = &streams[0];
+        for (Stream &s : streams) {
+            if (!s.valid) {
+                match = &s;
+                break;
+            }
+            if (s.lastUse < match->lastUse)
+                match = &s;
+        }
+        match->valid = true;
+        match->lastAddr = vaddr;
+        match->stride = 0;
+        match->confidence = 0;
+        match->nextPrefetch = 0;
+        match->lastUse = useClock;
+        return;
+    }
+    match->lastUse = useClock;
+    train(*match, vaddr, when, sink);
+}
+
+void
+StreamPrefetcher::train(Stream &s, Addr vaddr, Cycle when,
+                        PrefetchSink &sink)
+{
+    int64_t delta = int64_t(vaddr) - int64_t(s.lastAddr);
+    s.lastAddr = vaddr;
+    if (delta == 0)
+        return;
+
+    // Step 2: prefetch control — confidence evaluation decides whether
+    // the current policy is kept, adjusted, or abandoned.
+    if (delta == s.stride) {
+        if (s.confidence < 8) {
+            ++s.confidence;
+            if (s.confidence == p.trainConfidence)
+                ++streamsTrained;
+        }
+    } else {
+        if (s.confidence > 0) {
+            --s.confidence; // policy questioned; stop issuing for now
+        } else {
+            s.stride = delta; // abandon and relearn
+            s.nextPrefetch = 0;
+        }
+        return;
+    }
+
+    if (s.confidence >= p.trainConfidence)
+        issueAhead(s, vaddr, when, sink);
+}
+
+void
+StreamPrefetcher::issueAhead(Stream &s, Addr vaddr, Cycle when,
+                             PrefetchSink &sink)
+{
+    // Step 3: execution. Run the prefetch pointer `distance` cache
+    // lines (or stride units, for strides wider than a line) ahead of
+    // the demand, bounded by maxDepth of lead.
+    if (s.nextPrefetch == 0 ||
+        (s.stride > 0 && s.nextPrefetch < vaddr) ||
+        (s.stride < 0 && s.nextPrefetch > vaddr))
+        s.nextPrefetch = vaddr + uint64_t(s.stride);
+
+    const int64_t unit =
+        std::max<int64_t>(std::llabs(s.stride), cacheLineBytes);
+    const int64_t leadTarget = int64_t(p.distance) * unit;
+    Addr target = s.stride > 0 ? vaddr + Addr(leadTarget)
+                               : vaddr - Addr(leadTarget);
+    const int64_t maxLeadBytes = int64_t(p.maxDepth) * unit;
+
+    for (unsigned guard = 0; guard < 2 * p.maxDepth; ++guard) {
+        int64_t lead = int64_t(s.nextPrefetch) - int64_t(vaddr);
+        if (s.stride < 0)
+            lead = -lead;
+        if (lead > maxLeadBytes)
+            break;
+        bool pastTarget = s.stride > 0 ? s.nextPrefetch > target
+                                       : s.nextPrefetch < target;
+        if (pastTarget)
+            break;
+
+        Addr line = lineAlign(s.nextPrefetch);
+
+        // Virtual cross-page prefetch: ask for the next page's
+        // translation as soon as the stream steps over a boundary.
+        if ((line >> 12) != (vaddr >> 12) && p.enableTlb) {
+            sink.prefetchTranslation(line, when);
+            ++tlbPrefetches;
+        }
+
+        bool toL1 = p.enableL1;
+        if (sink.prefetchLine(line, toL1, when)) {
+            if (toL1)
+                ++issuedL1;
+            else
+                ++issuedL2;
+        } else {
+            ++droppedUntranslatable;
+            // Cannot run past an untranslated page; stall the stream
+            // here — the demand stream will re-trigger us later.
+            break;
+        }
+        s.nextPrefetch += uint64_t(s.stride);
+    }
+}
+
+} // namespace xt910

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The XT-910 multi-mode multi-stream data prefetcher (§V.C).
+ *
+ * Two modes are supported, matching the paper:
+ *  - Global mode: one stride detector for a simple continuous stream,
+ *    any stride length, prefetch depth up to 64 cache lines.
+ *  - Multi-stream mode: up to 8 concurrent streams with independent
+ *    strides, depth up to 32 lines each.
+ *
+ * Operation follows the paper's three steps: (1) stride-length
+ * calculation from the load-address stream, (2) prefetch control —
+ * confidence evaluation decides whether the detected policy is
+ * trustworthy, and the policy sets depth/distance and dynamically
+ * starts/stops issuing, (3) execution of the prefetches, backfilling
+ * L1 and/or L2. Virtual cross-page prefetch requests the next page's
+ * translation ahead of time (TLB prefetch).
+ */
+
+#ifndef XT910_MEM_PREFETCHER_H
+#define XT910_MEM_PREFETCHER_H
+
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace xt910
+{
+
+/** Prefetcher configuration (the knobs of Fig. 21's scenarios). */
+struct PrefetcherParams
+{
+    enum class Mode { Global, MultiStream };
+
+    bool enableL1 = true;     ///< backfill into L1 (scenario b+)
+    bool enableL2 = true;     ///< backfill into L2 (scenario c+)
+    bool enableTlb = true;    ///< cross-page translation prefetch
+    Mode mode = Mode::MultiStream;
+    unsigned numStreams = 8;  ///< multi-stream table size (paper: 8)
+    unsigned maxDepth = 32;   ///< lines ahead (paper: 32 / 64 global)
+    unsigned distance = 8;    ///< issue-ahead target in elements
+    unsigned trainConfidence = 2;
+    unsigned windowBytes = 4096; ///< stream-match window
+
+    bool
+    anyEnabled() const
+    {
+        return enableL1 || enableL2;
+    }
+};
+
+/**
+ * Where prefetches land. Implemented by the core/memory glue: it owns
+ * translation (for TLB prefetch) and the cache fill path.
+ */
+class PrefetchSink
+{
+  public:
+    virtual ~PrefetchSink() = default;
+
+    /**
+     * Issue a line prefetch for virtual address @p vaddr.
+     * @return true if the prefetch could be translated and issued
+     *         (false e.g. on a TLB miss with TLB prefetch disabled).
+     */
+    virtual bool prefetchLine(Addr vaddr, bool toL1, Cycle when) = 0;
+
+    /** Warm the TLB for @p vaddr (cross-page prefetch). */
+    virtual void prefetchTranslation(Addr vaddr, Cycle when) = 0;
+};
+
+/** See file comment. */
+class StreamPrefetcher
+{
+  public:
+    StreamPrefetcher(const PrefetcherParams &p, const std::string &name);
+
+    /**
+     * Train on a demand access and possibly issue prefetches.
+     * @p vaddr is the demand virtual address, @p miss whether it
+     * missed the cache this prefetcher covers.
+     */
+    void observe(Addr vaddr, bool miss, Cycle when, PrefetchSink &sink);
+
+    const PrefetcherParams &params() const { return p; }
+
+    StatGroup stats;
+    Counter issuedL1;
+    Counter issuedL2;
+    Counter tlbPrefetches;
+    Counter streamsTrained;
+    Counter droppedUntranslatable;
+
+  private:
+    struct Stream
+    {
+        bool valid = false;
+        Addr lastAddr = 0;
+        int64_t stride = 0;
+        unsigned confidence = 0;
+        Addr nextPrefetch = 0;  ///< next address to issue
+        uint64_t lastUse = 0;
+    };
+
+    void train(Stream &s, Addr vaddr, Cycle when, PrefetchSink &sink);
+    void issueAhead(Stream &s, Addr vaddr, Cycle when, PrefetchSink &sink);
+
+    PrefetcherParams p;
+    std::vector<Stream> streams;
+    uint64_t useClock = 0;
+};
+
+} // namespace xt910
+
+#endif // XT910_MEM_PREFETCHER_H

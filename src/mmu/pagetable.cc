@@ -1,0 +1,139 @@
+#include "mmu/pagetable.h"
+
+#include "common/bitutil.h"
+#include "common/log.h"
+
+namespace xt910
+{
+
+namespace
+{
+
+constexpr unsigned levelShift[3] = {12, 21, 30}; // VPN[0..2] shifts
+
+unsigned
+vpn(Addr va, unsigned level)
+{
+    return unsigned((va >> levelShift[level]) & 0x1ff);
+}
+
+} // namespace
+
+WalkResult
+walkSv39(const Memory &mem, Addr root, Addr va)
+{
+    WalkResult r;
+    Addr table = root;
+    for (int level = 2; level >= 0; --level) {
+        Addr pteAddr = table + Addr(vpn(va, unsigned(level))) * 8;
+        uint64_t entry = mem.read(pteAddr, 8);
+        r.pteAddr[r.levels] = pteAddr;
+        ++r.levels;
+        if (!(entry & pte::V))
+            return r; // fault
+        Addr ppn = bits(entry, 53, 10);
+        if (entry & pte::rwx) {
+            // Leaf at this level: page size follows the level.
+            unsigned shift = levelShift[level];
+            r.ok = true;
+            r.size = level == 2   ? PageSize::Page1G
+                     : level == 1 ? PageSize::Page2M
+                                  : PageSize::Page4K;
+            r.pa = (ppn << 12 & ~mask(shift)) | (va & mask(shift));
+            return r;
+        }
+        table = ppn << 12;
+    }
+    return r; // non-leaf at level 0: fault
+}
+
+PageTableBuilder::PageTableBuilder(Memory &mem_, Addr tableBase)
+    : mem(mem_), base(tableBase), next(tableBase)
+{
+    xt_assert(tableBase % 4096 == 0, "table base must be page aligned");
+}
+
+Addr
+PageTableBuilder::allocTable()
+{
+    Addr t = next;
+    next += 4096;
+    // Zero the new table.
+    static const uint8_t zeros[4096] = {};
+    mem.writeBytes(t, zeros, sizeof(zeros));
+    return t;
+}
+
+Addr
+PageTableBuilder::createRoot()
+{
+    return allocTable();
+}
+
+void
+PageTableBuilder::map(Addr root, Addr va, Addr pa, PageSize size,
+                      uint64_t flags)
+{
+    unsigned leafLevel = size == PageSize::Page1G   ? 2
+                         : size == PageSize::Page2M ? 1
+                                                    : 0;
+    xt_assert((va & mask(pageShift(size))) == 0, "va not page aligned");
+    xt_assert((pa & mask(pageShift(size))) == 0, "pa not page aligned");
+
+    Addr table = root;
+    for (int level = 2; level > int(leafLevel); --level) {
+        Addr pteAddr = table + Addr(vpn(va, unsigned(level))) * 8;
+        uint64_t entry = mem.read(pteAddr, 8);
+        if (!(entry & pte::V)) {
+            Addr sub = allocTable();
+            entry = ((sub >> 12) << 10) | pte::V; // non-leaf pointer
+            mem.write(pteAddr, 8, entry);
+        } else {
+            xt_assert(!(entry & pte::rwx),
+                      "remapping across an existing huge-page leaf");
+        }
+        table = bits(entry, 53, 10) << 12;
+    }
+    Addr pteAddr = table + Addr(vpn(va, leafLevel)) * 8;
+    uint64_t entry = ((pa >> 12) << 10) | flags | pte::V;
+    mem.write(pteAddr, 8, entry);
+}
+
+void
+PageTableBuilder::identityMap(Addr root, Addr start, uint64_t len,
+                              PageSize size)
+{
+    uint64_t step = 1ull << pageShift(size);
+    Addr va = start & ~mask(pageShift(size));
+    Addr end = start + len;
+    for (; va < end; va += step)
+        map(root, va, va, size);
+}
+
+AsidAllocator::AsidAllocator(unsigned bits_) : bits(bits_)
+{
+    xt_assert(bits >= 1 && bits <= 16, "ASID width must be 1..16 bits");
+}
+
+AsidAllocator::Acquire
+AsidAllocator::acquire(uint64_t ctx, Tlb &tlb)
+{
+    const uint64_t maxAsid = (1ull << bits) - 1;
+    auto it = table.find(ctx);
+    if (it != table.end() && it->second.first == generation)
+        return {it->second.second, false};
+
+    if (nextAsid > maxAsid) {
+        // Rollover: hardware ASIDs exhausted. Flush the TLB and start a
+        // new generation (the event the 16-bit ASID makes rare, §V.E).
+        tlb.flushAll();
+        ++rollovers;
+        ++generation;
+        nextAsid = 1;
+    }
+    Asid a = Asid(nextAsid++);
+    table[ctx] = {generation, a};
+    return {a, true};
+}
+
+} // namespace xt910

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * SV39 page tables: a hardware page-table walker and an "OS-lite"
+ * builder that constructs real three-level tables in simulated memory.
+ * XT-910's MMU provides 3 table levels, each mappable as a leaf, to
+ * serve Linux's 4 KiB / 2 MiB / 1 GiB huge-page requirements (§V.E).
+ */
+
+#ifndef XT910_MMU_PAGETABLE_H
+#define XT910_MMU_PAGETABLE_H
+
+#include "func/memory.h"
+#include "mmu/tlb.h"
+
+namespace xt910
+{
+
+/** SV39 PTE flag bits. */
+namespace pte
+{
+constexpr uint64_t V = 1 << 0;
+constexpr uint64_t R = 1 << 1;
+constexpr uint64_t W = 1 << 2;
+constexpr uint64_t X = 1 << 3;
+constexpr uint64_t U = 1 << 4;
+constexpr uint64_t G = 1 << 5;
+constexpr uint64_t A = 1 << 6;
+constexpr uint64_t D = 1 << 7;
+constexpr uint64_t rwx = R | W | X;
+} // namespace pte
+
+/** Result of a page-table walk. */
+struct WalkResult
+{
+    bool ok = false;
+    Addr pa = 0;
+    PageSize size = PageSize::Page4K;
+    unsigned levels = 0;   ///< memory accesses the walk performed
+    Addr pteAddr[3] = {0, 0, 0}; ///< PTE addresses touched, in order
+};
+
+/**
+ * Walk the SV39 table rooted at physical @p root for @p va.
+ * Pure content lookup; the caller charges timing for `levels`
+ * accesses.
+ */
+WalkResult walkSv39(const Memory &mem, Addr root, Addr va);
+
+/** See file comment: builds SV39 tables in simulated memory. */
+class PageTableBuilder
+{
+  public:
+    /** Tables are bump-allocated from @p tableBase upward. */
+    PageTableBuilder(Memory &mem, Addr tableBase);
+
+    /** Allocate a new (empty) root table; returns its physical addr. */
+    Addr createRoot();
+
+    /** Map one page of @p size at @p va -> @p pa (RWX by default). */
+    void map(Addr root, Addr va, Addr pa, PageSize size,
+             uint64_t flags = pte::rwx | pte::U | pte::A | pte::D);
+
+    /** Identity-map [start, start+len) with pages of @p size. */
+    void identityMap(Addr root, Addr start, uint64_t len, PageSize size);
+
+    /** Bytes of table memory consumed so far. */
+    uint64_t tableBytes() const { return next - base; }
+
+  private:
+    Addr allocTable();
+
+    Memory &mem;
+    Addr base;
+    Addr next;
+};
+
+/**
+ * Hardware-ASID allocator modelling the §V.E experiment: with a w-bit
+ * ASID, switching among more than 2^w address spaces forces rollover
+ * flushes. The 16-bit ASID of XT-910 makes those ~10x rarer than the
+ * narrower ASIDs it replaces.
+ */
+class AsidAllocator
+{
+  public:
+    explicit AsidAllocator(unsigned bits);
+
+    struct Acquire
+    {
+        Asid asid;
+        bool flushed;   ///< TLB had to be flushed (rollover)
+    };
+
+    /** Get the hardware ASID for software context @p ctx. */
+    Acquire acquire(uint64_t ctx, Tlb &tlb);
+
+    uint64_t flushCount() const { return rollovers; }
+    unsigned asidBits() const { return bits; }
+
+  private:
+    unsigned bits;
+    uint64_t nextAsid = 1;      ///< 0 reserved
+    uint64_t generation = 1;
+    // ctx -> (generation, asid)
+    std::unordered_map<uint64_t, std::pair<uint64_t, Asid>> table;
+    uint64_t rollovers = 0;
+};
+
+} // namespace xt910
+
+#endif // XT910_MMU_PAGETABLE_H

@@ -1,0 +1,59 @@
+#include "mmu/pmp.h"
+
+#include "common/log.h"
+
+namespace xt910
+{
+
+Pmp::Pmp(unsigned numRegions)
+    : stats("pmp"),
+      checks(stats, "checks", "PMP permission checks"),
+      denials(stats, "denials", "accesses denied"),
+      regions(numRegions)
+{
+    xt_assert(numRegions == 8 || numRegions == 16,
+              "XT-910 supports 8 or 16 PMP regions (§II)");
+}
+
+void
+Pmp::setRegion(unsigned idx, const PmpRegion &r)
+{
+    xt_assert(idx < regions.size(), "PMP region index out of range");
+    xt_assert(!regions[idx].locked, "cannot reprogram a locked region");
+    regions[idx] = r;
+}
+
+bool
+Pmp::inactive() const
+{
+    for (const PmpRegion &r : regions)
+        if (r.size != 0)
+            return false;
+    return true;
+}
+
+bool
+Pmp::check(Addr addr, unsigned bytes, PmpAccess acc, PrivMode mode) const
+{
+    ++checks;
+    if (inactive())
+        return true;
+    for (const PmpRegion &r : regions) {
+        if (!r.contains(addr, bytes))
+            continue;
+        // M-mode bypasses unlocked regions.
+        if (mode == PrivMode::Machine && !r.locked)
+            return true;
+        bool ok = r.allows(acc);
+        if (!ok)
+            ++denials;
+        return ok;
+    }
+    // No match: M-mode allowed, lower privileges denied.
+    if (mode == PrivMode::Machine)
+        return true;
+    ++denials;
+    return false;
+}
+
+} // namespace xt910

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Physical Memory Protection (§II: "XT-910 includes a standard 8-16
+ * region PMP"): NAPOT/TOR-style regions with R/W/X permissions checked
+ * on every physical access in machine-supervised modes.
+ */
+
+#ifndef XT910_MMU_PMP_H
+#define XT910_MMU_PMP_H
+
+#include <optional>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace xt910
+{
+
+/** Access kind being checked. */
+enum class PmpAccess : uint8_t { Read, Write, Exec };
+
+/** One PMP region. */
+struct PmpRegion
+{
+    Addr base = 0;        ///< inclusive start
+    uint64_t size = 0;    ///< bytes (0 = disabled)
+    bool r = false, w = false, x = false;
+    bool locked = false;  ///< applies to M-mode too
+
+    bool
+    contains(Addr a, unsigned bytes) const
+    {
+        return size != 0 && a >= base && a + bytes <= base + size;
+    }
+
+    bool
+    allows(PmpAccess acc) const
+    {
+        switch (acc) {
+          case PmpAccess::Read: return r;
+          case PmpAccess::Write: return w;
+          case PmpAccess::Exec: return x;
+        }
+        return false;
+    }
+};
+
+/** The PMP unit: 8 or 16 regions, priority ordered (lowest wins). */
+class Pmp
+{
+  public:
+    explicit Pmp(unsigned numRegions = 16);
+
+    /** Program region @p idx. */
+    void setRegion(unsigned idx, const PmpRegion &r);
+
+    const PmpRegion &region(unsigned idx) const { return regions[idx]; }
+    unsigned numRegions() const { return unsigned(regions.size()); }
+
+    /**
+     * Check an access. Matching follows the RISC-V priority rule: the
+     * lowest-numbered matching region decides; with no match, M-mode
+     * is allowed and S/U modes are denied (when any region is active).
+     */
+    bool check(Addr addr, unsigned bytes, PmpAccess acc,
+               PrivMode mode) const;
+
+    /** True when no region is programmed (PMP effectively off). */
+    bool inactive() const;
+
+    mutable StatGroup stats;
+    mutable Counter checks;
+    mutable Counter denials;
+
+  private:
+    std::vector<PmpRegion> regions;
+};
+
+} // namespace xt910
+
+#endif // XT910_MMU_PMP_H

@@ -1,0 +1,165 @@
+#include "mmu/tlb.h"
+
+#include "common/bitutil.h"
+#include "common/log.h"
+
+namespace xt910
+{
+
+Tlb::Tlb(const TlbParams &p_, const std::string &name)
+    : stats(name),
+      microHits(stats, "micro_hits", "micro-TLB hits"),
+      jtlbHits(stats, "jtlb_hits", "joint-TLB hits"),
+      misses(stats, "misses", "full TLB misses (page walk needed)"),
+      flushes(stats, "flushes", "full flushes"),
+      asidFlushes(stats, "asid_flushes", "per-ASID flushes"),
+      refills(stats, "refills", "entries installed"),
+      p(p_)
+{
+    xt_assert(isPow2(p.jtlbSets), "jTLB set count must be a power of 2");
+    micro.resize(p.microEntries);
+    jtlb.resize(size_t(p.jtlbSets) * p.jtlbWays);
+}
+
+bool
+Tlb::match(const TlbEntry &e, Addr va, Asid asid) const
+{
+    if (!e.valid)
+        return false;
+    if (!e.global && e.asid != asid)
+        return false;
+    return (va >> pageShift(e.size)) == e.vpn;
+}
+
+unsigned
+Tlb::jtlbIndex(Addr va, PageSize size) const
+{
+    return unsigned((va >> pageShift(size)) & (p.jtlbSets - 1));
+}
+
+void
+Tlb::microFill(const TlbEntry &e, Cycle now)
+{
+    (void)now;
+    TlbEntry *victim = &micro[0];
+    for (TlbEntry &m : micro) {
+        if (!m.valid) {
+            victim = &m;
+            break;
+        }
+        if (m.lastUse < victim->lastUse)
+            victim = &m;
+    }
+    *victim = e;
+    victim->lastUse = ++useClock;
+}
+
+std::optional<TlbLookup>
+Tlb::lookup(Addr va, Asid asid, Cycle now)
+{
+    ++useClock;
+    // Fully-associative micro-TLB: every entry compared against the VA
+    // with its own page-size mask (§V.D).
+    for (TlbEntry &e : micro) {
+        if (match(e, va, asid)) {
+            e.lastUse = useClock;
+            ++microHits;
+            TlbLookup r;
+            r.size = e.size;
+            r.pa = (e.ppn << pageShift(e.size)) |
+                   (va & mask(pageShift(e.size)));
+            r.microHit = true;
+            return r;
+        }
+    }
+
+    // jTLB: probed 4K index first, then 2M, then 1G.
+    static constexpr PageSize order[3] = {
+        PageSize::Page4K, PageSize::Page2M, PageSize::Page1G};
+    for (unsigned probe = 0; probe < 3; ++probe) {
+        PageSize sz = order[probe];
+        unsigned set = jtlbIndex(va, sz);
+        for (unsigned w = 0; w < p.jtlbWays; ++w) {
+            TlbEntry &e = jtlb[size_t(set) * p.jtlbWays + w];
+            if (e.size == sz && match(e, va, asid)) {
+                e.lastUse = useClock;
+                ++jtlbHits;
+                // Hit refills the micro-TLB (paper: "the corresponding
+                // entry of jTLB is refilled to micro-TLB on page hit").
+                microFill(e, now);
+                TlbLookup r;
+                r.size = sz;
+                r.pa = (e.ppn << pageShift(sz)) |
+                       (va & mask(pageShift(sz)));
+                r.jtlbProbes = probe + 1;
+                return r;
+            }
+        }
+    }
+
+    ++misses;
+    return std::nullopt;
+}
+
+void
+Tlb::insert(Addr va, Addr pa, PageSize size, Asid asid, bool global)
+{
+    ++refills;
+    TlbEntry e;
+    e.valid = true;
+    e.size = size;
+    e.vpn = va >> pageShift(size);
+    e.ppn = pa >> pageShift(size);
+    e.asid = asid;
+    e.global = global;
+    e.lastUse = ++useClock;
+
+    unsigned set = jtlbIndex(va, size);
+    TlbEntry *victim = &jtlb[size_t(set) * p.jtlbWays];
+    for (unsigned w = 0; w < p.jtlbWays; ++w) {
+        TlbEntry &cand = jtlb[size_t(set) * p.jtlbWays + w];
+        if (!cand.valid) {
+            victim = &cand;
+            break;
+        }
+        if (cand.lastUse < victim->lastUse)
+            victim = &cand;
+    }
+    *victim = e;
+    microFill(e, 0);
+}
+
+void
+Tlb::flushAll()
+{
+    ++flushes;
+    for (TlbEntry &e : micro)
+        e.valid = false;
+    for (TlbEntry &e : jtlb)
+        e.valid = false;
+}
+
+void
+Tlb::flushAsid(Asid asid)
+{
+    ++asidFlushes;
+    for (TlbEntry &e : micro)
+        if (e.asid == asid && !e.global)
+            e.valid = false;
+    for (TlbEntry &e : jtlb)
+        if (e.asid == asid && !e.global)
+            e.valid = false;
+}
+
+void
+Tlb::flushVa(Addr va)
+{
+    for (TlbEntry &e : micro)
+        if (e.valid && (va >> pageShift(e.size)) == e.vpn)
+            e.valid = false;
+    for (TlbEntry &e : jtlb)
+        if (e.valid && (va >> pageShift(e.size)) == e.vpn)
+            e.valid = false;
+}
+
+} // namespace xt910

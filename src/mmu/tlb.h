@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The XT-910 multi-size multi-level TLB (§V.D): a fully-associative
+ * micro-TLB backed by a 4-way set-associative joint TLB (jTLB). Every
+ * entry carries a page-size property (4K / 2M / 1G). The jTLB can only
+ * be probed with one page-size index at a time, so a lookup tries the
+ * 4K index first, then 2M, then 1G — each extra probe costs a cycle,
+ * which the lookup result reports.
+ */
+
+#ifndef XT910_MMU_TLB_H
+#define XT910_MMU_TLB_H
+
+#include <optional>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace xt910
+{
+
+/** Supported page sizes, as log2 of bytes. */
+enum class PageSize : uint8_t
+{
+    Page4K = 12,
+    Page2M = 21,
+    Page1G = 30,
+};
+
+constexpr unsigned
+pageShift(PageSize s)
+{
+    return unsigned(s);
+}
+
+/** A translation held by the TLB. */
+struct TlbEntry
+{
+    bool valid = false;
+    Addr vpn = 0;          ///< virtual page number (at its page size)
+    Addr ppn = 0;          ///< physical page number
+    PageSize size = PageSize::Page4K;
+    Asid asid = 0;
+    bool global = false;
+    uint64_t lastUse = 0;
+};
+
+/** TLB geometry. */
+struct TlbParams
+{
+    unsigned microEntries = 32;
+    unsigned jtlbSets = 256;   ///< per-way sets (4K-index space)
+    unsigned jtlbWays = 4;     ///< paper: jTLB is 4-way
+};
+
+/** Result of a TLB lookup. */
+struct TlbLookup
+{
+    Addr pa = 0;
+    PageSize size = PageSize::Page4K;
+    bool microHit = false;
+    unsigned jtlbProbes = 0;   ///< index types tried (1..3) on jTLB hit
+};
+
+/** See file comment. */
+class Tlb
+{
+  public:
+    Tlb(const TlbParams &p, const std::string &name);
+
+    /** Translate @p va under @p asid; nullopt on full miss. */
+    std::optional<TlbLookup> lookup(Addr va, Asid asid, Cycle now);
+
+    /** Install a translation (fills jTLB; micro refilled on next hit). */
+    void insert(Addr va, Addr pa, PageSize size, Asid asid,
+                bool global = false);
+
+    /** Drop everything (ASID rollover / xt.tlb.iall / satp swap). */
+    void flushAll();
+
+    /** Drop entries belonging to @p asid (xt.tlb.iasid). */
+    void flushAsid(Asid asid);
+
+    /** Drop any entry translating @p va (sfence.vma / broadcast). */
+    void flushVa(Addr va);
+
+    const TlbParams &params() const { return p; }
+
+    StatGroup stats;
+    Counter microHits;
+    Counter jtlbHits;
+    Counter misses;
+    Counter flushes;      ///< full flushes
+    Counter asidFlushes;  ///< per-ASID flushes
+    Counter refills;
+
+  private:
+    bool match(const TlbEntry &e, Addr va, Asid asid) const;
+    void microFill(const TlbEntry &e, Cycle now);
+    unsigned jtlbIndex(Addr va, PageSize size) const;
+
+    TlbParams p;
+    std::vector<TlbEntry> micro;
+    std::vector<TlbEntry> jtlb;   ///< sets x ways
+    uint64_t useClock = 0;
+};
+
+} // namespace xt910
+
+#endif // XT910_MMU_TLB_H

@@ -1,0 +1,127 @@
+#include "power/ppa.h"
+
+#include <cmath>
+
+namespace xt910
+{
+
+namespace
+{
+
+// 12nm-like density constants (calibrated; see header comment).
+// Units: mm^2 per kilobit of storage, or mm^2 per logic block.
+constexpr double sramMm2PerKb = 0.00009;   // high-density 6T SRAM
+constexpr double rfMm2PerKb = 0.0008;      // multi-ported register file
+constexpr double flopMm2PerKb = 0.0012;    // pipeline/queue flops
+constexpr double logicMm2PerAluLane = 0.03;
+constexpr double fpuMm2 = 0.06;            // one FP pipe
+constexpr double vecSliceMm2 = 0.048;      // one 64-bit vector slice
+constexpr double lsuMm2 = 0.08;
+constexpr double frontendMm2 = 0.1;        // fetch/decode/rename logic
+constexpr double miscMm2 = 0.045;          // control/debug/PMU/clocking
+
+double
+kb(double bits)
+{
+    return bits / 1024.0 / 8.0 * 8.0; // bits -> Kb
+}
+
+} // namespace
+
+const char *
+techName(TechNode t)
+{
+    return t == TechNode::Tsmc12 ? "TSMC 12nm FinFET" : "TSMC 7nm FinFET";
+}
+
+const char *
+opName(OperatingPoint p)
+{
+    return p == OperatingPoint::Lvt0v8 ? "LVT cells, 0.8V"
+                                       : "30% ULVT cells, 1.0V";
+}
+
+PpaResult
+estimatePpa(const CoreParams &core, const MemSystemParams &mem,
+            TechNode tech, OperatingPoint op)
+{
+    PpaResult r;
+
+    // --------------------------------------------------------- area
+    // L1 caches (tag + data, ~10% tag overhead).
+    double l1Kb = double(mem.l1i.sizeBytes + mem.l1d.sizeBytes) * 8.0 *
+                  1.1 / 1024.0;
+    double area = l1Kb * sramMm2PerKb;
+
+    // Predictor tables + BTBs + TLBs: SRAM-backed.
+    double predKb =
+        kb(double(core.direction.banks) *
+           double(1u << core.direction.tableBits) * 2.0) +
+        kb(double(core.btb.l1Sets) * core.btb.l1Ways * 64.0) +
+        kb(double(core.tlb.jtlbSets) * core.tlb.jtlbWays * 72.0);
+    area += predKb * sramMm2PerKb * 1.2;
+
+    // Windows and register files.
+    double robKb = kb(double(core.robEntries) * 96.0);
+    double lsqKb = kb(double(core.lqEntries + core.sqEntries) * 120.0);
+    area += (robKb + lsqKb) * flopMm2PerKb;
+    double rfKb = kb((96.0 + 64.0) * 64.0); // int + fp physical regs
+    area += rfKb * rfMm2PerKb;
+
+    // Execution logic.
+    area += 2 * logicMm2PerAluLane;         // two ALU pipes + mul/div
+    area += 2 * fpuMm2;                     // two scalar FP pipes
+    area += lsuMm2 * (core.lsuDualIssue ? 1.5 : 1.0);
+    area += frontendMm2 *
+            (double(core.decodeWidth) / 3.0 * 0.5 + 0.5);
+    area += miscMm2;
+
+    // Vector unit: slices of 64 bits each (§VII).
+    double vecArea = 0;
+    if (core.vecBitsPerCycle > 0) {
+        unsigned slices = std::max(1u, core.vecBitsPerCycle / 128);
+        vecArea = vecSliceMm2 * 2 * slices; // 2 pipes per slice
+        double vrfKb = kb(32.0 * core.vlenBits);
+        vecArea += vrfKb * rfMm2PerKb;
+    }
+    area += vecArea;
+
+    double techScale = tech == TechNode::Tsmc7 ? 0.55 : 1.0;
+    r.coreAreaMm2 = area * techScale;
+    r.vecAreaMm2 = vecArea * techScale;
+    r.l2AreaMm2 = double(mem.l2.sizeBytes) * 8.0 / 1024.0 * 1.05 *
+                  sramMm2PerKb * techScale;
+
+    // ---------------------------------------------------- frequency
+    // A 12-stage pipeline at 12nm reaches 2.0 GHz at the LVT/0.8V
+    // point and 2.5 GHz with ULVT at 1.0 V (Table II); deeper windows
+    // and wider issue erode it gently.
+    double base = op == OperatingPoint::Lvt0v8 ? 2.0 : 2.5;
+    if (tech == TechNode::Tsmc7)
+        base = 2.8; // the paper's 7nm experiment
+    double windowPenalty =
+        0.05 * std::log2(double(core.robEntries) / 192.0 + 1.0) - 0.05;
+    double widthPenalty = 0.03 * (double(core.issueWidth) - 8.0) / 8.0;
+    r.freqGHz = base - windowPenalty - widthPenalty;
+
+    // -------------------------------------------------------- power
+    // Dynamic energy per cycle scales with active structures; the
+    // calibration lands the default config near 100 uW/MHz (Table II
+    // footnote c: 32/64KB L1, 256/512KB L2, without VEC).
+    double uw = 0;
+    uw += l1Kb * 0.02;                       // cache access energy
+    uw += (robKb + lsqKb + rfKb) * 0.5;
+    uw += double(core.issueWidth) * 2.6;     // scheduling + bypass
+    uw += double(core.decodeWidth) * 3.2;    // fetch/decode/rename
+    uw += 28.0;                              // clock tree + misc
+    if (core.vecBitsPerCycle > 0)
+        uw += 24.0 * double(core.vecBitsPerCycle) / 256.0;
+    double vScale = op == OperatingPoint::Ulvt1v0 ? 1.5 : 1.0;
+    r.dynUwPerMhz = uw * vScale * (tech == TechNode::Tsmc7 ? 0.6 : 1.0);
+
+    r.leakageMw = r.coreAreaMm2 *
+                  (op == OperatingPoint::Ulvt1v0 ? 22.0 : 9.0);
+    return r;
+}
+
+} // namespace xt910

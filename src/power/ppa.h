@@ -1,0 +1,59 @@
+/**
+ * @file
+ * First-order PPA (power/performance/area) model regenerating Table II.
+ *
+ * This is an analytical structure-based estimate: every sized
+ * microarchitectural structure (caches, ROB, register files, predictor
+ * tables, TLBs, execution units, the vector unit) contributes area and
+ * switching capacitance using per-technology density constants
+ * calibrated so the paper's XT-910 configuration lands at its reported
+ * numbers (0.8 / 0.6 mm^2 with/without VEC excluding L2, 2.0-2.5 GHz,
+ * ~100 uW/MHz, §II Table II). It reproduces the *table* and its
+ * parameter sensitivities — it is not a silicon sign-off model.
+ */
+
+#ifndef XT910_POWER_PPA_H
+#define XT910_POWER_PPA_H
+
+#include "core/params.h"
+#include "mem/memsystem.h"
+
+namespace xt910
+{
+
+/** Process technology assumptions. */
+enum class TechNode
+{
+    Tsmc12,  ///< the paper's implementation node
+    Tsmc7,   ///< the paper's 2.8 GHz experiment (§II)
+};
+
+/** Voltage/cell corner (Table II footnotes a/b). */
+enum class OperatingPoint
+{
+    Lvt0v8,   ///< LVT cells + ULVT SRAM at 0.8 V
+    Ulvt1v0,  ///< 30% ULVT cells at 1.0 V (voltage boost)
+};
+
+/** Modelled PPA outputs for one core. */
+struct PpaResult
+{
+    double coreAreaMm2 = 0;      ///< core area excluding L2
+    double vecAreaMm2 = 0;       ///< vector-unit share of the above
+    double l2AreaMm2 = 0;        ///< cluster L2 area
+    double freqGHz = 0;          ///< achievable clock
+    double dynUwPerMhz = 0;      ///< dynamic power per core
+    double leakageMw = 0;        ///< static power estimate
+};
+
+/** Estimate the PPA of one core (+ cluster L2 reported separately). */
+PpaResult estimatePpa(const CoreParams &core, const MemSystemParams &mem,
+                      TechNode tech = TechNode::Tsmc12,
+                      OperatingPoint op = OperatingPoint::Lvt0v8);
+
+const char *techName(TechNode t);
+const char *opName(OperatingPoint p);
+
+} // namespace xt910
+
+#endif // XT910_POWER_PPA_H

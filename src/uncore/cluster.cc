@@ -1,0 +1,73 @@
+#include "uncore/cluster.h"
+
+namespace xt910
+{
+
+std::string
+ClusterTopology::validate() const
+{
+    if (coresPerCluster != 1 && coresPerCluster != 2 &&
+        coresPerCluster != 4)
+        return "cores per cluster must be 1, 2 or 4 (Table I)";
+    if (clusters < 1 || clusters > 4)
+        return "1..4 clusters supported over the Ncore (§VI)";
+    if (l1dBytes != 32 * 1024 && l1dBytes != 64 * 1024)
+        return "L1D must be 32KB or 64KB (Table I)";
+    if (l1iBytes != 32 * 1024 && l1iBytes != 64 * 1024)
+        return "L1I must be 32KB or 64KB (Table I)";
+    if (l2Bytes < 256 * 1024 || l2Bytes > 8 * 1024 * 1024)
+        return "L2 must be 256KB..8MB (Table I)";
+    if ((l2Bytes & (l2Bytes - 1)) != 0)
+        return "L2 size must be a power of two";
+    return "";
+}
+
+std::vector<ClusterTopology>
+supportedTopologies()
+{
+    std::vector<ClusterTopology> out;
+    for (unsigned cpc : {1u, 2u, 4u})
+        for (unsigned cl : {1u, 2u, 4u})
+            for (uint32_t l1 : {32u * 1024, 64u * 1024})
+                for (uint32_t l2 : {256u * 1024, 2048u * 1024,
+                                    8192u * 1024})
+                    for (bool vec : {false, true}) {
+                        ClusterTopology t;
+                        t.coresPerCluster = cpc;
+                        t.clusters = cl;
+                        t.l1dBytes = l1;
+                        t.l1iBytes = l1;
+                        t.l2Bytes = l2;
+                        t.vectorUnit = vec;
+                        out.push_back(t);
+                    }
+    return out;
+}
+
+Cycle
+tlbShootdown(const ClusterTopology &topo, ShootdownScheme scheme,
+             const ShootdownParams &p, Addr va,
+             std::vector<Tlb *> &remoteTlbs)
+{
+    for (Tlb *t : remoteTlbs)
+        t->flushVa(va);
+
+    const unsigned others = topo.totalCores() - 1;
+    if (others == 0)
+        return 0;
+
+    if (scheme == ShootdownScheme::Ipi) {
+        // Initiator software + interrupt delivery; handlers run
+        // concurrently but completion is gated by the slowest, and the
+        // initiator must collect acknowledgements serially.
+        return p.ipiInitiator + p.ipiDeliver + p.ipiHandler +
+               Cycle(others) * 8 /* ack collection */;
+    }
+
+    // Hardware broadcast: one message per cluster hop, applied by
+    // hardware without software intervention (§V.E "the maintenance is
+    // performed by hardware without software intervention").
+    return p.bcastMessage * topo.clusters + p.bcastApply;
+}
+
+} // namespace xt910

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Multi-core/multi-cluster topology (§II Table I, §VI) and the
+ * TLB-maintenance broadcast model (§V.E): XT-910 broadcasts TLB
+ * maintenance over the coherent interconnect in hardware, replacing
+ * the IPI-based software shootdown. This module validates supported
+ * configurations and provides a cost model comparing both schemes.
+ */
+
+#ifndef XT910_UNCORE_CLUSTER_H
+#define XT910_UNCORE_CLUSTER_H
+
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "mmu/tlb.h"
+
+namespace xt910
+{
+
+/** A Table-I system configuration. */
+struct ClusterTopology
+{
+    unsigned coresPerCluster = 4; ///< 1, 2 or 4
+    unsigned clusters = 1;        ///< 1..4 over the Ncore (§VI)
+    uint32_t l1dBytes = 64 * 1024;
+    uint32_t l1iBytes = 64 * 1024;
+    uint32_t l2Bytes = 2 * 1024 * 1024;
+    bool vectorUnit = true;
+
+    unsigned totalCores() const { return coresPerCluster * clusters; }
+
+    /**
+     * Check against Table I's supported values; returns an empty
+     * string when valid, otherwise the reason.
+     */
+    std::string validate() const;
+};
+
+/** All Table-I-legal combinations (for the Table I bench). */
+std::vector<ClusterTopology> supportedTopologies();
+
+/** How TLB maintenance reaches the other harts (§V.E). */
+enum class ShootdownScheme
+{
+    Ipi,                ///< software IPI + handler on every core
+    HardwareBroadcast,  ///< interconnect message parsed by hardware
+};
+
+/** Cost parameters for the shootdown comparison. */
+struct ShootdownParams
+{
+    Cycle ipiDeliver = 80;      ///< interrupt delivery latency
+    Cycle ipiHandler = 150;     ///< trap + sfence + return, per core
+    Cycle ipiInitiator = 100;   ///< sender-side software overhead
+    Cycle bcastMessage = 12;    ///< bus message per hop
+    Cycle bcastApply = 4;       ///< hardware TLB invalidate
+};
+
+/**
+ * Model one TLB-maintenance operation across @p topo; invalidates the
+ * target VA in the provided remote TLBs and returns the cycles until
+ * every core has applied it.
+ */
+Cycle tlbShootdown(const ClusterTopology &topo, ShootdownScheme scheme,
+                   const ShootdownParams &p, Addr va,
+                   std::vector<Tlb *> &remoteTlbs);
+
+} // namespace xt910
+
+#endif // XT910_UNCORE_CLUSTER_H

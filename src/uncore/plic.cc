@@ -1,0 +1,108 @@
+#include "uncore/plic.h"
+
+#include "common/log.h"
+
+namespace xt910
+{
+
+Plic::Plic(unsigned numSources, unsigned numContexts)
+    : stats("plic"),
+      claims(stats, "claims", "interrupts claimed"),
+      permissionFiltered(stats, "permission_filtered",
+                         "claims blocked by the permission extension"),
+      prio(numSources + 1, 0),
+      minPriv(numSources + 1, PrivMode::User),
+      pending(numSources + 1, false),
+      active(numSources + 1, false),
+      enabled(numContexts, std::vector<bool>(numSources + 1, false)),
+      threshold(numContexts, 0)
+{
+    xt_assert(numSources >= 1, "PLIC needs at least one source");
+}
+
+void
+Plic::setPriority(unsigned source, uint32_t priority)
+{
+    xt_assert(source >= 1 && source < prio.size(), "bad source");
+    prio[source] = priority;
+}
+
+void
+Plic::setMinPrivilege(unsigned source, PrivMode minPriv_)
+{
+    xt_assert(source >= 1 && source < prio.size(), "bad source");
+    minPriv[source] = minPriv_;
+}
+
+void
+Plic::setEnabled(unsigned context, unsigned source, bool e)
+{
+    enabled[context][source] = e;
+}
+
+void
+Plic::setThreshold(unsigned context, uint32_t t)
+{
+    threshold[context] = t;
+}
+
+void
+Plic::setPending(unsigned source, bool p)
+{
+    pending[source] = p;
+}
+
+bool
+Plic::eligible(unsigned context, unsigned source, PrivMode mode,
+               bool countFiltered) const
+{
+    if (!pending[source] || active[source])
+        return false;
+    if (!enabled[context][source])
+        return false;
+    if (prio[source] == 0 || prio[source] <= threshold[context])
+        return false;
+    if (uint8_t(mode) < uint8_t(minPriv[source])) {
+        if (countFiltered)
+            ++permissionFiltered;
+        return false;
+    }
+    return true;
+}
+
+unsigned
+Plic::claim(unsigned context, PrivMode mode)
+{
+    unsigned best = 0;
+    for (unsigned s = 1; s < prio.size(); ++s) {
+        if (!eligible(context, s, mode, /*countFiltered=*/true))
+            continue;
+        if (best == 0 || prio[s] > prio[best])
+            best = s;
+    }
+    if (best != 0) {
+        active[best] = true;
+        pending[best] = false;
+        ++claims;
+    }
+    return best;
+}
+
+void
+Plic::complete(unsigned context, unsigned source)
+{
+    (void)context;
+    if (source >= 1 && source < active.size())
+        active[source] = false;
+}
+
+bool
+Plic::pendingFor(unsigned context, PrivMode mode) const
+{
+    for (unsigned s = 1; s < prio.size(); ++s)
+        if (eligible(context, s, mode, /*countFiltered=*/false))
+            return true;
+    return false;
+}
+
+} // namespace xt910

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * PLIC-lite: the platform-level interrupt controller XT-910 integrates
+ * (§II), with the paper's non-standard extension — permission control
+ * on interrupt sources ("there are extensions ... for the interrupt
+ * controller to support permission control"): each source carries a
+ * minimum privilege level, and contexts below it can neither see nor
+ * claim the interrupt.
+ */
+
+#ifndef XT910_UNCORE_PLIC_H
+#define XT910_UNCORE_PLIC_H
+
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace xt910
+{
+
+/** See file comment. */
+class Plic
+{
+  public:
+    Plic(unsigned numSources, unsigned numContexts);
+
+    /** Configure a source: priority 0 disables it. */
+    void setPriority(unsigned source, uint32_t priority);
+
+    /**
+     * XT-910 permission extension: claims from below @p minPriv are
+     * filtered (and counted) instead of delivered.
+     */
+    void setMinPrivilege(unsigned source, PrivMode minPriv);
+
+    /** Per-context enable bit. */
+    void setEnabled(unsigned context, unsigned source, bool enabled);
+
+    /** Per-context priority threshold. */
+    void setThreshold(unsigned context, uint32_t threshold);
+
+    /** A device raises / lowers its interrupt line. */
+    void setPending(unsigned source, bool pending);
+
+    /** Highest-priority claimable source for a context; 0 if none. */
+    unsigned claim(unsigned context, PrivMode mode);
+
+    /** Handler completion re-arms the source. */
+    void complete(unsigned context, unsigned source);
+
+    /** True when some enabled source is deliverable to the context. */
+    bool pendingFor(unsigned context, PrivMode mode) const;
+
+    unsigned numSources() const { return unsigned(prio.size()) - 1; }
+
+    mutable StatGroup stats;
+    mutable Counter claims;
+    /// claims blocked by the extension
+    mutable Counter permissionFiltered;
+
+  private:
+    bool eligible(unsigned context, unsigned source, PrivMode mode,
+                  bool countFiltered) const;
+
+    // Index 0 is the reserved "no interrupt" source.
+    std::vector<uint32_t> prio;
+    std::vector<PrivMode> minPriv;
+    std::vector<bool> pending;
+    std::vector<bool> active;            // claimed, not completed
+    std::vector<std::vector<bool>> enabled; // [context][source]
+    std::vector<uint32_t> threshold;
+};
+
+} // namespace xt910
+
+#endif // XT910_UNCORE_PLIC_H

@@ -1,0 +1,482 @@
+/**
+ * @file
+ * CoreMark-like kernels (§X): linked-list processing (find/scan),
+ * matrix manipulation, a token-classifying state machine, and CRC16 —
+ * the four algorithm families the paper lists. Native and extended
+ * code-generation flavours model the Fig. 20 experiment.
+ */
+
+#include "workloads/wl_common.h"
+
+namespace xt910
+{
+
+using namespace wl;
+
+// ------------------------------------------------------------- list
+
+WorkloadBuild
+buildCoremarkList(const WorkloadOptions &o)
+{
+    constexpr unsigned nodes = 96;
+    const unsigned iters = 40 * o.scale;
+
+    // Host-side data generation (mirrored into the image).
+    std::vector<int32_t> value(nodes);
+    for (unsigned i = 0; i < nodes; ++i)
+        value[i] = int32_t((i * 2654435761u) & 0xffff);
+    std::vector<unsigned> perm(nodes);
+    for (unsigned i = 0; i < nodes; ++i)
+        perm[i] = i;
+    Xorshift64 rng(12345);
+    for (unsigned i = nodes - 1; i > 0; --i)
+        std::swap(perm[i], perm[rng.below(i + 1)]);
+
+    Assembler a;
+    a.j("_code");
+    a.align(8);
+    a.label("headptr");
+    a.zero(8); // patched below via node addresses (assembled twice)
+    a.label("_code");
+
+    // Register plan: s0 iter counter, s1 head, s2 cur, s3 sum, s4 max,
+    // a0 acc.
+    a.li(a0, 0);
+    a.li(s0, int64_t(iters));
+    if (o.extended) {
+        // Anchor scheme: load the head pointer once, keep it live.
+        a.la(t0, "headptr");
+        a.ld(s1, t0, 0);
+    }
+    a.label("outer");
+    if (!o.extended) {
+        // Native: the global head pointer is re-loaded every pass.
+        a.la(t0, "headptr");
+        a.ld(s1, t0, 0);
+    }
+    a.mv(s2, s1);
+    a.li(s3, 0);
+    a.li(s4, 0);
+    a.label("walk");
+    a.beqz(s2, "walked");
+    a.lw(t1, s2, 0);       // value
+    a.add(s3, s3, t1);     // sum += value
+    if (!o.extended) {
+        // Native: spill the running sum (no dead-store elimination).
+        a.la(t2, "spill");
+        a.sd(s3, t2, 0);
+    }
+    a.bge(s4, t1, "nomax");
+    a.mv(s4, t1);
+    a.label("nomax");
+    a.ld(s2, s2, 8);       // next
+    a.j("walk");
+    a.label("walked");
+    // acc = acc*31 + sum + max
+    a.slli(t3, a0, 5);
+    a.sub(a0, t3, a0);
+    a.add(a0, a0, s3);
+    a.add(a0, a0, s4);
+    a.addi(s0, s0, -1);
+    a.bnez(s0, "outer");
+    epilogue(a);
+
+    // Data: nodes (16B each: {int32 value, pad, int64 next}).
+    a.align(8);
+    a.label("spill");
+    a.dword(0);
+    a.label("nodes");
+    for (unsigned i = 0; i < nodes; ++i) {
+        a.word(uint32_t(value[i]));
+        a.word(0);
+        a.dword(0); // next; patched after first assemble
+    }
+    resultSlot(a);
+
+    // Two-phase assembly: resolve node addresses, then patch links.
+    Program p = a.assemble();
+    Addr base = p.symbol("nodes");
+    auto nodeAddr = [&](unsigned idx) { return base + Addr(idx) * 16; };
+    auto poke64 = [&](Addr where, uint64_t v) {
+        size_t off = where - p.base;
+        for (int b = 0; b < 8; ++b)
+            p.image[off + b] = uint8_t(v >> (8 * b));
+    };
+    poke64(p.symbol("headptr"), nodeAddr(perm[0]));
+    for (unsigned k = 0; k < nodes; ++k) {
+        uint64_t next = k + 1 < nodes ? nodeAddr(perm[k + 1]) : 0;
+        poke64(nodeAddr(perm[k]) + 8, next);
+    }
+
+    // Host reference.
+    uint64_t acc = 0;
+    for (unsigned it = 0; it < iters; ++it) {
+        int64_t sum = 0, mx = 0;
+        for (unsigned k = 0; k < nodes; ++k) {
+            int32_t v = value[perm[k]];
+            sum += v;
+            if (v > mx)
+                mx = v;
+        }
+        acc = acc * 31 + uint64_t(sum) + uint64_t(mx);
+    }
+    return {std::move(p), acc, iters};
+}
+
+// ------------------------------------------------------------ matrix
+
+WorkloadBuild
+buildCoremarkMatrix(const WorkloadOptions &o)
+{
+    constexpr int n = 12;
+    const unsigned iters = 8 * o.scale;
+
+    std::vector<int32_t> A(n * n), B(n * n);
+    for (int i = 0; i < n; ++i)
+        for (int j = 0; j < n; ++j) {
+            A[i * n + j] = (i + j * 3) & 0x7f;
+            B[i * n + j] = ((i * 5) ^ j) & 0x3f;
+        }
+
+    Assembler a;
+    a.li(a0, 0);
+    a.li(s0, int64_t(iters));
+    a.la(s1, "A");
+    a.la(s2, "B");
+    a.la(s3, "C");
+    a.label("outer");
+    a.li(s4, 0); // i
+    a.label("iloop");
+    a.li(s5, 0); // j
+    a.label("jloop");
+    a.li(t0, 0); // acc
+    a.li(s6, 0); // k
+    if (o.extended) {
+        // Induction-variable form: walk row of A and column of B with
+        // pointer/index increments; indexed loads + fused MAC.
+        a.li(t1, n);
+        a.mul(t2, s4, t1);   // i*n (once per row element set)
+        a.mv(t3, s5);        // B index = k*n + j, start k=0 -> j
+        a.label("kloop");
+        a.add(t4, t2, s6);   // A index = i*n + k
+        a.xt_lrw(t5, s1, t4, 2);
+        a.xt_lrw(a1, s2, t3, 2);
+        a.xt_mula(t0, t5, a1);
+        a.addi(t3, t3, n);
+        a.addi(s6, s6, 1);
+        a.blt(s6, t1, "kloop");
+    } else {
+        // Native RV64GC: explicit index arithmetic each iteration
+        // (separate address adds, two-instruction multiply-accumulate)
+        // but no custom indexed loads or fused MAC.
+        a.li(t1, n);
+        a.mul(t2, s4, t1);   // i*n
+        a.mv(t3, s5);        // B index = k*n + j
+        a.label("kloop");
+        a.add(t4, t2, s6);   // A index
+        a.slli(t4, t4, 2);
+        a.add(t4, t4, s1);
+        a.lw(t5, t4, 0);     // A[i][k]
+        a.slli(t4, t3, 2);
+        a.add(t4, t4, s2);
+        a.lw(a1, t4, 0);     // B[k][j]
+        a.mulw(a2, t5, a1);
+        a.addw(t0, t0, a2);
+        a.addi(t3, t3, n);
+        a.addi(s6, s6, 1);
+        a.blt(s6, t1, "kloop");
+    }
+    // C[i][j] = acc; fold into checksum.
+    a.li(t1, n);
+    a.mul(t2, s4, t1);
+    a.add(t2, t2, s5);
+    a.slli(t2, t2, 2);
+    a.add(t2, t2, s3);
+    a.sw(t0, t2, 0);
+    a.sextw(t0, t0);
+    a.add(a0, a0, t0);
+    a.slli(t4, a0, 1);
+    a.xor_(a0, a0, t4);
+    a.addi(s5, s5, 1);
+    a.li(t1, n);
+    a.blt(s5, t1, "jloop");
+    a.addi(s4, s4, 1);
+    a.blt(s4, t1, "iloop");
+    a.addi(s0, s0, -1);
+    a.bnez(s0, "outer");
+    epilogue(a);
+
+    a.align(4);
+    a.label("A");
+    for (int32_t v : A)
+        a.word(uint32_t(v));
+    a.label("B");
+    for (int32_t v : B)
+        a.word(uint32_t(v));
+    a.label("C");
+    a.zero(size_t(n) * n * 4);
+    resultSlot(a);
+
+    // Host reference.
+    uint64_t acc = 0;
+    for (unsigned it = 0; it < iters; ++it) {
+        for (int i = 0; i < n; ++i) {
+            for (int j = 0; j < n; ++j) {
+                int32_t s = 0;
+                for (int k = 0; k < n; ++k)
+                    s = int32_t(s + int32_t(A[i * n + k] * B[k * n + j]));
+                acc += uint64_t(int64_t(s));
+                acc ^= acc << 1;
+            }
+        }
+    }
+    return {a.assemble(), acc, iters};
+}
+
+// ------------------------------------------------------ state machine
+
+WorkloadBuild
+buildCoremarkState(const WorkloadOptions &o)
+{
+    constexpr unsigned len = 256;
+    const unsigned iters = 30 * o.scale;
+
+    // Generate a stream mixing digits, signs, dots, exponents, junk.
+    std::vector<uint8_t> buf(len);
+    Xorshift64 rng(777);
+    const char pool[] = "0123456789+-.eE, abcxyz";
+    for (unsigned i = 0; i < len; ++i)
+        buf[i] = uint8_t(pool[rng.below(sizeof(pool) - 1)]);
+
+    // States: 0 start, 1 int, 2 frac, 3 exp, 4 invalid.
+    auto hostClassify = [&](uint8_t c, int st) {
+        bool digit = c >= '0' && c <= '9';
+        switch (st) {
+          case 0:
+            if (digit || c == '+' || c == '-')
+                return 1;
+            if (c == '.')
+                return 2;
+            return 4;
+          case 1:
+            if (digit)
+                return 1;
+            if (c == '.')
+                return 2;
+            if (c == 'e' || c == 'E')
+                return 3;
+            return c == ',' ? 0 : 4;
+          case 2:
+            if (digit)
+                return 2;
+            if (c == 'e' || c == 'E')
+                return 3;
+            return c == ',' ? 0 : 4;
+          case 3:
+            if (digit || c == '+' || c == '-')
+                return 3;
+            return c == ',' ? 0 : 4;
+          default:
+            return c == ',' ? 0 : 4;
+        }
+    };
+
+    Assembler a;
+    a.li(a0, 0);
+    a.li(s0, int64_t(iters));
+    if (o.extended)
+        a.la(s1, "buf"); // anchored
+    a.label("outer");
+    if (!o.extended)
+        a.la(s1, "buf");
+    a.li(s2, 0);            // index
+    a.li(s3, 0);            // state
+    a.li(s4, len);
+    a.label("chloop");
+    if (o.extended) {
+        a.xt_lrbu(t0, s1, s2, 0);
+    } else {
+        a.add(t1, s1, s2);
+        a.lbu(t0, t1, 0);
+    }
+    // Classify: t0 = char, s3 = state -> new state in s3.
+    // digit check
+    a.li(t1, '0');
+    a.li(t2, '9');
+    a.li(t3, 0);            // digit flag
+    a.blt(t0, t1, "notdig");
+    a.blt(t2, t0, "notdig");
+    a.li(t3, 1);
+    a.label("notdig");
+    // dispatch on state
+    a.beqz(s3, "st0");
+    a.li(t4, 1);
+    a.beq(s3, t4, "st1");
+    a.li(t4, 2);
+    a.beq(s3, t4, "st2");
+    a.li(t4, 3);
+    a.beq(s3, t4, "st3");
+    // st4 (invalid): ',' resets
+    a.li(t4, ',');
+    a.bne(t0, t4, "next");
+    a.li(s3, 0);
+    a.j("next");
+    a.label("st0");
+    a.bnez(t3, "toint");
+    a.li(t4, '+');
+    a.beq(t0, t4, "toint");
+    a.li(t4, '-');
+    a.beq(t0, t4, "toint");
+    a.li(t4, '.');
+    a.beq(t0, t4, "tofrac");
+    a.li(s3, 4);
+    a.j("next");
+    a.label("toint");
+    a.li(s3, 1);
+    a.j("next");
+    a.label("tofrac");
+    a.li(s3, 2);
+    a.j("next");
+    a.label("st1");
+    a.bnez(t3, "next"); // digit stays int
+    a.li(t4, '.');
+    a.beq(t0, t4, "tofrac");
+    a.li(t4, 'e');
+    a.beq(t0, t4, "toexp");
+    a.li(t4, 'E');
+    a.beq(t0, t4, "toexp");
+    a.li(t4, ',');
+    a.beq(t0, t4, "tostart");
+    a.li(s3, 4);
+    a.j("next");
+    a.label("st2");
+    a.bnez(t3, "next");
+    a.li(t4, 'e');
+    a.beq(t0, t4, "toexp");
+    a.li(t4, 'E');
+    a.beq(t0, t4, "toexp");
+    a.li(t4, ',');
+    a.beq(t0, t4, "tostart");
+    a.li(s3, 4);
+    a.j("next");
+    a.label("st3");
+    a.bnez(t3, "next");
+    a.li(t4, '+');
+    a.beq(t0, t4, "next");
+    a.li(t4, '-');
+    a.beq(t0, t4, "next");
+    a.li(t4, ',');
+    a.beq(t0, t4, "tostart");
+    a.li(s3, 4);
+    a.j("next");
+    a.label("toexp");
+    a.li(s3, 3);
+    a.j("next");
+    a.label("tostart");
+    a.li(s3, 0);
+    a.label("next");
+    // acc = acc*5 + state
+    a.slli(t5, a0, 2);
+    a.add(a0, a0, t5);
+    a.add(a0, a0, s3);
+    a.addi(s2, s2, 1);
+    a.blt(s2, s4, "chloop");
+    a.addi(s0, s0, -1);
+    a.bnez(s0, "outer");
+    epilogue(a);
+
+    a.align(8);
+    a.label("buf");
+    a.bytes(buf);
+    resultSlot(a);
+
+    uint64_t acc = 0;
+    for (unsigned it = 0; it < iters; ++it) {
+        int st = 0;
+        for (unsigned i = 0; i < len; ++i) {
+            st = hostClassify(buf[i], st);
+            acc = acc * 5 + uint64_t(st);
+        }
+    }
+    return {a.assemble(), acc, iters};
+}
+
+// -------------------------------------------------------------- crc
+
+WorkloadBuild
+buildCoremarkCrc(const WorkloadOptions &o)
+{
+    constexpr unsigned len = 256;
+    const unsigned iters = 30 * o.scale;
+
+    std::vector<uint8_t> buf(len);
+    Xorshift64 rng(4242);
+    for (auto &b : buf)
+        b = uint8_t(rng.next());
+
+    Assembler a;
+    a.li(a0, 0);
+    a.li(s0, int64_t(iters));
+    a.la(s1, "buf");
+    a.label("outer");
+    a.li(s2, 0);            // index
+    a.li(s3, 0xffff);       // crc
+    a.li(s4, len);
+    a.li(s5, 0x1021);       // poly
+    a.label("byteloop");
+    a.add(t1, s1, s2);
+    a.lbu(t0, t1, 0);
+    a.slli(t0, t0, 8);
+    a.xor_(s3, s3, t0);
+    for (int b = 0; b < 8; ++b) {
+        // Branchless (if-converted) form, as optimizing compilers emit:
+        // crc = (crc << 1) ^ (poly & -(crc >> 15 & 1)); crc &= 0xffff.
+        a.srli(t2, s3, 15);
+        a.andi(t2, t2, 1);
+        a.neg(t2, t2);
+        a.and_(t2, t2, s5);
+        a.slli(s3, s3, 1);
+        a.xor_(s3, s3, t2);
+        if (o.extended) {
+            // Single-instruction 16-bit zero extension (§VIII.A).
+            a.xt_extu(s3, s3, 15, 0);
+        } else {
+            // Native: shift pair to zero-extend.
+            a.slli(s3, s3, 48);
+            a.srli(s3, s3, 48);
+        }
+    }
+    a.addi(s2, s2, 1);
+    a.blt(s2, s4, "byteloop");
+    // acc = acc*65599 + crc
+    a.li(t3, 65599);
+    a.mul(a0, a0, t3);
+    a.add(a0, a0, s3);
+    a.addi(s0, s0, -1);
+    a.bnez(s0, "outer");
+    epilogue(a);
+
+    a.align(8);
+    a.label("buf");
+    a.bytes(buf);
+    resultSlot(a);
+
+    uint64_t acc = 0;
+    for (unsigned it = 0; it < iters; ++it) {
+        uint32_t crc = 0xffff;
+        for (unsigned i = 0; i < len; ++i) {
+            crc ^= uint32_t(buf[i]) << 8;
+            for (int b = 0; b < 8; ++b) {
+                bool hi = crc & 0x8000;
+                crc <<= 1;
+                if (hi)
+                    crc ^= 0x1021;
+                crc &= 0xffff;
+            }
+        }
+        acc = acc * 65599 + crc;
+    }
+    return {a.assemble(), acc, iters};
+}
+
+} // namespace xt910

@@ -1,0 +1,774 @@
+/**
+ * @file
+ * EEMBC-automotive-like kernels (Fig. 18): eight kernels mirroring the
+ * suite's algorithm families — angle-to-time, bit manipulation, CAN
+ * frame parsing, integer IDCT, IIR filtering, pointer chasing, road
+ * speed calculation and table lookup with interpolation.
+ */
+
+#include "workloads/wl_common.h"
+
+namespace xt910
+{
+
+using namespace wl;
+
+namespace
+{
+
+/** Shared skeleton: outer iteration loop with a folding checksum. */
+struct KernelFrame
+{
+    Assembler a;
+    unsigned iters;
+
+    explicit KernelFrame(unsigned it) : iters(it)
+    {
+        a.li(a0, 0);
+        a.li(s0, int64_t(iters));
+        a.label("outer");
+    }
+
+    void
+    finish()
+    {
+        a.addi(s0, s0, -1);
+        a.bnez(s0, "outer");
+        epilogue(a);
+    }
+};
+
+} // namespace
+
+// ----------------------------------------------------------- a2time
+
+WorkloadBuild
+buildEembcA2time(const WorkloadOptions &o)
+{
+    constexpr unsigned teeth = 64;
+    const unsigned iters = 60 * o.scale;
+    std::vector<int32_t> angle(teeth);
+    for (unsigned i = 0; i < teeth; ++i)
+        angle[i] = int32_t((i * 360 * 97) % 36000);
+
+    KernelFrame f(iters);
+    Assembler &a = f.a;
+    a.la(s1, "angle");
+    a.li(s2, 0);   // i
+    a.li(s3, 0);   // prev
+    a.li(s4, teeth);
+    a.label("loop");
+    if (o.extended) {
+        a.xt_lrw(t0, s1, s2, 2);
+    } else {
+        a.slli(t1, s2, 2);
+        a.add(t1, t1, s1);
+        a.lw(t0, t1, 0);
+    }
+    a.sub(t2, t0, s3);       // delta
+    a.mv(s3, t0);
+    a.li(t3, 157);           // scale factor (2*pi-ish fixed point)
+    a.mul(t4, t2, t3);
+    a.add(a0, a0, t4);
+    a.srai(t5, a0, 9);
+    a.xor_(a0, a0, t5);
+    a.addi(s2, s2, 1);
+    a.blt(s2, s4, "loop");
+    f.finish();
+
+    a.align(4);
+    a.label("angle");
+    for (int32_t v : angle)
+        a.word(uint32_t(v));
+    resultSlot(a);
+
+    uint64_t acc = 0;
+    for (unsigned it = 0; it < iters; ++it) {
+        int64_t prev = 0;
+        for (unsigned i = 0; i < teeth; ++i) {
+            int64_t delta = angle[i] - prev;
+            prev = angle[i];
+            acc += uint64_t(delta * 157);
+            acc ^= uint64_t(int64_t(acc) >> 9);
+        }
+    }
+    return {a.assemble(), acc, iters};
+}
+
+// ----------------------------------------------------------- bitmnp
+
+WorkloadBuild
+buildEembcBitmnp(const WorkloadOptions &o)
+{
+    constexpr unsigned words = 64;
+    const unsigned iters = 40 * o.scale;
+    std::vector<uint64_t> data(words);
+    Xorshift64 rng(31337);
+    for (auto &d : data)
+        d = rng.next();
+
+    KernelFrame f(iters);
+    Assembler &a = f.a;
+    a.la(s1, "data");
+    a.li(s2, 0);
+    a.li(s4, words);
+    if (!o.extended) {
+        // Loop-invariant popcount constants, hoisted by the compiler.
+        a.li(s7, 0x5555555555555555ll);
+        a.li(s8, 0x3333333333333333ll);
+        a.li(s9, 0x0f0f0f0f0f0f0f0fll);
+        a.li(s10, 0x0101010101010101ll);
+    }
+    a.label("loop");
+    if (o.extended) {
+        a.xt_lrd(t0, s1, s2, 3);
+        a.xt_rev(t1, t0);     // byte reverse in one instruction
+        a.xt_ff1(t2, t0);     // leading-zero count in one instruction
+    } else {
+        a.slli(t1, s2, 3);
+        a.add(t1, t1, s1);
+        a.ld(t0, t1, 0);
+        // Byte reverse via shift/mask ladder.
+        a.li(t3, 0x00ff00ff00ff00ffll);
+        a.srli(t1, t0, 8);
+        a.and_(t1, t1, t3);
+        a.and_(t4, t0, t3);
+        a.slli(t4, t4, 8);
+        a.or_(t1, t1, t4);
+        a.li(t3, 0x0000ffff0000ffffll);
+        a.srli(t4, t1, 16);
+        a.and_(t4, t4, t3);
+        a.and_(t1, t1, t3);
+        a.slli(t1, t1, 16);
+        a.or_(t1, t1, t4);
+        a.srli(t4, t1, 32);
+        a.slli(t1, t1, 32);
+        a.or_(t1, t1, t4);
+        // Branchless leading-zero count: smear then SWAR popcount
+        // (the libgcc-style sequence for targets without clz).
+        a.mv(t4, t0);
+        for (unsigned sh : {1u, 2u, 4u, 8u, 16u, 32u}) {
+            a.srli(t5, t4, sh);
+            a.or_(t4, t4, t5);
+        }
+        a.srli(t5, t4, 1);
+        a.and_(t5, t5, s7);
+        a.sub(t4, t4, t5);
+        a.and_(t5, t4, s8);
+        a.srli(t4, t4, 2);
+        a.and_(t4, t4, s8);
+        a.add(t4, t4, t5);
+        a.srli(t5, t4, 4);
+        a.add(t4, t4, t5);
+        a.and_(t4, t4, s9);
+        a.mul(t4, t4, s10);
+        a.srli(t4, t4, 56);
+        a.li(t2, 64);
+        a.sub(t2, t2, t4);
+    }
+    a.add(a0, a0, t1);
+    a.slli(t5, t2, 3);
+    a.xor_(a0, a0, t5);
+    a.addi(s2, s2, 1);
+    a.blt(s2, s4, "loop");
+    f.finish();
+
+    a.align(8);
+    a.label("data");
+    for (uint64_t v : data)
+        a.dword(v);
+    resultSlot(a);
+
+    uint64_t acc = 0;
+    for (unsigned it = 0; it < iters; ++it) {
+        for (unsigned i = 0; i < words; ++i) {
+            acc += byteSwap64(data[i]);
+            acc ^= uint64_t(countLeadingZeros(data[i])) << 3;
+        }
+    }
+    return {a.assemble(), acc, iters};
+}
+
+// ----------------------------------------------------------- canrdr
+
+WorkloadBuild
+buildEembcCanrdr(const WorkloadOptions &o)
+{
+    constexpr unsigned frames = 48;
+    const unsigned iters = 60 * o.scale;
+    // Frame: 64-bit word: [63:53] id, [52:49] dlc, [48:0] payload bits.
+    std::vector<uint64_t> bus(frames);
+    Xorshift64 rng(2020);
+    for (auto &w : bus)
+        w = rng.next();
+
+    KernelFrame f(iters);
+    Assembler &a = f.a;
+    a.la(s1, "bus");
+    a.li(s2, 0);
+    a.li(s4, frames);
+    a.li(s5, 0x2a0);  // id filter
+    a.label("loop");
+    if (o.extended) {
+        a.xt_lrd(t0, s1, s2, 3);
+        a.xt_extu(t1, t0, 63, 53); // id
+        a.xt_extu(t2, t0, 52, 49); // dlc
+        a.xt_extu(t3, t0, 31, 0);  // payload low
+    } else {
+        a.slli(t1, s2, 3);
+        a.add(t1, t1, s1);
+        a.ld(t0, t1, 0);
+        a.srli(t1, t0, 53);        // id
+        a.slli(t2, t0, 11);
+        a.srli(t2, t2, 60);        // dlc
+        a.slli(t3, t0, 32);
+        a.srli(t3, t3, 32);        // payload low
+    }
+    a.and_(t4, t1, s5);
+    a.beqz(t4, "skip");
+    a.add(a0, a0, t3);
+    a.add(a0, a0, t2);
+    a.label("skip");
+    a.slli(t5, a0, 7);
+    a.xor_(a0, a0, t5);
+    a.addi(s2, s2, 1);
+    a.blt(s2, s4, "loop");
+    f.finish();
+
+    a.align(8);
+    a.label("bus");
+    for (uint64_t v : bus)
+        a.dword(v);
+    resultSlot(a);
+
+    uint64_t acc = 0;
+    for (unsigned it = 0; it < iters; ++it) {
+        for (unsigned i = 0; i < frames; ++i) {
+            uint64_t w = bus[i];
+            uint64_t id = w >> 53;
+            uint64_t dlc = (w >> 49) & 0xf;
+            uint64_t pay = w & 0xffffffff;
+            if (id & 0x2a0)
+                acc += pay + dlc;
+            acc ^= acc << 7;
+        }
+    }
+    return {a.assemble(), acc, iters};
+}
+
+// ----------------------------------------------------------- idctrn
+
+WorkloadBuild
+buildEembcIdctrn(const WorkloadOptions &o)
+{
+    const unsigned iters = 50 * o.scale;
+    std::vector<int32_t> blk(64);
+    for (int i = 0; i < 64; ++i)
+        blk[i] = ((i * 29) % 255) - 128;
+
+    KernelFrame f(iters);
+    Assembler &a = f.a;
+    a.la(s1, "blk");
+    a.li(s2, 0); // row
+    a.label("rowloop");
+    // Load 4 pairs; butterfly add/sub with shifts (IDCT-style).
+    a.slli(t0, s2, 5); // row*8*4 bytes
+    a.add(t0, t0, s1);
+    for (int k = 0; k < 4; ++k) {
+        a.lw(t1, t0, k * 4);
+        a.lw(t2, t0, (7 - k) * 4);
+        a.add(t3, t1, t2);
+        a.sub(t4, t1, t2);
+        a.slli(t5, t4, 2);
+        a.add(t3, t3, t5);
+        a.srai(t3, t3, 1);
+        a.sw(t3, t0, k * 4);
+        a.add(a0, a0, t3);
+    }
+    a.slli(t5, a0, 3);
+    a.xor_(a0, a0, t5);
+    a.addi(s2, s2, 1);
+    a.li(t5, 8);
+    a.blt(s2, t5, "rowloop");
+    f.finish();
+
+    a.align(4);
+    a.label("blk");
+    for (int32_t v : blk)
+        a.word(uint32_t(v));
+    resultSlot(a);
+
+    // Host reference mirrors the in-place row updates across iters.
+    std::vector<int64_t> m(64);
+    for (int i = 0; i < 64; ++i)
+        m[i] = blk[i];
+    uint64_t acc = 0;
+    for (unsigned it = 0; it < iters; ++it) {
+        for (int r = 0; r < 8; ++r) {
+            for (int k = 0; k < 4; ++k) {
+                int64_t x = int32_t(m[r * 8 + k]);
+                int64_t y = int32_t(m[r * 8 + 7 - k]);
+                int64_t v = ((x + y) + ((x - y) << 2)) >> 1;
+                m[r * 8 + k] = int32_t(v);
+                acc += uint64_t(v);
+            }
+            acc ^= acc << 3;
+        }
+    }
+    return {a.assemble(), acc, iters};
+}
+
+// ----------------------------------------------------------- iirflt
+
+WorkloadBuild
+buildEembcIirflt(const WorkloadOptions &o)
+{
+    constexpr unsigned samples = 128;
+    const unsigned iters = 40 * o.scale;
+    std::vector<int32_t> x(samples);
+    Xorshift64 rng(99);
+    for (auto &v : x)
+        v = int32_t(rng.next() & 0xfff) - 2048;
+
+    KernelFrame f(iters);
+    Assembler &a = f.a;
+    a.la(s1, "x");
+    a.li(s2, 0);
+    a.li(s3, 0);  // y1
+    a.li(s4, 0);  // y2
+    a.li(s5, samples);
+    a.li(s6, 1967);  // b0
+    a.li(s7, -1651); // a1
+    a.li(s8, 438);   // a2
+    a.label("loop");
+    if (o.extended) {
+        a.xt_lrw(t0, s1, s2, 2);
+        a.mul(t1, t0, s6);
+        a.xt_mula(t1, s3, s7);
+        a.xt_mula(t1, s4, s8);
+    } else {
+        a.slli(t1, s2, 2);
+        a.add(t1, t1, s1);
+        a.lw(t0, t1, 0);
+        a.mul(t1, t0, s6);
+        a.mul(t2, s3, s7);
+        a.add(t1, t1, t2);
+        a.mul(t2, s4, s8);
+        a.add(t1, t1, t2);
+    }
+    a.srai(t1, t1, 12);
+    a.mv(s4, s3);
+    a.mv(s3, t1);
+    a.add(a0, a0, t1);
+    a.slli(t5, a0, 5);
+    a.xor_(a0, a0, t5);
+    a.addi(s2, s2, 1);
+    a.blt(s2, s5, "loop");
+    f.finish();
+
+    a.align(4);
+    a.label("x");
+    for (int32_t v : x)
+        a.word(uint32_t(v));
+    resultSlot(a);
+
+    uint64_t acc = 0;
+    for (unsigned it = 0; it < iters; ++it) {
+        int64_t y1 = 0, y2 = 0;
+        for (unsigned i = 0; i < samples; ++i) {
+            int64_t y = (int64_t(x[i]) * 1967 + y1 * -1651 + y2 * 438) >> 12;
+            y2 = y1;
+            y1 = y;
+            acc += uint64_t(y);
+            acc ^= acc << 5;
+        }
+    }
+    return {a.assemble(), acc, iters};
+}
+
+// ----------------------------------------------------------- pntrch
+
+WorkloadBuild
+buildEembcPntrch(const WorkloadOptions &o)
+{
+    constexpr unsigned n = 512;
+    const unsigned iters = 20 * o.scale;
+    // A permutation cycle over n slots (single cycle so every slot is
+    // visited).
+    std::vector<uint32_t> nextIdx(n);
+    std::vector<unsigned> order(n);
+    for (unsigned i = 0; i < n; ++i)
+        order[i] = i;
+    Xorshift64 rng(555);
+    for (unsigned i = n - 1; i > 0; --i)
+        std::swap(order[i], order[rng.below(i + 1)]);
+    for (unsigned i = 0; i < n; ++i)
+        nextIdx[order[i]] = order[(i + 1) % n];
+
+    KernelFrame f(iters);
+    Assembler &a = f.a;
+    a.la(s1, "tab");
+    a.li(s2, 0);       // idx
+    a.li(s4, n);
+    a.li(s5, 0);       // step counter
+    a.label("loop");
+    if (o.extended) {
+        a.xt_lrwu(s2, s1, s2, 2);
+    } else {
+        a.slli(t1, s2, 2);
+        a.add(t1, t1, s1);
+        a.lwu(s2, t1, 0);
+    }
+    a.add(a0, a0, s2);
+    a.addi(s5, s5, 1);
+    a.blt(s5, s4, "loop");
+    a.slli(t5, a0, 9);
+    a.xor_(a0, a0, t5);
+    a.li(s5, 0);
+    f.finish();
+
+    a.align(4);
+    a.label("tab");
+    for (uint32_t v : nextIdx)
+        a.word(v);
+    resultSlot(a);
+
+    uint64_t acc = 0;
+    uint32_t idx = 0;
+    for (unsigned it = 0; it < iters; ++it) {
+        for (unsigned s = 0; s < n; ++s) {
+            idx = nextIdx[idx];
+            acc += idx;
+        }
+        acc ^= acc << 9;
+    }
+    return {a.assemble(), acc, iters};
+}
+
+// ----------------------------------------------------------- rspeed
+
+WorkloadBuild
+buildEembcRspeed(const WorkloadOptions &o)
+{
+    constexpr unsigned pulses = 64;
+    const unsigned iters = 40 * o.scale;
+    std::vector<int32_t> dt(pulses);
+    Xorshift64 rng(808);
+    for (auto &v : dt)
+        v = int32_t(1000 + rng.below(9000));
+
+    KernelFrame f(iters);
+    Assembler &a = f.a;
+    a.la(s1, "dt");
+    a.li(s2, 0);
+    a.li(s4, pulses);
+    a.li(s5, 3600000);
+    a.label("loop");
+    if (o.extended) {
+        a.xt_lrw(t0, s1, s2, 2);
+    } else {
+        a.slli(t1, s2, 2);
+        a.add(t1, t1, s1);
+        a.lw(t0, t1, 0);
+    }
+    a.div(t2, s5, t0);   // speed = K / dt
+    a.add(a0, a0, t2);
+    a.slli(t5, a0, 4);
+    a.xor_(a0, a0, t5);
+    a.addi(s2, s2, 1);
+    a.blt(s2, s4, "loop");
+    f.finish();
+
+    a.align(4);
+    a.label("dt");
+    for (int32_t v : dt)
+        a.word(uint32_t(v));
+    resultSlot(a);
+
+    uint64_t acc = 0;
+    for (unsigned it = 0; it < iters; ++it) {
+        for (unsigned i = 0; i < pulses; ++i) {
+            acc += uint64_t(3600000 / dt[i]);
+            acc ^= acc << 4;
+        }
+    }
+    return {a.assemble(), acc, iters};
+}
+
+// ----------------------------------------------------------- tblook
+
+WorkloadBuild
+buildEembcTblook(const WorkloadOptions &o)
+{
+    constexpr unsigned bins = 16;
+    constexpr unsigned queries = 96;
+    const unsigned iters = 40 * o.scale;
+    // Monotone x table with y values; query interpolation.
+    std::vector<int32_t> xs(bins), ys(bins), q(queries);
+    for (unsigned i = 0; i < bins; ++i) {
+        xs[i] = int32_t(i * 1000);
+        ys[i] = int32_t((i * i * 37) % 5000);
+    }
+    Xorshift64 rng(606);
+    for (auto &v : q)
+        v = int32_t(rng.below((bins - 1) * 1000));
+
+    KernelFrame f(iters);
+    Assembler &a = f.a;
+    a.la(s1, "xs");
+    a.la(s2, "ys");
+    a.la(s3, "q");
+    a.li(s4, 0); // query index
+    a.li(s5, queries);
+    a.label("qloop");
+    if (o.extended) {
+        a.xt_lrw(t0, s3, s4, 2);
+    } else {
+        a.slli(t1, s4, 2);
+        a.add(t1, t1, s3);
+        a.lw(t0, t1, 0);
+    }
+    // Linear scan for the bin: find largest i with xs[i] <= x.
+    a.li(t2, 0); // i
+    a.li(t3, bins - 1);
+    a.label("scan");
+    a.addi(t4, t2, 1);
+    a.bge(t4, t3, "found");
+    if (o.extended) {
+        a.xt_lrw(t5, s1, t4, 2);
+    } else {
+        a.slli(t5, t4, 2);
+        a.add(t5, t5, s1);
+        a.lw(t5, t5, 0);
+    }
+    a.blt(t0, t5, "found");
+    a.mv(t2, t4);
+    a.j("scan");
+    a.label("found");
+    // Interpolate: y = y0 + (y1-y0)*(x-x0)/1000
+    a.slli(t4, t2, 2);
+    a.add(t5, t4, s2);
+    a.lw(a1, t5, 0);   // y0
+    a.lw(a2, t5, 4);   // y1
+    a.add(t5, t4, s1);
+    a.lw(a3, t5, 0);   // x0
+    a.sub(a2, a2, a1); // dy
+    a.sub(t0, t0, a3); // dx
+    a.mul(a2, a2, t0);
+    a.li(t5, 1000);
+    a.div(a2, a2, t5);
+    a.add(a1, a1, a2);
+    a.add(a0, a0, a1);
+    a.slli(t5, a0, 6);
+    a.xor_(a0, a0, t5);
+    a.addi(s4, s4, 1);
+    a.blt(s4, s5, "qloop");
+    f.finish();
+
+    a.align(4);
+    a.label("xs");
+    for (int32_t v : xs)
+        a.word(uint32_t(v));
+    a.label("ys");
+    for (int32_t v : ys)
+        a.word(uint32_t(v));
+    a.label("q");
+    for (int32_t v : q)
+        a.word(uint32_t(v));
+    resultSlot(a);
+
+    uint64_t acc = 0;
+    for (unsigned it = 0; it < iters; ++it) {
+        for (unsigned k = 0; k < queries; ++k) {
+            int64_t x = q[k];
+            unsigned i = 0;
+            while (i + 1 < bins - 1 && xs[i + 1] <= x)
+                ++i;
+            int64_t y = ys[i] + (int64_t(ys[i + 1]) - ys[i]) *
+                                    (x - xs[i]) / 1000;
+            acc += uint64_t(y);
+            acc ^= acc << 6;
+        }
+    }
+    return {a.assemble(), acc, iters};
+}
+
+// ----------------------------------------------------------- puwmod
+
+WorkloadBuild
+buildEembcPuwmod(const WorkloadOptions &o)
+{
+    // Pulse-width modulation: quantize duty-cycle requests to a timer
+    // period with running error diffusion (integer div/mod heavy).
+    constexpr unsigned reqs = 64;
+    constexpr int32_t period = 1024;
+    const unsigned iters = 40 * o.scale;
+    std::vector<int32_t> duty(reqs);
+    Xorshift64 rng(9090);
+    for (auto &d : duty)
+        d = int32_t(rng.below(10000)); // permille * 10
+
+    KernelFrame f(iters);
+    Assembler &a = f.a;
+    a.la(s1, "duty");
+    a.li(s2, 0);
+    a.li(s4, reqs);
+    a.li(s5, period);
+    a.li(s6, 10000);
+    a.li(s7, 0); // error accumulator
+    a.label("loop");
+    if (o.extended) {
+        a.xt_lrw(t0, s1, s2, 2);
+    } else {
+        a.slli(t1, s2, 2);
+        a.add(t1, t1, s1);
+        a.lw(t0, t1, 0);
+    }
+    // on = (duty*period + err) / 10000 ; err = (duty*period+err) % 10000
+    a.mul(t2, t0, s5);
+    a.add(t2, t2, s7);
+    a.div(t3, t2, s6);   // on-count
+    a.rem(s7, t2, s6);   // carried error
+    a.sub(t4, s5, t3);   // off-count
+    a.add(a0, a0, t3);
+    a.slli(t5, t4, 11);
+    a.xor_(a0, a0, t5);
+    a.addi(s2, s2, 1);
+    a.blt(s2, s4, "loop");
+    f.finish();
+
+    a.align(4);
+    a.label("duty");
+    for (int32_t v : duty)
+        a.word(uint32_t(v));
+    resultSlot(a);
+
+    uint64_t acc = 0;
+    for (unsigned it = 0; it < iters; ++it) {
+        int64_t err = 0;
+        for (unsigned i = 0; i < reqs; ++i) {
+            int64_t scaled = int64_t(duty[i]) * period + err;
+            int64_t on = scaled / 10000;
+            err = scaled % 10000;
+            int64_t off = period - on;
+            acc += uint64_t(on);
+            acc ^= uint64_t(off) << 11;
+        }
+    }
+    return {a.assemble(), acc, iters};
+}
+
+// ----------------------------------------------------------- ttsprk
+
+WorkloadBuild
+buildEembcTtsprk(const WorkloadOptions &o)
+{
+    // Tooth-to-spark: bilinear interpolation in an rpm x load ignition
+    // advance table, then angle arithmetic per tooth event.
+    constexpr unsigned rpmBins = 8, loadBins = 8;
+    constexpr unsigned events = 64;
+    const unsigned iters = 30 * o.scale;
+    std::vector<int32_t> tbl(rpmBins * loadBins);
+    for (unsigned r = 0; r < rpmBins; ++r)
+        for (unsigned l = 0; l < loadBins; ++l)
+            tbl[r * loadBins + l] = int32_t(100 + r * 35 + l * 11);
+    std::vector<int32_t> rpm(events), load(events);
+    Xorshift64 rng(4321);
+    for (unsigned i = 0; i < events; ++i) {
+        rpm[i] = int32_t(rng.below((rpmBins - 1) * 256));
+        load[i] = int32_t(rng.below((loadBins - 1) * 256));
+    }
+
+    KernelFrame f(iters);
+    Assembler &a = f.a;
+    a.la(s1, "tbl");
+    a.la(s2, "rpm");
+    a.la(s3, "loadv");
+    a.li(s4, 0);
+    a.li(s5, events);
+    a.label("loop");
+    if (o.extended) {
+        a.xt_lrw(t0, s2, s4, 2); // rpm
+        a.xt_lrw(t1, s3, s4, 2); // load
+        a.xt_extu(t2, t0, 31, 8); // rpm bin = rpm >> 8
+        a.xt_extu(t3, t1, 31, 8); // load bin
+    } else {
+        a.slli(t2, s4, 2);
+        a.add(t0, s2, t2);
+        a.lw(t0, t0, 0);
+        a.add(t1, s3, t2);
+        a.lw(t1, t1, 0);
+        a.srli(t2, t0, 8);
+        a.srli(t3, t1, 8);
+    }
+    a.andi(a1, t0, 255); // rpm fraction
+    a.andi(a2, t1, 255); // load fraction
+    // base index = bin_r * loadBins + bin_l
+    a.slli(t4, t2, 3);
+    a.add(t4, t4, t3);
+    a.slli(t4, t4, 2);
+    a.add(t4, t4, s1);
+    a.lw(a3, t4, 0);                      // q00
+    a.lw(a4, t4, 4);                      // q01
+    a.lw(a5, t4, int64_t(loadBins) * 4);  // q10
+    a.lw(a6, t4, int64_t(loadBins) * 4 + 4); // q11
+    // bilinear: top = q00 + (q01-q00)*fl/256 ; bot = q10 + (q11-q10)*fl/256
+    a.sub(t5, a4, a3);
+    a.mul(t5, t5, a2);
+    a.srai(t5, t5, 8);
+    a.add(a3, a3, t5);
+    a.sub(t5, a6, a5);
+    a.mul(t5, t5, a2);
+    a.srai(t5, t5, 8);
+    a.add(a5, a5, t5);
+    // adv = top + (bot-top)*fr/256
+    a.sub(t5, a5, a3);
+    a.mul(t5, t5, a1);
+    a.srai(t5, t5, 8);
+    a.add(a3, a3, t5);
+    // spark angle = (720 + tooth*6 - adv) mod 720
+    a.li(t5, 6);
+    a.mul(t5, s4, t5);
+    a.addi(t5, t5, 720);
+    a.sub(t5, t5, a3);
+    a.li(a4, 720);
+    a.rem(t5, t5, a4);
+    a.add(a0, a0, t5);
+    a.slli(t5, a0, 8);
+    a.xor_(a0, a0, t5);
+    a.addi(s4, s4, 1);
+    a.blt(s4, s5, "loop");
+    f.finish();
+
+    a.align(4);
+    a.label("tbl");
+    for (int32_t v : tbl)
+        a.word(uint32_t(v));
+    a.label("rpm");
+    for (int32_t v : rpm)
+        a.word(uint32_t(v));
+    a.label("loadv");
+    for (int32_t v : load)
+        a.word(uint32_t(v));
+    resultSlot(a);
+
+    uint64_t acc = 0;
+    for (unsigned it = 0; it < iters; ++it) {
+        for (unsigned i = 0; i < events; ++i) {
+            int64_t br = rpm[i] >> 8, bl = load[i] >> 8;
+            int64_t fr = rpm[i] & 255, fl = load[i] & 255;
+            const int32_t *q = &tbl[size_t(br) * loadBins + size_t(bl)];
+            int64_t top = q[0] + (((int64_t(q[1]) - q[0]) * fl) >> 8);
+            int64_t bot = q[loadBins] +
+                          (((int64_t(q[loadBins + 1]) - q[loadBins]) *
+                            fl) >> 8);
+            int64_t adv = top + (((bot - top) * fr) >> 8);
+            int64_t angle = (720 + int64_t(i) * 6 - adv) % 720;
+            acc += uint64_t(angle);
+            acc ^= acc << 8;
+        }
+    }
+    return {a.assemble(), acc, iters};
+}
+
+} // namespace xt910

@@ -1,0 +1,1171 @@
+/**
+ * @file
+ * NBench-like kernels (Fig. 19): numeric sort, string sort, bitfield
+ * manipulation, software floating-point emulation, Fourier series,
+ * IDEA-style cipher rounds, Huffman-style bit packing, and LU
+ * decomposition.
+ */
+
+#include <cmath>
+
+#include "workloads/wl_common.h"
+
+namespace xt910
+{
+
+using namespace wl;
+
+// ---------------------------------------------------------- numsort
+
+WorkloadBuild
+buildNbenchNumSort(const WorkloadOptions &o)
+{
+    constexpr unsigned n = 96;
+    const unsigned iters = 6 * o.scale;
+    static constexpr int gaps[] = {57, 23, 10, 4, 1};
+
+    std::vector<int64_t> pristine(n);
+    Xorshift64 rng(1111);
+    for (auto &v : pristine)
+        v = int64_t(rng.next() & 0xffffff) - 0x800000;
+
+    Assembler a;
+    a.li(a0, 0);
+    a.li(s0, int64_t(iters));
+    a.label("outer");
+    // Re-initialize the work array from the pristine copy.
+    a.la(s1, "pristine");
+    a.la(s2, "work");
+    a.li(t0, 0);
+    a.li(t1, n);
+    a.label("initloop");
+    a.slli(t2, t0, 3);
+    a.add(t3, s1, t2);
+    a.ld(t4, t3, 0);
+    a.add(t3, s2, t2);
+    a.sd(t4, t3, 0);
+    a.addi(t0, t0, 1);
+    a.blt(t0, t1, "initloop");
+    // Shell sort with a fixed gap schedule.
+    for (size_t g = 0; g < sizeof(gaps) / sizeof(gaps[0]); ++g) {
+        std::string gs = std::to_string(g);
+        int gap = gaps[g];
+        a.li(s3, gap);
+        a.li(s4, gap);              // i = gap
+        a.label("iloop" + gs);
+        a.li(t1, n);
+        a.bge(s4, t1, "idone" + gs);
+        a.slli(t2, s4, 3);
+        a.add(t2, t2, s2);
+        a.ld(s5, t2, 0);            // v = work[i]
+        a.mv(s6, s4);               // j = i
+        a.label("jloop" + gs);
+        a.blt(s6, s3, "insert" + gs);
+        a.sub(t3, s6, s3);          // j - gap
+        a.slli(t4, t3, 3);
+        a.add(t4, t4, s2);
+        a.ld(t5, t4, 0);            // work[j-gap]
+        a.bge(s5, t5, "insert" + gs);
+        a.slli(t2, s6, 3);
+        a.add(t2, t2, s2);
+        a.sd(t5, t2, 0);            // work[j] = work[j-gap]
+        a.mv(s6, t3);
+        a.j("jloop" + gs);
+        a.label("insert" + gs);
+        a.slli(t2, s6, 3);
+        a.add(t2, t2, s2);
+        a.sd(s5, t2, 0);
+        a.addi(s4, s4, 1);
+        a.j("iloop" + gs);
+        a.label("idone" + gs);
+    }
+    // Checksum sampled elements.
+    for (unsigned k : {0u, n / 3, n / 2, n - 1}) {
+        a.ld(t0, s2, int64_t(k) * 8);
+        a.add(a0, a0, t0);
+        a.slli(t1, a0, 2);
+        a.xor_(a0, a0, t1);
+    }
+    a.addi(s0, s0, -1);
+    a.bnez(s0, "outer");
+    epilogue(a);
+
+    a.align(8);
+    a.label("pristine");
+    for (int64_t v : pristine)
+        a.dword(uint64_t(v));
+    a.label("work");
+    a.zero(n * 8);
+    resultSlot(a);
+
+    uint64_t acc = 0;
+    for (unsigned it = 0; it < iters; ++it) {
+        std::vector<int64_t> w = pristine;
+        for (int gap : gaps)
+            for (unsigned i = unsigned(gap); i < n; ++i) {
+                int64_t v = w[i];
+                unsigned j = i;
+                while (j >= unsigned(gap) && w[j - gap] > v) {
+                    w[j] = w[j - gap];
+                    j -= unsigned(gap);
+                }
+                w[j] = v;
+            }
+        for (unsigned k : {0u, n / 3, n / 2, n - 1}) {
+            acc += uint64_t(w[k]);
+            acc ^= acc << 2;
+        }
+    }
+    return {a.assemble(), acc, iters};
+}
+
+// --------------------------------------------------------- strsort
+
+WorkloadBuild
+buildNbenchStringSort(const WorkloadOptions &o)
+{
+    constexpr unsigned n = 32;
+    const unsigned iters = 20 * o.scale;
+    std::vector<uint64_t> pristine(n);
+    Xorshift64 rng(2222);
+    for (auto &v : pristine)
+        v = rng.next();
+
+    // Lexicographic byte order == numeric order of byte-swapped keys.
+    Assembler a;
+    a.li(a0, 0);
+    a.li(s0, int64_t(iters));
+    a.label("outer");
+    a.la(s1, "pristine");
+    a.la(s2, "work");
+    a.li(t0, 0);
+    a.li(t1, n);
+    a.label("initloop");
+    a.slli(t2, t0, 3);
+    a.add(t3, s1, t2);
+    a.ld(t4, t3, 0);
+    a.add(t3, s2, t2);
+    a.sd(t4, t3, 0);
+    a.addi(t0, t0, 1);
+    a.blt(t0, t1, "initloop");
+    // Insertion sort on byteswapped comparisons.
+    auto emitBswap = [&](XReg dst, XReg src) {
+        if (o.extended) {
+            a.xt_rev(dst, src);
+        } else {
+            a.li(a6, 0x00ff00ff00ff00ffll);
+            a.srli(a4, src, 8);
+            a.and_(a4, a4, a6);
+            a.and_(dst, src, a6);
+            a.slli(dst, dst, 8);
+            a.or_(dst, dst, a4);
+            a.li(a6, 0x0000ffff0000ffffll);
+            a.srli(a4, dst, 16);
+            a.and_(a4, a4, a6);
+            a.and_(dst, dst, a6);
+            a.slli(dst, dst, 16);
+            a.or_(dst, dst, a4);
+            a.srli(a4, dst, 32);
+            a.slli(dst, dst, 32);
+            a.or_(dst, dst, a4);
+        }
+    };
+    a.li(s4, 1); // i
+    a.label("iloop");
+    a.li(t1, n);
+    a.bge(s4, t1, "sorted");
+    a.slli(t2, s4, 3);
+    a.add(t2, t2, s2);
+    a.ld(s5, t2, 0);     // v
+    emitBswap(s7, s5);   // key(v)
+    a.mv(s6, s4);        // j
+    a.label("jloop");
+    a.beqz(s6, "insert");
+    a.addi(t3, s6, -1);
+    a.slli(t4, t3, 3);
+    a.add(t4, t4, s2);
+    a.ld(t5, t4, 0);     // work[j-1]
+    emitBswap(s8, t5);
+    a.bgeu(s7, s8, "insert");
+    a.slli(t2, s6, 3);
+    a.add(t2, t2, s2);
+    a.sd(t5, t2, 0);
+    a.mv(s6, t3);
+    a.j("jloop");
+    a.label("insert");
+    a.slli(t2, s6, 3);
+    a.add(t2, t2, s2);
+    a.sd(s5, t2, 0);
+    a.addi(s4, s4, 1);
+    a.j("iloop");
+    a.label("sorted");
+    for (unsigned k : {0u, n / 2, n - 1}) {
+        a.ld(t0, s2, int64_t(k) * 8);
+        a.add(a0, a0, t0);
+        a.slli(t1, a0, 3);
+        a.xor_(a0, a0, t1);
+    }
+    a.addi(s0, s0, -1);
+    a.bnez(s0, "outer");
+    epilogue(a);
+
+    a.align(8);
+    a.label("pristine");
+    for (uint64_t v : pristine)
+        a.dword(v);
+    a.label("work");
+    a.zero(n * 8);
+    resultSlot(a);
+
+    uint64_t acc = 0;
+    for (unsigned it = 0; it < iters; ++it) {
+        std::vector<uint64_t> w = pristine;
+        for (unsigned i = 1; i < n; ++i) {
+            uint64_t v = w[i];
+            uint64_t key = byteSwap64(v);
+            unsigned j = i;
+            while (j > 0 && byteSwap64(w[j - 1]) > key) {
+                w[j] = w[j - 1];
+                --j;
+            }
+            w[j] = v;
+        }
+        for (unsigned k : {0u, n / 2, n - 1}) {
+            acc += w[k];
+            acc ^= acc << 3;
+        }
+    }
+    return {a.assemble(), acc, iters};
+}
+
+// --------------------------------------------------------- bitfield
+
+WorkloadBuild
+buildNbenchBitfield(const WorkloadOptions &o)
+{
+    constexpr unsigned words = 16; // 1024 bits
+    constexpr unsigned ops = 64;
+    const unsigned iters = 20 * o.scale;
+
+    Assembler a;
+    a.li(a0, 0);
+    a.li(s0, int64_t(iters));
+    a.label("outer");
+    a.la(s1, "bits");
+    // Clear the array.
+    a.li(t0, 0);
+    a.li(t1, words);
+    a.label("clr");
+    a.slli(t2, t0, 3);
+    a.add(t2, t2, s1);
+    a.sd(zero, t2, 0);
+    a.addi(t0, t0, 1);
+    a.blt(t0, t1, "clr");
+    // Apply the op sequence: per-op {start, len, kind}.
+    a.li(s2, 0); // op index
+    a.li(s3, ops);
+    a.label("oploop");
+    // start = (k*37) % 1000 ; len = (k%29)+1 ; kind = k%3
+    a.li(t0, 37);
+    a.mul(t1, s2, t0);
+    a.li(t0, 1000);
+    a.remu(t1, t1, t0);  // start
+    a.li(t0, 29);
+    a.remu(t2, s2, t0);
+    a.addi(t2, t2, 1);   // len
+    a.li(t0, 3);
+    a.remu(t3, s2, t0);  // kind
+    // Per-bit loop.
+    a.label("bitloop");
+    a.beqz(t2, "opdone");
+    a.srli(t4, t1, 6);   // word index
+    a.andi(t5, t1, 63);  // bit index
+    a.li(a1, 1);
+    a.sll(a1, a1, t5);   // mask
+    a.slli(t4, t4, 3);
+    a.add(t4, t4, s1);
+    a.ld(a2, t4, 0);
+    a.beqz(t3, "opset");
+    a.li(a3, 1);
+    a.beq(t3, a3, "opclr");
+    a.xor_(a2, a2, a1);  // toggle
+    a.j("opstore");
+    a.label("opset");
+    a.or_(a2, a2, a1);
+    a.j("opstore");
+    a.label("opclr");
+    a.not_(a1, a1);
+    a.and_(a2, a2, a1);
+    a.label("opstore");
+    a.sd(a2, t4, 0);
+    a.addi(t1, t1, 1);
+    a.addi(t2, t2, -1);
+    a.j("bitloop");
+    a.label("opdone");
+    a.addi(s2, s2, 1);
+    a.blt(s2, s3, "oploop");
+    // Popcount the array.
+    a.li(t0, 0);
+    a.li(t1, words);
+    a.label("pcw");
+    a.slli(t2, t0, 3);
+    a.add(t2, t2, s1);
+    a.ld(t3, t2, 0);
+    a.label("pcb");
+    a.beqz(t3, "pcnext");
+    a.addi(t4, t3, -1);
+    a.and_(t3, t3, t4);  // clear lowest set bit
+    a.addi(a0, a0, 1);
+    a.j("pcb");
+    a.label("pcnext");
+    a.addi(t0, t0, 1);
+    a.blt(t0, t1, "pcw");
+    a.slli(t5, a0, 13);
+    a.xor_(a0, a0, t5);
+    a.addi(s0, s0, -1);
+    a.bnez(s0, "outer");
+    epilogue(a);
+
+    a.align(8);
+    a.label("bits");
+    a.zero(words * 8);
+    resultSlot(a);
+
+    uint64_t acc = 0;
+    for (unsigned it = 0; it < iters; ++it) {
+        std::vector<uint64_t> bitsArr(words, 0);
+        for (unsigned k = 0; k < ops; ++k) {
+            unsigned start = (k * 37) % 1000;
+            unsigned len = (k % 29) + 1;
+            unsigned kind = k % 3;
+            for (unsigned b = 0; b < len; ++b) {
+                unsigned pos = start + b;
+                uint64_t maskBit = 1ull << (pos & 63);
+                uint64_t &w = bitsArr[pos >> 6];
+                if (kind == 0)
+                    w |= maskBit;
+                else if (kind == 1)
+                    w &= ~maskBit;
+                else
+                    w ^= maskBit;
+            }
+        }
+        for (unsigned w = 0; w < words; ++w)
+            acc += popCount(bitsArr[w]);
+        acc ^= acc << 13;
+    }
+    return {a.assemble(), acc, iters};
+}
+
+// ------------------------------------------------------------ fpemu
+
+WorkloadBuild
+buildNbenchFpEmu(const WorkloadOptions &o)
+{
+    constexpr unsigned n = 64;
+    const unsigned iters = 25 * o.scale;
+    // Normal, positive-exponent-safe float bit patterns.
+    std::vector<uint32_t> xa(n), xb(n);
+    Xorshift64 rng(3333);
+    for (unsigned i = 0; i < n; ++i) {
+        xa[i] = (uint32_t(rng.below(2)) << 31) |
+                (uint32_t(100 + rng.below(56)) << 23) |
+                uint32_t(rng.next() & 0x7fffff);
+        xb[i] = (uint32_t(rng.below(2)) << 31) |
+                (uint32_t(100 + rng.below(56)) << 23) |
+                uint32_t(rng.next() & 0x7fffff);
+    }
+
+    Assembler a;
+    a.li(a0, 0);
+    a.li(s0, int64_t(iters));
+    a.label("outer");
+    a.la(s1, "xa");
+    a.la(s2, "xb");
+    a.li(s3, 0);
+    a.li(s4, n);
+    a.label("loop");
+    if (o.extended) {
+        a.xt_lrwu(t0, s1, s3, 2);
+        a.xt_lrwu(t1, s2, s3, 2);
+        a.xor_(t2, t0, t1);
+        a.xt_extu(t2, t2, 31, 31);    // sign
+        a.xt_extu(t3, t0, 30, 23);    // exp a
+        a.xt_extu(t4, t1, 30, 23);    // exp b
+        a.xt_extu(t5, t0, 22, 0);     // mant a
+        a.xt_extu(a1, t1, 22, 0);     // mant b
+    } else {
+        a.slli(t2, s3, 2);
+        a.add(t0, s1, t2);
+        a.lwu(t0, t0, 0);
+        a.add(t1, s2, t2);
+        a.lwu(t1, t1, 0);
+        a.xor_(t2, t0, t1);
+        a.srli(t2, t2, 31);           // sign
+        a.slli(t3, t0, 33);
+        a.srli(t3, t3, 56);           // exp a
+        a.slli(t4, t1, 33);
+        a.srli(t4, t4, 56);           // exp b
+        a.slli(t5, t0, 41);
+        a.srli(t5, t5, 41);           // mant a
+        a.slli(a1, t1, 41);
+        a.srli(a1, a1, 41);           // mant b
+    }
+    a.li(a2, 0x800000);
+    a.or_(t5, t5, a2);
+    a.or_(a1, a1, a2);
+    a.mul(a3, t5, a1);                // 48-bit product
+    a.srli(a3, a3, 23);
+    a.add(a4, t3, t4);
+    a.addi(a4, a4, -127);
+    // Normalize one step if bit 24 set.
+    a.srli(a5, a3, 24);
+    a.beqz(a5, "norm");
+    a.srli(a3, a3, 1);
+    a.addi(a4, a4, 1);
+    a.label("norm");
+    a.li(a5, 0x7fffff);
+    a.and_(a3, a3, a5);
+    a.andi(a4, a4, 0xff);
+    a.slli(t2, t2, 31);
+    a.slli(a4, a4, 23);
+    a.or_(a3, a3, a4);
+    a.or_(a3, a3, t2);
+    a.add(a0, a0, a3);
+    a.slli(t2, a0, 11);
+    a.xor_(a0, a0, t2);
+    a.addi(s3, s3, 1);
+    a.blt(s3, s4, "loop");
+    a.addi(s0, s0, -1);
+    a.bnez(s0, "outer");
+    epilogue(a);
+
+    a.align(4);
+    a.label("xa");
+    for (uint32_t v : xa)
+        a.word(v);
+    a.label("xb");
+    for (uint32_t v : xb)
+        a.word(v);
+    resultSlot(a);
+
+    uint64_t acc = 0;
+    for (unsigned it = 0; it < iters; ++it) {
+        for (unsigned i = 0; i < n; ++i) {
+            uint64_t x = xa[i], y = xb[i];
+            uint64_t sign = ((x ^ y) >> 31) & 1;
+            uint64_t ea = (x >> 23) & 0xff, eb = (y >> 23) & 0xff;
+            uint64_t ma = (x & 0x7fffff) | 0x800000;
+            uint64_t mb = (y & 0x7fffff) | 0x800000;
+            uint64_t m = (ma * mb) >> 23;
+            uint64_t e = ea + eb - 127;
+            if (m >> 24) {
+                m >>= 1;
+                ++e;
+            }
+            uint64_t r = (sign << 31) | ((e & 0xff) << 23) |
+                         (m & 0x7fffff);
+            acc += r;
+            acc ^= acc << 11;
+        }
+    }
+    return {a.assemble(), acc, iters};
+}
+
+// ---------------------------------------------------------- fourier
+
+WorkloadBuild
+buildNbenchFourier(const WorkloadOptions &o)
+{
+    constexpr unsigned terms = 24;
+    const unsigned iters = 30 * o.scale;
+
+    Assembler a;
+    a.li(a0, 0);
+    a.li(s0, int64_t(iters));
+    a.la(s1, "consts");
+    a.fld(fs0, s1, 0);   // 0.1
+    a.fld(fs1, s1, 8);   // 1/6
+    a.fld(fs2, s1, 16);  // 1/120
+    a.fld(fs3, s1, 24);  // 1/5040
+    a.fld(fs4, s1, 32);  // 1e6 scale
+    a.label("outer");
+    a.li(s2, 1);
+    a.li(s3, terms + 1);
+    a.fmv_d_x(fa5, zero); // coefficient accumulator = 0.0
+    a.label("termloop");
+    a.fcvt_d_l(fa0, s2);
+    a.fmul_d(fa0, fa0, fs0);      // t = k * 0.1
+    a.fmul_d(fa1, fa0, fa0);      // t2
+    a.fmul_d(fa2, fa1, fa0);      // t3
+    a.fmul_d(fa3, fa2, fa1);      // t5
+    a.fmul_d(fa4, fa3, fa1);      // t7
+    a.fmul_d(fa2, fa2, fs1);      // t3/6
+    a.fmul_d(fa3, fa3, fs2);      // t5/120
+    a.fmul_d(fa4, fa4, fs3);      // t7/5040
+    a.fsub_d(ft0, fa0, fa2);
+    a.fadd_d(ft0, ft0, fa3);
+    a.fsub_d(ft0, ft0, fa4);      // sin(t) approx
+    a.fcvt_d_l(ft1, s2);
+    a.fdiv_d(ft0, ft0, ft1);      // sin(t)/k
+    a.fadd_d(fa5, fa5, ft0);
+    a.addi(s2, s2, 1);
+    a.blt(s2, s3, "termloop");
+    a.fmul_d(fa5, fa5, fs4);
+    a.fcvt_l_d(t0, fa5);
+    a.add(a0, a0, t0);
+    a.slli(t1, a0, 1);
+    a.xor_(a0, a0, t1);
+    a.addi(s0, s0, -1);
+    a.bnez(s0, "outer");
+    epilogue(a);
+
+    a.align(8);
+    a.label("consts");
+    a.dword(std::bit_cast<uint64_t>(0.1));
+    a.dword(std::bit_cast<uint64_t>(1.0 / 6.0));
+    a.dword(std::bit_cast<uint64_t>(1.0 / 120.0));
+    a.dword(std::bit_cast<uint64_t>(1.0 / 5040.0));
+    a.dword(std::bit_cast<uint64_t>(1e6));
+    resultSlot(a);
+
+    uint64_t acc = 0;
+    for (unsigned it = 0; it < iters; ++it) {
+        double sum = 0.0;
+        for (unsigned k = 1; k <= terms; ++k) {
+            double t = double(int64_t(k)) * 0.1;
+            double t2 = t * t;
+            double t3 = t2 * t;
+            double t5 = t3 * t2;
+            double t7 = t5 * t2;
+            double s = t - t3 * (1.0 / 6.0) + t5 * (1.0 / 120.0) -
+                       t7 * (1.0 / 5040.0);
+            sum += s / double(int64_t(k));
+        }
+        acc += uint64_t(int64_t(sum * 1e6));
+        acc ^= acc << 1;
+    }
+    return {a.assemble(), acc, iters};
+}
+
+// ------------------------------------------------------------- idea
+
+WorkloadBuild
+buildNbenchIdea(const WorkloadOptions &o)
+{
+    constexpr unsigned blocksN = 24;
+    const unsigned iters = 25 * o.scale;
+    std::vector<uint16_t> blocks(blocksN * 4);
+    std::vector<uint16_t> keys(8);
+    Xorshift64 rng(4444);
+    for (auto &b : blocks)
+        b = uint16_t(1 + rng.below(65534));
+    for (auto &k : keys)
+        k = uint16_t(1 + rng.below(65534));
+
+    // mulmod(a,b) = (a*b) % 65537 (operands kept nonzero).
+    Assembler a;
+    a.li(a0, 0);
+    a.li(s0, int64_t(iters));
+    a.la(s1, "blocks");
+    a.la(s2, "keys");
+    a.li(s10, 65537);
+    a.label("outer");
+    a.li(s3, 0);
+    a.li(s4, blocksN);
+    a.label("blkloop");
+    a.slli(t0, s3, 3);
+    a.add(t0, t0, s1);
+    a.lhu(s5, t0, 0);
+    a.lhu(s6, t0, 2);
+    a.lhu(s7, t0, 4);
+    a.lhu(s8, t0, 6);
+    for (int round = 0; round < 4; ++round) {
+        int kbase = round * 2;
+        a.lhu(t1, s2, kbase * 2);
+        a.lhu(t2, s2, kbase * 2 + 2);
+        // x1 = mulmod(x1|1, k1)
+        a.ori(t3, s5, 1);
+        a.mul(t3, t3, t1);
+        a.remu(s5, t3, s10);
+        // x2 = (x2 + k2) & 0xffff
+        a.add(s6, s6, t2);
+        if (o.extended)
+            a.xt_extu(s6, s6, 15, 0);
+        else {
+            a.slli(s6, s6, 48);
+            a.srli(s6, s6, 48);
+        }
+        // x3 ^= x1 ; x4 = mulmod(x4|1, x2|1)
+        a.xor_(s7, s7, s5);
+        a.ori(t3, s8, 1);
+        a.ori(t4, s6, 1);
+        a.mul(t3, t3, t4);
+        a.remu(s8, t3, s10);
+        // rotate block halves
+        a.mv(t3, s5);
+        a.mv(s5, s7);
+        a.mv(s7, t3);
+    }
+    a.add(a0, a0, s5);
+    a.add(a0, a0, s6);
+    a.add(a0, a0, s7);
+    a.add(a0, a0, s8);
+    a.slli(t5, a0, 10);
+    a.xor_(a0, a0, t5);
+    a.addi(s3, s3, 1);
+    a.blt(s3, s4, "blkloop");
+    a.addi(s0, s0, -1);
+    a.bnez(s0, "outer");
+    epilogue(a);
+
+    a.align(8);
+    a.label("blocks");
+    for (uint16_t v : blocks)
+        a.half(v);
+    a.label("keys");
+    for (uint16_t v : keys)
+        a.half(v);
+    resultSlot(a);
+
+    uint64_t acc = 0;
+    for (unsigned it = 0; it < iters; ++it) {
+        for (unsigned b = 0; b < blocksN; ++b) {
+            uint64_t x1 = blocks[b * 4 + 0], x2 = blocks[b * 4 + 1];
+            uint64_t x3 = blocks[b * 4 + 2], x4 = blocks[b * 4 + 3];
+            for (int round = 0; round < 4; ++round) {
+                uint64_t k1 = keys[round * 2], k2 = keys[round * 2 + 1];
+                x1 = ((x1 | 1) * k1) % 65537;
+                x2 = (x2 + k2) & 0xffff;
+                x3 ^= x1;
+                x4 = ((x4 | 1) * (x2 | 1)) % 65537;
+                std::swap(x1, x3);
+            }
+            acc += x1 + x2 + x3 + x4;
+            acc ^= acc << 10;
+        }
+    }
+    return {a.assemble(), acc, iters};
+}
+
+// ---------------------------------------------------------- huffman
+
+WorkloadBuild
+buildNbenchHuffman(const WorkloadOptions &o)
+{
+    constexpr unsigned n = 128;
+    const unsigned iters = 25 * o.scale;
+    std::vector<uint8_t> input(n);
+    Xorshift64 rng(5555);
+    for (auto &b : input)
+        b = uint8_t(rng.below(64)); // 64-symbol alphabet
+    // code table: per symbol {len 3..10, code bits}.
+    std::vector<uint8_t> clen(64);
+    std::vector<uint16_t> cbits(64);
+    for (unsigned c = 0; c < 64; ++c) {
+        clen[c] = uint8_t(3 + (c & 7));
+        cbits[c] = uint16_t((c * 2654435761u) >> (32 - clen[c]));
+    }
+
+    Assembler a;
+    a.li(a0, 0);
+    a.li(s0, int64_t(iters));
+    a.la(s1, "input");
+    a.la(s2, "clen");
+    a.la(s3, "cbits");
+    a.label("outer");
+    a.li(s4, 0);   // input index
+    a.li(s5, n);
+    a.li(s6, 0);   // bit buffer
+    a.li(s7, 0);   // bit count
+    a.label("symloop");
+    if (o.extended) {
+        a.xt_lrbu(t0, s1, s4, 0);
+        a.xt_lrbu(t1, s2, t0, 0);       // len
+        a.xt_lrhu(t2, s3, t0, 1);       // code
+    } else {
+        a.add(t3, s1, s4);
+        a.lbu(t0, t3, 0);
+        a.add(t3, s2, t0);
+        a.lbu(t1, t3, 0);
+        a.slli(t3, t0, 1);
+        a.add(t3, t3, s3);
+        a.lhu(t2, t3, 0);
+    }
+    // bitbuf = (bitbuf << len) | code ; bitcnt += len
+    a.sll(s6, s6, t1);
+    a.or_(s6, s6, t2);
+    a.add(s7, s7, t1);
+    // Drain full bytes into the checksum.
+    a.label("drain");
+    a.li(t3, 8);
+    a.blt(s7, t3, "nodrain");
+    a.addi(s7, s7, -8);
+    a.srl(t4, s6, s7);
+    a.andi(t4, t4, 0xff);
+    a.add(a0, a0, t4);
+    a.slli(t5, a0, 5);
+    a.xor_(a0, a0, t5);
+    a.j("drain");
+    a.label("nodrain");
+    a.addi(s4, s4, 1);
+    a.blt(s4, s5, "symloop");
+    a.addi(s0, s0, -1);
+    a.bnez(s0, "outer");
+    epilogue(a);
+
+    a.align(8);
+    a.label("input");
+    a.bytes(input);
+    a.label("clen");
+    a.bytes(clen);
+    a.align(2);
+    a.label("cbits");
+    for (uint16_t v : cbits)
+        a.half(v);
+    resultSlot(a);
+
+    uint64_t acc = 0;
+    for (unsigned it = 0; it < iters; ++it) {
+        uint64_t buf = 0;
+        unsigned cnt = 0;
+        for (unsigned i = 0; i < n; ++i) {
+            uint8_t sym = input[i];
+            buf = (buf << clen[sym]) | cbits[sym];
+            cnt += clen[sym];
+            while (cnt >= 8) {
+                cnt -= 8;
+                acc += (buf >> cnt) & 0xff;
+                acc ^= acc << 5;
+            }
+        }
+    }
+    return {a.assemble(), acc, iters};
+}
+
+// --------------------------------------------------------------- lu
+
+WorkloadBuild
+buildNbenchLu(const WorkloadOptions &o)
+{
+    constexpr int n = 8;
+    const unsigned iters = 15 * o.scale;
+    std::vector<double> pristine(n * n);
+    for (int i = 0; i < n; ++i)
+        for (int j = 0; j < n; ++j)
+            pristine[i * n + j] =
+                i == j ? 20.0 + i : double(((i * j + 3) % 7) - 3);
+
+    Assembler a;
+    a.li(a0, 0);
+    a.li(s0, int64_t(iters));
+    a.la(s1, "pristine");
+    a.la(s2, "work");
+    a.la(s3, "scale");
+    a.fld(fs4, s3, 0); // 1e3
+    a.label("outer");
+    // copy pristine -> work
+    a.li(t0, 0);
+    a.li(t1, n * n);
+    a.label("cp");
+    a.slli(t2, t0, 3);
+    a.add(t3, s1, t2);
+    a.ld(t4, t3, 0);
+    a.add(t3, s2, t2);
+    a.sd(t4, t3, 0);
+    a.addi(t0, t0, 1);
+    a.blt(t0, t1, "cp");
+    // LU in place (no pivoting; matrix is diagonally dominant).
+    a.li(s4, 0); // k
+    a.label("kloop");
+    a.li(t0, n);
+    a.addi(t1, t0, -1);
+    a.bge(s4, t1, "kdone");
+    // a[k][k]
+    a.li(t2, n);
+    a.mul(t3, s4, t2);
+    a.add(t3, t3, s4);
+    a.slli(t3, t3, 3);
+    a.add(t3, t3, s2);
+    a.fld(fa0, t3, 0);
+    a.addi(s5, s4, 1); // i
+    a.label("ikloop");
+    a.li(t0, n);
+    a.bge(s5, t0, "idone");
+    // m = a[i][k] / a[k][k] ; a[i][k] = m
+    a.mul(t3, s5, t0);
+    a.add(t3, t3, s4);
+    a.slli(t3, t3, 3);
+    a.add(t3, t3, s2);
+    a.fld(fa1, t3, 0);
+    a.fdiv_d(fa1, fa1, fa0);
+    a.fsd(fa1, t3, 0);
+    a.addi(s6, s4, 1); // j
+    a.label("jloop");
+    a.li(t0, n);
+    a.bge(s6, t0, "jdone");
+    // a[i][j] -= m * a[k][j]
+    a.mul(t3, s4, t0);
+    a.add(t3, t3, s6);
+    a.slli(t3, t3, 3);
+    a.add(t3, t3, s2);
+    a.fld(fa2, t3, 0);   // a[k][j]
+    a.mul(t3, s5, t0);
+    a.add(t3, t3, s6);
+    a.slli(t3, t3, 3);
+    a.add(t3, t3, s2);
+    a.fld(fa3, t3, 0);   // a[i][j]
+    a.fmul_d(fa2, fa1, fa2);
+    a.fsub_d(fa3, fa3, fa2);
+    a.fsd(fa3, t3, 0);
+    a.addi(s6, s6, 1);
+    a.j("jloop");
+    a.label("jdone");
+    a.addi(s5, s5, 1);
+    a.j("ikloop");
+    a.label("idone");
+    a.addi(s4, s4, 1);
+    a.j("kloop");
+    a.label("kdone");
+    // checksum: sum of diagonal * 1e3 as integer
+    a.fmv_d_x(fa4, zero);
+    a.li(t0, 0);
+    a.label("diag");
+    a.li(t1, n);
+    a.bge(t0, t1, "diagdone");
+    a.mul(t2, t0, t1);
+    a.add(t2, t2, t0);
+    a.slli(t2, t2, 3);
+    a.add(t2, t2, s2);
+    a.fld(fa1, t2, 0);
+    a.fadd_d(fa4, fa4, fa1);
+    a.addi(t0, t0, 1);
+    a.j("diag");
+    a.label("diagdone");
+    a.fmul_d(fa4, fa4, fs4);
+    a.fcvt_l_d(t0, fa4);
+    a.add(a0, a0, t0);
+    a.slli(t1, a0, 4);
+    a.xor_(a0, a0, t1);
+    a.addi(s0, s0, -1);
+    a.bnez(s0, "outer");
+    epilogue(a);
+
+    a.align(8);
+    a.label("scale");
+    a.dword(std::bit_cast<uint64_t>(1e3));
+    a.label("pristine");
+    for (double v : pristine)
+        a.dword(std::bit_cast<uint64_t>(v));
+    a.label("work");
+    a.zero(size_t(n) * n * 8);
+    resultSlot(a);
+
+    uint64_t acc = 0;
+    for (unsigned it = 0; it < iters; ++it) {
+        std::vector<double> w = pristine;
+        for (int k = 0; k < n - 1; ++k) {
+            for (int i = k + 1; i < n; ++i) {
+                double m = w[i * n + k] / w[k * n + k];
+                w[i * n + k] = m;
+                for (int j = k + 1; j < n; ++j)
+                    w[i * n + j] -= m * w[k * n + j];
+            }
+        }
+        double d = 0;
+        for (int i = 0; i < n; ++i)
+            d += w[i * n + i];
+        acc += uint64_t(int64_t(d * 1e3));
+        acc ^= acc << 4;
+    }
+    return {a.assemble(), acc, iters};
+}
+
+
+// ------------------------------------------------------- assignment
+
+WorkloadBuild
+buildNbenchAssignment(const WorkloadOptions &o)
+{
+    // Task assignment: the Hungarian algorithm's reduction phases on an
+    // 8x8 cost matrix — row-min subtraction, column-min subtraction,
+    // and a zero-count greedy pass.
+    constexpr int n = 8;
+    const unsigned iters = 25 * o.scale;
+    std::vector<int32_t> pristine(n * n);
+    Xorshift64 rng(7777);
+    for (auto &c : pristine)
+        c = int32_t(1 + rng.below(99));
+
+    Assembler a;
+    a.li(a0, 0);
+    a.li(s0, int64_t(iters));
+    a.la(s1, "pristine");
+    a.la(s2, "work");
+    a.label("outer");
+    // copy
+    a.li(t0, 0);
+    a.li(t1, n * n);
+    a.label("cp");
+    a.slli(t2, t0, 2);
+    a.add(t3, s1, t2);
+    a.lw(t4, t3, 0);
+    a.add(t3, s2, t2);
+    a.sw(t4, t3, 0);
+    a.addi(t0, t0, 1);
+    a.blt(t0, t1, "cp");
+    // Row reduction: each row minus its minimum.
+    a.li(s4, 0); // row
+    a.label("rloop");
+    a.li(t0, n);
+    a.bge(s4, t0, "rdone");
+    a.slli(t1, s4, 5); // row * n * 4
+    a.add(t1, t1, s2);
+    a.li(t2, 0x7fffffff);
+    for (int j = 0; j < n; ++j) {
+        a.lw(t3, t1, j * 4);
+        a.bge(t3, t2, std::string("rskip") + std::to_string(j));
+        a.mv(t2, t3);
+        a.label(std::string("rskip") + std::to_string(j));
+    }
+    for (int j = 0; j < n; ++j) {
+        a.lw(t3, t1, j * 4);
+        a.sub(t3, t3, t2);
+        a.sw(t3, t1, j * 4);
+    }
+    a.addi(s4, s4, 1);
+    a.j("rloop");
+    a.label("rdone");
+    // Column reduction.
+    a.li(s5, 0); // col
+    a.label("cloop");
+    a.li(t0, n);
+    a.bge(s5, t0, "cdone");
+    a.slli(t1, s5, 2);
+    a.add(t1, t1, s2);
+    a.li(t2, 0x7fffffff);
+    for (int i = 0; i < n; ++i) {
+        a.lw(t3, t1, i * n * 4);
+        a.bge(t3, t2, std::string("cskip") + std::to_string(i));
+        a.mv(t2, t3);
+        a.label(std::string("cskip") + std::to_string(i));
+    }
+    for (int i = 0; i < n; ++i) {
+        a.lw(t3, t1, i * n * 4);
+        a.sub(t3, t3, t2);
+        a.sw(t3, t1, i * n * 4);
+    }
+    a.addi(s5, s5, 1);
+    a.j("cloop");
+    a.label("cdone");
+    // Greedy zero count per row (first zero claims the column).
+    a.li(s6, 0);      // claimed-columns bitmask
+    a.li(s4, 0);
+    a.label("zrow");
+    a.li(t0, n);
+    a.bge(s4, t0, "zdone");
+    a.slli(t1, s4, 5);
+    a.add(t1, t1, s2);
+    for (int j = 0; j < n; ++j) {
+        std::string nxt = std::string("znext") + std::to_string(j);
+        a.lw(t3, t1, j * 4);
+        a.bnez(t3, nxt);
+        a.li(t4, 1 << j);
+        a.and_(t5, s6, t4);
+        a.bnez(t5, nxt);
+        a.or_(s6, s6, t4);
+        a.addi(a0, a0, 1);
+        a.j("zrowdone");
+        a.label(nxt);
+    }
+    a.label("zrowdone");
+    a.addi(s4, s4, 1);
+    a.j("zrow");
+    a.label("zdone");
+    a.slli(t5, s6, 3);
+    a.xor_(a0, a0, t5);
+    a.addi(s0, s0, -1);
+    a.bnez(s0, "outer");
+    epilogue(a);
+
+    a.align(4);
+    a.label("pristine");
+    for (int32_t v : pristine)
+        a.word(uint32_t(v));
+    a.label("work");
+    a.zero(size_t(n) * n * 4);
+    resultSlot(a);
+
+    uint64_t acc = 0;
+    for (unsigned it = 0; it < iters; ++it) {
+        std::vector<int32_t> w = pristine;
+        for (int i = 0; i < n; ++i) {
+            int32_t m = 0x7fffffff;
+            for (int j = 0; j < n; ++j)
+                m = std::min(m, w[i * n + j]);
+            for (int j = 0; j < n; ++j)
+                w[i * n + j] -= m;
+        }
+        for (int j = 0; j < n; ++j) {
+            int32_t m = 0x7fffffff;
+            for (int i = 0; i < n; ++i)
+                m = std::min(m, w[i * n + j]);
+            for (int i = 0; i < n; ++i)
+                w[i * n + j] -= m;
+        }
+        uint64_t claimed = 0;
+        for (int i = 0; i < n; ++i) {
+            for (int j = 0; j < n; ++j) {
+                if (w[i * n + j] == 0 && !(claimed & (1ull << j))) {
+                    claimed |= 1ull << j;
+                    ++acc;
+                    break;
+                }
+            }
+        }
+        acc ^= claimed << 3;
+    }
+    return {a.assemble(), acc, iters};
+}
+
+// ------------------------------------------------------- neural net
+
+WorkloadBuild
+buildNbenchNeuralNet(const WorkloadOptions &o)
+{
+    // Fixed-point MLP forward pass: 16 -> 8 -> 4 with Q8 weights and
+    // ReLU activations — matvec + max, the NBench "neural net" shape.
+    constexpr int nIn = 16, nHid = 8, nOut = 4;
+    const unsigned iters = 25 * o.scale;
+    std::vector<int32_t> w1(nHid * nIn), w2(nOut * nHid), x(nIn);
+    Xorshift64 rng(8888);
+    for (auto &v : w1)
+        v = int32_t(rng.next() & 0x1ff) - 256;
+    for (auto &v : w2)
+        v = int32_t(rng.next() & 0x1ff) - 256;
+    for (auto &v : x)
+        v = int32_t(rng.next() & 0xff);
+
+    Assembler a;
+    a.li(a0, 0);
+    a.li(s0, int64_t(iters));
+    a.la(s1, "w1");
+    a.la(s2, "w2");
+    a.la(s3, "x");
+    a.la(s4, "hid");
+    a.label("outer");
+    // Hidden layer.
+    a.li(s5, 0); // h
+    a.label("hloop");
+    a.li(t0, nHid);
+    a.bge(s5, t0, "hdone");
+    a.li(t1, 0);  // acc
+    a.li(t2, 0);  // i
+    a.li(t3, nIn);
+    a.slli(t4, s5, 6); // h * nIn * 4
+    a.add(t4, t4, s1);
+    a.label("iloop");
+    if (o.extended) {
+        a.xt_lrw(t5, t4, t2, 2);
+        a.xt_lrw(a1, s3, t2, 2);
+        a.xt_mula(t1, t5, a1);
+    } else {
+        a.slli(a2, t2, 2);
+        a.add(t5, t4, a2);
+        a.lw(t5, t5, 0);
+        a.add(a1, s3, a2);
+        a.lw(a1, a1, 0);
+        a.mul(a2, t5, a1);
+        a.add(t1, t1, a2);
+    }
+    a.addi(t2, t2, 1);
+    a.blt(t2, t3, "iloop");
+    a.srai(t1, t1, 8);       // Q8
+    a.bgez(t1, "relu1");
+    a.li(t1, 0);             // ReLU
+    a.label("relu1");
+    a.slli(t5, s5, 2);
+    a.add(t5, t5, s4);
+    a.sw(t1, t5, 0);
+    a.addi(s5, s5, 1);
+    a.j("hloop");
+    a.label("hdone");
+    // Output layer.
+    a.li(s5, 0);
+    a.label("oloop");
+    a.li(t0, nOut);
+    a.bge(s5, t0, "odone");
+    a.li(t1, 0);
+    a.li(t2, 0);
+    a.li(t3, nHid);
+    a.slli(t4, s5, 5); // o * nHid * 4
+    a.add(t4, t4, s2);
+    a.label("jloop");
+    if (o.extended) {
+        a.xt_lrw(t5, t4, t2, 2);
+        a.xt_lrw(a1, s4, t2, 2);
+        a.xt_mula(t1, t5, a1);
+    } else {
+        a.slli(a2, t2, 2);
+        a.add(t5, t4, a2);
+        a.lw(t5, t5, 0);
+        a.add(a1, s4, a2);
+        a.lw(a1, a1, 0);
+        a.mul(a2, t5, a1);
+        a.add(t1, t1, a2);
+    }
+    a.addi(t2, t2, 1);
+    a.blt(t2, t3, "jloop");
+    a.srai(t1, t1, 8);
+    a.bgez(t1, "relu2");
+    a.li(t1, 0);
+    a.label("relu2");
+    a.add(a0, a0, t1);
+    a.slli(t5, a0, 5);
+    a.xor_(a0, a0, t5);
+    a.addi(s5, s5, 1);
+    a.j("oloop");
+    a.label("odone");
+    a.addi(s0, s0, -1);
+    a.bnez(s0, "outer");
+    epilogue(a);
+
+    a.align(4);
+    a.label("w1");
+    for (int32_t v : w1)
+        a.word(uint32_t(v));
+    a.label("w2");
+    for (int32_t v : w2)
+        a.word(uint32_t(v));
+    a.label("x");
+    for (int32_t v : x)
+        a.word(uint32_t(v));
+    a.label("hid");
+    a.zero(nHid * 4);
+    resultSlot(a);
+
+    uint64_t acc = 0;
+    for (unsigned it = 0; it < iters; ++it) {
+        int64_t hid[nHid];
+        for (int h = 0; h < nHid; ++h) {
+            int64_t s = 0;
+            for (int i = 0; i < nIn; ++i)
+                s += int64_t(w1[h * nIn + i]) * x[i];
+            s >>= 8;
+            hid[h] = s > 0 ? s : 0;
+        }
+        for (int out = 0; out < nOut; ++out) {
+            int64_t s = 0;
+            for (int h = 0; h < nHid; ++h)
+                s += int64_t(w2[out * nHid + h]) * hid[h];
+            s >>= 8;
+            if (s < 0)
+                s = 0;
+            acc += uint64_t(s);
+            acc ^= acc << 5;
+        }
+    }
+    return {a.assemble(), acc, iters};
+}
+
+} // namespace xt910

@@ -1,0 +1,67 @@
+#include "workloads/workload.h"
+
+#include "common/log.h"
+
+namespace xt910
+{
+
+const std::vector<Workload> &
+allWorkloads()
+{
+    static const std::vector<Workload> table = {
+        {"list", "coremark", buildCoremarkList},
+        {"matrix", "coremark", buildCoremarkMatrix},
+        {"state", "coremark", buildCoremarkState},
+        {"crc", "coremark", buildCoremarkCrc},
+        {"a2time", "eembc", buildEembcA2time},
+        {"bitmnp", "eembc", buildEembcBitmnp},
+        {"canrdr", "eembc", buildEembcCanrdr},
+        {"idctrn", "eembc", buildEembcIdctrn},
+        {"iirflt", "eembc", buildEembcIirflt},
+        {"pntrch", "eembc", buildEembcPntrch},
+        {"rspeed", "eembc", buildEembcRspeed},
+        {"tblook", "eembc", buildEembcTblook},
+        {"puwmod", "eembc", buildEembcPuwmod},
+        {"ttsprk", "eembc", buildEembcTtsprk},
+        {"numsort", "nbench", buildNbenchNumSort},
+        {"strsort", "nbench", buildNbenchStringSort},
+        {"bitfield", "nbench", buildNbenchBitfield},
+        {"fpemu", "nbench", buildNbenchFpEmu},
+        {"fourier", "nbench", buildNbenchFourier},
+        {"idea", "nbench", buildNbenchIdea},
+        {"huffman", "nbench", buildNbenchHuffman},
+        {"lu", "nbench", buildNbenchLu},
+        {"assignment", "nbench", buildNbenchAssignment},
+        {"nnet", "nbench", buildNbenchNeuralNet},
+        {"stream_copy", "stream", buildStreamCopy},
+        {"stream_scale", "stream", buildStreamScale},
+        {"stream_add", "stream", buildStreamAdd},
+        {"stream_triad", "stream", buildStreamTriad},
+        {"spec_mix", "spec", buildSpecLikeMix},
+        {"mac_scalar", "ai", buildAiMacScalar},
+        {"mac_vector", "ai", buildAiMacVector},
+        {"blockchain", "ai", buildBlockchainHash},
+    };
+    return table;
+}
+
+std::vector<Workload>
+workloadsInSuite(const std::string &suite)
+{
+    std::vector<Workload> out;
+    for (const Workload &w : allWorkloads())
+        if (w.suite == suite)
+            out.push_back(w);
+    return out;
+}
+
+const Workload &
+findWorkload(const std::string &name)
+{
+    for (const Workload &w : allWorkloads())
+        if (w.name == name)
+            return w;
+    xt_fatal("unknown workload: ", name);
+}
+
+} // namespace xt910

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * A SPECInt2006-like large-footprint mix (§X): a multi-megabyte
+ * pointer-chase interleaved with hash-table-style scattered updates
+ * and a linear scan — "very large programs that frequently incur L2
+ * cache misses ... factoring in core performance, cache size, cache
+ * miss, DDR latency".
+ */
+
+#include "workloads/wl_common.h"
+
+namespace xt910
+{
+
+using namespace wl;
+
+WorkloadBuild
+buildSpecLikeMix(const WorkloadOptions &o)
+{
+    // Footprint: chaseN * 8B (default 2 MiB) + tableN * 8B (1 MiB).
+    const unsigned chaseN = 256 * 1024;
+    const unsigned tableN = 128 * 1024;
+    const unsigned steps = 60'000 * o.scale;
+    const Addr chaseBase = 0xa000'0000;
+    const Addr tableBase = 0xb000'0000;
+
+    Assembler a;
+    // Build the chase permutation in code: next[i] = (i*larger prime)
+    // % chaseN gives a single full cycle when gcd(prime, chaseN)==1.
+    const uint64_t prime = 611953; // odd, not a factor of 2^k
+    a.li(s1, int64_t(chaseBase));
+    a.li(s2, int64_t(tableBase));
+    a.li(t0, 0);
+    a.li(t1, int64_t(chaseN));
+    a.li(t2, int64_t(prime));
+    a.label("init");
+    a.mul(t3, t0, t2);
+    a.remu(t3, t3, t1);   // successor index... stored at slot i
+    a.slli(t4, t0, 3);
+    a.add(t4, t4, s1);
+    a.sd(t3, t4, 0);
+    a.addi(t0, t0, 1);
+    a.blt(t0, t1, "init");
+    // Hot loop: chase + hash update + occasional scan step.
+    a.li(a0, 0);
+    a.li(s3, 0);           // cur
+    a.li(s4, int64_t(steps));
+    a.li(s5, 0x9e3779b97f4a7c15ull);
+    a.li(s6, int64_t(tableN - 1));
+    a.li(s7, 0);           // scan pointer
+    a.label("loop");
+    a.slli(t0, s3, 3);
+    a.add(t0, t0, s1);
+    a.ld(s3, t0, 0);       // cur = next[cur]
+    // hash-table update: t1 = (cur * golden) & (tableN-1)
+    a.mul(t1, s3, s5);
+    a.srli(t1, t1, 40);
+    a.and_(t1, t1, s6);
+    a.slli(t1, t1, 3);
+    a.add(t1, t1, s2);
+    a.ld(t2, t1, 0);
+    a.add(t2, t2, s3);
+    a.sd(t2, t1, 0);
+    a.add(a0, a0, t2);
+    // scan: one sequential element per step
+    a.slli(t3, s7, 3);
+    a.add(t3, t3, s2);
+    a.ld(t4, t3, 0);
+    a.xor_(a0, a0, t4);
+    a.addi(s7, s7, 1);
+    a.and_(s7, s7, s6);
+    a.addi(s4, s4, -1);
+    a.bnez(s4, "loop");
+    epilogue(a);
+    resultSlot(a);
+
+    // Host reference.
+    std::vector<uint64_t> next(chaseN), table(tableN, 0);
+    for (uint64_t i = 0; i < chaseN; ++i)
+        next[i] = (i * prime) % chaseN;
+    uint64_t acc = 0, cur = 0, scan = 0;
+    for (unsigned s = 0; s < steps; ++s) {
+        cur = next[cur];
+        uint64_t h = ((cur * 0x9e3779b97f4a7c15ull) >> 40) & (tableN - 1);
+        table[h] += cur;
+        acc += table[h];
+        acc ^= table[scan];
+        scan = (scan + 1) & (tableN - 1);
+    }
+    return {a.assemble(), acc, steps};
+}
+
+} // namespace xt910

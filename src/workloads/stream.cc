@@ -1,0 +1,164 @@
+/**
+ * @file
+ * STREAM kernels (Fig. 21): copy, scale, add and triad over arrays
+ * sized by WorkloadOptions::streamBytes (choose larger than the L2 to
+ * reproduce the memory-bound regime of the paper's prefetch study).
+ * Arrays are initialized by code rather than embedded, keeping images
+ * small; the checksum samples the destination array.
+ */
+
+#include "workloads/wl_common.h"
+
+namespace xt910
+{
+
+using namespace wl;
+
+namespace
+{
+
+enum class StreamKind { Copy, Scale, Add, Triad };
+
+WorkloadBuild
+buildStream(StreamKind kind, const WorkloadOptions &o)
+{
+    const unsigned n = std::max<unsigned>(1024, o.streamBytes / 8);
+    const unsigned iters = 2 * o.scale;
+
+    Assembler a;
+    // Arrays live beyond the image: a at A0, b at A0+n*8, c at +2n*8.
+    const Addr arrayBase = 0x9000'0000;
+    a.li(s1, int64_t(arrayBase));             // a
+    a.li(s2, int64_t(arrayBase + 8ull * n));  // b
+    a.li(s3, int64_t(arrayBase + 16ull * n)); // c
+    a.la(t0, "consts");
+    a.fld(fs0, t0, 0);  // 1.0
+    a.fld(fs1, t0, 8);  // 2.0
+    a.fld(fs2, t0, 16); // 3.0 (scalar)
+    a.fld(fs3, t0, 24); // 1e3
+    // init: a[i]=1.0 + small ramp, b[i]=2.0, c[i]=0.0
+    a.li(t1, 0);
+    a.li(t2, int64_t(n));
+    a.fmv_d_x(fa3, zero);
+    a.label("init");
+    a.slli(t3, t1, 3);
+    a.add(t4, s1, t3);
+    a.fsd(fs0, t4, 0);
+    a.add(t4, s2, t3);
+    a.fsd(fs1, t4, 0);
+    a.add(t4, s3, t3);
+    a.fsd(fa3, t4, 0);
+    a.addi(t1, t1, 1);
+    a.blt(t1, t2, "init");
+
+    a.li(s0, int64_t(iters));
+    a.label("outer");
+    a.li(t1, 0);
+    a.li(t2, int64_t(n));
+    a.label("loop");
+    a.slli(t3, t1, 3);
+    switch (kind) {
+      case StreamKind::Copy: // c[i] = a[i]
+        a.add(t4, s1, t3);
+        a.fld(fa0, t4, 0);
+        a.add(t4, s3, t3);
+        a.fsd(fa0, t4, 0);
+        break;
+      case StreamKind::Scale: // b[i] = 3.0 * c[i]
+        a.add(t4, s3, t3);
+        a.fld(fa0, t4, 0);
+        a.fmul_d(fa0, fa0, fs2);
+        a.add(t4, s2, t3);
+        a.fsd(fa0, t4, 0);
+        break;
+      case StreamKind::Add: // c[i] = a[i] + b[i]
+        a.add(t4, s1, t3);
+        a.fld(fa0, t4, 0);
+        a.add(t4, s2, t3);
+        a.fld(fa1, t4, 0);
+        a.fadd_d(fa0, fa0, fa1);
+        a.add(t4, s3, t3);
+        a.fsd(fa0, t4, 0);
+        break;
+      case StreamKind::Triad: // a[i] = b[i] + 3.0 * c[i]
+        a.add(t4, s2, t3);
+        a.fld(fa0, t4, 0);
+        a.add(t4, s3, t3);
+        a.fld(fa1, t4, 0);
+        a.fmul_d(fa1, fa1, fs2);
+        a.fadd_d(fa0, fa0, fa1);
+        a.add(t4, s1, t3);
+        a.fsd(fa0, t4, 0);
+        break;
+    }
+    a.addi(t1, t1, 1);
+    a.blt(t1, t2, "loop");
+    a.addi(s0, s0, -1);
+    a.bnez(s0, "outer");
+    // Checksum: scaled samples of every array.
+    a.li(a0, 0);
+    for (int arr = 0; arr < 3; ++arr) {
+        XReg base = arr == 0 ? s1 : arr == 1 ? s2 : s3;
+        for (unsigned k : {0u, n / 2, n - 1}) {
+            a.li(t3, int64_t(k) * 8);
+            a.add(t4, base, t3);
+            a.fld(fa0, t4, 0);
+            a.fmul_d(fa0, fa0, fs3);
+            a.fcvt_l_d(t0, fa0);
+            a.add(a0, a0, t0);
+        }
+    }
+    epilogue(a);
+
+    a.align(8);
+    a.label("consts");
+    a.dword(std::bit_cast<uint64_t>(1.0));
+    a.dword(std::bit_cast<uint64_t>(2.0));
+    a.dword(std::bit_cast<uint64_t>(3.0));
+    a.dword(std::bit_cast<uint64_t>(1e3));
+    resultSlot(a);
+
+    // Host reference. After the runs: values are uniform per array.
+    double va = 1.0, vb = 2.0, vc = 0.0;
+    for (unsigned it = 0; it < iters; ++it) {
+        switch (kind) {
+          case StreamKind::Copy: vc = va; break;
+          case StreamKind::Scale: vb = 3.0 * vc; break;
+          case StreamKind::Add: vc = va + vb; break;
+          case StreamKind::Triad: va = vb + 3.0 * vc; break;
+        }
+    }
+    uint64_t acc = 0;
+    for (double v : {va, va, va, vb, vb, vb, vc, vc, vc})
+        acc += uint64_t(int64_t(v * 1e3));
+
+    return {a.assemble(), acc, uint64_t(iters) * n};
+}
+
+} // namespace
+
+WorkloadBuild
+buildStreamCopy(const WorkloadOptions &o)
+{
+    return buildStream(StreamKind::Copy, o);
+}
+
+WorkloadBuild
+buildStreamScale(const WorkloadOptions &o)
+{
+    return buildStream(StreamKind::Scale, o);
+}
+
+WorkloadBuild
+buildStreamAdd(const WorkloadOptions &o)
+{
+    return buildStream(StreamKind::Add, o);
+}
+
+WorkloadBuild
+buildStreamTriad(const WorkloadOptions &o)
+{
+    return buildStream(StreamKind::Triad, o);
+}
+
+} // namespace xt910

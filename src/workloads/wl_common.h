@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Internal helpers shared by the workload builders.
+ */
+
+#ifndef XT910_WORKLOADS_WL_COMMON_H
+#define XT910_WORKLOADS_WL_COMMON_H
+
+#include "common/bitutil.h"
+#include "common/random.h"
+#include "func/memory.h"
+#include "workloads/workload.h"
+
+namespace xt910
+{
+namespace wl
+{
+
+using namespace reg;
+
+/**
+ * Store the checksum (in a0) to the "result" symbol and halt. Must be
+ * called before the data section that defines "result".
+ */
+inline void
+epilogue(Assembler &a)
+{
+    a.la(t6, "result");
+    a.sd(a0, t6, 0);
+    a.ebreak();
+}
+
+/** Reserve the "result" slot (call inside the data section). */
+inline void
+resultSlot(Assembler &a)
+{
+    a.align(8);
+    a.label("result");
+    a.dword(0);
+}
+
+/** Read the stored result from a finished run. */
+inline uint64_t
+readResult(const Memory &m, const Program &p)
+{
+    return m.read(p.symbol("result"), 8);
+}
+
+} // namespace wl
+} // namespace xt910
+
+#endif // XT910_WORKLOADS_WL_COMMON_H

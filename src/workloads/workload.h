@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Benchmark workloads. Every kernel is authored from scratch against
+ * the macro-assembler, mirrors the algorithmic structure of the suite
+ * the paper evaluates (CoreMark, EEMBC-auto, NBench, STREAM, a
+ * SPEC-like large-footprint mix, plus vector AI and blockchain-style
+ * kernels), and is built in two code-generation flavours:
+ *
+ *  - native:   pure RV64GC with the address-generation and
+ *              sign-extension patterns the paper attributes to the
+ *              stock compilers (§VIII.A, §IX);
+ *  - extended: XT-910 custom instructions (indexed load/store, MAC,
+ *              bit ops) plus the co-optimized-compiler behaviours
+ *              (induction-variable strength reduction, the anchor
+ *              addressing scheme, dead-store elimination).
+ *
+ * Each build also returns the checksum a correct execution must store
+ * at the "result" symbol, computed by a host-side C++ reference — so
+ * the ISS functionally validates every kernel in the test suite.
+ */
+
+#ifndef XT910_WORKLOADS_WORKLOAD_H
+#define XT910_WORKLOADS_WORKLOAD_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "xasm/assembler.h"
+
+namespace xt910
+{
+
+/** Knobs shared by all workload builders. */
+struct WorkloadOptions
+{
+    bool extended = false;  ///< custom insts + optimized codegen
+    unsigned scale = 1;     ///< iteration multiplier
+    bool vector = false;    ///< use the V extension where applicable
+    unsigned streamBytes = 1 << 20; ///< STREAM array size
+};
+
+/** A built workload plus its expected architectural result. */
+struct WorkloadBuild
+{
+    Program program;
+    uint64_t expected = 0;  ///< value stored to the "result" symbol
+    uint64_t workItems = 0; ///< logical iterations (for per-iter rates)
+};
+
+/** A registered benchmark kernel. */
+struct Workload
+{
+    std::string name;
+    std::string suite;  ///< coremark / eembc / nbench / stream / spec / ai
+    WorkloadBuild (*build)(const WorkloadOptions &);
+};
+
+/** All registered kernels. */
+const std::vector<Workload> &allWorkloads();
+
+/** Kernels belonging to @p suite. */
+std::vector<Workload> workloadsInSuite(const std::string &suite);
+
+/** Find by name; fatal when unknown. */
+const Workload &findWorkload(const std::string &name);
+
+// Per-suite builders (registered in allWorkloads, also directly usable).
+WorkloadBuild buildCoremarkList(const WorkloadOptions &);
+WorkloadBuild buildCoremarkMatrix(const WorkloadOptions &);
+WorkloadBuild buildCoremarkState(const WorkloadOptions &);
+WorkloadBuild buildCoremarkCrc(const WorkloadOptions &);
+WorkloadBuild buildEembcA2time(const WorkloadOptions &);
+WorkloadBuild buildEembcBitmnp(const WorkloadOptions &);
+WorkloadBuild buildEembcCanrdr(const WorkloadOptions &);
+WorkloadBuild buildEembcIdctrn(const WorkloadOptions &);
+WorkloadBuild buildEembcIirflt(const WorkloadOptions &);
+WorkloadBuild buildEembcPntrch(const WorkloadOptions &);
+WorkloadBuild buildEembcRspeed(const WorkloadOptions &);
+WorkloadBuild buildEembcTblook(const WorkloadOptions &);
+WorkloadBuild buildEembcPuwmod(const WorkloadOptions &);
+WorkloadBuild buildEembcTtsprk(const WorkloadOptions &);
+WorkloadBuild buildNbenchNumSort(const WorkloadOptions &);
+WorkloadBuild buildNbenchStringSort(const WorkloadOptions &);
+WorkloadBuild buildNbenchBitfield(const WorkloadOptions &);
+WorkloadBuild buildNbenchFpEmu(const WorkloadOptions &);
+WorkloadBuild buildNbenchFourier(const WorkloadOptions &);
+WorkloadBuild buildNbenchIdea(const WorkloadOptions &);
+WorkloadBuild buildNbenchHuffman(const WorkloadOptions &);
+WorkloadBuild buildNbenchLu(const WorkloadOptions &);
+WorkloadBuild buildNbenchAssignment(const WorkloadOptions &);
+WorkloadBuild buildNbenchNeuralNet(const WorkloadOptions &);
+WorkloadBuild buildStreamCopy(const WorkloadOptions &);
+WorkloadBuild buildStreamScale(const WorkloadOptions &);
+WorkloadBuild buildStreamAdd(const WorkloadOptions &);
+WorkloadBuild buildStreamTriad(const WorkloadOptions &);
+WorkloadBuild buildSpecLikeMix(const WorkloadOptions &);
+WorkloadBuild buildAiMacScalar(const WorkloadOptions &);
+WorkloadBuild buildAiMacVector(const WorkloadOptions &);
+WorkloadBuild buildBlockchainHash(const WorkloadOptions &);
+
+} // namespace xt910
+
+#endif // XT910_WORKLOADS_WORKLOAD_H

@@ -1,0 +1,1281 @@
+#include "xasm/assembler.h"
+
+#include <cstring>
+
+#include "common/bitutil.h"
+#include "common/log.h"
+
+namespace xt910
+{
+
+Addr
+Program::symbol(const std::string &name) const
+{
+    auto it = symbols.find(name);
+    if (it == symbols.end())
+        xt_fatal("undefined symbol: ", name);
+    return it->second;
+}
+
+std::vector<std::pair<Addr, DecodedInst>>
+decodeImage(const Program &p, Addr stopAt)
+{
+    std::vector<std::pair<Addr, DecodedInst>> out;
+    Addr pc = p.base;
+    while (pc + 1 < p.end() && (stopAt == 0 || pc < stopAt)) {
+        size_t off = pc - p.base;
+        uint32_t w = uint32_t(p.image[off]) | (uint32_t(p.image[off + 1]) << 8);
+        if ((w & 3) == 3 && off + 3 < p.image.size())
+            w |= (uint32_t(p.image[off + 2]) << 16) |
+                 (uint32_t(p.image[off + 3]) << 24);
+        DecodedInst di = decode(w);
+        if (!di.valid())
+            break;
+        out.emplace_back(pc, di);
+        pc += di.len;
+    }
+    return out;
+}
+
+Assembler::Assembler(Addr base_, Options opts_) : base(base_), opts(opts_)
+{
+    xt_assert(base % 4 == 0, "code base must be 4-byte aligned");
+}
+
+// ------------------------------------------------------------ plumbing
+
+void
+Assembler::pushInst(const DecodedInst &di)
+{
+    Item it;
+    it.kind = Item::Kind::Inst;
+    it.di = di;
+    items.push_back(std::move(it));
+}
+
+void
+Assembler::pushRef(const DecodedInst &di, RefKind ref,
+                   const std::string &target)
+{
+    Item it;
+    it.kind = Item::Kind::Inst;
+    it.di = di;
+    it.ref = ref;
+    it.target = target;
+    items.push_back(std::move(it));
+}
+
+void
+Assembler::data(const void *p, size_t n)
+{
+    Item it;
+    it.kind = Item::Kind::Data;
+    it.blob.resize(n);
+    std::memcpy(it.blob.data(), p, n);
+    items.push_back(std::move(it));
+}
+
+void
+Assembler::label(const std::string &name)
+{
+    Item it;
+    it.kind = Item::Kind::Label;
+    it.name = name;
+    items.push_back(std::move(it));
+}
+
+void
+Assembler::align(unsigned bytes)
+{
+    xt_assert(isPow2(bytes), "alignment must be a power of two");
+    Item it;
+    it.kind = Item::Kind::Align;
+    it.alignTo = bytes;
+    items.push_back(std::move(it));
+}
+
+void Assembler::byte(uint8_t v) { data(&v, 1); }
+void Assembler::half(uint16_t v) { data(&v, 2); }
+void Assembler::word(uint32_t v) { data(&v, 4); }
+void Assembler::dword(uint64_t v) { data(&v, 8); }
+
+void
+Assembler::zero(size_t n)
+{
+    Item it;
+    it.kind = Item::Kind::Data;
+    it.blob.assign(n, 0);
+    items.push_back(std::move(it));
+}
+
+void
+Assembler::bytes(const std::vector<uint8_t> &v)
+{
+    data(v.data(), v.size());
+}
+
+void
+Assembler::emit(const DecodedInst &di)
+{
+    pushInst(di);
+}
+
+void
+Assembler::emitRef(DecodedInst di, const std::string &target)
+{
+    RefKind k = di.op == Opcode::JAL ? RefKind::Jal : RefKind::Branch;
+    pushRef(di, k, target);
+}
+
+// ----------------------------------------------------- field builders
+
+DecodedInst
+Assembler::mkR(Opcode op, XReg rd, XReg rs1, XReg rs2) const
+{
+    DecodedInst di;
+    di.op = op;
+    di.rd = rd.idx;
+    di.rs1 = rs1.idx;
+    di.rs2 = rs2.idx;
+    di.rdClass = di.rs1Class = di.rs2Class = RegClass::Int;
+    return di;
+}
+
+DecodedInst
+Assembler::mkI(Opcode op, XReg rd, XReg rs1, int64_t imm) const
+{
+    DecodedInst di;
+    di.op = op;
+    di.rd = rd.idx;
+    di.rs1 = rs1.idx;
+    di.imm = imm;
+    di.rdClass = di.rs1Class = RegClass::Int;
+    return di;
+}
+
+DecodedInst
+Assembler::mkS(Opcode op, XReg src, XReg baseReg, int64_t imm) const
+{
+    DecodedInst di;
+    di.op = op;
+    di.rs1 = baseReg.idx;
+    di.rs2 = src.idx;
+    di.imm = imm;
+    di.rs1Class = di.rs2Class = RegClass::Int;
+    return di;
+}
+
+DecodedInst
+Assembler::mkVvv(Opcode op, VReg vd, VReg vs2, VReg vs1) const
+{
+    DecodedInst di;
+    di.op = op;
+    di.rd = vd.idx;
+    di.rs1 = vs1.idx;
+    di.rs2 = vs2.idx;
+    di.rdClass = di.rs1Class = di.rs2Class = RegClass::Vec;
+    return di;
+}
+
+// --------------------------------------------------------- integer ALU
+
+#define XT_R3(NAME, OP)                                                       \
+    void Assembler::NAME(XReg rd, XReg rs1, XReg rs2)                         \
+    {                                                                         \
+        pushInst(mkR(Opcode::OP, rd, rs1, rs2));                              \
+    }
+
+XT_R3(add, ADD)
+XT_R3(sub, SUB)
+XT_R3(sll, SLL)
+XT_R3(slt, SLT)
+XT_R3(sltu, SLTU)
+XT_R3(xor_, XOR)
+XT_R3(srl, SRL)
+XT_R3(sra, SRA)
+XT_R3(or_, OR)
+XT_R3(and_, AND)
+XT_R3(addw, ADDW)
+XT_R3(subw, SUBW)
+XT_R3(sllw, SLLW)
+XT_R3(srlw, SRLW)
+XT_R3(sraw, SRAW)
+XT_R3(mul, MUL)
+XT_R3(mulh, MULH)
+XT_R3(mulhu, MULHU)
+XT_R3(mulhsu, MULHSU)
+XT_R3(div, DIV)
+XT_R3(divu, DIVU)
+XT_R3(rem, REM)
+XT_R3(remu, REMU)
+XT_R3(mulw, MULW)
+XT_R3(divw, DIVW)
+XT_R3(divuw, DIVUW)
+XT_R3(remw, REMW)
+XT_R3(remuw, REMUW)
+#undef XT_R3
+
+#define XT_I2(NAME, OP)                                                       \
+    void Assembler::NAME(XReg rd, XReg rs1, int64_t imm)                      \
+    {                                                                         \
+        pushInst(mkI(Opcode::OP, rd, rs1, imm));                              \
+    }
+
+XT_I2(addi, ADDI)
+XT_I2(slti, SLTI)
+XT_I2(sltiu, SLTIU)
+XT_I2(xori, XORI)
+XT_I2(ori, ORI)
+XT_I2(andi, ANDI)
+XT_I2(addiw, ADDIW)
+#undef XT_I2
+
+#define XT_SHIFT(NAME, OP)                                                    \
+    void Assembler::NAME(XReg rd, XReg rs1, unsigned sh)                      \
+    {                                                                         \
+        pushInst(mkI(Opcode::OP, rd, rs1, int64_t(sh)));                      \
+    }
+
+XT_SHIFT(slli, SLLI)
+XT_SHIFT(srli, SRLI)
+XT_SHIFT(srai, SRAI)
+XT_SHIFT(slliw, SLLIW)
+XT_SHIFT(srliw, SRLIW)
+XT_SHIFT(sraiw, SRAIW)
+#undef XT_SHIFT
+
+void
+Assembler::lui(XReg rd, int64_t immShifted)
+{
+    DecodedInst di;
+    di.op = Opcode::LUI;
+    di.rd = rd.idx;
+    di.rdClass = RegClass::Int;
+    di.imm = immShifted;
+    pushInst(di);
+}
+
+void
+Assembler::auipc(XReg rd, int64_t immShifted)
+{
+    DecodedInst di;
+    di.op = Opcode::AUIPC;
+    di.rd = rd.idx;
+    di.rdClass = RegClass::Int;
+    di.imm = immShifted;
+    pushInst(di);
+}
+
+// -------------------------------------------------------------- memory
+
+#define XT_LOAD(NAME, OP)                                                     \
+    void Assembler::NAME(XReg rd, XReg base_, int64_t off)                    \
+    {                                                                         \
+        pushInst(mkI(Opcode::OP, rd, base_, off));                            \
+    }
+
+XT_LOAD(lb, LB)
+XT_LOAD(lh, LH)
+XT_LOAD(lw, LW)
+XT_LOAD(ld, LD)
+XT_LOAD(lbu, LBU)
+XT_LOAD(lhu, LHU)
+XT_LOAD(lwu, LWU)
+#undef XT_LOAD
+
+#define XT_STORE(NAME, OP)                                                    \
+    void Assembler::NAME(XReg src, XReg base_, int64_t off)                   \
+    {                                                                         \
+        pushInst(mkS(Opcode::OP, src, base_, off));                           \
+    }
+
+XT_STORE(sb, SB)
+XT_STORE(sh, SH)
+XT_STORE(sw, SW)
+XT_STORE(sd, SD)
+#undef XT_STORE
+
+// ------------------------------------------------------------- control
+
+#define XT_BRANCH(NAME, OP)                                                   \
+    void Assembler::NAME(XReg rs1, XReg rs2, const std::string &target)       \
+    {                                                                         \
+        DecodedInst di = mkS(Opcode::OP, rs2, rs1, 0);                        \
+        pushRef(di, RefKind::Branch, target);                                 \
+    }
+
+XT_BRANCH(beq, BEQ)
+XT_BRANCH(bne, BNE)
+XT_BRANCH(blt, BLT)
+XT_BRANCH(bge, BGE)
+XT_BRANCH(bltu, BLTU)
+XT_BRANCH(bgeu, BGEU)
+#undef XT_BRANCH
+
+void Assembler::beqz(XReg rs1, const std::string &t) { beq(rs1, reg::zero, t); }
+void Assembler::bnez(XReg rs1, const std::string &t) { bne(rs1, reg::zero, t); }
+void Assembler::blez(XReg rs1, const std::string &t) { bge(reg::zero, rs1, t); }
+void Assembler::bgez(XReg rs1, const std::string &t) { bge(rs1, reg::zero, t); }
+void Assembler::bltz(XReg rs1, const std::string &t) { blt(rs1, reg::zero, t); }
+void Assembler::bgtz(XReg rs1, const std::string &t) { blt(reg::zero, rs1, t); }
+
+void
+Assembler::jal(XReg rd, const std::string &target)
+{
+    DecodedInst di;
+    di.op = Opcode::JAL;
+    di.rd = rd.idx;
+    di.rdClass = RegClass::Int;
+    pushRef(di, RefKind::Jal, target);
+}
+
+void Assembler::j(const std::string &target) { jal(reg::zero, target); }
+void Assembler::call(const std::string &target) { jal(reg::ra, target); }
+
+void
+Assembler::jalr(XReg rd, XReg rs1, int64_t off)
+{
+    pushInst(mkI(Opcode::JALR, rd, rs1, off));
+}
+
+void Assembler::jr(XReg rs1) { jalr(reg::zero, rs1, 0); }
+void Assembler::ret() { jalr(reg::zero, reg::ra, 0); }
+
+// ----------------------------------------------------------- system/CSR
+
+namespace
+{
+
+DecodedInst
+bare(Opcode op)
+{
+    DecodedInst di;
+    di.op = op;
+    return di;
+}
+
+} // namespace
+
+void Assembler::ecall() { pushInst(bare(Opcode::ECALL)); }
+void Assembler::ebreak() { pushInst(bare(Opcode::EBREAK)); }
+void Assembler::fence() { pushInst(bare(Opcode::FENCE)); }
+void Assembler::fence_i() { pushInst(bare(Opcode::FENCE_I)); }
+void Assembler::nop() { addi(reg::zero, reg::zero, 0); }
+void Assembler::mret() { pushInst(bare(Opcode::MRET)); }
+void Assembler::sret() { pushInst(bare(Opcode::SRET)); }
+void Assembler::wfi() { pushInst(bare(Opcode::WFI)); }
+
+void
+Assembler::sfence_vma(XReg rs1, XReg rs2)
+{
+    DecodedInst di;
+    di.op = Opcode::SFENCE_VMA;
+    di.rs1 = rs1.idx;
+    di.rs2 = rs2.idx;
+    di.rs1Class = di.rs2Class = RegClass::Int;
+    pushInst(di);
+}
+
+void
+Assembler::csrrw(XReg rd, uint32_t csr, XReg rs1)
+{
+    pushInst(mkI(Opcode::CSRRW, rd, rs1, int64_t(csr)));
+}
+
+void
+Assembler::csrrs(XReg rd, uint32_t csr, XReg rs1)
+{
+    pushInst(mkI(Opcode::CSRRS, rd, rs1, int64_t(csr)));
+}
+
+void
+Assembler::csrrc(XReg rd, uint32_t csr, XReg rs1)
+{
+    pushInst(mkI(Opcode::CSRRC, rd, rs1, int64_t(csr)));
+}
+
+void
+Assembler::csrrwi(XReg rd, uint32_t csr, unsigned zimm)
+{
+    DecodedInst di;
+    di.op = Opcode::CSRRWI;
+    di.rd = rd.idx;
+    di.rdClass = RegClass::Int;
+    di.rs1 = RegIndex(zimm & 0x1f);
+    di.imm = int64_t(csr);
+    pushInst(di);
+}
+
+void Assembler::csrr(XReg rd, uint32_t csr) { csrrs(rd, csr, reg::zero); }
+void Assembler::csrw(uint32_t csr, XReg rs1) { csrrw(reg::zero, csr, rs1); }
+
+// -------------------------------------------------------------- atomics
+
+void
+Assembler::lr_w(XReg rd, XReg addr)
+{
+    pushInst(mkI(Opcode::LR_W, rd, addr, 0));
+}
+
+void
+Assembler::lr_d(XReg rd, XReg addr)
+{
+    pushInst(mkI(Opcode::LR_D, rd, addr, 0));
+}
+
+#define XT_AMO(NAME, OP)                                                      \
+    void Assembler::NAME(XReg rd, XReg src, XReg addr)                        \
+    {                                                                         \
+        DecodedInst di = mkR(Opcode::OP, rd, addr, src);                      \
+        pushInst(di);                                                         \
+    }
+
+XT_AMO(sc_w, SC_W)
+XT_AMO(sc_d, SC_D)
+XT_AMO(amoadd_w, AMOADD_W)
+XT_AMO(amoadd_d, AMOADD_D)
+XT_AMO(amoswap_w, AMOSWAP_W)
+XT_AMO(amoswap_d, AMOSWAP_D)
+XT_AMO(amoor_d, AMOOR_D)
+XT_AMO(amoand_d, AMOAND_D)
+XT_AMO(amomax_d, AMOMAX_D)
+#undef XT_AMO
+
+// -------------------------------------------------------- floating point
+
+void
+Assembler::flw(FReg rd, XReg base_, int64_t off)
+{
+    DecodedInst di = mkI(Opcode::FLW, XReg{rd.idx}, base_, off);
+    di.rdClass = RegClass::Fp;
+    pushInst(di);
+}
+
+void
+Assembler::fld(FReg rd, XReg base_, int64_t off)
+{
+    DecodedInst di = mkI(Opcode::FLD, XReg{rd.idx}, base_, off);
+    di.rdClass = RegClass::Fp;
+    pushInst(di);
+}
+
+void
+Assembler::fsw(FReg src, XReg base_, int64_t off)
+{
+    DecodedInst di = mkS(Opcode::FSW, XReg{src.idx}, base_, off);
+    di.rs2Class = RegClass::Fp;
+    pushInst(di);
+}
+
+void
+Assembler::fsd(FReg src, XReg base_, int64_t off)
+{
+    DecodedInst di = mkS(Opcode::FSD, XReg{src.idx}, base_, off);
+    di.rs2Class = RegClass::Fp;
+    pushInst(di);
+}
+
+namespace
+{
+
+DecodedInst
+fp3(Opcode op, FReg rd, FReg rs1, FReg rs2)
+{
+    DecodedInst di;
+    di.op = op;
+    di.rd = rd.idx;
+    di.rs1 = rs1.idx;
+    di.rs2 = rs2.idx;
+    di.rdClass = di.rs1Class = di.rs2Class = RegClass::Fp;
+    return di;
+}
+
+} // namespace
+
+#define XT_FP3(NAME, OP)                                                      \
+    void Assembler::NAME(FReg rd, FReg rs1, FReg rs2)                         \
+    {                                                                         \
+        pushInst(fp3(Opcode::OP, rd, rs1, rs2));                              \
+    }
+
+XT_FP3(fadd_s, FADD_S)
+XT_FP3(fsub_s, FSUB_S)
+XT_FP3(fmul_s, FMUL_S)
+XT_FP3(fdiv_s, FDIV_S)
+XT_FP3(fadd_d, FADD_D)
+XT_FP3(fsub_d, FSUB_D)
+XT_FP3(fmul_d, FMUL_D)
+XT_FP3(fdiv_d, FDIV_D)
+XT_FP3(fmin_d, FMIN_D)
+XT_FP3(fmax_d, FMAX_D)
+XT_FP3(fsgnj_d, FSGNJ_D)
+#undef XT_FP3
+
+void Assembler::fmv_d(FReg rd, FReg rs1) { fsgnj_d(rd, rs1, rs1); }
+
+void
+Assembler::fsqrt_d(FReg rd, FReg rs1)
+{
+    DecodedInst di = fp3(Opcode::FSQRT_D, rd, rs1, FReg{0});
+    di.rs2 = invalidReg;
+    di.rs2Class = RegClass::None;
+    pushInst(di);
+}
+
+#define XT_FP4(NAME, OP)                                                      \
+    void Assembler::NAME(FReg rd, FReg rs1, FReg rs2, FReg rs3)               \
+    {                                                                         \
+        DecodedInst di = fp3(Opcode::OP, rd, rs1, rs2);                       \
+        di.rs3 = rs3.idx;                                                     \
+        di.rs3Class = RegClass::Fp;                                           \
+        pushInst(di);                                                         \
+    }
+
+XT_FP4(fmadd_d, FMADD_D)
+XT_FP4(fmsub_d, FMSUB_D)
+XT_FP4(fnmadd_d, FNMADD_D)
+XT_FP4(fmadd_s, FMADD_S)
+#undef XT_FP4
+
+#define XT_FCMP(NAME, OP)                                                     \
+    void Assembler::NAME(XReg rd, FReg rs1, FReg rs2)                         \
+    {                                                                         \
+        DecodedInst di = fp3(Opcode::OP, FReg{rd.idx}, rs1, rs2);             \
+        di.rdClass = RegClass::Int;                                           \
+        pushInst(di);                                                         \
+    }
+
+XT_FCMP(feq_d, FEQ_D)
+XT_FCMP(flt_d, FLT_D)
+XT_FCMP(fle_d, FLE_D)
+#undef XT_FCMP
+
+namespace
+{
+
+DecodedInst
+cvt(Opcode op, RegIndex rd, RegClass rdc, RegIndex rs1, RegClass rs1c)
+{
+    DecodedInst di;
+    di.op = op;
+    di.rd = rd;
+    di.rdClass = rdc;
+    di.rs1 = rs1;
+    di.rs1Class = rs1c;
+    return di;
+}
+
+} // namespace
+
+void
+Assembler::fcvt_d_l(FReg rd, XReg rs1)
+{
+    pushInst(cvt(Opcode::FCVT_D_L, rd.idx, RegClass::Fp, rs1.idx,
+                 RegClass::Int));
+}
+
+void
+Assembler::fcvt_l_d(XReg rd, FReg rs1)
+{
+    pushInst(cvt(Opcode::FCVT_L_D, rd.idx, RegClass::Int, rs1.idx,
+                 RegClass::Fp));
+}
+
+void
+Assembler::fcvt_d_w(FReg rd, XReg rs1)
+{
+    pushInst(cvt(Opcode::FCVT_D_W, rd.idx, RegClass::Fp, rs1.idx,
+                 RegClass::Int));
+}
+
+void
+Assembler::fcvt_w_d(XReg rd, FReg rs1)
+{
+    pushInst(cvt(Opcode::FCVT_W_D, rd.idx, RegClass::Int, rs1.idx,
+                 RegClass::Fp));
+}
+
+void
+Assembler::fcvt_s_d(FReg rd, FReg rs1)
+{
+    pushInst(cvt(Opcode::FCVT_S_D, rd.idx, RegClass::Fp, rs1.idx,
+                 RegClass::Fp));
+}
+
+void
+Assembler::fcvt_d_s(FReg rd, FReg rs1)
+{
+    pushInst(cvt(Opcode::FCVT_D_S, rd.idx, RegClass::Fp, rs1.idx,
+                 RegClass::Fp));
+}
+
+void
+Assembler::fmv_d_x(FReg rd, XReg rs1)
+{
+    pushInst(cvt(Opcode::FMV_D_X, rd.idx, RegClass::Fp, rs1.idx,
+                 RegClass::Int));
+}
+
+void
+Assembler::fmv_x_d(XReg rd, FReg rs1)
+{
+    pushInst(cvt(Opcode::FMV_X_D, rd.idx, RegClass::Int, rs1.idx,
+                 RegClass::Fp));
+}
+
+void
+Assembler::fmv_w_x(FReg rd, XReg rs1)
+{
+    pushInst(cvt(Opcode::FMV_W_X, rd.idx, RegClass::Fp, rs1.idx,
+                 RegClass::Int));
+}
+
+void
+Assembler::fmv_x_w(XReg rd, FReg rs1)
+{
+    pushInst(cvt(Opcode::FMV_X_W, rd.idx, RegClass::Int, rs1.idx,
+                 RegClass::Fp));
+}
+
+// ---------------------------------------------------------------- vector
+
+void
+Assembler::vsetvli(XReg rd, XReg avl, const VType &vt)
+{
+    DecodedInst di = mkI(Opcode::VSETVLI, rd, avl, encodeVtype(vt));
+    pushInst(di);
+}
+
+void
+Assembler::vsetvl(XReg rd, XReg avl, XReg vtypeReg)
+{
+    pushInst(mkR(Opcode::VSETVL, rd, avl, vtypeReg));
+}
+
+void
+Assembler::vle(VReg vd, XReg base_)
+{
+    DecodedInst di;
+    di.op = Opcode::VLE_V;
+    di.rd = vd.idx;
+    di.rdClass = RegClass::Vec;
+    di.rs1 = base_.idx;
+    di.rs1Class = RegClass::Int;
+    pushInst(di);
+}
+
+void
+Assembler::vse(VReg vs3, XReg base_)
+{
+    DecodedInst di;
+    di.op = Opcode::VSE_V;
+    di.rs1 = base_.idx;
+    di.rs1Class = RegClass::Int;
+    di.rs3 = vs3.idx;
+    di.rs3Class = RegClass::Vec;
+    pushInst(di);
+}
+
+void
+Assembler::vlse(VReg vd, XReg base_, XReg stride)
+{
+    DecodedInst di;
+    di.op = Opcode::VLSE_V;
+    di.rd = vd.idx;
+    di.rdClass = RegClass::Vec;
+    di.rs1 = base_.idx;
+    di.rs1Class = RegClass::Int;
+    di.rs2 = stride.idx;
+    di.rs2Class = RegClass::Int;
+    pushInst(di);
+}
+
+void
+Assembler::vsse(VReg vs3, XReg base_, XReg stride)
+{
+    DecodedInst di;
+    di.op = Opcode::VSSE_V;
+    di.rs1 = base_.idx;
+    di.rs1Class = RegClass::Int;
+    di.rs2 = stride.idx;
+    di.rs2Class = RegClass::Int;
+    di.rs3 = vs3.idx;
+    di.rs3Class = RegClass::Vec;
+    pushInst(di);
+}
+
+void
+Assembler::vlxe(VReg vd, XReg base_, VReg idx)
+{
+    DecodedInst di;
+    di.op = Opcode::VLXE_V;
+    di.rd = vd.idx;
+    di.rdClass = RegClass::Vec;
+    di.rs1 = base_.idx;
+    di.rs1Class = RegClass::Int;
+    di.rs2 = idx.idx;
+    di.rs2Class = RegClass::Vec;
+    pushInst(di);
+}
+
+void
+Assembler::vsxe(VReg vs3, XReg base_, VReg idx)
+{
+    DecodedInst di;
+    di.op = Opcode::VSXE_V;
+    di.rs1 = base_.idx;
+    di.rs1Class = RegClass::Int;
+    di.rs2 = idx.idx;
+    di.rs2Class = RegClass::Vec;
+    di.rs3 = vs3.idx;
+    di.rs3Class = RegClass::Vec;
+    pushInst(di);
+}
+
+#define XT_VVV(NAME, OP)                                                      \
+    void Assembler::NAME(VReg vd, VReg vs2, VReg vs1)                         \
+    {                                                                         \
+        pushInst(mkVvv(Opcode::OP, vd, vs2, vs1));                            \
+    }
+
+XT_VVV(vadd_vv, VADD_VV)
+XT_VVV(vsub_vv, VSUB_VV)
+XT_VVV(vand_vv, VAND_VV)
+XT_VVV(vor_vv, VOR_VV)
+XT_VVV(vxor_vv, VXOR_VV)
+XT_VVV(vmin_vv, VMIN_VV)
+XT_VVV(vmax_vv, VMAX_VV)
+XT_VVV(vmul_vv, VMUL_VV)
+XT_VVV(vdiv_vv, VDIV_VV)
+XT_VVV(vredsum_vs, VREDSUM_VS)
+XT_VVV(vredmax_vs, VREDMAX_VS)
+XT_VVV(vmseq_vv, VMSEQ_VV)
+XT_VVV(vmslt_vv, VMSLT_VV)
+XT_VVV(vwmul_vv, VWMUL_VV)
+XT_VVV(vfadd_vv, VFADD_VV)
+XT_VVV(vfsub_vv, VFSUB_VV)
+XT_VVV(vfmul_vv, VFMUL_VV)
+XT_VVV(vfdiv_vv, VFDIV_VV)
+XT_VVV(vfredsum_vs, VFREDSUM_VS)
+#undef XT_VVV
+
+// MAC-style ops name their operands (vd, vs1, vs2): vd += vs1 * vs2.
+void
+Assembler::vmacc_vv(VReg vd, VReg vs1, VReg vs2)
+{
+    pushInst(mkVvv(Opcode::VMACC_VV, vd, vs2, vs1));
+}
+
+void
+Assembler::vmadd_vv(VReg vd, VReg vs1, VReg vs2)
+{
+    pushInst(mkVvv(Opcode::VMADD_VV, vd, vs2, vs1));
+}
+
+void
+Assembler::vwmacc_vv(VReg vd, VReg vs1, VReg vs2)
+{
+    pushInst(mkVvv(Opcode::VWMACC_VV, vd, vs2, vs1));
+}
+
+void
+Assembler::vfmacc_vv(VReg vd, VReg vs1, VReg vs2)
+{
+    pushInst(mkVvv(Opcode::VFMACC_VV, vd, vs2, vs1));
+}
+
+void
+Assembler::vmerge_vvm(VReg vd, VReg vs2, VReg vs1)
+{
+    DecodedInst di = mkVvv(Opcode::VMERGE_VVM, vd, vs2, vs1);
+    di.vm = false;
+    pushInst(di);
+}
+
+void
+Assembler::vadd_vx(VReg vd, VReg vs2, XReg rs1)
+{
+    DecodedInst di = mkVvv(Opcode::VADD_VX, vd, vs2, VReg{rs1.idx});
+    di.rs1Class = RegClass::Int;
+    pushInst(di);
+}
+
+void
+Assembler::vmul_vx(VReg vd, VReg vs2, XReg rs1)
+{
+    DecodedInst di = mkVvv(Opcode::VMUL_VX, vd, vs2, VReg{rs1.idx});
+    di.rs1Class = RegClass::Int;
+    pushInst(di);
+}
+
+void
+Assembler::vadd_vi(VReg vd, VReg vs2, int64_t imm)
+{
+    DecodedInst di;
+    di.op = Opcode::VADD_VI;
+    di.rd = vd.idx;
+    di.rdClass = RegClass::Vec;
+    di.rs2 = vs2.idx;
+    di.rs2Class = RegClass::Vec;
+    di.imm = imm;
+    pushInst(di);
+}
+
+namespace
+{
+
+DecodedInst
+vi2(Opcode op, VReg vd, VReg vs2, int64_t imm)
+{
+    DecodedInst di;
+    di.op = op;
+    di.rd = vd.idx;
+    di.rdClass = RegClass::Vec;
+    di.rs2 = vs2.idx;
+    di.rs2Class = RegClass::Vec;
+    di.imm = imm;
+    return di;
+}
+
+} // namespace
+
+void
+Assembler::vsll_vi(VReg vd, VReg vs2, unsigned sh)
+{
+    pushInst(vi2(Opcode::VSLL_VI, vd, vs2, int64_t(sh)));
+}
+
+void
+Assembler::vsrl_vi(VReg vd, VReg vs2, unsigned sh)
+{
+    pushInst(vi2(Opcode::VSRL_VI, vd, vs2, int64_t(sh)));
+}
+
+void
+Assembler::vsra_vi(VReg vd, VReg vs2, unsigned sh)
+{
+    pushInst(vi2(Opcode::VSRA_VI, vd, vs2, int64_t(sh)));
+}
+
+void
+Assembler::vslideup_vi(VReg vd, VReg vs2, unsigned off)
+{
+    pushInst(vi2(Opcode::VSLIDEUP_VI, vd, vs2, int64_t(off)));
+}
+
+void
+Assembler::vslidedown_vi(VReg vd, VReg vs2, unsigned off)
+{
+    pushInst(vi2(Opcode::VSLIDEDOWN_VI, vd, vs2, int64_t(off)));
+}
+
+void
+Assembler::vmv_v_v(VReg vd, VReg vs1)
+{
+    DecodedInst di;
+    di.op = Opcode::VMV_V_V;
+    di.rd = vd.idx;
+    di.rdClass = RegClass::Vec;
+    di.rs1 = vs1.idx;
+    di.rs1Class = RegClass::Vec;
+    pushInst(di);
+}
+
+void
+Assembler::vmv_v_x(VReg vd, XReg rs1)
+{
+    DecodedInst di;
+    di.op = Opcode::VMV_V_X;
+    di.rd = vd.idx;
+    di.rdClass = RegClass::Vec;
+    di.rs1 = rs1.idx;
+    di.rs1Class = RegClass::Int;
+    pushInst(di);
+}
+
+void
+Assembler::vmv_v_i(VReg vd, int64_t imm)
+{
+    DecodedInst di;
+    di.op = Opcode::VMV_V_I;
+    di.rd = vd.idx;
+    di.rdClass = RegClass::Vec;
+    di.imm = imm;
+    pushInst(di);
+}
+
+void
+Assembler::vmv_x_s(XReg rd, VReg vs2)
+{
+    DecodedInst di;
+    di.op = Opcode::VMV_X_S;
+    di.rd = rd.idx;
+    di.rdClass = RegClass::Int;
+    di.rs2 = vs2.idx;
+    di.rs2Class = RegClass::Vec;
+    pushInst(di);
+}
+
+void
+Assembler::vmv_s_x(VReg vd, XReg rs1)
+{
+    DecodedInst di;
+    di.op = Opcode::VMV_S_X;
+    di.rd = vd.idx;
+    di.rdClass = RegClass::Vec;
+    di.rs1 = rs1.idx;
+    di.rs1Class = RegClass::Int;
+    pushInst(di);
+}
+
+void
+Assembler::vfmacc_vf(VReg vd, FReg rs1, VReg vs2)
+{
+    DecodedInst di;
+    di.op = Opcode::VFMACC_VF;
+    di.rd = vd.idx;
+    di.rdClass = RegClass::Vec;
+    di.rs1 = rs1.idx;
+    di.rs1Class = RegClass::Fp;
+    di.rs2 = vs2.idx;
+    di.rs2Class = RegClass::Vec;
+    pushInst(di);
+}
+
+void
+Assembler::vfmv_v_f(VReg vd, FReg rs1)
+{
+    DecodedInst di;
+    di.op = Opcode::VFMV_V_F;
+    di.rd = vd.idx;
+    di.rdClass = RegClass::Vec;
+    di.rs1 = rs1.idx;
+    di.rs1Class = RegClass::Fp;
+    pushInst(di);
+}
+
+void
+Assembler::vfmv_f_s(FReg rd, VReg vs2)
+{
+    DecodedInst di;
+    di.op = Opcode::VFMV_F_S;
+    di.rd = rd.idx;
+    di.rdClass = RegClass::Fp;
+    di.rs2 = vs2.idx;
+    di.rs2Class = RegClass::Vec;
+    pushInst(di);
+}
+
+// --------------------------------------------------------- XT-910 custom
+
+#define XT_IDXLD(NAME, OP)                                                    \
+    void Assembler::NAME(XReg rd, XReg base_, XReg idx, unsigned sh2)         \
+    {                                                                         \
+        DecodedInst di = mkR(Opcode::OP, rd, base_, idx);                     \
+        di.shamt2 = uint8_t(sh2);                                             \
+        pushInst(di);                                                         \
+    }
+
+XT_IDXLD(xt_lrb, XT_LRB)
+XT_IDXLD(xt_lrbu, XT_LRBU)
+XT_IDXLD(xt_lrh, XT_LRH)
+XT_IDXLD(xt_lrhu, XT_LRHU)
+XT_IDXLD(xt_lrw, XT_LRW)
+XT_IDXLD(xt_lrwu, XT_LRWU)
+XT_IDXLD(xt_lrd, XT_LRD)
+XT_IDXLD(xt_lurw, XT_LURW)
+XT_IDXLD(xt_lurd, XT_LURD)
+#undef XT_IDXLD
+
+#define XT_IDXST(NAME, OP)                                                    \
+    void Assembler::NAME(XReg src, XReg base_, XReg idx, unsigned sh2)        \
+    {                                                                         \
+        DecodedInst di;                                                       \
+        di.op = Opcode::OP;                                                   \
+        di.rs1 = base_.idx;                                                   \
+        di.rs2 = idx.idx;                                                     \
+        di.rs3 = src.idx;                                                     \
+        di.rs1Class = di.rs2Class = di.rs3Class = RegClass::Int;              \
+        di.shamt2 = uint8_t(sh2);                                             \
+        pushInst(di);                                                         \
+    }
+
+XT_IDXST(xt_srb, XT_SRB)
+XT_IDXST(xt_srh, XT_SRH)
+XT_IDXST(xt_srw, XT_SRW)
+XT_IDXST(xt_srd, XT_SRD)
+#undef XT_IDXST
+
+void
+Assembler::xt_addsl(XReg rd, XReg rs1, XReg rs2, unsigned sh2)
+{
+    DecodedInst di = mkR(Opcode::XT_ADDSL, rd, rs1, rs2);
+    di.shamt2 = uint8_t(sh2);
+    pushInst(di);
+}
+
+void
+Assembler::xt_ext(XReg rd, XReg rs1, unsigned msb, unsigned lsb)
+{
+    DecodedInst di = mkI(Opcode::XT_EXT, rd, rs1,
+                         int64_t((msb << 6) | lsb));
+    pushInst(di);
+}
+
+void
+Assembler::xt_extu(XReg rd, XReg rs1, unsigned msb, unsigned lsb)
+{
+    DecodedInst di = mkI(Opcode::XT_EXTU, rd, rs1,
+                         int64_t((msb << 6) | lsb));
+    pushInst(di);
+}
+
+#define XT_UNARY(NAME, OP)                                                    \
+    void Assembler::NAME(XReg rd, XReg rs1)                                   \
+    {                                                                         \
+        pushInst(mkI(Opcode::OP, rd, rs1, 0));                                \
+    }
+
+XT_UNARY(xt_ff0, XT_FF0)
+XT_UNARY(xt_ff1, XT_FF1)
+XT_UNARY(xt_rev, XT_REV)
+XT_UNARY(xt_tstnbz, XT_TSTNBZ)
+#undef XT_UNARY
+
+void
+Assembler::xt_srri(XReg rd, XReg rs1, unsigned sh)
+{
+    pushInst(mkI(Opcode::XT_SRRI, rd, rs1, int64_t(sh)));
+}
+
+#define XT_MAC(NAME, OP)                                                      \
+    void Assembler::NAME(XReg rd, XReg rs1, XReg rs2)                         \
+    {                                                                         \
+        pushInst(mkR(Opcode::OP, rd, rs1, rs2));                              \
+    }
+
+XT_MAC(xt_mula, XT_MULA)
+XT_MAC(xt_muls, XT_MULS)
+XT_MAC(xt_mulah, XT_MULAH)
+XT_MAC(xt_mulsh, XT_MULSH)
+#undef XT_MAC
+
+void Assembler::xt_dcache_call() { pushInst(bare(Opcode::XT_DCACHE_CALL)); }
+void Assembler::xt_dcache_ciall() { pushInst(bare(Opcode::XT_DCACHE_CIALL)); }
+void Assembler::xt_icache_iall() { pushInst(bare(Opcode::XT_ICACHE_IALL)); }
+void Assembler::xt_sync() { pushInst(bare(Opcode::XT_SYNC)); }
+void Assembler::xt_tlb_iall() { pushInst(bare(Opcode::XT_TLB_IALL)); }
+
+void
+Assembler::xt_tlb_iasid(XReg asid)
+{
+    DecodedInst di;
+    di.op = Opcode::XT_TLB_IASID;
+    di.rs1 = asid.idx;
+    di.rs1Class = RegClass::Int;
+    pushInst(di);
+}
+
+void
+Assembler::xt_tlb_bcast(XReg va)
+{
+    DecodedInst di;
+    di.op = Opcode::XT_TLB_BCAST;
+    di.rs1 = va.idx;
+    di.rs1Class = RegClass::Int;
+    pushInst(di);
+}
+
+// --------------------------------------------------------------- pseudos
+
+void
+Assembler::li(XReg rd, int64_t v)
+{
+    if (v >= -2048 && v <= 2047) {
+        addi(rd, reg::zero, v);
+        return;
+    }
+    if (v >= INT32_MIN && v <= INT32_MAX) {
+        int64_t lo = sext(uint64_t(v) & 0xfff, 12);
+        int64_t hi = int64_t(int32_t(uint32_t(v) - uint32_t(lo)));
+        lui(rd, hi);
+        if (lo != 0)
+            addiw(rd, rd, lo);
+        return;
+    }
+    // 64-bit: materialize the upper part recursively, then shift+or.
+    int64_t lo = sext(uint64_t(v) & 0xfff, 12);
+    li(rd, (v - lo) >> 12);
+    slli(rd, rd, 12);
+    if (lo != 0)
+        addi(rd, rd, lo);
+}
+
+void Assembler::mv(XReg rd, XReg rs1) { addi(rd, rs1, 0); }
+void Assembler::not_(XReg rd, XReg rs1) { xori(rd, rs1, -1); }
+void Assembler::neg(XReg rd, XReg rs1) { sub(rd, reg::zero, rs1); }
+void Assembler::seqz(XReg rd, XReg rs1) { sltiu(rd, rs1, 1); }
+void Assembler::snez(XReg rd, XReg rs1) { sltu(rd, reg::zero, rs1); }
+void Assembler::sextw(XReg rd, XReg rs1) { addiw(rd, rs1, 0); }
+
+void
+Assembler::la(XReg rd, const std::string &target)
+{
+    DecodedInst di;
+    di.op = Opcode::AUIPC;
+    di.rd = rd.idx;
+    di.rdClass = RegClass::Int;
+    pushRef(di, RefKind::LoadAddr, target);
+}
+
+// ------------------------------------------------------------- assembly
+
+Program
+Assembler::assemble()
+{
+    using K = Item::Kind;
+
+    // Initial size estimates; instruction sizes only ever grow.
+    for (Item &it : items) {
+        switch (it.kind) {
+          case K::Inst:
+            if (it.ref == RefKind::None) {
+                it.size =
+                    (opts.compress && compressInst(it.di)) ? 2 : 4;
+            } else if (it.ref == RefKind::LoadAddr) {
+                it.size = 8;
+            } else {
+                const DecodedInst &di = it.di;
+                bool maybe =
+                    opts.compress &&
+                    ((di.op == Opcode::JAL && di.rd == 0) ||
+                     ((di.op == Opcode::BEQ || di.op == Opcode::BNE) &&
+                      di.rs2 == 0 && di.rs1 >= 8 && di.rs1 <= 15));
+                it.size = maybe ? 2 : 4;
+            }
+            break;
+          case K::Label:
+            it.size = 0;
+            break;
+          case K::Data:
+            it.size = unsigned(it.blob.size());
+            break;
+          case K::Align:
+            it.size = 0;
+            break;
+        }
+    }
+
+    std::unordered_map<std::string, Addr> syms;
+    for (int iter = 0;; ++iter) {
+        if (iter > 64)
+            xt_fatal("assembler relaxation did not converge");
+        bool changed = false;
+
+        Addr pc = base;
+        for (Item &it : items) {
+            if (it.kind == K::Align) {
+                unsigned pad =
+                    unsigned((it.alignTo - pc % it.alignTo) % it.alignTo);
+                if (pad != it.size) {
+                    it.size = pad;
+                    changed = true;
+                }
+            }
+            if (it.kind == K::Label)
+                syms[it.name] = pc;
+            pc += it.size;
+        }
+
+        pc = base;
+        for (Item &it : items) {
+            if (it.kind == K::Inst && it.ref != RefKind::None) {
+                auto s = syms.find(it.target);
+                if (s == syms.end())
+                    xt_fatal("undefined label: ", it.target);
+                int64_t delta = int64_t(s->second) - int64_t(pc);
+                if (it.ref == RefKind::Branch) {
+                    if (delta < -4096 || delta > 4094)
+                        xt_fatal("branch to ", it.target,
+                                 " out of range: ", delta);
+                    it.di.imm = delta;
+                    if (it.size == 2 && !compressInst(it.di)) {
+                        it.size = 4;
+                        changed = true;
+                    }
+                } else if (it.ref == RefKind::Jal) {
+                    if (delta < -(1 << 20) || delta >= (1 << 20))
+                        xt_fatal("jump to ", it.target,
+                                 " out of range: ", delta);
+                    it.di.imm = delta;
+                    if (it.size == 2 && !compressInst(it.di)) {
+                        it.size = 4;
+                        changed = true;
+                    }
+                } else { // LoadAddr: fixed 8 bytes
+                    it.di.imm = delta;
+                }
+            }
+            pc += it.size;
+        }
+
+        if (!changed)
+            break;
+    }
+
+    // Final emission.
+    Program p;
+    p.base = base;
+    Addr pc = base;
+    auto put16 = [&](uint16_t v) {
+        p.image.push_back(uint8_t(v));
+        p.image.push_back(uint8_t(v >> 8));
+    };
+    auto put32 = [&](uint32_t v) {
+        put16(uint16_t(v));
+        put16(uint16_t(v >> 16));
+    };
+    for (Item &it : items) {
+        switch (it.kind) {
+          case K::Inst:
+            if (it.ref == RefKind::LoadAddr) {
+                int64_t delta = it.di.imm;
+                int64_t hi = ((delta + 0x800) >> 12) << 12;
+                int64_t lo = delta - hi;
+                DecodedInst au = it.di;
+                au.imm = hi;
+                put32(encode(au));
+                DecodedInst ad;
+                ad.op = Opcode::ADDI;
+                ad.rd = it.di.rd;
+                ad.rs1 = it.di.rd;
+                ad.imm = lo;
+                put32(encode(ad));
+            } else if (it.size == 2) {
+                auto c = compressInst(it.di);
+                xt_assert(c.has_value(), "lost compressibility");
+                put16(*c);
+            } else {
+                put32(encode(it.di));
+            }
+            break;
+          case K::Label:
+            break;
+          case K::Data:
+            p.image.insert(p.image.end(), it.blob.begin(),
+                           it.blob.end());
+            break;
+          case K::Align:
+            p.image.insert(p.image.end(), it.size, 0);
+            break;
+        }
+        pc += it.size;
+    }
+
+    p.symbols = std::move(syms);
+    auto e = p.symbols.find("_start");
+    p.entry = e != p.symbols.end() ? e->second : base;
+    return p;
+}
+
+} // namespace xt910

@@ -1,0 +1,370 @@
+/**
+ * @file
+ * The macro-assembler: a label-based, type-safe builder API that
+ * produces real RV64GCV machine code (plus XT-910 custom extensions)
+ * into a flat memory image.
+ *
+ * Workloads, tests and examples author RISC-V programs through this
+ * class; the functional simulator then fetches and decodes the produced
+ * bytes exactly as hardware would. An auto-compression pass rewrites
+ * eligible instructions to their RVC forms using iterative relaxation,
+ * so programs get a realistic compressed-code fetch profile.
+ */
+
+#ifndef XT910_XASM_ASSEMBLER_H
+#define XT910_XASM_ASSEMBLER_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "isa/encoding.h"
+#include "isa/vtype.h"
+#include "xasm/regs.h"
+
+namespace xt910
+{
+
+/** Default load address for assembled programs. */
+constexpr Addr defaultCodeBase = 0x8000'0000;
+
+/** The output of Assembler::assemble(): a loadable flat image. */
+struct Program
+{
+    Addr base = 0;                ///< load address of image[0]
+    Addr entry = 0;               ///< initial PC
+    std::vector<uint8_t> image;   ///< code + data bytes
+    std::unordered_map<std::string, Addr> symbols;
+
+    /** Address of @p name; fatal when undefined. */
+    Addr symbol(const std::string &name) const;
+
+    Addr end() const { return base + image.size(); }
+};
+
+/**
+ * Decode a code-only image back to an instruction listing (for tests
+ * and the objdump-style example). Stops at the first invalid word or
+ * at @p stopAt when nonzero.
+ */
+std::vector<std::pair<Addr, DecodedInst>>
+decodeImage(const Program &p, Addr stopAt = 0);
+
+/** See file comment. */
+class Assembler
+{
+  public:
+    struct Options
+    {
+        bool compress = true;  ///< enable RVC auto-compression
+    };
+
+    explicit Assembler(Addr base = defaultCodeBase)
+        : Assembler(base, Options{})
+    {}
+    Assembler(Addr base, Options opts);
+
+    // ----------------------------------------------- labels and data
+    /** Define @p name at the current position. */
+    void label(const std::string &name);
+    /** Pad with zero bytes to an @p bytes boundary. */
+    void align(unsigned bytes);
+    void byte(uint8_t v);
+    void half(uint16_t v);
+    void word(uint32_t v);
+    void dword(uint64_t v);
+    /** Reserve @p n zero bytes. */
+    void zero(size_t n);
+    /** Emit raw bytes. */
+    void bytes(const std::vector<uint8_t> &v);
+
+    // ------------------------------------------------ generic emits
+    /** Emit a pre-built instruction. */
+    void emit(const DecodedInst &di);
+    /** Emit an instruction whose immediate is a label reference. */
+    void emitRef(DecodedInst di, const std::string &target);
+
+    // -------------------------------------------------- integer ALU
+    void add(XReg rd, XReg rs1, XReg rs2);
+    void sub(XReg rd, XReg rs1, XReg rs2);
+    void sll(XReg rd, XReg rs1, XReg rs2);
+    void slt(XReg rd, XReg rs1, XReg rs2);
+    void sltu(XReg rd, XReg rs1, XReg rs2);
+    void xor_(XReg rd, XReg rs1, XReg rs2);
+    void srl(XReg rd, XReg rs1, XReg rs2);
+    void sra(XReg rd, XReg rs1, XReg rs2);
+    void or_(XReg rd, XReg rs1, XReg rs2);
+    void and_(XReg rd, XReg rs1, XReg rs2);
+    void addw(XReg rd, XReg rs1, XReg rs2);
+    void subw(XReg rd, XReg rs1, XReg rs2);
+    void sllw(XReg rd, XReg rs1, XReg rs2);
+    void srlw(XReg rd, XReg rs1, XReg rs2);
+    void sraw(XReg rd, XReg rs1, XReg rs2);
+    void addi(XReg rd, XReg rs1, int64_t imm);
+    void slti(XReg rd, XReg rs1, int64_t imm);
+    void sltiu(XReg rd, XReg rs1, int64_t imm);
+    void xori(XReg rd, XReg rs1, int64_t imm);
+    void ori(XReg rd, XReg rs1, int64_t imm);
+    void andi(XReg rd, XReg rs1, int64_t imm);
+    void slli(XReg rd, XReg rs1, unsigned sh);
+    void srli(XReg rd, XReg rs1, unsigned sh);
+    void srai(XReg rd, XReg rs1, unsigned sh);
+    void addiw(XReg rd, XReg rs1, int64_t imm);
+    void slliw(XReg rd, XReg rs1, unsigned sh);
+    void srliw(XReg rd, XReg rs1, unsigned sh);
+    void sraiw(XReg rd, XReg rs1, unsigned sh);
+    void lui(XReg rd, int64_t immShifted);
+    void auipc(XReg rd, int64_t immShifted);
+
+    // ------------------------------------------------------ mul/div
+    void mul(XReg rd, XReg rs1, XReg rs2);
+    void mulh(XReg rd, XReg rs1, XReg rs2);
+    void mulhu(XReg rd, XReg rs1, XReg rs2);
+    void mulhsu(XReg rd, XReg rs1, XReg rs2);
+    void div(XReg rd, XReg rs1, XReg rs2);
+    void divu(XReg rd, XReg rs1, XReg rs2);
+    void rem(XReg rd, XReg rs1, XReg rs2);
+    void remu(XReg rd, XReg rs1, XReg rs2);
+    void mulw(XReg rd, XReg rs1, XReg rs2);
+    void divw(XReg rd, XReg rs1, XReg rs2);
+    void divuw(XReg rd, XReg rs1, XReg rs2);
+    void remw(XReg rd, XReg rs1, XReg rs2);
+    void remuw(XReg rd, XReg rs1, XReg rs2);
+
+    // ------------------------------------------------------- memory
+    void lb(XReg rd, XReg base, int64_t off);
+    void lh(XReg rd, XReg base, int64_t off);
+    void lw(XReg rd, XReg base, int64_t off);
+    void ld(XReg rd, XReg base, int64_t off);
+    void lbu(XReg rd, XReg base, int64_t off);
+    void lhu(XReg rd, XReg base, int64_t off);
+    void lwu(XReg rd, XReg base, int64_t off);
+    void sb(XReg src, XReg base, int64_t off);
+    void sh(XReg src, XReg base, int64_t off);
+    void sw(XReg src, XReg base, int64_t off);
+    void sd(XReg src, XReg base, int64_t off);
+
+    // ------------------------------------------------------ control
+    void beq(XReg rs1, XReg rs2, const std::string &target);
+    void bne(XReg rs1, XReg rs2, const std::string &target);
+    void blt(XReg rs1, XReg rs2, const std::string &target);
+    void bge(XReg rs1, XReg rs2, const std::string &target);
+    void bltu(XReg rs1, XReg rs2, const std::string &target);
+    void bgeu(XReg rs1, XReg rs2, const std::string &target);
+    void beqz(XReg rs1, const std::string &target);
+    void bnez(XReg rs1, const std::string &target);
+    void blez(XReg rs1, const std::string &target);
+    void bgez(XReg rs1, const std::string &target);
+    void bltz(XReg rs1, const std::string &target);
+    void bgtz(XReg rs1, const std::string &target);
+    void jal(XReg rd, const std::string &target);
+    void j(const std::string &target);
+    void jalr(XReg rd, XReg rs1, int64_t off = 0);
+    void jr(XReg rs1);
+    void call(const std::string &target);
+    void ret();
+
+    // --------------------------------------------------- system/CSR
+    void ecall();
+    void ebreak();
+    void fence();
+    void fence_i();
+    void nop();
+    void mret();
+    void sret();
+    void wfi();
+    void sfence_vma(XReg rs1 = reg::zero, XReg rs2 = reg::zero);
+    void csrrw(XReg rd, uint32_t csr, XReg rs1);
+    void csrrs(XReg rd, uint32_t csr, XReg rs1);
+    void csrrc(XReg rd, uint32_t csr, XReg rs1);
+    void csrrwi(XReg rd, uint32_t csr, unsigned zimm);
+    void csrr(XReg rd, uint32_t csr);
+    void csrw(uint32_t csr, XReg rs1);
+
+    // ------------------------------------------------------ atomics
+    void lr_w(XReg rd, XReg addr);
+    void lr_d(XReg rd, XReg addr);
+    void sc_w(XReg rd, XReg src, XReg addr);
+    void sc_d(XReg rd, XReg src, XReg addr);
+    void amoadd_w(XReg rd, XReg src, XReg addr);
+    void amoadd_d(XReg rd, XReg src, XReg addr);
+    void amoswap_w(XReg rd, XReg src, XReg addr);
+    void amoswap_d(XReg rd, XReg src, XReg addr);
+    void amoor_d(XReg rd, XReg src, XReg addr);
+    void amoand_d(XReg rd, XReg src, XReg addr);
+    void amomax_d(XReg rd, XReg src, XReg addr);
+
+    // ------------------------------------------------ floating point
+    void flw(FReg rd, XReg base, int64_t off);
+    void fld(FReg rd, XReg base, int64_t off);
+    void fsw(FReg src, XReg base, int64_t off);
+    void fsd(FReg src, XReg base, int64_t off);
+    void fadd_s(FReg rd, FReg rs1, FReg rs2);
+    void fsub_s(FReg rd, FReg rs1, FReg rs2);
+    void fmul_s(FReg rd, FReg rs1, FReg rs2);
+    void fdiv_s(FReg rd, FReg rs1, FReg rs2);
+    void fadd_d(FReg rd, FReg rs1, FReg rs2);
+    void fsub_d(FReg rd, FReg rs1, FReg rs2);
+    void fmul_d(FReg rd, FReg rs1, FReg rs2);
+    void fdiv_d(FReg rd, FReg rs1, FReg rs2);
+    void fsqrt_d(FReg rd, FReg rs1);
+    void fmin_d(FReg rd, FReg rs1, FReg rs2);
+    void fmax_d(FReg rd, FReg rs1, FReg rs2);
+    void fmadd_d(FReg rd, FReg rs1, FReg rs2, FReg rs3);
+    void fmsub_d(FReg rd, FReg rs1, FReg rs2, FReg rs3);
+    void fnmadd_d(FReg rd, FReg rs1, FReg rs2, FReg rs3);
+    void fmadd_s(FReg rd, FReg rs1, FReg rs2, FReg rs3);
+    void fsgnj_d(FReg rd, FReg rs1, FReg rs2);
+    void fmv_d(FReg rd, FReg rs1);
+    void feq_d(XReg rd, FReg rs1, FReg rs2);
+    void flt_d(XReg rd, FReg rs1, FReg rs2);
+    void fle_d(XReg rd, FReg rs1, FReg rs2);
+    void fcvt_d_l(FReg rd, XReg rs1);
+    void fcvt_l_d(XReg rd, FReg rs1);
+    void fcvt_d_w(FReg rd, XReg rs1);
+    void fcvt_w_d(XReg rd, FReg rs1);
+    void fcvt_s_d(FReg rd, FReg rs1);
+    void fcvt_d_s(FReg rd, FReg rs1);
+    void fmv_d_x(FReg rd, XReg rs1);
+    void fmv_x_d(XReg rd, FReg rs1);
+    void fmv_w_x(FReg rd, XReg rs1);
+    void fmv_x_w(XReg rd, FReg rs1);
+
+    // -------------------------------------------------------- vector
+    void vsetvli(XReg rd, XReg avl, const VType &vt);
+    void vsetvl(XReg rd, XReg avl, XReg vtypeReg);
+    void vle(VReg vd, XReg base);
+    void vse(VReg vs3, XReg base);
+    void vlse(VReg vd, XReg base, XReg stride);
+    void vsse(VReg vs3, XReg base, XReg stride);
+    void vlxe(VReg vd, XReg base, VReg idx);
+    void vsxe(VReg vs3, XReg base, VReg idx);
+    void vadd_vv(VReg vd, VReg vs2, VReg vs1);
+    void vadd_vx(VReg vd, VReg vs2, XReg rs1);
+    void vadd_vi(VReg vd, VReg vs2, int64_t imm);
+    void vsub_vv(VReg vd, VReg vs2, VReg vs1);
+    void vand_vv(VReg vd, VReg vs2, VReg vs1);
+    void vor_vv(VReg vd, VReg vs2, VReg vs1);
+    void vxor_vv(VReg vd, VReg vs2, VReg vs1);
+    void vsll_vi(VReg vd, VReg vs2, unsigned sh);
+    void vsrl_vi(VReg vd, VReg vs2, unsigned sh);
+    void vsra_vi(VReg vd, VReg vs2, unsigned sh);
+    void vmin_vv(VReg vd, VReg vs2, VReg vs1);
+    void vmax_vv(VReg vd, VReg vs2, VReg vs1);
+    void vmul_vv(VReg vd, VReg vs2, VReg vs1);
+    void vmul_vx(VReg vd, VReg vs2, XReg rs1);
+    void vmacc_vv(VReg vd, VReg vs1, VReg vs2);
+    void vmadd_vv(VReg vd, VReg vs1, VReg vs2);
+    void vwmul_vv(VReg vd, VReg vs2, VReg vs1);
+    void vwmacc_vv(VReg vd, VReg vs1, VReg vs2);
+    void vdiv_vv(VReg vd, VReg vs2, VReg vs1);
+    void vredsum_vs(VReg vd, VReg vs2, VReg vs1);
+    void vredmax_vs(VReg vd, VReg vs2, VReg vs1);
+    void vmseq_vv(VReg vd, VReg vs2, VReg vs1);
+    void vmslt_vv(VReg vd, VReg vs2, VReg vs1);
+    void vmerge_vvm(VReg vd, VReg vs2, VReg vs1);
+    void vmv_v_v(VReg vd, VReg vs1);
+    void vmv_v_x(VReg vd, XReg rs1);
+    void vmv_v_i(VReg vd, int64_t imm);
+    void vmv_x_s(XReg rd, VReg vs2);
+    void vmv_s_x(VReg vd, XReg rs1);
+    void vslideup_vi(VReg vd, VReg vs2, unsigned off);
+    void vslidedown_vi(VReg vd, VReg vs2, unsigned off);
+    void vfadd_vv(VReg vd, VReg vs2, VReg vs1);
+    void vfsub_vv(VReg vd, VReg vs2, VReg vs1);
+    void vfmul_vv(VReg vd, VReg vs2, VReg vs1);
+    void vfmacc_vv(VReg vd, VReg vs1, VReg vs2);
+    void vfmacc_vf(VReg vd, FReg rs1, VReg vs2);
+    void vfdiv_vv(VReg vd, VReg vs2, VReg vs1);
+    void vfredsum_vs(VReg vd, VReg vs2, VReg vs1);
+    void vfmv_v_f(VReg vd, FReg rs1);
+    void vfmv_f_s(FReg rd, VReg vs2);
+
+    // --------------------------------- XT-910 custom extension (§VIII)
+    void xt_lrb(XReg rd, XReg base, XReg idx, unsigned sh2 = 0);
+    void xt_lrbu(XReg rd, XReg base, XReg idx, unsigned sh2 = 0);
+    void xt_lrh(XReg rd, XReg base, XReg idx, unsigned sh2 = 0);
+    void xt_lrhu(XReg rd, XReg base, XReg idx, unsigned sh2 = 0);
+    void xt_lrw(XReg rd, XReg base, XReg idx, unsigned sh2 = 0);
+    void xt_lrwu(XReg rd, XReg base, XReg idx, unsigned sh2 = 0);
+    void xt_lrd(XReg rd, XReg base, XReg idx, unsigned sh2 = 0);
+    void xt_lurw(XReg rd, XReg base, XReg idx, unsigned sh2 = 0);
+    void xt_lurd(XReg rd, XReg base, XReg idx, unsigned sh2 = 0);
+    void xt_srb(XReg src, XReg base, XReg idx, unsigned sh2 = 0);
+    void xt_srh(XReg src, XReg base, XReg idx, unsigned sh2 = 0);
+    void xt_srw(XReg src, XReg base, XReg idx, unsigned sh2 = 0);
+    void xt_srd(XReg src, XReg base, XReg idx, unsigned sh2 = 0);
+    void xt_addsl(XReg rd, XReg rs1, XReg rs2, unsigned sh2);
+    void xt_ext(XReg rd, XReg rs1, unsigned msb, unsigned lsb);
+    void xt_extu(XReg rd, XReg rs1, unsigned msb, unsigned lsb);
+    void xt_ff0(XReg rd, XReg rs1);
+    void xt_ff1(XReg rd, XReg rs1);
+    void xt_rev(XReg rd, XReg rs1);
+    void xt_tstnbz(XReg rd, XReg rs1);
+    void xt_srri(XReg rd, XReg rs1, unsigned sh);
+    void xt_mula(XReg rd, XReg rs1, XReg rs2);
+    void xt_muls(XReg rd, XReg rs1, XReg rs2);
+    void xt_mulah(XReg rd, XReg rs1, XReg rs2);
+    void xt_mulsh(XReg rd, XReg rs1, XReg rs2);
+    void xt_dcache_call();
+    void xt_dcache_ciall();
+    void xt_icache_iall();
+    void xt_sync();
+    void xt_tlb_iall();
+    void xt_tlb_iasid(XReg asid);
+    void xt_tlb_bcast(XReg va);
+
+    // ------------------------------------------------------- pseudos
+    /** Materialize an arbitrary 64-bit constant. */
+    void li(XReg rd, int64_t value);
+    void mv(XReg rd, XReg rs1);
+    void not_(XReg rd, XReg rs1);
+    void neg(XReg rd, XReg rs1);
+    void seqz(XReg rd, XReg rs1);
+    void snez(XReg rd, XReg rs1);
+    void sextw(XReg rd, XReg rs1);
+    /** Load the address of @p target (auipc + addi pair). */
+    void la(XReg rd, const std::string &target);
+
+    // ------------------------------------------------------ assembly
+    /** Resolve labels, relax sizes, and produce the final image. */
+    Program assemble();
+
+    /** Number of items queued so far (instructions + data blobs). */
+    size_t itemCount() const { return items.size(); }
+
+  private:
+    enum class RefKind : uint8_t { None, Branch, Jal, LoadAddr };
+
+    struct Item
+    {
+        enum class Kind : uint8_t { Inst, Label, Data, Align } kind;
+        DecodedInst di;
+        RefKind ref = RefKind::None;
+        std::string target;       // label reference
+        std::vector<uint8_t> blob;
+        unsigned alignTo = 0;
+        std::string name;         // label definition
+        unsigned size = 0;        // bytes, after relaxation
+    };
+
+    void pushInst(const DecodedInst &di);
+    void pushRef(const DecodedInst &di, RefKind ref,
+                 const std::string &target);
+    void data(const void *p, size_t n);
+
+    DecodedInst mkR(Opcode op, XReg rd, XReg rs1, XReg rs2) const;
+    DecodedInst mkI(Opcode op, XReg rd, XReg rs1, int64_t imm) const;
+    DecodedInst mkS(Opcode op, XReg src, XReg base, int64_t imm) const;
+    DecodedInst mkVvv(Opcode op, VReg vd, VReg vs2, VReg vs1) const;
+
+    Addr base;
+    Options opts;
+    std::vector<Item> items;
+};
+
+} // namespace xt910
+
+#endif // XT910_XASM_ASSEMBLER_H

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Type-safe register handles for the macro-assembler. Using distinct
+ * wrapper types for integer, FP and vector registers turns operand
+ * mix-ups into compile errors.
+ */
+
+#ifndef XT910_XASM_REGS_H
+#define XT910_XASM_REGS_H
+
+#include "common/types.h"
+
+namespace xt910
+{
+
+/** An integer (x) register operand. */
+struct XReg
+{
+    RegIndex idx;
+    constexpr bool operator==(const XReg &) const = default;
+};
+
+/** A floating-point (f) register operand. */
+struct FReg
+{
+    RegIndex idx;
+    constexpr bool operator==(const FReg &) const = default;
+};
+
+/** A vector (v) register operand. */
+struct VReg
+{
+    RegIndex idx;
+    constexpr bool operator==(const VReg &) const = default;
+};
+
+/** ABI register names, usable as `reg::a0`, `reg::sp`, `reg::fa0`... */
+namespace reg
+{
+
+constexpr XReg x(unsigned i) { return XReg{RegIndex(i)}; }
+constexpr FReg f(unsigned i) { return FReg{RegIndex(i)}; }
+constexpr VReg v(unsigned i) { return VReg{RegIndex(i)}; }
+
+constexpr XReg zero = x(0), ra = x(1), sp = x(2), gp = x(3), tp = x(4);
+constexpr XReg t0 = x(5), t1 = x(6), t2 = x(7);
+constexpr XReg s0 = x(8), s1 = x(9);
+constexpr XReg a0 = x(10), a1 = x(11), a2 = x(12), a3 = x(13);
+constexpr XReg a4 = x(14), a5 = x(15), a6 = x(16), a7 = x(17);
+constexpr XReg s2 = x(18), s3 = x(19), s4 = x(20), s5 = x(21);
+constexpr XReg s6 = x(22), s7 = x(23), s8 = x(24), s9 = x(25);
+constexpr XReg s10 = x(26), s11 = x(27);
+constexpr XReg t3 = x(28), t4 = x(29), t5 = x(30), t6 = x(31);
+
+constexpr FReg ft0 = f(0), ft1 = f(1), ft2 = f(2), ft3 = f(3);
+constexpr FReg ft4 = f(4), ft5 = f(5), ft6 = f(6), ft7 = f(7);
+constexpr FReg fs0 = f(8), fs1 = f(9);
+constexpr FReg fa0 = f(10), fa1 = f(11), fa2 = f(12), fa3 = f(13);
+constexpr FReg fa4 = f(14), fa5 = f(15), fa6 = f(16), fa7 = f(17);
+constexpr FReg fs2 = f(18), fs3 = f(19), fs4 = f(20), fs5 = f(21);
+
+constexpr VReg v0 = v(0), v1 = v(1), v2 = v(2), v3 = v(3), v4 = v(4);
+constexpr VReg v5 = v(5), v6 = v(6), v7 = v(7), v8 = v(8), v9 = v(9);
+constexpr VReg v10 = v(10), v11 = v(11), v12 = v(12), v13 = v(13);
+constexpr VReg v14 = v(14), v15 = v(15), v16 = v(16), v17 = v(17);
+
+} // namespace reg
+
+} // namespace xt910
+
+#endif // XT910_XASM_REGS_H

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "common/bitutil.h"
+#include "common/random.h"
+
+namespace xt910
+{
+
+TEST(BitUtil, BitsExtract)
+{
+    EXPECT_EQ(bits(0xdeadbeef, 31, 16), 0xdeadu);
+    EXPECT_EQ(bits(0xdeadbeef, 15, 0), 0xbeefu);
+    EXPECT_EQ(bits(0xff, 3, 0), 0xfu);
+    EXPECT_EQ(bits(~0ull, 63, 0), ~0ull);
+    EXPECT_EQ(bit(0x8000000000000000ull, 63), 1u);
+    EXPECT_EQ(bit(0x8000000000000000ull, 62), 0u);
+}
+
+TEST(BitUtil, InsertBits)
+{
+    EXPECT_EQ(insertBits(0, 7, 4, 0xa), 0xa0u);
+    EXPECT_EQ(insertBits(0xffff, 7, 4, 0), 0xff0fu);
+    // Field wider than value is masked.
+    EXPECT_EQ(insertBits(0, 3, 0, 0x1f), 0xfu);
+}
+
+TEST(BitUtil, SignExtend)
+{
+    EXPECT_EQ(sext(0xfff, 12), -1);
+    EXPECT_EQ(sext(0x7ff, 12), 2047);
+    EXPECT_EQ(sext(0x800, 12), -2048);
+    EXPECT_EQ(sext(0, 12), 0);
+    EXPECT_EQ(sext(0xffffffff, 32), -1);
+}
+
+TEST(BitUtil, ZeroExtendAndMask)
+{
+    EXPECT_EQ(zext(0xffffffffffffffffull, 32), 0xffffffffull);
+    EXPECT_EQ(mask(0), 0u);
+    EXPECT_EQ(mask(1), 1u);
+    EXPECT_EQ(mask(64), ~0ull);
+}
+
+TEST(BitUtil, Pow2AndLog2)
+{
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(64));
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_FALSE(isPow2(48));
+    EXPECT_EQ(log2Floor(1), 0u);
+    EXPECT_EQ(log2Floor(64), 6u);
+    EXPECT_EQ(log2Floor(65), 6u);
+    EXPECT_EQ(log2Ceil(64), 6u);
+    EXPECT_EQ(log2Ceil(65), 7u);
+    EXPECT_EQ(log2Ceil(1), 0u);
+}
+
+TEST(BitUtil, PopCountLeadingBits)
+{
+    EXPECT_EQ(popCount(0), 0u);
+    EXPECT_EQ(popCount(0xff), 8u);
+    EXPECT_EQ(popCount(~0ull), 64u);
+    EXPECT_EQ(countLeadingZeros(0), 64u);
+    EXPECT_EQ(countLeadingZeros(1), 63u);
+    EXPECT_EQ(countLeadingZeros(0x8000000000000000ull), 0u);
+    EXPECT_EQ(countLeadingOnes(~0ull), 64u);
+    EXPECT_EQ(countLeadingOnes(0xc000000000000000ull), 2u);
+}
+
+TEST(BitUtil, ByteSwap)
+{
+    EXPECT_EQ(byteSwap64(0x0102030405060708ull), 0x0807060504030201ull);
+    EXPECT_EQ(byteSwap64(byteSwap64(0xdeadbeefcafebabeull)),
+              0xdeadbeefcafebabeull);
+}
+
+TEST(BitUtil, SextInverseOfZextProperty)
+{
+    Xorshift64 rng(1234);
+    for (int i = 0; i < 1000; ++i) {
+        unsigned n = 1 + rng.below(63);
+        uint64_t v = rng.next();
+        int64_t s = sext(v, n);
+        // Re-truncating a sign-extended value is the identity.
+        EXPECT_EQ(zext(uint64_t(s), n), zext(v, n));
+    }
+}
+
+TEST(RandomGen, DeterministicAndBounded)
+{
+    Xorshift64 a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+    Xorshift64 c(7);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(c.below(10), 10u);
+        uint64_t r = c.range(5, 9);
+        EXPECT_GE(r, 5u);
+        EXPECT_LE(r, 9u);
+        double d = c.real();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+} // namespace xt910

@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/stats.h"
+
+namespace xt910
+{
+
+TEST(Stats, CounterBasics)
+{
+    StatGroup g("core0");
+    Counter c(g, "commits", "committed instructions");
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 10;
+    EXPECT_EQ(c.value(), 11u);
+    c.set(5);
+    EXPECT_EQ(c.value(), 5u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, GroupRegistrationAndDump)
+{
+    StatGroup g("lsu");
+    Counter a(g, "loads", "load count");
+    Counter b(g, "stores", "store count");
+    a += 3;
+    b += 4;
+    EXPECT_EQ(g.counters().size(), 2u);
+    EXPECT_EQ(g.find("loads"), &a);
+    EXPECT_EQ(g.find("nothere"), nullptr);
+
+    std::ostringstream os;
+    g.dump(os);
+    std::string s = os.str();
+    EXPECT_NE(s.find("lsu.loads"), std::string::npos);
+    EXPECT_NE(s.find("3"), std::string::npos);
+    EXPECT_NE(s.find("store count"), std::string::npos);
+}
+
+TEST(Stats, ResetAll)
+{
+    StatGroup g("x");
+    Counter a(g, "a", "");
+    Counter b(g, "b", "");
+    a += 7;
+    b += 9;
+    g.resetAll();
+    EXPECT_EQ(a.value(), 0u);
+    EXPECT_EQ(b.value(), 0u);
+}
+
+} // namespace xt910

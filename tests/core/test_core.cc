@@ -1,0 +1,538 @@
+/**
+ * Timing-model tests for the XT-910 core: width limits, dependency
+ * chains, branch prediction penalties, the loop buffer, the dual-issue
+ * LSU with pseudo double store, memory-dependence prediction, and the
+ * in-order comparison-core mode.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+
+namespace xt910
+{
+
+using namespace reg;
+
+namespace
+{
+
+/** Run a single-core system over @p a and return the result. */
+RunResult
+run(Assembler &a, SystemConfig cfg = SystemConfig{})
+{
+    System sys(cfg);
+    sys.loadProgram(a.assemble());
+    return sys.run();
+}
+
+/** Build a kernel repeating @p body n times inside a counted loop. */
+template <typename Fn>
+Assembler
+loopKernel(int iters, Fn &&body)
+{
+    Assembler a;
+    a.li(s0, iters);
+    a.label("loop");
+    body(a);
+    a.addi(s0, s0, -1);
+    a.bnez(s0, "loop");
+    a.ebreak();
+    return a;
+}
+
+} // namespace
+
+TEST(CoreTiming, IndependentAluIpcNearAluWidth)
+{
+    // A hot loop of independent ALU ops: throughput is bounded by the
+    // two single-cycle ALU pipes plus the BJU running in parallel, so
+    // IPC should exceed 2 but stay under the 3-wide decode limit.
+    Assembler a = loopKernel(4000, [](Assembler &k) {
+        k.addi(a0, a0, 1);
+        k.addi(a1, a1, 1);
+        k.addi(a2, a2, 1);
+        k.addi(a3, a3, 1);
+        k.addi(a4, a4, 1);
+        k.addi(a5, a5, 1);
+    });
+    RunResult r = run(a);
+    EXPECT_GT(r.ipc(), 1.8);
+    EXPECT_LE(r.ipc(), 3.2);
+}
+
+TEST(CoreTiming, DependentChainIpcNearOne)
+{
+    // Serial dependency through a0: one ALU op per cycle at best.
+    Assembler a = loopKernel(4000, [](Assembler &k) {
+        k.addi(a0, a0, 1);
+        k.addi(a0, a0, 1);
+        k.addi(a0, a0, 1);
+        k.addi(a0, a0, 1);
+        k.addi(a0, a0, 1);
+        k.addi(a0, a0, 1);
+    });
+    RunResult r = run(a);
+    EXPECT_GT(r.ipc(), 0.8);
+    EXPECT_LT(r.ipc(), 1.5);
+}
+
+TEST(CoreTiming, OooBeatsInOrderOnMixedCode)
+{
+    // Loads + dependent work + independent work: the 192-entry OoO
+    // window should clearly beat the in-order dual-issue model.
+    auto build = [] {
+        Assembler a;
+        a.la(s1, "data");
+        a.li(s0, 2000);
+        a.label("loop");
+        a.ld(t0, s1, 0);
+        a.addi(t1, t0, 1);   // dependent on load
+        a.addi(a0, a0, 1);   // independent work
+        a.addi(a1, a1, 1);
+        a.addi(a2, a2, 1);
+        a.mul(t2, t1, a0);
+        a.addi(s0, s0, -1);
+        a.bnez(s0, "loop");
+        a.ebreak();
+        a.align(8);
+        a.label("data");
+        a.dword(7);
+        return a;
+    };
+    Assembler x = build();
+    RunResult xt = run(x);
+
+    SystemConfig inorder;
+    inorder.core = u74ClassParams();
+    Assembler u = build();
+    RunResult io = run(u, inorder);
+
+    EXPECT_GT(xt.ipc(), io.ipc() * 1.2)
+        << "xt910 " << xt.ipc() << " vs u74-class " << io.ipc();
+}
+
+TEST(CoreTiming, MispredictsCostCycles)
+{
+    // A data-dependent unpredictable branch pattern vs an always-taken
+    // one: the unpredictable version must be slower per instruction.
+    auto build = [](bool predictable) {
+        Assembler a;
+        a.li(s0, 4000);
+        a.li(s1, 0x9E3779B97F4A7C15ull); // lcg-ish state
+        a.label("loop");
+        if (predictable) {
+            a.andi(t0, s0, 0); // always 0
+        } else {
+            // pseudo-random bit from the state
+            a.srli(t0, s1, 13);
+            a.xor_(s1, s1, t0);
+            a.slli(t0, s1, 7);
+            a.xor_(s1, s1, t0);
+            a.andi(t0, s1, 1);
+        }
+        a.beqz(t0, "skip");
+        a.addi(a0, a0, 1);
+        a.label("skip");
+        a.addi(s0, s0, -1);
+        a.bnez(s0, "loop");
+        a.ebreak();
+        return a;
+    };
+    Assembler p = build(true);
+    Assembler u = build(false);
+    RunResult rp = run(p);
+    RunResult ru = run(u);
+    // Compare cycles per loop iteration (instruction counts differ).
+    double cpiP = double(rp.cycles) / 4000.0;
+    double cpiU = double(ru.cycles) / 4000.0;
+    EXPECT_GT(cpiU, cpiP + 1.0);
+}
+
+TEST(CoreTiming, LoopBufferRemovesTakenBubbles)
+{
+    auto build = [] {
+        return loopKernel(5000, [](Assembler &a) {
+            a.addi(a0, a0, 1);
+            a.addi(a1, a1, 1);
+        });
+    };
+    SystemConfig with;
+    Assembler a1v = build();
+    RunResult rWith = run(a1v, with);
+
+    SystemConfig without;
+    without.core.lbuf.enabled = false;
+    Assembler a2v = build();
+    RunResult rWithout = run(a2v, without);
+
+    EXPECT_LE(rWith.cycles, rWithout.cycles);
+}
+
+TEST(CoreTiming, LoadUseLatencyVisible)
+{
+    // Chain of dependent loads (pointer chase in L1): cycles per load
+    // must be >= L1 hit latency.
+    Assembler a;
+    a.la(s1, "cell");
+    a.li(s0, 3000);
+    a.label("loop");
+    a.ld(s1, s1, 0); // points to itself
+    a.addi(s0, s0, -1);
+    a.bnez(s0, "loop");
+    a.ebreak();
+    a.align(8);
+    a.label("cell");
+    Program prog = a.assemble();
+    SystemConfig cfg;
+    System sys(cfg);
+    // The cell must contain its own address (self-pointer chase).
+    Addr cell = prog.symbol("cell");
+    for (int i = 0; i < 8; ++i)
+        prog.image.push_back(uint8_t(cell >> (8 * i)));
+    sys.loadProgram(prog);
+    RunResult r = sys.run();
+    double cyclesPerIter = double(r.cycles) / 3000.0;
+    EXPECT_GE(cyclesPerIter, 3.0); // >= L1 hit latency
+    EXPECT_LE(cyclesPerIter, 8.0);
+}
+
+TEST(CoreTiming, StoreToLoadForwardingFast)
+{
+    // store then immediately load the same address, repeatedly: the
+    // forward path keeps this fast despite the dependence.
+    Assembler a;
+    a.la(s1, "buf");
+    a.li(s0, 3000);
+    a.label("loop");
+    a.sd(a0, s1, 0);
+    a.ld(a1, s1, 0);
+    a.addi(a0, a1, 1);
+    a.addi(s0, s0, -1);
+    a.bnez(s0, "loop");
+    a.ebreak();
+    a.align(8);
+    a.label("buf");
+    a.zero(8);
+    SystemConfig cfg;
+    System sys(cfg);
+    Assembler &ar = a;
+    sys.loadProgram(ar.assemble());
+    RunResult r = sys.run();
+    EXPECT_GT(sys.core().forwardedLoads.value(), 2000u);
+    EXPECT_LT(double(r.cycles) / 3000.0, 12.0);
+}
+
+TEST(CoreTiming, PseudoDualStoreHelpsStoreHeavyCode)
+{
+    // Stores whose data arrives late (divide-fed), to a fresh cache
+    // line each iteration: splitting st.addr/st.data starts the cache
+    // query/write-allocate fill at address generation instead of after
+    // the data, hiding part of the miss (§V.B).
+    auto build = [] {
+        Assembler a;
+        a.la(s1, "buf");
+        a.li(s0, 1500);
+        a.li(s2, 64);
+        a.li(s3, 97);
+        a.li(s4, 1000000);
+        a.label("loop");
+        // Load a disjoint word of the line stored last iteration: its
+        // latency tracks when that line's fill began.
+        a.ld(t1, s1, -56);
+        a.add(t2, t1, s3);  // positive divisor
+        a.div(t0, s4, t2);  // slow store data fed by the load
+        a.sd(t0, s1, 0);    // store to a fresh line
+        a.add(s1, s1, s2);
+        a.addi(s0, s0, -1);
+        a.bnez(s0, "loop");
+        a.ebreak();
+        a.align(64);
+        a.label("buf");
+        a.zero(64);
+        return a;
+    };
+    // Short memory latency so the AG-vs-data head start is a large
+    // fraction of the fill time.
+    SystemConfig split;
+    split.mem.dram.latency = 30;
+    Assembler b1 = build();
+    RunResult rs = run(b1, split);
+
+    SystemConfig merged;
+    merged.mem.dram.latency = 30;
+    merged.core.pseudoDualStore = false;
+    Assembler b2 = build();
+    RunResult rm = run(b2, merged);
+
+    EXPECT_LT(rs.cycles, rm.cycles);
+}
+
+TEST(CoreTiming, DualIssueLsuBeatsSingle)
+{
+    // Alternating loads and stores to disjoint addresses.
+    auto build = [] {
+        Assembler a;
+        a.la(s1, "buf");
+        a.li(s0, 3000);
+        a.label("loop");
+        a.ld(t0, s1, 0);
+        a.sd(a0, s1, 64);
+        a.ld(t1, s1, 128);
+        a.sd(a1, s1, 192);
+        a.addi(s0, s0, -1);
+        a.bnez(s0, "loop");
+        a.ebreak();
+        a.align(8);
+        a.label("buf");
+        a.zero(256);
+        return a;
+    };
+    SystemConfig dual;
+    Assembler b1 = build();
+    RunResult rd = run(b1, dual);
+
+    SystemConfig single;
+    single.core.lsuDualIssue = false;
+    Assembler b2 = build();
+    RunResult rsg = run(b2, single);
+
+    EXPECT_LT(rd.cycles, rsg.cycles);
+}
+
+TEST(CoreTiming, MemDepPredictorLearnsViolations)
+{
+    // A store whose data is slow, followed by a load of that address:
+    // first pass may violate; the predictor should tag the load and
+    // avoid repeated flushes.
+    Assembler a;
+    a.la(s1, "buf");
+    a.li(s0, 2000);
+    a.label("loop");
+    a.mul(t0, s0, s0);  // slow data AND slow address component
+    a.andi(t1, t0, 0);  // t1 = 0, but depends on slow mul
+    a.add(t2, s1, t1);  // store address depends on the mul
+    a.sd(t0, t2, 0);
+    a.ld(a1, s1, 0);    // same address, independent -> can run early
+    a.add(a2, a2, a1);
+    a.addi(s0, s0, -1);
+    a.bnez(s0, "loop");
+    a.ebreak();
+    a.align(8);
+    a.label("buf");
+    a.zero(8);
+    SystemConfig cfg;
+    System sys(cfg);
+    sys.loadProgram(a.assemble());
+    RunResult r = sys.run();
+    (void)r;
+    // Violations happen but are bounded: tagging stops the bleeding.
+    EXPECT_GE(sys.core().orderingViolations.value(), 1u);
+    EXPECT_LT(sys.core().orderingViolations.value(), 100u);
+    EXPECT_GT(sys.core().blockedLoads.value(), 1000u);
+}
+
+TEST(CoreTiming, SerializingCsrDrainsPipeline)
+{
+    Assembler a;
+    a.li(s0, 500);
+    a.label("loop");
+    a.csrr(t0, 0xc00);
+    a.addi(s0, s0, -1);
+    a.bnez(s0, "loop");
+    a.ebreak();
+    SystemConfig cfg;
+    System sys(cfg);
+    sys.loadProgram(a.assemble());
+    RunResult r = sys.run();
+    EXPECT_GE(sys.core().serializations.value(), 500u);
+    // Serialized loops are slow: several cycles per iteration.
+    EXPECT_GT(double(r.cycles) / 500.0, 3.0);
+}
+
+TEST(CoreTiming, DivOccupiesPipe)
+{
+    // Back-to-back independent divides are throughput-limited by the
+    // unpipelined divider.
+    Assembler a;
+    a.li(a1, 97);
+    a.li(a2, 7);
+    for (int i = 0; i < 500; ++i)
+        a.div(a3, a1, a2);
+    a.ebreak();
+    RunResult r = run(a);
+    EXPECT_GT(double(r.cycles) / 500.0, 8.0);
+}
+
+TEST(CoreTiming, VectorWiderVlenFewerCycles)
+{
+    // The same 1024-element int32 vector-add with VLEN 128 vs 256:
+    // wider VLEN halves the instruction count and cycles.
+    auto build = [] {
+        Assembler a;
+        a.la(s0, "va");
+        a.li(s3, 1024);
+        a.label("loop");
+        a.vsetvli(t0, s3, VType{.sew = 32, .lmul = 1});
+        a.vle(v1, s0);
+        a.vadd_vv(v2, v1, v1);
+        a.vse(v2, s0);
+        a.slli(t1, t0, 2);
+        a.add(s0, s0, t1);
+        a.sub(s3, s3, t0);
+        a.bnez(s3, "loop");
+        a.ebreak();
+        a.align(64);
+        a.label("va");
+        a.zero(4096);
+        return a;
+    };
+    SystemConfig narrow;
+    narrow.core.vlenBits = 128;
+    Assembler b1 = build();
+    RunResult rn = run(b1, narrow);
+
+    SystemConfig wide;
+    wide.core.vlenBits = 256;
+    Assembler b2 = build();
+    RunResult rw = run(b2, wide);
+
+    EXPECT_LT(rw.cycles, rn.cycles);
+    EXPECT_LT(rw.insts, rn.insts);
+}
+
+TEST(CoreTiming, InOrderWidthOneSlowerThanTwo)
+{
+    auto build = [] {
+        return loopKernel(3000, [](Assembler &k) {
+            k.addi(a0, a0, 1);
+            k.addi(a1, a1, 1);
+            k.addi(a2, a2, 1);
+            k.addi(a3, a3, 1);
+        });
+    };
+    SystemConfig one;
+    one.core = mcuClassParams();
+    Assembler b1 = build();
+    RunResult r1 = run(b1, one);
+
+    SystemConfig two;
+    two.core = u74ClassParams();
+    Assembler b2 = build();
+    RunResult r2 = run(b2, two);
+
+    EXPECT_GT(r2.ipc(), r1.ipc() * 1.5);
+    EXPECT_LE(r1.ipc(), 1.05);
+}
+
+TEST(CoreTiming, MulticoreSharedCounterRuns)
+{
+    Assembler a;
+    a.la(a0, "counter");
+    a.li(a1, 200);
+    a.li(a2, 1);
+    a.label("loop");
+    a.amoadd_d(zero, a2, a0);
+    a.addi(a1, a1, -1);
+    a.bnez(a1, "loop");
+    a.ebreak();
+    a.align(8);
+    a.label("counter");
+    a.dword(0);
+    SystemConfig cfg;
+    cfg.numCores = 4;
+    System sys(cfg);
+    Program p = a.assemble();
+    sys.loadProgram(p);
+    RunResult r = sys.run();
+    EXPECT_EQ(sys.memory().read(p.symbol("counter"), 8), 800u);
+    EXPECT_EQ(r.coreCycles.size(), 4u);
+    for (unsigned c = 0; c < 4; ++c)
+        EXPECT_GT(r.coreCycles[c], 0u);
+    // Coherence traffic happened on the shared line.
+    EXPECT_GT(sys.memSystem().c2cTransfers.value() +
+                  sys.memSystem().snoopProbes.value(),
+              0u);
+}
+
+TEST(CoreTiming, PagedModeChargesWalks)
+{
+    // Identity-map the program + data with 4K pages and compare against
+    // bare mode: paged must charge PTW walks.
+    Assembler a;
+    a.la(s1, "data");
+    a.li(s0, 64);
+    a.li(t5, 4096);
+    a.label("loop");
+    a.ld(t0, s1, 0);
+    a.add(s1, s1, t5); // touch a fresh page each iteration
+    a.addi(s0, s0, -1);
+    a.bnez(s0, "loop");
+    a.ebreak();
+    a.align(8);
+    a.label("data");
+    a.zero(8);
+    Program p = a.assemble();
+
+    // Tables are bump-allocated at a fixed base, so the root address is
+    // deterministic: the root is the first 4 KiB table.
+    const Addr tableBase = 0xc0000000;
+    SystemConfig cfg;
+    cfg.core.translation = TranslationMode::Paged;
+    cfg.core.pageTableRoot = tableBase;
+    System sys(cfg);
+    PageTableBuilder ptb(sys.memory(), tableBase);
+    Addr root = ptb.createRoot();
+    ASSERT_EQ(root, tableBase);
+    ptb.identityMap(root, p.base, 0x100000, PageSize::Page4K);
+    ptb.identityMap(root, tableBase, 0x100000, PageSize::Page2M);
+    sys.loadProgram(p);
+    RunResult r = sys.run();
+    (void)r;
+    EXPECT_GT(sys.core().ptwWalks.value(), 32u);
+    EXPECT_GT(sys.core().dtlbUnit().misses.value(), 32u);
+}
+
+TEST(CoreTiming, L0BtbReducesBubblesInJumpyCode)
+{
+    // A tight loop whose body is too large for the LBUF but contains a
+    // taken jump every few instructions: L0 BTB should cut bubbles.
+    auto build = [] {
+        Assembler a;
+        a.li(s0, 3000);
+        a.label("loop");
+        a.j("a1l");
+        a.label("a1l");
+        a.addi(a0, a0, 1);
+        a.j("a2l");
+        a.label("a2l");
+        a.addi(a1, a1, 1);
+        a.addi(s0, s0, -1);
+        a.bnez(s0, "loop");
+        a.ebreak();
+        return a;
+    };
+    SystemConfig with;
+    with.core.lbuf.enabled = false;
+    Assembler b1 = build();
+    RunResult rw = run(b1, with);
+    System sWith(with);
+    Assembler b3 = build();
+    sWith.loadProgram(b3.assemble());
+    RunResult rw2 = sWith.run();
+    (void)rw;
+
+    SystemConfig without;
+    without.core.lbuf.enabled = false;
+    without.core.btb.l0Enabled = false;
+    System sWithout(without);
+    Assembler b2 = build();
+    sWithout.loadProgram(b2.assemble());
+    RunResult rwo = sWithout.run();
+
+    EXPECT_LE(rw2.cycles, rwo.cycles);
+    EXPECT_GT(sWith.core().l0Redirects.value(), 0u);
+    EXPECT_EQ(sWithout.core().l0Redirects.value(), 0u);
+}
+
+} // namespace xt910

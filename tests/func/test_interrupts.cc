@@ -1,0 +1,202 @@
+/**
+ * CLINT + machine-interrupt tests (§II: standard CLINT, timers): timer
+ * interrupts into an M-mode handler, software interrupts as IPIs
+ * between harts, and mstatus.MIE semantics across trap entry / mret.
+ */
+
+#include <gtest/gtest.h>
+
+#include "func/clint.h"
+#include "func/csr.h"
+#include "func/iss.h"
+
+namespace xt910
+{
+
+using namespace reg;
+
+TEST(Clint, DeviceRegisterLayout)
+{
+    Clint c(2);
+    Addr base = c.baseAddr();
+    // msip for hart 1.
+    c.write(base + 4, 4, 1);
+    EXPECT_TRUE(c.softwarePending(1));
+    EXPECT_FALSE(c.softwarePending(0));
+    c.write(base + 4, 4, 0);
+    EXPECT_FALSE(c.softwarePending(1));
+    // mtimecmp for hart 0.
+    c.write(base + Clint::mtimecmpOff, 8, 500);
+    EXPECT_FALSE(c.timerPending(0));
+    c.tick(500);
+    EXPECT_TRUE(c.timerPending(0));
+    EXPECT_EQ(c.read(base + Clint::mtimeOff, 8), 500u);
+}
+
+TEST(Interrupts, TimerTrapsToHandler)
+{
+    // Main loop spins incrementing a1; the handler counts into a2,
+    // pushes mtimecmp forward, and mrets. After 3 timer interrupts the
+    // handler exits the program.
+    Assembler a;
+    a.j("_start");
+    a.align(4);
+    a.label("handler");
+    a.addi(a2, a2, 1);
+    // mtimecmp += 200
+    a.li(t0, int64_t(Clint::defaultBase + Clint::mtimecmpOff));
+    a.ld(t1, t0, 0);
+    a.addi(t1, t1, 200);
+    a.sd(t1, t0, 0);
+    a.li(t2, 3);
+    a.blt(a2, t2, "resume");
+    a.ebreak();
+    a.label("resume");
+    a.mret();
+    a.label("_start");
+    // mtvec = handler
+    a.la(t0, "handler");
+    a.csrw(csr::mtvec, t0);
+    // mtimecmp = now + 100
+    a.li(t0, int64_t(Clint::defaultBase + Clint::mtimeOff));
+    a.ld(t1, t0, 0);
+    a.addi(t1, t1, 100);
+    a.li(t0, int64_t(Clint::defaultBase + Clint::mtimecmpOff));
+    a.sd(t1, t0, 0);
+    // mie.MTIE, mstatus.MIE
+    a.li(t0, 1 << 7);
+    a.csrw(csr::mie, t0);
+    a.li(t0, 1 << 3);
+    a.csrw(csr::mstatus, t0);
+    a.label("spin");
+    a.addi(a1, a1, 1);
+    a.j("spin");
+
+    Memory mem;
+    Iss iss(mem);
+    iss.loadProgram(a.assemble());
+    iss.run(100000);
+    ASSERT_TRUE(iss.halted());
+    EXPECT_EQ(iss.hart(0).x[12], 3u);  // three interrupts handled
+    EXPECT_GT(iss.hart(0).x[11], 50u); // the main loop made progress
+}
+
+TEST(Interrupts, DisabledMieBlocksDelivery)
+{
+    Assembler a;
+    a.j("_start");
+    a.align(4);
+    a.label("handler");
+    a.ebreak(); // should never run
+    a.label("_start");
+    a.la(t0, "handler");
+    a.csrw(csr::mtvec, t0);
+    a.li(t0, int64_t(Clint::defaultBase + Clint::mtimecmpOff));
+    a.sd(zero, t0, 0); // timer already pending
+    a.li(t0, 1 << 7);
+    a.csrw(csr::mie, t0);
+    // mstatus.MIE left clear: no delivery.
+    a.li(a1, 1000);
+    a.label("spin");
+    a.addi(a1, a1, -1);
+    a.bnez(a1, "spin");
+    a.li(a0, 42);
+    a.ebreak();
+    Memory mem;
+    Iss iss(mem);
+    iss.loadProgram(a.assemble());
+    iss.run(100000);
+    ASSERT_TRUE(iss.halted());
+    EXPECT_EQ(iss.hart(0).x[10], 42u); // exited via the main path
+}
+
+TEST(Interrupts, SoftwareInterruptAsIpi)
+{
+    // Hart 0 sends an IPI to hart 1 by writing its msip; hart 1 spins
+    // with interrupts enabled and its handler stores a flag and halts.
+    Assembler a;
+    a.j("_start");
+    a.align(4);
+    a.label("handler");
+    // clear own msip: addr = clint + 4*hartid
+    a.csrr(t0, csr::mhartid);
+    a.slli(t0, t0, 2);
+    a.li(t1, int64_t(Clint::defaultBase));
+    a.add(t1, t1, t0);
+    a.sw(zero, t1, 0);
+    a.la(t2, "flag");
+    a.li(t3, 1);
+    a.sd(t3, t2, 0);
+    a.ebreak();
+    a.label("_start");
+    a.csrr(t0, csr::mhartid);
+    a.bnez(t0, "receiver");
+    // hart 0: send IPI to hart 1, then halt.
+    a.li(t1, int64_t(Clint::defaultBase + 4));
+    a.li(t2, 1);
+    a.sw(t2, t1, 0);
+    a.ebreak();
+    a.label("receiver");
+    a.la(t0, "handler");
+    a.csrw(csr::mtvec, t0);
+    a.li(t0, 1 << 3);
+    a.csrw(csr::mie, t0);
+    a.csrw(csr::mstatus, t0);
+    a.label("spin");
+    a.j("spin");
+    a.align(8);
+    a.label("flag");
+    a.dword(0);
+
+    Memory mem;
+    Iss iss(mem, 2);
+    Program p = a.assemble();
+    iss.loadProgram(p);
+    iss.run(100000);
+    EXPECT_TRUE(iss.allHalted());
+    EXPECT_EQ(mem.read(p.symbol("flag"), 8), 1u);
+}
+
+TEST(Interrupts, MretRestoresMie)
+{
+    // Inside the handler MIE is clear (no nesting); after mret the
+    // next pending interrupt is taken again.
+    Assembler a;
+    a.j("_start");
+    a.align(4);
+    a.label("handler");
+    a.addi(a2, a2, 1);
+    a.csrr(t0, csr::mstatus);
+    a.andi(t0, t0, 8);
+    a.add(a3, a3, t0); // accumulates 0 if MIE clear inside handler
+    a.li(t0, int64_t(Clint::defaultBase + Clint::mtimecmpOff));
+    a.ld(t1, t0, 0);
+    a.addi(t1, t1, 150);
+    a.sd(t1, t0, 0);
+    a.li(t2, 2);
+    a.blt(a2, t2, "resume");
+    a.ebreak();
+    a.label("resume");
+    a.mret();
+    a.label("_start");
+    a.la(t0, "handler");
+    a.csrw(csr::mtvec, t0);
+    a.li(t0, int64_t(Clint::defaultBase + Clint::mtimecmpOff));
+    a.li(t1, 50);
+    a.sd(t1, t0, 0);
+    a.li(t0, 1 << 7);
+    a.csrw(csr::mie, t0);
+    a.li(t0, 1 << 3);
+    a.csrw(csr::mstatus, t0);
+    a.label("spin");
+    a.j("spin");
+    Memory mem;
+    Iss iss(mem);
+    iss.loadProgram(a.assemble());
+    iss.run(100000);
+    ASSERT_TRUE(iss.halted());
+    EXPECT_EQ(iss.hart(0).x[12], 2u); // re-delivered after mret
+    EXPECT_EQ(iss.hart(0).x[13], 0u); // MIE clear inside handler
+}
+
+} // namespace xt910

@@ -1,0 +1,402 @@
+/**
+ * Functional-simulator tests: whole small programs assembled with the
+ * macro-assembler and executed to completion, checking architectural
+ * results.
+ */
+
+#include <gtest/gtest.h>
+
+#include "func/csr.h"
+#include "func/iss.h"
+
+namespace xt910
+{
+
+using namespace reg;
+
+namespace
+{
+
+/** Assemble, run to halt, and return the final state of hart 0. */
+struct RunResult
+{
+    Memory mem;
+    uint64_t insts;
+    std::array<uint64_t, 32> x;
+    std::array<uint64_t, 32> f;
+    int exitCode;
+    std::string console;
+};
+
+RunResult
+runProgram(Assembler &a, unsigned vlen = 128)
+{
+    Program p = a.assemble();
+    RunResult r;
+    IssOptions opts;
+    opts.vlenBits = vlen;
+    Iss iss(r.mem, 1, opts);
+    iss.loadProgram(p);
+    r.insts = iss.run(10'000'000);
+    EXPECT_TRUE(iss.halted()) << "program did not halt";
+    r.x = iss.hart(0).x;
+    r.f = iss.hart(0).f;
+    r.exitCode = iss.exitCode();
+    r.console = iss.console();
+    return r;
+}
+
+} // namespace
+
+TEST(Iss, ArithmeticBasics)
+{
+    Assembler a;
+    a.li(a0, 5);
+    a.li(a1, 7);
+    a.add(a2, a0, a1);
+    a.sub(a3, a0, a1);
+    a.mul(a4, a0, a1);
+    a.slli(a5, a0, 4);
+    a.ebreak();
+    auto r = runProgram(a);
+    EXPECT_EQ(r.x[12], 12u);
+    EXPECT_EQ(int64_t(r.x[13]), -2);
+    EXPECT_EQ(r.x[14], 35u);
+    EXPECT_EQ(r.x[15], 80u);
+}
+
+TEST(Iss, LoopSum)
+{
+    // sum 1..100 == 5050
+    Assembler a;
+    a.li(a0, 0);
+    a.li(a1, 1);
+    a.li(a2, 100);
+    a.label("loop");
+    a.add(a0, a0, a1);
+    a.addi(a1, a1, 1);
+    a.bge(a2, a1, "loop");
+    a.ebreak();
+    auto r = runProgram(a);
+    EXPECT_EQ(r.x[10], 5050u);
+}
+
+TEST(Iss, MemoryLoadsStores)
+{
+    Assembler a;
+    a.la(a0, "buf");
+    a.li(a1, -2);
+    a.sw(a1, a0, 0);
+    a.lw(a2, a0, 0);   // sign-extended
+    a.lwu(a3, a0, 0);  // zero-extended
+    a.lb(a4, a0, 0);
+    a.lbu(a5, a0, 0);
+    a.li(t0, 0x1234);
+    a.sh(t0, a0, 8);
+    a.lhu(t1, a0, 8);
+    a.ebreak();
+    a.align(8);
+    a.label("buf");
+    a.zero(16);
+    auto r = runProgram(a);
+    EXPECT_EQ(int64_t(r.x[12]), -2);
+    EXPECT_EQ(r.x[13], 0xfffffffeu);
+    EXPECT_EQ(int64_t(r.x[14]), -2);
+    EXPECT_EQ(r.x[15], 0xfeu);
+    EXPECT_EQ(r.x[6], 0x1234u);
+}
+
+TEST(Iss, DivisionEdgeCases)
+{
+    Assembler a;
+    a.li(a0, 7);
+    a.li(a1, 0);
+    a.div(a2, a0, a1);  // div by zero -> -1
+    a.rem(a3, a0, a1);  // rem by zero -> dividend
+    a.li(a4, INT64_MIN);
+    a.li(a5, -1);
+    a.div(a6, a4, a5);  // overflow -> dividend
+    a.rem(a7, a4, a5);  // overflow -> 0
+    a.ebreak();
+    auto r = runProgram(a);
+    EXPECT_EQ(int64_t(r.x[12]), -1);
+    EXPECT_EQ(int64_t(r.x[13]), 7);
+    EXPECT_EQ(int64_t(r.x[16]), INT64_MIN);
+    EXPECT_EQ(int64_t(r.x[17]), 0);
+}
+
+TEST(Iss, MulhVariants)
+{
+    Assembler a;
+    a.li(a0, -1);
+    a.li(a1, -1);
+    a.mulh(a2, a0, a1);   // (-1 * -1) >> 64 == 0
+    a.mulhu(a3, a0, a1);  // huge
+    a.li(a4, 1ll << 40);
+    a.li(a5, 1ll << 40);
+    a.mulh(a6, a4, a5);   // 2^80 >> 64 == 2^16
+    a.ebreak();
+    auto r = runProgram(a);
+    EXPECT_EQ(r.x[12], 0u);
+    EXPECT_EQ(r.x[13], ~0ull - 1);
+    EXPECT_EQ(r.x[16], 1ull << 16);
+}
+
+TEST(Iss, CallReturnStack)
+{
+    // double(x): x*2 via a function call.
+    Assembler a;
+    a.li(a0, 21);
+    a.call("dbl");
+    a.ebreak();
+    a.label("dbl");
+    a.add(a0, a0, a0);
+    a.ret();
+    auto r = runProgram(a);
+    EXPECT_EQ(r.x[10], 42u);
+}
+
+TEST(Iss, ExitSyscallAndConsole)
+{
+    Assembler a;
+    // print 'h','i' then exit(3)
+    a.li(a7, 64);
+    a.li(a0, 'h');
+    a.ecall();
+    a.li(a0, 'i');
+    a.ecall();
+    a.li(a7, 93);
+    a.li(a0, 3);
+    a.ecall();
+    auto r = runProgram(a);
+    EXPECT_EQ(r.console, "hi");
+    EXPECT_EQ(r.exitCode, 3);
+}
+
+TEST(Iss, CsrInstretAndHartid)
+{
+    Assembler a;
+    a.nop();
+    a.nop();
+    a.csrr(a0, csr::instret);
+    a.csrr(a1, csr::mhartid);
+    a.ebreak();
+    auto r = runProgram(a);
+    EXPECT_EQ(r.x[10], 2u); // two nops retired before the csrr
+    EXPECT_EQ(r.x[11], 0u);
+}
+
+TEST(Iss, FloatingPointDouble)
+{
+    Assembler a;
+    a.la(a0, "vals");
+    a.fld(fa0, a0, 0);
+    a.fld(fa1, a0, 8);
+    a.fadd_d(fa2, fa0, fa1);
+    a.fmul_d(fa3, fa0, fa1);
+    a.fdiv_d(fa4, fa1, fa0);
+    a.fmadd_d(fa5, fa0, fa1, fa2);
+    a.fcvt_l_d(a1, fa3);
+    a.flt_d(a2, fa0, fa1);
+    a.ebreak();
+    a.align(8);
+    a.label("vals");
+    a.dword(std::bit_cast<uint64_t>(2.5));
+    a.dword(std::bit_cast<uint64_t>(4.0));
+    auto r = runProgram(a);
+    EXPECT_DOUBLE_EQ(std::bit_cast<double>(r.f[12]), 6.5);
+    EXPECT_DOUBLE_EQ(std::bit_cast<double>(r.f[13]), 10.0);
+    EXPECT_DOUBLE_EQ(std::bit_cast<double>(r.f[14]), 1.6);
+    EXPECT_DOUBLE_EQ(std::bit_cast<double>(r.f[15]), 16.5);
+    EXPECT_EQ(r.x[11], 10u);
+    EXPECT_EQ(r.x[12], 1u);
+}
+
+TEST(Iss, FloatingPointSingleAndConvert)
+{
+    Assembler a;
+    a.li(a0, 9);
+    a.fcvt_d_l(fa0, a0);
+    a.fsqrt_d(fa1, fa0);
+    a.fcvt_l_d(a1, fa1);
+    a.fcvt_s_d(fa2, fa0);
+    a.fadd_s(fa3, fa2, fa2);
+    a.fcvt_d_s(fa4, fa3);
+    a.fcvt_l_d(a2, fa4);
+    a.ebreak();
+    auto r = runProgram(a);
+    EXPECT_EQ(r.x[11], 3u);
+    EXPECT_EQ(r.x[12], 18u);
+}
+
+TEST(Iss, AmoAndLrSc)
+{
+    Assembler a;
+    a.la(a0, "cell");
+    a.li(a1, 10);
+    a.amoadd_d(a2, a1, a0);  // old = 5, mem = 15
+    a.ld(a3, a0, 0);
+    a.lr_d(a4, a0);
+    a.li(a5, 99);
+    a.sc_d(a6, a5, a0);      // succeeds -> 0
+    a.ld(a7, a0, 0);
+    a.sc_d(t0, a5, a0);      // no reservation -> 1
+    a.ebreak();
+    a.align(8);
+    a.label("cell");
+    a.dword(5);
+    auto r = runProgram(a);
+    EXPECT_EQ(r.x[12], 5u);
+    EXPECT_EQ(r.x[13], 15u);
+    EXPECT_EQ(r.x[14], 15u);
+    EXPECT_EQ(r.x[16], 0u);
+    EXPECT_EQ(r.x[17], 99u);
+    EXPECT_EQ(r.x[5], 1u);
+}
+
+TEST(Iss, MultiHartAmoCounter)
+{
+    // Four harts each add 1000 to a shared counter with amoadd.
+    Assembler a;
+    a.la(a0, "counter");
+    a.li(a1, 1000);
+    a.li(a2, 1);
+    a.label("loop");
+    a.amoadd_d(zero, a2, a0);
+    a.addi(a1, a1, -1);
+    a.bnez(a1, "loop");
+    a.ebreak();
+    a.align(8);
+    a.label("counter");
+    a.dword(0);
+    Program p = a.assemble();
+
+    Memory mem;
+    Iss iss(mem, 4);
+    iss.loadProgram(p);
+    iss.run(100'000'000);
+    EXPECT_TRUE(iss.allHalted());
+    EXPECT_EQ(mem.read(p.symbol("counter"), 8), 4000u);
+}
+
+TEST(Iss, MultiHartSpinlock)
+{
+    // Two harts increment a non-atomic counter under an LR/SC lock.
+    Assembler a;
+    a.la(t0, "lock");
+    a.la(t1, "counter");
+    a.li(s1, 500);
+    a.label("again");
+    // acquire
+    a.label("acq");
+    a.lr_d(t2, t0);
+    a.bnez(t2, "acq");
+    a.li(t3, 1);
+    a.sc_d(t4, t3, t0);
+    a.bnez(t4, "acq");
+    // critical section
+    a.ld(t5, t1, 0);
+    a.addi(t5, t5, 1);
+    a.sd(t5, t1, 0);
+    // release
+    a.sd(zero, t0, 0);
+    a.addi(s1, s1, -1);
+    a.bnez(s1, "again");
+    a.ebreak();
+    a.align(8);
+    a.label("lock");
+    a.dword(0);
+    a.label("counter");
+    a.dword(0);
+    Program p = a.assemble();
+
+    Memory mem;
+    Iss iss(mem, 2);
+    iss.loadProgram(p);
+    iss.run(100'000'000);
+    EXPECT_TRUE(iss.allHalted());
+    EXPECT_EQ(mem.read(p.symbol("counter"), 8), 1000u);
+}
+
+TEST(Iss, CompressedAndFullCodeAgree)
+{
+    auto runWith = [&](bool compress) {
+        Assembler a(defaultCodeBase, {.compress = compress});
+        a.li(a0, 0);
+        a.li(a1, 37);
+        a.label("l");
+        a.addi(a0, a0, 3);
+        a.addi(a1, a1, -1);
+        a.bnez(a1, "l");
+        a.ebreak();
+        return runProgram(a).x[10];
+    };
+    EXPECT_EQ(runWith(true), runWith(false));
+    EXPECT_EQ(runWith(true), 111u);
+}
+
+TEST(Iss, ExecRecordCarriesBranchOutcome)
+{
+    Assembler a;
+    a.li(a0, 1);
+    a.beqz(a0, "skip"); // not taken
+    a.li(a1, 5);
+    a.label("skip");
+    a.j("end");         // taken
+    a.nop();
+    a.label("end");
+    a.ebreak();
+    Program p = a.assemble();
+    Memory mem;
+    Iss iss(mem);
+    iss.loadProgram(p);
+    std::vector<ExecRecord> recs;
+    while (!iss.halted())
+        recs.push_back(iss.step());
+    bool sawNotTaken = false, sawTaken = false;
+    for (auto &r : recs) {
+        if (r.di.isBranch() && !r.taken)
+            sawNotTaken = true;
+        if (r.di.op == Opcode::JAL) {
+            EXPECT_TRUE(r.taken);
+            EXPECT_EQ(r.nextPc, p.symbol("end"));
+            sawTaken = true;
+        }
+    }
+    EXPECT_TRUE(sawNotTaken);
+    EXPECT_TRUE(sawTaken);
+}
+
+TEST(Iss, ExecRecordCarriesMemAddr)
+{
+    Assembler a;
+    a.la(a0, "buf");
+    a.li(a1, 0x42);
+    a.sd(a1, a0, 8);
+    a.ld(a2, a0, 8);
+    a.ebreak();
+    a.align(8);
+    a.label("buf");
+    a.zero(16);
+    Program p = a.assemble();
+    Memory mem;
+    Iss iss(mem);
+    iss.loadProgram(p);
+    Addr buf = p.symbol("buf");
+    bool sawStore = false, sawLoad = false;
+    while (!iss.halted()) {
+        ExecRecord r = iss.step();
+        if (r.di.op == Opcode::SD) {
+            EXPECT_EQ(r.memAddr, buf + 8);
+            EXPECT_EQ(r.memSize, 8u);
+            sawStore = true;
+        }
+        if (r.di.op == Opcode::LD) {
+            EXPECT_EQ(r.memAddr, buf + 8);
+            sawLoad = true;
+        }
+    }
+    EXPECT_TRUE(sawStore && sawLoad);
+}
+
+} // namespace xt910

@@ -1,0 +1,189 @@
+/**
+ * XT-910 custom ("xthead") extension functional tests covering §VIII:
+ * indexed memory accesses, unsigned address generation, bit
+ * manipulation and MAC instructions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "func/iss.h"
+
+namespace xt910
+{
+
+using namespace reg;
+
+namespace
+{
+
+struct R
+{
+    Memory mem;
+    std::unique_ptr<Iss> iss;
+    Program prog;
+};
+
+R
+run(Assembler &a, bool enableCustom = true)
+{
+    R r;
+    r.prog = a.assemble();
+    IssOptions opts;
+    opts.enableCustom = enableCustom;
+    r.iss = std::make_unique<Iss>(r.mem, 1, opts);
+    r.iss->loadProgram(r.prog);
+    r.iss->run(1'000'000);
+    return r;
+}
+
+} // namespace
+
+TEST(IssCustom, IndexedLoadStore)
+{
+    Assembler a;
+    a.la(s0, "arr");
+    a.li(s1, 3);                 // index
+    a.xt_lrw(a0, s0, s1, 2);     // a0 = arr[3] (shift 2 = int32 index)
+    a.li(a1, 999);
+    a.xt_srw(a1, s0, s1, 2);     // arr[3] = 999
+    a.xt_lrw(a2, s0, s1, 2);
+    a.ebreak();
+    a.align(4);
+    a.label("arr");
+    for (int i = 0; i < 8; ++i)
+        a.word(uint32_t(10 * i));
+    auto r = run(a);
+    EXPECT_EQ(r.iss->hart(0).x[10], 30u);
+    EXPECT_EQ(r.iss->hart(0).x[12], 999u);
+}
+
+TEST(IssCustom, UnsignedIndexExtension)
+{
+    // A 32-bit index with the sign bit set: xt.lurd must zero-extend
+    // it rather than sign-extend (the §VIII.A motivation).
+    Assembler a;
+    a.la(s0, "cell");
+    // Place a sign-bit-set value in the low 32 bits of the index reg.
+    a.li(s1, int64_t(0xffffffff80000000ull) | 8); // garbage upper bits
+    a.li(t1, int64_t(0x80000000ull) + 8);
+    a.sub(t2, s0, t1);      // base = cell - zext32(index)
+    a.xt_lurd(a0, t2, s1);  // should address exactly "cell"
+    a.ebreak();
+    a.align(8);
+    a.label("cell");
+    a.dword(0x5a5a5a5a5a5a5a5aull);
+    auto r = run(a);
+    EXPECT_EQ(r.iss->hart(0).x[10], 0x5a5a5a5a5a5a5a5aull);
+}
+
+TEST(IssCustom, AddSl)
+{
+    Assembler a;
+    a.li(a0, 100);
+    a.li(a1, 5);
+    a.xt_addsl(a2, a0, a1, 3); // 100 + (5<<3) = 140
+    a.ebreak();
+    auto r = run(a);
+    EXPECT_EQ(r.iss->hart(0).x[12], 140u);
+}
+
+TEST(IssCustom, BitFieldExtract)
+{
+    Assembler a;
+    a.li(a0, int64_t(0xdeadbeefcafebabeull));
+    a.xt_extu(a1, a0, 15, 8);   // 0xba
+    a.xt_ext(a2, a0, 15, 8);    // sext(0xba, 8) = -70
+    a.xt_extu(a3, a0, 63, 32);  // 0xdeadbeef
+    a.ebreak();
+    auto r = run(a);
+    EXPECT_EQ(r.iss->hart(0).x[11], 0xbau);
+    EXPECT_EQ(int64_t(r.iss->hart(0).x[12]), int64_t(int8_t(0xba)));
+    EXPECT_EQ(r.iss->hart(0).x[13], 0xdeadbeefu);
+}
+
+TEST(IssCustom, FindFirstAndReverse)
+{
+    Assembler a;
+    a.li(a0, 1);
+    a.xt_ff1(a1, a0);          // 63 leading zeros
+    a.li(a2, -1);
+    a.xt_ff0(a3, a2);          // 64 leading ones
+    a.li(a4, 0x0102030405060708ll);
+    a.xt_rev(a5, a4);
+    a.li(t0, 0x00ff120000340000ll);
+    a.xt_tstnbz(t1, t0);
+    a.ebreak();
+    auto r = run(a);
+    EXPECT_EQ(r.iss->hart(0).x[11], 63u);
+    EXPECT_EQ(r.iss->hart(0).x[13], 64u);
+    EXPECT_EQ(r.iss->hart(0).x[15], 0x0807060504030201ull);
+    // Zero bytes of t0 are {0,1,3,4,7} -> 0xff in those result bytes.
+    EXPECT_EQ(r.iss->hart(0).x[6], 0xff0000ffff00ffffull);
+}
+
+TEST(IssCustom, RotateRight)
+{
+    Assembler a;
+    a.li(a0, 0x8000000000000001ull);
+    a.xt_srri(a1, a0, 1);
+    a.xt_srri(a2, a0, 0);
+    a.ebreak();
+    auto r = run(a);
+    EXPECT_EQ(r.iss->hart(0).x[11], 0xc000000000000000ull);
+    EXPECT_EQ(r.iss->hart(0).x[12], 0x8000000000000001ull);
+}
+
+TEST(IssCustom, MacInstructions)
+{
+    Assembler a;
+    a.li(a0, 100);  // accumulator
+    a.li(a1, 6);
+    a.li(a2, 7);
+    a.xt_mula(a0, a1, a2);  // 100 + 42 = 142
+    a.xt_muls(a0, a1, a2);  // back to 100
+    a.li(a3, 50);
+    a.li(a4, 0xffff0005ll);  // low 16 bits = 5
+    a.li(a5, 3);
+    a.xt_mulah(a3, a4, a5);  // 50 + 5*3 = 65
+    a.xt_mulsh(a3, a4, a5);  // back to 50
+    a.xt_mulah(a3, a4, a5);
+    a.ebreak();
+    auto r = run(a);
+    EXPECT_EQ(r.iss->hart(0).x[10], 100u);
+    EXPECT_EQ(r.iss->hart(0).x[13], 65u);
+}
+
+TEST(IssCustom, CacheOpsAreArchitecturallyInert)
+{
+    Assembler a;
+    a.li(a0, 7);
+    a.xt_dcache_call();
+    a.xt_dcache_ciall();
+    a.xt_icache_iall();
+    a.xt_sync();
+    a.xt_tlb_iall();
+    a.xt_tlb_iasid(a0);
+    a.xt_tlb_bcast(a0);
+    a.addi(a0, a0, 1);
+    a.ebreak();
+    auto r = run(a);
+    EXPECT_EQ(r.iss->hart(0).x[10], 8u);
+}
+
+TEST(IssCustom, DisabledCustomModeRejects)
+{
+    // §II: through hardware configuration the non-standard extensions
+    // can be disabled for a fully standard-compatible mode.
+    Assembler a;
+    a.xt_rev(a0, a0);
+    a.ebreak();
+    Program p = a.assemble();
+    Memory mem;
+    IssOptions opts;
+    opts.enableCustom = false;
+    Iss iss(mem, 1, opts);
+    iss.loadProgram(p);
+    EXPECT_THROW(iss.run(10), std::runtime_error);
+}
+
+} // namespace xt910

@@ -1,0 +1,317 @@
+/**
+ * Vector-extension functional tests: configuration, loads/stores,
+ * arithmetic, widening MAC (the paper's AI showcase, §VII/§X),
+ * reductions, masking and half-precision.
+ */
+
+#include <gtest/gtest.h>
+
+#include "func/fp16.h"
+#include "func/iss.h"
+
+namespace xt910
+{
+
+using namespace reg;
+
+namespace
+{
+
+struct VecRun
+{
+    Memory mem;
+    std::unique_ptr<Iss> iss;
+    Program prog;
+};
+
+VecRun
+run(Assembler &a, unsigned vlen = 128)
+{
+    VecRun r;
+    r.prog = a.assemble();
+    IssOptions opts;
+    opts.vlenBits = vlen;
+    r.iss = std::make_unique<Iss>(r.mem, 1, opts);
+    r.iss->loadProgram(r.prog);
+    r.iss->run(10'000'000);
+    EXPECT_TRUE(r.iss->halted());
+    return r;
+}
+
+} // namespace
+
+TEST(IssVector, VsetvliClampsToVlmax)
+{
+    Assembler a;
+    a.li(a0, 1000);
+    a.vsetvli(t0, a0, VType{.sew = 32, .lmul = 1}); // VLMAX = 128/32 = 4
+    a.li(a1, 2);
+    a.vsetvli(t1, a1, VType{.sew = 32, .lmul = 1}); // below max -> 2
+    a.vsetvli(t2, zero, VType{.sew = 8, .lmul = 1}); // x0 -> VLMAX = 16
+    a.ebreak();
+    auto r = run(a);
+    EXPECT_EQ(r.iss->hart(0).x[5], 4u);
+    EXPECT_EQ(r.iss->hart(0).x[6], 2u);
+    EXPECT_EQ(r.iss->hart(0).x[7], 16u);
+}
+
+TEST(IssVector, VectorAddLoop)
+{
+    // c[i] = a[i] + b[i] for 10 int32 elements, stripmined.
+    Assembler a;
+    a.la(s0, "va");
+    a.la(s1, "vb");
+    a.la(s2, "vc");
+    a.li(s3, 10); // remaining
+    a.label("loop");
+    a.vsetvli(t0, s3, VType{.sew = 32, .lmul = 1});
+    a.vle(v1, s0);
+    a.vle(v2, s1);
+    a.vadd_vv(v3, v1, v2);
+    a.vse(v3, s2);
+    a.slli(t1, t0, 2);
+    a.add(s0, s0, t1);
+    a.add(s1, s1, t1);
+    a.add(s2, s2, t1);
+    a.sub(s3, s3, t0);
+    a.bnez(s3, "loop");
+    a.ebreak();
+    a.align(4);
+    a.label("va");
+    for (int i = 0; i < 10; ++i)
+        a.word(uint32_t(i));
+    a.label("vb");
+    for (int i = 0; i < 10; ++i)
+        a.word(uint32_t(100 * i));
+    a.label("vc");
+    a.zero(40);
+    auto r = run(a);
+    Addr vc = r.prog.symbol("vc");
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(r.mem.read(vc + 4 * i, 4), uint64_t(101 * i)) << i;
+}
+
+TEST(IssVector, WideningMac16Bit)
+{
+    // 16-bit MAC into 32-bit accumulators: the paper's headline AI
+    // kernel shape (16x 16-bit MACs per cycle on XT-910).
+    Assembler a;
+    a.la(s0, "x");
+    a.la(s1, "w");
+    a.li(t0, 8);
+    a.vsetvli(t0, t0, VType{.sew = 16, .lmul = 1});
+    a.vle(v1, s0);
+    a.vle(v2, s1);
+    // acc (v4, sew=32) += x * w
+    a.vmv_v_i(v4, 0);
+    a.vmv_v_i(v5, 0);
+    a.vwmacc_vv(v4, v1, v2);
+    a.vwmacc_vv(v4, v1, v2); // accumulate twice
+    a.ebreak();
+    a.align(2);
+    a.label("x");
+    for (int i = 1; i <= 8; ++i)
+        a.half(uint16_t(i));
+    a.label("w");
+    for (int i = 1; i <= 8; ++i)
+        a.half(uint16_t(3));
+    auto r = run(a);
+    // v4/v5 hold 8 x int32 accumulators = 2 * 3*i
+    const auto &v4 = r.iss->hart(0).v[4];
+    for (int i = 0; i < 4; ++i) {
+        int32_t acc;
+        std::memcpy(&acc, v4.data() + 4 * i, 4);
+        EXPECT_EQ(acc, 2 * 3 * (i + 1));
+    }
+    const auto &v5 = r.iss->hart(0).v[5];
+    for (int i = 0; i < 4; ++i) {
+        int32_t acc;
+        std::memcpy(&acc, v5.data() + 4 * i, 4);
+        EXPECT_EQ(acc, 2 * 3 * (i + 5));
+    }
+}
+
+TEST(IssVector, ReductionSum)
+{
+    Assembler a;
+    a.la(s0, "vals");
+    a.li(t0, 4);
+    a.vsetvli(t0, t0, VType{.sew = 64, .lmul = 2}); // group of 2 regs
+    a.vle(v2, s0);
+    a.vmv_v_i(v6, 0);
+    a.vredsum_vs(v8, v2, v6);
+    a.vmv_x_s(a0, v8);
+    a.ebreak();
+    a.align(8);
+    a.label("vals");
+    a.dword(10);
+    a.dword(20);
+    a.dword(30);
+    a.dword(40);
+    auto r = run(a);
+    EXPECT_EQ(r.iss->hart(0).x[10], 100u);
+}
+
+TEST(IssVector, StridedLoadStore)
+{
+    // Gather every other int32 from a buffer, double it, scatter back.
+    Assembler a;
+    a.la(s0, "buf");
+    a.li(t0, 4);
+    a.vsetvli(t0, t0, VType{.sew = 32, .lmul = 1});
+    a.li(t1, 8); // byte stride: every other element
+    a.vlse(v1, s0, t1);
+    a.vadd_vv(v2, v1, v1);
+    a.vsse(v2, s0, t1);
+    a.ebreak();
+    a.align(4);
+    a.label("buf");
+    for (int i = 0; i < 8; ++i)
+        a.word(uint32_t(i + 1));
+    auto r = run(a);
+    Addr buf = r.prog.symbol("buf");
+    for (int i = 0; i < 8; ++i) {
+        uint64_t expect = (i % 2 == 0) ? 2 * (i + 1) : i + 1;
+        EXPECT_EQ(r.mem.read(buf + 4 * i, 4), expect) << i;
+    }
+}
+
+TEST(IssVector, IndexedGather)
+{
+    Assembler a;
+    a.la(s0, "table");
+    a.la(s1, "idx");
+    a.li(t0, 4);
+    a.vsetvli(t0, t0, VType{.sew = 32, .lmul = 1});
+    a.vle(v1, s1);           // byte offsets
+    a.vlxe(v2, s0, v1);      // gather table[idx]
+    a.vse(v2, s1);           // overwrite idx with gathered values
+    a.ebreak();
+    a.align(4);
+    a.label("table");
+    for (int i = 0; i < 8; ++i)
+        a.word(uint32_t(100 + i));
+    a.label("idx");
+    a.word(4 * 3);
+    a.word(4 * 0);
+    a.word(4 * 7);
+    a.word(4 * 1);
+    auto r = run(a);
+    Addr idx = r.prog.symbol("idx");
+    EXPECT_EQ(r.mem.read(idx + 0, 4), 103u);
+    EXPECT_EQ(r.mem.read(idx + 4, 4), 100u);
+    EXPECT_EQ(r.mem.read(idx + 8, 4), 107u);
+    EXPECT_EQ(r.mem.read(idx + 12, 4), 101u);
+}
+
+TEST(IssVector, MaskedAdd)
+{
+    Assembler a;
+    a.li(t0, 4);
+    a.vsetvli(t0, t0, VType{.sew = 32, .lmul = 1});
+    a.vmv_v_i(v1, 5);
+    a.vmv_v_i(v2, 3);
+    // v0 mask = 0b0101 -> elements 0 and 2 active.
+    a.li(t1, 0b0101);
+    a.vmv_s_x(v0, t1);
+    a.vmv_v_i(v3, 0);
+    {
+        // masked vadd: only elements 0 and 2 are written.
+        DecodedInst di;
+        di.op = Opcode::VADD_VV;
+        di.rd = 3;
+        di.rs1 = 1;
+        di.rs2 = 2;
+        di.rdClass = di.rs1Class = di.rs2Class = RegClass::Vec;
+        di.vm = false;
+        a.emit(di);
+    }
+    a.ebreak();
+    auto r = run(a);
+    const auto &v3 = r.iss->hart(0).v[3];
+    int32_t e[4];
+    std::memcpy(e, v3.data(), 16);
+    EXPECT_EQ(e[0], 8);
+    EXPECT_EQ(e[1], 0);
+    EXPECT_EQ(e[2], 8);
+    EXPECT_EQ(e[3], 0);
+}
+
+TEST(IssVector, FpDoubleVectorMac)
+{
+    Assembler a;
+    a.la(s0, "x");
+    a.li(t0, 2);
+    a.vsetvli(t0, t0, VType{.sew = 64, .lmul = 1});
+    a.vle(v1, s0);
+    a.vmv_v_i(v2, 0);
+    a.li(t1, 3);
+    a.fcvt_d_l(fa0, t1);
+    a.vfmv_v_f(v3, fa0);       // splat 3.0
+    a.vfmacc_vv(v2, v1, v3);   // v2 += v1 * 3.0
+    a.vfredsum_vs(v4, v2, v2); // careless acc: v4[0] = v2[0] + sum(v2)
+    a.ebreak();
+    a.align(8);
+    a.label("x");
+    a.dword(std::bit_cast<uint64_t>(1.5));
+    a.dword(std::bit_cast<uint64_t>(2.5));
+    auto r = run(a);
+    const auto &v2 = r.iss->hart(0).v[2];
+    double d0, d1;
+    std::memcpy(&d0, v2.data(), 8);
+    std::memcpy(&d1, v2.data() + 8, 8);
+    EXPECT_DOUBLE_EQ(d0, 4.5);
+    EXPECT_DOUBLE_EQ(d1, 7.5);
+}
+
+TEST(IssVector, HalfPrecisionAdd)
+{
+    Assembler a;
+    a.la(s0, "h");
+    a.li(t0, 8);
+    a.vsetvli(t0, t0, VType{.sew = 16, .lmul = 1});
+    a.vle(v1, s0);
+    a.vfadd_vv(v2, v1, v1); // double every element
+    a.vse(v2, s0);
+    a.ebreak();
+    a.align(2);
+    a.label("h");
+    for (int i = 0; i < 8; ++i)
+        a.half(floatToFp16(0.5f * float(i + 1)));
+    auto r = run(a);
+    Addr h = r.prog.symbol("h");
+    for (int i = 0; i < 8; ++i) {
+        float v = fp16ToFloat(uint16_t(r.mem.read(h + 2 * i, 2)));
+        EXPECT_FLOAT_EQ(v, float(i + 1)) << i;
+    }
+}
+
+TEST(IssVector, Vlen256DoublesVlmax)
+{
+    Assembler a;
+    a.vsetvli(t0, zero, VType{.sew = 32, .lmul = 1});
+    a.ebreak();
+    auto r = run(a, 256);
+    EXPECT_EQ(r.iss->hart(0).x[5], 8u); // 256/32
+}
+
+TEST(IssVector, SlideAndCompare)
+{
+    Assembler a;
+    a.li(t0, 4);
+    a.vsetvli(t0, t0, VType{.sew = 32, .lmul = 1});
+    a.vmv_v_i(v1, 0);
+    a.li(t1, 7);
+    a.vmv_s_x(v1, t1);           // v1 = {7,0,0,0}
+    a.vslideup_vi(v2, v1, 2);    // v2[2] = 7
+    a.vmseq_vv(v3, v2, v1);      // compare bits
+    a.vmv_x_s(a0, v2);           // a0 = v2[0]
+    a.ebreak();
+    auto r = run(a);
+    const auto &v2 = r.iss->hart(0).v[2];
+    int32_t e[4];
+    std::memcpy(e, v2.data(), 16);
+    EXPECT_EQ(e[2], 7);
+}
+
+} // namespace xt910

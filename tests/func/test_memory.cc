@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "func/memory.h"
+#include "xasm/assembler.h"
+
+namespace xt910
+{
+
+TEST(Memory, ReadsZeroWhenUntouched)
+{
+    Memory m;
+    EXPECT_EQ(m.read(0x1000, 8), 0u);
+    EXPECT_EQ(m.read(0xdeadbeef, 1), 0u);
+}
+
+TEST(Memory, ReadWriteVariousSizes)
+{
+    Memory m;
+    m.write(0x100, 8, 0x1122334455667788ull);
+    EXPECT_EQ(m.read(0x100, 8), 0x1122334455667788ull);
+    EXPECT_EQ(m.read(0x100, 4), 0x55667788u);
+    EXPECT_EQ(m.read(0x104, 4), 0x11223344u);
+    EXPECT_EQ(m.read(0x100, 1), 0x88u);
+    EXPECT_EQ(m.read(0x107, 1), 0x11u);
+    m.write(0x102, 2, 0xbeef);
+    EXPECT_EQ(m.read(0x100, 8), 0x11223344beef7788ull);
+}
+
+TEST(Memory, UnalignedAndCrossPage)
+{
+    Memory m;
+    // Write straddling a 4 KiB page boundary.
+    Addr a = 0x1ffd;
+    m.write(a, 8, 0xa1b2c3d4e5f60718ull);
+    EXPECT_EQ(m.read(a, 8), 0xa1b2c3d4e5f60718ull);
+    EXPECT_EQ(m.read(0x2000, 1), (0xa1b2c3d4e5f60718ull >> 24) & 0xff);
+    EXPECT_GE(m.pageCount(), 2u);
+}
+
+TEST(Memory, BulkRoundTrip)
+{
+    Memory m;
+    Xorshift64 rng(99);
+    std::vector<uint8_t> buf(10000);
+    for (auto &b : buf)
+        b = uint8_t(rng.next());
+    m.writeBytes(0x7ff8, buf.data(), buf.size()); // crosses pages
+    std::vector<uint8_t> out(buf.size());
+    m.readBytes(0x7ff8, out.data(), out.size());
+    EXPECT_EQ(buf, out);
+}
+
+TEST(Memory, TypedAccessors)
+{
+    Memory m;
+    m.writeT<double>(0x400, 3.25);
+    EXPECT_DOUBLE_EQ(m.readT<double>(0x400), 3.25);
+    m.writeT<int32_t>(0x500, -7);
+    EXPECT_EQ(m.readT<int32_t>(0x500), -7);
+}
+
+TEST(Memory, LoadProgramPlacesImage)
+{
+    Assembler a(0x80000000);
+    a.dword(0xcafebabe12345678ull);
+    Program p = a.assemble();
+    Memory m;
+    m.loadProgram(p);
+    EXPECT_EQ(m.read(0x80000000, 8), 0xcafebabe12345678ull);
+}
+
+} // namespace xt910

@@ -1,0 +1,249 @@
+/**
+ * Full-system integration tests: workloads through ISS + timing model
+ * together, determinism, monotonicity properties of the timing model,
+ * paged-mode end-to-end runs and interrupt-driven programs on the
+ * timing system.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/presets.h"
+#include "core/system.h"
+#include "func/clint.h"
+#include "func/csr.h"
+#include "mmu/pagetable.h"
+#include "workloads/wl_common.h"
+#include "workloads/workload.h"
+
+namespace xt910
+{
+
+using namespace reg;
+
+namespace
+{
+
+uint64_t
+runOnSystem(const Workload &w, SystemConfig cfg,
+            const WorkloadOptions &o, bool *correct = nullptr)
+{
+    WorkloadBuild wb = w.build(o);
+    System sys(cfg);
+    sys.loadProgram(wb.program);
+    RunResult r = sys.run();
+    if (correct)
+        *correct = wl::readResult(sys.memory(), wb.program) == wb.expected;
+    return r.cycles;
+}
+
+} // namespace
+
+TEST(FullSystem, EverySuiteValidatesOnTimingModel)
+{
+    // The timing model must not perturb architectural results: every
+    // workload's checksum must hold when run through System.
+    WorkloadOptions o;
+    o.streamBytes = 64 * 1024;
+    SystemConfig cfg = xt910Preset().config;
+    for (const Workload &w : allWorkloads()) {
+        bool correct = false;
+        uint64_t cycles = runOnSystem(w, cfg, o, &correct);
+        EXPECT_TRUE(correct) << w.name;
+        EXPECT_GT(cycles, 0u) << w.name;
+    }
+}
+
+TEST(FullSystem, DeterministicCycles)
+{
+    WorkloadOptions o;
+    SystemConfig cfg = xt910Preset().config;
+    const Workload &w = findWorkload("matrix");
+    uint64_t c1 = runOnSystem(w, cfg, o);
+    uint64_t c2 = runOnSystem(w, cfg, o);
+    EXPECT_EQ(c1, c2);
+}
+
+TEST(FullSystem, HigherDramLatencyNeverFaster)
+{
+    WorkloadOptions o;
+    o.streamBytes = 128 * 1024;
+    const Workload &w = findWorkload("stream_add");
+    SystemConfig fast = xt910Preset().config;
+    fast.mem.dram.latency = 60;
+    SystemConfig slow = fast;
+    slow.mem.dram.latency = 300;
+    EXPECT_LE(runOnSystem(w, fast, o), runOnSystem(w, slow, o));
+}
+
+TEST(FullSystem, BiggerL2NeverSlowerOnSpecMix)
+{
+    WorkloadOptions o;
+    const Workload &w = findWorkload("spec_mix");
+    SystemConfig small = xt910Preset().config;
+    small.mem.l2.sizeBytes = 256 * 1024;
+    SystemConfig big = xt910Preset().config;
+    big.mem.l2.sizeBytes = 8 * 1024 * 1024;
+    uint64_t cs = runOnSystem(w, small, o);
+    uint64_t cb = runOnSystem(w, big, o);
+    EXPECT_LE(cb, cs + cs / 50); // allow 2% noise
+}
+
+TEST(FullSystem, WiderMachineNeverSlowerOnCoremark)
+{
+    WorkloadOptions o;
+    SystemConfig narrow = xt910Preset().config;
+    narrow.core.decodeWidth = 2;
+    narrow.core.renameWidth = 2;
+    narrow.core.issueWidth = 4;
+    SystemConfig wide = xt910Preset().config;
+    for (const Workload &w : workloadsInSuite("coremark")) {
+        uint64_t cn = runOnSystem(w, narrow, o);
+        uint64_t cw = runOnSystem(w, wide, o);
+        EXPECT_LE(cw, cn + cn / 50) << w.name;
+    }
+}
+
+TEST(FullSystem, PagedRunMatchesBareArchitecturally)
+{
+    // Same workload under Bare and Paged translation: identical
+    // architectural result, paged never faster.
+    const Workload &w = findWorkload("crc");
+    WorkloadOptions o;
+    WorkloadBuild wb = w.build(o);
+
+    SystemConfig bare = xt910Preset().config;
+    System sb(bare);
+    sb.loadProgram(wb.program);
+    RunResult rb = sb.run();
+    EXPECT_EQ(wl::readResult(sb.memory(), wb.program), wb.expected);
+
+    SystemConfig paged = xt910Preset().config;
+    paged.core.translation = TranslationMode::Paged;
+    paged.core.pageTableRoot = 0xc0000000;
+    System sp(paged);
+    PageTableBuilder ptb(sp.memory(), 0xc0000000);
+    Addr root = ptb.createRoot();
+    ptb.identityMap(root, wb.program.base, 0x100000, PageSize::Page2M);
+    sp.loadProgram(wb.program);
+    RunResult rp = sp.run();
+    EXPECT_EQ(wl::readResult(sp.memory(), wb.program), wb.expected);
+    EXPECT_GE(rp.cycles, rb.cycles);
+    EXPECT_GT(sp.core().ptwWalks.value(), 0u);
+}
+
+TEST(FullSystem, HugePagesBeatSmallPagesOnStream)
+{
+    // 2M pages need far fewer TLB entries/walks than 4K pages for the
+    // same streaming footprint (§V.E huge-page motivation).
+    WorkloadOptions o;
+    o.streamBytes = 512 * 1024;
+    WorkloadBuild wb = findWorkload("stream_copy").build(o);
+    auto runPaged = [&](PageSize ps, uint64_t &walks) {
+        SystemConfig cfg = xt910Preset().config;
+        cfg.core.translation = TranslationMode::Paged;
+        cfg.core.pageTableRoot = 0xc0000000;
+        System sys(cfg);
+        PageTableBuilder ptb(sys.memory(), 0xc0000000);
+        Addr root = ptb.createRoot();
+        ptb.identityMap(root, wb.program.base, 0x100000,
+                        PageSize::Page4K);
+        ptb.identityMap(root, 0x9000'0000, 4ull << 20, ps);
+        sys.loadProgram(wb.program);
+        RunResult r = sys.run();
+        walks = sys.core().ptwWalks.value();
+        return r.cycles;
+    };
+    uint64_t walks4k = 0, walks2m = 0;
+    uint64_t c4k = runPaged(PageSize::Page4K, walks4k);
+    uint64_t c2m = runPaged(PageSize::Page2M, walks2m);
+    EXPECT_LT(walks2m, walks4k / 4);
+    EXPECT_LE(c2m, c4k);
+}
+
+TEST(FullSystem, InterruptDrivenProgramOnTimingModel)
+{
+    // Timer-interrupt program runs through the full System (ISS +
+    // timing): handler fires, program halts, timing stays sane.
+    Assembler a;
+    a.j("_start");
+    a.align(4);
+    a.label("handler");
+    a.addi(a2, a2, 1);
+    a.li(t0, int64_t(Clint::defaultBase + Clint::mtimecmpOff));
+    a.ld(t1, t0, 0);
+    a.addi(t1, t1, 300);
+    a.sd(t1, t0, 0);
+    a.li(t2, 2);
+    a.blt(a2, t2, "resume");
+    a.ebreak();
+    a.label("resume");
+    a.mret();
+    a.label("_start");
+    a.la(t0, "handler");
+    a.csrw(csr::mtvec, t0);
+    a.li(t0, int64_t(Clint::defaultBase + Clint::mtimecmpOff));
+    a.li(t1, 120);
+    a.sd(t1, t0, 0);
+    a.li(t0, 1 << 7);
+    a.csrw(csr::mie, t0);
+    a.li(t0, 1 << 3);
+    a.csrw(csr::mstatus, t0);
+    a.label("spin");
+    a.addi(a1, a1, 1);
+    a.j("spin");
+
+    System sys(SystemConfig{});
+    sys.loadProgram(a.assemble());
+    RunResult r = sys.run();
+    EXPECT_EQ(sys.iss().hart(0).x[12], 2u);
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_GT(r.insts, 100u);
+}
+
+TEST(FullSystem, ContextSwitchFlushesLoopBuffer)
+{
+    SystemConfig cfg;
+    System sys(cfg);
+    Assembler a;
+    a.li(s0, 100);
+    a.label("loop");
+    a.addi(a0, a0, 1);
+    a.addi(s0, s0, -1);
+    a.bnez(s0, "loop");
+    a.ebreak();
+    sys.loadProgram(a.assemble());
+    sys.run();
+    EXPECT_GT(sys.core().loopBuffer().captures.value(), 0u);
+    sys.core().contextSwitch(7, /*flushTlb=*/true);
+    EXPECT_FALSE(sys.core().loopBuffer().capturing());
+    EXPECT_GE(sys.core().loopBuffer().flushesCtr.value(), 1u);
+    EXPECT_GE(sys.core().dtlbUnit().flushes.value(), 1u);
+}
+
+TEST(FullSystem, SixteenCoreRunWorks)
+{
+    // The paper's max configuration: 16 cores over 4 clusters.
+    Assembler a;
+    a.csrr(t0, csr::mhartid);
+    a.la(a0, "slots");
+    a.slli(t1, t0, 3);
+    a.add(a0, a0, t1);
+    a.addi(t2, t0, 1);
+    a.sd(t2, a0, 0);
+    a.ebreak();
+    a.align(8);
+    a.label("slots");
+    a.zero(16 * 8);
+    SystemConfig cfg;
+    cfg.numCores = 16;
+    System sys(cfg);
+    Program p = a.assemble();
+    sys.loadProgram(p);
+    RunResult r = sys.run();
+    EXPECT_EQ(r.coreCycles.size(), 16u);
+    for (unsigned c = 0; c < 16; ++c)
+        EXPECT_EQ(sys.memory().read(p.symbol("slots") + 8 * c, 8),
+                  uint64_t(c + 1));
+}
+
+} // namespace xt910

@@ -1,0 +1,204 @@
+/**
+ * Spot-checks of the decoder against independently known RV64GC
+ * encodings (words taken from the ISA manual / GNU as output).
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/disasm.h"
+#include "isa/encoding.h"
+
+namespace xt910
+{
+
+TEST(Decode, AddiSpSpMinus16)
+{
+    // addi sp, sp, -16 == 0xff010113
+    DecodedInst di = decode32(0xff010113);
+    EXPECT_EQ(di.op, Opcode::ADDI);
+    EXPECT_EQ(di.rd, 2);
+    EXPECT_EQ(di.rs1, 2);
+    EXPECT_EQ(di.imm, -16);
+    EXPECT_EQ(di.rdClass, RegClass::Int);
+}
+
+TEST(Decode, AddR)
+{
+    // add a0, a1, a2 == 0x00c58533
+    DecodedInst di = decode32(0x00c58533);
+    EXPECT_EQ(di.op, Opcode::ADD);
+    EXPECT_EQ(di.rd, 10);
+    EXPECT_EQ(di.rs1, 11);
+    EXPECT_EQ(di.rs2, 12);
+}
+
+TEST(Decode, LoadStore)
+{
+    // lw a5, 8(sp) == 0x00812783
+    DecodedInst lw = decode32(0x00812783);
+    EXPECT_EQ(lw.op, Opcode::LW);
+    EXPECT_EQ(lw.rd, 15);
+    EXPECT_EQ(lw.rs1, 2);
+    EXPECT_EQ(lw.imm, 8);
+    EXPECT_TRUE(lw.isLoad());
+    EXPECT_FALSE(lw.isStore());
+
+    // sd a0, 0(a1) == 0x00a5b023
+    DecodedInst sd = decode32(0x00a5b023);
+    EXPECT_EQ(sd.op, Opcode::SD);
+    EXPECT_EQ(sd.rs1, 11);
+    EXPECT_EQ(sd.rs2, 10);
+    EXPECT_EQ(sd.imm, 0);
+    EXPECT_TRUE(sd.isStore());
+}
+
+TEST(Decode, BranchAndJump)
+{
+    // beq a0, a1, +8 == 0x00b50463
+    DecodedInst beq = decode32(0x00b50463);
+    EXPECT_EQ(beq.op, Opcode::BEQ);
+    EXPECT_EQ(beq.rs1, 10);
+    EXPECT_EQ(beq.rs2, 11);
+    EXPECT_EQ(beq.imm, 8);
+    EXPECT_TRUE(beq.isBranch());
+
+    // jal ra, 16 == 0x010000ef
+    DecodedInst jal = decode32(0x010000ef);
+    EXPECT_EQ(jal.op, Opcode::JAL);
+    EXPECT_EQ(jal.rd, 1);
+    EXPECT_EQ(jal.imm, 16);
+    EXPECT_TRUE(jal.isCall());
+
+    // ret == jalr x0, 0(ra) == 0x00008067
+    DecodedInst ret = decode32(0x00008067);
+    EXPECT_EQ(ret.op, Opcode::JALR);
+    EXPECT_TRUE(ret.isReturn());
+    EXPECT_FALSE(ret.isCall());
+}
+
+TEST(Decode, UpperImmediates)
+{
+    // lui a0, 0x12345 == 0x12345537
+    DecodedInst lui = decode32(0x12345537);
+    EXPECT_EQ(lui.op, Opcode::LUI);
+    EXPECT_EQ(lui.rd, 10);
+    EXPECT_EQ(lui.imm, 0x12345000);
+
+    // auipc t0, 0x1 == 0x00001297
+    DecodedInst auipc = decode32(0x00001297);
+    EXPECT_EQ(auipc.op, Opcode::AUIPC);
+    EXPECT_EQ(auipc.rd, 5);
+    EXPECT_EQ(auipc.imm, 0x1000);
+}
+
+TEST(Decode, MulDiv)
+{
+    // mul a0, a1, a2 == 0x02c58533
+    DecodedInst mul = decode32(0x02c58533);
+    EXPECT_EQ(mul.op, Opcode::MUL);
+    EXPECT_EQ(opClass(mul.op), OpClass::IntMul);
+
+    // divw a3, a4, a5 == f7=1,f3=4,opc=0x3b
+    DecodedInst divw = decode32(0x02f746bb);
+    EXPECT_EQ(divw.op, Opcode::DIVW);
+    EXPECT_EQ(opClass(divw.op), OpClass::IntDiv);
+}
+
+TEST(Decode, SystemAndCsr)
+{
+    EXPECT_EQ(decode32(0x00000073).op, Opcode::ECALL);
+    EXPECT_EQ(decode32(0x00100073).op, Opcode::EBREAK);
+    EXPECT_EQ(decode32(0x30200073).op, Opcode::MRET);
+    // csrrw x0, 0x300, a0 == 0x30051073
+    DecodedInst csr = decode32(0x30051073);
+    EXPECT_EQ(csr.op, Opcode::CSRRW);
+    EXPECT_EQ(csr.imm, 0x300);
+    EXPECT_EQ(csr.rs1, 10);
+}
+
+TEST(Decode, Shifts)
+{
+    // slli a0, a0, 3 == 0x00351513
+    DecodedInst slli = decode32(0x00351513);
+    EXPECT_EQ(slli.op, Opcode::SLLI);
+    EXPECT_EQ(slli.imm, 3);
+    // srai a0, a0, 63 == funct6=0x10, shamt=63
+    DecodedInst srai = decode32(0x43f55513);
+    EXPECT_EQ(srai.op, Opcode::SRAI);
+    EXPECT_EQ(srai.imm, 63);
+}
+
+TEST(Decode, Amo)
+{
+    // amoadd.w a0, a1, (a2) == 0x00b6252f
+    DecodedInst amo = decode32(0x00b6252f);
+    EXPECT_EQ(amo.op, Opcode::AMOADD_W);
+    EXPECT_EQ(amo.rd, 10);
+    EXPECT_EQ(amo.rs1, 12);
+    EXPECT_EQ(amo.rs2, 11);
+    EXPECT_TRUE(isMemRead(amo.op));
+    EXPECT_TRUE(isMemWrite(amo.op));
+
+    // lr.d t0, (a0) == f5=0x02,f3=3: 0x100532af
+    DecodedInst lr = decode32(0x100532af);
+    EXPECT_EQ(lr.op, Opcode::LR_D);
+    EXPECT_FALSE(isMemWrite(lr.op));
+}
+
+TEST(Decode, FpBasics)
+{
+    // fadd.d fa0, fa1, fa2 (rm=dyn) == 0x02c5f553
+    DecodedInst fadd = decode32(0x02c5f553);
+    EXPECT_EQ(fadd.op, Opcode::FADD_D);
+    EXPECT_EQ(fadd.rdClass, RegClass::Fp);
+    EXPECT_EQ(fadd.rd, 10);
+    EXPECT_EQ(fadd.rs1, 11);
+    EXPECT_EQ(fadd.rs2, 12);
+
+    // fld fa0, 8(sp) == 0x00813507
+    DecodedInst fld = decode32(0x00813507);
+    EXPECT_EQ(fld.op, Opcode::FLD);
+    EXPECT_EQ(fld.rdClass, RegClass::Fp);
+    EXPECT_EQ(fld.rs1Class, RegClass::Int);
+
+    // fmv.x.d a0, fa0 == 0xe2050553
+    DecodedInst fmv = decode32(0xe2050553);
+    EXPECT_EQ(fmv.op, Opcode::FMV_X_D);
+    EXPECT_EQ(fmv.rdClass, RegClass::Int);
+    EXPECT_EQ(fmv.rs1Class, RegClass::Fp);
+}
+
+TEST(Decode, InvalidWord)
+{
+    DecodedInst di = decode32(0xffffffff);
+    EXPECT_FALSE(di.valid());
+    EXPECT_EQ(di.op, Opcode::Invalid);
+}
+
+TEST(Decode, EveryTableEntryDecodesToItself)
+{
+    // The canonical match word of every entry must decode back to the
+    // entry's own opcode (catches overlapping/ambiguous masks).
+    for (const EncEntry &e : encodingTable()) {
+        DecodedInst di = decode32(e.match);
+        EXPECT_EQ(di.op, e.op)
+            << "match word of " << mnemonic(e.op) << " decoded as "
+            << mnemonic(di.op);
+    }
+}
+
+TEST(Disasm, RendersCoreOps)
+{
+    EXPECT_EQ(disassemble(decode32(0x00c58533)), "add a0, a1, a2");
+    EXPECT_EQ(disassemble(decode32(0x00812783)), "lw a5, 8(sp)");
+    DecodedInst bad;
+    EXPECT_EQ(disassemble(bad), "<invalid>");
+    // Every opcode's match word must disassemble without crashing and
+    // start with its mnemonic.
+    for (const EncEntry &e : encodingTable()) {
+        std::string s = disassemble(decode32(e.match));
+        EXPECT_EQ(s.rfind(mnemonic(e.op), 0), 0u) << s;
+    }
+}
+
+} // namespace xt910

@@ -1,0 +1,94 @@
+/**
+ * Encoder/decoder consistency properties over the whole encoding table:
+ * for every entry, randomizing the free (operand) bits and decoding
+ * must return that entry's opcode, and re-encoding the decoded form
+ * must be idempotent field-wise.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "isa/encoding.h"
+
+namespace xt910
+{
+
+namespace
+{
+
+bool
+sameFields(const DecodedInst &a, const DecodedInst &b)
+{
+    return a.op == b.op && a.rd == b.rd && a.rs1 == b.rs1 &&
+           a.rs2 == b.rs2 && a.rs3 == b.rs3 && a.imm == b.imm &&
+           a.shamt2 == b.shamt2 && a.vm == b.vm &&
+           a.rdClass == b.rdClass && a.rs1Class == b.rs1Class &&
+           a.rs2Class == b.rs2Class && a.rs3Class == b.rs3Class;
+}
+
+} // namespace
+
+class EncodingRoundTrip : public ::testing::TestWithParam<EncEntry>
+{
+};
+
+TEST_P(EncodingRoundTrip, RandomOperandBits)
+{
+    const EncEntry &e = GetParam();
+    Xorshift64 rng(0xc0ffee ^ uint32_t(e.match));
+    for (int trial = 0; trial < 200; ++trial) {
+        uint32_t w = e.match | (uint32_t(rng.next()) & ~e.mask);
+        DecodedInst di = decode32(w);
+        ASSERT_TRUE(di.valid())
+            << mnemonic(e.op) << " word 0x" << std::hex << w;
+        ASSERT_EQ(di.op, e.op)
+            << "word of " << mnemonic(e.op) << " decoded as "
+            << mnemonic(di.op);
+        // encode(decode(w)) must be decodable to identical fields.
+        uint32_t w2 = encode(di);
+        DecodedInst di2 = decode32(w2);
+        ASSERT_TRUE(sameFields(di, di2))
+            << mnemonic(e.op) << ": 0x" << std::hex << w << " vs 0x"
+            << w2;
+        // And encoding is a fixpoint from then on.
+        EXPECT_EQ(encode(di2), w2);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEncodings, EncodingRoundTrip,
+    ::testing::ValuesIn(encodingTable()),
+    [](const ::testing::TestParamInfo<EncEntry> &info) {
+        std::string n = mnemonic(info.param.op);
+        for (char &c : n)
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return n + "_" + std::to_string(info.index);
+    });
+
+TEST(EncodingTable, NoDuplicateOpcodes)
+{
+    std::vector<int> seen(numOpcodes, 0);
+    for (const EncEntry &e : encodingTable())
+        ++seen[static_cast<unsigned>(e.op)];
+    for (unsigned i = 0; i < numOpcodes; ++i)
+        EXPECT_LE(seen[i], 1) << mnemonic(Opcode(i));
+}
+
+TEST(EncodingTable, MatchInsideMask)
+{
+    for (const EncEntry &e : encodingTable())
+        EXPECT_EQ(e.match & ~e.mask, 0u) << mnemonic(e.op);
+}
+
+TEST(EncodingTable, EveryOpcodeEncodable)
+{
+    // Every opcode in the master list must have exactly one encoding.
+    std::vector<bool> has(numOpcodes, false);
+    for (const EncEntry &e : encodingTable())
+        has[static_cast<unsigned>(e.op)] = true;
+    for (unsigned i = 0; i < numOpcodes; ++i)
+        EXPECT_TRUE(has[i]) << "no encoding for " << mnemonic(Opcode(i));
+}
+
+} // namespace xt910

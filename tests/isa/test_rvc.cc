@@ -1,0 +1,155 @@
+/**
+ * RVC expansion spot checks against known halfwords, plus the
+ * compress->expand round-trip property.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "isa/encoding.h"
+
+namespace xt910
+{
+
+namespace
+{
+
+DecodedInst
+expandAndDecode(uint16_t h)
+{
+    uint32_t w = expandRvc(h);
+    EXPECT_NE(w, 0u) << "halfword 0x" << std::hex << h;
+    return decode32(w);
+}
+
+} // namespace
+
+TEST(Rvc, CAddi)
+{
+    // c.addi sp, sp, -16 == 0x1141
+    DecodedInst di = expandAndDecode(0x1141);
+    EXPECT_EQ(di.op, Opcode::ADDI);
+    EXPECT_EQ(di.rd, 2);
+    EXPECT_EQ(di.rs1, 2);
+    EXPECT_EQ(di.imm, -16);
+}
+
+TEST(Rvc, CLi)
+{
+    // c.li a0, 1 == 0x4505
+    DecodedInst di = expandAndDecode(0x4505);
+    EXPECT_EQ(di.op, Opcode::ADDI);
+    EXPECT_EQ(di.rd, 10);
+    EXPECT_EQ(di.rs1, 0);
+    EXPECT_EQ(di.imm, 1);
+}
+
+TEST(Rvc, CMvAndCAdd)
+{
+    // c.mv a0, a1 == 0x852e
+    DecodedInst mv = expandAndDecode(0x852e);
+    EXPECT_EQ(mv.op, Opcode::ADD);
+    EXPECT_EQ(mv.rd, 10);
+    EXPECT_EQ(mv.rs1, 0);
+    EXPECT_EQ(mv.rs2, 11);
+
+    // c.add a0, a1 == 0x952e
+    DecodedInst add = expandAndDecode(0x952e);
+    EXPECT_EQ(add.op, Opcode::ADD);
+    EXPECT_EQ(add.rd, 10);
+    EXPECT_EQ(add.rs1, 10);
+    EXPECT_EQ(add.rs2, 11);
+}
+
+TEST(Rvc, CJrAndCRet)
+{
+    // c.jr a5 == 0x8782
+    DecodedInst jr = expandAndDecode(0x8782);
+    EXPECT_EQ(jr.op, Opcode::JALR);
+    EXPECT_EQ(jr.rd, 0);
+    EXPECT_EQ(jr.rs1, 15);
+    // ret == c.jr ra == 0x8082
+    DecodedInst ret = expandAndDecode(0x8082);
+    EXPECT_TRUE(ret.isReturn());
+}
+
+TEST(Rvc, CEbreak)
+{
+    EXPECT_EQ(expandAndDecode(0x9002).op, Opcode::EBREAK);
+}
+
+TEST(Rvc, DecodeEntryPicksWidth)
+{
+    // decode() on a word whose low bits are 11 uses the 32-bit path.
+    DecodedInst full = decode(0x00c58533);
+    EXPECT_EQ(full.len, 4);
+    // decode() on a compressed halfword reports len == 2.
+    DecodedInst half = decode(0x4505);
+    EXPECT_EQ(half.len, 2);
+    EXPECT_EQ(half.op, Opcode::ADDI);
+}
+
+TEST(Rvc, IllegalHalfword)
+{
+    EXPECT_EQ(expandRvc(0x0000), 0u); // all-zero is defined illegal
+    DecodedInst di = decode(0x0000);
+    EXPECT_FALSE(di.valid());
+    EXPECT_EQ(di.len, 2);
+}
+
+TEST(Rvc, ExpandCompressRoundTripFuzz)
+{
+    // For every halfword that expands legally, compressing the decoded
+    // form must reproduce an equivalent instruction.
+    int covered = 0;
+    for (uint32_t h = 0; h <= 0xffff; ++h) {
+        if ((h & 3) == 3)
+            continue; // not compressed
+        uint32_t w = expandRvc(uint16_t(h));
+        if (w == 0)
+            continue;
+        DecodedInst di = decode32(w);
+        if (!di.valid())
+            continue;
+        auto c = compressInst(di);
+        if (!c)
+            continue; // canonicalization may lose compressibility
+        uint32_t w2 = expandRvc(*c);
+        ASSERT_NE(w2, 0u) << std::hex << h;
+        DecodedInst di2 = decode32(w2);
+        ASSERT_TRUE(di2.valid()) << std::hex << h;
+        EXPECT_EQ(di2.op, di.op) << std::hex << h;
+        EXPECT_EQ(di2.rd, di.rd) << std::hex << h;
+        EXPECT_EQ(di2.rs1, di.rs1) << std::hex << h;
+        EXPECT_EQ(di2.rs2, di.rs2) << std::hex << h;
+        EXPECT_EQ(di2.imm, di.imm) << std::hex << h;
+        ++covered;
+    }
+    // The sweep must exercise a large portion of the RVC space.
+    EXPECT_GT(covered, 10000);
+}
+
+TEST(Rvc, CompressExpandsBackFromDecoded32)
+{
+    // Compressible 32-bit instructions survive the round trip.
+    struct Case { uint32_t word; };
+    const uint32_t words[] = {
+        0xff010113, // addi sp, sp, -16
+        0x00812783, // lw a5, 8(sp)
+        0x00c58533, // add a0, a1, a2 (rd != rs1: c.mv not applicable)
+        0x00008067, // ret
+    };
+    for (uint32_t w : words) {
+        DecodedInst di = decode32(w);
+        auto c = compressInst(di);
+        if (!c)
+            continue;
+        DecodedInst di2 = decode32(expandRvc(*c));
+        EXPECT_EQ(di2.op, di.op);
+        EXPECT_EQ(di2.imm, di.imm);
+        EXPECT_EQ(di2.rd, di.rd);
+        EXPECT_EQ(di2.rs1, di.rs1);
+    }
+}
+
+} // namespace xt910

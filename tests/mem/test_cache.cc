@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "mem/cache.h"
+
+namespace xt910
+{
+
+namespace
+{
+
+CacheParams
+smallCache()
+{
+    // 4 sets x 2 ways x 64B = 512B: easy to force conflicts.
+    return CacheParams{.name = "t", .sizeBytes = 512, .assoc = 2};
+}
+
+} // namespace
+
+TEST(CacheModel, MissThenHit)
+{
+    Cache c(smallCache());
+    EXPECT_EQ(c.findLine(0x1000), nullptr);
+    c.insert(0x1000, CoherState::Exclusive, 1);
+    ASSERT_NE(c.findLine(0x1000), nullptr);
+    // Same line, different byte offset.
+    ASSERT_NE(c.findLine(0x103f), nullptr);
+    // Next line absent.
+    EXPECT_EQ(c.findLine(0x1040), nullptr);
+}
+
+TEST(CacheModel, LruEviction)
+{
+    Cache c(smallCache());
+    // Three conflicting lines in a 2-way set (set stride = 4*64=256).
+    c.insert(0x0000, CoherState::Exclusive, 1);
+    c.insert(0x0100, CoherState::Exclusive, 2);
+    c.touch(0x0000, 3); // make 0x0000 MRU
+    auto v = c.insert(0x0200, CoherState::Exclusive, 4);
+    EXPECT_TRUE(v.valid);
+    EXPECT_EQ(v.addr, 0x0100u); // LRU evicted
+    EXPECT_NE(c.findLine(0x0000), nullptr);
+    EXPECT_EQ(c.findLine(0x0100), nullptr);
+    EXPECT_NE(c.findLine(0x0200), nullptr);
+}
+
+TEST(CacheModel, DirtyEvictionCountsWriteback)
+{
+    Cache c(smallCache());
+    c.insert(0x0000, CoherState::Modified, 1);
+    c.insert(0x0100, CoherState::Exclusive, 2);
+    auto v = c.insert(0x0200, CoherState::Shared, 3);
+    EXPECT_TRUE(v.valid);
+    EXPECT_TRUE(v.dirty);
+    EXPECT_EQ(c.writebacks.value(), 1u);
+    EXPECT_EQ(c.evictions.value(), 1u);
+}
+
+TEST(CacheModel, InvalidateAndStates)
+{
+    Cache c(smallCache());
+    c.insert(0x40, CoherState::Modified, 1);
+    EXPECT_TRUE(c.invalidate(0x40)); // dirty
+    EXPECT_EQ(c.findLine(0x40), nullptr);
+    EXPECT_FALSE(c.invalidate(0x40)); // already gone
+
+    c.insert(0x80, CoherState::Exclusive, 2);
+    c.setState(0x80, CoherState::Owned);
+    EXPECT_EQ(c.findLine(0x80)->state, CoherState::Owned);
+    EXPECT_TRUE(isDirty(CoherState::Owned));
+    EXPECT_FALSE(isDirty(CoherState::Shared));
+}
+
+TEST(CacheModel, PrefetchAccuracyTracking)
+{
+    Cache c(smallCache());
+    c.insert(0x0000, CoherState::Exclusive, 1, /*wasPrefetch=*/true);
+    c.insert(0x0040, CoherState::Exclusive, 1, /*wasPrefetch=*/true);
+    EXPECT_EQ(c.prefetchFills.value(), 2u);
+    c.touch(0x0000, 2); // demand touches one prefetched line
+    EXPECT_EQ(c.prefetchUseful.value(), 1u);
+    c.touch(0x0000, 3); // second touch does not double count
+    EXPECT_EQ(c.prefetchUseful.value(), 1u);
+}
+
+TEST(CacheModel, InvalidateAll)
+{
+    Cache c(smallCache());
+    for (Addr a = 0; a < 512; a += 64)
+        c.insert(a, CoherState::Shared, 1);
+    c.invalidateAll();
+    for (Addr a = 0; a < 512; a += 64)
+        EXPECT_EQ(c.findLine(a), nullptr);
+}
+
+TEST(CacheModel, GeometryValidation)
+{
+    CacheParams bad;
+    bad.sizeBytes = 1000; // not divisible into sets
+    bad.assoc = 3;
+    EXPECT_THROW(Cache{bad}, std::logic_error);
+}
+
+class CacheGeometry
+    : public ::testing::TestWithParam<std::pair<uint32_t, uint32_t>>
+{
+};
+
+TEST_P(CacheGeometry, TableIConfigurations)
+{
+    // Table I: L1 of 32/64 KB; L2 of 256 KB..8 MB. All must construct
+    // and behave (insert + find across many lines).
+    auto [size, assoc] = GetParam();
+    CacheParams p{.name = "cfg", .sizeBytes = size, .assoc = assoc};
+    Cache c(p);
+    for (Addr a = 0; a < Addr(size) * 2; a += 64)
+        c.insert(a, CoherState::Exclusive, a);
+    // The most recent size/64 lines of a direct sweep survive.
+    EXPECT_NE(c.findLine(Addr(size) * 2 - 64), nullptr);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableI, CacheGeometry,
+    ::testing::Values(std::pair<uint32_t, uint32_t>{32 * 1024, 4},
+                      std::pair<uint32_t, uint32_t>{64 * 1024, 4},
+                      std::pair<uint32_t, uint32_t>{256 * 1024, 8},
+                      std::pair<uint32_t, uint32_t>{1024 * 1024, 16},
+                      std::pair<uint32_t, uint32_t>{8 * 1024 * 1024, 16}));
+
+} // namespace xt910

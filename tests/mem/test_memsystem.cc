@@ -1,0 +1,202 @@
+/**
+ * Memory-system tests: hit/miss latencies, MSHR merging, MOESI
+ * coherence between cores, snoop filtering, inclusive-L2 back
+ * invalidation, and cross-cluster (Ncore) transfers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/memsystem.h"
+
+namespace xt910
+{
+
+namespace
+{
+
+MemSystemParams
+smallParams(unsigned cores = 1)
+{
+    MemSystemParams p;
+    p.numCores = cores;
+    p.l1d.sizeBytes = 4 * 1024;
+    p.l1d.assoc = 2;
+    p.l1i.sizeBytes = 4 * 1024;
+    p.l1i.assoc = 2;
+    p.l2.sizeBytes = 64 * 1024;
+    p.l2.assoc = 8;
+    return p;
+}
+
+} // namespace
+
+TEST(MemSystem, ColdMissCostsDramLatencyThenHits)
+{
+    MemSystem ms(smallParams());
+    MemResult miss = ms.read(0, 0x1000, 100);
+    EXPECT_EQ(miss.level, ServiceLevel::Dram);
+    EXPECT_GE(miss.done, 100 + ms.params().dram.latency);
+
+    MemResult hit = ms.read(0, 0x1008, miss.done + 1);
+    EXPECT_TRUE(hit.l1Hit);
+    EXPECT_EQ(hit.done, miss.done + 1 + ms.params().l1d.hitLatency);
+}
+
+TEST(MemSystem, L2HitFasterThanDram)
+{
+    MemSystem ms(smallParams());
+    // Fill a line, then evict it from tiny L1 with conflicting lines
+    // (L1: 4KB/2way -> 32 sets; set stride = 32*64 = 2KB).
+    MemResult first = ms.read(0, 0x10000, 0);
+    Cycle t = first.done;
+    for (int i = 1; i <= 2; ++i)
+        t = ms.read(0, 0x10000 + Addr(i) * 2048, t + 1).done;
+    EXPECT_EQ(ms.l1d(0).findLine(0x10000), nullptr) << "should be evicted";
+
+    MemResult l2hit = ms.read(0, 0x10000, t + 1);
+    EXPECT_EQ(l2hit.level, ServiceLevel::L2);
+    EXPECT_LT(l2hit.done - (t + 1), ms.params().dram.latency);
+}
+
+TEST(MemSystem, InflightMissesMerge)
+{
+    MemSystem ms(smallParams());
+    MemResult a = ms.read(0, 0x2000, 10);
+    // A second access to the same line while in flight merges.
+    MemResult b = ms.read(0, 0x2010, 12);
+    EXPECT_EQ(b.level, ServiceLevel::Merged);
+    EXPECT_LE(b.done, a.done + ms.params().busLatency);
+}
+
+TEST(MemSystem, WriteMakesLineModified)
+{
+    MemSystem ms(smallParams());
+    ms.write(0, 0x3000, 0);
+    Cache::Line *l = ms.l1d(0).findLine(0x3000);
+    ASSERT_NE(l, nullptr);
+    EXPECT_EQ(l->state, CoherState::Modified);
+}
+
+TEST(MemSystem, ReadSharingThenWriteUpgrade)
+{
+    MemSystem ms(smallParams(2));
+    MemResult r0 = ms.read(0, 0x4000, 0);
+    // Core 1 reads the same line: cache-to-cache service.
+    MemResult r1 = ms.read(1, 0x4000, r0.done + 1);
+    EXPECT_EQ(r1.level, ServiceLevel::Remote);
+    EXPECT_EQ(ms.c2cTransfers.value(), 1u);
+    ASSERT_NE(ms.l1d(1).findLine(0x4000), nullptr);
+
+    // Core 1 writes: core 0's copy must be invalidated.
+    ms.write(1, 0x4000, r1.done + 1);
+    EXPECT_EQ(ms.l1d(0).findLine(0x4000), nullptr);
+    EXPECT_EQ(ms.l1d(1).findLine(0x4000)->state, CoherState::Modified);
+    EXPECT_GE(ms.upgrades.value(), 1u);
+}
+
+TEST(MemSystem, WriteMissInvalidatesRemoteModified)
+{
+    MemSystem ms(smallParams(2));
+    MemResult w0 = ms.write(0, 0x5000, 0);
+    MemResult w1 = ms.write(1, 0x5000, w0.done + 1);
+    EXPECT_EQ(w1.level, ServiceLevel::Remote);
+    EXPECT_EQ(ms.l1d(0).findLine(0x5000), nullptr);
+    ASSERT_NE(ms.l1d(1).findLine(0x5000), nullptr);
+    EXPECT_EQ(ms.l1d(1).findLine(0x5000)->state, CoherState::Modified);
+}
+
+TEST(MemSystem, MoesiOwnedStateOnReadSnoop)
+{
+    MemSystem ms(smallParams(2));
+    MemResult w0 = ms.write(0, 0x6000, 0); // core0: Modified
+    ms.read(1, 0x6000, w0.done + 1);       // core1 reads
+    // MOESI: the previous owner keeps the dirty line as Owned.
+    ASSERT_NE(ms.l1d(0).findLine(0x6000), nullptr);
+    EXPECT_EQ(ms.l1d(0).findLine(0x6000)->state, CoherState::Owned);
+    EXPECT_EQ(ms.l1d(1).findLine(0x6000)->state, CoherState::Shared);
+}
+
+TEST(MemSystem, SnoopFilterSuppressesProbes)
+{
+    MemSystem ms(smallParams(4));
+    // Disjoint lines: with a snoop filter no probes should be sent.
+    Cycle t = 0;
+    for (unsigned c = 0; c < 4; ++c)
+        t = ms.read(c, 0x10000 + Addr(c) * 4096, t + 1).done;
+    EXPECT_EQ(ms.snoopProbes.value(), 0u);
+    EXPECT_GE(ms.snoopFiltered.value(), 4u);
+}
+
+TEST(MemSystem, CrossClusterTransferCostsNcore)
+{
+    MemSystemParams p = smallParams(8); // 2 clusters of 4
+    MemSystem ms(p);
+    MemResult w = ms.write(0, 0x7000, 0);     // cluster 0
+    MemResult r = ms.read(4, 0x7000, w.done + 1); // cluster 1 reads
+    EXPECT_EQ(r.level, ServiceLevel::Remote);
+    EXPECT_EQ(ms.crossCluster.value(), 1u);
+    EXPECT_GE(r.done - (w.done + 1), p.ncoreLatency);
+}
+
+TEST(MemSystem, PrefetchFillHidesLatency)
+{
+    MemSystem ms(smallParams());
+    Cycle fill = ms.prefetchFill(0, 0x8000, /*toL1=*/true, 0);
+    EXPECT_GE(fill, ms.params().dram.latency);
+    // Demand read after the fill is an L1 hit.
+    MemResult hit = ms.read(0, 0x8000, fill + 1);
+    EXPECT_TRUE(hit.l1Hit);
+    // Demand read *during* the fill merges with it instead of paying
+    // the full latency again.
+    Cycle fill2 = ms.prefetchFill(0, 0x9000, true, fill + 1);
+    MemResult merged = ms.read(0, 0x9000, fill + 5);
+    EXPECT_LE(merged.done, fill2 + ms.params().l1d.hitLatency +
+                               ms.params().busLatency);
+}
+
+TEST(MemSystem, PrefetchToL2OnlyLeavesL1Cold)
+{
+    MemSystem ms(smallParams());
+    ms.prefetchFill(0, 0xa000, /*toL1=*/false, 0);
+    EXPECT_EQ(ms.l1d(0).findLine(0xa000), nullptr);
+    EXPECT_NE(ms.l2(0).findLine(0xa000), nullptr);
+    MemResult r = ms.read(0, 0xa000, 500);
+    EXPECT_EQ(r.level, ServiceLevel::L2);
+}
+
+TEST(MemSystem, MshrLimitSerializesBursts)
+{
+    MemSystemParams p = smallParams();
+    p.l1d.mshrs = 2;
+    MemSystem ms(p);
+    // Four distinct-line misses at the same cycle: only two can be
+    // outstanding, so later ones are delayed.
+    MemResult r0 = ms.read(0, 0x10000, 0);
+    MemResult r1 = ms.read(0, 0x20000, 0);
+    MemResult r2 = ms.read(0, 0x30000, 0);
+    MemResult r3 = ms.read(0, 0x40000, 0);
+    EXPECT_GT(r2.done, r0.done);
+    EXPECT_GT(r3.done, r1.done);
+    EXPECT_GT(ms.mshrStalls.value(), 0u);
+}
+
+TEST(MemSystem, InvalidateL1DDropsLines)
+{
+    MemSystem ms(smallParams());
+    ms.write(0, 0xb000, 0);
+    ms.invalidateL1D(0);
+    EXPECT_EQ(ms.l1d(0).findLine(0xb000), nullptr);
+}
+
+TEST(MemSystem, FetchPathUsesL1I)
+{
+    MemSystem ms(smallParams());
+    MemResult f = ms.fetch(0, 0xc000, 0);
+    EXPECT_EQ(f.level, ServiceLevel::Dram);
+    EXPECT_NE(ms.l1i(0).findLine(0xc000), nullptr);
+    EXPECT_EQ(ms.l1d(0).findLine(0xc000), nullptr);
+    MemResult f2 = ms.fetch(0, 0xc000, f.done + 1);
+    EXPECT_TRUE(f2.l1Hit);
+}
+
+} // namespace xt910

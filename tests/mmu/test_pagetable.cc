@@ -1,0 +1,155 @@
+/**
+ * SV39 page-table builder + walker tests, including the multi-size
+ * leaf levels (4K/2M/1G huge pages, §V.E) and the ASID-rollover
+ * experiment infrastructure.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mmu/pagetable.h"
+
+namespace xt910
+{
+
+TEST(PageTable, Map4KAndWalk)
+{
+    Memory mem;
+    PageTableBuilder b(mem, 0x100000);
+    Addr root = b.createRoot();
+    b.map(root, 0x0000000080001000ull, 0x0000000090002000ull,
+          PageSize::Page4K);
+    WalkResult r = walkSv39(mem, root, 0x80001abc);
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.pa, 0x90002abcu);
+    EXPECT_EQ(r.size, PageSize::Page4K);
+    EXPECT_EQ(r.levels, 3u); // full three-level walk
+}
+
+TEST(PageTable, UnmappedFaults)
+{
+    Memory mem;
+    PageTableBuilder b(mem, 0x100000);
+    Addr root = b.createRoot();
+    WalkResult r = walkSv39(mem, root, 0xdead0000);
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.levels, 1u); // first-level PTE already invalid
+}
+
+TEST(PageTable, HugePageLeaves)
+{
+    Memory mem;
+    PageTableBuilder b(mem, 0x100000);
+    Addr root = b.createRoot();
+    // 2M page: leaf at level 1 -> 2-level walk.
+    b.map(root, 0x00200000, 0x40200000, PageSize::Page2M);
+    WalkResult m = walkSv39(mem, root, 0x00234567);
+    ASSERT_TRUE(m.ok);
+    EXPECT_EQ(m.pa, 0x40234567u);
+    EXPECT_EQ(m.size, PageSize::Page2M);
+    EXPECT_EQ(m.levels, 2u);
+    // 1G page: leaf at level 2 -> 1-level walk.
+    b.map(root, 0x40000000, 0x80000000, PageSize::Page1G);
+    WalkResult g = walkSv39(mem, root, 0x7fffffff);
+    ASSERT_TRUE(g.ok);
+    EXPECT_EQ(g.pa, 0xbfffffffu);
+    EXPECT_EQ(g.size, PageSize::Page1G);
+    EXPECT_EQ(g.levels, 1u);
+}
+
+TEST(PageTable, HugePagesCutWalkCostAndTableBytes)
+{
+    // Mapping 2 MiB with 4K pages costs 512 leaf PTEs across extra
+    // tables; a single 2M leaf costs one - the Linux huge-page
+    // motivation from §V.E.
+    Memory mem4k, mem2m;
+    PageTableBuilder b4k(mem4k, 0x100000);
+    Addr r4k = b4k.createRoot();
+    b4k.identityMap(r4k, 0x40000000, 2 * 1024 * 1024, PageSize::Page4K);
+
+    PageTableBuilder b2m(mem2m, 0x100000);
+    Addr r2m = b2m.createRoot();
+    b2m.identityMap(r2m, 0x40000000, 2 * 1024 * 1024, PageSize::Page2M);
+
+    EXPECT_GT(b4k.tableBytes(), b2m.tableBytes());
+    EXPECT_LT(walkSv39(mem2m, r2m, 0x40001000).levels,
+              walkSv39(mem4k, r4k, 0x40001000).levels);
+}
+
+TEST(PageTable, IdentityMapCoversRange)
+{
+    Memory mem;
+    PageTableBuilder b(mem, 0x100000);
+    Addr root = b.createRoot();
+    b.identityMap(root, 0x80000000, 64 * 1024, PageSize::Page4K);
+    for (Addr a = 0x80000000; a < 0x80010000; a += 0x1000) {
+        WalkResult r = walkSv39(mem, root, a + 0x123);
+        ASSERT_TRUE(r.ok) << std::hex << a;
+        EXPECT_EQ(r.pa, a + 0x123);
+    }
+    EXPECT_FALSE(walkSv39(mem, root, 0x80010123).ok);
+}
+
+TEST(PageTable, TwoAddressSpaces)
+{
+    Memory mem;
+    PageTableBuilder b(mem, 0x100000);
+    Addr r1 = b.createRoot();
+    Addr r2 = b.createRoot();
+    b.map(r1, 0x1000, 0xa000, PageSize::Page4K);
+    b.map(r2, 0x1000, 0xb000, PageSize::Page4K);
+    EXPECT_EQ(walkSv39(mem, r1, 0x1500).pa, 0xa500u);
+    EXPECT_EQ(walkSv39(mem, r2, 0x1500).pa, 0xb500u);
+}
+
+TEST(AsidAlloc, NoFlushWithinCapacity)
+{
+    Tlb tlb(TlbParams{}, "tlb");
+    AsidAllocator alloc(8); // 255 usable ASIDs
+    for (uint64_t ctx = 0; ctx < 200; ++ctx)
+        alloc.acquire(ctx, tlb);
+    EXPECT_EQ(alloc.flushCount(), 0u);
+}
+
+TEST(AsidAlloc, RolloverFlushes)
+{
+    Tlb tlb(TlbParams{}, "tlb");
+    AsidAllocator alloc(4); // 15 usable
+    for (uint64_t ctx = 0; ctx < 100; ++ctx)
+        alloc.acquire(ctx, tlb);
+    EXPECT_GT(alloc.flushCount(), 0u);
+    EXPECT_EQ(tlb.flushes.value(), alloc.flushCount());
+}
+
+TEST(AsidAlloc, ReuseIsStableWithinGeneration)
+{
+    Tlb tlb(TlbParams{}, "tlb");
+    AsidAllocator alloc(8);
+    Asid a = alloc.acquire(7, tlb).asid;
+    for (uint64_t ctx = 100; ctx < 110; ++ctx)
+        alloc.acquire(ctx, tlb);
+    EXPECT_EQ(alloc.acquire(7, tlb).asid, a);
+    EXPECT_FALSE(alloc.acquire(7, tlb).flushed);
+}
+
+TEST(AsidAlloc, WiderAsidFlushesTenTimesLess)
+{
+    // The paper's §V.E claim: 16-bit ASID cuts context-switch TLB
+    // flushes by ~10x vs the narrower alternative. Model a round-robin
+    // working set of 512 contexts and count rollover flushes.
+    const unsigned switches = 200000;
+    const unsigned contexts = 512;
+    auto flushesWith = [&](unsigned bits) {
+        Tlb tlb(TlbParams{}, "tlb");
+        AsidAllocator alloc(bits);
+        for (unsigned i = 0; i < switches; ++i)
+            alloc.acquire(i % contexts, tlb);
+        return alloc.flushCount();
+    };
+    uint64_t narrow = flushesWith(8);
+    uint64_t wide = flushesWith(16);
+    EXPECT_GT(narrow, 0u);
+    // 512 contexts fit in 16 bits entirely: only the warm-up misses.
+    EXPECT_GE(narrow, wide * 10);
+}
+
+} // namespace xt910

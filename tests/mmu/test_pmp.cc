@@ -1,0 +1,91 @@
+/**
+ * PMP tests (§II: standard 8-16 region physical memory protection).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mmu/pmp.h"
+
+namespace xt910
+{
+
+TEST(Pmp, InactiveAllowsEverything)
+{
+    Pmp pmp(16);
+    EXPECT_TRUE(pmp.inactive());
+    EXPECT_TRUE(pmp.check(0x1234, 8, PmpAccess::Write, PrivMode::User));
+    EXPECT_TRUE(
+        pmp.check(0xdead0000, 4, PmpAccess::Exec, PrivMode::Supervisor));
+}
+
+TEST(Pmp, RegionPermissionsEnforced)
+{
+    Pmp pmp(8);
+    pmp.setRegion(0, {.base = 0x80000000,
+                      .size = 0x1000,
+                      .r = true,
+                      .w = false,
+                      .x = true});
+    // Inside the region: R and X allowed, W denied for U/S.
+    EXPECT_TRUE(
+        pmp.check(0x80000100, 8, PmpAccess::Read, PrivMode::User));
+    EXPECT_TRUE(
+        pmp.check(0x80000ff8, 8, PmpAccess::Exec, PrivMode::Supervisor));
+    EXPECT_FALSE(
+        pmp.check(0x80000100, 8, PmpAccess::Write, PrivMode::User));
+    EXPECT_GE(pmp.denials.value(), 1u);
+}
+
+TEST(Pmp, NoMatchDeniesLowerPrivilege)
+{
+    Pmp pmp(8);
+    pmp.setRegion(0, {.base = 0x1000, .size = 0x1000, .r = true});
+    // Outside any region: U/S denied, M allowed.
+    EXPECT_FALSE(
+        pmp.check(0x9000000, 4, PmpAccess::Read, PrivMode::User));
+    EXPECT_TRUE(
+        pmp.check(0x9000000, 4, PmpAccess::Read, PrivMode::Machine));
+}
+
+TEST(Pmp, MachineBypassesUnlockedButNotLocked)
+{
+    Pmp pmp(8);
+    pmp.setRegion(0, {.base = 0x2000, .size = 0x1000, .r = false,
+                      .w = false, .x = false, .locked = false});
+    pmp.setRegion(1, {.base = 0x4000, .size = 0x1000, .r = false,
+                      .w = false, .x = false, .locked = true});
+    EXPECT_TRUE(
+        pmp.check(0x2000, 8, PmpAccess::Write, PrivMode::Machine));
+    EXPECT_FALSE(
+        pmp.check(0x4000, 8, PmpAccess::Write, PrivMode::Machine));
+}
+
+TEST(Pmp, PriorityLowestRegionWins)
+{
+    Pmp pmp(8);
+    pmp.setRegion(0, {.base = 0x8000, .size = 0x100, .r = true});
+    pmp.setRegion(1, {.base = 0x8000, .size = 0x1000, .r = false,
+                      .w = true});
+    // Region 0 matches first and allows reads.
+    EXPECT_TRUE(pmp.check(0x8010, 4, PmpAccess::Read, PrivMode::User));
+    // Beyond region 0 but inside region 1: write allowed, read denied.
+    EXPECT_TRUE(pmp.check(0x8200, 4, PmpAccess::Write, PrivMode::User));
+    EXPECT_FALSE(pmp.check(0x8200, 4, PmpAccess::Read, PrivMode::User));
+}
+
+TEST(Pmp, LockedRegionCannotBeReprogrammed)
+{
+    Pmp pmp(8);
+    pmp.setRegion(2, {.base = 0x1000, .size = 0x1000, .r = true,
+                      .locked = true});
+    EXPECT_THROW(pmp.setRegion(2, PmpRegion{}), std::logic_error);
+}
+
+TEST(Pmp, RegionCountValidated)
+{
+    EXPECT_THROW(Pmp(12), std::logic_error);
+    EXPECT_NO_THROW(Pmp(8));
+    EXPECT_NO_THROW(Pmp(16));
+}
+
+} // namespace xt910

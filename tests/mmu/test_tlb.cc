@@ -1,0 +1,152 @@
+/**
+ * Multi-size multi-level TLB tests (§V.D): micro/jTLB interplay,
+ * page-size probing order, ASID matching and flush operations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mmu/tlb.h"
+
+namespace xt910
+{
+
+namespace
+{
+
+TlbParams
+smallTlb()
+{
+    TlbParams p;
+    p.microEntries = 4;
+    p.jtlbSets = 16;
+    p.jtlbWays = 4;
+    return p;
+}
+
+} // namespace
+
+TEST(Tlb, MissThenInsertThenMicroHit)
+{
+    Tlb t(smallTlb(), "tlb");
+    EXPECT_FALSE(t.lookup(0x1234567, 1, 0).has_value());
+    EXPECT_EQ(t.misses.value(), 1u);
+
+    t.insert(0x1234000, 0x9876000, PageSize::Page4K, 1);
+    auto r = t.lookup(0x1234567, 1, 1);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->pa, 0x9876567u);
+    EXPECT_TRUE(r->microHit); // insert fills micro too
+    EXPECT_EQ(t.microHits.value(), 1u);
+}
+
+TEST(Tlb, JtlbBacksUpMicroCapacity)
+{
+    Tlb t(smallTlb(), "tlb");
+    // Insert more 4K pages than micro entries (4).
+    for (Addr i = 0; i < 8; ++i)
+        t.insert(0x100000 + i * 0x1000, 0x200000 + i * 0x1000,
+                 PageSize::Page4K, 1);
+    // The oldest translations fell out of micro but hit in jTLB.
+    auto r = t.lookup(0x100123, 1, 10);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_FALSE(r->microHit);
+    EXPECT_EQ(r->pa, 0x200123u);
+    EXPECT_EQ(t.jtlbHits.value(), 1u);
+    // The jTLB hit refilled micro: the next lookup hits micro.
+    auto r2 = t.lookup(0x100456, 1, 11);
+    ASSERT_TRUE(r2.has_value());
+    EXPECT_TRUE(r2->microHit);
+}
+
+TEST(Tlb, HugePagesTranslate)
+{
+    Tlb t(smallTlb(), "tlb");
+    t.insert(0x40000000, 0x80000000, PageSize::Page1G, 1);
+    t.insert(0x00200000, 0x00600000, PageSize::Page2M, 1);
+    auto g = t.lookup(0x40123456, 1, 0);
+    ASSERT_TRUE(g.has_value());
+    EXPECT_EQ(g->pa, 0x80123456u);
+    EXPECT_EQ(g->size, PageSize::Page1G);
+    auto m = t.lookup(0x00212345, 1, 1);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->pa, 0x00612345u);
+    EXPECT_EQ(m->size, PageSize::Page2M);
+}
+
+TEST(Tlb, JtlbProbeOrderReportsExtraProbes)
+{
+    // Force jTLB (not micro) hits by overflowing micro with 4K pages
+    // first, then checking probe counts per page size.
+    Tlb t(smallTlb(), "tlb");
+    t.insert(0x00200000, 0x00600000, PageSize::Page2M, 1);
+    t.insert(0x80000000, 0x40000000, PageSize::Page1G, 1);
+    for (Addr i = 0; i < 8; ++i)
+        t.insert(0x100000 + i * 0x1000, 0x200000 + i * 0x1000,
+                 PageSize::Page4K, 1);
+    // 2M entry: 4K probe misses, 2M probe hits -> 2 probes.
+    auto m = t.lookup(0x00234567, 1, 20);
+    ASSERT_TRUE(m.has_value());
+    if (!m->microHit)
+        EXPECT_EQ(m->jtlbProbes, 2u);
+    // 1G entry: 3 probes.
+    auto g = t.lookup(0x80345678, 1, 21);
+    ASSERT_TRUE(g.has_value());
+    if (!g->microHit)
+        EXPECT_EQ(g->jtlbProbes, 3u);
+}
+
+TEST(Tlb, AsidIsolation)
+{
+    Tlb t(smallTlb(), "tlb");
+    t.insert(0x5000, 0x9000, PageSize::Page4K, /*asid=*/1);
+    EXPECT_TRUE(t.lookup(0x5123, 1, 0).has_value());
+    EXPECT_FALSE(t.lookup(0x5123, 2, 1).has_value());
+}
+
+TEST(Tlb, GlobalPagesIgnoreAsid)
+{
+    Tlb t(smallTlb(), "tlb");
+    t.insert(0x7000, 0xb000, PageSize::Page4K, 1, /*global=*/true);
+    EXPECT_TRUE(t.lookup(0x7042, 1, 0).has_value());
+    EXPECT_TRUE(t.lookup(0x7042, 99, 1).has_value());
+}
+
+TEST(Tlb, FlushVariants)
+{
+    Tlb t(smallTlb(), "tlb");
+    t.insert(0x1000, 0x2000, PageSize::Page4K, 1);
+    t.insert(0x3000, 0x4000, PageSize::Page4K, 2);
+    t.flushAsid(1);
+    EXPECT_FALSE(t.lookup(0x1000, 1, 0).has_value());
+    EXPECT_TRUE(t.lookup(0x3000, 2, 1).has_value());
+
+    t.insert(0x1000, 0x2000, PageSize::Page4K, 1);
+    t.flushVa(0x1000);
+    EXPECT_FALSE(t.lookup(0x1000, 1, 2).has_value());
+    EXPECT_TRUE(t.lookup(0x3000, 2, 3).has_value());
+
+    t.flushAll();
+    EXPECT_FALSE(t.lookup(0x3000, 2, 4).has_value());
+    EXPECT_EQ(t.flushes.value(), 1u);
+    EXPECT_EQ(t.asidFlushes.value(), 1u);
+}
+
+TEST(Tlb, LruReplacementInJtlbSet)
+{
+    TlbParams p = smallTlb();
+    p.jtlbWays = 2;
+    Tlb t(p, "tlb");
+    // Three pages mapping to the same jTLB set (stride sets*4K).
+    Addr stride = Addr(p.jtlbSets) * 0x1000;
+    t.insert(0x0000, 0x10000, PageSize::Page4K, 1);
+    t.insert(stride, 0x20000, PageSize::Page4K, 1);
+    // Touch the first so the second is LRU.
+    t.lookup(0x0000, 1, 5);
+    t.insert(2 * stride, 0x30000, PageSize::Page4K, 1);
+    // First survives in jTLB; second was evicted (though it may still
+    // sit in micro — flush micro effects by checking jtlb via stats).
+    EXPECT_TRUE(t.lookup(0x0000, 1, 6).has_value());
+    EXPECT_TRUE(t.lookup(2 * stride, 1, 7).has_value());
+}
+
+} // namespace xt910

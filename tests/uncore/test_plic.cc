@@ -1,0 +1,91 @@
+/**
+ * PLIC-lite tests, including the XT-910 permission-control extension
+ * on interrupt sources (§II).
+ */
+
+#include <gtest/gtest.h>
+
+#include "uncore/plic.h"
+
+namespace xt910
+{
+
+TEST(Plic, ClaimHighestPriority)
+{
+    Plic plic(4, 1);
+    plic.setPriority(1, 3);
+    plic.setPriority(2, 7);
+    plic.setPriority(3, 5);
+    for (unsigned s = 1; s <= 3; ++s) {
+        plic.setEnabled(0, s, true);
+        plic.setPending(s, true);
+    }
+    EXPECT_TRUE(plic.pendingFor(0, PrivMode::Machine));
+    EXPECT_EQ(plic.claim(0, PrivMode::Machine), 2u); // prio 7 wins
+    EXPECT_EQ(plic.claim(0, PrivMode::Machine), 3u); // then 5
+    EXPECT_EQ(plic.claim(0, PrivMode::Machine), 1u);
+    EXPECT_EQ(plic.claim(0, PrivMode::Machine), 0u); // drained
+}
+
+TEST(Plic, ThresholdMasksLowPriority)
+{
+    Plic plic(2, 1);
+    plic.setPriority(1, 2);
+    plic.setPriority(2, 6);
+    plic.setEnabled(0, 1, true);
+    plic.setEnabled(0, 2, true);
+    plic.setPending(1, true);
+    plic.setPending(2, true);
+    plic.setThreshold(0, 4);
+    EXPECT_EQ(plic.claim(0, PrivMode::Machine), 2u);
+    EXPECT_EQ(plic.claim(0, PrivMode::Machine), 0u); // 1 below threshold
+}
+
+TEST(Plic, ActiveSourceNotReclaimedUntilComplete)
+{
+    Plic plic(1, 1);
+    plic.setPriority(1, 1);
+    plic.setEnabled(0, 1, true);
+    plic.setPending(1, true);
+    EXPECT_EQ(plic.claim(0, PrivMode::Machine), 1u);
+    plic.setPending(1, true); // device re-raises while in handler
+    EXPECT_EQ(plic.claim(0, PrivMode::Machine), 0u);
+    plic.complete(0, 1);
+    EXPECT_EQ(plic.claim(0, PrivMode::Machine), 1u);
+}
+
+TEST(Plic, DisabledOrZeroPriorityNotDelivered)
+{
+    Plic plic(2, 2);
+    plic.setPriority(1, 0); // zero priority disables
+    plic.setPriority(2, 5);
+    plic.setEnabled(0, 1, true);
+    plic.setPending(1, true);
+    plic.setPending(2, true); // enabled for nobody
+    EXPECT_FALSE(plic.pendingFor(0, PrivMode::Machine));
+    EXPECT_EQ(plic.claim(0, PrivMode::Machine), 0u);
+    // Context 1 has source 2 enabled.
+    plic.setEnabled(1, 2, true);
+    EXPECT_EQ(plic.claim(1, PrivMode::Machine), 2u);
+}
+
+TEST(Plic, PermissionExtensionFiltersLowPrivilege)
+{
+    // §II: the XT-910 interrupt-controller extension adds permission
+    // control — a source restricted to S-mode is invisible to U-mode.
+    Plic plic(1, 1);
+    plic.setPriority(1, 5);
+    plic.setEnabled(0, 1, true);
+    plic.setMinPrivilege(1, PrivMode::Supervisor);
+    plic.setPending(1, true);
+    EXPECT_FALSE(plic.pendingFor(0, PrivMode::User));
+    EXPECT_EQ(plic.claim(0, PrivMode::User), 0u);
+    EXPECT_GE(plic.permissionFiltered.value(), 1u);
+    // Supervisor and machine can claim it.
+    EXPECT_EQ(plic.claim(0, PrivMode::Supervisor), 1u);
+    plic.complete(0, 1);
+    plic.setPending(1, true);
+    EXPECT_EQ(plic.claim(0, PrivMode::Machine), 1u);
+}
+
+} // namespace xt910

@@ -1,0 +1,171 @@
+/**
+ * Uncore, preset and PPA-model tests: Table I topology validation, the
+ * §V.E TLB-shootdown comparison, Table II calibration and parameter
+ * sensitivity, and the comparison-core presets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/presets.h"
+#include "power/ppa.h"
+#include "uncore/cluster.h"
+
+namespace xt910
+{
+
+TEST(Topology, TableIConfigurationsValid)
+{
+    for (const ClusterTopology &t : supportedTopologies())
+        EXPECT_EQ(t.validate(), "") << t.coresPerCluster << "x"
+                                    << t.clusters;
+    EXPECT_FALSE(supportedTopologies().empty());
+}
+
+TEST(Topology, RejectsUnsupported)
+{
+    ClusterTopology t;
+    t.coresPerCluster = 3;
+    EXPECT_NE(t.validate(), "");
+    t = ClusterTopology{};
+    t.clusters = 5;
+    EXPECT_NE(t.validate(), "");
+    t = ClusterTopology{};
+    t.l1dBytes = 128 * 1024;
+    EXPECT_NE(t.validate(), "");
+    t = ClusterTopology{};
+    t.l2Bytes = 16 * 1024 * 1024;
+    EXPECT_NE(t.validate(), "");
+    t = ClusterTopology{};
+    EXPECT_EQ(t.validate(), "");
+}
+
+TEST(Topology, SixteenCoreMax)
+{
+    ClusterTopology t;
+    t.coresPerCluster = 4;
+    t.clusters = 4;
+    EXPECT_EQ(t.validate(), "");
+    EXPECT_EQ(t.totalCores(), 16u); // the paper's 16-core configuration
+}
+
+TEST(Shootdown, HardwareBroadcastMuchCheaperThanIpi)
+{
+    ClusterTopology t;
+    t.coresPerCluster = 4;
+    t.clusters = 2;
+    ShootdownParams p;
+    TlbParams tp;
+    Tlb t1(tp, "t1"), t2(tp, "t2");
+    t1.insert(0x5000, 0x9000, PageSize::Page4K, 1);
+    t2.insert(0x5000, 0xa000, PageSize::Page4K, 1);
+    std::vector<Tlb *> remotes{&t1, &t2};
+
+    Cycle hw = tlbShootdown(t, ShootdownScheme::HardwareBroadcast, p,
+                            0x5000, remotes);
+    // Both remote TLBs lost the translation.
+    EXPECT_FALSE(t1.lookup(0x5000, 1, 0).has_value());
+    EXPECT_FALSE(t2.lookup(0x5000, 1, 0).has_value());
+
+    Cycle ipi = tlbShootdown(t, ShootdownScheme::Ipi, p, 0x5000, remotes);
+    EXPECT_GT(ipi, hw * 5); // hardware scheme is far cheaper (§V.E)
+}
+
+TEST(Shootdown, SingleCoreIsFree)
+{
+    ClusterTopology t;
+    t.coresPerCluster = 1;
+    t.clusters = 1;
+    ShootdownParams p;
+    std::vector<Tlb *> none;
+    EXPECT_EQ(tlbShootdown(t, ShootdownScheme::Ipi, p, 0x1000, none), 0u);
+}
+
+TEST(Ppa, TableIICalibration)
+{
+    // Table II: 0.8 / 0.6 mm^2 with/without VEC (excl. L2), 2.0-2.5
+    // GHz, ~100 uW/MHz per core.
+    CoreParams c;
+    MemSystemParams m;
+    m.l1i.sizeBytes = m.l1d.sizeBytes = 64 * 1024;
+    m.l2.sizeBytes = 512 * 1024;
+    PpaResult withVec = estimatePpa(c, m);
+    CoreParams nv = c;
+    nv.vecBitsPerCycle = 0;
+    PpaResult noVec = estimatePpa(nv, m);
+
+    EXPECT_NEAR(withVec.coreAreaMm2, 0.8, 0.08);
+    EXPECT_NEAR(noVec.coreAreaMm2, 0.6, 0.06);
+    EXPECT_NEAR(withVec.freqGHz, 2.0, 0.1);
+    PpaResult boost = estimatePpa(c, m, TechNode::Tsmc12,
+                                  OperatingPoint::Ulvt1v0);
+    EXPECT_NEAR(boost.freqGHz, 2.5, 0.1);
+    EXPECT_NEAR(noVec.dynUwPerMhz, 100.0, 15.0);
+}
+
+TEST(Ppa, SevenNanometerExperiment)
+{
+    // §II: "with a 7nm FinFET technology, the frequency of a single
+    // core can reach 2.8 GHz" — and the area shrinks.
+    CoreParams c;
+    MemSystemParams m;
+    PpaResult n12 = estimatePpa(c, m);
+    PpaResult n7 = estimatePpa(c, m, TechNode::Tsmc7);
+    EXPECT_NEAR(n7.freqGHz, 2.8, 0.1);
+    EXPECT_LT(n7.coreAreaMm2, n12.coreAreaMm2);
+    EXPECT_LT(n7.dynUwPerMhz, n12.dynUwPerMhz);
+}
+
+TEST(Ppa, ParameterSensitivity)
+{
+    CoreParams c;
+    MemSystemParams m;
+    PpaResult base = estimatePpa(c, m);
+
+    CoreParams bigRob = c;
+    bigRob.robEntries = 384;
+    EXPECT_GT(estimatePpa(bigRob, m).coreAreaMm2, base.coreAreaMm2);
+    EXPECT_LT(estimatePpa(bigRob, m).freqGHz, base.freqGHz + 1e-9);
+
+    MemSystemParams bigL1 = m;
+    bigL1.l1d.sizeBytes = 128 * 1024;
+    EXPECT_GT(estimatePpa(c, bigL1).coreAreaMm2, base.coreAreaMm2);
+
+    MemSystemParams bigL2 = m;
+    bigL2.l2.sizeBytes = 8 * 1024 * 1024;
+    EXPECT_GT(estimatePpa(c, bigL2).l2AreaMm2, base.l2AreaMm2);
+
+    // Narrower machine is smaller and lower power.
+    CoreParams narrow = u74ClassParams();
+    PpaResult u74 = estimatePpa(narrow, m);
+    EXPECT_LT(u74.coreAreaMm2, base.coreAreaMm2);
+    EXPECT_LT(u74.dynUwPerMhz, base.dynUwPerMhz);
+}
+
+TEST(Presets, AllConstructAndRun)
+{
+    for (const CorePreset &p : allPresets()) {
+        Assembler a;
+        using namespace reg;
+        a.li(a0, 21);
+        a.add(a0, a0, a0);
+        a.ebreak();
+        System sys(p.config);
+        sys.loadProgram(a.assemble());
+        RunResult r = sys.run();
+        EXPECT_GT(r.cycles, 0u) << p.name;
+        EXPECT_EQ(sys.iss().hart(0).x[10], 42u) << p.name;
+        EXPECT_GT(p.freqGHz, 0.0);
+    }
+}
+
+TEST(Presets, Ordering)
+{
+    auto ps = allPresets();
+    ASSERT_EQ(ps.size(), 4u);
+    EXPECT_EQ(ps.front().name, "mcu-class");
+    EXPECT_EQ(ps.back().name, "xt910");
+    EXPECT_FALSE(xt910NoVecPreset().hasVector);
+    EXPECT_TRUE(xt910Preset().hasVector);
+}
+
+} // namespace xt910

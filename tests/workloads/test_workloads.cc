@@ -1,0 +1,128 @@
+/**
+ * Functional validation of every workload: each kernel runs on the ISS
+ * and its stored checksum must equal the host-side C++ reference, in
+ * both code-generation flavours. This pins the ISA semantics of every
+ * instruction the benchmarks exercise.
+ */
+
+#include <gtest/gtest.h>
+
+#include "func/iss.h"
+#include "workloads/wl_common.h"
+#include "workloads/workload.h"
+
+namespace xt910
+{
+
+namespace
+{
+
+struct Flavour
+{
+    std::string name;
+    bool extended;
+};
+
+struct Case
+{
+    Workload w;
+    Flavour f;
+};
+
+std::vector<Case>
+allCases()
+{
+    std::vector<Case> cases;
+    for (const Workload &w : allWorkloads()) {
+        cases.push_back({w, {"native", false}});
+        // The extended flavour only differs for scalar kernels, but
+        // running both everywhere is cheap and catches regressions.
+        cases.push_back({w, {"extended", true}});
+    }
+    return cases;
+}
+
+} // namespace
+
+class WorkloadFunctional : public ::testing::TestWithParam<Case>
+{
+};
+
+TEST_P(WorkloadFunctional, ChecksumMatchesHostReference)
+{
+    const Case &c = GetParam();
+    WorkloadOptions opts;
+    opts.extended = c.f.extended;
+    opts.scale = 1;
+    opts.streamBytes = 64 * 1024; // keep functional runs quick
+    WorkloadBuild b = c.w.build(opts);
+
+    Memory mem;
+    Iss iss(mem);
+    iss.loadProgram(b.program);
+    uint64_t n = iss.run(400'000'000);
+    ASSERT_TRUE(iss.halted()) << c.w.name << " did not halt after " << n;
+    EXPECT_EQ(wl::readResult(mem, b.program), b.expected)
+        << c.w.name << " (" << c.f.name << ")";
+    EXPECT_GT(b.workItems, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadFunctional, ::testing::ValuesIn(allCases()),
+    [](const ::testing::TestParamInfo<Case> &info) {
+        return info.param.w.name + "_" + info.param.f.name;
+    });
+
+TEST(WorkloadRegistry, SuitesComplete)
+{
+    EXPECT_EQ(workloadsInSuite("coremark").size(), 4u);
+    EXPECT_EQ(workloadsInSuite("eembc").size(), 10u);
+    EXPECT_EQ(workloadsInSuite("nbench").size(), 10u);
+    EXPECT_EQ(workloadsInSuite("stream").size(), 4u);
+    EXPECT_EQ(workloadsInSuite("spec").size(), 1u);
+    EXPECT_EQ(workloadsInSuite("ai").size(), 3u);
+    EXPECT_EQ(allWorkloads().size(), 32u);
+}
+
+TEST(WorkloadRegistry, FindByName)
+{
+    EXPECT_EQ(findWorkload("crc").suite, "coremark");
+    EXPECT_THROW(findWorkload("nope"), std::runtime_error);
+}
+
+TEST(WorkloadCodegen, ExtendedUsesFewerDynamicInstructions)
+{
+    // Fig. 20's premise: the extended flavour executes fewer
+    // instructions on kernels with address-generation/MAC hot loops.
+    for (const char *name : {"matrix", "crc", "mac_scalar", "iirflt"}) {
+        WorkloadOptions native, ext;
+        ext.extended = true;
+        WorkloadBuild bn = findWorkload(name).build(native);
+        WorkloadBuild be = findWorkload(name).build(ext);
+        Memory m1, m2;
+        Iss i1(m1), i2(m2);
+        i1.loadProgram(bn.program);
+        i2.loadProgram(be.program);
+        i1.run(200'000'000);
+        i2.run(200'000'000);
+        EXPECT_LT(i2.hart(0).instret, i1.hart(0).instret) << name;
+    }
+}
+
+TEST(WorkloadCodegen, VectorMacExecutesFarFewerInstructions)
+{
+    WorkloadOptions o;
+    WorkloadBuild scalar = findWorkload("mac_scalar").build(o);
+    WorkloadBuild vec = findWorkload("mac_vector").build(o);
+    Memory m1, m2;
+    Iss i1(m1), i2(m2);
+    i1.loadProgram(scalar.program);
+    i2.loadProgram(vec.program);
+    i1.run(200'000'000);
+    i2.run(200'000'000);
+    ASSERT_TRUE(i1.halted() && i2.halted());
+    // 8 elements per vector instruction: > 3x dynamic-count reduction.
+    EXPECT_LT(i2.hart(0).instret * 3, i1.hart(0).instret);
+}
+
+} // namespace xt910

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * xt910-run — command-line driver for the simulator.
+ *
+ *   xt910-run [options] <workload>
+ *   xt910-run --list
+ *
+ * Options:
+ *   --preset xt910|u74|a73|mcu   core model (default xt910)
+ *   --cores N                    SMP width (default 1)
+ *   --extended                   custom-ISA + optimized codegen
+ *   --vector                     (workloads that support it)
+ *   --scale N                    iteration multiplier
+ *   --stream-kib N               STREAM array size
+ *   --paged                      SV39 translation w/ identity tables
+ *   --l2-kib N                   L2 size
+ *   --dram-latency N             memory latency in cycles
+ *   --no-prefetch                disable the data prefetcher
+ *   --stats                      dump full component statistics
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "baseline/presets.h"
+#include "core/system.h"
+#include "mmu/pagetable.h"
+#include "workloads/wl_common.h"
+#include "workloads/workload.h"
+
+using namespace xt910;
+
+namespace
+{
+
+void
+usage()
+{
+    std::printf(
+        "usage: xt910-run [options] <workload>\n"
+        "       xt910-run --list\n"
+        "options: --preset xt910|u74|a73|mcu  --cores N  --extended\n"
+        "         --scale N  --stream-kib N  --paged  --l2-kib N\n"
+        "         --dram-latency N  --no-prefetch  --stats\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload;
+    std::string preset = "xt910";
+    unsigned cores = 1;
+    bool stats = false, paged = false, noPrefetch = false;
+    WorkloadOptions wo;
+
+    SystemConfig cfg;
+    bool l2Set = false, dramSet = false;
+    unsigned l2Kib = 0;
+    Cycle dramLat = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--list") {
+            for (const Workload &w : allWorkloads())
+                std::printf("%-14s (%s)\n", w.name.c_str(),
+                            w.suite.c_str());
+            return 0;
+        } else if (a == "--preset") {
+            preset = next();
+        } else if (a == "--cores") {
+            cores = unsigned(std::atoi(next()));
+        } else if (a == "--extended") {
+            wo.extended = true;
+        } else if (a == "--vector") {
+            wo.vector = true;
+        } else if (a == "--scale") {
+            wo.scale = unsigned(std::atoi(next()));
+        } else if (a == "--stream-kib") {
+            wo.streamBytes = unsigned(std::atoi(next())) * 1024;
+        } else if (a == "--paged") {
+            paged = true;
+        } else if (a == "--l2-kib") {
+            l2Kib = unsigned(std::atoi(next()));
+            l2Set = true;
+        } else if (a == "--dram-latency") {
+            dramLat = Cycle(std::atoll(next()));
+            dramSet = true;
+        } else if (a == "--no-prefetch") {
+            noPrefetch = true;
+        } else if (a == "--stats") {
+            stats = true;
+        } else if (a == "--help" || a == "-h") {
+            usage();
+            return 0;
+        } else if (!a.empty() && a[0] != '-') {
+            workload = a;
+        } else {
+            std::fprintf(stderr, "unknown option %s\n", a.c_str());
+            usage();
+            return 2;
+        }
+    }
+    if (workload.empty()) {
+        usage();
+        return 2;
+    }
+
+    CorePreset p = preset == "u74"   ? u74Preset()
+                   : preset == "a73" ? a73Preset()
+                   : preset == "mcu" ? mcuPreset()
+                                     : xt910Preset();
+    cfg = p.config;
+    cfg.numCores = cores;
+    if (l2Set)
+        cfg.mem.l2.sizeBytes = l2Kib * 1024;
+    if (dramSet)
+        cfg.mem.dram.latency = dramLat;
+    if (noPrefetch) {
+        cfg.core.prefetch.enableL1 = false;
+        cfg.core.prefetch.enableL2 = false;
+        cfg.core.tlbPrefetch = false;
+    }
+    constexpr Addr tableBase = 0xc000'0000;
+    if (paged) {
+        cfg.core.translation = TranslationMode::Paged;
+        cfg.core.pageTableRoot = tableBase;
+    }
+
+    WorkloadBuild wb = findWorkload(workload).build(wo);
+    System sys(cfg);
+    if (paged) {
+        PageTableBuilder ptb(sys.memory(), tableBase);
+        Addr root = ptb.createRoot();
+        ptb.identityMap(root, wb.program.base, 0x100000,
+                        PageSize::Page4K);
+        // Cover the off-image regions the stream/spec kernels use.
+        ptb.identityMap(root, 0x9000'0000, 8ull << 20, PageSize::Page4K);
+        ptb.identityMap(root, 0xa000'0000, 4ull << 20, PageSize::Page2M);
+        ptb.identityMap(root, 0xb000'0000, 2ull << 20, PageSize::Page2M);
+    }
+    sys.loadProgram(wb.program);
+    RunResult r = sys.run();
+
+    bool ok = wl::readResult(sys.memory(), wb.program) == wb.expected;
+    std::printf("workload   : %s (%s%s)\n", workload.c_str(),
+                p.name.c_str(), wo.extended ? ", extended" : "");
+    std::printf("cores      : %u\n", cores);
+    std::printf("insts      : %llu\n",
+                static_cast<unsigned long long>(r.insts));
+    std::printf("cycles     : %llu\n",
+                static_cast<unsigned long long>(r.cycles));
+    std::printf("IPC        : %.3f\n", r.ipc());
+    std::printf("time @%.1fGHz: %.3f ms\n", p.freqGHz,
+                double(r.cycles) / (p.freqGHz * 1e6));
+    std::printf("checksum   : %s\n", ok ? "ok" : "MISMATCH");
+    if (stats) {
+        std::printf("\n");
+        sys.dumpStats(std::cout);
+    }
+    return ok ? 0 : 1;
+}
