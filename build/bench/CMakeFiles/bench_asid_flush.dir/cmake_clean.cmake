@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_asid_flush.dir/bench_asid_flush.cc.o"
+  "CMakeFiles/bench_asid_flush.dir/bench_asid_flush.cc.o.d"
+  "bench_asid_flush"
+  "bench_asid_flush.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_asid_flush.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_coremark.dir/bench_fig17_coremark.cc.o"
+  "CMakeFiles/bench_fig17_coremark.dir/bench_fig17_coremark.cc.o.d"
+  "bench_fig17_coremark"
+  "bench_fig17_coremark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_coremark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

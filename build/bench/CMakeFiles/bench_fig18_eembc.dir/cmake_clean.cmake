@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_eembc.dir/bench_fig18_eembc.cc.o"
+  "CMakeFiles/bench_fig18_eembc.dir/bench_fig18_eembc.cc.o.d"
+  "bench_fig18_eembc"
+  "bench_fig18_eembc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_eembc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_nbench.dir/bench_fig19_nbench.cc.o"
+  "CMakeFiles/bench_fig19_nbench.dir/bench_fig19_nbench.cc.o.d"
+  "bench_fig19_nbench"
+  "bench_fig19_nbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_nbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spec_like.dir/bench_spec_like.cc.o"
+  "CMakeFiles/bench_spec_like.dir/bench_spec_like.cc.o.d"
+  "bench_spec_like"
+  "bench_spec_like.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spec_like.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_ppa.dir/bench_table2_ppa.cc.o"
+  "CMakeFiles/bench_table2_ppa.dir/bench_table2_ppa.cc.o.d"
+  "bench_table2_ppa"
+  "bench_table2_ppa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_ppa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vector_mac.dir/bench_vector_mac.cc.o"
+  "CMakeFiles/bench_vector_mac.dir/bench_vector_mac.cc.o.d"
+  "bench_vector_mac"
+  "bench_vector_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vector_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

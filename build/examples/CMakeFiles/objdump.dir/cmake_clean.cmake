@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/objdump.dir/objdump.cpp.o"
+  "CMakeFiles/objdump.dir/objdump.cpp.o.d"
+  "objdump"
+  "objdump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/objdump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefetch_explorer.dir/prefetch_explorer.cpp.o"
+  "CMakeFiles/prefetch_explorer.dir/prefetch_explorer.cpp.o.d"
+  "prefetch_explorer"
+  "prefetch_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefetch_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

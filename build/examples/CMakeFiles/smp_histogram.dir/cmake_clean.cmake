@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smp_histogram.dir/smp_histogram.cpp.o"
+  "CMakeFiles/smp_histogram.dir/smp_histogram.cpp.o.d"
+  "smp_histogram"
+  "smp_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smp_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vector_ai.dir/vector_ai.cpp.o"
+  "CMakeFiles/vector_ai.dir/vector_ai.cpp.o.d"
+  "vector_ai"
+  "vector_ai.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vector_ai.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xt_baseline.dir/presets.cc.o"
+  "CMakeFiles/xt_baseline.dir/presets.cc.o.d"
+  "libxt_baseline.a"
+  "libxt_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xt_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

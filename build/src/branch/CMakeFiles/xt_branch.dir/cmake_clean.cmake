@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xt_branch.dir/btb.cc.o"
+  "CMakeFiles/xt_branch.dir/btb.cc.o.d"
+  "CMakeFiles/xt_branch.dir/direction.cc.o"
+  "CMakeFiles/xt_branch.dir/direction.cc.o.d"
+  "CMakeFiles/xt_branch.dir/loopbuffer.cc.o"
+  "CMakeFiles/xt_branch.dir/loopbuffer.cc.o.d"
+  "libxt_branch.a"
+  "libxt_branch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xt_branch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xt_common.dir/log.cc.o"
+  "CMakeFiles/xt_common.dir/log.cc.o.d"
+  "CMakeFiles/xt_common.dir/stats.cc.o"
+  "CMakeFiles/xt_common.dir/stats.cc.o.d"
+  "CMakeFiles/xt_common.dir/types.cc.o"
+  "CMakeFiles/xt_common.dir/types.cc.o.d"
+  "libxt_common.a"
+  "libxt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/core.cc" "src/core/CMakeFiles/xt_core.dir/core.cc.o" "gcc" "src/core/CMakeFiles/xt_core.dir/core.cc.o.d"
+  "/root/repo/src/core/params.cc" "src/core/CMakeFiles/xt_core.dir/params.cc.o" "gcc" "src/core/CMakeFiles/xt_core.dir/params.cc.o.d"
+  "/root/repo/src/core/system.cc" "src/core/CMakeFiles/xt_core.dir/system.cc.o" "gcc" "src/core/CMakeFiles/xt_core.dir/system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/branch/CMakeFiles/xt_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/mmu/CMakeFiles/xt_mmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/xt_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/func/CMakeFiles/xt_func.dir/DependInfo.cmake"
+  "/root/repo/build/src/xasm/CMakeFiles/xt_xasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/xt_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xt_core.dir/core.cc.o"
+  "CMakeFiles/xt_core.dir/core.cc.o.d"
+  "CMakeFiles/xt_core.dir/params.cc.o"
+  "CMakeFiles/xt_core.dir/params.cc.o.d"
+  "CMakeFiles/xt_core.dir/system.cc.o"
+  "CMakeFiles/xt_core.dir/system.cc.o.d"
+  "libxt_core.a"
+  "libxt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xt_func.dir/iss.cc.o"
+  "CMakeFiles/xt_func.dir/iss.cc.o.d"
+  "CMakeFiles/xt_func.dir/memory.cc.o"
+  "CMakeFiles/xt_func.dir/memory.cc.o.d"
+  "libxt_func.a"
+  "libxt_func.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xt_func.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

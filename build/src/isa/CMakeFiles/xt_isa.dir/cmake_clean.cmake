@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xt_isa.dir/disasm.cc.o"
+  "CMakeFiles/xt_isa.dir/disasm.cc.o.d"
+  "CMakeFiles/xt_isa.dir/encoding.cc.o"
+  "CMakeFiles/xt_isa.dir/encoding.cc.o.d"
+  "CMakeFiles/xt_isa.dir/opcodes.cc.o"
+  "CMakeFiles/xt_isa.dir/opcodes.cc.o.d"
+  "CMakeFiles/xt_isa.dir/rvc.cc.o"
+  "CMakeFiles/xt_isa.dir/rvc.cc.o.d"
+  "libxt_isa.a"
+  "libxt_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xt_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xt_mem.dir/cache.cc.o"
+  "CMakeFiles/xt_mem.dir/cache.cc.o.d"
+  "CMakeFiles/xt_mem.dir/memsystem.cc.o"
+  "CMakeFiles/xt_mem.dir/memsystem.cc.o.d"
+  "CMakeFiles/xt_mem.dir/prefetcher.cc.o"
+  "CMakeFiles/xt_mem.dir/prefetcher.cc.o.d"
+  "libxt_mem.a"
+  "libxt_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xt_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xt_mmu.dir/pagetable.cc.o"
+  "CMakeFiles/xt_mmu.dir/pagetable.cc.o.d"
+  "CMakeFiles/xt_mmu.dir/pmp.cc.o"
+  "CMakeFiles/xt_mmu.dir/pmp.cc.o.d"
+  "CMakeFiles/xt_mmu.dir/tlb.cc.o"
+  "CMakeFiles/xt_mmu.dir/tlb.cc.o.d"
+  "libxt_mmu.a"
+  "libxt_mmu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xt_mmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

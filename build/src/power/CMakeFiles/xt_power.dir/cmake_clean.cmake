@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xt_power.dir/ppa.cc.o"
+  "CMakeFiles/xt_power.dir/ppa.cc.o.d"
+  "libxt_power.a"
+  "libxt_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xt_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xt_uncore.dir/cluster.cc.o"
+  "CMakeFiles/xt_uncore.dir/cluster.cc.o.d"
+  "CMakeFiles/xt_uncore.dir/plic.cc.o"
+  "CMakeFiles/xt_uncore.dir/plic.cc.o.d"
+  "libxt_uncore.a"
+  "libxt_uncore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xt_uncore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

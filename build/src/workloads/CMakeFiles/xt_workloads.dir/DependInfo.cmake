@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/ai.cc" "src/workloads/CMakeFiles/xt_workloads.dir/ai.cc.o" "gcc" "src/workloads/CMakeFiles/xt_workloads.dir/ai.cc.o.d"
+  "/root/repo/src/workloads/coremark.cc" "src/workloads/CMakeFiles/xt_workloads.dir/coremark.cc.o" "gcc" "src/workloads/CMakeFiles/xt_workloads.dir/coremark.cc.o.d"
+  "/root/repo/src/workloads/eembc.cc" "src/workloads/CMakeFiles/xt_workloads.dir/eembc.cc.o" "gcc" "src/workloads/CMakeFiles/xt_workloads.dir/eembc.cc.o.d"
+  "/root/repo/src/workloads/nbench.cc" "src/workloads/CMakeFiles/xt_workloads.dir/nbench.cc.o" "gcc" "src/workloads/CMakeFiles/xt_workloads.dir/nbench.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/workloads/CMakeFiles/xt_workloads.dir/registry.cc.o" "gcc" "src/workloads/CMakeFiles/xt_workloads.dir/registry.cc.o.d"
+  "/root/repo/src/workloads/speclike.cc" "src/workloads/CMakeFiles/xt_workloads.dir/speclike.cc.o" "gcc" "src/workloads/CMakeFiles/xt_workloads.dir/speclike.cc.o.d"
+  "/root/repo/src/workloads/stream.cc" "src/workloads/CMakeFiles/xt_workloads.dir/stream.cc.o" "gcc" "src/workloads/CMakeFiles/xt_workloads.dir/stream.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xasm/CMakeFiles/xt_xasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/func/CMakeFiles/xt_func.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/xt_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

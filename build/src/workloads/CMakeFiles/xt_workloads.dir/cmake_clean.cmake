@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xt_workloads.dir/ai.cc.o"
+  "CMakeFiles/xt_workloads.dir/ai.cc.o.d"
+  "CMakeFiles/xt_workloads.dir/coremark.cc.o"
+  "CMakeFiles/xt_workloads.dir/coremark.cc.o.d"
+  "CMakeFiles/xt_workloads.dir/eembc.cc.o"
+  "CMakeFiles/xt_workloads.dir/eembc.cc.o.d"
+  "CMakeFiles/xt_workloads.dir/nbench.cc.o"
+  "CMakeFiles/xt_workloads.dir/nbench.cc.o.d"
+  "CMakeFiles/xt_workloads.dir/registry.cc.o"
+  "CMakeFiles/xt_workloads.dir/registry.cc.o.d"
+  "CMakeFiles/xt_workloads.dir/speclike.cc.o"
+  "CMakeFiles/xt_workloads.dir/speclike.cc.o.d"
+  "CMakeFiles/xt_workloads.dir/stream.cc.o"
+  "CMakeFiles/xt_workloads.dir/stream.cc.o.d"
+  "libxt_workloads.a"
+  "libxt_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xt_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

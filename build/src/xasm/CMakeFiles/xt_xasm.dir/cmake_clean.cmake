@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xt_xasm.dir/assembler.cc.o"
+  "CMakeFiles/xt_xasm.dir/assembler.cc.o.d"
+  "libxt_xasm.a"
+  "libxt_xasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xt_xasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_func.dir/func/test_interrupts.cc.o"
+  "CMakeFiles/test_func.dir/func/test_interrupts.cc.o.d"
+  "CMakeFiles/test_func.dir/func/test_iss.cc.o"
+  "CMakeFiles/test_func.dir/func/test_iss.cc.o.d"
+  "CMakeFiles/test_func.dir/func/test_iss_coverage.cc.o"
+  "CMakeFiles/test_func.dir/func/test_iss_coverage.cc.o.d"
+  "CMakeFiles/test_func.dir/func/test_iss_custom.cc.o"
+  "CMakeFiles/test_func.dir/func/test_iss_custom.cc.o.d"
+  "CMakeFiles/test_func.dir/func/test_iss_vector.cc.o"
+  "CMakeFiles/test_func.dir/func/test_iss_vector.cc.o.d"
+  "CMakeFiles/test_func.dir/func/test_memory.cc.o"
+  "CMakeFiles/test_func.dir/func/test_memory.cc.o.d"
+  "test_func"
+  "test_func.pdb"
+  "test_func[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_func.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

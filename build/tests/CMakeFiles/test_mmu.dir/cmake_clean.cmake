@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mmu.dir/mmu/test_pagetable.cc.o"
+  "CMakeFiles/test_mmu.dir/mmu/test_pagetable.cc.o.d"
+  "CMakeFiles/test_mmu.dir/mmu/test_pmp.cc.o"
+  "CMakeFiles/test_mmu.dir/mmu/test_pmp.cc.o.d"
+  "CMakeFiles/test_mmu.dir/mmu/test_tlb.cc.o"
+  "CMakeFiles/test_mmu.dir/mmu/test_tlb.cc.o.d"
+  "test_mmu"
+  "test_mmu.pdb"
+  "test_mmu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uncore.dir/uncore/test_plic.cc.o"
+  "CMakeFiles/test_uncore.dir/uncore/test_plic.cc.o.d"
+  "CMakeFiles/test_uncore.dir/uncore/test_uncore.cc.o"
+  "CMakeFiles/test_uncore.dir/uncore/test_uncore.cc.o.d"
+  "test_uncore"
+  "test_uncore.pdb"
+  "test_uncore[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uncore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

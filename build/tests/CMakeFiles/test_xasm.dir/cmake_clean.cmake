@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xasm.dir/xasm/test_asm_fuzz.cc.o"
+  "CMakeFiles/test_xasm.dir/xasm/test_asm_fuzz.cc.o.d"
+  "CMakeFiles/test_xasm.dir/xasm/test_assembler.cc.o"
+  "CMakeFiles/test_xasm.dir/xasm/test_assembler.cc.o.d"
+  "test_xasm"
+  "test_xasm.pdb"
+  "test_xasm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xt910-run.dir/xt910_run.cpp.o"
+  "CMakeFiles/xt910-run.dir/xt910_run.cpp.o.d"
+  "xt910-run"
+  "xt910-run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xt910-run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
