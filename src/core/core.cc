@@ -52,6 +52,8 @@ XtCore::XtCore(unsigned coreId_, const CoreParams &params, MemSystem &ms,
       blockedLoads(stats, "blocked_loads",
                    "loads delayed by the dependence predictor"),
       serializations(stats, "serializations", "pipeline drains"),
+      trapFlushes(stats, "trap_flushes",
+                  "synchronous-exception pipeline flushes"),
       ptwWalks(stats, "ptw_walks", "page-table walks"),
       ptwCycles(stats, "ptw_cycles", "cycles spent walking"),
       coreId(coreId_),
@@ -263,6 +265,12 @@ XtCore::predictAndTrain(const ExecRecord &rec, Cycle groupStart,
         // Without BUF1/BUF2 a branch served right after another pays a
         // one-cycle SRAM re-read bubble (§III.A).
         static_assert(true);
+    }
+    if (forcedMispredict) {
+        // Injected fault: the prediction structures produced garbage
+        // for this branch; it resolves as an execute-stage redirect.
+        forcedMispredict = false;
+        dirMispredict = true;
     }
 
     const bool loopBranch =
@@ -731,8 +739,17 @@ XtCore::consume(const ExecRecord &rec)
     }
 
     // Branch prediction bookkeeping + redirects for younger fetches.
-    if (di.isBranch() || di.isJump())
+    if (rec.trap.valid) {
+        // A synchronous exception flushes the whole pipeline at retire
+        // and refetches from the handler (or stops, if the hart died).
+        ++trapFlushes;
+        fetchResume = std::max(fetchResume,
+                               instDone + p.trapFlushPenalty);
+        curWindow = ~Addr(0); // wrong-path fetch group discarded
+        lbuf.exitLoop();
+    } else if (di.isBranch() || di.isJump()) {
         predictAndTrain(rec, groupStart, instDone);
+    }
 
     ++nRetired;
 }

@@ -105,8 +105,20 @@ class XtCore : public PrefetchSink
     Counter forwardedLoads;     ///< store-to-load forwards
     Counter blockedLoads;       ///< dep-predictor-delayed loads (§V.A)
     Counter serializations;     ///< CSR/fence pipeline drains
+    Counter trapFlushes;        ///< synchronous-exception pipeline flushes
     Counter ptwWalks;
     Counter ptwCycles;
+
+    /**
+     * Fault injection: force the next branch/jump consumed to resolve
+     * as an execute-stage mispredict (models a corrupted prediction
+     * structure).
+     */
+    void injectMispredict() { forcedMispredict = true; }
+
+    // Watchdog diagnostics.
+    size_t robOccupancy() const { return rob.size(); }
+    Cycle robHeadRetire() const { return rob.empty() ? 0 : rob.front(); }
 
   private:
     enum Pipe : uint8_t
@@ -208,6 +220,8 @@ class XtCore : public PrefetchSink
     // vsetvl speculation state (§VII).
     unsigned lastVl = 0;
     bool lastVlValid = false;
+
+    bool forcedMispredict = false; ///< armed by injectMispredict()
 };
 
 } // namespace xt910

@@ -74,6 +74,12 @@ struct CoreParams
     bool memDepPredict = true;    ///< speculation-failure tagging (§V.A)
     unsigned storeToLoadForwardLat = 1;
     unsigned orderingFlushPenalty = 12; ///< global flush on violation
+    /**
+     * Full pipeline flush + refetch from mtvec when an instruction
+     * raises a synchronous exception. Traps resolve at retire, one
+     * stage deeper than an execute-stage branch redirect.
+     */
+    unsigned trapFlushPenalty = 14;
 
     /** Vector datapath: result bits per cycle (2 slices x 128b ops). */
     unsigned vecBitsPerCycle = 256; ///< §VII: 256-bit results/cycle

@@ -1,8 +1,10 @@
 #include "core/system.h"
 
 #include <ostream>
+#include <sstream>
 
 #include "common/log.h"
+#include "func/csr.h"
 
 namespace xt910
 {
@@ -15,9 +17,43 @@ System::System(const SystemConfig &cfg_) : cfg(cfg_)
     IssOptions io = cfg.iss;
     io.vlenBits = cfg.core.vlenBits ? cfg.core.vlenBits : io.vlenBits;
     issModel = std::make_unique<Iss>(mem, cfg.numCores, io);
-    for (unsigned c = 0; c < cfg.numCores; ++c)
+    for (unsigned c = 0; c < cfg.numCores; ++c) {
         cores.push_back(
             std::make_unique<XtCore>(c, cfg.core, *memSys, mem));
+        watchdogs.emplace_back(cfg.watchdog);
+    }
+}
+
+bool
+System::interruptible(unsigned hart) const
+{
+    // Another running hart can store to memory this hart spins on.
+    for (unsigned c = 0; c < cfg.numCores; ++c)
+        if (c != hart && !issModel->halted(c))
+            return true;
+    // An enabled machine interrupt can still fire and redirect the
+    // spin to a handler.
+    const ArchState &s = issModel->hart(hart);
+    auto mstatusIt = s.csrs.find(csr::mstatus);
+    auto mieIt = s.csrs.find(csr::mie);
+    bool mie = mstatusIt != s.csrs.end() && (mstatusIt->second & 0x8);
+    bool armed = mieIt != s.csrs.end() &&
+                 (mieIt->second & ((1ull << 7) | (1ull << 3)));
+    return cfg.iss.enableClint && mie && armed;
+}
+
+std::string
+System::diagnose(unsigned hart) const
+{
+    std::ostringstream os;
+    os << "hart " << hart << " at pc 0x" << std::hex
+       << issModel->hart(hart).pc << std::dec << ", "
+       << issModel->hart(hart).instret << " insts retired, cycle "
+       << cores[hart]->cycles() << "\nrob: " << cores[hart]->robOccupancy()
+       << " in flight, head retires at cycle "
+       << cores[hart]->robHeadRetire() << "\n"
+       << watchdogs[hart].diagnostic();
+    return os.str();
 }
 
 void
@@ -49,12 +85,29 @@ System::run()
         }
         if (!found)
             break;
+        if (stepHook)
+            stepHook(n, *this);
         ExecRecord rec = issModel->step(pick);
         cores[pick]->consume(rec);
         ++n;
+        watchdogs[pick].observe(rec, interruptible(pick));
+        if (watchdogs[pick].fired()) {
+            r.stop = StopReason::Watchdog;
+            r.diagnostic = diagnose(pick);
+            xt_warn("watchdog fired:\n", r.diagnostic);
+            break;
+        }
+        if (cfg.maxCycles && cores[pick]->cycles() >= cfg.maxCycles) {
+            r.stop = StopReason::CycleLimit;
+            r.diagnostic = diagnose(pick);
+            break;
+        }
     }
-    if (n >= cfg.maxInsts)
+    if (n >= cfg.maxInsts) {
+        r.stop = StopReason::InstLimit;
+        r.diagnostic = diagnose(0);
         xt_warn("run hit the instruction limit (", cfg.maxInsts, ")");
+    }
 
     for (unsigned c = 0; c < cfg.numCores; ++c) {
         r.coreCycles[c] = cores[c]->cycles();

@@ -15,10 +15,13 @@
 #ifndef XT910_CORE_SYSTEM_H
 #define XT910_CORE_SYSTEM_H
 
+#include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/core.h"
+#include "core/watchdog.h"
 #include "func/iss.h"
 #include "mem/memsystem.h"
 
@@ -33,6 +36,18 @@ struct SystemConfig
     MemSystemParams mem{};      ///< numCores is overridden
     IssOptions iss{};           ///< vlen etc.
     uint64_t maxInsts = 2'000'000'000;
+    /** Stop once any core's timing model passes this cycle (0 = off). */
+    Cycle maxCycles = 0;
+    WatchdogParams watchdog{};  ///< livelock detection (per hart)
+};
+
+/** Why a run stopped. */
+enum class StopReason : uint8_t
+{
+    Halted,     ///< every hart halted architecturally
+    InstLimit,  ///< maxInsts reached
+    CycleLimit, ///< maxCycles reached
+    Watchdog,   ///< a hart made no progress (see diagnostic)
 };
 
 /** Result of a run. */
@@ -42,6 +57,9 @@ struct RunResult
     Cycle cycles = 0;          ///< max cycle count over cores
     std::vector<Cycle> coreCycles;
     std::vector<uint64_t> coreInsts;
+    StopReason stop = StopReason::Halted;
+    /** Human-readable dump when stop != Halted (ROB head, last PCs). */
+    std::string diagnostic;
 
     double
     ipc() const
@@ -70,12 +88,24 @@ class System
 
     void dumpStats(std::ostream &os) const;
 
+    /**
+     * Called before every functional step with (instructions retired so
+     * far, this system). Fault injectors hang their schedules here.
+     */
+    std::function<void(uint64_t, System &)> stepHook;
+
   private:
+    /** Could anything outside @p hart still unblock it? */
+    bool interruptible(unsigned hart) const;
+    /** Compose the watchdog/limit diagnostic for @p hart. */
+    std::string diagnose(unsigned hart) const;
+
     SystemConfig cfg;
     Memory mem;
     std::unique_ptr<MemSystem> memSys;
     std::unique_ptr<Iss> issModel;
     std::vector<std::unique_ptr<XtCore>> cores;
+    std::vector<Watchdog> watchdogs;
 };
 
 } // namespace xt910

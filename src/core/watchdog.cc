@@ -1,0 +1,87 @@
+#include "core/watchdog.h"
+
+#include <sstream>
+
+namespace xt910
+{
+
+void
+Watchdog::observe(const ExecRecord &rec, bool interruptible)
+{
+    if (!p.enabled || hasFired)
+        return;
+
+    if (ring.size() < p.traceDepth) {
+        ring.push_back(rec.pc);
+    } else if (!ring.empty()) {
+        ring[ringNext] = rec.pc;
+        ringNext = (ringNext + 1) % ring.size();
+    }
+
+    // Signs of progress: the hart halted, took a trap (the handler may
+    // fix the condition), wrote memory, moved its data accesses, or
+    // left the code window entirely.
+    bool progress = rec.halted || rec.trap.valid;
+    if (rec.di.isStore())
+        progress = true;
+    if (rec.isMemOp()) {
+        if (!lastMemValid || rec.memAddr != lastMemAddr)
+            progress = true;
+        lastMemAddr = rec.memAddr;
+        lastMemValid = true;
+    }
+    if (!anchorValid) {
+        anchorValid = true;
+        anchorPc = rec.pc;
+    } else {
+        uint64_t dist = rec.pc > anchorPc ? rec.pc - anchorPc
+                                          : anchorPc - rec.pc;
+        if (dist > p.pcWindowBytes)
+            progress = true;
+    }
+
+    if (progress || interruptible) {
+        anchorPc = rec.pc;
+        spinCount = 0;
+        return;
+    }
+
+    if (++spinCount >= p.spinWindowInsts)
+        hasFired = true;
+}
+
+std::vector<Addr>
+Watchdog::recentPcs() const
+{
+    std::vector<Addr> out;
+    out.reserve(ring.size());
+    for (size_t i = 0; i < ring.size(); ++i)
+        out.push_back(ring[(ringNext + i) % ring.size()]);
+    return out;
+}
+
+std::string
+Watchdog::diagnostic() const
+{
+    std::ostringstream os;
+    os << "watchdog: no progress for " << spinCount
+       << " retired instructions inside a " << p.pcWindowBytes
+       << "-byte window around pc 0x" << std::hex << anchorPc << std::dec
+       << "\nlast " << ring.size() << " retired pcs (oldest first):\n";
+    for (Addr pc : recentPcs())
+        os << "  0x" << std::hex << pc << std::dec << "\n";
+    return os.str();
+}
+
+void
+Watchdog::reset()
+{
+    anchorValid = false;
+    lastMemValid = false;
+    spinCount = 0;
+    hasFired = false;
+    ring.clear();
+    ringNext = 0;
+}
+
+} // namespace xt910

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Deadlock / livelock watchdog. The simulator is trace-driven, so a
+ * guest that spins forever (a mis-handled trap looping on the same
+ * faulting PC, a lock that is never released, a handler that mret-s
+ * back onto the faulting instruction) would otherwise hang the whole
+ * process. The watchdog observes every retired instruction and fires
+ * when the hart has made no architectural progress for a configurable
+ * window: the PC stays inside a small code window with no store, no
+ * trap, no halt and no way for an interrupt or another hart to break
+ * the loop. It keeps a ring buffer of recently retired PCs so the
+ * abort comes with a usable diagnostic.
+ */
+
+#ifndef XT910_CORE_WATCHDOG_H
+#define XT910_CORE_WATCHDOG_H
+
+#include <string>
+#include <vector>
+
+#include "func/iss.h"
+
+namespace xt910
+{
+
+/** Watchdog tuning knobs. */
+struct WatchdogParams
+{
+    bool enabled = true;
+    /**
+     * Retired instructions confined to one code window, with no other
+     * sign of progress, before the watchdog declares a livelock. Large
+     * enough that counted delay loops in workloads stay clear.
+     */
+    uint64_t spinWindowInsts = 100'000;
+    /** Code-window radius: PCs further apart than this reset the spin
+     *  counter (a real loop nest walks more code than a spin). */
+    uint64_t pcWindowBytes = 64;
+    /** Retired PCs kept for the diagnostic dump. */
+    unsigned traceDepth = 16;
+};
+
+/** See file comment. */
+class Watchdog
+{
+  public:
+    explicit Watchdog(const WatchdogParams &params) : p(params) {}
+
+    /**
+     * Feed one retired instruction. @p interruptible says whether
+     * anything outside this hart could still change its state (enabled
+     * interrupts pending delivery, other harts running): a spin that
+     * can be broken externally is a wait, not a hang.
+     */
+    void observe(const ExecRecord &rec, bool interruptible);
+
+    bool fired() const { return hasFired; }
+
+    /** Multi-line description of the spin: window, count, last PCs. */
+    std::string diagnostic() const;
+
+    /** Last retired PCs, oldest first (for tests / richer dumps). */
+    std::vector<Addr> recentPcs() const;
+
+    void reset();
+
+  private:
+    WatchdogParams p;
+    Addr anchorPc = 0;       ///< window reference point
+    bool anchorValid = false;
+    Addr lastMemAddr = 0;    ///< advancing data accesses are progress
+    bool lastMemValid = false;
+    uint64_t spinCount = 0;  ///< retires since last sign of progress
+    bool hasFired = false;
+
+    std::vector<Addr> ring;  ///< last traceDepth retired PCs
+    size_t ringNext = 0;
+};
+
+} // namespace xt910
+
+#endif // XT910_CORE_WATCHDOG_H

@@ -1,0 +1,122 @@
+#include "fault/campaign.h"
+
+#include "common/log.h"
+
+namespace xt910
+{
+
+FaultCampaign::FaultCampaign(CampaignConfig cfg_)
+    : stats("campaign"),
+      runs(stats, "runs", "injected runs executed"),
+      detected(stats, "detected", "fault raised an architectural trap"),
+      masked(stats, "masked", "fault had no architectural effect"),
+      silent(stats, "silent", "wrong result with no trap (SDC)"),
+      hung(stats, "hung", "watchdog or run limit fired"),
+      crashed(stats, "crashed", "hart died on an unhandled trap"),
+      cfg(std::move(cfg_))
+{
+    resultAddr = cfg.program.symbol("result");
+    if (cfg.kinds.empty()) {
+        for (unsigned k = 0; k < unsigned(FaultKind::NumKinds); ++k)
+            cfg.kinds.push_back(FaultKind(k));
+    }
+}
+
+SystemConfig
+FaultCampaign::hardenedConfig() const
+{
+    SystemConfig sc = cfg.sys;
+    // Campaign runs must never abort the host process or hang: an
+    // unhandled trap halts the hart, the watchdog catches livelocks,
+    // and a generous instruction budget bounds everything else.
+    sc.iss.fatalOnUnhandledTrap = false;
+    sc.watchdog.enabled = true;
+    if (goldenInsts_)
+        sc.maxInsts = goldenInsts_ * 4 + 100'000;
+    return sc;
+}
+
+Outcome
+FaultCampaign::runOne(const FaultPlan &plan)
+{
+    System sys(hardenedConfig());
+    sys.loadProgram(cfg.program);
+    FaultInjector inj(plan);
+    inj.attach(sys);
+    RunResult r = sys.run();
+
+    uint64_t traps = 0;
+    bool anyFatal = false;
+    for (unsigned h = 0; h < sys.iss().numHarts(); ++h) {
+        traps += sys.iss().trapsTaken(h);
+        anyFatal |= sys.iss().hart(h).fatalTrap;
+    }
+
+    if (r.stop != StopReason::Halted)
+        return Outcome::Hung;
+    if (anyFatal)
+        return Outcome::Crashed;
+    if (traps > goldenTraps_)
+        return Outcome::Detected;
+    if (sys.memory().read(resultAddr, 8) == cfg.expected)
+        return Outcome::Masked;
+    return Outcome::Silent;
+}
+
+void
+FaultCampaign::run()
+{
+    // Golden run: fault-free reference behaviour.
+    {
+        System sys(hardenedConfig());
+        sys.loadProgram(cfg.program);
+        RunResult r = sys.run();
+        xt_assert(r.stop == StopReason::Halted,
+                  "golden run did not halt cleanly");
+        uint64_t got = sys.memory().read(resultAddr, 8);
+        xt_assert(got == cfg.expected,
+                  "golden run checksum mismatch: got ", got,
+                  " expected ", cfg.expected);
+        goldenInsts_ = r.insts;
+        for (unsigned h = 0; h < sys.iss().numHarts(); ++h)
+            goldenTraps_ += sys.iss().trapsTaken(h);
+    }
+
+    Xorshift64 rng(cfg.seed);
+    for (uint64_t i = 0; i < cfg.runs; ++i) {
+        FaultKind kind = cfg.kinds[rng.below(cfg.kinds.size())];
+        FaultPlan plan =
+            randomPlan(rng, kind, goldenInsts_, cfg.program.base,
+                       cfg.program.image.size());
+        ++runs;
+        switch (runOne(plan)) {
+          case Outcome::Detected: ++detected; break;
+          case Outcome::Masked: ++masked; break;
+          case Outcome::Silent: ++silent; break;
+          case Outcome::Hung: ++hung; break;
+          case Outcome::Crashed: ++crashed; break;
+        }
+    }
+}
+
+void
+FaultCampaign::report(std::ostream &os) const
+{
+    os << "fault-injection campaign: " << runs.value()
+       << " runs (golden: " << goldenInsts_ << " insts, "
+       << goldenTraps_ << " traps)\n";
+    auto line = [&](const Counter &c) {
+        double pct = runs.value()
+                         ? 100.0 * double(c.value()) / double(runs.value())
+                         : 0.0;
+        os << "  " << c.name() << ": " << c.value() << " (" << pct
+           << "%) — " << c.desc() << "\n";
+    };
+    line(detected);
+    line(crashed);
+    line(masked);
+    line(silent);
+    line(hung);
+}
+
+} // namespace xt910

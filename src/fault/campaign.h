@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Fault-injection campaign: run a workload once to establish the golden
+ * (fault-free) behaviour, then repeatedly with one randomly planned
+ * fault per run, and classify each outcome:
+ *
+ *  - detected: the guest took more synchronous traps than the golden
+ *    run, or a hart died on an unhandled trap (the fault was caught
+ *    architecturally);
+ *  - masked:   the run completed with the correct checksum (the fault
+ *    hit dead state);
+ *  - silent:   the run completed with a wrong checksum and no trap —
+ *    silent data corruption, the outcome fault-tolerance work cares
+ *    about most;
+ *  - hung:     the watchdog or a cycle/instruction limit fired.
+ *
+ * Every run uses a fresh System with the same configuration; the fault
+ * schedule derives deterministically from the campaign seed.
+ */
+
+#ifndef XT910_FAULT_CAMPAIGN_H
+#define XT910_FAULT_CAMPAIGN_H
+
+#include <ostream>
+#include <vector>
+
+#include "common/stats.h"
+#include "fault/injector.h"
+
+namespace xt910
+{
+
+/** Campaign configuration. */
+struct CampaignConfig
+{
+    Program program;
+    uint64_t expected = 0;   ///< correct value at the "result" symbol
+    uint64_t runs = 100;
+    uint64_t seed = 1;
+    /** Fault kinds to draw from; empty = all kinds. */
+    std::vector<FaultKind> kinds;
+    SystemConfig sys{};      ///< base config (hardened per run)
+};
+
+/** How one injected run ended. */
+enum class Outcome : uint8_t
+{
+    Detected,
+    Masked,
+    Silent,
+    Hung,
+    Crashed, ///< hart died on an unhandled trap (counted as detected)
+};
+
+/** See file comment. */
+class FaultCampaign
+{
+  public:
+    explicit FaultCampaign(CampaignConfig cfg);
+
+    /** Run the whole campaign (golden + cfg.runs injected runs). */
+    void run();
+
+    /** Classify a single plan; used by run() and directly by tests. */
+    Outcome runOne(const FaultPlan &plan);
+
+    /** Print the summary table. */
+    void report(std::ostream &os) const;
+
+    uint64_t goldenInsts() const { return goldenInsts_; }
+    uint64_t goldenTraps() const { return goldenTraps_; }
+
+    StatGroup stats;
+    Counter runs;
+    Counter detected;
+    Counter masked;
+    Counter silent;
+    Counter hung;
+    Counter crashed;
+
+  private:
+    SystemConfig hardenedConfig() const;
+
+    CampaignConfig cfg;
+    Addr resultAddr = 0;
+    uint64_t goldenInsts_ = 0;
+    uint64_t goldenTraps_ = 0;
+};
+
+} // namespace xt910
+
+#endif // XT910_FAULT_CAMPAIGN_H

@@ -1,0 +1,118 @@
+#include "fault/injector.h"
+
+#include <sstream>
+
+#include "common/types.h"
+
+namespace xt910
+{
+
+const char *
+faultKindName(FaultKind k)
+{
+    switch (k) {
+      case FaultKind::RegBitFlip: return "reg-bitflip";
+      case FaultKind::FregBitFlip: return "freg-bitflip";
+      case FaultKind::VregBitFlip: return "vreg-bitflip";
+      case FaultKind::MemBitFlip: return "mem-bitflip";
+      case FaultKind::CacheLineFlip: return "cacheline-flip";
+      case FaultKind::AccessFault: return "access-fault";
+      case FaultKind::BranchMispredict: return "branch-mispredict";
+      default: return "?";
+    }
+}
+
+std::string
+FaultPlan::describe() const
+{
+    std::ostringstream os;
+    os << faultKindName(kind) << " @inst " << atInst << " hart " << hart;
+    switch (kind) {
+      case FaultKind::RegBitFlip:
+        os << " x" << reg << " bit " << bit;
+        break;
+      case FaultKind::FregBitFlip:
+        os << " f" << reg << " bit " << bit;
+        break;
+      case FaultKind::VregBitFlip:
+        os << " v" << reg << " bit " << bit;
+        break;
+      case FaultKind::MemBitFlip:
+      case FaultKind::CacheLineFlip:
+        os << " addr 0x" << std::hex << addr << std::dec << " bit "
+           << bit;
+        break;
+      default:
+        break;
+    }
+    return os.str();
+}
+
+FaultPlan
+randomPlan(Xorshift64 &rng, FaultKind kind, uint64_t windowInsts,
+           Addr memBase, uint64_t memLen)
+{
+    FaultPlan p;
+    p.kind = kind;
+    p.atInst = rng.range(1, windowInsts ? windowInsts : 1);
+    p.reg = unsigned(rng.range(1, 31));
+    p.bit = unsigned(rng.below(64));
+    p.addr = memBase + (memLen ? rng.below(memLen) : 0);
+    return p;
+}
+
+void
+FaultInjector::attach(System &sys)
+{
+    sys.stepHook = [this](uint64_t n, System &s) {
+        if (!hasFired && n >= plan.atInst) {
+            hasFired = true;
+            apply(s);
+        }
+    };
+}
+
+void
+FaultInjector::apply(System &sys)
+{
+    ArchState &s = sys.iss().hart(plan.hart);
+    switch (plan.kind) {
+      case FaultKind::RegBitFlip:
+        // x0 is hardwired; plans never target it.
+        s.x[plan.reg & 31 ? plan.reg & 31 : 1] ^= 1ull << plan.bit;
+        break;
+      case FaultKind::FregBitFlip:
+        s.f[plan.reg & 31] ^= 1ull << plan.bit;
+        break;
+      case FaultKind::VregBitFlip:
+        s.v[plan.reg & 31][plan.bit / 8 % ArchState::maxVlenBytes] ^=
+            uint8_t(1u << (plan.bit % 8));
+        break;
+      case FaultKind::MemBitFlip: {
+        Memory &m = sys.memory();
+        m.write(plan.addr, 1,
+                m.read(plan.addr, 1) ^ (1ull << (plan.bit % 8)));
+        break;
+      }
+      case FaultKind::CacheLineFlip: {
+        // Burst upset: the same bit position goes bad in every byte of
+        // the 64-byte line (a failing way in a data SRAM).
+        Memory &m = sys.memory();
+        Addr line = lineAlign(plan.addr);
+        for (unsigned i = 0; i < cacheLineBytes; ++i)
+            m.write(line + i, 1,
+                    m.read(line + i, 1) ^ (1ull << (plan.bit % 8)));
+        break;
+      }
+      case FaultKind::AccessFault:
+        sys.iss().injectAccessFault(plan.hart);
+        break;
+      case FaultKind::BranchMispredict:
+        sys.core(plan.hart).injectMispredict();
+        break;
+      default:
+        break;
+    }
+}
+
+} // namespace xt910

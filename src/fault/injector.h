@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Fault injection. A FaultInjector arms one planned fault and applies
+ * it at a precise retired-instruction count via System::stepHook:
+ * single-event upsets in the integer/FP/vector register files, memory
+ * and cache-line data corruption, a forced load/store access fault,
+ * and a forced branch mispredict (a corrupted prediction structure).
+ * Plans are drawn from the deterministic Xorshift64 generator so a
+ * campaign is bit-reproducible from its seed.
+ */
+
+#ifndef XT910_FAULT_INJECTOR_H
+#define XT910_FAULT_INJECTOR_H
+
+#include <string>
+
+#include "common/random.h"
+#include "core/system.h"
+
+namespace xt910
+{
+
+/** What to corrupt. */
+enum class FaultKind : uint8_t
+{
+    RegBitFlip,      ///< one bit in an integer register
+    FregBitFlip,     ///< one bit in an FP register
+    VregBitFlip,     ///< one bit in a vector register
+    MemBitFlip,      ///< one bit of a memory byte
+    CacheLineFlip,   ///< burst corruption across one 64-byte line
+    AccessFault,     ///< next data access raises an access fault
+    BranchMispredict,///< next branch resolves as an exec-stage redirect
+    NumKinds
+};
+
+const char *faultKindName(FaultKind k);
+
+/** A fully specified fault: what, where, and when to inject. */
+struct FaultPlan
+{
+    FaultKind kind = FaultKind::RegBitFlip;
+    uint64_t atInst = 0; ///< retired-instruction count to fire at
+    unsigned hart = 0;
+    unsigned reg = 1;    ///< register index (never x0)
+    unsigned bit = 0;    ///< bit position within the target
+    Addr addr = 0;       ///< target byte (Mem/CacheLine flips)
+
+    std::string describe() const;
+};
+
+/**
+ * Draw a random plan. Memory faults target [memBase, memBase+memLen);
+ * the injection point is uniform in [1, windowInsts].
+ */
+FaultPlan randomPlan(Xorshift64 &rng, FaultKind kind,
+                     uint64_t windowInsts, Addr memBase, uint64_t memLen);
+
+/** See file comment. */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultPlan &plan) : plan(plan) {}
+
+    /** Install this injector as @p sys's stepHook. */
+    void attach(System &sys);
+
+    /** Apply the planned fault to @p sys immediately. */
+    void apply(System &sys);
+
+    bool fired() const { return hasFired; }
+    const FaultPlan &planned() const { return plan; }
+
+  private:
+    FaultPlan plan;
+    bool hasFired = false;
+};
+
+} // namespace xt910
+
+#endif // XT910_FAULT_INJECTOR_H

@@ -18,8 +18,10 @@ namespace csr
 constexpr uint32_t mstatus = 0x300;
 constexpr uint32_t mtvec = 0x305;
 constexpr uint32_t mie = 0x304;
+constexpr uint32_t mscratch = 0x340;
 constexpr uint32_t mepc = 0x341;
 constexpr uint32_t mcause = 0x342;
+constexpr uint32_t mtval = 0x343;
 constexpr uint32_t mip = 0x344;
 constexpr uint32_t satp = 0x180;
 constexpr uint32_t mhartid = 0xf14;

@@ -103,7 +103,8 @@ fToVElem(double d, unsigned sewBits)
 } // namespace
 
 Iss::Iss(Memory &mem_, unsigned numHarts, IssOptions opts_)
-    : mem(mem_), opts(opts_), harts(numHarts), clintDev(numHarts)
+    : mem(mem_), opts(opts_), harts(numHarts), clintDev(numHarts),
+      armedAccessFault(numHarts, false)
 {
     xt_assert(isPow2(opts.vlenBits) && opts.vlenBits >= 64 &&
                   opts.vlenBits <= 2048,
@@ -124,6 +125,8 @@ Iss::loadProgram(const Program &p)
         h.pc = p.entry;
         h.halted = false;
         h.instret = 0;
+        h.trapCount = 0;
+        h.fatalTrap = false;
     }
 }
 
@@ -162,12 +165,15 @@ Iss::fetchDecode(Addr pc)
     if ((lo & 3) == 3)
         w |= uint32_t(mem.read(pc + 2, 2)) << 16;
     DecodedInst di = decode(w);
-    if (!di.valid())
-        xt_fatal("illegal instruction at pc 0x", std::hex, pc, ": 0x", w);
-    if (!opts.enableCustom && isCustom(di.op))
-        xt_fatal("custom instruction ", mnemonic(di.op),
-                 " while custom extensions are disabled (pc 0x", std::hex,
-                 pc, ")");
+    if (di.valid() && !opts.enableCustom && isCustom(di.op)) {
+        // Decodable only with the custom extension: architecturally an
+        // illegal instruction on this configuration.
+        uint32_t raw = di.raw;
+        uint8_t len = di.len;
+        di = DecodedInst{};
+        di.raw = raw;
+        di.len = len;
+    }
     return decodeCache.emplace(pc, di).first->second;
 }
 
@@ -208,6 +214,80 @@ Iss::invalidateReservations(Addr addr, const ArchState *except)
     }
 }
 
+Addr
+Iss::enterTrap(ArchState &s, uint64_t cause, uint64_t tval, Addr epc,
+               bool interrupt)
+{
+    writeCsr(s, csr::mepc, epc);
+    writeCsr(s, csr::mcause, (interrupt ? (1ull << 63) : 0) | cause);
+    writeCsr(s, csr::mtval, tval);
+    uint64_t ms = readCsr(s, csr::mstatus);
+    // MPIE <- MIE, MIE <- 0, MPP <- current privilege.
+    ms = (ms & ~(0x8ull | 0x80ull | 0x1800ull)) | ((ms & 0x8) << 4) |
+         (uint64_t(s.priv) << 11);
+    writeCsr(s, csr::mstatus, ms);
+    s.priv = PrivMode::Machine;
+    Addr tvec = readCsr(s, csr::mtvec);
+    Addr base = tvec & ~Addr(3);
+    // Vectored mode redirects interrupts to base + 4*cause; synchronous
+    // exceptions always enter at base.
+    if (interrupt && (tvec & 3) == 1)
+        return base + 4 * cause;
+    return base;
+}
+
+void
+Iss::deliverTrap(ArchState &s, ExecRecord &rec, Addr pc)
+{
+    Addr tvec = readCsr(s, csr::mtvec) & ~Addr(3);
+    if (tvec == 0) {
+        if (opts.fatalOnUnhandledTrap)
+            xt_fatal("unhandled ", trap::causeName(rec.trap.cause),
+                     " at pc 0x", std::hex, pc, " (mtval 0x",
+                     rec.trap.tval, "): no mtvec handler installed");
+        xt_warn("unhandled ", trap::causeName(rec.trap.cause),
+                " at pc 0x", std::hex, pc, "; halting hart");
+        s.halted = true;
+        s.fatalTrap = true;
+        s.exitCode = 128 + int(rec.trap.cause);
+        rec.halted = true;
+        rec.nextPc = pc;
+        return;
+    }
+    ++s.trapCount;
+    rec.nextPc = enterTrap(s, rec.trap.cause, rec.trap.tval, pc, false);
+    rec.taken = true;
+}
+
+bool
+Iss::checkDataAccess(ArchState &s, ExecRecord &rec, Addr a, unsigned size,
+                     bool isStore)
+{
+    unsigned hartId = unsigned(&s - harts.data());
+    if (armedAccessFault[hartId]) {
+        armedAccessFault[hartId] = false;
+        rec.trap = makeTrap(isStore ? trap::storeAccessFault
+                                    : trap::loadAccessFault,
+                            a);
+        return false;
+    }
+    if (opts.strictAlign && size > 1 && (a & (size - 1))) {
+        rec.trap = makeTrap(isStore ? trap::storeAddrMisaligned
+                                    : trap::loadAddrMisaligned,
+                            a);
+        return false;
+    }
+    if (opts.enableClint && clintDev.contains(a))
+        return true;
+    if (!mem.accessOk(a, size)) {
+        rec.trap = makeTrap(isStore ? trap::storeAccessFault
+                                    : trap::loadAccessFault,
+                            a);
+        return false;
+    }
+    return true;
+}
+
 void
 Iss::maybeTakeInterrupt(ArchState &s, unsigned hartId)
 {
@@ -221,13 +301,7 @@ Iss::maybeTakeInterrupt(ArchState &s, unsigned hartId)
     bool soft = (mieV & (1ull << 3)) && clintDev.softwarePending(hartId);
     if (!timer && !soft)
         return;
-    // Machine trap entry: save pc/cause, stash MIE into MPIE, vector.
-    writeCsr(s, csr::mepc, s.pc);
-    writeCsr(s, csr::mcause,
-             (1ull << 63) | uint64_t(timer ? 7 : 3));
-    uint64_t next = (mstatusV & ~0x8ull) | ((mstatusV & 0x8) << 4);
-    writeCsr(s, csr::mstatus, next);
-    s.pc = readCsr(s, csr::mtvec) & ~Addr(3);
+    s.pc = enterTrap(s, uint64_t(timer ? 7 : 3), 0, s.pc, true);
 }
 
 ExecRecord
@@ -242,8 +316,29 @@ Iss::step(unsigned hartId)
     if (opts.enableClint)
         clintDev.tick();
     maybeTakeInterrupt(s, hartId);
-    const DecodedInst &di = fetchDecode(s.pc);
-    rec = execute(s, di, s.pc);
+    const Addr pc = s.pc;
+
+    // Instruction fetch must itself be a legal access.
+    bool fetchOk = mem.accessOk(pc, 2);
+    if (fetchOk && (uint32_t(mem.read(pc, 2)) & 3) == 3)
+        fetchOk = mem.accessOk(pc + 2, 2);
+    if (!fetchOk) {
+        rec.pc = pc;
+        rec.nextPc = pc;
+        rec.trap = makeTrap(trap::instAccessFault, pc);
+    } else {
+        const DecodedInst &di = fetchDecode(pc);
+        if (!di.valid()) {
+            rec.pc = pc;
+            rec.di = di;
+            rec.nextPc = pc + di.len;
+            rec.trap = makeTrap(trap::illegalInstruction, di.raw);
+        } else {
+            rec = execute(s, di, pc);
+        }
+    }
+    if (rec.trap.valid)
+        deliverTrap(s, rec, pc);
     s.pc = rec.nextPc;
     ++s.instret;
     return rec;
@@ -266,21 +361,25 @@ Iss::execute(ArchState &s, const DecodedInst &di, Addr pc)
 
     auto doLoad = [&](unsigned size, bool sign) {
         Addr a = rs1 + uint64_t(imm);
+        rec.memAddr = a;
+        rec.memSize = size;
+        if (!checkDataAccess(s, rec, a, size, false))
+            return;
         uint64_t v = opts.enableClint && clintDev.contains(a)
                          ? clintDev.read(a, size)
                          : mem.read(a, size);
-        rec.memAddr = a;
-        rec.memSize = size;
         wr(sign ? uint64_t(sext(v, size * 8)) : v);
     };
     auto doStore = [&](unsigned size) {
         Addr a = rs1 + uint64_t(imm);
+        rec.memAddr = a;
+        rec.memSize = size;
+        if (!checkDataAccess(s, rec, a, size, true))
+            return;
         if (opts.enableClint && clintDev.contains(a))
             clintDev.write(a, size, rs2);
         else
             mem.write(a, size, rs2);
-        rec.memAddr = a;
-        rec.memSize = size;
         invalidateReservations(a, nullptr);
     };
     auto branch = [&](bool cond) {
@@ -296,34 +395,43 @@ Iss::execute(ArchState &s, const DecodedInst &di, Addr pc)
     };
     auto xtLoad = [&](unsigned size, bool sign, bool uidx) {
         Addr a = xtAddr(uidx);
-        uint64_t v = mem.read(a, size);
         rec.memAddr = a;
         rec.memSize = size;
+        if (!checkDataAccess(s, rec, a, size, false))
+            return;
+        uint64_t v = mem.read(a, size);
         wr(sign ? uint64_t(sext(v, size * 8)) : v);
     };
     auto xtStore = [&](unsigned size) {
         Addr a = xtAddr(false);
-        mem.write(a, size, s.readX(di.rs3 & 31));
         rec.memAddr = a;
         rec.memSize = size;
+        if (!checkDataAccess(s, rec, a, size, true))
+            return;
+        mem.write(a, size, s.readX(di.rs3 & 31));
         invalidateReservations(a, nullptr);
     };
+    // AMOs that fault raise store/AMO access faults per the spec.
     auto amoW = [&](auto fn) {
         Addr a = rs1;
+        rec.memAddr = a;
+        rec.memSize = 4;
+        if (!checkDataAccess(s, rec, a, 4, true))
+            return;
         int32_t old = int32_t(mem.read(a, 4));
         mem.write(a, 4, uint64_t(uint32_t(fn(old, int32_t(rs2)))));
         wr(uint64_t(int64_t(old)));
-        rec.memAddr = a;
-        rec.memSize = 4;
         invalidateReservations(a, nullptr);
     };
     auto amoD = [&](auto fn) {
         Addr a = rs1;
+        rec.memAddr = a;
+        rec.memSize = 8;
+        if (!checkDataAccess(s, rec, a, 8, true))
+            return;
         int64_t old = int64_t(mem.read(a, 8));
         mem.write(a, 8, uint64_t(fn(old, int64_t(rs2))));
         wr(uint64_t(old));
-        rec.memAddr = a;
-        rec.memSize = 8;
         invalidateReservations(a, nullptr);
     };
     auto frd1 = [&] { return bitsToD(s.f[di.rs1 & 31]); };
@@ -408,6 +516,10 @@ Iss::execute(ArchState &s, const DecodedInst &di, Addr pc)
             rec.halted = true;
         } else if (num == 64) { // write one char from a0
             consoleBuf.push_back(char(a0));
+        } else if (readCsr(s, csr::mtvec) != 0) {
+            // A guest trap handler is installed: deliver the
+            // environment call to it (cause 8/9/11 by privilege).
+            rec.trap = makeTrap(trap::ecallFromU + uint64_t(s.priv), 0);
         } else {
             xt_warn("unhandled ecall ", num, "; ignored");
         }
@@ -421,8 +533,10 @@ Iss::execute(ArchState &s, const DecodedInst &di, Addr pc)
         rec.taken = true;
         rec.nextPc = readCsr(s, csr::mepc);
         uint64_t ms = readCsr(s, csr::mstatus);
-        // Restore MIE from MPIE; set MPIE.
-        ms = (ms & ~0x8ull) | ((ms >> 4) & 0x8);
+        // Restore MIE from MPIE; set MPIE; drop to the privilege stacked
+        // in MPP and reset MPP to the least-privileged mode.
+        s.priv = PrivMode((ms >> 11) & 3);
+        ms = (ms & ~(0x8ull | 0x1800ull)) | ((ms >> 4) & 0x8);
         ms |= 0x80;
         writeCsr(s, csr::mstatus, ms);
         break;
@@ -514,24 +628,32 @@ Iss::execute(ArchState &s, const DecodedInst &di, Addr pc)
 
       // ------------------------------------------------------ RV64A
       case O::LR_W: {
+        rec.memAddr = rs1;
+        rec.memSize = 4;
+        if (!checkDataAccess(s, rec, rs1, 4, false))
+            break;
         wr(uint64_t(int64_t(int32_t(mem.read(rs1, 4)))));
         s.resValid = true;
         s.resAddr = rs1;
-        rec.memAddr = rs1;
-        rec.memSize = 4;
         break;
       }
       case O::LR_D: {
+        rec.memAddr = rs1;
+        rec.memSize = 8;
+        if (!checkDataAccess(s, rec, rs1, 8, false))
+            break;
         wr(mem.read(rs1, 8));
         s.resValid = true;
         s.resAddr = rs1;
-        rec.memAddr = rs1;
-        rec.memSize = 8;
         break;
       }
       case O::SC_W:
       case O::SC_D: {
         unsigned size = di.op == O::SC_W ? 4 : 8;
+        rec.memAddr = rs1;
+        rec.memSize = size;
+        if (!checkDataAccess(s, rec, rs1, size, true))
+            break;
         bool ok = s.resValid && lineAlign(s.resAddr) == lineAlign(rs1);
         if (ok) {
             mem.write(rs1, size, rs2);
@@ -539,8 +661,6 @@ Iss::execute(ArchState &s, const DecodedInst &di, Addr pc)
         }
         s.resValid = false;
         wr(ok ? 0 : 1);
-        rec.memAddr = rs1;
-        rec.memSize = size;
         break;
       }
       case O::AMOSWAP_W: amoW([](int32_t, int32_t b) { return b; }); break;
@@ -581,31 +701,39 @@ Iss::execute(ArchState &s, const DecodedInst &di, Addr pc)
       // ----------------------------------------------------- RV64F/D
       case O::FLW: {
         Addr a = rs1 + uint64_t(imm);
-        s.f[di.rd & 31] = mem.read(a, 4) | 0xffffffff00000000ull;
         rec.memAddr = a;
         rec.memSize = 4;
+        if (!checkDataAccess(s, rec, a, 4, false))
+            break;
+        s.f[di.rd & 31] = mem.read(a, 4) | 0xffffffff00000000ull;
         break;
       }
       case O::FLD: {
         Addr a = rs1 + uint64_t(imm);
-        s.f[di.rd & 31] = mem.read(a, 8);
         rec.memAddr = a;
         rec.memSize = 8;
+        if (!checkDataAccess(s, rec, a, 8, false))
+            break;
+        s.f[di.rd & 31] = mem.read(a, 8);
         break;
       }
       case O::FSW: {
         Addr a = rs1 + uint64_t(imm);
-        mem.write(a, 4, s.f[di.rs2 & 31]);
         rec.memAddr = a;
         rec.memSize = 4;
+        if (!checkDataAccess(s, rec, a, 4, true))
+            break;
+        mem.write(a, 4, s.f[di.rs2 & 31]);
         invalidateReservations(a, nullptr);
         break;
       }
       case O::FSD: {
         Addr a = rs1 + uint64_t(imm);
-        mem.write(a, 8, s.f[di.rs2 & 31]);
         rec.memAddr = a;
         rec.memSize = 8;
+        if (!checkDataAccess(s, rec, a, 8, true))
+            break;
+        mem.write(a, 8, s.f[di.rs2 & 31]);
         invalidateReservations(a, nullptr);
         break;
       }
@@ -769,8 +897,9 @@ Iss::execute(ArchState &s, const DecodedInst &di, Addr pc)
         if (isVector(di.op)) {
             execVector(s, di, rec);
         } else {
-            xt_panic("unimplemented opcode ", mnemonic(di.op), " at pc 0x",
-                     std::hex, pc);
+            // Decodable but unimplemented: architecturally an illegal
+            // instruction, delivered precisely like any other trap.
+            rec.trap = makeTrap(trap::illegalInstruction, di.raw);
         }
         break;
     }
@@ -826,6 +955,12 @@ Iss::execVector(ArchState &s, const DecodedInst &di, ExecRecord &rec)
                 a = rs1 + vGet(s, di.rs2 & 31, i, sew, vlen);
             else
                 a = rs1 + uint64_t(stride) * i;
+            if (!checkDataAccess(s, rec, a, bytes, false)) {
+                // Precise vector trap: vstart names the faulting
+                // element; elements before it have retired.
+                writeCsr(s, csr::vstart, i);
+                break;
+            }
             vSet(s, di.rd & 31, i, sew, vlen, mem.read(a, bytes));
         }
         break;
@@ -846,6 +981,10 @@ Iss::execVector(ArchState &s, const DecodedInst &di, ExecRecord &rec)
                 a = rs1 + vGet(s, di.rs2 & 31, i, sew, vlen);
             else
                 a = rs1 + uint64_t(stride) * i;
+            if (!checkDataAccess(s, rec, a, bytes, true)) {
+                writeCsr(s, csr::vstart, i);
+                break;
+            }
             mem.write(a, bytes, vGet(s, di.rs3 & 31, i, sew, vlen));
         }
         invalidateReservations(rs1, nullptr);
@@ -1058,7 +1197,8 @@ Iss::execVector(ArchState &s, const DecodedInst &di, ExecRecord &rec)
                 break;
               }
               default:
-                xt_panic("unimplemented vector op ", mnemonic(di.op));
+                rec.trap = makeTrap(trap::illegalInstruction, di.raw);
+                return;
             }
             if (isCmp) {
                 // Compare results write one bit per element into vd.

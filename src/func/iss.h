@@ -17,6 +17,7 @@
 #include "func/clint.h"
 #include "func/memory.h"
 #include "func/state.h"
+#include "func/trap.h"
 #include "isa/inst.h"
 #include "xasm/assembler.h"
 
@@ -36,6 +37,12 @@ struct ExecRecord
     unsigned vl = 0;      ///< vector length in effect (vector ops)
     unsigned sew = 0;     ///< element width in effect (vector ops)
     bool halted = false;  ///< hart halted after this instruction
+    /**
+     * Synchronous exception raised by this instruction. When valid,
+     * nextPc already points at the handler (or the hart halted) and the
+     * timing core replays the event as a full pipeline flush.
+     */
+    Trap trap;
 
     bool isMemOp() const { return memSize != 0; }
 };
@@ -47,6 +54,14 @@ struct IssOptions
     bool enableCustom = true;  ///< non-standard extensions decodable
     bool enableClint = true;   ///< CLINT timer/software interrupts (§II)
     uint64_t stackBase = 0x8800'0000; ///< initial sp (grows down)
+    /** Trap on misaligned data accesses (XT-910's LSU handles them). */
+    bool strictAlign = false;
+    /**
+     * A trap with no mtvec handler installed aborts the simulation
+     * (configuration error). Fault-injection campaigns clear this so
+     * the hart instead halts with exitCode 128+cause and fatalTrap set.
+     */
+    bool fatalOnUnhandledTrap = true;
 };
 
 /** See file comment. */
@@ -85,16 +100,53 @@ class Iss
     const IssOptions &options() const { return opts; }
     unsigned vlenBits() const { return opts.vlenBits; }
 
-    /** Decode (with caching) the instruction at @p pc. */
+    /**
+     * Decode (with caching) the instruction at @p pc. The result may be
+     * Invalid (op == Opcode::Invalid, raw = encoding) — the caller
+     * raises an illegal-instruction trap; fetchDecode never aborts.
+     */
     const DecodedInst &fetchDecode(Addr pc);
 
     /** The core-local interruptor (timers + software interrupts). */
     Clint &clint() { return clintDev; }
 
+    /**
+     * Fault injection: arm a one-shot access fault — the next data
+     * access on @p hartId raises a load/store access fault regardless
+     * of its address.
+     */
+    void injectAccessFault(unsigned hartId = 0)
+    {
+        armedAccessFault[hartId] = true;
+    }
+
+    /** Synchronous traps delivered to a handler on @p hartId. */
+    uint64_t trapsTaken(unsigned hartId = 0) const
+    {
+        return harts[hartId].trapCount;
+    }
+
   private:
     ExecRecord execute(ArchState &s, const DecodedInst &di, Addr pc);
     /** Deliver a pending machine interrupt, if enabled. */
     void maybeTakeInterrupt(ArchState &s, unsigned hartId);
+    /**
+     * Architectural trap entry: write mepc/mcause/mtval, stash MIE into
+     * MPIE and the privilege into MPP, raise to M-mode. Returns the
+     * handler address from mtvec (honouring vectored mode for
+     * interrupts).
+     */
+    Addr enterTrap(ArchState &s, uint64_t cause, uint64_t tval, Addr epc,
+                   bool interrupt);
+    /**
+     * Route @p rec's raised trap: redirect to the handler, or — with no
+     * mtvec installed — abort (fatalOnUnhandledTrap) or halt the hart
+     * with fatalTrap set.
+     */
+    void deliverTrap(ArchState &s, ExecRecord &rec, Addr pc);
+    /** Check a data access; raises the trap in @p rec when illegal. */
+    bool checkDataAccess(ArchState &s, ExecRecord &rec, Addr a,
+                         unsigned size, bool isStore);
     void execVector(ArchState &s, const DecodedInst &di, ExecRecord &rec);
     uint64_t readCsr(ArchState &s, uint32_t num) const;
     void writeCsr(ArchState &s, uint32_t num, uint64_t v);
@@ -106,6 +158,7 @@ class Iss
     Clint clintDev;
     std::string consoleBuf;
     std::unordered_map<Addr, DecodedInst> decodeCache;
+    std::vector<bool> armedAccessFault; ///< one-shot injected faults
 };
 
 } // namespace xt910

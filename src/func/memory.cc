@@ -27,6 +27,26 @@ Memory::pageForRead(Addr addr) const
     return const_cast<Memory *>(this)->pageFor(addr);
 }
 
+bool
+Memory::accessOk(Addr addr, unsigned size) const
+{
+    // Reject accesses past the physical limit, including wraparound.
+    if (addr >= physBound || size > physBound - addr)
+        return false;
+    for (const auto &[base, len] : faultRanges) {
+        if (addr < base + len && base < addr + size)
+            return false;
+    }
+    return true;
+}
+
+void
+Memory::addFaultRange(Addr base, uint64_t size)
+{
+    if (size != 0)
+        faultRanges.emplace_back(base, size);
+}
+
 uint64_t
 Memory::read(Addr addr, unsigned size) const
 {

@@ -30,6 +30,28 @@ class Memory
     static constexpr unsigned pageShift = 12;
     static constexpr Addr pageSize = 1ull << pageShift;
 
+    /** Default physical address-space bound (1 TiB). */
+    static constexpr Addr defaultPhysLimit = 1ull << 40;
+
+    /**
+     * True when [addr, addr+size) is a legal physical access: below the
+     * physical limit and outside every registered fault range. The ISS
+     * consults this before touching memory and raises a precise access
+     * fault instead of dereferencing an illegal address.
+     */
+    bool accessOk(Addr addr, unsigned size) const;
+
+    /** Shrink/grow the modelled physical address space. */
+    void setPhysLimit(Addr limit) { physBound = limit; }
+    Addr physLimit() const { return physBound; }
+
+    /**
+     * Mark [base, base+size) as access-faulting — an MMIO hole or an
+     * injected fault region (FaultInjector uses this).
+     */
+    void addFaultRange(Addr base, uint64_t size);
+    void clearFaultRanges() { faultRanges.clear(); }
+
     /** Read @p size (1..8) bytes at @p addr, little-endian. */
     uint64_t read(Addr addr, unsigned size) const;
 
@@ -74,6 +96,8 @@ class Memory
     const uint8_t *pageForRead(Addr addr) const;
 
     mutable std::unordered_map<Addr, std::unique_ptr<Page>> pages;
+    Addr physBound = defaultPhysLimit;
+    std::vector<std::pair<Addr, uint64_t>> faultRanges;
 };
 
 } // namespace xt910

@@ -43,6 +43,13 @@ struct ArchState
     int exitCode = 0;
     uint64_t instret = 0;
 
+    /** Current privilege level (trap entry raises to Machine). */
+    PrivMode priv = PrivMode::Machine;
+    /** Synchronous exceptions delivered to a handler on this hart. */
+    uint64_t trapCount = 0;
+    /** Hart died on an unhandled trap (mtvec was not installed). */
+    bool fatalTrap = false;
+
     uint64_t
     readX(RegIndex r) const
     {

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Synchronous exception (trap) model shared by the functional simulator
+ * and the timing cores. XT-910 implements precise machine-mode
+ * exceptions (§II): a faulting instruction writes mepc/mcause/mtval and
+ * redirects to mtvec without retiring any architectural side effect; the
+ * timing model replays the same event as a full pipeline flush.
+ */
+
+#ifndef XT910_FUNC_TRAP_H
+#define XT910_FUNC_TRAP_H
+
+#include <cstdint>
+
+namespace xt910
+{
+
+namespace trap
+{
+
+// RISC-V mcause codes for synchronous exceptions (interrupt bit clear).
+constexpr uint64_t instAddrMisaligned = 0;
+constexpr uint64_t instAccessFault = 1;
+constexpr uint64_t illegalInstruction = 2;
+constexpr uint64_t breakpoint = 3;
+constexpr uint64_t loadAddrMisaligned = 4;
+constexpr uint64_t loadAccessFault = 5;
+constexpr uint64_t storeAddrMisaligned = 6;
+constexpr uint64_t storeAccessFault = 7;
+constexpr uint64_t ecallFromU = 8;
+constexpr uint64_t ecallFromS = 9;
+constexpr uint64_t ecallFromM = 11;
+
+/** Human-readable cause name ("illegal instruction", ...). */
+inline const char *
+causeName(uint64_t cause)
+{
+    switch (cause) {
+      case instAddrMisaligned: return "instruction address misaligned";
+      case instAccessFault: return "instruction access fault";
+      case illegalInstruction: return "illegal instruction";
+      case breakpoint: return "breakpoint";
+      case loadAddrMisaligned: return "load address misaligned";
+      case loadAccessFault: return "load access fault";
+      case storeAddrMisaligned: return "store address misaligned";
+      case storeAccessFault: return "store access fault";
+      case ecallFromU: return "ecall from U-mode";
+      case ecallFromS: return "ecall from S-mode";
+      case ecallFromM: return "ecall from M-mode";
+      default: return "unknown cause";
+    }
+}
+
+} // namespace trap
+
+/**
+ * A raised synchronous exception. Carried inside ExecRecord so the
+ * timing core can replay the trap as a flush + redirect.
+ */
+struct Trap
+{
+    bool valid = false;
+    uint64_t cause = 0; ///< mcause value (synchronous: no interrupt bit)
+    uint64_t tval = 0;  ///< mtval value (faulting address / encoding)
+
+    explicit operator bool() const { return valid; }
+};
+
+/** Build a raised trap. */
+inline Trap
+makeTrap(uint64_t cause, uint64_t tval)
+{
+    return Trap{true, cause, tval};
+}
+
+} // namespace xt910
+
+#endif // XT910_FUNC_TRAP_H

@@ -34,12 +34,18 @@ mnemonic(Opcode op)
 OpClass
 opClass(Opcode op)
 {
+    // Invalid (an illegal instruction flowing through as a trap record)
+    // behaves like a single-cycle ALU op in the timing model.
+    if (op >= Opcode::NumOpcodes)
+        return OpClass::IntAlu;
     return opTable[static_cast<unsigned>(op)].cls;
 }
 
 unsigned
 defaultLatency(Opcode op)
 {
+    if (op >= Opcode::NumOpcodes)
+        return 1;
     return opTable[static_cast<unsigned>(op)].lat;
 }
 

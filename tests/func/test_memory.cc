@@ -60,6 +60,42 @@ TEST(Memory, TypedAccessors)
     EXPECT_EQ(m.readT<int32_t>(0x500), -7);
 }
 
+TEST(Memory, AccessOkHonoursPhysLimit)
+{
+    Memory m;
+    EXPECT_TRUE(m.accessOk(0x8000'0000, 8));
+    EXPECT_TRUE(m.accessOk(m.physLimit() - 8, 8));
+    // At / straddling / beyond the bound.
+    EXPECT_FALSE(m.accessOk(m.physLimit(), 1));
+    EXPECT_FALSE(m.accessOk(m.physLimit() - 4, 8));
+    EXPECT_FALSE(m.accessOk(~Addr(0), 8)); // end-of-space wraparound
+
+    m.setPhysLimit(0x1'0000);
+    EXPECT_TRUE(m.accessOk(0xfff8, 8));
+    EXPECT_FALSE(m.accessOk(0xfff9, 8));
+    EXPECT_EQ(m.physLimit(), 0x1'0000u);
+}
+
+TEST(Memory, FaultRangesRejectOverlappingAccesses)
+{
+    Memory m;
+    m.addFaultRange(0x4000, 0x1000);
+    EXPECT_FALSE(m.accessOk(0x4000, 1));
+    EXPECT_FALSE(m.accessOk(0x4fff, 1));
+    EXPECT_FALSE(m.accessOk(0x3ffd, 8)); // tail overlaps the hole
+    EXPECT_TRUE(m.accessOk(0x3ff8, 8));  // ends exactly at the hole
+    EXPECT_TRUE(m.accessOk(0x5000, 8)); // starts exactly past the hole
+    EXPECT_TRUE(m.accessOk(0x3000, 4));
+
+    m.addFaultRange(0x9000, 0x10); // multiple ranges coexist
+    EXPECT_FALSE(m.accessOk(0x9008, 1));
+    EXPECT_FALSE(m.accessOk(0x4800, 2));
+
+    m.clearFaultRanges();
+    EXPECT_TRUE(m.accessOk(0x4000, 8));
+    EXPECT_TRUE(m.accessOk(0x9008, 1));
+}
+
 TEST(Memory, LoadProgramPlacesImage)
 {
     Assembler a(0x80000000);

@@ -1,0 +1,474 @@
+/**
+ * Precise synchronous-exception tests: illegal instructions, access
+ * faults with exact mtval, misalignment, ecall delivery, mstatus
+ * stacking across trap entry / mret, nested traps, and the
+ * silicon-errata regressions (the GhostWrite-style reserved vector
+ * store encoding must trap and never touch memory).
+ */
+
+#include <gtest/gtest.h>
+
+#include "func/csr.h"
+#include "func/iss.h"
+#include "func/trap.h"
+
+namespace xt910
+{
+
+using namespace reg;
+
+namespace
+{
+
+/** An encoding no XT-910 decode table accepts (all-ones, 32-bit). */
+constexpr uint32_t illegalWord = 0xffffffffu;
+
+/**
+ * GhostWrite-style reserved encoding: a unit-strided e8 vector store
+ * (vs3 = v0, rs1 = t0) with the reserved mew bit (bit 28) set. The
+ * silicon erratum in the XuanTie C9xx line let such encodings bypass
+ * checks and write physical memory; the model must decode it as
+ * illegal and never perform the store.
+ */
+constexpr uint32_t ghostWriteWord = 0x12028027u;
+
+/** Handler that copies mcause/mtval/mepc to a2/a3/a4 and halts. */
+void
+recordingHandler(Assembler &a)
+{
+    a.label("handler");
+    a.csrr(a2, csr::mcause);
+    a.csrr(a3, csr::mtval);
+    a.csrr(a4, csr::mepc);
+    a.ebreak();
+}
+
+} // namespace
+
+TEST(Traps, IllegalInstructionRecordsPreciseCsrs)
+{
+    Assembler a;
+    a.j("_start");
+    a.align(4);
+    recordingHandler(a);
+    a.label("_start");
+    a.la(t0, "handler");
+    a.csrw(csr::mtvec, t0);
+    a.label("bad");
+    a.word(illegalWord);
+    a.ebreak(); // skipped: the handler halts first
+
+    Memory mem;
+    Iss iss(mem);
+    Program p = a.assemble();
+    iss.loadProgram(p);
+    iss.run(1000);
+    ASSERT_TRUE(iss.halted());
+    EXPECT_EQ(iss.hart(0).x[12], trap::illegalInstruction);
+    EXPECT_EQ(iss.hart(0).x[13], illegalWord); // mtval = encoding
+    EXPECT_EQ(iss.hart(0).x[14], p.symbol("bad"));
+    EXPECT_EQ(iss.trapsTaken(), 1u);
+}
+
+TEST(Traps, HandlerSkipsIllegalAndResumes)
+{
+    Assembler a;
+    a.j("_start");
+    a.align(4);
+    a.label("handler");
+    a.addi(a2, a2, 1);      // count traps
+    a.csrr(t0, csr::mepc);
+    a.addi(t0, t0, 4);
+    a.csrw(csr::mepc, t0);  // skip the 4-byte illegal word
+    a.mret();
+    a.label("_start");
+    a.la(t0, "handler");
+    a.csrw(csr::mtvec, t0);
+    a.li(a1, 7);
+    a.word(illegalWord);
+    a.addi(a1, a1, 10);     // must execute after the handler skips
+    a.ebreak();
+
+    Memory mem;
+    Iss iss(mem);
+    iss.loadProgram(a.assemble());
+    iss.run(1000);
+    ASSERT_TRUE(iss.halted());
+    EXPECT_EQ(iss.hart(0).x[11], 17u);
+    EXPECT_EQ(iss.hart(0).x[12], 1u);
+}
+
+TEST(Traps, GhostWriteErrataVectorStoreTrapsAndWritesNothing)
+{
+    Assembler a;
+    a.j("_start");
+    a.align(4);
+    recordingHandler(a);
+    a.label("_start");
+    a.la(t0, "handler");
+    a.csrw(csr::mtvec, t0);
+    // Configure a live vector state and point t0 (= the encoding's
+    // rs1) at the victim buffer, exactly as the exploit would.
+    a.li(a0, 16);
+    a.vsetvli(t1, a0, VType{.sew = 8, .lmul = 1});
+    a.vmv_v_i(v0, -1);
+    a.la(t0, "victim");
+    a.word(ghostWriteWord);
+    a.ebreak(); // skipped: the handler halts first
+    a.align(8);
+    a.label("victim");
+    a.dword(0x1122334455667788ull);
+    a.dword(0x99aabbccddeeff00ull);
+
+    Memory mem;
+    Iss iss(mem);
+    Program p = a.assemble();
+    iss.loadProgram(p);
+    iss.run(1000);
+    ASSERT_TRUE(iss.halted());
+    // The reserved encoding is an illegal instruction...
+    EXPECT_EQ(iss.hart(0).x[12], trap::illegalInstruction);
+    EXPECT_EQ(iss.hart(0).x[13], ghostWriteWord);
+    // ...and the store never reached memory.
+    EXPECT_EQ(mem.read(p.symbol("victim"), 8), 0x1122334455667788ull);
+    EXPECT_EQ(mem.read(p.symbol("victim") + 8, 8),
+              0x99aabbccddeeff00ull);
+}
+
+TEST(Traps, LoadAccessFaultHasPreciseMtval)
+{
+    constexpr uint64_t badAddr = 1ull << 41; // beyond the 1 TiB limit
+    Assembler a;
+    a.j("_start");
+    a.align(4);
+    recordingHandler(a);
+    a.label("_start");
+    a.la(t0, "handler");
+    a.csrw(csr::mtvec, t0);
+    a.li(t1, int64_t(badAddr));
+    a.ld(a5, t1, 0);
+    a.ebreak();
+
+    Memory mem;
+    Iss iss(mem);
+    iss.loadProgram(a.assemble());
+    iss.run(1000);
+    ASSERT_TRUE(iss.halted());
+    EXPECT_EQ(iss.hart(0).x[12], trap::loadAccessFault);
+    EXPECT_EQ(iss.hart(0).x[13], badAddr);
+    EXPECT_EQ(iss.hart(0).x[15], 0u); // rd was never written
+}
+
+TEST(Traps, StoreAccessFaultIntoFaultRange)
+{
+    constexpr uint64_t hole = 0x4000'0000;
+    Assembler a;
+    a.j("_start");
+    a.align(4);
+    recordingHandler(a);
+    a.label("_start");
+    a.la(t0, "handler");
+    a.csrw(csr::mtvec, t0);
+    a.li(t1, int64_t(hole + 0x10));
+    a.li(t2, 0xdead);
+    a.sd(t2, t1, 0);
+    a.ebreak();
+
+    Memory mem;
+    mem.addFaultRange(hole, 0x1000);
+    Iss iss(mem);
+    iss.loadProgram(a.assemble());
+    iss.run(1000);
+    ASSERT_TRUE(iss.halted());
+    EXPECT_EQ(iss.hart(0).x[12], trap::storeAccessFault);
+    EXPECT_EQ(iss.hart(0).x[13], hole + 0x10);
+    EXPECT_EQ(mem.read(hole + 0x10, 8), 0u); // store suppressed
+}
+
+TEST(Traps, InstructionAccessFaultOnBadFetch)
+{
+    constexpr uint64_t hole = 0x5000'0000;
+    Assembler a;
+    a.j("_start");
+    a.align(4);
+    recordingHandler(a);
+    a.label("_start");
+    a.la(t0, "handler");
+    a.csrw(csr::mtvec, t0);
+    a.li(t1, int64_t(hole));
+    a.jr(t1);
+
+    Memory mem;
+    mem.addFaultRange(hole, 0x1000);
+    Iss iss(mem);
+    iss.loadProgram(a.assemble());
+    iss.run(1000);
+    ASSERT_TRUE(iss.halted());
+    EXPECT_EQ(iss.hart(0).x[12], trap::instAccessFault);
+    EXPECT_EQ(iss.hart(0).x[13], hole);
+    EXPECT_EQ(iss.hart(0).x[14], hole); // mepc = faulting pc
+}
+
+TEST(Traps, VectorStoreFaultsPreciselyWithVstart)
+{
+    // Element 8 of a unit-strided e8 store lands in the fault hole;
+    // elements 0..7 must be architecturally visible, vstart must name
+    // the faulting element.
+    constexpr uint64_t hole = 0x6000'0000;
+    Assembler a;
+    a.j("_start");
+    a.align(4);
+    recordingHandler(a);
+    a.label("_start");
+    a.la(t0, "handler");
+    a.csrw(csr::mtvec, t0);
+    a.li(a0, 16);
+    a.vsetvli(t1, a0, VType{.sew = 8, .lmul = 1});
+    a.vmv_v_i(v1, 5);
+    a.li(t2, int64_t(hole - 8)); // elements 0..7 legal, 8.. in hole
+    a.vse(v1, t2);
+    a.ebreak();
+
+    Memory mem;
+    mem.addFaultRange(hole, 0x1000);
+    Iss iss(mem);
+    iss.loadProgram(a.assemble());
+    iss.run(1000);
+    ASSERT_TRUE(iss.halted());
+    EXPECT_EQ(iss.hart(0).x[12], trap::storeAccessFault);
+    EXPECT_EQ(iss.hart(0).x[13], hole);
+    for (unsigned i = 0; i < 8; ++i)
+        EXPECT_EQ(mem.read(hole - 8 + i, 1), 5u) << i;
+    auto it = iss.hart(0).csrs.find(csr::vstart);
+    ASSERT_NE(it, iss.hart(0).csrs.end());
+    EXPECT_EQ(it->second, 8u);
+}
+
+TEST(Traps, MstatusStacksAcrossTrapAndMret)
+{
+    Assembler a;
+    a.j("_start");
+    a.align(4);
+    a.label("handler");
+    a.csrr(a2, csr::mstatus); // observed inside the handler
+    a.csrr(t0, csr::mepc);
+    a.addi(t0, t0, 4);
+    a.csrw(csr::mepc, t0);
+    a.mret();
+    a.label("_start");
+    a.la(t0, "handler");
+    a.csrw(csr::mtvec, t0);
+    a.li(t0, 1 << 3); // mstatus.MIE
+    a.csrw(csr::mstatus, t0);
+    a.word(illegalWord);
+    a.csrr(a3, csr::mstatus); // observed after mret
+    a.ebreak();
+
+    Memory mem;
+    Iss iss(mem);
+    iss.loadProgram(a.assemble());
+    iss.run(1000);
+    ASSERT_TRUE(iss.halted());
+    uint64_t inside = iss.hart(0).x[12];
+    uint64_t after = iss.hart(0).x[13];
+    EXPECT_EQ(inside & 0x8, 0u);          // MIE cleared on entry
+    EXPECT_EQ(inside & 0x80, 0x80u);      // MPIE = old MIE
+    EXPECT_EQ(inside & 0x1800, 0x1800u);  // MPP = Machine
+    EXPECT_EQ(after & 0x8, 0x8u);         // mret restored MIE
+    EXPECT_EQ(after & 0x1800, 0u);        // MPP cleared by mret
+}
+
+TEST(Traps, NestedTrapInsideHandler)
+{
+    Assembler a;
+    a.j("_start");
+    a.align(4);
+    a.label("inner");
+    a.csrr(a3, csr::mcause);
+    a.ebreak();
+    a.align(4); // mtvec bases are 4-byte aligned (low bits = mode)
+    a.label("outer");
+    a.csrr(a2, csr::mcause);
+    a.la(t0, "inner");
+    a.csrw(csr::mtvec, t0); // re-arm before faulting again
+    a.word(illegalWord);
+    a.label("_start");
+    a.la(t0, "outer");
+    a.csrw(csr::mtvec, t0);
+    a.word(illegalWord);
+
+    Memory mem;
+    Iss iss(mem);
+    iss.loadProgram(a.assemble());
+    iss.run(1000);
+    ASSERT_TRUE(iss.halted());
+    EXPECT_EQ(iss.hart(0).x[12], trap::illegalInstruction);
+    EXPECT_EQ(iss.hart(0).x[13], trap::illegalInstruction);
+    EXPECT_EQ(iss.trapsTaken(), 2u);
+}
+
+TEST(Traps, UnknownEcallTrapsButHostSyscallsStillWork)
+{
+    Assembler a;
+    a.j("_start");
+    a.align(4);
+    a.label("handler");
+    a.csrr(a2, csr::mcause);
+    a.csrr(t0, csr::mepc);
+    a.addi(t0, t0, 4);
+    a.csrw(csr::mepc, t0);
+    a.mret();
+    a.label("_start");
+    a.la(t0, "handler");
+    a.csrw(csr::mtvec, t0);
+    a.li(a7, 555);   // not a host syscall: traps (ecall from M = 11)
+    a.ecall();
+    a.li(a7, 93);    // host exit syscall keeps working
+    a.li(a0, 7);
+    a.ecall();
+
+    Memory mem;
+    Iss iss(mem);
+    iss.loadProgram(a.assemble());
+    iss.run(1000);
+    ASSERT_TRUE(iss.halted());
+    EXPECT_EQ(iss.exitCode(), 7);
+    EXPECT_EQ(iss.hart(0).x[12], trap::ecallFromM);
+    EXPECT_EQ(iss.trapsTaken(), 1u);
+}
+
+TEST(Traps, StrictAlignRaisesMisaligned)
+{
+    Assembler a;
+    a.j("_start");
+    a.align(4);
+    recordingHandler(a);
+    a.label("_start");
+    a.la(t0, "handler");
+    a.csrw(csr::mtvec, t0);
+    a.la(t1, "data");
+    a.addi(t1, t1, 1);
+    a.lh(a5, t1, 0); // 2-byte load at odd address
+    a.ebreak();
+    a.align(8);
+    a.label("data");
+    a.dword(0);
+
+    Memory mem;
+    IssOptions o;
+    o.strictAlign = true;
+    Iss iss(mem, 1, o);
+    Program p = a.assemble();
+    iss.loadProgram(p);
+    iss.run(1000);
+    ASSERT_TRUE(iss.halted());
+    EXPECT_EQ(iss.hart(0).x[12], trap::loadAddrMisaligned);
+    EXPECT_EQ(iss.hart(0).x[13], p.symbol("data") + 1);
+}
+
+TEST(Traps, DefaultAlignmentIsHandledInHardware)
+{
+    // XT-910's LSU supports misaligned accesses: by default they
+    // complete without a trap.
+    Assembler a;
+    a.la(t1, "data");
+    a.li(t2, 0x1bcd); // positive so sign-extending lh returns it as-is
+    a.sh(t2, t1, 1);
+    a.lh(a1, t1, 1);
+    a.ebreak();
+    a.align(8);
+    a.label("data");
+    a.dword(0);
+
+    Memory mem;
+    Iss iss(mem);
+    iss.loadProgram(a.assemble());
+    iss.run(1000);
+    ASSERT_TRUE(iss.halted());
+    EXPECT_EQ(iss.hart(0).x[11], 0x1bcdu);
+    EXPECT_EQ(iss.trapsTaken(), 0u);
+}
+
+TEST(Traps, UnhandledTrapHaltsHartWhenNotFatal)
+{
+    Assembler a;
+    a.word(illegalWord); // no mtvec installed
+
+    Memory mem;
+    IssOptions o;
+    o.fatalOnUnhandledTrap = false;
+    Iss iss(mem, 1, o);
+    iss.loadProgram(a.assemble());
+    iss.run(1000);
+    ASSERT_TRUE(iss.halted());
+    EXPECT_TRUE(iss.hart(0).fatalTrap);
+    EXPECT_EQ(iss.exitCode(), 128 + int(trap::illegalInstruction));
+    EXPECT_EQ(iss.trapsTaken(), 0u); // never reached a handler
+}
+
+TEST(Traps, InjectedAccessFaultIsRecoverable)
+{
+    // The acceptance scenario: a guest with a trap handler survives an
+    // injected access fault on a perfectly legal load, counts it, and
+    // still computes the right result.
+    Assembler a;
+    a.j("_start");
+    a.align(4);
+    a.label("handler");
+    a.addi(a2, a2, 1);
+    a.csrr(t0, csr::mepc);
+    a.addi(t0, t0, 4);
+    a.csrw(csr::mepc, t0);
+    a.mret();
+    a.label("_start");
+    a.la(t0, "handler");
+    a.csrw(csr::mtvec, t0);
+    a.la(t1, "data");
+    a.ld(a1, t1, 0); // the injected fault hits this load
+    a.ld(a1, t1, 0); // the retry succeeds
+    a.ebreak();
+    a.align(8);
+    a.label("data");
+    a.dword(42);
+
+    Memory mem;
+    Iss iss(mem);
+    iss.loadProgram(a.assemble());
+    iss.injectAccessFault();
+    iss.run(1000);
+    ASSERT_TRUE(iss.halted());
+    EXPECT_EQ(iss.hart(0).x[11], 42u); // retried load succeeded
+    EXPECT_EQ(iss.hart(0).x[12], 1u);  // exactly one fault observed
+    EXPECT_EQ(iss.trapsTaken(), 1u);
+}
+
+TEST(Traps, TrapRecordDrivesTimingFlush)
+{
+    // The ExecRecord for a trapping instruction carries the trap and
+    // redirects nextPc to the handler.
+    Assembler a;
+    a.j("_start");
+    a.align(4);
+    recordingHandler(a);
+    a.label("_start");
+    a.la(t0, "handler");
+    a.csrw(csr::mtvec, t0);
+    a.word(illegalWord);
+
+    Memory mem;
+    Iss iss(mem);
+    Program p = a.assemble();
+    iss.loadProgram(p);
+    ExecRecord rec;
+    for (int i = 0; i < 100 && !iss.halted(); ++i) {
+        rec = iss.step();
+        if (rec.trap.valid)
+            break;
+    }
+    ASSERT_TRUE(rec.trap.valid);
+    EXPECT_EQ(rec.trap.cause, trap::illegalInstruction);
+    EXPECT_TRUE(rec.taken);
+    EXPECT_EQ(rec.nextPc, p.symbol("handler"));
+}
+
+} // namespace xt910

@@ -17,16 +17,26 @@
  *   --dram-latency N             memory latency in cycles
  *   --no-prefetch                disable the data prefetcher
  *   --stats                      dump full component statistics
+ *   --max-cycles N               stop after N cycles (exit code 3)
+ *   --max-insts N                stop after N instructions (exit code 3)
+ *   --inject N                   fault-injection campaign of N runs
+ *   --inject-seed S              campaign RNG seed (default 1)
+ *   --inject-kinds a,b,...       restrict fault kinds (see --help)
+ *
+ * Exit codes: 0 ok, 1 checksum mismatch, 2 usage error, 3 run limit
+ * hit, 4 watchdog fired.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "baseline/presets.h"
 #include "core/system.h"
+#include "fault/campaign.h"
 #include "mmu/pagetable.h"
 #include "workloads/wl_common.h"
 #include "workloads/workload.h"
@@ -44,7 +54,36 @@ usage()
         "       xt910-run --list\n"
         "options: --preset xt910|u74|a73|mcu  --cores N  --extended\n"
         "         --scale N  --stream-kib N  --paged  --l2-kib N\n"
-        "         --dram-latency N  --no-prefetch  --stats\n");
+        "         --dram-latency N  --no-prefetch  --stats\n"
+        "         --max-cycles N  --max-insts N\n"
+        "         --inject N  --inject-seed S  --inject-kinds a,b,...\n"
+        "fault kinds: reg freg vreg mem cacheline access mispredict\n");
+}
+
+bool
+parseKinds(const std::string &csv, std::vector<FaultKind> &out)
+{
+    std::istringstream is(csv);
+    std::string tok;
+    while (std::getline(is, tok, ',')) {
+        if (tok == "reg")
+            out.push_back(FaultKind::RegBitFlip);
+        else if (tok == "freg")
+            out.push_back(FaultKind::FregBitFlip);
+        else if (tok == "vreg")
+            out.push_back(FaultKind::VregBitFlip);
+        else if (tok == "mem")
+            out.push_back(FaultKind::MemBitFlip);
+        else if (tok == "cacheline")
+            out.push_back(FaultKind::CacheLineFlip);
+        else if (tok == "access")
+            out.push_back(FaultKind::AccessFault);
+        else if (tok == "mispredict")
+            out.push_back(FaultKind::BranchMispredict);
+        else
+            return false;
+    }
+    return true;
 }
 
 } // namespace
@@ -62,6 +101,9 @@ main(int argc, char **argv)
     bool l2Set = false, dramSet = false;
     unsigned l2Kib = 0;
     Cycle dramLat = 0;
+    uint64_t maxCycles = 0, maxInsts = 0;
+    uint64_t injectRuns = 0, injectSeed = 1;
+    std::vector<FaultKind> injectKinds;
 
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
@@ -101,6 +143,20 @@ main(int argc, char **argv)
             noPrefetch = true;
         } else if (a == "--stats") {
             stats = true;
+        } else if (a == "--max-cycles") {
+            maxCycles = uint64_t(std::atoll(next()));
+        } else if (a == "--max-insts") {
+            maxInsts = uint64_t(std::atoll(next()));
+        } else if (a == "--inject") {
+            injectRuns = uint64_t(std::atoll(next()));
+        } else if (a == "--inject-seed") {
+            injectSeed = uint64_t(std::atoll(next()));
+        } else if (a == "--inject-kinds") {
+            if (!parseKinds(next(), injectKinds)) {
+                std::fprintf(stderr, "bad --inject-kinds\n");
+                usage();
+                return 2;
+            }
         } else if (a == "--help" || a == "-h") {
             usage();
             return 0;
@@ -138,7 +194,33 @@ main(int argc, char **argv)
         cfg.core.pageTableRoot = tableBase;
     }
 
+    if (maxCycles)
+        cfg.maxCycles = maxCycles;
+    if (maxInsts)
+        cfg.maxInsts = maxInsts;
+
     WorkloadBuild wb = findWorkload(workload).build(wo);
+
+    if (injectRuns) {
+        CampaignConfig cc;
+        cc.program = wb.program;
+        cc.expected = wb.expected;
+        cc.runs = injectRuns;
+        cc.seed = injectSeed;
+        cc.kinds = injectKinds;
+        cc.sys = cfg;
+        FaultCampaign campaign(cc);
+        campaign.run();
+        std::printf("workload   : %s (%s%s)\n", workload.c_str(),
+                    p.name.c_str(), wo.extended ? ", extended" : "");
+        campaign.report(std::cout);
+        if (stats) {
+            std::printf("\n");
+            campaign.stats.dump(std::cout);
+        }
+        return 0;
+    }
+
     System sys(cfg);
     if (paged) {
         PageTableBuilder ptb(sys.memory(), tableBase);
@@ -168,6 +250,18 @@ main(int argc, char **argv)
     if (stats) {
         std::printf("\n");
         sys.dumpStats(std::cout);
+    }
+    if (r.stop == StopReason::Watchdog) {
+        std::fprintf(stderr, "%s\n", r.diagnostic.c_str());
+        return 4;
+    }
+    if (r.stop == StopReason::InstLimit ||
+        r.stop == StopReason::CycleLimit) {
+        std::fprintf(stderr, "stopped early (%s):\n%s\n",
+                     r.stop == StopReason::InstLimit ? "inst limit"
+                                                     : "cycle limit",
+                     r.diagnostic.c_str());
+        return 3;
     }
     return ok ? 0 : 1;
 }
