@@ -15,7 +15,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <map>
 #include <string>
 
@@ -51,9 +54,16 @@ struct SimResult
     }
 };
 
-/** Run @p wb on @p cfg and check the architectural result. */
+/**
+ * Run @p wb on @p cfg and check the architectural result. With a
+ * non-empty @p tag and XT910_STATS_JSON_DIR set in the environment,
+ * the run's full component stats are dumped to
+ * $XT910_STATS_JSON_DIR/<tag>.json for offline analysis — the bench
+ * tables stay human-readable while every cell stays machine-checkable.
+ */
 inline SimResult
-simulate(const SystemConfig &cfg, const WorkloadBuild &wb)
+simulate(const SystemConfig &cfg, const WorkloadBuild &wb,
+         const std::string &tag = std::string())
 {
     System sys(cfg);
     sys.loadProgram(wb.program);
@@ -63,10 +73,30 @@ simulate(const SystemConfig &cfg, const WorkloadBuild &wb)
     s.insts = r.insts;
     s.workItems = wb.workItems;
     s.correct = wl::readResult(sys.memory(), wb.program) == wb.expected;
+    if (!tag.empty()) {
+        if (const char *dir = std::getenv("XT910_STATS_JSON_DIR")) {
+            std::string fname = tag;
+            for (char &ch : fname)
+                if (!std::isalnum(static_cast<unsigned char>(ch)) &&
+                    ch != '-' && ch != '.')
+                    ch = '_';
+            std::ofstream os(std::string(dir) + "/" + fname + ".json");
+            if (os) {
+                os << "{\n  \"tag\": \"" << tag
+                   << "\",\n  \"insts\": " << s.insts
+                   << ",\n  \"cycles\": " << s.cycles
+                   << ",\n  \"checksum_ok\": "
+                   << (s.correct ? "true" : "false")
+                   << ",\n  \"stats\": ";
+                sys.dumpStatsJson(os, true);
+                os << "\n}\n";
+            }
+        }
+    }
     return s;
 }
 
-/** Memoized runs keyed by an arbitrary string. */
+/** Memoized runs keyed by an arbitrary string (also the stats tag). */
 inline SimResult
 cachedRun(const std::string &key, const SystemConfig &cfg,
           const WorkloadBuild &wb)
@@ -75,7 +105,7 @@ cachedRun(const std::string &key, const SystemConfig &cfg,
     auto it = cache.find(key);
     if (it != cache.end())
         return it->second;
-    SimResult s = simulate(cfg, wb);
+    SimResult s = simulate(cfg, wb, key);
     cache.emplace(key, s);
     return s;
 }

@@ -1,0 +1,274 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace xt910
+{
+namespace json
+{
+
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += char(c);
+            }
+        }
+    }
+    return out;
+}
+
+namespace
+{
+
+/** Recursive-descent validator over a byte range. */
+class Parser
+{
+  public:
+    Parser(const std::string &t, std::string *err_) : s(t), err(err_) {}
+
+    bool
+    run()
+    {
+        skipWs();
+        if (!value())
+            return false;
+        skipWs();
+        if (pos != s.size())
+            return fail("trailing characters");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const char *what)
+    {
+        if (err)
+            *err = std::string(what) + " at offset " +
+                   std::to_string(pos);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < s.size() &&
+               (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n' ||
+                s[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    lit(const char *word)
+    {
+        for (const char *p = word; *p; ++p, ++pos)
+            if (pos >= s.size() || s[pos] != *p)
+                return fail("bad literal");
+        return true;
+    }
+
+    bool
+    string()
+    {
+        if (pos >= s.size() || s[pos] != '"')
+            return fail("expected string");
+        ++pos;
+        while (pos < s.size()) {
+            unsigned char c = s[pos];
+            if (c == '"') {
+                ++pos;
+                return true;
+            }
+            if (c < 0x20)
+                return fail("raw control character in string");
+            if (c == '\\') {
+                ++pos;
+                if (pos >= s.size())
+                    return fail("truncated escape");
+                char e = s[pos];
+                if (e == 'u') {
+                    for (int i = 0; i < 4; ++i) {
+                        ++pos;
+                        if (pos >= s.size() ||
+                            !std::isxdigit(
+                                static_cast<unsigned char>(s[pos])))
+                            return fail("bad \\u escape");
+                    }
+                } else if (e != '"' && e != '\\' && e != '/' &&
+                           e != 'b' && e != 'f' && e != 'n' &&
+                           e != 'r' && e != 't') {
+                    return fail("bad escape");
+                }
+            }
+            ++pos;
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    number()
+    {
+        size_t start = pos;
+        if (pos < s.size() && s[pos] == '-')
+            ++pos;
+        if (pos >= s.size() ||
+            !std::isdigit(static_cast<unsigned char>(s[pos])))
+            return fail("bad number");
+        while (pos < s.size() &&
+               std::isdigit(static_cast<unsigned char>(s[pos])))
+            ++pos;
+        if (pos < s.size() && s[pos] == '.') {
+            ++pos;
+            if (pos >= s.size() ||
+                !std::isdigit(static_cast<unsigned char>(s[pos])))
+                return fail("bad fraction");
+            while (pos < s.size() &&
+                   std::isdigit(static_cast<unsigned char>(s[pos])))
+                ++pos;
+        }
+        if (pos < s.size() && (s[pos] == 'e' || s[pos] == 'E')) {
+            ++pos;
+            if (pos < s.size() && (s[pos] == '+' || s[pos] == '-'))
+                ++pos;
+            if (pos >= s.size() ||
+                !std::isdigit(static_cast<unsigned char>(s[pos])))
+                return fail("bad exponent");
+            while (pos < s.size() &&
+                   std::isdigit(static_cast<unsigned char>(s[pos])))
+                ++pos;
+        }
+        return pos > start;
+    }
+
+    bool
+    object()
+    {
+        ++pos; // '{'
+        skipWs();
+        if (pos < s.size() && s[pos] == '}') {
+            ++pos;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (pos >= s.size() || s[pos] != ':')
+                return fail("expected ':'");
+            ++pos;
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (pos < s.size() && s[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (pos < s.size() && s[pos] == '}') {
+                ++pos;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool
+    array()
+    {
+        ++pos; // '['
+        skipWs();
+        if (pos < s.size() && s[pos] == ']') {
+            ++pos;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (pos < s.size() && s[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (pos < s.size() && s[pos] == ']') {
+                ++pos;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    value()
+    {
+        if (++depth > 128)
+            return fail("nesting too deep");
+        bool ok;
+        if (pos >= s.size())
+            ok = fail("unexpected end of input");
+        else if (s[pos] == '{')
+            ok = object();
+        else if (s[pos] == '[')
+            ok = array();
+        else if (s[pos] == '"')
+            ok = string();
+        else if (s[pos] == 't')
+            ok = lit("true");
+        else if (s[pos] == 'f')
+            ok = lit("false");
+        else if (s[pos] == 'n')
+            ok = lit("null");
+        else
+            ok = number();
+        --depth;
+        return ok;
+    }
+
+    const std::string &s;
+    std::string *err;
+    size_t pos = 0;
+    unsigned depth = 0;
+};
+
+} // namespace
+
+bool
+validate(const std::string &text, std::string *err)
+{
+    return Parser(text, err).run();
+}
+
+} // namespace json
+} // namespace xt910

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Minimal JSON helpers for the observability subsystem: string
+ * escaping and a strict validating parser. The emitters in the stats
+ * backend compose documents by hand (they only need objects of
+ * numbers and strings); the validator exists so tests and the CLI
+ * smoke check can verify every emitted line is well-formed without an
+ * external dependency.
+ */
+
+#ifndef XT910_COMMON_JSON_H
+#define XT910_COMMON_JSON_H
+
+#include <string>
+
+namespace xt910
+{
+namespace json
+{
+
+/** Escape @p s for embedding inside a JSON string literal (no quotes
+ *  added). Control characters become \u00XX sequences. */
+std::string escape(const std::string &s);
+
+/**
+ * Validate that @p text is exactly one complete JSON value (object,
+ * array, string, number, true/false/null) with nothing but whitespace
+ * after it. On failure returns false and, when @p err is non-null,
+ * stores a short description with the byte offset.
+ */
+bool validate(const std::string &text, std::string *err = nullptr);
+
+} // namespace json
+} // namespace xt910
+
+#endif // XT910_COMMON_JSON_H

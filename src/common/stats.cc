@@ -1,6 +1,10 @@
 #include "common/stats.h"
 
+#include <algorithm>
 #include <iomanip>
+#include <map>
+
+#include "common/json.h"
 
 namespace xt910
 {
@@ -35,6 +39,98 @@ StatGroup::find(const std::string &name) const
         if (c->name() == name)
             return c;
     return nullptr;
+}
+
+void
+StatGroup::dumpJson(std::ostream &os) const
+{
+    os << "{";
+    bool first = true;
+    for (const Counter *c : _counters) {
+        if (!first)
+            os << ", ";
+        first = false;
+        os << "\"" << json::escape(c->name()) << "\": " << c->value();
+    }
+    os << "}";
+}
+
+void
+dumpStatsSorted(std::ostream &os, std::vector<const StatGroup *> groups)
+{
+    std::sort(groups.begin(), groups.end(),
+              [](const StatGroup *a, const StatGroup *b) {
+                  return a->name() < b->name();
+              });
+    for (const StatGroup *g : groups)
+        g->dump(os);
+}
+
+namespace
+{
+
+/** A node of the dotted-name hierarchy: child nodes plus, when a group
+ *  lives exactly at this path, its counters. */
+struct JsonNode
+{
+    std::map<std::string, JsonNode> kids;
+    const StatGroup *group = nullptr;
+};
+
+void
+emitNode(std::ostream &os, const JsonNode &n, bool pretty, unsigned depth)
+{
+    const std::string pad(pretty ? 2 * (depth + 1) : 0, ' ');
+    const std::string close(pretty ? 2 * depth : 0, ' ');
+    const char *nl = pretty ? "\n" : "";
+    os << "{" << nl;
+    bool first = true;
+    if (n.group) {
+        for (const Counter *c : n.group->counters()) {
+            if (!first)
+                os << "," << nl;
+            first = false;
+            os << pad << "\"" << json::escape(c->name())
+               << "\": " << c->value();
+        }
+    }
+    for (const auto &[key, kid] : n.kids) {
+        if (!first)
+            os << "," << nl;
+        first = false;
+        os << pad << "\"" << json::escape(key) << "\": ";
+        emitNode(os, kid, pretty, depth + 1);
+    }
+    os << nl << close << "}";
+}
+
+} // namespace
+
+void
+dumpStatsJson(std::ostream &os, std::vector<const StatGroup *> groups,
+              bool pretty)
+{
+    std::sort(groups.begin(), groups.end(),
+              [](const StatGroup *a, const StatGroup *b) {
+                  return a->name() < b->name();
+              });
+    JsonNode root;
+    for (const StatGroup *g : groups) {
+        JsonNode *node = &root;
+        const std::string &name = g->name();
+        size_t start = 0;
+        while (true) {
+            size_t dot = name.find('.', start);
+            std::string part = name.substr(
+                start, dot == std::string::npos ? dot : dot - start);
+            node = &node->kids[part];
+            if (dot == std::string::npos)
+                break;
+            start = dot + 1;
+        }
+        node->group = g;
+    }
+    emitNode(os, root, pretty, 0);
 }
 
 } // namespace xt910

@@ -58,6 +58,12 @@ class StatGroup
     /** Dump "group.counter value # desc" lines to @p os. */
     void dump(std::ostream &os) const;
 
+    /**
+     * Dump this group as a JSON object of counter values:
+     * {"hits": 12, "misses": 3}. No trailing newline.
+     */
+    void dumpJson(std::ostream &os) const;
+
     /** Zero every counter in the group. */
     void resetAll();
 
@@ -71,6 +77,24 @@ class StatGroup
     std::string _name;
     std::vector<Counter *> _counters;
 };
+
+/**
+ * Deterministic multi-group text dump: groups sorted by name (counter
+ * order within a group stays registration order, which is stable).
+ */
+void dumpStatsSorted(std::ostream &os,
+                     std::vector<const StatGroup *> groups);
+
+/**
+ * Hierarchical JSON dump over many groups. Dotted group names become
+ * nested objects ("core0.bp" -> {"core0": {"bp": {...}}}) and counters
+ * are the leaves. Groups are sorted by name so output is
+ * deterministic. With @p pretty the document is indented; otherwise it
+ * is emitted on a single line (JSONL-friendly). No trailing newline.
+ */
+void dumpStatsJson(std::ostream &os,
+                   std::vector<const StatGroup *> groups,
+                   bool pretty = true);
 
 } // namespace xt910
 

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <ostream>
 
+#include <array>
+
 #include "common/bitutil.h"
 #include "common/log.h"
+#include "isa/disasm.h"
 
 namespace xt910
 {
@@ -56,6 +59,8 @@ XtCore::XtCore(unsigned coreId_, const CoreParams &params, MemSystem &ms,
                   "synchronous-exception pipeline flushes"),
       ptwWalks(stats, "ptw_walks", "page-table walks"),
       ptwCycles(stats, "ptw_cycles", "cycles spent walking"),
+      topdown("core" + std::to_string(coreId_) + ".topdown",
+              params.retireWidth),
       coreId(coreId_),
       p(params),
       mem(ms),
@@ -216,6 +221,13 @@ XtCore::prefetchTranslation(Addr vaddr, Cycle when)
     dtlb.insert(vaddr, w.pa & ~mask(pageShift(w.size)), w.size, p.asid);
 }
 
+void
+XtCore::redirect(Cycle until)
+{
+    fetchResume = std::max(fetchResume, until);
+    redirectResume = std::max(redirectResume, until);
+}
+
 Cycle
 XtCore::frontend(const ExecRecord &rec)
 {
@@ -224,29 +236,34 @@ XtCore::frontend(const ExecRecord &rec)
         // Streaming from the loop buffer: no I-cache access, no taken-
         // branch bubble; availability simply tracks the previous group.
         ++lbuf.servedInsts;
-        return std::max(curWindowReady, fetchResume);
-    }
-    Addr window = pc & ~Addr(p.fetchBytes - 1);
-    if (window != curWindow || curWindowCount >= p.fetchMaxInsts) {
-        Cycle start = std::max(lastGroupStart + 1, fetchResume);
-        Cycle t = start;
-        Addr pa = translate(pc, true, t);
-        MemResult mr = mem.fetch(coreId, pa, t);
-        curWindowReady = mr.done + (p.frontendStages - 1);
-        curWindow = window;
-        curWindowCount = 0;
-        lastGroupStart = start;
-        // IFU run-ahead: sequential next-line prefetch keeps the IBUF
-        // supplied across I-cache misses (§III).
-        if (lineAlign(window) != lineAlign(prevFetchLine)) {
-            Cycle pt = start;
-            Addr seq = lineAlign(pa) + cacheLineBytes;
-            mem.prefetchInstLine(coreId, seq, pt);
-            mem.prefetchInstLine(coreId, seq + cacheLineBytes, pt);
+    } else {
+        Addr window = pc & ~Addr(p.fetchBytes - 1);
+        if (window != curWindow || curWindowCount >= p.fetchMaxInsts) {
+            Cycle start = std::max(lastGroupStart + 1, fetchResume);
+            Cycle t = start;
+            Addr pa = translate(pc, true, t);
+            MemResult mr = mem.fetch(coreId, pa, t);
+            curWindowReady = mr.done + (p.frontendStages - 1);
+            curWindow = window;
+            curWindowCount = 0;
+            lastGroupStart = start;
+            // IFU run-ahead: sequential next-line prefetch keeps the
+            // IBUF supplied across I-cache misses (§III).
+            if (lineAlign(window) != lineAlign(prevFetchLine)) {
+                Cycle pt = start;
+                Addr seq = lineAlign(pa) + cacheLineBytes;
+                mem.prefetchInstLine(coreId, seq, pt);
+                mem.prefetchInstLine(coreId, seq + cacheLineBytes, pt);
+            }
+            prevFetchLine = window;
         }
-        prevFetchLine = window;
+        ++curWindowCount;
     }
-    ++curWindowCount;
+    // For top-down accounting: is this µop's supply gated by a
+    // speculation flush (rather than benign fetch latency)?
+    fetchRedirectBound = redirectResume != 0 &&
+                         fetchResume >= curWindowReady &&
+                         fetchResume <= redirectResume;
     return std::max(curWindowReady, fetchResume);
 }
 
@@ -279,8 +296,7 @@ XtCore::predictAndTrain(const ExecRecord &rec, Cycle groupStart,
     if (!taken) {
         if (dirMispredict) {
             ++branchMispredicts;
-            fetchResume =
-                std::max(fetchResume, execDone + p.execRedirectPenalty);
+            redirect(execDone + p.execRedirectPenalty);
             lbuf.exitLoop();
         } else if (loopBranch) {
             lbuf.exitLoop(); // predicted fall-through ends streaming
@@ -294,8 +310,7 @@ XtCore::predictAndTrain(const ExecRecord &rec, Cycle groupStart,
 
     if (dirMispredict) {
         ++branchMispredicts;
-        fetchResume =
-            std::max(fetchResume, execDone + p.execRedirectPenalty);
+        redirect(execDone + p.execRedirectPenalty);
         btb.update(pc, target, BranchKind::Conditional, true);
         if (di.isBranch() && target < pc)
             lbuf.observeBackwardBranch(pc, target,
@@ -354,8 +369,7 @@ XtCore::predictAndTrain(const ExecRecord &rec, Cycle groupStart,
         bubbles += dirPred.backToBackPenalty();
 
     if (execRedirect) {
-        fetchResume =
-            std::max(fetchResume, execDone + p.execRedirectPenalty);
+        redirect(execDone + p.execRedirectPenalty);
     } else if (bubbles > 0) {
         takenBubbles += bubbles;
         fetchResume = std::max(fetchResume, lastGroupStart + 1 + bubbles);
@@ -411,7 +425,7 @@ XtCore::executeLoad(const ExecRecord &rec, Cycle issue)
                 taggedLoads.insert(rec.pc);
             Cycle redo = std::max(s.dataReady, s.addrReady) +
                          p.orderingFlushPenalty;
-            fetchResume = std::max(fetchResume, redo);
+            redirect(redo);
             return redo + p.storeToLoadForwardLat;
         }
         if (contains) {
@@ -470,6 +484,13 @@ XtCore::consume(const ExecRecord &rec)
 {
     const DecodedInst &di = rec.di;
     const OpClass cls = di.cls();
+
+    // Konata tracing: when off, the hot path pays one (predictable)
+    // branch on the null tracer pointer per capture point. Flush
+    // causes are inferred from counter deltas across this consume
+    // call; see traceEmit().
+    if (tracer)
+        traceBegin();
 
     // ------------------------------------------------------ frontend
     Cycle groupStart = lastGroupStart;
@@ -667,9 +688,26 @@ XtCore::consume(const ExecRecord &rec)
         rob.push_back(retireC);
         instDone = std::max(instDone, done);
 
+        // Top-down slot accounting: why was the gap (if any) between
+        // the previous retire cycle and this one left empty?
+        {
+            const bool backendBound =
+                done + p.retireStages >= retireC;
+            const bool memBound =
+                cls == OpClass::Load || cls == OpClass::FpLoad ||
+                cls == OpClass::Store || cls == OpClass::FpStore ||
+                cls == OpClass::VecLoad || cls == OpClass::VecStore ||
+                cls == OpClass::Amo;
+            topdown.onRetire(retireC, backendBound, memBound,
+                             fetchRedirectBound);
+        }
+
         if (traceHook)
             traceHook(UopTrace{rec.pc, avail, decodeC, renameC, issueC,
                                done, retireC});
+        if (tracer)
+            traceCapture(u, nUops, rec, avail, decodeC, renameC,
+                         issueC, done, retireC);
 
         if (di.isLoad() && !di.isStore())
             lqRetire.push_back(retireC);
@@ -732,8 +770,7 @@ XtCore::consume(const ExecRecord &rec)
     if (cls == OpClass::VecCfg) {
         static constexpr unsigned vlChangePenalty = 6;
         if (lastVlValid && rec.vl != lastVl)
-            fetchResume = std::max(fetchResume,
-                                   instDone + vlChangePenalty);
+            redirect(instDone + vlChangePenalty);
         lastVl = rec.vl;
         lastVlValid = true;
     }
@@ -743,21 +780,92 @@ XtCore::consume(const ExecRecord &rec)
         // A synchronous exception flushes the whole pipeline at retire
         // and refetches from the handler (or stops, if the hart died).
         ++trapFlushes;
-        fetchResume = std::max(fetchResume,
-                               instDone + p.trapFlushPenalty);
+        redirect(instDone + p.trapFlushPenalty);
         curWindow = ~Addr(0); // wrong-path fetch group discarded
         lbuf.exitLoop();
     } else if (di.isBranch() || di.isJump()) {
         predictAndTrain(rec, groupStart, instDone);
     }
 
+    if (tracer)
+        traceEmit(rec, nUops);
+
     ++nRetired;
+}
+
+__attribute__((noinline)) void
+XtCore::traceBegin()
+{
+    traceBm = branchMispredicts.value();
+    traceTm = targetMispredicts.value();
+    traceOv = orderingViolations.value();
+}
+
+__attribute__((noinline)) void
+XtCore::traceCapture(unsigned u, unsigned nUops, const ExecRecord &rec,
+                     Cycle avail, Cycle decodeC, Cycle renameC,
+                     Cycle issueC, Cycle done, Cycle retireC)
+{
+    obs::UopEvent &ev = traceEv[u];
+    ev.pc = rec.pc;
+    ev.hart = coreId;
+    ev.seq = nRetired;
+    ev.uop = u;
+    ev.nUops = nUops;
+    ev.fetch = avail;
+    ev.decode = decodeC;
+    ev.rename = renameC;
+    ev.issue = issueC;
+    ev.done = done;
+    ev.retire = retireC;
+}
+
+__attribute__((noinline)) void
+XtCore::traceEmit(const ExecRecord &rec, unsigned nUops)
+{
+    // The flush cause (if any) is only known after predictAndTrain /
+    // trap handling ran; recover it from the counter deltas.
+    const char *cause = nullptr;
+    if (rec.trap.valid)
+        cause = "trap";
+    else if (orderingViolations.value() != traceOv)
+        cause = "ordering-violation";
+    else if (branchMispredicts.value() != traceBm)
+        cause = "branch-mispredict";
+    else if (targetMispredicts.value() != traceTm)
+        cause = "target-redirect";
+    for (unsigned u = 0; u < nUops; ++u) {
+        traceEv[u].flushCause = cause;
+        traceEv[u].disasm = disassemble(rec.di);
+        tracer->record(traceEv[u], lastGroupStart);
+    }
+}
+
+void
+XtCore::finishRun()
+{
+    topdown.finalize();
+}
+
+void
+XtCore::forEachStatGroup(
+    const std::function<void(const StatGroup &)> &fn) const
+{
+    fn(stats);
+    fn(topdown.stats);
+    fn(dirPred.stats);
+    fn(btb.stats);
+    fn(lbuf.stats);
+    fn(pf.stats);
+    fn(itlb.stats);
+    fn(dtlb.stats);
 }
 
 void
 XtCore::dumpStats(std::ostream &os) const
 {
     stats.dump(os);
+    topdown.stats.dump(os);
     dirPred.stats.dump(os);
     btb.stats.dump(os);
     lbuf.stats.dump(os);

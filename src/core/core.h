@@ -32,6 +32,8 @@
 #include "mem/prefetcher.h"
 #include "mmu/pagetable.h"
 #include "mmu/tlb.h"
+#include "obs/konata.h"
+#include "obs/topdown.h"
 
 namespace xt910
 {
@@ -95,6 +97,23 @@ class XtCore : public PrefetchSink
     /** Optional per-µop trace hook (debug/analysis). */
     std::function<void(const UopTrace &)> traceHook;
 
+    /**
+     * Konata pipeline tracer; when null (the default) the per-µop
+     * tracing path is a single branch on this pointer.
+     */
+    obs::KonataTracer *tracer = nullptr;
+
+    /**
+     * End-of-run bookkeeping: closes the top-down slot accounting for
+     * the final cycle. System::run calls this; direct users of
+     * consume() should too before reading topdown stats.
+     */
+    void finishRun();
+
+    /** Visit every StatGroup this core owns (incl. subcomponents). */
+    void forEachStatGroup(
+        const std::function<void(const StatGroup &)> &fn) const;
+
     StatGroup stats;
     Counter uops;
     Counter branchMispredicts;
@@ -108,6 +127,9 @@ class XtCore : public PrefetchSink
     Counter trapFlushes;        ///< synchronous-exception pipeline flushes
     Counter ptwWalks;
     Counter ptwCycles;
+
+    /** Top-down retire-slot accounting (always on; O(1) per µop). */
+    obs::TopDown topdown;
 
     /**
      * Fault injection: force the next branch/jump consumed to resolve
@@ -189,6 +211,23 @@ class XtCore : public PrefetchSink
      */
     std::array<std::array<Cycle, 32>, 3> accReady{};
 
+    /** Raise fetchResume for a speculation flush (mispredict, memory
+     *  ordering, trap, vl replay), remembering the cause for the
+     *  top-down attribution of the resulting fetch delay. */
+    void redirect(Cycle until);
+
+    // Konata capture path. Kept out of line (and the buffers out of
+    // consume()'s frame) so the tracing-off hot path pays only the
+    // branches on the null tracer pointer — the extra live state would
+    // otherwise spill registers in the scheduling loop.
+    void traceBegin();
+    void traceCapture(unsigned u, unsigned nUops, const ExecRecord &rec,
+                      Cycle avail, Cycle decodeC, Cycle renameC,
+                      Cycle issueC, Cycle done, Cycle retireC);
+    void traceEmit(const ExecRecord &rec, unsigned nUops);
+    std::array<obs::UopEvent, 2> traceEv;
+    uint64_t traceBm = 0, traceTm = 0, traceOv = 0;
+
     // Frontend state.
     Addr curWindow = ~Addr(0);
     Cycle curWindowReady = 0;
@@ -196,6 +235,10 @@ class XtCore : public PrefetchSink
     Cycle lastGroupStart = 0;
     Cycle fetchResume = 0;
     Addr prevFetchLine = ~Addr(0);
+    /** High-water mark of fetchResume raises caused by flushes. */
+    Cycle redirectResume = 0;
+    /** Set by frontend(): this µop's fetch was held back by a flush. */
+    bool fetchRedirectBound = false;
 
     // Window occupancy (retire cycles of in-flight µops).
     std::deque<Cycle> rob;

@@ -22,6 +22,35 @@ System::System(const SystemConfig &cfg_) : cfg(cfg_)
             std::make_unique<XtCore>(c, cfg.core, *memSys, mem));
         watchdogs.emplace_back(cfg.watchdog);
     }
+
+    // Guest-visible performance counters read straight from the timing
+    // model. The ISS runs one instruction ahead of the cores, so a CSR
+    // read observes the state after every *prior* instruction retired —
+    // exactly what real rdcycle/rdinstret would report.
+    issModel->cycleSource = [this](unsigned hart) {
+        return cores[hart]->cycles();
+    };
+    issModel->hpmSource = [this](unsigned hart,
+                                 uint64_t evt) -> uint64_t {
+        switch (evt) {
+          case csr::hpmevent::l1dMiss:
+            return memSys->l1d(hart).misses.value();
+          case csr::hpmevent::branchMispredict:
+            return cores[hart]->branchMispredicts.value() +
+                   cores[hart]->targetMispredicts.value();
+          case csr::hpmevent::itlbMiss:
+            return cores[hart]->itlbUnit().misses.value();
+          case csr::hpmevent::dtlbMiss:
+            return cores[hart]->dtlbUnit().misses.value();
+          case csr::hpmevent::l1iMiss:
+            return memSys->l1i(hart).misses.value();
+          case csr::hpmevent::l2Miss:
+            return memSys->l2(memSys->params().clusterOf(hart))
+                .misses.value();
+          default:
+            return 0;
+        }
+    };
 }
 
 bool
@@ -70,6 +99,7 @@ System::run()
     r.coreInsts.assign(cfg.numCores, 0);
 
     uint64_t n = 0;
+    Cycle sampleCycle = 0;
     while (n < cfg.maxInsts && !issModel->allHalted()) {
         // Step the hart whose timing model is furthest behind so the
         // shared memory system sees accesses roughly in time order.
@@ -90,6 +120,10 @@ System::run()
         ExecRecord rec = issModel->step(pick);
         cores[pick]->consume(rec);
         ++n;
+        if (sampler) {
+            sampleCycle = std::max(sampleCycle, cores[pick]->cycles());
+            sampler->tick(sampleCycle, n);
+        }
         watchdogs[pick].observe(rec, interruptible(pick));
         if (watchdogs[pick].fired()) {
             r.stop = StopReason::Watchdog;
@@ -115,15 +149,45 @@ System::run()
         r.cycles = std::max(r.cycles, r.coreCycles[c]);
         r.insts += r.coreInsts[c];
     }
+    for (auto &c : cores)
+        c->finishRun();
+    if (sampler)
+        sampler->finish(r.cycles, n);
     return r;
 }
 
 void
 System::dumpStats(std::ostream &os) const
 {
+    std::vector<const StatGroup *> groups;
+    forEachStatGroup(
+        [&](const StatGroup &g) { groups.push_back(&g); });
+    dumpStatsSorted(os, std::move(groups));
+}
+
+void
+System::dumpStatsJson(std::ostream &os, bool pretty) const
+{
+    std::vector<const StatGroup *> groups;
+    forEachStatGroup(
+        [&](const StatGroup &g) { groups.push_back(&g); });
+    xt910::dumpStatsJson(os, std::move(groups), pretty);
+}
+
+void
+System::forEachStatGroup(
+    const std::function<void(const StatGroup &)> &fn) const
+{
     for (const auto &c : cores)
-        c->dumpStats(os);
-    memSys->dumpStats(os);
+        c->forEachStatGroup(fn);
+    memSys->forEachStatGroup(fn);
+}
+
+void
+System::attachSampler(obs::IntervalSampler &s)
+{
+    sampler = &s;
+    forEachStatGroup([&](const StatGroup &g) { s.addGroup(&g); });
 }
 
 } // namespace xt910

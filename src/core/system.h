@@ -24,6 +24,7 @@
 #include "core/watchdog.h"
 #include "func/iss.h"
 #include "mem/memsystem.h"
+#include "obs/sampler.h"
 
 namespace xt910
 {
@@ -88,6 +89,21 @@ class System
 
     void dumpStats(std::ostream &os) const;
 
+    /** Dump every stat group as one hierarchical JSON object. */
+    void dumpStatsJson(std::ostream &os, bool pretty = true) const;
+
+    /** Visit every StatGroup in the system (cores + memory). */
+    void forEachStatGroup(
+        const std::function<void(const StatGroup &)> &fn) const;
+
+    /**
+     * Register an interval sampler: it learns every stat group now and
+     * is ticked from the run loop with the global max cycle. The
+     * sampler must outlive the run; its final partial interval is
+     * flushed when run() returns.
+     */
+    void attachSampler(obs::IntervalSampler &s);
+
     /**
      * Called before every functional step with (instructions retired so
      * far, this system). Fault injectors hang their schedules here.
@@ -106,6 +122,7 @@ class System
     std::unique_ptr<Iss> issModel;
     std::vector<std::unique_ptr<XtCore>> cores;
     std::vector<Watchdog> watchdogs;
+    obs::IntervalSampler *sampler = nullptr;
 };
 
 } // namespace xt910

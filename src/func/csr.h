@@ -28,6 +28,28 @@ constexpr uint32_t mhartid = 0xf14;
 constexpr uint32_t cycle = 0xc00;
 constexpr uint32_t time = 0xc01;
 constexpr uint32_t instret = 0xc02;
+// Machine counters and hardware performance monitors. The model
+// implements mhpmcounter3..8 (user aliases hpmcounter3..8), each
+// selecting an event via the matching mhpmevent register. Counters are
+// hardwired to the timing model; guest writes are ignored.
+constexpr uint32_t mcycle = 0xb00;
+constexpr uint32_t minstret = 0xb02;
+constexpr uint32_t mhpmcounter3 = 0xb03; ///< ..mhpmcounter8 = 0xb08
+constexpr uint32_t hpmcounter3 = 0xc03;  ///< ..hpmcounter8 = 0xc08
+constexpr uint32_t mhpmevent3 = 0x323;   ///< ..mhpmevent8 = 0x328
+constexpr unsigned numHpmCounters = 6;
+
+/** Event selector values for mhpmeventN. */
+namespace hpmevent
+{
+constexpr uint64_t none = 0;
+constexpr uint64_t l1dMiss = 1;
+constexpr uint64_t branchMispredict = 2; ///< direction + target redirects
+constexpr uint64_t itlbMiss = 3;
+constexpr uint64_t dtlbMiss = 4;
+constexpr uint64_t l1iMiss = 5;
+constexpr uint64_t l2Miss = 6; ///< cluster L2 misses (cluster-wide)
+} // namespace hpmevent
 // V-extension 0.7.1 CSRs.
 constexpr uint32_t vstart = 0x008;
 constexpr uint32_t vl = 0xc20;

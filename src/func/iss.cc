@@ -183,7 +183,13 @@ Iss::readCsr(ArchState &s, uint32_t num) const
     switch (num) {
       case csr::cycle:
       case csr::time:
+      case csr::mcycle:
+        // Under a timing core the counters expose model cycles; in
+        // functional-only runs they fall back to the instruction count
+        // so guest code still sees monotonic, deterministic time.
+        return cycleSource ? cycleSource(hartOf(s)) : s.instret;
       case csr::instret:
+      case csr::minstret:
         return s.instret;
       case csr::vl:
         return s.vl;
@@ -192,6 +198,19 @@ Iss::readCsr(ArchState &s, uint32_t num) const
       case csr::vlenb:
         return opts.vlenBits / 8;
       default: {
+        unsigned idx = csr::numHpmCounters;
+        if (num >= csr::mhpmcounter3 &&
+            num < csr::mhpmcounter3 + csr::numHpmCounters)
+            idx = num - csr::mhpmcounter3;
+        else if (num >= csr::hpmcounter3 &&
+                 num < csr::hpmcounter3 + csr::numHpmCounters)
+            idx = num - csr::hpmcounter3;
+        if (idx < csr::numHpmCounters) {
+            auto ev = s.csrs.find(csr::mhpmevent3 + idx);
+            if (ev == s.csrs.end() || !ev->second || !hpmSource)
+                return 0;
+            return hpmSource(hartOf(s), ev->second);
+        }
         auto it = s.csrs.find(num);
         return it == s.csrs.end() ? 0 : it->second;
       }

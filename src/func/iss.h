@@ -10,6 +10,7 @@
 #ifndef XT910_FUNC_ISS_H
 #define XT910_FUNC_ISS_H
 
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -126,6 +127,23 @@ class Iss
         return harts[hartId].trapCount;
     }
 
+    /**
+     * Timing-model cycle source backing cycle/time/mcycle CSR reads.
+     * When unset (functional-only runs) those CSRs read the hart's
+     * retired-instruction count, which keeps them monotonic and
+     * deterministic. System installs a hook returning the hart's
+     * timing-core cycle count.
+     */
+    std::function<uint64_t(unsigned hart)> cycleSource;
+
+    /**
+     * Timing-model event source backing mhpmcounter3..8. Called with
+     * the hart and the event selector programmed into the matching
+     * mhpmevent CSR (csr::hpmevent values); returns the running event
+     * count. Unset hook or unknown selector reads zero.
+     */
+    std::function<uint64_t(unsigned hart, uint64_t event)> hpmSource;
+
   private:
     ExecRecord execute(ArchState &s, const DecodedInst &di, Addr pc);
     /** Deliver a pending machine interrupt, if enabled. */
@@ -149,6 +167,10 @@ class Iss
                          unsigned size, bool isStore);
     void execVector(ArchState &s, const DecodedInst &di, ExecRecord &rec);
     uint64_t readCsr(ArchState &s, uint32_t num) const;
+    unsigned hartOf(const ArchState &s) const
+    {
+        return unsigned(&s - harts.data());
+    }
     void writeCsr(ArchState &s, uint32_t num, uint64_t v);
     void invalidateReservations(Addr addr, const ArchState *except);
 

@@ -395,4 +395,18 @@ MemSystem::dumpStats(std::ostream &os) const
     dramModel.stats.dump(os);
 }
 
+void
+MemSystem::forEachStatGroup(
+    const std::function<void(const StatGroup &)> &fn) const
+{
+    fn(stats);
+    for (const auto &c : l1is)
+        fn(c->stats);
+    for (const auto &c : l1ds)
+        fn(c->stats);
+    for (const auto &c : l2s)
+        fn(c->stats);
+    fn(dramModel.stats);
+}
+
 } // namespace xt910

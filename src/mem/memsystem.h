@@ -14,6 +14,7 @@
 #ifndef XT910_MEM_MEMSYSTEM_H
 #define XT910_MEM_MEMSYSTEM_H
 
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -124,6 +125,10 @@ class MemSystem
 
     /** Dump all component stats. */
     void dumpStats(std::ostream &os) const;
+
+    /** Visit every StatGroup the memory system owns. */
+    void forEachStatGroup(
+        const std::function<void(const StatGroup &)> &fn) const;
 
     StatGroup stats;
     Counter snoopProbes;       ///< L1 probes sent for coherence

@@ -1,0 +1,135 @@
+#include "obs/konata.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+namespace xt910
+{
+namespace obs
+{
+
+namespace
+{
+
+/** Flush the buffer once it holds this many events (amortizes the
+ *  sort; the in-flight window is far smaller in practice). */
+constexpr size_t flushThreshold = 8192;
+
+} // namespace
+
+KonataTracer::KonataTracer(std::ostream &os_) : os(os_) {}
+
+KonataTracer::~KonataTracer()
+{
+    finish();
+}
+
+void
+KonataTracer::push(Cycle c, std::string text)
+{
+    buf.push_back(Ev{c, nextOrder++, std::move(text)});
+}
+
+void
+KonataTracer::record(const UopEvent &e, Cycle watermark)
+{
+    ++nUops;
+    const uint64_t id = nextId++;
+
+    // Clamp milestones monotone within the µop so stages never run
+    // backwards even if a model quirk reports one out of order.
+    const Cycle f = e.fetch;
+    const Cycle d = std::max(e.decode, f);
+    const Cycle rn = std::max(e.rename, d);
+    const Cycle is = std::max(e.issue, rn);
+    const Cycle dn = std::max(e.done, is);
+    const Cycle rt = std::max(e.retire, dn);
+
+    std::ostringstream lbl;
+    lbl << std::hex << e.pc << std::dec << ": " << e.disasm;
+    if (e.nUops > 1)
+        lbl << " [uop " << e.uop + 1 << "/" << e.nUops << "]";
+
+    {
+        std::ostringstream t;
+        t << "I\t" << id << "\t" << e.seq << "\t" << e.hart;
+        push(f, t.str());
+    }
+    push(f, "L\t" + std::to_string(id) + "\t0\t" + lbl.str());
+    if (e.flushCause)
+        push(f, "L\t" + std::to_string(id) + "\t1\tflush: " +
+                    e.flushCause);
+
+    const std::string sid = std::to_string(id);
+    push(f, "S\t" + sid + "\t0\tF");
+    push(d, "E\t" + sid + "\t0\tF");
+    push(d, "S\t" + sid + "\t0\tDc");
+    push(rn, "E\t" + sid + "\t0\tDc");
+    push(rn, "S\t" + sid + "\t0\tRn");
+    push(is, "E\t" + sid + "\t0\tRn");
+    push(is, "S\t" + sid + "\t0\tEx");
+    push(dn, "E\t" + sid + "\t0\tEx");
+    push(dn, "S\t" + sid + "\t0\tCm");
+    push(rt, "E\t" + sid + "\t0\tCm");
+    push(rt, "R\t" + sid + "\t" + std::to_string(e.seq) + "\t0");
+
+    hartWatermark[e.hart] = watermark;
+    if (buf.size() >= flushAt) {
+        Cycle global = std::numeric_limits<Cycle>::max();
+        for (const auto &[hart, wm] : hartWatermark)
+            global = std::min(global, wm);
+        emitBefore(global);
+        // Whatever survived the flush is still in flight; only resort
+        // once another batch of events has accumulated on top of it.
+        flushAt = buf.size() + flushThreshold;
+    }
+}
+
+void
+KonataTracer::emitOne(const Ev &e)
+{
+    if (!headerDone) {
+        os << "Kanata\t0004\n";
+        headerDone = true;
+    }
+    if (!cursorInit) {
+        os << "C=\t" << e.cycle << "\n";
+        cursor = e.cycle;
+        cursorInit = true;
+    } else if (e.cycle > cursor) {
+        os << "C\t" << (e.cycle - cursor) << "\n";
+        cursor = e.cycle;
+    } else if (e.cycle < cursor) {
+        ++nClamped; // broken watermark promise; keep output well-formed
+    }
+    os << e.text << "\n";
+}
+
+void
+KonataTracer::emitBefore(Cycle limit)
+{
+    auto mid = std::stable_partition(
+        buf.begin(), buf.end(),
+        [limit](const Ev &e) { return e.cycle < limit; });
+    std::sort(buf.begin(), mid, [](const Ev &a, const Ev &b) {
+        return a.cycle != b.cycle ? a.cycle < b.cycle
+                                  : a.order < b.order;
+    });
+    for (auto it = buf.begin(); it != mid; ++it)
+        emitOne(*it);
+    buf.erase(buf.begin(), mid);
+}
+
+void
+KonataTracer::finish()
+{
+    if (finished)
+        return;
+    finished = true;
+    emitBefore(std::numeric_limits<Cycle>::max());
+    os.flush();
+}
+
+} // namespace obs
+} // namespace xt910

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Pipeline event tracer emitting the Kanata log format understood by
+ * the Konata visualizer (https://github.com/shioyadan/Konata).
+ *
+ * The timing model is a scheduled trace: every µop's full lifecycle
+ * (fetch, decode, rename, issue, execute-done, retire) is known the
+ * moment it is consumed, but µops are consumed in *retire* order while
+ * Kanata wants records in non-decreasing *cycle* order. The tracer
+ * therefore buffers events and flushes them once the core guarantees
+ * no younger µop can produce an earlier event — the caller passes that
+ * watermark (the core's monotonic fetch-group start cycle) with every
+ * record. With several cores sharing one tracer the global watermark
+ * is the minimum across harts.
+ *
+ * When tracing is disabled the core-side hook is a single branch on a
+ * null KonataTracer pointer; no event objects are ever built.
+ */
+
+#ifndef XT910_OBS_KONATA_H
+#define XT910_OBS_KONATA_H
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace xt910
+{
+namespace obs
+{
+
+/** One µop's lifecycle, reported by the core at consume time. */
+struct UopEvent
+{
+    Addr pc = 0;
+    unsigned hart = 0;
+    uint64_t seq = 0;       ///< architectural instruction index
+    unsigned uop = 0;       ///< µop index within the instruction
+    unsigned nUops = 1;
+    std::string disasm;     ///< rendered assembly for the left pane
+    Cycle fetch = 0;        ///< IBUF-exit availability
+    Cycle decode = 0;
+    Cycle rename = 0;
+    Cycle issue = 0;
+    Cycle done = 0;         ///< execution complete / writeback
+    Cycle retire = 0;
+    /** Static string naming the flush this instruction caused
+     *  (branch-mispredict, trap, ...); nullptr when none. */
+    const char *flushCause = nullptr;
+};
+
+/** See file comment. */
+class KonataTracer
+{
+  public:
+    explicit KonataTracer(std::ostream &os);
+    ~KonataTracer();
+
+    KonataTracer(const KonataTracer &) = delete;
+    KonataTracer &operator=(const KonataTracer &) = delete;
+
+    /**
+     * Record one µop. @p watermark promises that every event of every
+     * future record on this hart lands at cycle >= watermark.
+     */
+    void record(const UopEvent &e, Cycle watermark);
+
+    /** Emit everything still buffered (end of run). */
+    void finish();
+
+    uint64_t uopsRecorded() const { return nUops; }
+    /** Events that arrived below an already-emitted cycle (should stay
+     *  0; non-zero means a watermark promise was broken and the event
+     *  was clamped to keep the output well-formed). */
+    uint64_t clampedEvents() const { return nClamped; }
+
+  private:
+    struct Ev
+    {
+        Cycle cycle;
+        uint64_t order; ///< insertion sequence, for a stable sort
+        std::string text;
+    };
+
+    void push(Cycle c, std::string text);
+    /** Sort and emit every buffered event with cycle < @p limit. */
+    void emitBefore(Cycle limit);
+    void emitOne(const Ev &e);
+
+    std::ostream &os;
+    std::vector<Ev> buf;
+    std::map<unsigned, Cycle> hartWatermark;
+    /** Next buffer size that triggers a flush; re-armed after each
+     *  flush so a slow watermark never causes per-record resorts. */
+    size_t flushAt = 0;
+    uint64_t nextOrder = 0;
+    uint64_t nextId = 0;
+    uint64_t nUops = 0;
+    uint64_t nClamped = 0;
+    Cycle cursor = 0;
+    bool cursorInit = false;
+    bool headerDone = false;
+    bool finished = false;
+};
+
+} // namespace obs
+} // namespace xt910
+
+#endif // XT910_OBS_KONATA_H

@@ -1,0 +1,66 @@
+#include "obs/sampler.h"
+
+#include "common/json.h"
+
+namespace xt910
+{
+namespace obs
+{
+
+IntervalSampler::IntervalSampler(std::ostream &os_, Cycle interval_)
+    : os(os_), interval(interval_ ? interval_ : 1), nextAt(interval)
+{
+}
+
+void
+IntervalSampler::addGroup(const StatGroup *g)
+{
+    groups.push_back(g);
+    prev.resize(prev.size() + g->counters().size(), 0);
+}
+
+void
+IntervalSampler::sample(Cycle now, uint64_t insts, bool final)
+{
+    if (finished)
+        return;
+    os << "{\"type\": \"" << (final ? "final_interval" : "interval")
+       << "\", \"cycle\": " << now << ", \"start_cycle\": " << prevCycle
+       << ", \"insts\": " << insts
+       << ", \"d_insts\": " << (insts - prevInsts) << ", \"d\": {";
+    size_t idx = 0;
+    bool first = true;
+    for (const StatGroup *g : groups) {
+        for (const Counter *c : g->counters()) {
+            uint64_t v = c->value();
+            if (v != prev[idx]) {
+                if (!first)
+                    os << ", ";
+                first = false;
+                os << "\"" << json::escape(g->name()) << "."
+                   << json::escape(c->name())
+                   << "\": " << (v - prev[idx]);
+                prev[idx] = v;
+            }
+            ++idx;
+        }
+    }
+    os << "}}\n";
+    ++nSamples;
+    prevCycle = now;
+    prevInsts = insts;
+    nextAt = (now / interval + 1) * interval;
+    if (final)
+        finished = true;
+}
+
+void
+IntervalSampler::finish(Cycle now, uint64_t insts)
+{
+    if (!finished)
+        sample(now, insts, true);
+    os.flush();
+}
+
+} // namespace obs
+} // namespace xt910

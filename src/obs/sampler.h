@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Interval statistics sampler: snapshots every registered counter each
+ * N cycles and emits one JSON object per interval (JSONL) with the
+ * per-interval deltas, so benches can plot IPC / miss-rate time series
+ * instead of a single end-of-run scalar.
+ *
+ * The per-instruction hot-path cost when attached is one compare
+ * (cycle vs. next sample point); when not attached the system-side
+ * hook is a branch on a null pointer.
+ */
+
+#ifndef XT910_OBS_SAMPLER_H
+#define XT910_OBS_SAMPLER_H
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace xt910
+{
+namespace obs
+{
+
+/** See file comment. */
+class IntervalSampler
+{
+  public:
+    /** Emit JSONL to @p os, one record per @p interval cycles. */
+    IntervalSampler(std::ostream &os, Cycle interval);
+
+    IntervalSampler(const IntervalSampler &) = delete;
+    IntervalSampler &operator=(const IntervalSampler &) = delete;
+
+    /** Register a group to snapshot (before the run starts). */
+    void addGroup(const StatGroup *g);
+
+    /** Hot-path hook: sample when @p now crossed the next boundary. */
+    void
+    tick(Cycle now, uint64_t insts)
+    {
+        if (now >= nextAt)
+            sample(now, insts, false);
+    }
+
+    /** Emit the final (possibly partial) interval. */
+    void finish(Cycle now, uint64_t insts);
+
+    uint64_t samplesEmitted() const { return nSamples; }
+
+  private:
+    void sample(Cycle now, uint64_t insts, bool final);
+
+    std::ostream &os;
+    Cycle interval;
+    Cycle nextAt;
+    Cycle prevCycle = 0;
+    uint64_t prevInsts = 0;
+    uint64_t nSamples = 0;
+    bool finished = false;
+    std::vector<const StatGroup *> groups;
+    std::vector<uint64_t> prev; ///< flattened counter snapshot
+};
+
+} // namespace obs
+} // namespace xt910
+
+#endif // XT910_OBS_SAMPLER_H

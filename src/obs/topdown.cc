@@ -1,0 +1,75 @@
+#include "obs/topdown.h"
+
+#include <cstdio>
+
+namespace xt910
+{
+namespace obs
+{
+
+TopDown::TopDown(const std::string &statPrefix, unsigned retireWidth_)
+    : stats(statPrefix),
+      retiring(stats, "slots_retiring", "retire slots used by µops"),
+      frontendBound(stats, "slots_frontend",
+                    "empty slots: instruction supply late (benign)"),
+      badSpeculation(stats, "slots_bad_speculation",
+                     "empty slots: fetch held back by a flush"),
+      backendMem(stats, "slots_backend_mem",
+                 "empty slots: ROB head waiting on memory"),
+      backendCore(stats, "slots_backend_core",
+                  "empty slots: ROB head waiting on a core unit"),
+      retireWidth(retireWidth_),
+      usedThisCycle(retireWidth_)
+{
+}
+
+void
+TopDown::chargeIdle(uint64_t idle, bool backendBound, bool memBound,
+                    bool badSpecFetch)
+{
+    // Flush recovery wins: a µop fetched late because of a flush is
+    // "backend bound" in the mechanical sense too (its own, shifted,
+    // completion sets its retire cycle), but the root cause of the
+    // bubble is the speculation failure, so charge it there — as the
+    // top-down method does.
+    Counter &cause = badSpecFetch ? badSpeculation
+                     : backendBound
+                         ? (memBound ? backendMem : backendCore)
+                         : frontendBound;
+    cause += idle;
+}
+
+void
+TopDown::finalize()
+{
+    frontendBound += retireWidth - usedThisCycle;
+    usedThisCycle = retireWidth;
+}
+
+uint64_t
+TopDown::slotsAccounted() const
+{
+    return retiring.value() + frontendBound.value() +
+           badSpeculation.value() + backendMem.value() +
+           backendCore.value();
+}
+
+std::string
+TopDown::summary() const
+{
+    const double total = double(slotsAccounted());
+    auto pct = [total](const Counter &c) {
+        return total ? 100.0 * double(c.value()) / total : 0.0;
+    };
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "retiring %.1f%% | frontend %.1f%% | bad-spec %.1f%% "
+                  "| backend-mem %.1f%% | backend-core %.1f%%",
+                  pct(retiring), pct(frontendBound),
+                  pct(badSpeculation), pct(backendMem),
+                  pct(backendCore));
+    return buf;
+}
+
+} // namespace obs
+} // namespace xt910

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Top-down retire-slot accounting (after Yasin's top-down method,
+ * adapted to a scheduled-trace model). Every retire slot of every
+ * cycle is attributed to exactly one of:
+ *
+ *   retiring      — a µop retired in the slot;
+ *   frontend      — the next µop's fetch/decode supply was late for a
+ *                   benign reason (I-cache miss, taken-branch bubble);
+ *   bad_spec      — the next µop's fetch was held back by a
+ *                   speculation flush (branch/target mispredict,
+ *                   memory-ordering violation, trap, vl replay);
+ *   backend_mem   — the ROB-head µop was still executing and is a
+ *                   memory-class op (load/store/AMO/vector memory);
+ *   backend_core  — the ROB-head µop was still executing on a
+ *                   core-side unit (ALU/FPU latency, dependency
+ *                   chains, port conflicts).
+ *
+ * Invariant (checked by tests): the five counters sum to
+ * retireWidth × cycles() once finalize() has charged the tail of the
+ * final cycle. The accounting is O(1) per retired µop.
+ */
+
+#ifndef XT910_OBS_TOPDOWN_H
+#define XT910_OBS_TOPDOWN_H
+
+#include <string>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace xt910
+{
+namespace obs
+{
+
+/** See file comment. */
+class TopDown
+{
+  public:
+    TopDown(const std::string &statPrefix, unsigned retireWidth);
+
+    /**
+     * Account one µop retiring at cycle @p c (non-decreasing across
+     * calls). The flags describe why the *gap* since the previous
+     * retire cycle, if any, existed: @p backendBound when the µop's
+     * own completion (done + retire stages) set its retire cycle,
+     * @p memBound to split backend stalls, @p badSpecFetch when its
+     * fetch was held back by a speculation flush.
+     */
+    void
+    onRetire(Cycle c, bool backendBound, bool memBound,
+             bool badSpecFetch)
+    {
+        // Inline: this runs once per retired µop inside the core's
+        // scheduling loop; an out-of-line call costs measurable time.
+        if (c > curCycle) {
+            uint64_t idle = uint64_t(retireWidth - usedThisCycle) +
+                            uint64_t(retireWidth) * (c - curCycle - 1);
+            if (idle)
+                chargeIdle(idle, backendBound, memBound, badSpecFetch);
+            curCycle = c;
+            usedThisCycle = 0;
+        }
+        // The retire bandwidth limiter guarantees <= width per cycle.
+        if (usedThisCycle < retireWidth)
+            ++usedThisCycle;
+        ++retiring;
+    }
+
+    /**
+     * Charge the unused slots of the final retire cycle (to frontend:
+     * no younger instruction exists). Idempotent; call at end of run.
+     */
+    void finalize();
+
+    /** Cycles covered so far (== last retire cycle seen). */
+    Cycle cycles() const { return curCycle; }
+
+    unsigned width() const { return retireWidth; }
+
+    /** Total slots accounted (sum of the five counters). */
+    uint64_t slotsAccounted() const;
+
+    /** One-line percentage summary for CLI output. */
+    std::string summary() const;
+
+    StatGroup stats;
+    Counter retiring;
+    Counter frontendBound;
+    Counter badSpeculation;
+    Counter backendMem;
+    Counter backendCore;
+
+  private:
+    /** Cold half of onRetire: attribute @p idle empty slots. */
+    void chargeIdle(uint64_t idle, bool backendBound, bool memBound,
+                    bool badSpecFetch);
+
+    unsigned retireWidth;
+    Cycle curCycle = 0;
+    /** Slots consumed in curCycle. Initialized "full" so the phantom
+     *  cycle 0 (before the first retire) is never charged. */
+    unsigned usedThisCycle;
+};
+
+} // namespace obs
+} // namespace xt910
+
+#endif // XT910_OBS_TOPDOWN_H

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "common/json.h"
 #include "common/stats.h"
 
 namespace xt910
@@ -50,6 +51,71 @@ TEST(Stats, ResetAll)
     g.resetAll();
     EXPECT_EQ(a.value(), 0u);
     EXPECT_EQ(b.value(), 0u);
+}
+
+TEST(Stats, GroupJsonDump)
+{
+    StatGroup g("l1d");
+    Counter h(g, "hits", "");
+    Counter m(g, "misses", "");
+    h += 12;
+    m += 3;
+    std::ostringstream os;
+    g.dumpJson(os);
+    EXPECT_EQ(os.str(), "{\"hits\": 12, \"misses\": 3}");
+    EXPECT_TRUE(json::validate(os.str()));
+}
+
+TEST(Stats, SortedDumpIsDeterministic)
+{
+    StatGroup b("beta"), a("alpha"), c("alpha.sub");
+    Counter cb(b, "x", "");
+    Counter ca(a, "y", "");
+    Counter cc(c, "z", "");
+    cb += 1;
+    ca += 2;
+    cc += 3;
+
+    // Registration order must not matter.
+    std::ostringstream o1, o2;
+    dumpStatsSorted(o1, {&b, &a, &c});
+    dumpStatsSorted(o2, {&c, &b, &a});
+    EXPECT_EQ(o1.str(), o2.str());
+    // Sorted: alpha before alpha.sub before beta.
+    size_t pa = o1.str().find("alpha.y");
+    size_t ps = o1.str().find("alpha.sub.z");
+    size_t pb = o1.str().find("beta.x");
+    ASSERT_NE(pa, std::string::npos);
+    ASSERT_NE(ps, std::string::npos);
+    ASSERT_NE(pb, std::string::npos);
+    EXPECT_LT(pa, ps);
+    EXPECT_LT(ps, pb);
+}
+
+TEST(Stats, HierarchicalJson)
+{
+    StatGroup bp("core0.bp"), l1("core0.l1d"), dram("dram");
+    Counter c1(bp, "hits", "");
+    Counter c2(l1, "misses", "");
+    Counter c3(dram, "reads", "");
+    c1 += 1;
+    c2 += 2;
+    c3 += 3;
+
+    std::ostringstream os;
+    dumpStatsJson(os, {&dram, &l1, &bp}, /*pretty=*/false);
+    std::string s = os.str();
+    EXPECT_TRUE(json::validate(s)) << s;
+    // Dotted names become nesting: one "core0" object with both subs.
+    EXPECT_NE(s.find("\"core0\""), std::string::npos);
+    EXPECT_NE(s.find("\"bp\""), std::string::npos);
+    EXPECT_NE(s.find("\"l1d\""), std::string::npos);
+    EXPECT_EQ(s.find("core0.bp"), std::string::npos);
+
+    // Pretty and compact forms carry the same content.
+    std::ostringstream op;
+    dumpStatsJson(op, {&dram, &l1, &bp}, /*pretty=*/true);
+    EXPECT_TRUE(json::validate(op.str())) << op.str();
 }
 
 } // namespace xt910

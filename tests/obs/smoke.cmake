@@ -1,0 +1,105 @@
+# CLI observability smoke, run as a ctest script:
+#
+#   cmake -DXT910_RUN=<path-to-xt910-run> -DWORK_DIR=<dir> -P smoke.cmake
+#
+# Drives the simulator with every observability flag on a small
+# workload, then validates the artifacts: the JSONL stats stream parses
+# line by line (cmake's string(JSON)), the interval instruction deltas
+# sum to the summary's retired-instruction count, and the Kanata trace
+# is well-formed (header, records for at least one µop per retired
+# instruction, retire records present).
+
+if(NOT XT910_RUN OR NOT WORK_DIR)
+    message(FATAL_ERROR "usage: cmake -DXT910_RUN=... -DWORK_DIR=... -P smoke.cmake")
+endif()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(JSON_OUT "${WORK_DIR}/puwmod.jsonl")
+set(TRACE_OUT "${WORK_DIR}/puwmod.kanata")
+
+execute_process(
+    COMMAND "${XT910_RUN}"
+        --stats-json=${JSON_OUT} --stats-interval=1000
+        --trace-konata=${TRACE_OUT} --topdown puwmod
+    OUTPUT_VARIABLE run_out
+    ERROR_VARIABLE run_err
+    RESULT_VARIABLE run_rc)
+if(NOT run_rc EQUAL 0)
+    message(FATAL_ERROR "xt910-run failed (rc=${run_rc}):\n${run_out}\n${run_err}")
+endif()
+if(NOT run_out MATCHES "checksum   : ok")
+    message(FATAL_ERROR "workload checksum not ok:\n${run_out}")
+endif()
+if(NOT run_out MATCHES "topdown c0 : retiring [0-9.]+%")
+    message(FATAL_ERROR "--topdown summary missing:\n${run_out}")
+endif()
+
+# ---- JSONL stats stream ------------------------------------------------
+file(STRINGS "${JSON_OUT}" json_lines)
+list(LENGTH json_lines n_lines)
+if(n_lines LESS 2)
+    message(FATAL_ERROR "expected interval records + summary, got ${n_lines} lines")
+endif()
+
+set(delta_sum 0)
+set(summary_insts "")
+foreach(line IN LISTS json_lines)
+    string(JSON type ERROR_VARIABLE jerr GET "${line}" type)
+    if(jerr)
+        message(FATAL_ERROR "unparseable JSONL line (${jerr}): ${line}")
+    endif()
+    if(type STREQUAL "interval" OR type STREQUAL "final_interval")
+        string(JSON d GET "${line}" d_insts)
+        math(EXPR delta_sum "${delta_sum} + ${d}")
+    elseif(type STREQUAL "summary")
+        string(JSON summary_insts GET "${line}" insts)
+        string(JSON ok GET "${line}" checksum_ok)
+        if(NOT ok STREQUAL "ON")  # string(JSON) maps true to ON
+            message(FATAL_ERROR "summary checksum_ok != true: ${ok}")
+        endif()
+        # The hierarchical stats object must be present and nest.
+        string(JSON uops GET "${line}" stats core0 uops)
+        if(uops LESS 1)
+            message(FATAL_ERROR "summary stats.core0.uops missing")
+        endif()
+        string(JSON td GET "${line}" stats core0 topdown slots_retiring)
+        if(NOT td EQUAL uops)
+            message(FATAL_ERROR "topdown slots_retiring ${td} != uops ${uops}")
+        endif()
+    else()
+        message(FATAL_ERROR "unknown record type '${type}': ${line}")
+    endif()
+endforeach()
+
+if(summary_insts STREQUAL "")
+    message(FATAL_ERROR "no summary line in ${JSON_OUT}")
+endif()
+if(NOT delta_sum EQUAL summary_insts)
+    message(FATAL_ERROR "interval d_insts sum ${delta_sum} != summary insts ${summary_insts}")
+endif()
+
+# ---- Kanata trace ------------------------------------------------------
+file(STRINGS "${TRACE_OUT}" trace_head LIMIT_COUNT 2)
+list(GET trace_head 0 first_line)
+if(NOT first_line STREQUAL "Kanata\t0004")
+    message(FATAL_ERROR "bad Kanata header: '${first_line}'")
+endif()
+list(GET trace_head 1 second_line)
+if(NOT second_line MATCHES "^C=\t[0-9]+$")
+    message(FATAL_ERROR "expected initial cycle record, got '${second_line}'")
+endif()
+
+# Count instruction-start and retire records; µops >= instructions and
+# every started µop must retire.
+file(STRINGS "${TRACE_OUT}" i_recs REGEX "^I\t")
+file(STRINGS "${TRACE_OUT}" r_recs REGEX "^R\t")
+list(LENGTH i_recs n_i)
+list(LENGTH r_recs n_r)
+if(n_i LESS summary_insts)
+    message(FATAL_ERROR "trace has ${n_i} µop records for ${summary_insts} instructions")
+endif()
+if(NOT n_i EQUAL n_r)
+    message(FATAL_ERROR "µop starts (${n_i}) != retires (${n_r})")
+endif()
+
+message(STATUS "obs smoke ok: ${summary_insts} insts, ${n_i} traced µops, ${n_lines} JSONL lines")

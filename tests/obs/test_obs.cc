@@ -1,0 +1,437 @@
+/**
+ * Observability subsystem tests: JSON helpers, the interval sampler's
+ * delta math, the Konata pipeline tracer (well-formedness, stage
+ * ordering, flush labels), top-down retire-slot accounting invariants,
+ * and the guest-visible HPM counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "common/json.h"
+#include "core/system.h"
+#include "func/csr.h"
+#include "obs/konata.h"
+#include "obs/sampler.h"
+#include "obs/topdown.h"
+
+namespace xt910
+{
+
+using namespace reg;
+
+namespace
+{
+
+/** Run a single-core system over @p a and return the result. */
+RunResult
+run(Assembler &a, System &sys)
+{
+    sys.loadProgram(a.assemble());
+    return sys.run();
+}
+
+/** An unpredictable-branch + load loop: exercises every top-down
+ *  category (retiring, bad-spec from mispredicts, backend-mem from
+ *  loads, backend-core from the mul chain). */
+Assembler
+mixedKernel(int iters)
+{
+    Assembler a;
+    a.la(s1, "data");
+    a.li(s2, 0x1234567);
+    a.li(s0, iters);
+    a.label("loop");
+    // LCG step: s2 = s2 * 6364136223846793005 + 1442695040888963407
+    a.li(t3, 0x5851f42d4c957f2dULL);
+    a.li(t4, 0x14057b7ef767814fULL);
+    a.mul(s2, s2, t3);
+    a.add(s2, s2, t4);
+    a.srli(t0, s2, 60);
+    a.andi(t0, t0, 1);
+    a.beqz(t0, "skip"); // data-dependent: mispredicts often
+    a.addi(a1, a1, 1);
+    a.label("skip");
+    a.ld(t1, s1, 0);    // backend-mem exposure
+    a.mul(t2, t1, s2);  // backend-core latency chain
+    a.addi(s0, s0, -1);
+    a.bnez(s0, "loop");
+    a.ebreak();
+    a.align(8);
+    a.label("data");
+    a.dword(7);
+    return a;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------- JSON
+
+TEST(Json, EscapeSpecials)
+{
+    EXPECT_EQ(json::escape("plain"), "plain");
+    EXPECT_EQ(json::escape("a\"b"), "a\\\"b");
+    EXPECT_EQ(json::escape("a\\b"), "a\\\\b");
+    EXPECT_EQ(json::escape("a\nb\tc"), "a\\nb\\tc");
+    EXPECT_EQ(json::escape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(Json, ValidateAcceptsAndRejects)
+{
+    EXPECT_TRUE(json::validate("{}"));
+    EXPECT_TRUE(json::validate("{\"a\": [1, 2.5, -3e2], \"b\": null}"));
+    EXPECT_TRUE(json::validate("  \"str\\n\"  "));
+    EXPECT_TRUE(json::validate("true"));
+
+    std::string err;
+    EXPECT_FALSE(json::validate("{", &err));
+    EXPECT_FALSE(err.empty());
+    EXPECT_FALSE(json::validate("{\"a\": 1,}"));
+    EXPECT_FALSE(json::validate("{\"a\": 1} trailing"));
+    EXPECT_FALSE(json::validate("{'a': 1}"));
+    EXPECT_FALSE(json::validate(""));
+}
+
+// ------------------------------------------------------------- Sampler
+
+TEST(Sampler, IntervalDeltaMath)
+{
+    StatGroup g("core0");
+    Counter a(g, "a", "");
+    Counter insts(g, "insts", "");
+
+    std::ostringstream os;
+    obs::IntervalSampler smp(os, 100);
+    smp.addGroup(&g);
+
+    a += 5;
+    smp.tick(100, 10);  // fires: d a=5, d_insts=10
+    a += 2;
+    smp.tick(150, 12);  // below nextAt (200): no sample
+    a += 3;
+    smp.tick(250, 20);  // fires: d a=5, d_insts=10
+    a += 1;
+    smp.finish(300, 30); // final partial: d a=1, d_insts=10
+
+    EXPECT_EQ(smp.samplesEmitted(), 3u);
+
+    std::istringstream in(os.str());
+    std::string line;
+    std::vector<std::string> lines;
+    while (std::getline(in, line))
+        lines.push_back(line);
+    ASSERT_EQ(lines.size(), 3u);
+    for (const auto &l : lines) {
+        std::string err;
+        EXPECT_TRUE(json::validate(l, &err)) << l << ": " << err;
+    }
+
+    EXPECT_NE(lines[0].find("\"type\": \"interval\""), std::string::npos);
+    EXPECT_NE(lines[0].find("\"cycle\": 100"), std::string::npos);
+    EXPECT_NE(lines[0].find("\"d_insts\": 10"), std::string::npos);
+    EXPECT_NE(lines[0].find("\"core0.a\": 5"), std::string::npos);
+
+    EXPECT_NE(lines[1].find("\"cycle\": 250"), std::string::npos);
+    EXPECT_NE(lines[1].find("\"start_cycle\": 100"), std::string::npos);
+    EXPECT_NE(lines[1].find("\"d_insts\": 10"), std::string::npos);
+    EXPECT_NE(lines[1].find("\"core0.a\": 5"), std::string::npos);
+
+    EXPECT_NE(lines[2].find("\"type\": \"final_interval\""),
+              std::string::npos);
+    EXPECT_NE(lines[2].find("\"d_insts\": 10"), std::string::npos);
+    EXPECT_NE(lines[2].find("\"core0.a\": 1"), std::string::npos);
+    // Untouched counters are elided from the delta object.
+    EXPECT_EQ(lines[2].find("core0.insts"), std::string::npos);
+}
+
+TEST(Sampler, FinishIsIdempotentAndDeltasSum)
+{
+    StatGroup g("g");
+    Counter c(g, "c", "");
+    std::ostringstream os;
+    obs::IntervalSampler smp(os, 10);
+    smp.addGroup(&g);
+    uint64_t n = 0;
+    for (Cycle cyc = 1; cyc <= 95; ++cyc) {
+        c += 2;
+        smp.tick(cyc, ++n);
+    }
+    smp.finish(95, n);
+    smp.finish(95, n); // second call must be a no-op
+    // Sum of d_insts over every line equals the final count.
+    std::istringstream in(os.str());
+    std::string line;
+    uint64_t sum = 0;
+    while (std::getline(in, line)) {
+        auto p = line.find("\"d_insts\": ");
+        ASSERT_NE(p, std::string::npos) << line;
+        sum += std::stoull(line.substr(p + 11));
+    }
+    EXPECT_EQ(sum, n);
+}
+
+// -------------------------------------------------------------- Konata
+
+namespace
+{
+
+/** Parsed view of a Kanata log: per-id stage entry cycles. */
+struct KanataLog
+{
+    std::map<uint64_t, std::vector<std::pair<std::string, Cycle>>> starts;
+    std::map<uint64_t, Cycle> retired;
+    std::map<uint64_t, std::vector<std::string>> labels;
+    uint64_t nIds = 0;
+    bool headerOk = false;
+    bool cyclesMonotone = true;
+};
+
+KanataLog
+parseKanata(const std::string &text)
+{
+    KanataLog log;
+    std::istringstream in(text);
+    std::string line;
+    Cycle cur = 0;
+    bool first = true;
+    while (std::getline(in, line)) {
+        std::istringstream ls(line);
+        std::string tag;
+        std::getline(ls, tag, '\t');
+        if (first) {
+            log.headerOk = (tag == "Kanata" && line == "Kanata\t0004");
+            first = false;
+            continue;
+        }
+        if (tag == "C=") {
+            ls >> cur;
+        } else if (tag == "C") {
+            Cycle d;
+            ls >> d;
+            if (d == 0)
+                log.cyclesMonotone = false;
+            cur += d;
+        } else if (tag == "I") {
+            uint64_t id;
+            ls >> id;
+            ++log.nIds;
+            log.starts[id]; // declare
+        } else if (tag == "S" || tag == "E") {
+            uint64_t id, lane;
+            std::string stage;
+            ls >> id >> lane >> stage;
+            if (tag == "S")
+                log.starts[id].emplace_back(stage, cur);
+        } else if (tag == "R") {
+            uint64_t id;
+            ls >> id;
+            log.retired[id] = cur;
+        } else if (tag == "L") {
+            uint64_t id, type;
+            ls >> id >> type;
+            std::string rest;
+            std::getline(ls, rest);
+            log.labels[id].push_back(rest);
+        }
+    }
+    return log;
+}
+
+} // namespace
+
+TEST(Konata, GoldenTinyProgram)
+{
+    Assembler a;
+    a.li(a0, 5);
+    a.li(a1, 7);
+    a.add(a2, a0, a1);
+    a.mul(a3, a2, a0);
+    a.xor_(a4, a3, a1);
+    a.sub(a5, a4, a0);
+    a.and_(t0, a5, a2);
+    a.addi(t1, t0, 3);
+    a.slli(t2, t1, 2);
+    a.ebreak();
+
+    System sys{SystemConfig{}};
+    std::ostringstream os;
+    obs::KonataTracer tracer(os);
+    sys.core(0).tracer = &tracer;
+    RunResult r = run(a, sys);
+    tracer.finish();
+
+    EXPECT_EQ(r.stop, StopReason::Halted);
+    EXPECT_EQ(tracer.clampedEvents(), 0u);
+    EXPECT_EQ(tracer.uopsRecorded(), sys.core(0).uops.value());
+
+    KanataLog log = parseKanata(os.str());
+    EXPECT_TRUE(log.headerOk) << os.str().substr(0, 40);
+    EXPECT_TRUE(log.cyclesMonotone);
+    EXPECT_EQ(log.nIds, tracer.uopsRecorded());
+    EXPECT_EQ(log.retired.size(), log.nIds);
+
+    const std::vector<std::string> want = {"F", "Dc", "Rn", "Ex", "Cm"};
+    for (const auto &[id, stages] : log.starts) {
+        ASSERT_EQ(stages.size(), want.size()) << "id " << id;
+        Cycle prev = 0;
+        for (size_t i = 0; i < want.size(); ++i) {
+            EXPECT_EQ(stages[i].first, want[i]) << "id " << id;
+            EXPECT_GE(stages[i].second, prev) << "id " << id;
+            prev = stages[i].second;
+        }
+        ASSERT_TRUE(log.retired.count(id));
+        EXPECT_GE(log.retired[id], prev) << "id " << id;
+        // Every µop carries a main label with its PC + disassembly.
+        ASSERT_FALSE(log.labels[id].empty());
+        EXPECT_NE(log.labels[id][0].find(':'), std::string::npos);
+    }
+}
+
+TEST(Konata, FlushRecordOnInjectedMispredict)
+{
+    Assembler a = mixedKernel(50);
+    System sys{SystemConfig{}};
+    std::ostringstream os;
+    obs::KonataTracer tracer(os);
+    sys.core(0).tracer = &tracer;
+    sys.core(0).injectMispredict();
+    RunResult r = run(a, sys);
+    tracer.finish();
+
+    EXPECT_EQ(r.stop, StopReason::Halted);
+    EXPECT_EQ(tracer.clampedEvents(), 0u);
+    EXPECT_NE(os.str().find("flush: branch-mispredict"),
+              std::string::npos);
+}
+
+// ------------------------------------------------------------ Top-down
+
+TEST(TopDown, UnitInvariantAndIdleAttribution)
+{
+    obs::TopDown td("td", 4);
+    // Cycle 1: two retires; cycle 3: one retire after a mem stall.
+    td.onRetire(1, false, false, false);
+    td.onRetire(1, false, false, false);
+    td.onRetire(3, true, true, false);
+    td.finalize();
+    EXPECT_EQ(td.cycles(), 3u);
+    EXPECT_EQ(td.slotsAccounted(), 4u * 3u);
+    EXPECT_EQ(td.retiring.value(), 3u);
+    // Gap before cycle 3 (2 leftover slots of cycle 1 + 4 of cycle 2)
+    // charged to backend-mem; tail of cycle 3 to frontend.
+    EXPECT_EQ(td.backendMem.value(), 6u);
+    EXPECT_EQ(td.frontendBound.value(), 3u);
+    EXPECT_EQ(td.badSpeculation.value(), 0u);
+}
+
+TEST(TopDown, SlotsSumToWidthTimesCycles)
+{
+    Assembler a = mixedKernel(2000);
+    System sys{SystemConfig{}};
+    RunResult r = run(a, sys);
+    EXPECT_EQ(r.stop, StopReason::Halted);
+
+    const XtCore &c = sys.core(0);
+    EXPECT_EQ(c.topdown.slotsAccounted(),
+              uint64_t(c.params().retireWidth) * c.topdown.cycles());
+    EXPECT_EQ(c.topdown.cycles(), c.cycles());
+    EXPECT_EQ(c.topdown.retiring.value(), c.uops.value());
+    // The unpredictable branches and the load/mul chain must surface.
+    EXPECT_GT(c.topdown.badSpeculation.value(), 0u);
+    EXPECT_GT(c.topdown.backendMem.value() +
+                  c.topdown.backendCore.value(),
+              0u);
+    // Summary renders percentages.
+    EXPECT_NE(c.topdown.summary().find("retiring"), std::string::npos);
+}
+
+// ----------------------------------------------------------------- HPM
+
+TEST(Hpm, GuestReadbackMatchesTimingModel)
+{
+    Assembler a;
+    // Select event 2 (branch mispredicts) on mhpmcounter3.
+    a.li(t0, int64_t(csr::hpmevent::branchMispredict));
+    a.csrw(csr::mhpmevent3, t0);
+    // Unpredictable-branch loop to generate mispredicts.
+    a.li(s2, 0x9e3779b9);
+    a.li(s0, 400);
+    a.li(t3, 0x5851f42d4c957f2dULL);
+    a.label("loop");
+    a.mul(s2, s2, t3);
+    a.addi(s2, s2, 1);
+    a.srli(t0, s2, 61);
+    a.andi(t0, t0, 1);
+    a.beqz(t0, "skip");
+    a.addi(a5, a5, 1);
+    a.label("skip");
+    a.addi(s0, s0, -1);
+    a.bnez(s0, "loop");
+    // Read the counters. The functional oracle runs one instruction
+    // ahead of the timing core, so each read sees the state after all
+    // program-order-prior instructions retired.
+    a.csrr(a0, csr::mhpmcounter3);
+    a.csrr(a1, csr::cycle);
+    a.csrr(a2, csr::instret);
+    a.csrr(a3, csr::hpmcounter3);
+    a.ebreak();
+
+    System sys{SystemConfig{}};
+    RunResult r = run(a, sys);
+    EXPECT_EQ(r.stop, StopReason::Halted);
+
+    const XtCore &c = sys.core(0);
+    const auto &x = sys.iss().hart(0).x;
+    // No branches execute after the reads, so the read equals the
+    // end-of-run mispredict total exactly.
+    EXPECT_EQ(x[10], c.branchMispredicts.value() +
+                         c.targetMispredicts.value());
+    EXPECT_GT(x[10], 0u);
+    // User-mode alias reads the same counter.
+    EXPECT_EQ(x[13], x[10]);
+    // cycle reads timing-model time: positive, within the run.
+    EXPECT_GT(x[11], 0u);
+    EXPECT_LE(x[11], r.cycles);
+    // instret at the read is below the final count (reads + ebreak
+    // follow it) but must be most of the program.
+    EXPECT_GT(x[12], r.insts - 10);
+    EXPECT_LT(x[12], r.insts);
+}
+
+TEST(Hpm, UnprogrammedCounterReadsZero)
+{
+    Assembler a;
+    a.li(a1, 123);
+    a.csrr(a0, csr::mhpmcounter3 + 2); // mhpmcounter5, no event set
+    a.ebreak();
+    System sys{SystemConfig{}};
+    RunResult r = run(a, sys);
+    EXPECT_EQ(r.stop, StopReason::Halted);
+    EXPECT_EQ(sys.iss().hart(0).x[10], 0u);
+}
+
+TEST(Hpm, FunctionalOnlyCycleFallsBackToInstret)
+{
+    // A bare Iss (no timing core, no cycleSource hook) must still give
+    // deterministic rdcycle: it reads the hart's own instret.
+    Assembler a;
+    a.li(a5, 0);
+    a.addi(a5, a5, 1);
+    a.addi(a5, a5, 2);
+    a.csrr(a0, csr::cycle);
+    a.csrr(a1, csr::instret);
+    a.ebreak();
+    Memory mem;
+    Iss iss(mem, 1, IssOptions{});
+    iss.loadProgram(a.assemble());
+    iss.run(1000);
+    ASSERT_TRUE(iss.halted());
+    const auto &x = iss.hart(0).x;
+    EXPECT_EQ(x[10], 3u); // li + addi + addi retired before the read
+    EXPECT_EQ(x[11], 4u); // one more retired by the second read
+}
+
+} // namespace xt910

@@ -17,11 +17,18 @@
  *   --dram-latency N             memory latency in cycles
  *   --no-prefetch                disable the data prefetcher
  *   --stats                      dump full component statistics
+ *   --stats-json FILE            machine-readable stats (JSON)
+ *   --stats-interval N           with --stats-json: JSONL interval
+ *                                samples every N cycles + summary line
+ *   --trace-konata FILE          Konata/Kanata pipeline trace
+ *   --topdown                    print top-down retire-slot breakdown
  *   --max-cycles N               stop after N cycles (exit code 3)
  *   --max-insts N                stop after N instructions (exit code 3)
  *   --inject N                   fault-injection campaign of N runs
  *   --inject-seed S              campaign RNG seed (default 1)
  *   --inject-kinds a,b,...       restrict fault kinds (see --help)
+ *
+ * Every value option also accepts the --opt=value form.
  *
  * Exit codes: 0 ok, 1 checksum mismatch, 2 usage error, 3 run limit
  * hit, 4 watchdog fired.
@@ -30,14 +37,19 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
 #include "baseline/presets.h"
+#include "common/json.h"
 #include "core/system.h"
 #include "fault/campaign.h"
 #include "mmu/pagetable.h"
+#include "obs/konata.h"
+#include "obs/sampler.h"
 #include "workloads/wl_common.h"
 #include "workloads/workload.h"
 
@@ -55,6 +67,8 @@ usage()
         "options: --preset xt910|u74|a73|mcu  --cores N  --extended\n"
         "         --scale N  --stream-kib N  --paged  --l2-kib N\n"
         "         --dram-latency N  --no-prefetch  --stats\n"
+        "         --stats-json FILE  --stats-interval N\n"
+        "         --trace-konata FILE  --topdown\n"
         "         --max-cycles N  --max-insts N\n"
         "         --inject N  --inject-seed S  --inject-kinds a,b,...\n"
         "fault kinds: reg freg vreg mem cacheline access mispredict\n");
@@ -104,10 +118,26 @@ main(int argc, char **argv)
     uint64_t maxCycles = 0, maxInsts = 0;
     uint64_t injectRuns = 0, injectSeed = 1;
     std::vector<FaultKind> injectKinds;
+    std::string statsJsonPath, konataPath;
+    uint64_t statsInterval = 0;
+    bool topdown = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
+        // Split --opt=value so both argument forms work.
+        std::string inlineVal;
+        bool hasInline = false;
+        if (a.size() > 1 && a[0] == '-') {
+            size_t eq = a.find('=');
+            if (eq != std::string::npos) {
+                inlineVal = a.substr(eq + 1);
+                a.resize(eq);
+                hasInline = true;
+            }
+        }
         auto next = [&]() -> const char * {
+            if (hasInline)
+                return inlineVal.c_str();
             if (i + 1 >= argc) {
                 usage();
                 std::exit(2);
@@ -143,6 +173,14 @@ main(int argc, char **argv)
             noPrefetch = true;
         } else if (a == "--stats") {
             stats = true;
+        } else if (a == "--stats-json") {
+            statsJsonPath = next();
+        } else if (a == "--stats-interval") {
+            statsInterval = uint64_t(std::atoll(next()));
+        } else if (a == "--trace-konata") {
+            konataPath = next();
+        } else if (a == "--topdown") {
+            topdown = true;
         } else if (a == "--max-cycles") {
             maxCycles = uint64_t(std::atoll(next()));
         } else if (a == "--max-insts") {
@@ -170,6 +208,11 @@ main(int argc, char **argv)
     }
     if (workload.empty()) {
         usage();
+        return 2;
+    }
+    if (statsInterval && statsJsonPath.empty()) {
+        std::fprintf(stderr,
+                     "--stats-interval requires --stats-json FILE\n");
         return 2;
     }
 
@@ -233,9 +276,62 @@ main(int argc, char **argv)
         ptb.identityMap(root, 0xb000'0000, 2ull << 20, PageSize::Page2M);
     }
     sys.loadProgram(wb.program);
+
+    std::ofstream jsonFile;
+    std::unique_ptr<obs::IntervalSampler> sampler;
+    if (!statsJsonPath.empty()) {
+        jsonFile.open(statsJsonPath);
+        if (!jsonFile) {
+            std::fprintf(stderr, "cannot open %s\n",
+                         statsJsonPath.c_str());
+            return 2;
+        }
+        if (statsInterval) {
+            sampler = std::make_unique<obs::IntervalSampler>(
+                jsonFile, statsInterval);
+            sys.attachSampler(*sampler);
+        }
+    }
+    std::ofstream konataFile;
+    std::unique_ptr<obs::KonataTracer> tracer;
+    if (!konataPath.empty()) {
+        konataFile.open(konataPath);
+        if (!konataFile) {
+            std::fprintf(stderr, "cannot open %s\n", konataPath.c_str());
+            return 2;
+        }
+        tracer = std::make_unique<obs::KonataTracer>(konataFile);
+        for (unsigned c = 0; c < cores; ++c)
+            sys.core(c).tracer = tracer.get();
+    }
+
     RunResult r = sys.run();
+    if (tracer)
+        tracer->finish();
 
     bool ok = wl::readResult(sys.memory(), wb.program) == wb.expected;
+    if (jsonFile.is_open()) {
+        if (statsInterval) {
+            // JSONL mode: the sampler already wrote the interval
+            // records; append one compact summary line.
+            jsonFile << "{\"type\": \"summary\", \"workload\": \""
+                     << json::escape(workload) << "\", \"insts\": "
+                     << r.insts << ", \"cycles\": " << r.cycles
+                     << ", \"checksum_ok\": " << (ok ? "true" : "false")
+                     << ", \"stats\": ";
+            sys.dumpStatsJson(jsonFile, false);
+            jsonFile << "}\n";
+        } else {
+            jsonFile << "{\n  \"workload\": \"" << json::escape(workload)
+                     << "\",\n  \"insts\": " << r.insts
+                     << ",\n  \"cycles\": " << r.cycles
+                     << ",\n  \"ipc\": " << r.ipc()
+                     << ",\n  \"checksum_ok\": " << (ok ? "true" : "false")
+                     << ",\n  \"stats\": ";
+            sys.dumpStatsJson(jsonFile, true);
+            jsonFile << "\n}\n";
+        }
+    }
     std::printf("workload   : %s (%s%s)\n", workload.c_str(),
                 p.name.c_str(), wo.extended ? ", extended" : "");
     std::printf("cores      : %u\n", cores);
@@ -247,6 +343,11 @@ main(int argc, char **argv)
     std::printf("time @%.1fGHz: %.3f ms\n", p.freqGHz,
                 double(r.cycles) / (p.freqGHz * 1e6));
     std::printf("checksum   : %s\n", ok ? "ok" : "MISMATCH");
+    if (topdown) {
+        for (unsigned c = 0; c < cores; ++c)
+            std::printf("topdown c%u : %s\n", c,
+                        sys.core(c).topdown.summary().c_str());
+    }
     if (stats) {
         std::printf("\n");
         sys.dumpStats(std::cout);
