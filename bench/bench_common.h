@@ -20,9 +20,13 @@
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "baseline/presets.h"
+#include "common/parallel.h"
 #include "core/system.h"
 #include "workloads/wl_common.h"
 #include "workloads/workload.h"
@@ -39,6 +43,16 @@ struct SimResult
     uint64_t insts = 0;
     uint64_t workItems = 0;
     bool correct = false;
+    /** Host wall-clock seconds inside System::run (non-deterministic —
+     *  reported in sidecar files only, never in the stats JSON). */
+    double hostSeconds = 0.0;
+
+    /** Host-side simulation speed, millions of guest insts/second. */
+    double
+    simMips() const
+    {
+        return hostSeconds > 0 ? double(insts) / hostSeconds / 1e6 : 0.0;
+    }
 
     double
     ipc() const
@@ -73,6 +87,7 @@ simulate(const SystemConfig &cfg, const WorkloadBuild &wb,
     s.insts = r.insts;
     s.workItems = wb.workItems;
     s.correct = wl::readResult(sys.memory(), wb.program) == wb.expected;
+    s.hostSeconds = r.hostSeconds;
     if (!tag.empty()) {
         if (const char *dir = std::getenv("XT910_STATS_JSON_DIR")) {
             std::string fname = tag;
@@ -91,23 +106,96 @@ simulate(const SystemConfig &cfg, const WorkloadBuild &wb,
                 sys.dumpStatsJson(os, true);
                 os << "\n}\n";
             }
+            // Host timing goes in a sidecar, never in <tag>.json: the
+            // determinism suite compares the stats dumps byte-for-byte
+            // across job counts and reruns.
+            std::ofstream sp(std::string(dir) + "/" + fname +
+                             ".speed.json");
+            if (sp) {
+                char mips[32];
+                std::snprintf(mips, sizeof(mips), "%.3f", s.simMips());
+                sp << "{ \"tag\": \"" << tag
+                   << "\", \"insts\": " << s.insts
+                   << ", \"host_seconds\": " << s.hostSeconds
+                   << ", \"mips\": " << mips << " }\n";
+            }
         }
     }
     return s;
 }
 
-/** Memoized runs keyed by an arbitrary string (also the stats tag). */
+/**
+ * Memoized runs keyed by an arbitrary string (also the stats tag).
+ * Thread-safe: runFarm prewarms this cache from worker threads, after
+ * which the serially-executed bench cases and summary tables are pure
+ * lookups. Two threads racing on the same key at worst both simulate
+ * it (identical, deterministic results); the first insert wins.
+ */
 inline SimResult
 cachedRun(const std::string &key, const SystemConfig &cfg,
           const WorkloadBuild &wb)
 {
     static std::map<std::string, SimResult> cache;
-    auto it = cache.find(key);
-    if (it != cache.end())
-        return it->second;
+    static std::mutex mu;
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        auto it = cache.find(key);
+        if (it != cache.end())
+            return it->second;
+    }
     SimResult s = simulate(cfg, wb, key);
-    cache.emplace(key, s);
-    return s;
+    std::lock_guard<std::mutex> lk(mu);
+    return cache.emplace(key, s).first->second;
+}
+
+/** One cell of work for runFarm: a keyed, memoized System run. */
+struct FarmItem
+{
+    std::string key;
+    SystemConfig cfg;
+    WorkloadBuild wb;
+};
+
+/**
+ * Run every item through cachedRun on a worker pool. Call before
+ * benchmark::RunSpecifiedBenchmarks(): the bench cases and summary
+ * tables then hit the memoized results in their usual serial order,
+ * so tables and stats dumps are identical at any job count. @p jobs:
+ * explicit value > XT910_JOBS environment variable > serial.
+ */
+inline void
+runFarm(std::vector<FarmItem> items, unsigned jobs = 0)
+{
+    parallelFor(items.size(), resolveJobs(jobs), [&](size_t i) {
+        cachedRun(items[i].key, items[i].cfg, items[i].wb);
+    });
+}
+
+/**
+ * Strip --jobs=N / --jobs N from the command line (before
+ * benchmark::Initialize, which rejects flags it does not know).
+ * Returns the requested job count, 0 when absent (= XT910_JOBS or
+ * serial).
+ */
+inline unsigned
+stripJobsFlag(int *argc, char **argv)
+{
+    unsigned jobs = 0;
+    int w = 1;
+    for (int i = 1; i < *argc; ++i) {
+        std::string a = argv[i];
+        if (a.rfind("--jobs=", 0) == 0) {
+            jobs = unsigned(std::strtoul(a.c_str() + 7, nullptr, 10));
+            continue;
+        }
+        if (a == "--jobs" && i + 1 < *argc) {
+            jobs = unsigned(std::strtoul(argv[++i], nullptr, 10));
+            continue;
+        }
+        argv[w++] = argv[i];
+    }
+    *argc = w;
+    return jobs;
 }
 
 /** Emit a table separator / header line helper. */

@@ -33,10 +33,21 @@ int
 main(int argc, char **argv)
 {
     using namespace xt910;
+    unsigned jobs = bench::stripJobsFlag(&argc, argv);
     benchmark::Initialize(&argc, argv);
     CorePreset xt = xt910Preset();
     CorePreset a73 = a73Preset();
     auto suite = workloadsInSuite("nbench");
+    {
+        WorkloadOptions o;
+        std::vector<bench::FarmItem> items;
+        for (const Workload &w : suite) {
+            WorkloadBuild wb = w.build(o);
+            items.push_back({"fig19/xt/" + w.name, xt.config, wb});
+            items.push_back({"fig19/a73/" + w.name, a73.config, wb});
+        }
+        bench::runFarm(std::move(items), jobs);
+    }
     for (const Workload &w : suite) {
         benchmark::RegisterBenchmark(
             ("fig19/" + w.name).c_str(),

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Host-side simulation throughput: simulated MIPS (millions of guest
+ * instructions retired per host second) per workload, with the
+ * predecoded basic-block fast path on ("block") versus the legacy
+ * per-PC decode cache ("legacy"). Two modes per workload:
+ *
+ *  - iss:    functional-only (Iss::run, no timing cores) — isolates
+ *            the decode path, where the block cache shows directly;
+ *  - system: full timing simulation (System::run) — what users feel;
+ *            the OoO model dominates here, so the decode gain is
+ *            diluted but the absolute MIPS is the number to track.
+ *
+ * This is the one bench about the simulator itself, not the modelled
+ * core: it writes BENCH_simspeed.json so sim-speed regressions are
+ * tracked next to the model outputs. Guest-visible results are
+ * asserted identical between the two decode paths — the fast path
+ * must change wall-clock only.
+ */
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "baseline/presets.h"
+#include "common/log.h"
+#include "core/system.h"
+#include "func/iss.h"
+#include "workloads/wl_common.h"
+#include "workloads/workload.h"
+
+namespace xt910
+{
+namespace
+{
+
+struct Pair
+{
+    double blockMips = 0.0;
+    double legacyMips = 0.0;
+
+    double
+    speedup() const
+    {
+        return legacyMips > 0 ? blockMips / legacyMips : 0.0;
+    }
+};
+
+/** Functional-only MIPS, best of @p reps (max: least host noise). */
+double
+issMips(const WorkloadBuild &wb, bool blockCache, int reps,
+        uint64_t *instsOut)
+{
+    double best = 0.0;
+    for (int i = 0; i < reps; ++i) {
+        Memory mem;
+        IssOptions io;
+        io.blockCache = blockCache;
+        Iss iss(mem, 1, io);
+        iss.loadProgram(wb.program);
+        auto t0 = std::chrono::steady_clock::now();
+        uint64_t insts = iss.run();
+        double sec = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+        *instsOut = insts;
+        if (sec > 0)
+            best = std::max(best, double(insts) / sec / 1e6);
+    }
+    return best;
+}
+
+/** Full-system MIPS, best of @p reps; also checks the checksum. */
+double
+systemMips(const SystemConfig &cfg, const WorkloadBuild &wb, int reps,
+           uint64_t *cyclesOut)
+{
+    double best = 0.0;
+    for (int i = 0; i < reps; ++i) {
+        System sys(cfg);
+        sys.loadProgram(wb.program);
+        RunResult r = sys.run();
+        *cyclesOut = r.cycles;
+        xt_assert(wl::readResult(sys.memory(), wb.program) ==
+                      wb.expected,
+                  "checksum mismatch");
+        best = std::max(best, r.simMips());
+    }
+    return best;
+}
+
+} // namespace
+} // namespace xt910
+
+int
+main(int argc, char **argv)
+{
+    using namespace xt910;
+
+    std::string out = "BENCH_simspeed.json";
+    int reps = 2;
+    bool issOnly = false;
+    std::vector<std::string> names;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a.rfind("--out=", 0) == 0)
+            out = a.substr(6);
+        else if (a.rfind("--reps=", 0) == 0)
+            reps = std::atoi(a.c_str() + 7);
+        else if (a == "--iss-only")
+            issOnly = true;
+        else if (a[0] != '-')
+            names.push_back(a);
+        else {
+            std::fprintf(stderr,
+                         "usage: %s [--out=FILE] [--reps=N] "
+                         "[--iss-only] [workload...]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+    if (names.empty())
+        // The coremark-like suite: the short-loop scalar code the
+        // block cache targets, plus crc (the tightest loop of the
+        // set).
+        names = {"list", "matrix", "state", "crc"};
+    if (reps < 1)
+        reps = 1;
+
+    struct Row
+    {
+        std::string name;
+        uint64_t insts = 0;
+        Pair iss, system;
+    };
+    std::vector<Row> rows;
+
+    WorkloadOptions o;
+    SystemConfig cfgBlock = xt910Preset().config;
+    cfgBlock.iss.blockCache = true;
+    SystemConfig cfgLegacy = cfgBlock;
+    cfgLegacy.iss.blockCache = false;
+
+    std::printf("sim-speed: host MIPS, block cache vs legacy decode "
+                "(best of %d)\n",
+                reps);
+    std::printf("%-10s %10s | %8s %8s %7s | %8s %8s %7s\n", "workload",
+                "insts", "iss:blk", "iss:leg", "x", "sys:blk",
+                "sys:leg", "x");
+    for (const std::string &n : names) {
+        WorkloadBuild wb = findWorkload(n).build(o);
+        Row row;
+        row.name = n;
+        uint64_t instsB = 0, instsL = 0;
+        row.iss.blockMips = issMips(wb, true, reps, &instsB);
+        row.iss.legacyMips = issMips(wb, false, reps, &instsL);
+        // The decode path must be invisible to the guest.
+        xt_assert(instsB == instsL, "decode paths disagree on ", n,
+                  ": block retired ", instsB, " legacy ", instsL);
+        row.insts = instsB;
+        if (!issOnly) {
+            uint64_t cycB = 0, cycL = 0;
+            row.system.blockMips =
+                systemMips(cfgBlock, wb, reps, &cycB);
+            row.system.legacyMips =
+                systemMips(cfgLegacy, wb, reps, &cycL);
+            xt_assert(cycB == cycL, "decode paths disagree on ", n,
+                      " cycles: block ", cycB, " legacy ", cycL);
+        }
+        std::printf("%-10s %10llu | %8.2f %8.2f %6.2fx | %8.2f %8.2f "
+                    "%6.2fx\n",
+                    n.c_str(), (unsigned long long)row.insts,
+                    row.iss.blockMips, row.iss.legacyMips,
+                    row.iss.speedup(), row.system.blockMips,
+                    row.system.legacyMips, row.system.speedup());
+        rows.push_back(std::move(row));
+    }
+
+    double geo = 1.0;
+    unsigned cnt = 0;
+    for (const Row &r : rows) {
+        if (r.iss.speedup() > 0) {
+            geo *= r.iss.speedup();
+            ++cnt;
+        }
+    }
+    geo = cnt ? std::pow(geo, 1.0 / double(cnt)) : 0.0;
+    std::printf("geomean iss block/legacy speedup: %.2fx\n", geo);
+
+    std::ofstream os(out);
+    if (!os) {
+        std::fprintf(stderr, "cannot write %s\n", out.c_str());
+        return 1;
+    }
+    os << "{\n  \"reps\": " << reps << ",\n  \"workloads\": [\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        char buf[384];
+        std::snprintf(
+            buf, sizeof(buf),
+            "    { \"name\": \"%s\", \"insts\": %llu,\n"
+            "      \"iss\": { \"block_mips\": %.3f, \"legacy_mips\": "
+            "%.3f, \"speedup\": %.3f },\n"
+            "      \"system\": { \"block_mips\": %.3f, "
+            "\"legacy_mips\": %.3f, \"speedup\": %.3f } }%s\n",
+            r.name.c_str(), (unsigned long long)r.insts,
+            r.iss.blockMips, r.iss.legacyMips, r.iss.speedup(),
+            r.system.blockMips, r.system.legacyMips,
+            r.system.speedup(), i + 1 < rows.size() ? "," : "");
+        os << buf;
+    }
+    char geobuf[64];
+    std::snprintf(geobuf, sizeof(geobuf), "%.3f", geo);
+    os << "  ],\n  \"geomean_iss_speedup\": " << geobuf << "\n}\n";
+    std::printf("wrote %s\n", out.c_str());
+    return 0;
+}

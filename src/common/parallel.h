@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The run farm: a minimal work-queue thread pool for executing
+ * independent simulations concurrently. Every simulated run owns its
+ * own System/Iss/MemSystem and draws randomness only from seeded
+ * Xorshift64 generators, so results are bitwise-identical regardless
+ * of the worker count — parallelism changes wall-clock time, never
+ * simulation output. Callers that merge per-run results must do so in
+ * submission order (see FaultCampaign) to keep aggregate output
+ * deterministic too.
+ *
+ * Job-count policy, everywhere a farm is used (benches, campaigns,
+ * xt910-run): an explicit request (--jobs) wins, then the XT910_JOBS
+ * environment variable, then the caller's default.
+ */
+
+#ifndef XT910_COMMON_PARALLEL_H
+#define XT910_COMMON_PARALLEL_H
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xt910
+{
+
+/** Host parallelism available to the farm (never 0). */
+inline unsigned
+hardwareJobs()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n ? n : 1;
+}
+
+/**
+ * Resolve a worker count: @p requested when nonzero, else the
+ * XT910_JOBS environment variable when set and positive, else
+ * @p fallback (itself resolving 0 to hardwareJobs()).
+ */
+inline unsigned
+resolveJobs(unsigned requested, unsigned fallback = 1)
+{
+    if (requested)
+        return requested;
+    if (const char *env = std::getenv("XT910_JOBS")) {
+        long v = std::atol(env);
+        if (v > 0)
+            return unsigned(v);
+    }
+    return fallback ? fallback : hardwareJobs();
+}
+
+/**
+ * Execute fn(i) for every i in [0, n) on up to @p jobs worker threads.
+ * Indices are claimed from a shared atomic counter, so the assignment
+ * of index to thread is nondeterministic — @p fn must only write
+ * per-index state (its slot of a results vector) or take a lock.
+ * With jobs <= 1 (or n <= 1) everything runs inline on the caller's
+ * thread in index order. The first exception thrown by any index is
+ * rethrown on the caller's thread after all workers join.
+ */
+template <typename Fn>
+void
+parallelFor(size_t n, unsigned jobs, Fn &&fn)
+{
+    if (n == 0)
+        return;
+    if (jobs <= 1 || n == 1) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    unsigned workers = unsigned(std::min<size_t>(jobs, n));
+    std::atomic<size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr firstError;
+    std::mutex errLock;
+    auto worker = [&]() {
+        for (;;) {
+            size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n || failed.load(std::memory_order_relaxed))
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> g(errLock);
+                if (!firstError)
+                    firstError = std::current_exception();
+                failed.store(true, std::memory_order_relaxed);
+                return;
+            }
+        }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (unsigned w = 1; w < workers; ++w)
+        pool.emplace_back(worker);
+    worker();
+    for (auto &t : pool)
+        t.join();
+    if (firstError)
+        std::rethrow_exception(firstError);
+}
+
+} // namespace xt910
+
+#endif // XT910_COMMON_PARALLEL_H

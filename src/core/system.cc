@@ -1,7 +1,10 @@
 #include "core/system.h"
 
+#include <algorithm>
+#include <chrono>
 #include <ostream>
 #include <sstream>
+#include <utility>
 
 #include "common/log.h"
 #include "func/csr.h"
@@ -51,24 +54,26 @@ System::System(const SystemConfig &cfg_) : cfg(cfg_)
             return 0;
         }
     };
+
+    for (unsigned c = 0; c < cfg.numCores; ++c) {
+        ArchState &s = issModel->hart(c);
+        mstatusSlot.push_back(&s.csrs[csr::mstatus]);
+        mieSlot.push_back(&s.csrs[csr::mie]);
+    }
 }
 
 bool
 System::interruptible(unsigned hart) const
 {
     // Another running hart can store to memory this hart spins on.
-    for (unsigned c = 0; c < cfg.numCores; ++c)
-        if (c != hart && !issModel->halted(c))
-            return true;
+    unsigned others = runningHarts - (issModel->halted(hart) ? 0u : 1u);
+    if (others > 0)
+        return true;
     // An enabled machine interrupt can still fire and redirect the
-    // spin to a handler.
-    const ArchState &s = issModel->hart(hart);
-    auto mstatusIt = s.csrs.find(csr::mstatus);
-    auto mieIt = s.csrs.find(csr::mie);
-    bool mie = mstatusIt != s.csrs.end() && (mstatusIt->second & 0x8);
-    bool armed = mieIt != s.csrs.end() &&
-                 (mieIt->second & ((1ull << 7) | (1ull << 3)));
-    return cfg.iss.enableClint && mie && armed;
+    // spin to a handler. This runs after every instruction, so the CSR
+    // slots are cached pointers instead of two hash lookups per poll.
+    return cfg.iss.enableClint && (*mstatusSlot[hart] & 0x8) &&
+           (*mieSlot[hart] & ((1ull << 7) | (1ull << 3)));
 }
 
 std::string
@@ -97,29 +102,52 @@ System::run()
     RunResult r;
     r.coreCycles.assign(cfg.numCores, 0);
     r.coreInsts.assign(cfg.numCores, 0);
+    const auto hostStart = std::chrono::steady_clock::now();
 
     uint64_t n = 0;
     Cycle sampleCycle = 0;
-    while (n < cfg.maxInsts && !issModel->allHalted()) {
-        // Step the hart whose timing model is furthest behind so the
-        // shared memory system sees accesses roughly in time order.
-        unsigned pick = 0;
-        bool found = false;
-        for (unsigned c = 0; c < cfg.numCores; ++c) {
-            if (issModel->halted(c))
-                continue;
-            if (!found || cores[c]->cycles() < cores[pick]->cycles()) {
-                pick = c;
-                found = true;
-            }
+
+    // Step the hart whose timing model is furthest behind so the
+    // shared memory system sees accesses roughly in time order. Only
+    // the stepped hart's cycle count moves, so instead of re-scanning
+    // every hart per instruction, keep the running harts in a min-heap
+    // keyed (cycles, index) — the index key reproduces the old scan's
+    // lowest-index-among-minima tie-break — and skip the heap entirely
+    // for the common single-hart case.
+    const bool single = cfg.numCores == 1;
+    std::vector<std::pair<Cycle, unsigned>> ready;
+    for (unsigned c = 0; c < cfg.numCores; ++c)
+        if (!issModel->halted(c))
+            ready.emplace_back(cores[c]->cycles(), c);
+    auto minFirst = [](const std::pair<Cycle, unsigned> &a,
+                       const std::pair<Cycle, unsigned> &b) {
+        return a > b;
+    };
+    std::make_heap(ready.begin(), ready.end(), minFirst);
+    runningHarts = unsigned(ready.size());
+
+    while (n < cfg.maxInsts && !ready.empty()) {
+        unsigned pick;
+        if (single) {
+            pick = 0;
+        } else {
+            std::pop_heap(ready.begin(), ready.end(), minFirst);
+            pick = ready.back().second;
+            ready.pop_back();
         }
-        if (!found)
-            break;
         if (stepHook)
             stepHook(n, *this);
         ExecRecord rec = issModel->step(pick);
         cores[pick]->consume(rec);
         ++n;
+        if (issModel->halted(pick)) {
+            --runningHarts;
+            if (single)
+                ready.clear();
+        } else if (!single) {
+            ready.emplace_back(cores[pick]->cycles(), pick);
+            std::push_heap(ready.begin(), ready.end(), minFirst);
+        }
         if (sampler) {
             sampleCycle = std::max(sampleCycle, cores[pick]->cycles());
             sampler->tick(sampleCycle, n);
@@ -153,6 +181,9 @@ System::run()
         c->finishRun();
     if (sampler)
         sampler->finish(r.cycles, n);
+    r.hostSeconds = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - hostStart)
+                        .count();
     return r;
 }
 

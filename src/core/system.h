@@ -61,11 +61,24 @@ struct RunResult
     StopReason stop = StopReason::Halted;
     /** Human-readable dump when stop != Halted (ROB head, last PCs). */
     std::string diagnostic;
+    /**
+     * Host wall-clock time spent inside run(). This is the one
+     * non-deterministic field of the result — keep it (and simMips())
+     * out of anything compared byte-for-byte across runs.
+     */
+    double hostSeconds = 0.0;
 
     double
     ipc() const
     {
         return cycles ? double(insts) / double(cycles) : 0.0;
+    }
+
+    /** Host-side simulation speed in millions of guest insts/second. */
+    double
+    simMips() const
+    {
+        return hostSeconds > 0 ? double(insts) / hostSeconds / 1e6 : 0.0;
     }
 };
 
@@ -123,6 +136,15 @@ class System
     std::vector<std::unique_ptr<XtCore>> cores;
     std::vector<Watchdog> watchdogs;
     obs::IntervalSampler *sampler = nullptr;
+    /**
+     * Cached pointers to each hart's mstatus/mie CSR slots, polled by
+     * interruptible() after every instruction. unordered_map nodes are
+     * reference-stable, and pre-creating the entries at value 0 matches
+     * readCsr's absent-reads-as-zero convention.
+     */
+    std::vector<const uint64_t *> mstatusSlot, mieSlot;
+    /** Harts not yet halted; maintained by run() for interruptible(). */
+    unsigned runningHarts = 0;
 };
 
 } // namespace xt910

@@ -1,6 +1,7 @@
 #include "fault/campaign.h"
 
 #include "common/log.h"
+#include "common/parallel.h"
 
 namespace xt910
 {
@@ -82,14 +83,30 @@ FaultCampaign::run()
             goldenTraps_ += sys.iss().trapsTaken(h);
     }
 
+    // Draw every plan up front, sequentially: the RNG stream — and so
+    // every planned fault — is identical no matter how many worker
+    // threads later execute the trials.
     Xorshift64 rng(cfg.seed);
+    std::vector<FaultPlan> plans;
+    plans.reserve(cfg.runs);
     for (uint64_t i = 0; i < cfg.runs; ++i) {
         FaultKind kind = cfg.kinds[rng.below(cfg.kinds.size())];
-        FaultPlan plan =
-            randomPlan(rng, kind, goldenInsts_, cfg.program.base,
-                       cfg.program.image.size());
+        plans.push_back(randomPlan(rng, kind, goldenInsts_,
+                                   cfg.program.base,
+                                   cfg.program.image.size()));
+    }
+
+    // Each trial builds its own System, so trials are independent and
+    // can run on the farm. Outcomes land in trial order and the
+    // counters merge in that order, keeping the report byte-identical
+    // at any job count.
+    std::vector<Outcome> outcomes(plans.size(), Outcome::Masked);
+    parallelFor(plans.size(), resolveJobs(cfg.jobs),
+                [&](size_t i) { outcomes[i] = runOne(plans[i]); });
+
+    for (Outcome o : outcomes) {
         ++runs;
-        switch (runOne(plan)) {
+        switch (o) {
           case Outcome::Detected: ++detected; break;
           case Outcome::Masked: ++masked; break;
           case Outcome::Silent: ++silent; break;

@@ -37,6 +37,14 @@ struct CampaignConfig
     uint64_t expected = 0;   ///< correct value at the "result" symbol
     uint64_t runs = 100;
     uint64_t seed = 1;
+    /**
+     * Worker threads running trials concurrently (each trial is an
+     * independent System). 0 = honour the XT910_JOBS environment
+     * variable, serial when unset. Results are bitwise identical at
+     * any job count: plans are drawn from the seed before the farm
+     * starts and outcome counters merge in trial order.
+     */
+    unsigned jobs = 0;
     /** Fault kinds to draw from; empty = all kinds. */
     std::vector<FaultKind> kinds;
     SystemConfig sys{};      ///< base config (hardened per run)

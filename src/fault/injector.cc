@@ -92,6 +92,8 @@ FaultInjector::apply(System &sys)
         Memory &m = sys.memory();
         m.write(plan.addr, 1,
                 m.read(plan.addr, 1) ^ (1ull << (plan.bit % 8)));
+        // The flip may land in code the ISS has predecoded.
+        sys.iss().notifyCodeWrite(plan.addr, 1);
         break;
       }
       case FaultKind::CacheLineFlip: {
@@ -102,6 +104,7 @@ FaultInjector::apply(System &sys)
         for (unsigned i = 0; i < cacheLineBytes; ++i)
             m.write(line + i, 1,
                     m.read(line + i, 1) ^ (1ull << (plan.bit % 8)));
+        sys.iss().notifyCodeWrite(line, cacheLineBytes);
         break;
       }
       case FaultKind::AccessFault:

@@ -100,11 +100,37 @@ fToVElem(double d, unsigned sewBits)
     }
 }
 
+/** True when decoding must stop after @p di: the instruction can
+ *  transfer control, halt the hart, or flush the decode caches. Traps
+ *  raised by in-block instructions need no special casing — the
+ *  per-step PC match simply misses at the handler and a new block is
+ *  looked up there. */
+bool
+endsBlock(const DecodedInst &di)
+{
+    if (!di.valid())
+        return true;
+    OpClass c = opClass(di.op);
+    if (c == OpClass::Branch || c == OpClass::Jump)
+        return true;
+    switch (di.op) {
+      case Opcode::ECALL:
+      case Opcode::EBREAK:
+      case Opcode::MRET:
+      case Opcode::SRET:
+      case Opcode::FENCE_I:
+      case Opcode::XT_ICACHE_IALL:
+        return true;
+      default:
+        return false;
+    }
+}
+
 } // namespace
 
 Iss::Iss(Memory &mem_, unsigned numHarts, IssOptions opts_)
     : mem(mem_), opts(opts_), harts(numHarts), clintDev(numHarts),
-      armedAccessFault(numHarts, false)
+      armedAccessFault(numHarts, false), cursors(numHarts)
 {
     xt_assert(isPow2(opts.vlenBits) && opts.vlenBits >= 64 &&
                   opts.vlenBits <= 2048,
@@ -120,7 +146,7 @@ void
 Iss::loadProgram(const Program &p)
 {
     mem.loadProgram(p);
-    decodeCache.clear();
+    flushDecoded();
     for (auto &h : harts) {
         h.pc = p.entry;
         h.halted = false;
@@ -160,6 +186,8 @@ Iss::fetchDecode(Addr pc)
     auto it = decodeCache.find(pc);
     if (it != decodeCache.end())
         return it->second;
+    if (decodeCache.size() >= maxDecodeEntries)
+        decodeCache.clear();
     uint32_t lo = uint32_t(mem.read(pc, 2));
     uint32_t w = lo;
     if ((lo & 3) == 3)
@@ -174,7 +202,108 @@ Iss::fetchDecode(Addr pc)
         di.raw = raw;
         di.len = len;
     }
+    trackCodeBytes(pc, di.len);
     return decodeCache.emplace(pc, di).first->second;
+}
+
+bool
+Iss::decodeAt(Addr pc, DecodedInst &di) const
+{
+    if (!mem.accessOk(pc, 2))
+        return false;
+    uint32_t lo = uint32_t(mem.read(pc, 2));
+    uint32_t w = lo;
+    if ((lo & 3) == 3) {
+        if (!mem.accessOk(pc + 2, 2))
+            return false;
+        w |= uint32_t(mem.read(pc + 2, 2)) << 16;
+    }
+    di = decode(w);
+    if (di.valid() && !opts.enableCustom && isCustom(di.op)) {
+        // Custom-extension encodings decode to Invalid (illegal
+        // instruction) on configurations without the extension.
+        uint32_t raw = di.raw;
+        uint8_t len = di.len;
+        di = DecodedInst{};
+        di.raw = raw;
+        di.len = len;
+    }
+    return true;
+}
+
+void
+Iss::buildBlock(Addr pc, DecodedBlock &b)
+{
+    Addr p = pc;
+    for (unsigned i = 0; i < maxBlockInsts; ++i) {
+        BlockInst bi;
+        bi.pc = p;
+        if (!decodeAt(p, bi.di))
+            break; // unfetchable: the step() fault path takes over
+        b.insts.push_back(bi);
+        trackCodeBytes(p, bi.di.len);
+        if (endsBlock(bi.di))
+            break;
+        p += bi.di.len;
+    }
+}
+
+const Iss::DecodedBlock *
+Iss::lookupBlock(Addr pc)
+{
+    auto it = blockCache.find(pc);
+    if (it != blockCache.end()) {
+        ++bcStats.hits;
+        return it->second.insts.empty() ? nullptr : &it->second;
+    }
+    ++bcStats.misses;
+    if (blockCache.size() >= maxBlocks)
+        flushDecoded();
+    // Empty blocks (unfetchable first instruction) are cached too so a
+    // hart spinning on a faulting fetch does not rebuild every step.
+    DecodedBlock &b = blockCache[pc];
+    buildBlock(pc, b);
+    return b.insts.empty() ? nullptr : &b;
+}
+
+void
+Iss::flushDecoded()
+{
+    blockCache.clear();
+    decodeCache.clear();
+    codePages.clear();
+    codeLo = ~Addr(0);
+    codeHi = 0;
+    for (auto &c : cursors)
+        c = BlockCursor{};
+    pendingFlush = false;
+    memEpochSeen = mem.mutationEpoch();
+    ++bcStats.flushes;
+}
+
+void
+Iss::trackCodeBytes(Addr pc, unsigned len)
+{
+    codeLo = std::min(codeLo, pc);
+    codeHi = std::max(codeHi, pc + len);
+    codePages.insert(pc >> Memory::pageShift);
+    codePages.insert((pc + len - 1) >> Memory::pageShift);
+}
+
+void
+Iss::noteCodeWriteSlow(Addr addr, uint64_t len)
+{
+    Addr first = addr >> Memory::pageShift;
+    Addr last = (addr + len - 1) >> Memory::pageShift;
+    for (Addr p = first; p <= last; ++p) {
+        if (codePages.count(p)) {
+            // Deferred: the store may live inside the very block being
+            // executed, so the flush waits until the next step().
+            pendingFlush = true;
+            ++bcStats.invalidations;
+            return;
+        }
+    }
 }
 
 uint64_t
@@ -226,6 +355,10 @@ Iss::writeCsr(ArchState &s, uint32_t num, uint64_t v)
 void
 Iss::invalidateReservations(Addr addr, const ArchState *except)
 {
+    // Every store path funnels through here, which makes it the single
+    // place to catch self-modifying code overwriting predecoded bytes
+    // (8 = the widest scalar store; over-approximating is harmless).
+    notifyCodeWrite(addr, 8);
     Addr line = lineAlign(addr);
     for (auto &h : harts) {
         if (&h != except && h.resValid && lineAlign(h.resAddr) == line)
@@ -335,25 +468,62 @@ Iss::step(unsigned hartId)
     if (opts.enableClint)
         clintDev.tick();
     maybeTakeInterrupt(s, hartId);
+    // Apply flushes requested by the previous instruction (SMC store,
+    // fence.i) or by out-of-band memory map changes, now that no decoded
+    // reference is in flight.
+    if (pendingFlush || memEpochSeen != mem.mutationEpoch())
+        flushDecoded();
     const Addr pc = s.pc;
 
-    // Instruction fetch must itself be a legal access.
-    bool fetchOk = mem.accessOk(pc, 2);
-    if (fetchOk && (uint32_t(mem.read(pc, 2)) & 3) == 3)
-        fetchOk = mem.accessOk(pc + 2, 2);
-    if (!fetchOk) {
-        rec.pc = pc;
-        rec.nextPc = pc;
-        rec.trap = makeTrap(trap::instAccessFault, pc);
-    } else {
-        const DecodedInst &di = fetchDecode(pc);
-        if (!di.valid()) {
-            rec.pc = pc;
-            rec.di = di;
-            rec.nextPc = pc + di.len;
-            rec.trap = makeTrap(trap::illegalInstruction, di.raw);
+    if (opts.blockCache) {
+        // Fast path: keep walking the predecoded block as long as the
+        // PC follows it. Traps and taken branches simply miss the PC
+        // check and fall back to a block lookup at the new target.
+        BlockCursor &cur = cursors[hartId];
+        const DecodedInst *di = nullptr;
+        if (cur.blk && cur.idx < cur.blk->insts.size() &&
+            cur.blk->insts[cur.idx].pc == pc) {
+            ++bcStats.hits;
+            di = &cur.blk->insts[cur.idx].di;
         } else {
-            rec = execute(s, di, pc);
+            cur.blk = lookupBlock(pc);
+            cur.idx = 0;
+            if (cur.blk)
+                di = &cur.blk->insts[0].di;
+        }
+        if (!di) {
+            rec.pc = pc;
+            rec.nextPc = pc;
+            rec.trap = makeTrap(trap::instAccessFault, pc);
+        } else if (!di->valid()) {
+            rec.pc = pc;
+            rec.di = *di;
+            rec.nextPc = pc + di->len;
+            rec.trap = makeTrap(trap::illegalInstruction, di->raw);
+        } else {
+            rec = execute(s, *di, pc);
+            ++cursors[hartId].idx;
+        }
+    } else {
+        // Legacy per-PC decode path (kept for A/B speed measurement).
+        // Instruction fetch must itself be a legal access.
+        bool fetchOk = mem.accessOk(pc, 2);
+        if (fetchOk && (uint32_t(mem.read(pc, 2)) & 3) == 3)
+            fetchOk = mem.accessOk(pc + 2, 2);
+        if (!fetchOk) {
+            rec.pc = pc;
+            rec.nextPc = pc;
+            rec.trap = makeTrap(trap::instAccessFault, pc);
+        } else {
+            const DecodedInst &di = fetchDecode(pc);
+            if (!di.valid()) {
+                rec.pc = pc;
+                rec.di = di;
+                rec.nextPc = pc + di.len;
+                rec.trap = makeTrap(trap::illegalInstruction, di.raw);
+            } else {
+                rec = execute(s, di, pc);
+            }
         }
     }
     if (rec.trap.valid)
@@ -524,7 +694,9 @@ Iss::execute(ArchState &s, const DecodedInst &di, Addr pc)
       case O::FENCE:
         break;
       case O::FENCE_I:
-        decodeCache.clear();
+        // Deferred so the in-flight decoded-instruction reference
+        // stays valid while this instruction finishes executing.
+        pendingFlush = true;
         break;
       case O::ECALL: {
         uint64_t num = s.readX(17); // a7
@@ -908,7 +1080,7 @@ Iss::execute(ArchState &s, const DecodedInst &di, Addr pc)
         // timing models give these their cache/TLB semantics.
         break;
       case O::XT_ICACHE_IALL:
-        decodeCache.clear();
+        pendingFlush = true;
         break;
 
       // ------------------------------------------------------ vector
@@ -1005,6 +1177,9 @@ Iss::execVector(ArchState &s, const DecodedInst &di, ExecRecord &rec)
                 break;
             }
             mem.write(a, bytes, vGet(s, di.rs3 & 31, i, sew, vlen));
+            // Strided/indexed elements can land far from the base the
+            // reservation check below sees; flag each one.
+            notifyCodeWrite(a, bytes);
         }
         invalidateReservations(rs1, nullptr);
         break;

@@ -13,6 +13,7 @@
 #include <functional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "func/clint.h"
@@ -58,11 +59,27 @@ struct IssOptions
     /** Trap on misaligned data accesses (XT-910's LSU handles them). */
     bool strictAlign = false;
     /**
+     * Predecoded basic-block fast path: decode straight-line runs once
+     * into a flat vector keyed by block-start PC instead of hitting
+     * the per-instruction decode hash map. Off = legacy per-PC decode
+     * cache (kept for A/B speed measurement, see bench_simspeed).
+     */
+    bool blockCache = true;
+    /**
      * A trap with no mtvec handler installed aborts the simulation
      * (configuration error). Fault-injection campaigns clear this so
      * the hart instead halts with exitCode 128+cause and fatalTrap set.
      */
     bool fatalOnUnhandledTrap = true;
+};
+
+/** Block-cache effectiveness/consistency accounting (see Iss). */
+struct BlockCacheStats
+{
+    uint64_t hits = 0;    ///< steps served from a cached block
+    uint64_t misses = 0;  ///< steps that had to build a new block
+    uint64_t invalidations = 0; ///< stores that hit predecoded code
+    uint64_t flushes = 0; ///< whole-cache drops (SMC/fence.i/bound)
 };
 
 /** See file comment. */
@@ -110,6 +127,26 @@ class Iss
 
     /** The core-local interruptor (timers + software interrupts). */
     Clint &clint() { return clintDev; }
+
+    /**
+     * Tell the decode caches that [addr, addr+len) was written behind
+     * the ISS's back (fault injectors corrupting code bytes, debuggers
+     * patching memory). The ISS's own stores call this internally, so
+     * guest self-modifying code re-decodes correctly even without a
+     * fence.i. Cheap when the range does not overlap predecoded code.
+     */
+    void
+    notifyCodeWrite(Addr addr, uint64_t len)
+    {
+        if (addr < codeHi && addr + len > codeLo)
+            noteCodeWriteSlow(addr, len);
+    }
+
+    /** Block-cache accounting (hit/miss/invalidate/flush). */
+    const BlockCacheStats &blockCacheStats() const { return bcStats; }
+
+    /** Cached basic blocks currently resident (for tests). */
+    size_t blockCacheSize() const { return blockCache.size(); }
 
     /**
      * Fault injection: arm a one-shot access fault — the next data
@@ -174,6 +211,46 @@ class Iss
     void writeCsr(ArchState &s, uint32_t num, uint64_t v);
     void invalidateReservations(Addr addr, const ArchState *except);
 
+    /** One predecoded instruction of a basic block. */
+    struct BlockInst
+    {
+        Addr pc = 0;
+        DecodedInst di;
+    };
+
+    /**
+     * A predecoded straight-line run: starts at the mapped PC, ends at
+     * the first control-transfer/decode-cache-flushing instruction, an
+     * undecodable word, an unfetchable byte, or maxBlockInsts. Blocks
+     * are immutable once built; consistency is handled by whole-cache
+     * flushes (deferred to the next step() so in-flight references
+     * stay valid while the triggering instruction executes).
+     */
+    struct DecodedBlock
+    {
+        std::vector<BlockInst> insts;
+    };
+
+    /** Per-hart position inside the block being executed. */
+    struct BlockCursor
+    {
+        const DecodedBlock *blk = nullptr;
+        unsigned idx = 0;
+    };
+
+    /** Find or build the block starting at @p pc; null = fetch fault. */
+    const DecodedBlock *lookupBlock(Addr pc);
+    /** Decode a fresh block at @p pc into @p b (may come out empty). */
+    void buildBlock(Addr pc, DecodedBlock &b);
+    /** Decode the (up to) 4 bytes at @p pc; false = unfetchable. */
+    bool decodeAt(Addr pc, DecodedInst &di) const;
+    /** Drop every cached decode product and reset the cursors. */
+    void flushDecoded();
+    /** Out-of-line half of notifyCodeWrite (page-precise check). */
+    void noteCodeWriteSlow(Addr addr, uint64_t len);
+    /** Record that [pc, pc+len) now backs predecoded state. */
+    void trackCodeBytes(Addr pc, unsigned len);
+
     Memory &mem;
     IssOptions opts;
     std::vector<ArchState> harts;
@@ -181,6 +258,32 @@ class Iss
     std::string consoleBuf;
     std::unordered_map<Addr, DecodedInst> decodeCache;
     std::vector<bool> armedAccessFault; ///< one-shot injected faults
+
+    // ---- predecoded basic-block fast path ----------------------------
+    /** Cache growth bound: past this many blocks, flush and rebuild. */
+    static constexpr size_t maxBlocks = 1u << 15;
+    /** Same bound for the legacy per-PC decode cache. */
+    static constexpr size_t maxDecodeEntries = 1u << 17;
+    /** Straight-line decode-ahead limit per block. */
+    static constexpr unsigned maxBlockInsts = 64;
+
+    std::unordered_map<Addr, DecodedBlock> blockCache;
+    std::vector<BlockCursor> cursors;
+    BlockCacheStats bcStats;
+    /** Flush requested by the currently executing instruction (SMC
+     *  store, fence.i, icache.iall); applied at the next step() so the
+     *  in-flight DecodedInst reference is never freed underneath
+     *  execute(). */
+    bool pendingFlush = false;
+    /** Memory mutation epoch the caches were built against. */
+    uint64_t memEpochSeen = 0;
+    /** Byte range + page set backing any predecoded state. The range
+     *  check filters stores in two compares; the page set makes the
+     *  slow path precise enough that data stores near code do not
+     *  thrash the cache. */
+    Addr codeLo = ~Addr(0);
+    Addr codeHi = 0;
+    std::unordered_set<Addr> codePages;
 };
 
 } // namespace xt910

@@ -43,8 +43,10 @@ Memory::accessOk(Addr addr, unsigned size) const
 void
 Memory::addFaultRange(Addr base, uint64_t size)
 {
-    if (size != 0)
+    if (size != 0) {
         faultRanges.emplace_back(base, size);
+        ++mutations;
+    }
 }
 
 uint64_t

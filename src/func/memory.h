@@ -42,7 +42,12 @@ class Memory
     bool accessOk(Addr addr, unsigned size) const;
 
     /** Shrink/grow the modelled physical address space. */
-    void setPhysLimit(Addr limit) { physBound = limit; }
+    void
+    setPhysLimit(Addr limit)
+    {
+        physBound = limit;
+        ++mutations;
+    }
     Addr physLimit() const { return physBound; }
 
     /**
@@ -50,7 +55,20 @@ class Memory
      * injected fault region (FaultInjector uses this).
      */
     void addFaultRange(Addr base, uint64_t size);
-    void clearFaultRanges() { faultRanges.clear(); }
+    void
+    clearFaultRanges()
+    {
+        faultRanges.clear();
+        ++mutations;
+    }
+
+    /**
+     * Bumped whenever the legality of an access can change (fault
+     * ranges, physical limit). Decode caches snapshot this and flush
+     * when it moves, so predecoded code never outlives a change to
+     * what is fetchable.
+     */
+    uint64_t mutationEpoch() const { return mutations; }
 
     /** Read @p size (1..8) bytes at @p addr, little-endian. */
     uint64_t read(Addr addr, unsigned size) const;
@@ -98,6 +116,7 @@ class Memory
     mutable std::unordered_map<Addr, std::unique_ptr<Page>> pages;
     Addr physBound = defaultPhysLimit;
     std::vector<std::pair<Addr, uint64_t>> faultRanges;
+    uint64_t mutations = 0;
 };
 
 } // namespace xt910

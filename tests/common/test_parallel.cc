@@ -1,0 +1,88 @@
+/**
+ * Run-farm primitive tests: parallelFor covers every index exactly
+ * once at any job count, propagates worker exceptions, and resolveJobs
+ * honours the explicit-request > XT910_JOBS > fallback chain.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/parallel.h"
+
+namespace xt910
+{
+
+TEST(ParallelFor, CoversEveryIndexOnce)
+{
+    for (unsigned jobs : {1u, 2u, 7u}) {
+        std::vector<std::atomic<int>> seen(101);
+        for (auto &s : seen)
+            s = 0;
+        parallelFor(seen.size(), jobs,
+                    [&](size_t i) { seen[i].fetch_add(1); });
+        for (size_t i = 0; i < seen.size(); ++i)
+            EXPECT_EQ(seen[i].load(), 1) << "index " << i << " jobs "
+                                         << jobs;
+    }
+}
+
+TEST(ParallelFor, ZeroItemsIsANoop)
+{
+    bool ran = false;
+    parallelFor(0, 8, [&](size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ParallelFor, SerialPathRunsInline)
+{
+    // jobs <= 1 must not spawn threads: side effects happen in order.
+    std::vector<size_t> order;
+    parallelFor(5, 1, [&](size_t i) { order.push_back(i); });
+    std::vector<size_t> want{0, 1, 2, 3, 4};
+    EXPECT_EQ(order, want);
+}
+
+TEST(ParallelFor, PropagatesWorkerExceptions)
+{
+    EXPECT_THROW(parallelFor(16, 4,
+                             [&](size_t i) {
+                                 if (i == 9)
+                                     throw std::runtime_error("boom");
+                             }),
+                 std::runtime_error);
+    // Serial path too.
+    EXPECT_THROW(parallelFor(3, 1,
+                             [&](size_t) {
+                                 throw std::runtime_error("boom");
+                             }),
+                 std::runtime_error);
+}
+
+TEST(ResolveJobs, ExplicitRequestWins)
+{
+    setenv("XT910_JOBS", "5", 1);
+    EXPECT_EQ(resolveJobs(3), 3u);
+    unsetenv("XT910_JOBS");
+}
+
+TEST(ResolveJobs, EnvironmentThenFallback)
+{
+    setenv("XT910_JOBS", "6", 1);
+    EXPECT_EQ(resolveJobs(0), 6u);
+    unsetenv("XT910_JOBS");
+    EXPECT_EQ(resolveJobs(0), 1u);      // default fallback: serial
+    EXPECT_EQ(resolveJobs(0, 4), 4u);   // explicit fallback
+    EXPECT_GE(resolveJobs(0, 0), 1u);   // fallback 0 = hardware
+}
+
+TEST(HardwareJobs, NeverZero)
+{
+    EXPECT_GE(hardwareJobs(), 1u);
+}
+
+} // namespace xt910

@@ -335,4 +335,27 @@ TEST(Campaign, SameSeedIsDeterministic)
     EXPECT_NE(a.next(), b.next());
 }
 
+TEST(Campaign, JobCountDoesNotChangeResults)
+{
+    // The run farm must be invisible in the output: same seed, same
+    // classification counts at any worker count (plans are drawn
+    // sequentially, counters merge in trial order).
+    auto counts = [](unsigned jobs) {
+        CampaignConfig cc;
+        cc.program = sumProgram(true);
+        cc.expected = sumExpected;
+        cc.runs = 24;
+        cc.seed = 11;
+        cc.jobs = jobs;
+        FaultCampaign c(cc);
+        c.run();
+        return std::array<uint64_t, 6>{
+            c.runs.value(),   c.detected.value(), c.masked.value(),
+            c.silent.value(), c.hung.value(),     c.crashed.value()};
+    };
+    auto serial = counts(1);
+    EXPECT_EQ(serial, counts(4));
+    EXPECT_EQ(serial, counts(8));
+}
+
 } // namespace xt910

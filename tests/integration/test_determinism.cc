@@ -1,0 +1,96 @@
+/**
+ * Determinism suite: the run farm must be invisible in every
+ * deterministic output. A System run produces byte-identical stats
+ * JSON whether it executes alone or concurrently with seven copies on
+ * the farm, and that JSON passes the strict validator — host timing
+ * lives only in RunResult::hostSeconds, never in the stats dump.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/parallel.h"
+#include "core/system.h"
+#include "workloads/wl_common.h"
+#include "workloads/workload.h"
+
+namespace xt910
+{
+
+namespace
+{
+
+struct RunDump
+{
+    std::string json;
+    uint64_t insts = 0;
+    uint64_t cycles = 0;
+    bool ok = false;
+};
+
+RunDump
+runAndDump(const SystemConfig &cfg, const WorkloadBuild &wb)
+{
+    System sys(cfg);
+    sys.loadProgram(wb.program);
+    RunResult r = sys.run();
+    RunDump d;
+    std::ostringstream os;
+    sys.dumpStatsJson(os, true);
+    d.json = os.str();
+    d.insts = r.insts;
+    d.cycles = r.cycles;
+    d.ok = wl::readResult(sys.memory(), wb.program) == wb.expected;
+    return d;
+}
+
+} // namespace
+
+TEST(Determinism, StatsJsonIdenticalAcrossTheFarm)
+{
+    WorkloadOptions o;
+    WorkloadBuild wb = findWorkload("list").build(o);
+    SystemConfig cfg;
+
+    RunDump serial = runAndDump(cfg, wb);
+    EXPECT_TRUE(serial.ok);
+    std::string err;
+    ASSERT_TRUE(json::validate(serial.json, &err)) << err;
+
+    // Eight copies racing on the farm: every dump must equal the
+    // serial one byte for byte.
+    std::vector<RunDump> farm(8);
+    parallelFor(farm.size(), 8,
+                [&](size_t i) { farm[i] = runAndDump(cfg, wb); });
+    for (size_t i = 0; i < farm.size(); ++i) {
+        EXPECT_EQ(farm[i].insts, serial.insts) << "copy " << i;
+        EXPECT_EQ(farm[i].cycles, serial.cycles) << "copy " << i;
+        EXPECT_TRUE(farm[i].ok) << "copy " << i;
+        EXPECT_EQ(farm[i].json, serial.json) << "copy " << i;
+    }
+}
+
+TEST(Determinism, BlockCacheInvisibleInStatsJson)
+{
+    // The decode fast path must not leak into any deterministic
+    // output: same cycles, same stats JSON with the cache on and off.
+    WorkloadOptions o;
+    WorkloadBuild wb = findWorkload("state").build(o);
+    SystemConfig on;
+    on.iss.blockCache = true;
+    SystemConfig off = on;
+    off.iss.blockCache = false;
+
+    RunDump a = runAndDump(on, wb);
+    RunDump b = runAndDump(off, wb);
+    EXPECT_TRUE(a.ok);
+    EXPECT_EQ(a.insts, b.insts);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.json, b.json);
+}
+
+} // namespace xt910

@@ -1,0 +1,55 @@
+# Run-farm determinism, run as a ctest script:
+#
+#   cmake -DXT910_RUN=<path-to-xt910-run> -P determinism.cmake
+#
+# The worker count must be invisible in every deterministic output:
+#  1. a fault campaign prints byte-identical reports at --jobs 1 and
+#     --jobs 7 (same seed, same classification counts);
+#  2. the multi-workload farm prints identical tables apart from the
+#     host-MIPS column (the one intentionally non-deterministic field,
+#     stripped before comparing).
+
+if(NOT XT910_RUN)
+    message(FATAL_ERROR "usage: cmake -DXT910_RUN=... -P determinism.cmake")
+endif()
+
+function(run_cli out_var)
+    execute_process(
+        COMMAND "${XT910_RUN}" ${ARGN}
+        OUTPUT_VARIABLE out
+        ERROR_VARIABLE err
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "xt910-run ${ARGN} failed (rc=${rc}):\n${out}\n${err}")
+    endif()
+    set(${out_var} "${out}" PARENT_SCOPE)
+endfunction()
+
+# ---- campaign: fully deterministic stdout ------------------------------
+run_cli(camp1 list --inject 30 --inject-seed 5 --jobs 1)
+run_cli(camp7 list --inject 30 --inject-seed 5 --jobs 7)
+if(NOT camp1 STREQUAL camp7)
+    message(FATAL_ERROR "campaign output differs between --jobs 1 and --jobs 7:\n--- jobs=1\n${camp1}\n--- jobs=7\n${camp7}")
+endif()
+if(NOT camp1 MATCHES "fault-injection campaign: 30 runs")
+    message(FATAL_ERROR "campaign report missing:\n${camp1}")
+endif()
+
+# ---- multi-workload farm: deterministic apart from host MIPS -----------
+run_cli(farm1 --jobs 1 list state matrix)
+run_cli(farm7 --jobs 7 list state matrix)
+# Strip the MIPS column (a float directly before the checksum column).
+string(REGEX REPLACE "[ ]+[0-9]+\\.[0-9]+([ ]+(ok|MISMATCH))" "\\1"
+    farm1_stripped "${farm1}")
+string(REGEX REPLACE "[ ]+[0-9]+\\.[0-9]+([ ]+(ok|MISMATCH))" "\\1"
+    farm7_stripped "${farm7}")
+if(NOT farm1_stripped STREQUAL farm7_stripped)
+    message(FATAL_ERROR "farm output differs between --jobs 1 and --jobs 7:\n--- jobs=1\n${farm1}\n--- jobs=7\n${farm7}")
+endif()
+foreach(w IN ITEMS list state matrix)
+    if(NOT farm1_stripped MATCHES "${w} .*ok")
+        message(FATAL_ERROR "workload ${w} missing or failed:\n${farm1}")
+    endif()
+endforeach()
+
+message(STATUS "determinism ok: campaign and farm outputs identical across job counts")

@@ -1,0 +1,58 @@
+# Sim-speed smoke, run as a ctest script:
+#
+#   cmake -DBENCH_SIMSPEED=<path-to-bench_simspeed> -DWORK_DIR=<dir> \
+#       -P simspeed_smoke.cmake
+#
+# Runs the sim-speed bench in its fast functional-only mode on one
+# small workload and validates BENCH_simspeed.json: it parses, MIPS is
+# reported and nonzero for both decode paths, and the speedup fields
+# are present. No performance threshold is asserted — machine speed is
+# not a correctness property; the JSON is for tracking.
+
+if(NOT BENCH_SIMSPEED OR NOT WORK_DIR)
+    message(FATAL_ERROR "usage: cmake -DBENCH_SIMSPEED=... -DWORK_DIR=... -P simspeed_smoke.cmake")
+endif()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(JSON_OUT "${WORK_DIR}/BENCH_simspeed.json")
+
+execute_process(
+    COMMAND "${BENCH_SIMSPEED}" --iss-only --reps=1 --out=${JSON_OUT} list
+    OUTPUT_VARIABLE run_out
+    ERROR_VARIABLE run_err
+    RESULT_VARIABLE run_rc)
+if(NOT run_rc EQUAL 0)
+    message(FATAL_ERROR "bench_simspeed failed (rc=${run_rc}):\n${run_out}\n${run_err}")
+endif()
+if(NOT run_out MATCHES "geomean iss block/legacy speedup")
+    message(FATAL_ERROR "speedup summary missing:\n${run_out}")
+endif()
+
+file(READ "${JSON_OUT}" doc)
+string(JSON nwl ERROR_VARIABLE jerr LENGTH "${doc}" workloads)
+if(jerr)
+    message(FATAL_ERROR "unparseable ${JSON_OUT} (${jerr})")
+endif()
+if(nwl LESS 1)
+    message(FATAL_ERROR "no workloads in ${JSON_OUT}")
+endif()
+
+string(JSON name GET "${doc}" workloads 0 name)
+string(JSON insts GET "${doc}" workloads 0 insts)
+string(JSON block_mips GET "${doc}" workloads 0 iss block_mips)
+string(JSON legacy_mips GET "${doc}" workloads 0 iss legacy_mips)
+string(JSON speedup GET "${doc}" workloads 0 iss speedup)
+string(JSON geomean GET "${doc}" geomean_iss_speedup)
+
+if(NOT insts GREATER 0)
+    message(FATAL_ERROR "workload ${name}: insts not positive (${insts})")
+endif()
+foreach(v IN ITEMS block_mips legacy_mips speedup geomean)
+    if(NOT ${v} GREATER 0)
+        message(FATAL_ERROR "workload ${name}: ${v} not positive (${${v}})")
+    endif()
+endforeach()
+
+message(STATUS "simspeed smoke ok: ${name} ${insts} insts, "
+    "block ${block_mips} MIPS, legacy ${legacy_mips} MIPS, "
+    "speedup ${speedup}x (geomean ${geomean}x)")

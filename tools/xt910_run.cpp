@@ -2,8 +2,12 @@
  * @file
  * xt910-run — command-line driver for the simulator.
  *
- *   xt910-run [options] <workload>
+ *   xt910-run [options] <workload> [<workload>...]
  *   xt910-run --list
+ *
+ * With several workloads the runs execute concurrently on a worker
+ * pool (--jobs N / XT910_JOBS, default serial) and a per-workload
+ * summary table is printed; results are identical at any job count.
  *
  * Options:
  *   --preset xt910|u74|a73|mcu   core model (default xt910)
@@ -27,6 +31,9 @@
  *   --inject N                   fault-injection campaign of N runs
  *   --inject-seed S              campaign RNG seed (default 1)
  *   --inject-kinds a,b,...       restrict fault kinds (see --help)
+ *   --jobs N                     worker threads for multi-workload and
+ *                                campaign runs (default: XT910_JOBS
+ *                                env, else serial)
  *
  * Every value option also accepts the --opt=value form.
  *
@@ -43,8 +50,11 @@
 #include <sstream>
 #include <string>
 
+#include <vector>
+
 #include "baseline/presets.h"
 #include "common/json.h"
+#include "common/parallel.h"
 #include "core/system.h"
 #include "fault/campaign.h"
 #include "mmu/pagetable.h"
@@ -62,7 +72,7 @@ void
 usage()
 {
     std::printf(
-        "usage: xt910-run [options] <workload>\n"
+        "usage: xt910-run [options] <workload> [<workload>...]\n"
         "       xt910-run --list\n"
         "options: --preset xt910|u74|a73|mcu  --cores N  --extended\n"
         "         --scale N  --stream-kib N  --paged  --l2-kib N\n"
@@ -71,6 +81,7 @@ usage()
         "         --trace-konata FILE  --topdown\n"
         "         --max-cycles N  --max-insts N\n"
         "         --inject N  --inject-seed S  --inject-kinds a,b,...\n"
+        "         --jobs N (multi-workload / campaign parallelism)\n"
         "fault kinds: reg freg vreg mem cacheline access mispredict\n");
 }
 
@@ -105,7 +116,7 @@ parseKinds(const std::string &csv, std::vector<FaultKind> &out)
 int
 main(int argc, char **argv)
 {
-    std::string workload;
+    std::vector<std::string> workloads;
     std::string preset = "xt910";
     unsigned cores = 1;
     bool stats = false, paged = false, noPrefetch = false;
@@ -117,6 +128,7 @@ main(int argc, char **argv)
     Cycle dramLat = 0;
     uint64_t maxCycles = 0, maxInsts = 0;
     uint64_t injectRuns = 0, injectSeed = 1;
+    unsigned jobs = 0;
     std::vector<FaultKind> injectKinds;
     std::string statsJsonPath, konataPath;
     uint64_t statsInterval = 0;
@@ -189,6 +201,8 @@ main(int argc, char **argv)
             injectRuns = uint64_t(std::atoll(next()));
         } else if (a == "--inject-seed") {
             injectSeed = uint64_t(std::atoll(next()));
+        } else if (a == "--jobs") {
+            jobs = unsigned(std::atoi(next()));
         } else if (a == "--inject-kinds") {
             if (!parseKinds(next(), injectKinds)) {
                 std::fprintf(stderr, "bad --inject-kinds\n");
@@ -199,14 +213,14 @@ main(int argc, char **argv)
             usage();
             return 0;
         } else if (!a.empty() && a[0] != '-') {
-            workload = a;
+            workloads.push_back(a);
         } else {
             std::fprintf(stderr, "unknown option %s\n", a.c_str());
             usage();
             return 2;
         }
     }
-    if (workload.empty()) {
+    if (workloads.empty()) {
         usage();
         return 2;
     }
@@ -215,6 +229,13 @@ main(int argc, char **argv)
                      "--stats-interval requires --stats-json FILE\n");
         return 2;
     }
+    if (workloads.size() > 1 &&
+        (injectRuns || !statsJsonPath.empty() || !konataPath.empty())) {
+        std::fprintf(stderr, "--inject/--stats-json/--trace-konata "
+                             "need a single workload\n");
+        return 2;
+    }
+    const std::string workload = workloads[0];
 
     CorePreset p = preset == "u74"   ? u74Preset()
                    : preset == "a73" ? a73Preset()
@@ -242,6 +263,55 @@ main(int argc, char **argv)
     if (maxInsts)
         cfg.maxInsts = maxInsts;
 
+    auto setupPaging = [&](System &sys, const Program &prog) {
+        PageTableBuilder ptb(sys.memory(), tableBase);
+        Addr root = ptb.createRoot();
+        ptb.identityMap(root, prog.base, 0x100000, PageSize::Page4K);
+        // Cover the off-image regions the stream/spec kernels use.
+        ptb.identityMap(root, 0x9000'0000, 8ull << 20, PageSize::Page4K);
+        ptb.identityMap(root, 0xa000'0000, 4ull << 20, PageSize::Page2M);
+        ptb.identityMap(root, 0xb000'0000, 2ull << 20, PageSize::Page2M);
+    };
+
+    if (workloads.size() > 1) {
+        // Run farm: one independent System per workload, executed on a
+        // worker pool. Output order and every number are fixed by the
+        // workload list, not by the job count.
+        std::vector<WorkloadBuild> builds;
+        for (const std::string &n : workloads)
+            builds.push_back(findWorkload(n).build(wo));
+        std::vector<RunResult> results(builds.size());
+        std::vector<char> oks(builds.size(), 0);
+        parallelFor(builds.size(), resolveJobs(jobs), [&](size_t i) {
+            System sys(cfg);
+            if (paged)
+                setupPaging(sys, builds[i].program);
+            sys.loadProgram(builds[i].program);
+            results[i] = sys.run();
+            oks[i] = wl::readResult(sys.memory(), builds[i].program) ==
+                     builds[i].expected;
+        });
+        std::printf("%-14s %12s %12s %6s %9s %9s\n", "workload",
+                    "insts", "cycles", "IPC", "MIPS", "checksum");
+        int rc = 0;
+        for (size_t i = 0; i < builds.size(); ++i) {
+            const RunResult &r = results[i];
+            std::printf("%-14s %12llu %12llu %6.3f %9.2f %9s\n",
+                        workloads[i].c_str(),
+                        static_cast<unsigned long long>(r.insts),
+                        static_cast<unsigned long long>(r.cycles),
+                        r.ipc(), r.simMips(),
+                        oks[i] ? "ok" : "MISMATCH");
+            if (r.stop == StopReason::Watchdog)
+                rc = std::max(rc, 4);
+            else if (r.stop != StopReason::Halted)
+                rc = std::max(rc, 3);
+            else if (!oks[i])
+                rc = std::max(rc, 1);
+        }
+        return rc;
+    }
+
     WorkloadBuild wb = findWorkload(workload).build(wo);
 
     if (injectRuns) {
@@ -251,6 +321,7 @@ main(int argc, char **argv)
         cc.runs = injectRuns;
         cc.seed = injectSeed;
         cc.kinds = injectKinds;
+        cc.jobs = jobs;
         cc.sys = cfg;
         FaultCampaign campaign(cc);
         campaign.run();
@@ -265,16 +336,8 @@ main(int argc, char **argv)
     }
 
     System sys(cfg);
-    if (paged) {
-        PageTableBuilder ptb(sys.memory(), tableBase);
-        Addr root = ptb.createRoot();
-        ptb.identityMap(root, wb.program.base, 0x100000,
-                        PageSize::Page4K);
-        // Cover the off-image regions the stream/spec kernels use.
-        ptb.identityMap(root, 0x9000'0000, 8ull << 20, PageSize::Page4K);
-        ptb.identityMap(root, 0xa000'0000, 4ull << 20, PageSize::Page2M);
-        ptb.identityMap(root, 0xb000'0000, 2ull << 20, PageSize::Page2M);
-    }
+    if (paged)
+        setupPaging(sys, wb.program);
     sys.loadProgram(wb.program);
 
     std::ofstream jsonFile;
@@ -342,6 +405,7 @@ main(int argc, char **argv)
     std::printf("IPC        : %.3f\n", r.ipc());
     std::printf("time @%.1fGHz: %.3f ms\n", p.freqGHz,
                 double(r.cycles) / (p.freqGHz * 1e6));
+    std::printf("sim speed  : %.2f MIPS (host)\n", r.simMips());
     std::printf("checksum   : %s\n", ok ? "ok" : "MISMATCH");
     if (topdown) {
         for (unsigned c = 0; c < cores; ++c)
