@@ -1,0 +1,232 @@
+/** @file See differ.h. */
+
+#include "check/differ.h"
+
+#include <sstream>
+
+#include "common/parallel.h"
+#include "core/system.h"
+#include "func/csr.h"
+#include "func/iss.h"
+
+namespace xt910::check
+{
+
+namespace
+{
+
+constexpr uint64_t kRunLimit = 4'000'000;
+
+/** CSRs compared across paths (timing CSRs intentionally absent). */
+constexpr uint32_t kCsrWhitelist[8] = {
+    csr::mstatus, csr::mtvec, csr::mie,    csr::mscratch,
+    csr::mepc,    csr::mcause, csr::mtval, csr::minstret,
+};
+
+uint64_t
+csrOrZero(const ArchState &s, uint32_t num)
+{
+    if (num == csr::minstret)
+        return s.instret;
+    auto it = s.csrs.find(num);
+    return it == s.csrs.end() ? 0 : it->second;
+}
+
+/** FNV-1a over the whole loaded image range. */
+uint64_t
+hashImageRange(const Memory &mem, const Program &p)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    std::vector<uint8_t> buf(p.image.size());
+    mem.readBytes(p.base, buf.data(), buf.size());
+    for (uint8_t b : buf) {
+        h ^= b;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+ArchSnapshot
+capture(const Iss &iss, const Memory &mem, const Program &p,
+        unsigned vlenBits)
+{
+    const ArchState &s = iss.hart(0);
+    ArchSnapshot snap;
+    snap.ran = true;
+    snap.halted = s.halted;
+    snap.exitCode = s.exitCode;
+    snap.pc = s.pc;
+    snap.instret = s.instret;
+    snap.trapCount = s.trapCount;
+    snap.x = s.x;
+    snap.x[0] = 0;
+    snap.f = s.f;
+    const unsigned vlenB = vlenBits / 8;
+    snap.v.resize(32 * size_t(vlenB));
+    for (unsigned r = 0; r < 32; ++r)
+        for (unsigned b = 0; b < vlenB; ++b)
+            snap.v[r * size_t(vlenB) + b] = s.v[r][b];
+    snap.vl = s.vl;
+    snap.vsew = s.vtype.sew;
+    snap.vlmul = s.vtype.lmul;
+    for (unsigned i = 0; i < 8; ++i)
+        snap.csrs[i] = csrOrZero(s, kCsrWhitelist[i]);
+    snap.memHash = hashImageRange(mem, p);
+    snap.guestHash = mem.readT<uint64_t>(p.symbol("result"));
+    return snap;
+}
+
+IssOptions
+issOptions(const GenProgram &prog, bool blockCache)
+{
+    IssOptions o;
+    o.vlenBits = prog.cfg.vlenBits;
+    o.blockCache = blockCache;
+    return o;
+}
+
+} // namespace
+
+std::string
+describeDiff(const ArchSnapshot &a, const ArchSnapshot &b)
+{
+    std::ostringstream os;
+    os << std::hex;
+    auto field = [&](const char *name, uint64_t va, uint64_t vb) {
+        os << name << ": " << va << " != " << vb;
+    };
+    if (a.ran != b.ran || a.halted != b.halted || a.exitCode != b.exitCode) {
+        os << "termination: ran=" << a.ran << "/" << b.ran
+           << " halted=" << a.halted << "/" << b.halted
+           << " exit=" << a.exitCode << "/" << b.exitCode;
+        return os.str();
+    }
+    if (a.pc != b.pc) { field("pc", a.pc, b.pc); return os.str(); }
+    if (a.instret != b.instret) {
+        field("instret", a.instret, b.instret);
+        return os.str();
+    }
+    if (a.trapCount != b.trapCount) {
+        field("trapCount", a.trapCount, b.trapCount);
+        return os.str();
+    }
+    for (unsigned i = 0; i < 32; ++i)
+        if (a.x[i] != b.x[i]) {
+            os << "x" << std::dec << i << std::hex;
+            field("", a.x[i], b.x[i]);
+            return os.str();
+        }
+    for (unsigned i = 0; i < 32; ++i)
+        if (a.f[i] != b.f[i]) {
+            os << "f" << std::dec << i << std::hex;
+            field("", a.f[i], b.f[i]);
+            return os.str();
+        }
+    if (a.vl != b.vl || a.vsew != b.vsew || a.vlmul != b.vlmul) {
+        os << "vtype/vl: vl=" << a.vl << "/" << b.vl << " sew=" << a.vsew
+           << "/" << b.vsew << " lmul=" << a.vlmul << "/" << b.vlmul;
+        return os.str();
+    }
+    if (a.v != b.v) {
+        for (size_t i = 0; i < a.v.size() && i < b.v.size(); ++i)
+            if (a.v[i] != b.v[i]) {
+                os << "vreg byte " << std::dec << i << std::hex;
+                field("", a.v[i], b.v[i]);
+                return os.str();
+            }
+        os << "vreg size: " << a.v.size() << " != " << b.v.size();
+        return os.str();
+    }
+    for (unsigned i = 0; i < 8; ++i)
+        if (a.csrs[i] != b.csrs[i]) {
+            os << "csr[" << std::dec << i << "]" << std::hex;
+            field("", a.csrs[i], b.csrs[i]);
+            return os.str();
+        }
+    if (a.memHash != b.memHash) {
+        field("memHash", a.memHash, b.memHash);
+        return os.str();
+    }
+    if (a.guestHash != b.guestHash) {
+        field("guestHash", a.guestHash, b.guestHash);
+        return os.str();
+    }
+    return "identical";
+}
+
+ArchSnapshot
+runIss(const GenProgram &prog, bool blockCache)
+{
+    Program p = prog.assemble();
+    Memory mem;
+    Iss iss(mem, 1, issOptions(prog, blockCache));
+    iss.loadProgram(p);
+    iss.run(kRunLimit);
+    ArchSnapshot snap = capture(iss, mem, p, prog.cfg.vlenBits);
+    snap.ran = iss.halted();
+    return snap;
+}
+
+ArchSnapshot
+runSystem(const GenProgram &prog)
+{
+    Program p = prog.assemble();
+    SystemConfig cfg;
+    cfg.numCores = 1;
+    cfg.iss = issOptions(prog, true);
+    // CoreParams carries its own VLEN for the timing model and System
+    // prefers it over the IssOptions one — keep them in lockstep.
+    cfg.core.vlenBits = prog.cfg.vlenBits;
+    cfg.maxInsts = kRunLimit;
+    System sys(cfg);
+    sys.loadProgram(p);
+    RunResult r = sys.run();
+    ArchSnapshot snap =
+        capture(sys.iss(), sys.memory(), p, prog.cfg.vlenBits);
+    snap.ran = r.stop == StopReason::Halted;
+    return snap;
+}
+
+DiffResult
+checkProgram(const GenProgram &prog)
+{
+    DiffResult res;
+    ArchSnapshot a = runIss(prog, true);
+    if (!a.ran || !a.halted) {
+        res.ok = false;
+        res.what = "program did not halt on the block-cache ISS path";
+        return res;
+    }
+    ArchSnapshot b = runIss(prog, false);
+    if (!(a == b)) {
+        res.ok = false;
+        res.what = "block-cache vs legacy decode: " + describeDiff(a, b);
+        return res;
+    }
+    ArchSnapshot c = runSystem(prog);
+    if (!(a == c)) {
+        res.ok = false;
+        res.what = "ISS-only vs timing System: " + describeDiff(a, c);
+        return res;
+    }
+    if (prog.hasExpectHash && a.guestHash != prog.expectHash) {
+        std::ostringstream os;
+        os << std::hex << "golden hash mismatch: expected "
+           << prog.expectHash << ", got " << a.guestHash;
+        res.ok = false;
+        res.what = os.str();
+        return res;
+    }
+    return res;
+}
+
+std::vector<ArchSnapshot>
+runBatch(const std::vector<GenProgram> &progs, unsigned jobs)
+{
+    std::vector<ArchSnapshot> out(progs.size());
+    parallelFor(progs.size(), jobs,
+                [&](size_t i) { out[i] = runIss(progs[i], true); });
+    return out;
+}
+
+} // namespace xt910::check

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Differential lockstep harness: run one generated program along
+ * execution paths that must produce bit-identical architectural
+ * results, and diff everything observable at the end.
+ *
+ * Paths compared per program:
+ *   A  ISS, predecoded block-cache fast path (the default engine)
+ *   B  ISS, legacy per-PC decode cache (blockCache = false)
+ *   C  full System run — ISS oracle + timing core + coherent memory
+ *
+ * plus, across a batch, running path A under worker counts 1 and N
+ * (the run farm must be invisible in results).
+ *
+ * A snapshot deliberately excludes anything legitimately
+ * timing-dependent: the cycle/time CSRs differ between ISS-only and
+ * System runs by design (System installs a cycleSource), so the
+ * generator never reads them and the differ never compares them.
+ */
+
+#ifndef XT910_CHECK_DIFFER_H
+#define XT910_CHECK_DIFFER_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/progen.h"
+
+namespace xt910::check
+{
+
+/** Everything compared across paths at end of run. */
+struct ArchSnapshot
+{
+    bool ran = false;    ///< program assembled and halted cleanly
+    bool halted = false;
+    int exitCode = 0;
+    Addr pc = 0;
+    uint64_t instret = 0;
+    uint64_t trapCount = 0;
+    std::array<uint64_t, 32> x{};
+    std::array<uint64_t, 32> f{};
+    std::vector<uint8_t> v;  ///< all 32 vregs, vlenBytes each
+    uint64_t vl = 0;
+    unsigned vsew = 0, vlmul = 0;
+    std::array<uint64_t, 8> csrs{}; ///< whitelisted CSR values
+    uint64_t memHash = 0;    ///< FNV over the whole program image range
+    uint64_t guestHash = 0;  ///< the epilogue's own fold at "result"
+
+    bool operator==(const ArchSnapshot &) const = default;
+};
+
+/** First differing component, as a human-readable string. */
+std::string describeDiff(const ArchSnapshot &a, const ArchSnapshot &b);
+
+/** Run @p prog through a pure-ISS engine. */
+ArchSnapshot runIss(const GenProgram &prog, bool blockCache);
+
+/** Run @p prog through a full System (timing + memory hierarchy). */
+ArchSnapshot runSystem(const GenProgram &prog);
+
+/** Outcome of a differential check. */
+struct DiffResult
+{
+    bool ok = true;
+    std::string what; ///< pair + first difference when !ok
+};
+
+/**
+ * Run all three engine paths on @p prog and diff the snapshots; also
+ * checks the reproducer's golden hash when present.
+ */
+DiffResult checkProgram(const GenProgram &prog);
+
+/** Path-A snapshots for a batch, computed on @p jobs workers. */
+std::vector<ArchSnapshot> runBatch(const std::vector<GenProgram> &progs,
+                                   unsigned jobs);
+
+} // namespace xt910::check
+
+#endif // XT910_CHECK_DIFFER_H

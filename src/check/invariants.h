@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Compile-time-gated microarchitectural invariant checks. Define
+ * XT910_CHECK_INVARIANTS to turn XT_INVARIANT into a hard check that
+ * aborts the simulation with a precise message; without the define the
+ * macro compiles to nothing, so hot paths carry no cost in normal
+ * builds.
+ *
+ * The invariants asserted around the codebase (grep XT_INVARIANT):
+ *  - top-down slot accounting sums to retireWidth x cycles
+ *  - ROB entries retire in non-decreasing cycle order
+ *  - load-queue and store-queue retirement ages are monotonic
+ *  - the shared L2 stays inclusive of every L1 fill
+ *  - MOESI lines only make legal state transitions
+ *
+ * The tier-1 target test_invariants recompiles the core, memory and
+ * observability layers with the define on and drives whole programs
+ * through System, so a regression that breaks any of these fails CI
+ * even though release builds never evaluate the conditions.
+ */
+
+#ifndef XT910_CHECK_INVARIANTS_H
+#define XT910_CHECK_INVARIANTS_H
+
+#include "common/log.h"
+
+#ifdef XT910_CHECK_INVARIANTS
+/** Abort unless @p cond holds; message parts are concat()-style. */
+#define XT_INVARIANT(cond, ...)                                               \
+    do {                                                                      \
+        if (!(cond))                                                          \
+            xt_panic("invariant violated: " #cond " -- ", __VA_ARGS__);       \
+    } while (0)
+#else
+#define XT_INVARIANT(cond, ...) ((void)0)
+#endif
+
+#endif // XT910_CHECK_INVARIANTS_H

@@ -1,0 +1,603 @@
+/** @file See progen.h. */
+
+#include "check/progen.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/log.h"
+#include "common/random.h"
+#include "func/csr.h"
+#include "isa/vtype.h"
+
+namespace xt910::check
+{
+
+using namespace reg;
+
+namespace
+{
+
+/**
+ * Reserved registers the generator never writes:
+ *   x0       architectural zero
+ *   x2  sp   stack pointer (constant; kept sane for debuggability)
+ *   x8  s0   data-region base — every memory item addresses off it
+ *   x29 t4 / x30 t5 / x31 t6   item-internal scratch (addresses, loop
+ *            counters); items may still *read* them.
+ */
+constexpr unsigned kWritable[] = {1,  3,  4,  5,  6,  7,  9,  10, 11,
+                                  12, 13, 14, 15, 16, 17, 18, 19, 20,
+                                  21, 22, 23, 24, 25, 26, 27, 28};
+
+XReg wx(uint64_t v) { return x(kWritable[v % std::size(kWritable)]); }
+XReg rx(uint64_t v) { return x(unsigned(v % 32)); }
+FReg fr(uint64_t v) { return f(unsigned(v % 32)); }
+VReg vr(uint64_t n) { return reg::v(unsigned(n % 8)); }
+
+int64_t imm12(uint64_t v) { return int64_t(v % 4096) - 2048; }
+unsigned sh6(uint64_t v) { return unsigned(v % 64); }
+unsigned sh5(uint64_t v) { return unsigned(v % 32); }
+
+/** Scalar memory window: direct imm12 offsets off s0, so cap at 2 KiB. */
+uint32_t
+scalarWindow(const GenConfig &c)
+{
+    return std::min<uint32_t>(c.dataBytes, 2048);
+}
+
+/** Aligned offset into the scalar window for an access of @p size. */
+int64_t
+offA(uint64_t v, unsigned size, const GenConfig &c)
+{
+    return int64_t((v % (scalarWindow(c) / size)) * size);
+}
+
+/** Aligned offset anywhere in the data region (loaded via li+add). */
+int64_t
+offWide(uint64_t v, uint32_t reserveTail, const GenConfig &c)
+{
+    uint32_t slots = (c.dataBytes - reserveTail) / 8;
+    return int64_t((v % slots) * 8);
+}
+
+std::string
+lbl(const char *prefix, size_t idx)
+{
+    return std::string(prefix) + std::to_string(idx);
+}
+
+constexpr unsigned kSews[] = {8, 16, 32, 64};
+
+struct Ctx
+{
+    size_t idx;
+    const GenConfig &cfg;
+};
+
+using EmitFn = void (*)(Assembler &, const GenItem &, const Ctx &);
+
+struct OpDef
+{
+    const char *name;
+    EmitFn emit;
+};
+
+// Generic emitter shapes, instantiated per opcode below.
+#define OP_RRR(NAME, M)                                                       \
+    {NAME, [](Assembler &a, const GenItem &it, const Ctx &) {                 \
+         a.M(wx(it.f[0]), rx(it.f[1]), rx(it.f[2]));                          \
+     }}
+#define OP_RRI(NAME, M)                                                       \
+    {NAME, [](Assembler &a, const GenItem &it, const Ctx &) {                 \
+         a.M(wx(it.f[0]), rx(it.f[1]), imm12(it.f[2]));                       \
+     }}
+#define OP_SH(NAME, M, SH)                                                    \
+    {NAME, [](Assembler &a, const GenItem &it, const Ctx &) {                 \
+         a.M(wx(it.f[0]), rx(it.f[1]), SH(it.f[2]));                         \
+     }}
+#define OP_LOAD(NAME, M, SZ)                                                  \
+    {NAME, [](Assembler &a, const GenItem &it, const Ctx &c) {                \
+         a.M(wx(it.f[0]), s0, offA(it.f[1], SZ, c.cfg));                      \
+     }}
+#define OP_STORE(NAME, M, SZ)                                                 \
+    {NAME, [](Assembler &a, const GenItem &it, const Ctx &c) {                \
+         a.M(rx(it.f[0]), s0, offA(it.f[1], SZ, c.cfg));                      \
+     }}
+#define OP_FLOAD(NAME, M, SZ)                                                 \
+    {NAME, [](Assembler &a, const GenItem &it, const Ctx &c) {                \
+         a.M(fr(it.f[0]), s0, offA(it.f[1], SZ, c.cfg));                      \
+     }}
+#define OP_FFF(NAME, M)                                                       \
+    {NAME, [](Assembler &a, const GenItem &it, const Ctx &) {                 \
+         a.M(fr(it.f[0]), fr(it.f[1]), fr(it.f[2]));                          \
+     }}
+#define OP_FF(NAME, M)                                                        \
+    {NAME, [](Assembler &a, const GenItem &it, const Ctx &) {                 \
+         a.M(fr(it.f[0]), fr(it.f[1]));                                       \
+     }}
+#define OP_XF(NAME, M)                                                        \
+    {NAME, [](Assembler &a, const GenItem &it, const Ctx &) {                 \
+         a.M(wx(it.f[0]), fr(it.f[1]));                                       \
+     }}
+#define OP_FX(NAME, M)                                                        \
+    {NAME, [](Assembler &a, const GenItem &it, const Ctx &) {                 \
+         a.M(fr(it.f[0]), rx(it.f[1]));                                       \
+     }}
+#define OP_XFF(NAME, M)                                                       \
+    {NAME, [](Assembler &a, const GenItem &it, const Ctx &) {                 \
+         a.M(wx(it.f[0]), fr(it.f[1]), fr(it.f[2]));                          \
+     }}
+
+const std::vector<OpDef> &
+opTable()
+{
+    static const std::vector<OpDef> t = {
+        // Integer register-register.
+        OP_RRR("add", add), OP_RRR("sub", sub), OP_RRR("sll", sll),
+        OP_RRR("slt", slt), OP_RRR("sltu", sltu), OP_RRR("xor", xor_),
+        OP_RRR("srl", srl), OP_RRR("sra", sra), OP_RRR("or", or_),
+        OP_RRR("and", and_), OP_RRR("addw", addw), OP_RRR("subw", subw),
+        OP_RRR("mul", mul), OP_RRR("mulh", mulh), OP_RRR("mulhu", mulhu),
+        OP_RRR("div", div), OP_RRR("divu", divu), OP_RRR("rem", rem),
+        OP_RRR("remu", remu), OP_RRR("mulw", mulw), OP_RRR("divw", divw),
+        OP_RRR("remw", remw),
+        // Integer immediates and constants.
+        OP_RRI("addi", addi), OP_RRI("andi", andi), OP_RRI("ori", ori),
+        OP_RRI("xori", xori), OP_RRI("slti", slti), OP_RRI("addiw", addiw),
+        OP_SH("slli", slli, sh6), OP_SH("srli", srli, sh6),
+        OP_SH("srai", srai, sh6), OP_SH("slliw", slliw, sh5),
+        {"li",
+         [](Assembler &a, const GenItem &it, const Ctx &) {
+             a.li(wx(it.f[0]), int64_t(it.f[1]));
+         }},
+        // Scalar memory (bounded offsets off the data base s0).
+        OP_LOAD("lb", lb, 1), OP_LOAD("lbu", lbu, 1), OP_LOAD("lh", lh, 2),
+        OP_LOAD("lhu", lhu, 2), OP_LOAD("lw", lw, 4), OP_LOAD("lwu", lwu, 4),
+        OP_LOAD("ld", ld, 8), OP_STORE("sb", sb, 1), OP_STORE("sh", sh, 2),
+        OP_STORE("sw", sw, 4), OP_STORE("sd", sd, 8),
+        OP_FLOAD("flw", flw, 4), OP_FLOAD("fld", fld, 8),
+        OP_FLOAD("fsw", fsw, 4), OP_FLOAD("fsd", fsd, 8),
+        // Scalar FP arithmetic.
+        OP_FFF("fadd_s", fadd_s), OP_FFF("fsub_s", fsub_s),
+        OP_FFF("fmul_s", fmul_s), OP_FFF("fdiv_s", fdiv_s),
+        OP_FFF("fadd_d", fadd_d), OP_FFF("fsub_d", fsub_d),
+        OP_FFF("fmul_d", fmul_d), OP_FFF("fdiv_d", fdiv_d),
+        OP_FF("fsqrt_d", fsqrt_d),
+        OP_FFF("fmin_s", fmin_s), OP_FFF("fmax_s", fmax_s),
+        OP_FFF("fmin_d", fmin_d), OP_FFF("fmax_d", fmax_d),
+        OP_FFF("fsgnj_s", fsgnj_s), OP_FFF("fsgnj_d", fsgnj_d),
+        {"fmadd_d",
+         [](Assembler &a, const GenItem &it, const Ctx &) {
+             a.fmadd_d(fr(it.f[0]), fr(it.f[1]), fr(it.f[2]), fr(it.f[3]));
+         }},
+        {"fmsub_d",
+         [](Assembler &a, const GenItem &it, const Ctx &) {
+             a.fmsub_d(fr(it.f[0]), fr(it.f[1]), fr(it.f[2]), fr(it.f[3]));
+         }},
+        // FP moves, conversions, comparisons, classification. fmv_d_x
+        // of raw entropy regularly produces non-NaN-boxed singles and
+        // signalling NaNs, which is exactly what the NaN-box and
+        // canonical-NaN fixes are fuzzed against.
+        OP_FX("fmv_d_x", fmv_d_x), OP_FX("fmv_w_x", fmv_w_x),
+        OP_XF("fmv_x_d", fmv_x_d), OP_XF("fmv_x_w", fmv_x_w),
+        OP_XF("fcvt_w_s", fcvt_w_s), OP_XF("fcvt_wu_s", fcvt_wu_s),
+        OP_XF("fcvt_l_s", fcvt_l_s), OP_XF("fcvt_lu_s", fcvt_lu_s),
+        OP_XF("fcvt_w_d", fcvt_w_d), OP_XF("fcvt_wu_d", fcvt_wu_d),
+        OP_XF("fcvt_l_d", fcvt_l_d), OP_XF("fcvt_lu_d", fcvt_lu_d),
+        OP_FX("fcvt_s_w", fcvt_s_w), OP_FX("fcvt_s_l", fcvt_s_l),
+        OP_FX("fcvt_d_w", fcvt_d_w), OP_FX("fcvt_d_l", fcvt_d_l),
+        OP_FF("fcvt_s_d", fcvt_s_d), OP_FF("fcvt_d_s", fcvt_d_s),
+        OP_XF("fclass_s", fclass_s), OP_XF("fclass_d", fclass_d),
+        OP_XFF("feq_s", feq_s), OP_XFF("flt_s", flt_s),
+        OP_XFF("fle_s", fle_s), OP_XFF("feq_d", feq_d),
+        OP_XFF("flt_d", flt_d), OP_XFF("fle_d", fle_d),
+        // XT-910 custom scalar extension.
+        {"xt_addsl",
+         [](Assembler &a, const GenItem &it, const Ctx &) {
+             a.xt_addsl(wx(it.f[0]), rx(it.f[1]), rx(it.f[2]),
+                        unsigned(it.f[3] % 4));
+         }},
+        {"xt_ext",
+         [](Assembler &a, const GenItem &it, const Ctx &) {
+             unsigned msb = sh6(it.f[2]);
+             a.xt_ext(wx(it.f[0]), rx(it.f[1]), msb,
+                      unsigned(it.f[3] % (msb + 1)));
+         }},
+        {"xt_extu",
+         [](Assembler &a, const GenItem &it, const Ctx &) {
+             unsigned msb = sh6(it.f[2]);
+             a.xt_extu(wx(it.f[0]), rx(it.f[1]), msb,
+                       unsigned(it.f[3] % (msb + 1)));
+         }},
+        {"xt_ff0",
+         [](Assembler &a, const GenItem &it, const Ctx &) {
+             a.xt_ff0(wx(it.f[0]), rx(it.f[1]));
+         }},
+        {"xt_ff1",
+         [](Assembler &a, const GenItem &it, const Ctx &) {
+             a.xt_ff1(wx(it.f[0]), rx(it.f[1]));
+         }},
+        {"xt_rev",
+         [](Assembler &a, const GenItem &it, const Ctx &) {
+             a.xt_rev(wx(it.f[0]), rx(it.f[1]));
+         }},
+        {"xt_tstnbz",
+         [](Assembler &a, const GenItem &it, const Ctx &) {
+             a.xt_tstnbz(wx(it.f[0]), rx(it.f[1]));
+         }},
+        OP_SH("xt_srri", xt_srri, sh6),
+        OP_RRR("xt_mula", xt_mula), OP_RRR("xt_muls", xt_muls),
+        {"xt_lrw",
+         [](Assembler &a, const GenItem &it, const Ctx &c) {
+             unsigned sh2 = unsigned(it.f[3] % 4);
+             uint64_t bound = (scalarWindow(c.cfg) - 8) >> sh2;
+             a.li(t5, int64_t(it.f[2] % bound));
+             a.xt_lrw(wx(it.f[0]), s0, t5, sh2);
+         }},
+        {"xt_srd",
+         [](Assembler &a, const GenItem &it, const Ctx &c) {
+             uint64_t bound = scalarWindow(c.cfg) / 8;
+             a.li(t5, int64_t((it.f[2] % bound)));
+             a.xt_srd(rx(it.f[0]), s0, t5, 3);
+         }},
+        // Atomics on 8-aligned addresses anywhere in the data region.
+        {"amo",
+         [](Assembler &a, const GenItem &it, const Ctx &c) {
+             a.li(t5, offWide(it.f[1], 0, c.cfg));
+             a.add(t5, t5, s0);
+             XReg rd = wx(it.f[2]), rs = rx(it.f[3]);
+             switch (it.f[0] % 5) {
+               case 0: a.amoadd_d(rd, rs, t5); break;
+               case 1: a.amoswap_w(rd, rs, t5); break;
+               case 2: a.amoor_d(rd, rs, t5); break;
+               case 3: a.amoand_d(rd, rs, t5); break;
+               default: a.amomax_d(rd, rs, t5); break;
+             }
+         }},
+        {"lrsc",
+         [](Assembler &a, const GenItem &it, const Ctx &c) {
+             a.li(t5, offWide(it.f[0], 0, c.cfg));
+             a.add(t5, t5, s0);
+             a.lr_d(wx(it.f[1]), t5);
+             a.sc_d(wx(it.f[2]), rx(it.f[3]), t5);
+         }},
+        // CSR traffic through the benign scratch register.
+        {"csr",
+         [](Assembler &a, const GenItem &it, const Ctx &) {
+             if (it.f[0] % 2)
+                 a.csrw(csr::mscratch, rx(it.f[1]));
+             else
+                 a.csrr(wx(it.f[1]), csr::mscratch);
+         }},
+        // Decode-cache flush pressure.
+        {"fence",
+         [](Assembler &a, const GenItem &it, const Ctx &) {
+             if (it.f[0] % 2)
+                 a.fence_i();
+             else
+                 a.fence();
+         }},
+        // Vector config + arithmetic (v0..v7, LMUL=1).
+        {"vec_arith",
+         [](Assembler &a, const GenItem &it, const Ctx &) {
+             a.li(t6, int64_t(1 + it.f[0] % 32));
+             a.vsetvli(t6, t6, VType{kSews[(it.f[0] >> 8) % 4], 1});
+             VReg vd = vr(it.f[1]), s2v = vr(it.f[2]), s1v = vr(it.f[3]);
+             switch ((it.f[1] >> 16) % 9) {
+               case 0: a.vadd_vv(vd, s2v, s1v); break;
+               case 1: a.vsub_vv(vd, s2v, s1v); break;
+               case 2: a.vand_vv(vd, s2v, s1v); break;
+               case 3: a.vor_vv(vd, s2v, s1v); break;
+               case 4: a.vxor_vv(vd, s2v, s1v); break;
+               case 5: a.vmul_vv(vd, s2v, s1v); break;
+               case 6: a.vmin_vv(vd, s2v, s1v); break;
+               case 7: a.vmax_vv(vd, s2v, s1v); break;
+               default: a.vredsum_vs(vd, s2v, s1v); break;
+             }
+         }},
+        {"vec_mv",
+         [](Assembler &a, const GenItem &it, const Ctx &) {
+             a.li(t6, int64_t(1 + it.f[0] % 16));
+             a.vsetvli(t6, t6, VType{64, 1});
+             switch (it.f[0] % 3) {
+               case 0: a.vmv_v_x(vr(it.f[1]), rx(it.f[2])); break;
+               case 1: a.vmv_x_s(wx(it.f[2]), vr(it.f[1])); break;
+               default: a.vmv_s_x(vr(it.f[1]), rx(it.f[2])); break;
+             }
+         }},
+        // Unit-stride vector load/compute/store inside the region.
+        {"vec_mem",
+         [](Assembler &a, const GenItem &it, const Ctx &c) {
+             unsigned vlenB = c.cfg.vlenBits / 8;
+             a.li(t6, int64_t(1 + it.f[0] % 64));
+             a.vsetvli(t6, t6, VType{kSews[(it.f[0] >> 8) % 4], 1});
+             a.li(t5, offWide(it.f[1], vlenB, c.cfg));
+             a.add(t5, t5, s0);
+             a.vle(vr(it.f[2]), t5);
+             a.vadd_vv(vr(it.f[3]), vr(it.f[2]), vr(it.f[3]));
+             a.vse(vr(it.f[3]), t5);
+         }},
+        // Forward skip over one filler instruction.
+        {"branch",
+         [](Assembler &a, const GenItem &it, const Ctx &c) {
+             std::string skip = lbl("skip_", c.idx);
+             XReg r1 = rx(it.f[1]), r2 = rx(it.f[2]);
+             switch (it.f[0] % 6) {
+               case 0: a.beq(r1, r2, skip); break;
+               case 1: a.bne(r1, r2, skip); break;
+               case 2: a.blt(r1, r2, skip); break;
+               case 3: a.bge(r1, r2, skip); break;
+               case 4: a.bltu(r1, r2, skip); break;
+               default: a.bgeu(r1, r2, skip); break;
+             }
+             a.addi(wx(it.f[3]), wx(it.f[3]), 1);
+             a.label(skip);
+         }},
+        // Bounded counted loop on the private counter t6.
+        {"loop",
+         [](Assembler &a, const GenItem &it, const Ctx &c) {
+             std::string head = lbl("loop_", c.idx);
+             a.li(t6, int64_t(1 + it.f[0] % 7));
+             a.label(head);
+             a.add(wx(it.f[1]), wx(it.f[1]), rx(it.f[2]));
+             a.xor_(wx(it.f[3]), wx(it.f[3]), t6);
+             a.addi(t6, t6, -1);
+             a.bnez(t6, head);
+         }},
+        // Store-to-code of the very bytes already there: semantically a
+        // no-op, but it forces the decode caches through their
+        // self-modifying-code invalidation path on every engine.
+        {"smc",
+         [](Assembler &a, const GenItem &it, const Ctx &c) {
+             std::string tgt = lbl("smc_", c.idx);
+             a.la(t5, tgt);
+             a.lw(t4, t5, 0);
+             a.sw(t4, t5, 0);
+             a.label(tgt);
+             a.addi(wx(it.f[0]), wx(it.f[0]), 1);
+         }},
+    };
+    return t;
+}
+
+#undef OP_RRR
+#undef OP_RRI
+#undef OP_SH
+#undef OP_LOAD
+#undef OP_STORE
+#undef OP_FLOAD
+#undef OP_FFF
+#undef OP_FF
+#undef OP_XF
+#undef OP_FX
+#undef OP_XFF
+
+const OpDef *
+findOp(const std::string &name)
+{
+    for (const OpDef &d : opTable())
+        if (name == d.name)
+            return &d;
+    return nullptr;
+}
+
+/** Hash-fold constant shared by the guest epilogue and any host code
+ *  that wants to predict it. */
+constexpr uint64_t kFoldPrime = 0x9e3779b97f4a7c15ull;
+
+} // namespace
+
+const std::vector<std::string> &
+opNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> v;
+        for (const OpDef &d : opTable())
+            v.push_back(d.name);
+        return v;
+    }();
+    return names;
+}
+
+GenProgram
+generate(const GenConfig &cfg)
+{
+    GenProgram p;
+    p.cfg = cfg;
+    Xorshift64 rng(cfg.seed);
+    const auto &table = opTable();
+    p.items.reserve(cfg.numItems);
+    for (unsigned i = 0; i < cfg.numItems; ++i) {
+        GenItem it;
+        it.op = table[rng.below(table.size())].name;
+        for (auto &fld : it.f)
+            fld = rng.next();
+        p.items.push_back(std::move(it));
+    }
+    return p;
+}
+
+Program
+GenProgram::assemble() const
+{
+    xt_assert(cfg.dataBytes >= 2048 && cfg.dataBytes % 8 == 0,
+              "fuzz data region must be >= 2 KiB and 8-byte sized");
+    const unsigned vlenB = cfg.vlenBits / 8;
+    Assembler a;
+
+    // ---- prologue: data base + seeded architectural entropy ---------
+    a.la(s0, "data");
+    Xorshift64 rng(cfg.seed ^ 0xa5a5a5a5a5a5a5a5ull);
+    for (unsigned r : kWritable)
+        a.li(x(r), int64_t(rng.next()));
+    for (unsigned i = 0; i < 32; ++i) {
+        a.li(t6, int64_t(rng.next()));
+        a.fmv_d_x(f(i), t6);
+    }
+    a.li(t6, 0);
+    a.vsetvli(t6, zero, VType{64, 1});
+    for (unsigned i = 0; i < 8; ++i) {
+        a.li(t5, int64_t(rng.next()));
+        a.vmv_v_x(reg::v(i), t5);
+    }
+    a.li(t5, int64_t(rng.next()));
+    a.csrw(csr::mscratch, t5);
+
+    // ---- generated body ---------------------------------------------
+    for (size_t i = 0; i < items.size(); ++i) {
+        const OpDef *d = findOp(items[i].op);
+        xt_assert(d, "unknown fuzz op '", items[i].op, "'");
+        d->emit(a, items[i], Ctx{i, cfg});
+    }
+
+    // ---- epilogue: fold final state into one word at "result" -------
+    // Integer registers first (x29/x30 are the fold scratch).
+    a.li(t5, 0);
+    a.li(t4, int64_t(kFoldPrime));
+    for (unsigned r = 1; r < 32; ++r) {
+        if (r == 29 || r == 30)
+            continue;
+        a.xor_(t5, t5, x(r));
+        a.mul(t5, t5, t4);
+    }
+    // FP registers (t6's old value is already folded).
+    for (unsigned i = 0; i < 32; ++i) {
+        a.fmv_x_d(t6, f(i));
+        a.xor_(t5, t5, t6);
+        a.mul(t5, t5, t4);
+    }
+    // The scratch CSR.
+    a.csrr(t6, csr::mscratch);
+    a.xor_(t5, t5, t6);
+    a.mul(t5, t5, t4);
+    // Vector registers: dump raw bytes into the vdump area, which the
+    // memory fold below then covers.
+    a.vsetvli(t6, zero, VType{8, 1}); // vl = VLEN/8 bytes
+    a.la(t4, "vdump");
+    for (unsigned i = 0; i < 8; ++i) {
+        a.vse(reg::v(i), t4);
+        a.addi(t4, t4, int64_t(vlenB));
+    }
+    // Fold the whole data + vdump range, 8 bytes at a time.
+    a.li(t2, int64_t(kFoldPrime));
+    a.la(t4, "data");
+    a.la(t3, "memend");
+    a.label("memfold");
+    a.ld(t6, t4, 0);
+    a.xor_(t5, t5, t6);
+    a.mul(t5, t5, t2);
+    a.addi(t4, t4, 8);
+    a.bltu(t4, t3, "memfold");
+    a.la(t4, "result");
+    a.sd(t5, t4, 0);
+    a.ebreak();
+
+    // ---- data: seeded fill, vector dump area, result word ----------
+    a.align(8);
+    a.label("data");
+    {
+        Xorshift64 fill(cfg.seed ^ 0x3c3c3c3c3c3c3c3cull);
+        std::vector<uint8_t> bytes(cfg.dataBytes);
+        for (uint32_t i = 0; i < cfg.dataBytes; i += 8) {
+            uint64_t w = fill.next();
+            for (unsigned b = 0; b < 8; ++b)
+                bytes[i + b] = uint8_t(w >> (8 * b));
+        }
+        a.bytes(bytes);
+    }
+    a.label("vdump");
+    a.zero(8 * size_t(vlenB));
+    a.label("memend");
+    a.label("result");
+    a.dword(0);
+    return a.assemble();
+}
+
+void
+dumpReproducer(std::ostream &os, const GenProgram &p)
+{
+    os << "xtfuzz 1\n";
+    os << "seed " << p.cfg.seed << "\n";
+    os << "vlen " << p.cfg.vlenBits << "\n";
+    os << "databytes " << p.cfg.dataBytes << "\n";
+    if (p.hasExpectHash) {
+        os << "expect-xhash " << std::hex << p.expectHash << std::dec
+           << "\n";
+    }
+    for (const GenItem &it : p.items) {
+        os << "item " << it.op << std::hex;
+        for (uint64_t fld : it.f)
+            os << " " << fld;
+        os << std::dec << "\n";
+    }
+    os << "end\n";
+}
+
+bool
+parseReproducer(std::istream &is, GenProgram &out, std::string &err)
+{
+    out = GenProgram{};
+    std::string line;
+    if (!std::getline(is, line) || line != "xtfuzz 1") {
+        err = "missing 'xtfuzz 1' header";
+        return false;
+    }
+    bool sawEnd = false;
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        std::string key;
+        ls >> key;
+        if (key == "seed") {
+            ls >> out.cfg.seed;
+        } else if (key == "vlen") {
+            ls >> out.cfg.vlenBits;
+        } else if (key == "databytes") {
+            ls >> out.cfg.dataBytes;
+        } else if (key == "expect-xhash") {
+            ls >> std::hex >> out.expectHash >> std::dec;
+            out.hasExpectHash = true;
+        } else if (key == "item") {
+            GenItem it;
+            ls >> it.op;
+            for (auto &fld : it.f)
+                ls >> std::hex >> fld >> std::dec;
+            if (!findOp(it.op)) {
+                err = "unknown op '" + it.op + "'";
+                return false;
+            }
+            if (ls.fail()) {
+                err = "malformed item line: " + line;
+                return false;
+            }
+            out.items.push_back(std::move(it));
+        } else if (key == "end") {
+            sawEnd = true;
+            break;
+        } else {
+            err = "unknown directive '" + key + "'";
+            return false;
+        }
+        if (ls.fail()) {
+            err = "malformed line: " + line;
+            return false;
+        }
+    }
+    if (!sawEnd) {
+        err = "missing 'end'";
+        return false;
+    }
+    if (out.cfg.vlenBits < 64 || out.cfg.vlenBits > 2048 ||
+        out.cfg.dataBytes < 2048 || out.cfg.dataBytes % 8) {
+        err = "config out of range";
+        return false;
+    }
+    out.cfg.numItems = unsigned(out.items.size());
+    return true;
+}
+
+} // namespace xt910::check

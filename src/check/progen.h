@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Constrained random-program generation for the differential fuzzer.
+ *
+ * A generated program is a list of self-contained *items* bracketed by
+ * a fixed prologue/epilogue. Every item is valid and terminating in
+ * isolation — memory accesses go through the reserved data-base
+ * register with bounded offsets, loops count a private scratch
+ * register down from a small constant, branches only skip forward
+ * within their own item — so the shrinker can drop any subset of items
+ * and the remainder is still a legal, halting program.
+ *
+ * Items carry a stable operation *name* plus raw operand fields; the
+ * emitter maps fields into valid ranges. That makes every possible
+ * field value legal, keeps reproducer files readable, and means a
+ * dumped program re-assembles identically on any future build as long
+ * as the op names still exist.
+ *
+ * The epilogue folds the integer, FP and vector register files, the
+ * data region and the scratch CSR into one 64-bit hash and stores it
+ * at the "result" symbol, so a single memory word witnesses the whole
+ * final architectural state.
+ */
+
+#ifndef XT910_CHECK_PROGEN_H
+#define XT910_CHECK_PROGEN_H
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "xasm/assembler.h"
+
+namespace xt910::check
+{
+
+/** Generation parameters (all deterministic from the seed). */
+struct GenConfig
+{
+    uint64_t seed = 1;
+    unsigned vlenBits = 128;
+    unsigned numItems = 48;
+    /** Sandboxed read/write data region size, bytes (multiple of 8). */
+    uint32_t dataBytes = 4096;
+};
+
+/** One generator item: op name + raw operand entropy. */
+struct GenItem
+{
+    std::string op;
+    std::array<uint64_t, 4> f{};
+};
+
+/** A generated (or replayed) program. */
+struct GenProgram
+{
+    GenConfig cfg;
+    std::vector<GenItem> items;
+    /** Golden guest hash from a reproducer file (0 when absent). */
+    uint64_t expectHash = 0;
+    bool hasExpectHash = false;
+
+    /** Prologue + items + epilogue + data, ready to load. */
+    Program assemble() const;
+};
+
+/** Draw a fresh random program. */
+GenProgram generate(const GenConfig &cfg);
+
+/** All operation names the generator can draw from (for tests). */
+const std::vector<std::string> &opNames();
+
+/** Serialize @p p as a reproducer ("xtfuzz 1" text format). */
+void dumpReproducer(std::ostream &os, const GenProgram &p);
+
+/** Parse a reproducer; false + @p err on malformed input. */
+bool parseReproducer(std::istream &is, GenProgram &out, std::string &err);
+
+} // namespace xt910::check
+
+#endif // XT910_CHECK_PROGEN_H

@@ -1,0 +1,63 @@
+/** @file See shrink.h. */
+
+#include "check/shrink.h"
+
+#include <algorithm>
+
+namespace xt910::check
+{
+
+namespace
+{
+
+GenProgram
+withoutRange(const GenProgram &p, size_t lo, size_t hi)
+{
+    GenProgram q;
+    q.cfg = p.cfg;
+    q.expectHash = p.expectHash;
+    q.hasExpectHash = p.hasExpectHash;
+    q.items.reserve(p.items.size() - (hi - lo));
+    for (size_t i = 0; i < p.items.size(); ++i)
+        if (i < lo || i >= hi)
+            q.items.push_back(p.items[i]);
+    q.cfg.numItems = unsigned(q.items.size());
+    return q;
+}
+
+} // namespace
+
+GenProgram
+shrinkProgram(const GenProgram &prog, const FailPredicate &fails,
+              unsigned maxEvals)
+{
+    GenProgram cur = prog;
+    unsigned evals = 0;
+    size_t granularity = 2;
+    while (cur.items.size() >= 2 && granularity <= cur.items.size() &&
+           evals < maxEvals) {
+        const size_t n = cur.items.size();
+        const size_t chunk = std::max<size_t>(1, n / granularity);
+        bool removedAny = false;
+        for (size_t lo = 0; lo < n && evals < maxEvals; lo += chunk) {
+            size_t hi = std::min(n, lo + chunk);
+            GenProgram cand = withoutRange(cur, lo, hi);
+            if (cand.items.empty())
+                continue;
+            ++evals;
+            if (fails(cand)) {
+                cur = std::move(cand);
+                removedAny = true;
+                break; // indices shifted; rescan at same granularity
+            }
+        }
+        if (!removedAny) {
+            if (chunk == 1)
+                break; // 1-minimal
+            granularity = std::min(granularity * 2, cur.items.size());
+        }
+    }
+    return cur;
+}
+
+} // namespace xt910::check

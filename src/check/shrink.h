@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Delta-debugging (ddmin) minimizer for failing fuzz programs.
+ * Because every generator item is self-contained (see progen.h),
+ * removing an arbitrary subset of items always leaves a legal,
+ * terminating program — so shrinking is a pure search over item
+ * subsets, no re-validation pass needed.
+ */
+
+#ifndef XT910_CHECK_SHRINK_H
+#define XT910_CHECK_SHRINK_H
+
+#include <functional>
+
+#include "check/progen.h"
+
+namespace xt910::check
+{
+
+/** True when @p prog still exhibits the failure being minimized. */
+using FailPredicate = std::function<bool(const GenProgram &)>;
+
+/**
+ * Minimize @p prog with classic ddmin: repeatedly try dropping chunks
+ * of items, keeping any removal after which @p fails still holds.
+ * @p maxEvals bounds predicate evaluations so shrinking a slow
+ * failure cannot run away. The input is assumed to fail.
+ */
+GenProgram shrinkProgram(const GenProgram &prog, const FailPredicate &fails,
+                         unsigned maxEvals = 400);
+
+} // namespace xt910::check
+
+#endif // XT910_CHECK_SHRINK_H

@@ -5,6 +5,7 @@
 
 #include <array>
 
+#include "check/invariants.h"
 #include "common/bitutil.h"
 #include "common/log.h"
 #include "isa/disasm.h"
@@ -685,6 +686,9 @@ XtCore::consume(const ExecRecord &rec)
         Cycle retireC = retireBw.schedule(
             std::max(done + p.retireStages, lastRetire));
         lastRetire = retireC;
+        XT_INVARIANT(rob.empty() || rob.back() <= retireC,
+                     "ROB retire out of order at pc ", std::hex, rec.pc,
+                     ": ", std::dec, rob.back(), " > ", retireC);
         rob.push_back(retireC);
         instDone = std::max(instDone, done);
 
@@ -709,8 +713,11 @@ XtCore::consume(const ExecRecord &rec)
             traceCapture(u, nUops, rec, avail, decodeC, renameC,
                          issueC, done, retireC);
 
-        if (di.isLoad() && !di.isStore())
+        if (di.isLoad() && !di.isStore()) {
+            XT_INVARIANT(lqRetire.empty() || lqRetire.back() <= retireC,
+                         "load queue age order at pc ", std::hex, rec.pc);
             lqRetire.push_back(retireC);
+        }
 
         if (serializes) {
             ++serializations;
@@ -732,6 +739,8 @@ XtCore::consume(const ExecRecord &rec)
         sq.push_back(e);
         if (sq.size() > p.sqEntries)
             sq.pop_front();
+        XT_INVARIANT(sqRetireQ.empty() || sqRetireQ.back() <= lastRetire,
+                     "store queue age order at pc ", std::hex, rec.pc);
         sqRetireQ.push_back(lastRetire);
         Cycle wb = lastRetire + 1;
         Addr pa = rec.memAddr;
@@ -845,6 +854,11 @@ void
 XtCore::finishRun()
 {
     topdown.finalize();
+    XT_INVARIANT(topdown.slotsAccounted() ==
+                     uint64_t(topdown.width()) * topdown.cycles(),
+                 "top-down slots ", topdown.slotsAccounted(),
+                 " != width*cycles ",
+                 uint64_t(topdown.width()) * topdown.cycles());
 }
 
 void

@@ -28,9 +28,20 @@ dToBits(double d)
     return std::bit_cast<uint64_t>(d);
 }
 
+constexpr uint32_t canonicalNanS = 0x7fc00000u;
+constexpr uint64_t canonicalNanD = 0x7ff8000000000000ull;
+
+/**
+ * NaN-box check on a single-precision register read: a 64-bit F
+ * register holds a valid single only when the upper half is all ones;
+ * any other pattern architecturally reads as the canonical quiet NaN
+ * (RISC-V F spec, "NaN Boxing of Narrower Values").
+ */
 float
 bitsToF(uint64_t b)
 {
+    if ((b >> 32) != 0xffffffffu)
+        return std::bit_cast<float>(canonicalNanS);
     return std::bit_cast<float>(uint32_t(b));
 }
 
@@ -38,6 +49,117 @@ uint64_t
 fToBits(float f)
 {
     return uint64_t(std::bit_cast<uint32_t>(f)) | 0xffffffff00000000ull;
+}
+
+/**
+ * FMIN/FMAX per the RISC-V F/D spec: a single NaN operand is ignored,
+ * both-NaN returns the canonical NaN, and ±0 are ordered by sign
+ * (fmin(-0,+0) = -0, fmax(-0,+0) = +0) — none of which std::fmin/fmax
+ * guarantee.
+ */
+template <typename F>
+F
+fpMinMax(F a, F b, bool isMax)
+{
+    constexpr bool isF = sizeof(F) == 4;
+    if (std::isnan(a) && std::isnan(b))
+        return isF ? F(std::bit_cast<float>(canonicalNanS))
+                   : F(std::bit_cast<double>(canonicalNanD));
+    if (std::isnan(a))
+        return b;
+    if (std::isnan(b))
+        return a;
+    if (a == b) {
+        // Equal values with distinct encodings are the zeros: min
+        // picks the negative one, max the positive one.
+        bool pickA = isMax ? !std::signbit(a) : std::signbit(a);
+        return pickA ? a : b;
+    }
+    return (a < b) != isMax ? a : b;
+}
+
+/**
+ * FCVT.{W,WU,L,LU}.{S,D}: truncate toward zero with the spec's
+ * saturation — NaN converts to the type's maximum, out-of-range values
+ * clamp, and negative input to an unsigned conversion gives 0. A raw
+ * C++ float→int cast is UB on every one of those inputs (flagged by
+ * -fsanitize=float-cast-overflow). Float sources widen to double
+ * exactly, so the double helpers serve both formats.
+ */
+int32_t
+cvtW(double v)
+{
+    if (std::isnan(v))
+        return INT32_MAX;
+    double t = std::trunc(v);
+    if (t >= 0x1p31)
+        return INT32_MAX;
+    if (t < -0x1p31)
+        return INT32_MIN;
+    return int32_t(t);
+}
+
+uint32_t
+cvtWu(double v)
+{
+    if (std::isnan(v))
+        return UINT32_MAX;
+    double t = std::trunc(v);
+    if (t >= 0x1p32)
+        return UINT32_MAX;
+    if (t < 0)
+        return 0;
+    return uint32_t(t);
+}
+
+int64_t
+cvtL(double v)
+{
+    if (std::isnan(v))
+        return INT64_MAX;
+    double t = std::trunc(v);
+    if (t >= 0x1p63)
+        return INT64_MAX;
+    if (t < -0x1p63)
+        return INT64_MIN;
+    return int64_t(t);
+}
+
+uint64_t
+cvtLu(double v)
+{
+    if (std::isnan(v))
+        return UINT64_MAX;
+    double t = std::trunc(v);
+    if (t >= 0x1p64)
+        return UINT64_MAX;
+    if (t < 0)
+        return 0;
+    return uint64_t(t);
+}
+
+/**
+ * FCLASS: the 10 one-hot classes, computed on the raw encoding. Going
+ * through a float→double widening (as the old implementation did)
+ * erases single-precision subnormality and quietens sNaNs, so this
+ * classifies the bit pattern directly.
+ */
+uint64_t
+fclassBits(uint64_t b, unsigned expBits, unsigned fracBits)
+{
+    const uint64_t frac = b & ((1ull << fracBits) - 1);
+    const uint64_t exp = (b >> fracBits) & ((1ull << expBits) - 1);
+    const bool neg = (b >> (expBits + fracBits)) & 1;
+    if (exp == (1ull << expBits) - 1) {
+        if (frac == 0)
+            return neg ? 1u << 0 : 1u << 7;              // ±inf
+        return (frac >> (fracBits - 1)) & 1 ? 1u << 9    // qNaN
+                                            : 1u << 8;   // sNaN
+    }
+    if (exp == 0)
+        return frac == 0 ? (neg ? 1u << 3 : 1u << 4)     // ±0
+                         : (neg ? 1u << 2 : 1u << 5);    // ±subnormal
+    return neg ? 1u << 1 : 1u << 6;                      // ±normal
 }
 
 /** Read vector element @p i of the group starting at @p base. */
@@ -968,43 +1090,40 @@ Iss::execute(ArchState &s, const DecodedInst &di, Addr pc)
         wfd(bitsToD(a ^ (b & 0x8000000000000000ull)));
         break;
       }
-      case O::FMIN_S: wfs(std::fmin(frs1(), frs2())); break;
-      case O::FMAX_S: wfs(std::fmax(frs1(), frs2())); break;
-      case O::FMIN_D: wfd(std::fmin(frd1(), frd2())); break;
-      case O::FMAX_D: wfd(std::fmax(frd1(), frd2())); break;
+      case O::FMIN_S: wfs(fpMinMax(frs1(), frs2(), false)); break;
+      case O::FMAX_S: wfs(fpMinMax(frs1(), frs2(), true)); break;
+      case O::FMIN_D: wfd(fpMinMax(frd1(), frd2(), false)); break;
+      case O::FMAX_D: wfd(fpMinMax(frd1(), frd2(), true)); break;
       case O::FEQ_S: wr(frs1() == frs2()); break;
       case O::FLT_S: wr(frs1() < frs2()); break;
       case O::FLE_S: wr(frs1() <= frs2()); break;
       case O::FEQ_D: wr(frd1() == frd2()); break;
       case O::FLT_D: wr(frd1() < frd2()); break;
       case O::FLE_D: wr(frd1() <= frd2()); break;
-      case O::FCLASS_S:
-      case O::FCLASS_D: {
-        double v = di.op == O::FCLASS_S ? double(frs1()) : frd1();
-        uint64_t cls;
-        if (std::isnan(v))
-            cls = 1 << 9;
-        else if (std::isinf(v))
-            cls = v < 0 ? 1 << 0 : 1 << 7;
-        else if (v == 0)
-            cls = std::signbit(v) ? 1 << 3 : 1 << 4;
-        else
-            cls = v < 0 ? 1 << 1 : 1 << 6;
-        wr(cls);
+      case O::FCLASS_S: {
+        // A non-NaN-boxed register reads as the canonical qNaN, which
+        // then classifies as such.
+        uint64_t b = s.f[di.rs1 & 31];
+        uint64_t sb = (b >> 32) == 0xffffffffu ? uint64_t(uint32_t(b))
+                                               : canonicalNanS;
+        wr(fclassBits(sb, 8, 23));
         break;
       }
-      case O::FCVT_W_S: wr32(int32_t(frs1())); break;
-      case O::FCVT_WU_S: wr32(int32_t(uint32_t(frs1()))); break;
-      case O::FCVT_L_S: wr(uint64_t(int64_t(frs1()))); break;
-      case O::FCVT_LU_S: wr(uint64_t(frs1())); break;
+      case O::FCLASS_D:
+        wr(fclassBits(s.f[di.rs1 & 31], 11, 52));
+        break;
+      case O::FCVT_W_S: wr32(cvtW(frs1())); break;
+      case O::FCVT_WU_S: wr32(int32_t(cvtWu(frs1()))); break;
+      case O::FCVT_L_S: wr(uint64_t(cvtL(frs1()))); break;
+      case O::FCVT_LU_S: wr(cvtLu(frs1())); break;
       case O::FCVT_S_W: wfs(float(int32_t(rs1))); break;
       case O::FCVT_S_WU: wfs(float(uint32_t(rs1))); break;
       case O::FCVT_S_L: wfs(float(int64_t(rs1))); break;
       case O::FCVT_S_LU: wfs(float(rs1)); break;
-      case O::FCVT_W_D: wr32(int32_t(frd1())); break;
-      case O::FCVT_WU_D: wr32(int32_t(uint32_t(frd1()))); break;
-      case O::FCVT_L_D: wr(uint64_t(int64_t(frd1()))); break;
-      case O::FCVT_LU_D: wr(uint64_t(frd1())); break;
+      case O::FCVT_W_D: wr32(cvtW(frd1())); break;
+      case O::FCVT_WU_D: wr32(int32_t(cvtWu(frd1()))); break;
+      case O::FCVT_L_D: wr(uint64_t(cvtL(frd1()))); break;
+      case O::FCVT_LU_D: wr(cvtLu(frd1())); break;
       case O::FCVT_D_W: wfd(double(int32_t(rs1))); break;
       case O::FCVT_D_WU: wfd(double(uint32_t(rs1))); break;
       case O::FCVT_D_L: wfd(double(int64_t(rs1))); break;

@@ -26,7 +26,7 @@ struct ArchState
 
     Addr pc = 0;
     std::array<uint64_t, 32> x{};
-    std::array<uint64_t, 32> f{};  ///< raw FP bits (NaN boxing not modelled)
+    std::array<uint64_t, 32> f{};  ///< raw FP bits; singles NaN-boxed
     std::array<std::array<uint8_t, maxVlenBytes>, 32> v{};
 
     // Vector configuration (vsetvl/vsetvli).

@@ -1,5 +1,6 @@
 #include "mem/cache.h"
 
+#include "check/invariants.h"
 #include "common/bitutil.h"
 #include "common/log.h"
 
@@ -161,8 +162,20 @@ Cache::invalidateAll()
 void
 Cache::setState(Addr addr, CoherState st)
 {
-    if (Line *l = findLine(addr))
+    // Invalidation goes through invalidate(), never setState.
+    XT_INVARIANT(st != CoherState::Invalid,
+                 "setState used to invalidate line ", std::hex, addr);
+    if (Line *l = findLine(addr)) {
+        // MOESI: a line another agent may hold (S or O) cannot be
+        // silently promoted to Exclusive without an invalidation.
+        XT_INVARIANT(!(st == CoherState::Exclusive &&
+                       (l->state == CoherState::Shared ||
+                        l->state == CoherState::Owned)),
+                     "illegal MOESI transition ",
+                     coherStateName(l->state), "->E on line ", std::hex,
+                     addr);
         l->state = st;
+    }
 }
 
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <ostream>
 
+#include "check/invariants.h"
 #include "common/bitutil.h"
 #include "common/log.h"
 
@@ -86,6 +87,12 @@ MemSystem::fillL1(unsigned core, Addr line, CoherState st, Cycle now,
                   bool isFetch, bool wasPrefetch)
 {
     Cache &c = isFetch ? *l1is[core] : *l1ds[core];
+    // Every L1 fill must already be backed by the inclusive L2: the
+    // miss paths all fill L2 before calling here.
+    XT_INVARIANT(!p.inclusiveL2 ||
+                     l2s[p.clusterOf(core)]->findLine(line) != nullptr,
+                 "L2 inclusion broken: L1 fill of line ", std::hex, line,
+                 " with no backing L2 copy (core ", std::dec, core, ")");
     Cache::Victim v = c.insert(line, st, now, wasPrefetch);
     if (!isFetch) {
         dirAdd(line, core);

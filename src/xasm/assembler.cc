@@ -506,8 +506,11 @@ XT_FP3(fadd_d, FADD_D)
 XT_FP3(fsub_d, FSUB_D)
 XT_FP3(fmul_d, FMUL_D)
 XT_FP3(fdiv_d, FDIV_D)
+XT_FP3(fmin_s, FMIN_S)
+XT_FP3(fmax_s, FMAX_S)
 XT_FP3(fmin_d, FMIN_D)
 XT_FP3(fmax_d, FMAX_D)
+XT_FP3(fsgnj_s, FSGNJ_S)
 XT_FP3(fsgnj_d, FSGNJ_D)
 #undef XT_FP3
 
@@ -545,6 +548,9 @@ XT_FP4(fmadd_s, FMADD_S)
         pushInst(di);                                                         \
     }
 
+XT_FCMP(feq_s, FEQ_S)
+XT_FCMP(flt_s, FLT_S)
+XT_FCMP(fle_s, FLE_S)
 XT_FCMP(feq_d, FEQ_D)
 XT_FCMP(flt_d, FLT_D)
 XT_FCMP(fle_d, FLE_D)
@@ -592,6 +598,76 @@ void
 Assembler::fcvt_w_d(XReg rd, FReg rs1)
 {
     pushInst(cvt(Opcode::FCVT_W_D, rd.idx, RegClass::Int, rs1.idx,
+                 RegClass::Fp));
+}
+
+void
+Assembler::fcvt_wu_d(XReg rd, FReg rs1)
+{
+    pushInst(cvt(Opcode::FCVT_WU_D, rd.idx, RegClass::Int, rs1.idx,
+                 RegClass::Fp));
+}
+
+void
+Assembler::fcvt_lu_d(XReg rd, FReg rs1)
+{
+    pushInst(cvt(Opcode::FCVT_LU_D, rd.idx, RegClass::Int, rs1.idx,
+                 RegClass::Fp));
+}
+
+void
+Assembler::fcvt_w_s(XReg rd, FReg rs1)
+{
+    pushInst(cvt(Opcode::FCVT_W_S, rd.idx, RegClass::Int, rs1.idx,
+                 RegClass::Fp));
+}
+
+void
+Assembler::fcvt_wu_s(XReg rd, FReg rs1)
+{
+    pushInst(cvt(Opcode::FCVT_WU_S, rd.idx, RegClass::Int, rs1.idx,
+                 RegClass::Fp));
+}
+
+void
+Assembler::fcvt_l_s(XReg rd, FReg rs1)
+{
+    pushInst(cvt(Opcode::FCVT_L_S, rd.idx, RegClass::Int, rs1.idx,
+                 RegClass::Fp));
+}
+
+void
+Assembler::fcvt_lu_s(XReg rd, FReg rs1)
+{
+    pushInst(cvt(Opcode::FCVT_LU_S, rd.idx, RegClass::Int, rs1.idx,
+                 RegClass::Fp));
+}
+
+void
+Assembler::fcvt_s_w(FReg rd, XReg rs1)
+{
+    pushInst(cvt(Opcode::FCVT_S_W, rd.idx, RegClass::Fp, rs1.idx,
+                 RegClass::Int));
+}
+
+void
+Assembler::fcvt_s_l(FReg rd, XReg rs1)
+{
+    pushInst(cvt(Opcode::FCVT_S_L, rd.idx, RegClass::Fp, rs1.idx,
+                 RegClass::Int));
+}
+
+void
+Assembler::fclass_s(XReg rd, FReg rs1)
+{
+    pushInst(cvt(Opcode::FCLASS_S, rd.idx, RegClass::Int, rs1.idx,
+                 RegClass::Fp));
+}
+
+void
+Assembler::fclass_d(XReg rd, FReg rs1)
+{
+    pushInst(cvt(Opcode::FCLASS_D, rd.idx, RegClass::Int, rs1.idx,
                  RegClass::Fp));
 }
 

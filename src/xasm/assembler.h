@@ -210,21 +210,37 @@ class Assembler
     void fmul_d(FReg rd, FReg rs1, FReg rs2);
     void fdiv_d(FReg rd, FReg rs1, FReg rs2);
     void fsqrt_d(FReg rd, FReg rs1);
+    void fmin_s(FReg rd, FReg rs1, FReg rs2);
+    void fmax_s(FReg rd, FReg rs1, FReg rs2);
     void fmin_d(FReg rd, FReg rs1, FReg rs2);
     void fmax_d(FReg rd, FReg rs1, FReg rs2);
+    void fsgnj_s(FReg rd, FReg rs1, FReg rs2);
     void fmadd_d(FReg rd, FReg rs1, FReg rs2, FReg rs3);
     void fmsub_d(FReg rd, FReg rs1, FReg rs2, FReg rs3);
     void fnmadd_d(FReg rd, FReg rs1, FReg rs2, FReg rs3);
     void fmadd_s(FReg rd, FReg rs1, FReg rs2, FReg rs3);
     void fsgnj_d(FReg rd, FReg rs1, FReg rs2);
     void fmv_d(FReg rd, FReg rs1);
+    void feq_s(XReg rd, FReg rs1, FReg rs2);
+    void flt_s(XReg rd, FReg rs1, FReg rs2);
+    void fle_s(XReg rd, FReg rs1, FReg rs2);
     void feq_d(XReg rd, FReg rs1, FReg rs2);
     void flt_d(XReg rd, FReg rs1, FReg rs2);
     void fle_d(XReg rd, FReg rs1, FReg rs2);
+    void fclass_s(XReg rd, FReg rs1);
+    void fclass_d(XReg rd, FReg rs1);
     void fcvt_d_l(FReg rd, XReg rs1);
     void fcvt_l_d(XReg rd, FReg rs1);
     void fcvt_d_w(FReg rd, XReg rs1);
     void fcvt_w_d(XReg rd, FReg rs1);
+    void fcvt_wu_d(XReg rd, FReg rs1);
+    void fcvt_lu_d(XReg rd, FReg rs1);
+    void fcvt_w_s(XReg rd, FReg rs1);
+    void fcvt_wu_s(XReg rd, FReg rs1);
+    void fcvt_l_s(XReg rd, FReg rs1);
+    void fcvt_lu_s(XReg rd, FReg rs1);
+    void fcvt_s_w(FReg rd, XReg rs1);
+    void fcvt_s_l(FReg rd, XReg rs1);
     void fcvt_s_d(FReg rd, FReg rs1);
     void fcvt_d_s(FReg rd, FReg rs1);
     void fmv_d_x(FReg rd, XReg rs1);

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Unit tests for the differential-fuzzing harness itself: generator
+ * determinism, reproducer round-trips, three-path agreement on a
+ * sample of seeds, batch/jobs invariance, and the ddmin shrinker.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "check/differ.h"
+#include "check/progen.h"
+#include "check/shrink.h"
+
+namespace xt910::check
+{
+namespace
+{
+
+GenConfig
+smallCfg(uint64_t seed)
+{
+    GenConfig cfg;
+    cfg.seed = seed;
+    cfg.numItems = 24;
+    return cfg;
+}
+
+TEST(Progen, DeterministicFromSeed)
+{
+    GenProgram a = generate(smallCfg(42));
+    GenProgram b = generate(smallCfg(42));
+    ASSERT_EQ(a.items.size(), b.items.size());
+    for (size_t i = 0; i < a.items.size(); ++i) {
+        EXPECT_EQ(a.items[i].op, b.items[i].op) << "item " << i;
+        EXPECT_EQ(a.items[i].f, b.items[i].f) << "item " << i;
+    }
+}
+
+TEST(Progen, DifferentSeedsDiffer)
+{
+    GenProgram a = generate(smallCfg(1));
+    GenProgram b = generate(smallCfg(2));
+    bool anyDiff = a.items.size() != b.items.size();
+    for (size_t i = 0; !anyDiff && i < a.items.size(); ++i)
+        anyDiff = a.items[i].op != b.items[i].op ||
+                  a.items[i].f != b.items[i].f;
+    EXPECT_TRUE(anyDiff);
+}
+
+TEST(Progen, EveryOpNameAssembles)
+{
+    // Force one item of every op the generator knows, with awkward
+    // entropy values, and check the program still assembles and halts
+    // deterministically on the reference path.
+    GenProgram p;
+    p.cfg = smallCfg(7);
+    unsigned idx = 0;
+    for (const std::string &op : opNames()) {
+        GenItem it;
+        it.op = op;
+        it.f = {idx * 0x9e3779b97f4a7c15ull, ~uint64_t(idx), 0xffffffffffffffffull,
+                idx};
+        p.items.push_back(it);
+        ++idx;
+    }
+    ArchSnapshot s = runIss(p, true);
+    EXPECT_TRUE(s.ran);
+    EXPECT_TRUE(s.halted);
+}
+
+TEST(Progen, ReproducerRoundTrip)
+{
+    GenProgram p = generate(smallCfg(99));
+    p.expectHash = 0xdeadbeefcafef00dull;
+    p.hasExpectHash = true;
+
+    std::ostringstream os;
+    dumpReproducer(os, p);
+
+    std::istringstream is(os.str());
+    GenProgram q;
+    std::string err;
+    ASSERT_TRUE(parseReproducer(is, q, err)) << err;
+
+    EXPECT_EQ(p.cfg.seed, q.cfg.seed);
+    EXPECT_EQ(p.cfg.vlenBits, q.cfg.vlenBits);
+    EXPECT_EQ(p.cfg.dataBytes, q.cfg.dataBytes);
+    EXPECT_EQ(p.expectHash, q.expectHash);
+    EXPECT_EQ(p.hasExpectHash, q.hasExpectHash);
+    ASSERT_EQ(p.items.size(), q.items.size());
+    for (size_t i = 0; i < p.items.size(); ++i) {
+        EXPECT_EQ(p.items[i].op, q.items[i].op) << "item " << i;
+        EXPECT_EQ(p.items[i].f, q.items[i].f) << "item " << i;
+    }
+}
+
+TEST(Progen, ParseRejectsGarbage)
+{
+    std::istringstream is("not a reproducer\n");
+    GenProgram q;
+    std::string err;
+    EXPECT_FALSE(parseReproducer(is, q, err));
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(Differ, ThreePathAgreementSampleSeeds)
+{
+    for (uint64_t seed : {11ull, 12ull, 13ull, 14ull}) {
+        DiffResult r = checkProgram(generate(smallCfg(seed)));
+        EXPECT_TRUE(r.ok) << "seed " << seed << ": " << r.what;
+    }
+}
+
+TEST(Differ, ThreePathAgreementOtherVlens)
+{
+    for (unsigned vlen : {64u, 256u}) {
+        GenConfig cfg = smallCfg(21);
+        cfg.vlenBits = vlen;
+        DiffResult r = checkProgram(generate(cfg));
+        EXPECT_TRUE(r.ok) << "vlen " << vlen << ": " << r.what;
+    }
+}
+
+TEST(Differ, BatchInvariantUnderJobs)
+{
+    std::vector<GenProgram> progs;
+    for (uint64_t seed = 50; seed < 58; ++seed)
+        progs.push_back(generate(smallCfg(seed)));
+    std::vector<ArchSnapshot> one = runBatch(progs, 1);
+    std::vector<ArchSnapshot> four = runBatch(progs, 4);
+    ASSERT_EQ(one.size(), four.size());
+    for (size_t i = 0; i < one.size(); ++i)
+        EXPECT_TRUE(one[i] == four[i])
+            << "program " << i << ": " << describeDiff(one[i], four[i]);
+}
+
+TEST(Differ, DescribeDiffPinpointsField)
+{
+    ArchSnapshot a, b;
+    a.ran = b.ran = true;
+    EXPECT_EQ(describeDiff(a, b), "identical");
+    b.x[5] = 0x1234;
+    EXPECT_NE(describeDiff(a, b).find("x5"), std::string::npos);
+}
+
+TEST(Differ, GoldenHashMismatchIsReported)
+{
+    GenProgram p = generate(smallCfg(33));
+    p.expectHash = 1; // certainly wrong
+    p.hasExpectHash = true;
+    DiffResult r = checkProgram(p);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.what.find("golden hash"), std::string::npos);
+}
+
+TEST(Shrink, MinimizesToSingleCulpritItem)
+{
+    GenProgram p = generate(smallCfg(77));
+    ASSERT_GT(p.items.size(), 4u);
+    // Mark one specific item as the "bug": the failure predicate is
+    // simply "the program still contains it".
+    const size_t culprit = p.items.size() / 2;
+    const std::string op = p.items[culprit].op;
+    const std::array<uint64_t, 4> f = p.items[culprit].f;
+    auto fails = [&](const GenProgram &q) {
+        for (const GenItem &it : q.items)
+            if (it.op == op && it.f == f)
+                return true;
+        return false;
+    };
+    GenProgram m = shrinkProgram(p, fails);
+    EXPECT_TRUE(fails(m));
+    // ddmin with a one-item predicate must reach exactly one item.
+    EXPECT_EQ(m.items.size(), 1u);
+}
+
+TEST(Shrink, ShrunkProgramStillRuns)
+{
+    GenProgram p = generate(smallCfg(78));
+    auto fails = [&](const GenProgram &q) { return q.items.size() >= 3; };
+    GenProgram m = shrinkProgram(p, fails);
+    EXPECT_GE(m.items.size(), 3u);
+    ArchSnapshot s = runIss(m, true);
+    EXPECT_TRUE(s.ran);
+}
+
+} // namespace
+} // namespace xt910::check

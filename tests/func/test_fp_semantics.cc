@@ -1,0 +1,309 @@
+/**
+ * Exact-bit-pattern tests for the scalar FP corner cases fixed for the
+ * differential fuzzer: FMIN/FMAX NaN and signed-zero handling, the
+ * saturating FCVT family, FCLASS over raw encodings, and NaN-box
+ * enforcement on single-precision register reads.
+ *
+ * All inputs are injected as integer bit patterns via fmv.{w,d}.x and
+ * all results read back via fmv.x.{w,d} so host-compiler FP behaviour
+ * never leaks into the expectations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "func/iss.h"
+
+namespace xt910
+{
+
+using namespace reg;
+
+namespace
+{
+
+constexpr uint64_t kQNanS = 0xffffffff7fc00000ull; // boxed canonical
+constexpr uint64_t kSNanS = 0xffffffff7f800001ull;
+constexpr uint64_t kQNanD = 0x7ff8000000000000ull;
+constexpr uint64_t kSNanD = 0x7ff0000000000001ull;
+
+constexpr uint64_t boxS(uint32_t b) { return 0xffffffff00000000ull | b; }
+
+/** Assemble, run to halt, and return final x/f register files. */
+struct RunResult
+{
+    std::array<uint64_t, 32> x;
+    std::array<uint64_t, 32> f;
+};
+
+RunResult
+runProgram(Assembler &a)
+{
+    Program p = a.assemble();
+    Memory mem;
+    Iss iss(mem, 1);
+    iss.loadProgram(p);
+    iss.run(1'000'000);
+    EXPECT_TRUE(iss.halted()) << "program did not halt";
+    return RunResult{iss.hart(0).x, iss.hart(0).f};
+}
+
+/** Run `op(fa0 <- fa1, fa2)` with the given bit patterns; returns the
+ *  raw 64-bit content of fa0 (including any NaN boxing). */
+template <typename Op>
+uint64_t
+fp3(uint64_t rs1Bits, uint64_t rs2Bits, Op op)
+{
+    Assembler a;
+    a.li(a1, int64_t(rs1Bits));
+    a.li(a2, int64_t(rs2Bits));
+    a.fmv_d_x(fa1, a1);
+    a.fmv_d_x(fa2, a2);
+    op(a);
+    a.fmv_x_d(a0, fa0);
+    a.ebreak();
+    return runProgram(a).x[10];
+}
+
+/** Run a unary `op(rd <- fa1)` where rd is a0; returns x[a0]. */
+template <typename Op>
+uint64_t
+fpToX(uint64_t rs1Bits, Op op)
+{
+    Assembler a;
+    a.li(a1, int64_t(rs1Bits));
+    a.fmv_d_x(fa1, a1);
+    op(a);
+    a.ebreak();
+    return runProgram(a).x[10];
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// FMIN / FMAX
+// ---------------------------------------------------------------------
+
+TEST(FpSemantics, FminFmaxSingleBothNanGivesCanonical)
+{
+    auto fmin = [](Assembler &a) { a.fmin_s(fa0, fa1, fa2); };
+    auto fmax = [](Assembler &a) { a.fmax_s(fa0, fa1, fa2); };
+    EXPECT_EQ(fp3(kSNanS, kQNanS, fmin), kQNanS);
+    EXPECT_EQ(fp3(kQNanS, kSNanS, fmax), kQNanS);
+    // NaN payloads are not propagated: always the canonical quiet NaN.
+    EXPECT_EQ(fp3(boxS(0x7fc12345u), boxS(0xffc00001u), fmin), kQNanS);
+}
+
+TEST(FpSemantics, FminFmaxSingleOneNanGivesOther)
+{
+    const uint64_t two = boxS(0x40000000u); // 2.0f
+    auto fmin = [](Assembler &a) { a.fmin_s(fa0, fa1, fa2); };
+    auto fmax = [](Assembler &a) { a.fmax_s(fa0, fa1, fa2); };
+    EXPECT_EQ(fp3(kQNanS, two, fmin), two);
+    EXPECT_EQ(fp3(two, kSNanS, fmin), two);
+    EXPECT_EQ(fp3(kQNanS, two, fmax), two);
+    EXPECT_EQ(fp3(two, kSNanS, fmax), two);
+}
+
+TEST(FpSemantics, FminFmaxSingleSignedZeros)
+{
+    const uint64_t pz = boxS(0x00000000u);
+    const uint64_t nz = boxS(0x80000000u);
+    auto fmin = [](Assembler &a) { a.fmin_s(fa0, fa1, fa2); };
+    auto fmax = [](Assembler &a) { a.fmax_s(fa0, fa1, fa2); };
+    EXPECT_EQ(fp3(nz, pz, fmin), nz);
+    EXPECT_EQ(fp3(pz, nz, fmin), nz);
+    EXPECT_EQ(fp3(nz, pz, fmax), pz);
+    EXPECT_EQ(fp3(pz, nz, fmax), pz);
+}
+
+TEST(FpSemantics, FminFmaxDoubleBothNanGivesCanonical)
+{
+    auto fmin = [](Assembler &a) { a.fmin_d(fa0, fa1, fa2); };
+    auto fmax = [](Assembler &a) { a.fmax_d(fa0, fa1, fa2); };
+    EXPECT_EQ(fp3(kSNanD, kQNanD, fmin), kQNanD);
+    EXPECT_EQ(fp3(kQNanD, kQNanD, fmax), kQNanD);
+    EXPECT_EQ(fp3(0x7ff8deadbeef0001ull, 0xfff8000000000001ull, fmax),
+              kQNanD);
+}
+
+TEST(FpSemantics, FminFmaxDoubleOneNanAndZeros)
+{
+    const uint64_t one = 0x3ff0000000000000ull;
+    const uint64_t pz = 0, nz = 0x8000000000000000ull;
+    auto fmin = [](Assembler &a) { a.fmin_d(fa0, fa1, fa2); };
+    auto fmax = [](Assembler &a) { a.fmax_d(fa0, fa1, fa2); };
+    EXPECT_EQ(fp3(kQNanD, one, fmin), one);
+    EXPECT_EQ(fp3(one, kSNanD, fmax), one);
+    EXPECT_EQ(fp3(nz, pz, fmin), nz);
+    EXPECT_EQ(fp3(pz, nz, fmax), pz);
+}
+
+// ---------------------------------------------------------------------
+// FCVT saturation
+// ---------------------------------------------------------------------
+
+TEST(FpSemantics, FcvtWSingleSaturates)
+{
+    auto op = [](Assembler &a) { a.fcvt_w_s(a0, fa1); };
+    // NaN converts to the maximum positive value, not INT32_MIN.
+    EXPECT_EQ(fpToX(kQNanS, op), uint64_t(INT32_MAX));
+    EXPECT_EQ(fpToX(kSNanS, op), uint64_t(INT32_MAX));
+    // +inf / large positive clamp to INT32_MAX.
+    EXPECT_EQ(fpToX(boxS(0x7f800000u), op), uint64_t(INT32_MAX));
+    EXPECT_EQ(fpToX(boxS(0x4f800000u), op), uint64_t(INT32_MAX)); // 2^32
+    // -inf / large negative clamp to INT32_MIN (sign-extended).
+    EXPECT_EQ(fpToX(boxS(0xff800000u), op),
+              uint64_t(int64_t(INT32_MIN)));
+    // In-range truncates toward zero: -1.5f -> -1.
+    EXPECT_EQ(fpToX(boxS(0xbfc00000u), op), uint64_t(int64_t(-1)));
+}
+
+TEST(FpSemantics, FcvtWuSingleSaturates)
+{
+    auto op = [](Assembler &a) { a.fcvt_wu_s(a0, fa1); };
+    // NaN and overflow produce UINT32_MAX, sign-extended per RV64.
+    EXPECT_EQ(fpToX(kQNanS, op), ~0ull);
+    EXPECT_EQ(fpToX(boxS(0x4f800000u), op), ~0ull); // 2^32
+    EXPECT_EQ(fpToX(boxS(0x7f800000u), op), ~0ull); // +inf
+    // Negative input to an unsigned conversion clamps to zero.
+    EXPECT_EQ(fpToX(boxS(0xbf800000u), op), 0u); // -1.0f
+    EXPECT_EQ(fpToX(boxS(0xff800000u), op), 0u); // -inf
+    // -0.9f truncates to 0 (not clamped through the negative branch).
+    EXPECT_EQ(fpToX(boxS(0xbf666666u), op), 0u);
+    // Results with bit 31 set sign-extend: 2^31 -> 0xffffffff80000000.
+    EXPECT_EQ(fpToX(boxS(0x4f000000u), op), 0xffffffff80000000ull);
+}
+
+TEST(FpSemantics, FcvtLSingleSaturates)
+{
+    auto op = [](Assembler &a) { a.fcvt_l_s(a0, fa1); };
+    EXPECT_EQ(fpToX(kQNanS, op), uint64_t(INT64_MAX));
+    EXPECT_EQ(fpToX(boxS(0x5f000000u), op), uint64_t(INT64_MAX)); // 2^63
+    EXPECT_EQ(fpToX(boxS(0x7f800000u), op), uint64_t(INT64_MAX));
+    EXPECT_EQ(fpToX(boxS(0xff800000u), op), uint64_t(INT64_MIN));
+    EXPECT_EQ(fpToX(boxS(0xdf000001u), op), uint64_t(INT64_MIN));
+}
+
+TEST(FpSemantics, FcvtLuSingleSaturates)
+{
+    auto op = [](Assembler &a) { a.fcvt_lu_s(a0, fa1); };
+    EXPECT_EQ(fpToX(kQNanS, op), UINT64_MAX);
+    EXPECT_EQ(fpToX(boxS(0x5f800000u), op), UINT64_MAX); // 2^64
+    EXPECT_EQ(fpToX(boxS(0xbf800000u), op), 0u);         // -1.0f
+}
+
+TEST(FpSemantics, FcvtDoubleSaturates)
+{
+    const uint64_t inf = 0x7ff0000000000000ull;
+    const uint64_t ninf = 0xfff0000000000000ull;
+    auto w = [](Assembler &a) { a.fcvt_w_d(a0, fa1); };
+    auto wu = [](Assembler &a) { a.fcvt_wu_d(a0, fa1); };
+    auto l = [](Assembler &a) { a.fcvt_l_d(a0, fa1); };
+    auto lu = [](Assembler &a) { a.fcvt_lu_d(a0, fa1); };
+    EXPECT_EQ(fpToX(kQNanD, w), uint64_t(INT32_MAX));
+    EXPECT_EQ(fpToX(inf, w), uint64_t(INT32_MAX));
+    EXPECT_EQ(fpToX(ninf, w), uint64_t(int64_t(INT32_MIN)));
+    // 2^31 exactly representable as a double: clamps to INT32_MAX.
+    EXPECT_EQ(fpToX(0x41e0000000000000ull, w), uint64_t(INT32_MAX));
+    EXPECT_EQ(fpToX(kSNanD, wu), ~0ull);
+    EXPECT_EQ(fpToX(0xbff0000000000000ull, wu), 0u); // -1.0
+    EXPECT_EQ(fpToX(kQNanD, l), uint64_t(INT64_MAX));
+    EXPECT_EQ(fpToX(0x43e0000000000000ull, l),
+              uint64_t(INT64_MAX)); // 2^63
+    EXPECT_EQ(fpToX(ninf, l), uint64_t(INT64_MIN));
+    EXPECT_EQ(fpToX(kQNanD, lu), UINT64_MAX);
+    EXPECT_EQ(fpToX(0x43f0000000000000ull, lu), UINT64_MAX); // 2^64
+    EXPECT_EQ(fpToX(ninf, lu), 0u);
+}
+
+// ---------------------------------------------------------------------
+// FCLASS
+// ---------------------------------------------------------------------
+
+TEST(FpSemantics, FclassSingleAllCategories)
+{
+    auto op = [](Assembler &a) { a.fclass_s(a0, fa1); };
+    EXPECT_EQ(fpToX(boxS(0xff800000u), op), 1u << 0); // -inf
+    EXPECT_EQ(fpToX(boxS(0xbf800000u), op), 1u << 1); // -1.0f
+    EXPECT_EQ(fpToX(boxS(0x80000001u), op), 1u << 2); // -subnormal
+    EXPECT_EQ(fpToX(boxS(0x80000000u), op), 1u << 3); // -0
+    EXPECT_EQ(fpToX(boxS(0x00000000u), op), 1u << 4); // +0
+    EXPECT_EQ(fpToX(boxS(0x007fffffu), op), 1u << 5); // +subnormal
+    EXPECT_EQ(fpToX(boxS(0x3f800000u), op), 1u << 6); // +1.0f
+    EXPECT_EQ(fpToX(boxS(0x7f800000u), op), 1u << 7); // +inf
+    EXPECT_EQ(fpToX(kSNanS, op), 1u << 8);            // sNaN
+    EXPECT_EQ(fpToX(kQNanS, op), 1u << 9);            // qNaN
+    // Negative-signed NaNs classify by quiet bit, not by sign.
+    EXPECT_EQ(fpToX(boxS(0xff800001u), op), 1u << 8);
+    EXPECT_EQ(fpToX(boxS(0xffc00000u), op), 1u << 9);
+}
+
+TEST(FpSemantics, FclassDoubleAllCategories)
+{
+    auto op = [](Assembler &a) { a.fclass_d(a0, fa1); };
+    EXPECT_EQ(fpToX(0xfff0000000000000ull, op), 1u << 0);
+    EXPECT_EQ(fpToX(0xbff0000000000000ull, op), 1u << 1);
+    EXPECT_EQ(fpToX(0x8000000000000001ull, op), 1u << 2);
+    EXPECT_EQ(fpToX(0x8000000000000000ull, op), 1u << 3);
+    EXPECT_EQ(fpToX(0x0000000000000000ull, op), 1u << 4);
+    EXPECT_EQ(fpToX(0x000fffffffffffffull, op), 1u << 5);
+    EXPECT_EQ(fpToX(0x3ff0000000000000ull, op), 1u << 6);
+    EXPECT_EQ(fpToX(0x7ff0000000000000ull, op), 1u << 7);
+    EXPECT_EQ(fpToX(kSNanD, op), 1u << 8);
+    EXPECT_EQ(fpToX(kQNanD, op), 1u << 9);
+}
+
+// ---------------------------------------------------------------------
+// NaN boxing on single-precision reads
+// ---------------------------------------------------------------------
+
+TEST(FpSemantics, NonBoxedSingleReadsAsCanonicalNan)
+{
+    // The low word holds 1.0f but the high word is not all-ones, so
+    // every single-precision consumer must see the canonical qNaN.
+    const uint64_t unboxed = 0x000000003f800000ull;
+    auto fclass = [](Assembler &a) { a.fclass_s(a0, fa1); };
+    EXPECT_EQ(fpToX(unboxed, fclass), 1u << 9);
+
+    auto fmin = [](Assembler &a) { a.fmin_s(fa0, fa1, fa2); };
+    EXPECT_EQ(fp3(unboxed, boxS(0x40000000u), fmin),
+              boxS(0x40000000u));
+
+    // feq against itself: a non-boxed value is NaN, so not equal.
+    auto feq = [](Assembler &a) { a.feq_s(a0, fa1, fa1); };
+    EXPECT_EQ(fpToX(unboxed, feq), 0u);
+    EXPECT_EQ(fpToX(boxS(0x3f800000u), feq), 1u);
+
+    // Arithmetic on a non-boxed operand yields the canonical qNaN.
+    auto fadd = [](Assembler &a) { a.fadd_s(fa0, fa1, fa2); };
+    EXPECT_EQ(fp3(unboxed, boxS(0x3f800000u), fadd), kQNanS);
+}
+
+TEST(FpSemantics, ProperlyBoxedSingleIsUsedAsIs)
+{
+    // fmv.w.x must produce a boxed value that reads back unchanged.
+    Assembler a;
+    a.li(a1, int64_t(0x40490fdbu)); // pi as float bits
+    a.fmv_w_x(fa1, a1);
+    a.fsgnj_s(fa0, fa1, fa1);
+    a.fmv_x_d(a0, fa0);
+    a.ebreak();
+    EXPECT_EQ(runProgram(a).x[10], boxS(0x40490fdbu));
+}
+
+TEST(FpSemantics, FcvtSingleFromIntegerIsBoxed)
+{
+    Assembler a;
+    a.li(a1, 7);
+    a.fcvt_s_w(fa0, a1);
+    a.fmv_x_d(a0, fa0);
+    a.li(a2, -3);
+    a.fcvt_s_l(fa1, a2);
+    a.fmv_x_d(a3, fa1);
+    a.ebreak();
+    auto r = runProgram(a);
+    EXPECT_EQ(r.x[10], boxS(0x40e00000u)); // 7.0f
+    EXPECT_EQ(r.x[13], boxS(0xc0400000u)); // -3.0f
+}
+
+} // namespace xt910

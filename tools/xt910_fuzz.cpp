@@ -1,0 +1,256 @@
+/**
+ * @file
+ * xt910-fuzz — seeded differential fuzzer driver.
+ *
+ *   xt910-fuzz [options]                  fuzz a batch of programs
+ *   xt910-fuzz --replay FILE [FILE...]    re-run saved reproducers
+ *
+ * Batch mode draws --count random programs (program i uses seed
+ * --seed + i), runs each along the three lockstep paths (block-cache
+ * ISS, legacy-decode ISS, full timing System) and additionally runs
+ * the whole batch on 1 worker and on --jobs workers, requiring
+ * bit-identical snapshots everywhere. The first mismatch is minimized
+ * with ddmin and dumped as a reproducer under --corpus-dir.
+ *
+ * Options:
+ *   --count N        programs per batch (default 100)
+ *   --seed S         base seed (default 1)
+ *   --items N        generator items per program (default 48)
+ *   --vlen BITS      vector length (default 128)
+ *   --jobs N         worker threads (default: XT910_JOBS env, else 2)
+ *   --no-shrink      dump the failing program unminimized
+ *   --corpus-dir D   where reproducers are written (default fuzz_corpus)
+ *   --replay FILE    replay a reproducer (repeatable); golden
+ *                    expect-xhash lines are verified when present
+ *   --print-hash     with --replay: print each program's guest hash
+ *                    (used to mint expect-xhash lines) and exit
+ *
+ * Every value option also accepts the --opt=value form.
+ * Exit codes: 0 ok, 1 mismatch found, 2 usage/file error.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "check/differ.h"
+#include "check/progen.h"
+#include "check/shrink.h"
+#include "common/parallel.h"
+
+using namespace xt910;
+using namespace xt910::check;
+
+namespace
+{
+
+void
+usage()
+{
+    std::printf(
+        "usage: xt910-fuzz [options]\n"
+        "       xt910-fuzz --replay FILE [--replay FILE...]\n"
+        "options: --count N  --seed S  --items N  --vlen BITS\n"
+        "         --jobs N  --no-shrink  --corpus-dir DIR\n"
+        "         --replay FILE  --print-hash\n");
+}
+
+/** Write @p prog under @p dir; returns the path (empty on failure). */
+std::string
+dumpToCorpus(const std::string &dir, const GenProgram &prog)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    std::string path =
+        dir + "/fuzz_seed" + std::to_string(prog.cfg.seed) + ".repro";
+    std::ofstream os(path);
+    if (!os)
+        return "";
+    dumpReproducer(os, prog);
+    return os ? path : "";
+}
+
+int
+replayFiles(const std::vector<std::string> &files, bool printHash)
+{
+    int rc = 0;
+    for (const std::string &file : files) {
+        std::ifstream is(file);
+        if (!is) {
+            std::fprintf(stderr, "xt910-fuzz: cannot open %s\n",
+                         file.c_str());
+            return 2;
+        }
+        GenProgram prog;
+        std::string err;
+        if (!parseReproducer(is, prog, err)) {
+            std::fprintf(stderr, "xt910-fuzz: %s: %s\n", file.c_str(),
+                         err.c_str());
+            return 2;
+        }
+        if (printHash) {
+            ArchSnapshot s = runIss(prog, true);
+            std::printf("%s: xhash %llx%s\n", file.c_str(),
+                        (unsigned long long)s.guestHash,
+                        s.halted ? "" : " (did not halt!)");
+            continue;
+        }
+        DiffResult r = checkProgram(prog);
+        if (!r.ok) {
+            std::fprintf(stderr, "xt910-fuzz: %s: MISMATCH: %s\n",
+                         file.c_str(), r.what.c_str());
+            rc = 1;
+        } else {
+            std::printf("%s: ok\n", file.c_str());
+        }
+    }
+    return rc;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    uint64_t count = 100, seed = 1;
+    unsigned items = 48, vlen = 128, jobs = 0;
+    bool shrink = true, printHash = false;
+    std::string corpusDir = "fuzz_corpus";
+    std::vector<std::string> replays;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        std::string val;
+        auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            val = arg.substr(eq + 1);
+            arg = arg.substr(0, eq);
+        }
+        auto need = [&](const char *name) -> std::string {
+            if (!val.empty())
+                return val;
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "xt910-fuzz: %s needs a value\n",
+                             name);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--count")
+            count = std::strtoull(need("--count").c_str(), nullptr, 0);
+        else if (arg == "--seed")
+            seed = std::strtoull(need("--seed").c_str(), nullptr, 0);
+        else if (arg == "--items")
+            items = unsigned(std::strtoul(need("--items").c_str(),
+                                          nullptr, 0));
+        else if (arg == "--vlen")
+            vlen = unsigned(std::strtoul(need("--vlen").c_str(),
+                                         nullptr, 0));
+        else if (arg == "--jobs")
+            jobs = unsigned(std::strtoul(need("--jobs").c_str(),
+                                         nullptr, 0));
+        else if (arg == "--no-shrink")
+            shrink = false;
+        else if (arg == "--corpus-dir")
+            corpusDir = need("--corpus-dir");
+        else if (arg == "--replay")
+            replays.push_back(need("--replay"));
+        else if (arg == "--print-hash")
+            printHash = true;
+        else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::fprintf(stderr, "xt910-fuzz: unknown option %s\n",
+                         arg.c_str());
+            usage();
+            return 2;
+        }
+    }
+
+    if (!replays.empty())
+        return replayFiles(replays, printHash);
+    if (count == 0) {
+        usage();
+        return 2;
+    }
+
+    jobs = resolveJobs(jobs, 2);
+
+    // Draw the batch.
+    std::vector<GenProgram> progs;
+    progs.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+        GenConfig cfg;
+        cfg.seed = seed + i;
+        cfg.numItems = items;
+        cfg.vlenBits = vlen;
+        progs.push_back(generate(cfg));
+    }
+
+    // Three-path differential check per program, fanned out over the
+    // worker pool (each check owns all its state, so order is free).
+    std::vector<DiffResult> results(progs.size());
+    parallelFor(progs.size(), jobs,
+                [&](size_t i) { results[i] = checkProgram(progs[i]); });
+
+    size_t firstBad = progs.size();
+    for (size_t i = 0; i < results.size(); ++i) {
+        if (!results[i].ok) {
+            firstBad = i;
+            break;
+        }
+    }
+
+    // Worker-count invisibility: the same batch on 1 worker and on
+    // `jobs` workers must snapshot identically, program by program.
+    if (firstBad == progs.size()) {
+        std::vector<ArchSnapshot> serial = runBatch(progs, 1);
+        std::vector<ArchSnapshot> wide =
+            runBatch(progs, jobs > 1 ? jobs : 2);
+        for (size_t i = 0; i < progs.size(); ++i) {
+            if (!(serial[i] == wide[i])) {
+                results[i].ok = false;
+                results[i].what = "--jobs 1 vs --jobs N: " +
+                                  describeDiff(serial[i], wide[i]);
+                firstBad = i;
+                break;
+            }
+        }
+    }
+
+    if (firstBad == progs.size()) {
+        std::printf("xt910-fuzz: %llu programs, 3 paths + jobs pair: "
+                    "all identical\n",
+                    (unsigned long long)count);
+        return 0;
+    }
+
+    GenProgram bad = progs[firstBad];
+    std::fprintf(stderr, "xt910-fuzz: seed %llu: %s\n",
+                 (unsigned long long)bad.cfg.seed,
+                 results[firstBad].what.c_str());
+    if (shrink) {
+        auto stillFails = [](const GenProgram &p) {
+            return !checkProgram(p).ok;
+        };
+        if (stillFails(bad)) { // jobs-pair failures may not reproduce
+            GenProgram min = shrinkProgram(bad, stillFails);
+            std::fprintf(stderr,
+                         "xt910-fuzz: shrank %zu items -> %zu items\n",
+                         bad.items.size(), min.items.size());
+            bad = min;
+        }
+    }
+    std::string path = dumpToCorpus(corpusDir, bad);
+    if (path.empty())
+        std::fprintf(stderr, "xt910-fuzz: could not write reproducer\n");
+    else
+        std::fprintf(stderr, "xt910-fuzz: reproducer written to %s\n",
+                     path.c_str());
+    return 1;
+}
