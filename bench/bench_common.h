@@ -131,21 +131,36 @@ simulate(const SystemConfig &cfg, const WorkloadBuild &wb,
  * lookups. Two threads racing on the same key at worst both simulate
  * it (identical, deterministic results); the first insert wins.
  */
+namespace detail
+{
+inline std::map<std::string, SimResult> &
+runCache()
+{
+    static std::map<std::string, SimResult> cache;
+    return cache;
+}
+
+inline std::mutex &
+runCacheLock()
+{
+    static std::mutex mu;
+    return mu;
+}
+} // namespace detail
+
 inline SimResult
 cachedRun(const std::string &key, const SystemConfig &cfg,
           const WorkloadBuild &wb)
 {
-    static std::map<std::string, SimResult> cache;
-    static std::mutex mu;
     {
-        std::lock_guard<std::mutex> lk(mu);
-        auto it = cache.find(key);
-        if (it != cache.end())
+        std::lock_guard<std::mutex> lk(detail::runCacheLock());
+        auto it = detail::runCache().find(key);
+        if (it != detail::runCache().end())
             return it->second;
     }
     SimResult s = simulate(cfg, wb, key);
-    std::lock_guard<std::mutex> lk(mu);
-    return cache.emplace(key, s).first->second;
+    std::lock_guard<std::mutex> lk(detail::runCacheLock());
+    return detail::runCache().emplace(key, s).first->second;
 }
 
 /** One cell of work for runFarm: a keyed, memoized System run. */
@@ -166,9 +181,27 @@ struct FarmItem
 inline void
 runFarm(std::vector<FarmItem> items, unsigned jobs = 0)
 {
-    parallelFor(items.size(), resolveJobs(jobs), [&](size_t i) {
-        cachedRun(items[i].key, items[i].cfg, items[i].wb);
-    });
+    // Hardened: a run that throws (assembler bug, invariant failure)
+    // is retried once, and if it still fails, a zeroed result with
+    // correct=false is cached under its key — the bench tables and
+    // every other cell complete instead of the whole binary aborting.
+    auto reports = runHardened(
+        items.size(), resolveJobs(jobs), FarmPolicy{0.0, 1, 0},
+        [&](size_t i, JobContext &) {
+            cachedRun(items[i].key, items[i].cfg, items[i].wb);
+        });
+    for (size_t i = 0; i < reports.size(); ++i) {
+        if (reports[i].status == JobStatus::Ok)
+            continue;
+        std::fprintf(stderr,
+                     "warning: bench run '%s' %s after %u attempt(s): "
+                     "%s — table cell will read as failed\n",
+                     items[i].key.c_str(),
+                     jobStatusName(reports[i].status),
+                     reports[i].attempts, reports[i].error.c_str());
+        std::lock_guard<std::mutex> lk(detail::runCacheLock());
+        detail::runCache().emplace(items[i].key, SimResult{});
+    }
 }
 
 /**

@@ -99,4 +99,46 @@ Btb::update(Addr pc, Addr target, BranchKind kind, bool promoteL0)
     }
 }
 
+void
+Btb::snapSave(SnapWriter &w) const
+{
+    auto saveVec = [&w](const std::vector<Entry> &v) {
+        w.u64(v.size());
+        for (const Entry &e : v) {
+            w.b(e.valid);
+            w.u64(e.pc);
+            w.u64(e.target);
+            w.u8(uint8_t(e.kind));
+            w.u64(e.lastUse);
+        }
+    };
+    saveVec(l0);
+    saveVec(l1);
+    w.u64(useClock);
+    stats.snapSave(w);
+}
+
+void
+Btb::snapLoad(SnapReader &r)
+{
+    auto loadVec = [&r](std::vector<Entry> &v) {
+        if (r.u64() != v.size())
+            throw SnapError("snapshot BTB geometry does not match");
+        for (Entry &e : v) {
+            e.valid = r.b();
+            e.pc = r.u64();
+            e.target = r.u64();
+            uint8_t k = r.u8();
+            if (k > uint8_t(BranchKind::Call))
+                throw SnapError("corrupt snapshot: bad branch kind");
+            e.kind = BranchKind(k);
+            e.lastUse = r.u64();
+        }
+    };
+    loadVec(l0);
+    loadVec(l1);
+    useClock = r.u64();
+    stats.snapLoad(r);
+}
+
 } // namespace xt910

@@ -13,6 +13,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/snapio.h"
 #include "common/stats.h"
 #include "common/types.h"
 
@@ -59,6 +60,10 @@ class Btb
     void update(Addr pc, Addr target, BranchKind kind, bool promoteL0);
 
     const BtbParams &params() const { return p; }
+
+    /** Serialize both target buffers, the LRU clock and counters. */
+    void snapSave(SnapWriter &w) const;
+    void snapLoad(SnapReader &r);
 
     StatGroup stats;
     Counter l0Hits;
@@ -111,6 +116,29 @@ class ReturnAddressStack
 
     unsigned size() const { return count; }
 
+    void
+    snapSave(SnapWriter &w) const
+    {
+        w.u64(stack.size());
+        for (Addr a : stack)
+            w.u64(a);
+        w.u32(top);
+        w.u32(count);
+    }
+
+    void
+    snapLoad(SnapReader &r)
+    {
+        if (r.u64() != stack.size())
+            throw SnapError("snapshot RAS depth does not match");
+        for (Addr &a : stack)
+            a = r.u64();
+        top = r.u32();
+        count = r.u32();
+        if (top >= stack.size() || count > stack.size())
+            throw SnapError("corrupt snapshot: bad RAS cursor");
+    }
+
   private:
     std::vector<Addr> stack;
     unsigned top = 0;
@@ -140,6 +168,31 @@ class IndirectPredictor
         e.pc = pc;
         e.target = target;
         history = (history << 4) ^ (target >> 1);
+    }
+
+    void
+    snapSave(SnapWriter &w) const
+    {
+        w.u64(table.size());
+        for (const Entry &e : table) {
+            w.b(e.valid);
+            w.u64(e.pc);
+            w.u64(e.target);
+        }
+        w.u64(history);
+    }
+
+    void
+    snapLoad(SnapReader &r)
+    {
+        if (r.u64() != table.size())
+            throw SnapError("snapshot indirect table does not match");
+        for (Entry &e : table) {
+            e.valid = r.b();
+            e.pc = r.u64();
+            e.target = r.u64();
+        }
+        history = r.u64();
     }
 
   private:

@@ -1,6 +1,7 @@
 #include "branch/direction.h"
 
 #include "common/bitutil.h"
+#include "common/snapio.h"
 
 namespace xt910
 {
@@ -80,6 +81,45 @@ DirectionPredictor::update(Addr pc, bool taken)
 
     history = ((history << 1) | uint64_t(taken)) & mask(p.historyBits);
     return mispredict;
+}
+
+void
+DirectionPredictor::snapSave(SnapWriter &w) const
+{
+    w.u32(unsigned(banks.size()));
+    for (const auto &bank : banks) {
+        w.u64(bank.size());
+        for (const BankEntry &e : bank)
+            w.u8(e.counter);
+    }
+    for (const auto &scores : bankScore) {
+        w.u64(scores.size());
+        for (uint8_t s : scores)
+            w.u8(s);
+    }
+    w.u64(history);
+    stats.snapSave(w);
+}
+
+void
+DirectionPredictor::snapLoad(SnapReader &r)
+{
+    if (r.u32() != banks.size())
+        throw SnapError("snapshot predictor geometry does not match");
+    for (auto &bank : banks) {
+        if (r.u64() != bank.size())
+            throw SnapError("snapshot predictor geometry does not match");
+        for (BankEntry &e : bank)
+            e.counter = r.u8();
+    }
+    for (auto &scores : bankScore) {
+        if (r.u64() != scores.size())
+            throw SnapError("snapshot predictor geometry does not match");
+        for (uint8_t &s : scores)
+            s = r.u8();
+    }
+    history = r.u64();
+    stats.snapLoad(r);
 }
 
 } // namespace xt910

@@ -57,6 +57,10 @@ class DirectionPredictor
 
     const DirectionParams &params() const { return p; }
 
+    /** Serialize bank counters, monitoring scores and history. */
+    void snapSave(class SnapWriter &w) const;
+    void snapLoad(class SnapReader &r);
+
     StatGroup stats;
     Counter lookups;
     Counter mispredicts;

@@ -12,6 +12,7 @@
 #ifndef XT910_BRANCH_LOOPBUFFER_H
 #define XT910_BRANCH_LOOPBUFFER_H
 
+#include "common/snapio.h"
 #include "common/stats.h"
 #include "common/types.h"
 
@@ -55,6 +56,28 @@ class LoopBuffer
 
     const LoopBufferParams &params() const { return p; }
     bool capturing() const { return captured; }
+
+    void
+    snapSave(SnapWriter &w) const
+    {
+        w.b(captured);
+        w.u64(branchPc);
+        w.u64(target);
+        w.u64(trainPc);
+        w.u32(trainCount);
+        stats.snapSave(w);
+    }
+
+    void
+    snapLoad(SnapReader &r)
+    {
+        captured = r.b();
+        branchPc = r.u64();
+        target = r.u64();
+        trainPc = r.u64();
+        trainCount = r.u32();
+        stats.snapLoad(r);
+    }
 
     StatGroup stats;
     Counter captures;          ///< loops captured

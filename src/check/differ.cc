@@ -5,9 +5,11 @@
 #include <sstream>
 
 #include "common/parallel.h"
+#include "common/snapio.h"
 #include "core/system.h"
 #include "func/csr.h"
 #include "func/iss.h"
+#include "snap/snapshot.h"
 
 namespace xt910::check
 {
@@ -167,10 +169,12 @@ runIss(const GenProgram &prog, bool blockCache)
     return snap;
 }
 
-ArchSnapshot
-runSystem(const GenProgram &prog)
+namespace
 {
-    Program p = prog.assemble();
+
+SystemConfig
+systemConfig(const GenProgram &prog)
+{
     SystemConfig cfg;
     cfg.numCores = 1;
     cfg.iss = issOptions(prog, true);
@@ -178,6 +182,16 @@ runSystem(const GenProgram &prog)
     // prefers it over the IssOptions one — keep them in lockstep.
     cfg.core.vlenBits = prog.cfg.vlenBits;
     cfg.maxInsts = kRunLimit;
+    return cfg;
+}
+
+} // namespace
+
+ArchSnapshot
+runSystem(const GenProgram &prog)
+{
+    Program p = prog.assemble();
+    SystemConfig cfg = systemConfig(prog);
     System sys(cfg);
     sys.loadProgram(p);
     RunResult r = sys.run();
@@ -227,6 +241,63 @@ runBatch(const std::vector<GenProgram> &progs, unsigned jobs)
     parallelFor(progs.size(), jobs,
                 [&](size_t i) { out[i] = runIss(progs[i], true); });
     return out;
+}
+
+DiffResult
+checkSnapshotResume(const GenProgram &prog, uint64_t snapAtInsts)
+{
+    Program p = prog.assemble();
+    SystemConfig cfg = systemConfig(prog);
+
+    // Straight-through reference run.
+    System ref(cfg);
+    ref.loadProgram(p);
+    RunResult rr = ref.run();
+    if (rr.stop != StopReason::Halted)
+        return {false, "reference run did not halt"};
+    ArchSnapshot want =
+        capture(ref.iss(), ref.memory(), p, prog.cfg.vlenBits);
+    std::ostringstream wantStats;
+    ref.dumpStatsJson(wantStats, true);
+
+    // Second run, snapshotting once snapAtInsts instructions retired.
+    // The hook only reads the System, so this run is the reference run.
+    std::vector<uint8_t> bytes;
+    {
+        System sys(cfg);
+        sys.loadProgram(p);
+        sys.stepHook = [&](uint64_t n, System &s) {
+            if (bytes.empty() && n >= snapAtInsts)
+                bytes = snap::saveSnapshotBytes(s, n);
+        };
+        sys.run();
+    }
+    if (bytes.empty())
+        return {false, "snapshot point was never reached"};
+
+    // Restore into a fresh System and finish the run there.
+    System res(cfg);
+    res.loadProgram(p);
+    try {
+        snap::restoreSnapshotBytes(res, bytes.data(), bytes.size());
+    } catch (const SnapError &e) {
+        return {false, std::string("restore refused: ") + e.what()};
+    }
+    RunResult r2 = res.run();
+    if (r2.stop != StopReason::Halted)
+        return {false, "resumed run did not halt"};
+
+    ArchSnapshot got =
+        capture(res.iss(), res.memory(), p, prog.cfg.vlenBits);
+    if (!(want == got))
+        return {false, "straight-through vs resumed: " +
+                           describeDiff(want, got)};
+    std::ostringstream gotStats;
+    res.dumpStatsJson(gotStats, true);
+    if (wantStats.str() != gotStats.str())
+        return {false,
+                "resumed stats JSON differs from straight-through run"};
+    return {};
 }
 
 } // namespace xt910::check

@@ -78,6 +78,18 @@ DiffResult checkProgram(const GenProgram &prog);
 std::vector<ArchSnapshot> runBatch(const std::vector<GenProgram> &progs,
                                    unsigned jobs);
 
+/**
+ * Checkpoint/restore lockstep check: run @p prog straight through on a
+ * full System, then rerun it capturing a whole-system snapshot once
+ * @p snapAtInsts instructions have retired, restore that snapshot into
+ * a *fresh* System, and run it to completion. The resumed run must
+ * match the straight-through run exactly — same ArchSnapshot and a
+ * byte-identical component-stats JSON dump — or the snapshot subsystem
+ * dropped state somewhere.
+ */
+DiffResult checkSnapshotResume(const GenProgram &prog,
+                               uint64_t snapAtInsts);
+
 } // namespace xt910::check
 
 #endif // XT910_CHECK_DIFFER_H

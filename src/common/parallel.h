@@ -19,9 +19,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <exception>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -104,6 +107,148 @@ parallelFor(size_t n, unsigned jobs, Fn &&fn)
         t.join();
     if (firstError)
         std::rethrow_exception(firstError);
+}
+
+// ---------------------------------------------------------------------
+// Hardened farm: per-job wall-clock timeouts, bounded retry with
+// exponential backoff, and partial-result salvage. One crashed or hung
+// job must never take down a whole campaign — it gets a status entry,
+// the other jobs complete normally.
+// ---------------------------------------------------------------------
+
+/** Thrown by a job that noticed its deadline passed (cooperative:
+ *  worker threads cannot be killed, so jobs poll JobContext). */
+class FarmTimeout : public std::runtime_error
+{
+  public:
+    explicit FarmTimeout(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+/** What became of one farm job, in submission order. */
+enum class JobStatus : uint8_t
+{
+    Ok,       ///< completed (possibly after retries)
+    Failed,   ///< exhausted retries on exceptions
+    TimedOut, ///< exhausted retries on deadline overruns
+};
+
+inline const char *
+jobStatusName(JobStatus s)
+{
+    switch (s) {
+      case JobStatus::Ok: return "ok";
+      case JobStatus::Failed: return "FAILED";
+      case JobStatus::TimedOut: return "TIMEOUT";
+    }
+    return "?";
+}
+
+/** Per-job outcome record returned by runHardened. */
+struct JobReport
+{
+    JobStatus status = JobStatus::Ok;
+    unsigned attempts = 0;    ///< total attempts made (>= 1)
+    std::string error;        ///< last failure's what() ("" when Ok)
+};
+
+/** Retry/timeout policy for runHardened. */
+struct FarmPolicy
+{
+    /** Per-attempt wall-clock budget in seconds; 0 disables. */
+    double timeoutSecs = 0.0;
+    /** Retries after the first failed attempt. */
+    unsigned retries = 1;
+    /** First retry delay; doubles per subsequent retry. 0 disables. */
+    unsigned backoffMs = 50;
+};
+
+/**
+ * Deadline handle passed to every attempt. Long-running jobs poll
+ * expired() (cheaply, e.g. every few thousand simulated instructions)
+ * and throw FarmTimeout — or call checkDeadline() which does both.
+ */
+class JobContext
+{
+  public:
+    JobContext(double timeoutSecs, unsigned attempt_)
+        : attempt(attempt_), hasDeadline(timeoutSecs > 0)
+    {
+        if (hasDeadline)
+            deadline = std::chrono::steady_clock::now() +
+                       std::chrono::duration_cast<
+                           std::chrono::steady_clock::duration>(
+                           std::chrono::duration<double>(timeoutSecs));
+    }
+
+    bool
+    expired() const
+    {
+        return hasDeadline &&
+               std::chrono::steady_clock::now() >= deadline;
+    }
+
+    void
+    checkDeadline() const
+    {
+        if (expired())
+            throw FarmTimeout("job exceeded its wall-clock budget");
+    }
+
+    /** Which attempt this is (0 = first try). */
+    const unsigned attempt;
+
+  private:
+    bool hasDeadline;
+    std::chrono::steady_clock::time_point deadline;
+};
+
+/**
+ * Like parallelFor, but each job is isolated: fn(i, ctx) may throw (or
+ * overrun its deadline and throw FarmTimeout via ctx.checkDeadline())
+ * without affecting any other index — the failed attempt is retried up
+ * to policy.retries times with exponential backoff, and the final
+ * outcome lands in the returned report vector (submission order).
+ * Unlike parallelFor, exceptions are never rethrown: inspect the
+ * reports. @p fn must make each attempt self-contained (rebuild its
+ * System, or restore from a checkpoint) since a failed attempt's
+ * partial state is abandoned.
+ */
+template <typename Fn>
+std::vector<JobReport>
+runHardened(size_t n, unsigned jobs, const FarmPolicy &policy, Fn &&fn)
+{
+    std::vector<JobReport> reports(n);
+    parallelFor(n, jobs, [&](size_t i) {
+        JobReport &rep = reports[i];
+        for (unsigned attempt = 0;; ++attempt) {
+            ++rep.attempts;
+            try {
+                JobContext ctx(policy.timeoutSecs, attempt);
+                fn(i, ctx);
+                rep.status = JobStatus::Ok;
+                rep.error.clear();
+                return;
+            } catch (const FarmTimeout &e) {
+                rep.status = JobStatus::TimedOut;
+                rep.error = e.what();
+            } catch (const std::exception &e) {
+                rep.status = JobStatus::Failed;
+                rep.error = e.what();
+            } catch (...) {
+                rep.status = JobStatus::Failed;
+                rep.error = "unknown exception";
+            }
+            if (attempt >= policy.retries)
+                return;
+            if (policy.backoffMs) {
+                std::this_thread::sleep_for(std::chrono::milliseconds(
+                    policy.backoffMs << attempt));
+            }
+        }
+    });
+    return reports;
 }
 
 } // namespace xt910

@@ -1,0 +1,51 @@
+/** @file See snapio.h. */
+
+#include "common/snapio.h"
+
+#include <cstdio>
+
+namespace xt910
+{
+
+std::vector<uint8_t>
+snapReadFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        throw SnapError("cannot open snapshot file: " + path);
+    std::fseek(f, 0, SEEK_END);
+    long len = std::ftell(f);
+    if (len < 0) {
+        std::fclose(f);
+        throw SnapError("cannot read snapshot file: " + path);
+    }
+    std::fseek(f, 0, SEEK_SET);
+    std::vector<uint8_t> buf(static_cast<size_t>(len), 0);
+    size_t got = len ? std::fread(buf.data(), 1, buf.size(), f) : 0;
+    std::fclose(f);
+    if (got != buf.size())
+        throw SnapError("short read on snapshot file: " + path);
+    return buf;
+}
+
+void
+snapWriteFileAtomic(const std::string &path, const void *data, size_t n)
+{
+    const std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        throw SnapError("cannot create " + tmp);
+    size_t put = n ? std::fwrite(data, 1, n, f) : 0;
+    bool ok = put == n && std::fflush(f) == 0;
+    ok = std::fclose(f) == 0 && ok;
+    if (!ok) {
+        std::remove(tmp.c_str());
+        throw SnapError("short write on " + tmp);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw SnapError("cannot rename " + tmp + " to " + path);
+    }
+}
+
+} // namespace xt910

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Binary serialization primitives for the snapshot subsystem: a
+ * little-endian byte-buffer writer/reader pair with hard bounds
+ * checking, the FNV-1a checksum used for per-section integrity, and
+ * crash-safe file helpers (atomic write-rename, so a process killed
+ * mid-checkpoint never leaves a corrupt snapshot under the final name).
+ *
+ * Every component that can be checkpointed implements
+ *
+ *   void snapSave(SnapWriter &w) const;
+ *   void snapLoad(SnapReader &r);
+ *
+ * against these primitives. Errors — truncated input, a geometry or
+ * name mismatch against the live configuration — throw SnapError, and
+ * restore paths treat any SnapError as "refuse the snapshot", never as
+ * partially-applied state.
+ */
+
+#ifndef XT910_COMMON_SNAPIO_H
+#define XT910_COMMON_SNAPIO_H
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace xt910
+{
+
+/** Any malformed-snapshot or config-mismatch condition. */
+class SnapError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** FNV-1a over @p n bytes (the per-section checksum). */
+inline uint64_t
+fnv1a(const void *data, size_t n,
+      uint64_t seed = 0xcbf29ce484222325ull)
+{
+    const uint8_t *p = static_cast<const uint8_t *>(data);
+    uint64_t h = seed;
+    for (size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+/** Append-only little-endian byte buffer. */
+class SnapWriter
+{
+  public:
+    void
+    bytes(const void *data, size_t n)
+    {
+        const uint8_t *p = static_cast<const uint8_t *>(data);
+        buf.insert(buf.end(), p, p + n);
+    }
+
+    void u8(uint8_t v) { buf.push_back(v); }
+
+    void
+    u16(uint16_t v)
+    {
+        u8(uint8_t(v));
+        u8(uint8_t(v >> 8));
+    }
+
+    void
+    u32(uint32_t v)
+    {
+        u16(uint16_t(v));
+        u16(uint16_t(v >> 16));
+    }
+
+    void
+    u64(uint64_t v)
+    {
+        u32(uint32_t(v));
+        u32(uint32_t(v >> 32));
+    }
+
+    void i64(int64_t v) { u64(uint64_t(v)); }
+    void b(bool v) { u8(v ? 1 : 0); }
+
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        bytes(s.data(), s.size());
+    }
+
+    const std::vector<uint8_t> &data() const { return buf; }
+    size_t size() const { return buf.size(); }
+
+  private:
+    std::vector<uint8_t> buf;
+};
+
+/** Bounds-checked reader over a byte span; throws SnapError on
+ *  underrun or malformed values — it never reads past the end. */
+class SnapReader
+{
+  public:
+    SnapReader(const uint8_t *data, size_t n) : p(data), end(data + n) {}
+
+    void
+    bytes(void *out, size_t n)
+    {
+        need(n);
+        std::memcpy(out, p, n);
+        p += n;
+    }
+
+    uint8_t
+    u8()
+    {
+        need(1);
+        return *p++;
+    }
+
+    uint16_t
+    u16()
+    {
+        uint16_t lo = u8();
+        return uint16_t(lo | (uint16_t(u8()) << 8));
+    }
+
+    uint32_t
+    u32()
+    {
+        uint32_t lo = u16();
+        return lo | (uint32_t(u16()) << 16);
+    }
+
+    uint64_t
+    u64()
+    {
+        uint64_t lo = u32();
+        return lo | (uint64_t(u32()) << 32);
+    }
+
+    int64_t i64() { return int64_t(u64()); }
+
+    bool
+    b()
+    {
+        uint8_t v = u8();
+        if (v > 1)
+            throw SnapError("corrupt snapshot: bad bool encoding");
+        return v != 0;
+    }
+
+    std::string
+    str()
+    {
+        uint64_t n = u64();
+        need(n);
+        std::string s(reinterpret_cast<const char *>(p), size_t(n));
+        p += n;
+        return s;
+    }
+
+    size_t remaining() const { return size_t(end - p); }
+
+    /** Advance past @p n bytes without reading them. */
+    void
+    skip(size_t n)
+    {
+        need(n);
+        p += n;
+    }
+
+    /** Assert the payload was consumed exactly (catches section-layout
+     *  drift between writer and reader versions). */
+    void
+    expectEnd(const char *what)
+    {
+        if (p != end)
+            throw SnapError(std::string("snapshot section '") + what +
+                            "' has " + std::to_string(remaining()) +
+                            " unconsumed bytes (format mismatch)");
+    }
+
+  private:
+    void
+    need(size_t n)
+    {
+        if (size_t(end - p) < n)
+            throw SnapError("corrupt snapshot: truncated data");
+    }
+
+    const uint8_t *p;
+    const uint8_t *end;
+};
+
+/**
+ * Read a whole file; throws SnapError when it cannot be opened or
+ * read.
+ */
+std::vector<uint8_t> snapReadFile(const std::string &path);
+
+/**
+ * Crash-safe whole-file write: the bytes land in @p path + ".tmp"
+ * first and are moved over @p path with rename(2), which is atomic on
+ * POSIX — a reader (or a crash) either sees the complete old file or
+ * the complete new one. Throws SnapError on any I/O failure, removing
+ * the temporary.
+ */
+void snapWriteFileAtomic(const std::string &path, const void *data,
+                         size_t n);
+
+} // namespace xt910
+
+#endif // XT910_COMMON_SNAPIO_H

@@ -5,6 +5,7 @@
 #include <map>
 
 #include "common/json.h"
+#include "common/snapio.h"
 
 namespace xt910
 {
@@ -53,6 +54,34 @@ StatGroup::dumpJson(std::ostream &os) const
         os << "\"" << json::escape(c->name()) << "\": " << c->value();
     }
     os << "}";
+}
+
+void
+StatGroup::snapSave(SnapWriter &w) const
+{
+    w.u64(_counters.size());
+    for (const Counter *c : _counters) {
+        w.str(c->name());
+        w.u64(c->value());
+    }
+}
+
+void
+StatGroup::snapLoad(SnapReader &r)
+{
+    uint64_t n = r.u64();
+    if (n != _counters.size())
+        throw SnapError("stat group '" + _name + "' has " +
+                        std::to_string(_counters.size()) +
+                        " counters, snapshot has " + std::to_string(n));
+    for (Counter *c : _counters) {
+        std::string name = r.str();
+        if (name != c->name())
+            throw SnapError("stat group '" + _name +
+                            "' counter order mismatch: expected '" +
+                            c->name() + "', snapshot has '" + name + "'");
+        c->set(r.u64());
+    }
 }
 
 void

@@ -73,6 +73,17 @@ class StatGroup
     /** Look up a counter by name; nullptr when absent. */
     const Counter *find(const std::string &name) const;
 
+    /** Serialize every counter (name + value) for a checkpoint. */
+    void snapSave(class SnapWriter &w) const;
+
+    /**
+     * Restore counter values. The counter list must match the saved
+     * one exactly (same names, same registration order) — a mismatch
+     * throws SnapError, since it means the snapshot was taken by a
+     * different build or configuration.
+     */
+    void snapLoad(class SnapReader &r);
+
   private:
     std::string _name;
     std::vector<Counter *> _counters;

@@ -11,6 +11,7 @@
 #include <map>
 #include <set>
 
+#include "common/snapio.h"
 #include "common/types.h"
 
 namespace xt910
@@ -42,6 +43,27 @@ class BandwidthLimiter
     }
 
     unsigned perCycle() const { return width; }
+
+    void
+    snapSave(SnapWriter &w) const
+    {
+        w.u64(booked.size());
+        for (const auto &[cyc, n] : booked) {
+            w.u64(cyc);
+            w.u32(n);
+        }
+    }
+
+    void
+    snapLoad(SnapReader &r)
+    {
+        booked.clear();
+        uint64_t n = r.u64();
+        for (uint64_t i = 0; i < n; ++i) {
+            Cycle cyc = r.u64();
+            booked[cyc] = r.u32();
+        }
+    }
 
   private:
     unsigned width;
@@ -83,6 +105,23 @@ class PortSchedule
             Cycle horizon = start > 2048 ? start - 2048 : 0;
             busy.erase(busy.begin(), busy.lower_bound(horizon));
         }
+    }
+
+    void
+    snapSave(SnapWriter &w) const
+    {
+        w.u64(busy.size());
+        for (Cycle c : busy)
+            w.u64(c);
+    }
+
+    void
+    snapLoad(SnapReader &r)
+    {
+        busy.clear();
+        uint64_t n = r.u64();
+        for (uint64_t i = 0; i < n; ++i)
+            busy.insert(r.u64());
     }
 
   private:

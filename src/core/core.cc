@@ -8,6 +8,7 @@
 #include "check/invariants.h"
 #include "common/bitutil.h"
 #include "common/log.h"
+#include "common/snapio.h"
 #include "isa/disasm.h"
 
 namespace xt910
@@ -886,6 +887,178 @@ XtCore::dumpStats(std::ostream &os) const
     pf.stats.dump(os);
     itlb.stats.dump(os);
     dtlb.stats.dump(os);
+}
+
+namespace
+{
+
+void
+saveCycleDeque(SnapWriter &w, const std::deque<Cycle> &d)
+{
+    w.u64(d.size());
+    for (Cycle c : d)
+        w.u64(c);
+}
+
+void
+loadCycleDeque(SnapReader &r, std::deque<Cycle> &d)
+{
+    d.clear();
+    uint64_t n = r.u64();
+    for (uint64_t i = 0; i < n; ++i)
+        d.push_back(r.u64());
+}
+
+} // namespace
+
+void
+XtCore::snapSave(SnapWriter &w) const
+{
+    stats.snapSave(w);
+    topdown.snapSave(w);
+    dirPred.snapSave(w);
+    btb.snapSave(w);
+    lbuf.snapSave(w);
+    pf.snapSave(w);
+    itlb.snapSave(w);
+    dtlb.snapSave(w);
+    ras.snapSave(w);
+    indirect.snapSave(w);
+
+    // contextSwitch mutates the params copy's ASID: it is live state.
+    w.u16(p.asid);
+
+    decodeBw.snapSave(w);
+    renameBw.snapSave(w);
+    issueBw.snapSave(w);
+    retireBw.snapSave(w);
+    for (const PortSchedule &port : ports)
+        port.snapSave(w);
+    for (const auto &cls : regReady)
+        for (Cycle c : cls)
+            w.u64(c);
+    for (const auto &cls : accReady)
+        for (Cycle c : cls)
+            w.u64(c);
+
+    w.u64(curWindow);
+    w.u64(curWindowReady);
+    w.u32(curWindowCount);
+    w.u64(lastGroupStart);
+    w.u64(fetchResume);
+    w.u64(prevFetchLine);
+    w.u64(redirectResume);
+    w.b(fetchRedirectBound);
+
+    saveCycleDeque(w, rob);
+    saveCycleDeque(w, lqRetire);
+    saveCycleDeque(w, sqRetireQ);
+    for (const auto &iq : iqBusy) {
+        w.u64(iq.size());
+        for (Cycle c : iq)
+            w.u64(c);
+    }
+
+    w.u64(sq.size());
+    for (const SqEntry &e : sq) {
+        w.u64(e.pc);
+        w.u64(e.addr);
+        w.u32(e.size);
+        w.u64(e.addrReady);
+        w.u64(e.dataReady);
+        w.u64(e.retire);
+    }
+
+    std::vector<Addr> tagged(taggedLoads.begin(), taggedLoads.end());
+    std::sort(tagged.begin(), tagged.end());
+    w.u64(tagged.size());
+    for (Addr a : tagged)
+        w.u64(a);
+
+    w.u64(lastRetire);
+    w.u64(lastIssue);
+    w.u64(serializeUntil);
+    w.u64(maxDone);
+    w.u64(nRetired);
+    w.u32(lastVl);
+    w.b(lastVlValid);
+    w.b(forcedMispredict);
+}
+
+void
+XtCore::snapLoad(SnapReader &r)
+{
+    stats.snapLoad(r);
+    topdown.snapLoad(r);
+    dirPred.snapLoad(r);
+    btb.snapLoad(r);
+    lbuf.snapLoad(r);
+    pf.snapLoad(r);
+    itlb.snapLoad(r);
+    dtlb.snapLoad(r);
+    ras.snapLoad(r);
+    indirect.snapLoad(r);
+
+    p.asid = r.u16();
+
+    decodeBw.snapLoad(r);
+    renameBw.snapLoad(r);
+    issueBw.snapLoad(r);
+    retireBw.snapLoad(r);
+    for (PortSchedule &port : ports)
+        port.snapLoad(r);
+    for (auto &cls : regReady)
+        for (Cycle &c : cls)
+            c = r.u64();
+    for (auto &cls : accReady)
+        for (Cycle &c : cls)
+            c = r.u64();
+
+    curWindow = r.u64();
+    curWindowReady = r.u64();
+    curWindowCount = r.u32();
+    lastGroupStart = r.u64();
+    fetchResume = r.u64();
+    prevFetchLine = r.u64();
+    redirectResume = r.u64();
+    fetchRedirectBound = r.b();
+
+    loadCycleDeque(r, rob);
+    loadCycleDeque(r, lqRetire);
+    loadCycleDeque(r, sqRetireQ);
+    for (auto &iq : iqBusy) {
+        iq.clear();
+        uint64_t n = r.u64();
+        for (uint64_t i = 0; i < n; ++i)
+            iq.insert(r.u64());
+    }
+
+    sq.clear();
+    uint64_t nSq = r.u64();
+    for (uint64_t i = 0; i < nSq; ++i) {
+        SqEntry e;
+        e.pc = r.u64();
+        e.addr = r.u64();
+        e.size = r.u32();
+        e.addrReady = r.u64();
+        e.dataReady = r.u64();
+        e.retire = r.u64();
+        sq.push_back(e);
+    }
+
+    taggedLoads.clear();
+    uint64_t nTagged = r.u64();
+    for (uint64_t i = 0; i < nTagged; ++i)
+        taggedLoads.insert(r.u64());
+
+    lastRetire = r.u64();
+    lastIssue = r.u64();
+    serializeUntil = r.u64();
+    maxDone = r.u64();
+    nRetired = r.u64();
+    lastVl = r.u32();
+    lastVlValid = r.b();
+    forcedMispredict = r.b();
 }
 
 } // namespace xt910

@@ -114,6 +114,17 @@ class XtCore : public PrefetchSink
     void forEachStatGroup(
         const std::function<void(const StatGroup &)> &fn) const;
 
+    /**
+     * Serialize every piece of timing state: predictors, TLBs, RAS,
+     * bandwidth/port bookings, register readiness, frontend cursors,
+     * window occupancy (ROB/LQ/SQ/issue queues), store queue, the
+     * memory-dependence predictor, retire cursors and the top-down
+     * accounting — everything consume() reads or writes, so a restored
+     * core schedules the next µop onto identical cycles.
+     */
+    void snapSave(class SnapWriter &w) const;
+    void snapLoad(class SnapReader &r);
+
     StatGroup stats;
     Counter uops;
     Counter branchMispredicts;

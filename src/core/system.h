@@ -98,6 +98,7 @@ class System
     MemSystem &memSystem() { return *memSys; }
     XtCore &core(unsigned i = 0) { return *cores[i]; }
     Memory &memory() { return mem; }
+    Watchdog &watchdog(unsigned i = 0) { return watchdogs[i]; }
     const SystemConfig &config() const { return cfg; }
 
     void dumpStats(std::ostream &os) const;

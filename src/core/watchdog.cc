@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "common/snapio.h"
+
 namespace xt910
 {
 
@@ -82,6 +84,38 @@ Watchdog::reset()
     hasFired = false;
     ring.clear();
     ringNext = 0;
+}
+
+void
+Watchdog::snapSave(SnapWriter &w) const
+{
+    w.u64(anchorPc);
+    w.b(anchorValid);
+    w.u64(lastMemAddr);
+    w.b(lastMemValid);
+    w.u64(spinCount);
+    w.b(hasFired);
+    w.u64(ring.size());
+    for (Addr a : ring)
+        w.u64(a);
+    w.u64(ringNext);
+}
+
+void
+Watchdog::snapLoad(SnapReader &r)
+{
+    anchorPc = r.u64();
+    anchorValid = r.b();
+    lastMemAddr = r.u64();
+    lastMemValid = r.b();
+    spinCount = r.u64();
+    hasFired = r.b();
+    ring.resize(r.u64());
+    for (Addr &a : ring)
+        a = r.u64();
+    ringNext = r.u64();
+    if (ringNext > ring.size())
+        throw SnapError("corrupt snapshot: bad watchdog ring cursor");
 }
 
 } // namespace xt910

@@ -64,6 +64,10 @@ class Watchdog
 
     void reset();
 
+    /** Serialize spin-tracking state and the PC ring buffer. */
+    void snapSave(class SnapWriter &w) const;
+    void snapLoad(class SnapReader &r);
+
   private:
     WatchdogParams p;
     Addr anchorPc = 0;       ///< window reference point

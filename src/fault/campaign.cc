@@ -1,10 +1,31 @@
 #include "fault/campaign.h"
 
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/json.h"
 #include "common/log.h"
 #include "common/parallel.h"
 
 namespace xt910
 {
+
+namespace
+{
+
+const char *
+stopName(StopReason s)
+{
+    switch (s) {
+      case StopReason::Halted: return "halted";
+      case StopReason::InstLimit: return "inst-limit";
+      case StopReason::CycleLimit: return "cycle-limit";
+      case StopReason::Watchdog: return "watchdog";
+    }
+    return "?";
+}
+
+} // namespace
 
 FaultCampaign::FaultCampaign(CampaignConfig cfg_)
     : stats("campaign"),
@@ -14,6 +35,7 @@ FaultCampaign::FaultCampaign(CampaignConfig cfg_)
       silent(stats, "silent", "wrong result with no trap (SDC)"),
       hung(stats, "hung", "watchdog or run limit fired"),
       crashed(stats, "crashed", "hart died on an unhandled trap"),
+      lost(stats, "lost", "trial aborted on a host-side error"),
       cfg(std::move(cfg_))
 {
     resultAddr = cfg.program.symbol("result");
@@ -40,6 +62,12 @@ FaultCampaign::hardenedConfig() const
 Outcome
 FaultCampaign::runOne(const FaultPlan &plan)
 {
+    return runOneDetailed(plan).outcome;
+}
+
+TrialResult
+FaultCampaign::runOneDetailed(const FaultPlan &plan)
+{
     System sys(hardenedConfig());
     sys.loadProgram(cfg.program);
     FaultInjector inj(plan);
@@ -53,15 +81,35 @@ FaultCampaign::runOne(const FaultPlan &plan)
         anyFatal |= sys.iss().hart(h).fatalTrap;
     }
 
-    if (r.stop != StopReason::Halted)
-        return Outcome::Hung;
+    TrialResult t;
+    t.stop = r.stop;
+    if (r.stop != StopReason::Halted) {
+        t.outcome = Outcome::Hung;
+        t.diagnostic = r.diagnostic;
+        unsigned harts = sys.iss().numHarts();
+        for (unsigned h = 0; h < harts; ++h)
+            t.robOccupancy.push_back(sys.core(h).robOccupancy());
+        // PC trace from the hart that tripped the watchdog; for plain
+        // limit overruns hart 0's ring still holds the recent retires.
+        unsigned culprit = 0;
+        for (unsigned h = 0; h < harts; ++h) {
+            if (sys.watchdog(h).fired()) {
+                culprit = h;
+                break;
+            }
+        }
+        t.recentPcs = sys.watchdog(culprit).recentPcs();
+        return t;
+    }
     if (anyFatal)
-        return Outcome::Crashed;
-    if (traps > goldenTraps_)
-        return Outcome::Detected;
-    if (sys.memory().read(resultAddr, 8) == cfg.expected)
-        return Outcome::Masked;
-    return Outcome::Silent;
+        t.outcome = Outcome::Crashed;
+    else if (traps > goldenTraps_)
+        t.outcome = Outcome::Detected;
+    else if (sys.memory().read(resultAddr, 8) == cfg.expected)
+        t.outcome = Outcome::Masked;
+    else
+        t.outcome = Outcome::Silent;
+    return t;
 }
 
 void
@@ -97,21 +145,42 @@ FaultCampaign::run()
     }
 
     // Each trial builds its own System, so trials are independent and
-    // can run on the farm. Outcomes land in trial order and the
-    // counters merge in that order, keeping the report byte-identical
-    // at any job count.
-    std::vector<Outcome> outcomes(plans.size(), Outcome::Masked);
-    parallelFor(plans.size(), resolveJobs(cfg.jobs),
-                [&](size_t i) { outcomes[i] = runOne(plans[i]); });
+    // can run on the hardened farm: a trial that throws host-side is
+    // retried once and then written off as "lost" rather than taking
+    // the rest of the campaign with it. Outcomes land in trial order
+    // and the counters merge in that order, keeping the report
+    // byte-identical at any job count.
+    std::vector<TrialResult> results(plans.size());
+    auto reports = runHardened(
+        plans.size(), resolveJobs(cfg.jobs), FarmPolicy{0.0, 1, 0},
+        [&](size_t i, JobContext &) {
+            results[i] = runOneDetailed(plans[i]);
+        });
 
-    for (Outcome o : outcomes) {
+    for (size_t i = 0; i < results.size(); ++i) {
         ++runs;
-        switch (o) {
+        if (reports[i].status != JobStatus::Ok) {
+            ++lost;
+            if (lostTrials_.size() < maxDiags)
+                lostTrials_.emplace_back(i, reports[i].error);
+            continue;
+        }
+        switch (results[i].outcome) {
           case Outcome::Detected: ++detected; break;
           case Outcome::Masked: ++masked; break;
           case Outcome::Silent: ++silent; break;
-          case Outcome::Hung: ++hung; break;
           case Outcome::Crashed: ++crashed; break;
+          case Outcome::Lost: ++lost; break;
+          case Outcome::Hung:
+            ++hung;
+            if (hungDiags_.size() < maxDiags) {
+                HungDiag d;
+                d.trial = i;
+                d.plan = plans[i].describe();
+                d.result = std::move(results[i]);
+                hungDiags_.push_back(std::move(d));
+            }
+            break;
         }
     }
 }
@@ -134,6 +203,79 @@ FaultCampaign::report(std::ostream &os) const
     line(masked);
     line(silent);
     line(hung);
+    line(lost);
+    for (const HungDiag &d : hungDiags_) {
+        os << "  hung trial " << d.trial << " (" << d.plan << "): "
+           << stopName(d.result.stop) << ", rob";
+        for (uint64_t occ : d.result.robOccupancy)
+            os << " " << occ;
+        os << ", last pc ";
+        if (d.result.recentPcs.empty()) {
+            os << "-";
+        } else {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "0x%" PRIx64,
+                          uint64_t(d.result.recentPcs.back()));
+            os << buf;
+        }
+        os << "\n";
+    }
+    for (const auto &lt : lostTrials_)
+        os << "  lost trial " << lt.first << ": " << lt.second << "\n";
+}
+
+void
+FaultCampaign::reportJson(std::ostream &os) const
+{
+    char buf[32];
+    os << "{\n  \"campaign\": {\n";
+    os << "    \"seed\": " << cfg.seed << ",\n";
+    os << "    \"golden_insts\": " << goldenInsts_ << ",\n";
+    os << "    \"golden_traps\": " << goldenTraps_ << ",\n";
+    auto field = [&](const Counter &c) {
+        os << "    \"" << c.name() << "\": " << c.value() << ",\n";
+    };
+    field(runs);
+    field(detected);
+    field(crashed);
+    field(masked);
+    field(silent);
+    field(hung);
+    field(lost);
+    os << "    \"hung_trials\": [";
+    for (size_t i = 0; i < hungDiags_.size(); ++i) {
+        const HungDiag &d = hungDiags_[i];
+        os << (i ? ",\n" : "\n");
+        os << "      {\n";
+        os << "        \"trial\": " << d.trial << ",\n";
+        os << "        \"plan\": \"" << json::escape(d.plan) << "\",\n";
+        os << "        \"stop\": \"" << stopName(d.result.stop)
+           << "\",\n";
+        os << "        \"rob_occupancy\": [";
+        for (size_t c = 0; c < d.result.robOccupancy.size(); ++c)
+            os << (c ? ", " : "") << d.result.robOccupancy[c];
+        os << "],\n";
+        os << "        \"recent_pcs\": [";
+        for (size_t c = 0; c < d.result.recentPcs.size(); ++c) {
+            std::snprintf(buf, sizeof(buf), "0x%" PRIx64,
+                          uint64_t(d.result.recentPcs[c]));
+            os << (c ? ", " : "") << "\"" << buf << "\"";
+        }
+        os << "],\n";
+        os << "        \"diagnostic\": \""
+           << json::escape(d.result.diagnostic) << "\"\n";
+        os << "      }";
+    }
+    os << (hungDiags_.empty() ? "]" : "\n    ]") << ",\n";
+    os << "    \"lost_trials\": [";
+    for (size_t i = 0; i < lostTrials_.size(); ++i) {
+        os << (i ? ",\n" : "\n");
+        os << "      { \"trial\": " << lostTrials_[i].first
+           << ", \"error\": \"" << json::escape(lostTrials_[i].second)
+           << "\" }";
+    }
+    os << (lostTrials_.empty() ? "]" : "\n    ]") << "\n";
+    os << "  }\n}\n";
 }
 
 } // namespace xt910

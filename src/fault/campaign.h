@@ -12,7 +12,15 @@
  *  - silent:   the run completed with a wrong checksum and no trap —
  *    silent data corruption, the outcome fault-tolerance work cares
  *    about most;
- *  - hung:     the watchdog or a cycle/instruction limit fired.
+ *  - hung:     the watchdog or a cycle/instruction limit fired;
+ *  - lost:     the trial itself failed on the host side (an exception
+ *    escaped the simulator) — the hardened farm retries it once and
+ *    then salvages the campaign, recording the error instead of
+ *    aborting the remaining trials.
+ *
+ * Hung trials additionally record the watchdog's diagnostics (per-core
+ * ROB occupancy and the stuck hart's recent PC trace) into the
+ * campaign JSON, so hangs are debuggable without a rerun.
  *
  * Every run uses a fresh System with the same configuration; the fault
  * schedule derives deterministically from the campaign seed.
@@ -22,6 +30,8 @@
 #define XT910_FAULT_CAMPAIGN_H
 
 #include <ostream>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/stats.h"
@@ -58,12 +68,40 @@ enum class Outcome : uint8_t
     Silent,
     Hung,
     Crashed, ///< hart died on an unhandled trap (counted as detected)
+    Lost,    ///< trial aborted on a host-side error (salvaged, not run)
+};
+
+/**
+ * Full result of one injected run. The diagnostic fields are only
+ * populated for Hung outcomes: they capture the watchdog's view of the
+ * stuck guest (per-core ROB occupancy, the offending hart's recent PC
+ * trace) so a hang in a long campaign is debuggable from the campaign
+ * JSON alone, without rerunning the trial.
+ */
+struct TrialResult
+{
+    Outcome outcome = Outcome::Masked;
+    StopReason stop = StopReason::Halted;
+    std::vector<uint64_t> robOccupancy; ///< per core, at stop
+    std::vector<Addr> recentPcs;        ///< offending hart, oldest first
+    std::string diagnostic;             ///< watchdog/limit description
+};
+
+/** Hung-trial diagnostic retained for the campaign report. */
+struct HungDiag
+{
+    uint64_t trial = 0;  ///< index in plan order
+    std::string plan;    ///< FaultPlan::describe()
+    TrialResult result;
 };
 
 /** See file comment. */
 class FaultCampaign
 {
   public:
+    /** Hung/lost diagnostics kept per campaign (oldest trials win). */
+    static constexpr size_t maxDiags = 32;
+
     explicit FaultCampaign(CampaignConfig cfg);
 
     /** Run the whole campaign (golden + cfg.runs injected runs). */
@@ -72,11 +110,24 @@ class FaultCampaign
     /** Classify a single plan; used by run() and directly by tests. */
     Outcome runOne(const FaultPlan &plan);
 
+    /** Like runOne but returns hang diagnostics too. */
+    TrialResult runOneDetailed(const FaultPlan &plan);
+
     /** Print the summary table. */
     void report(std::ostream &os) const;
 
+    /**
+     * Emit the whole campaign as one JSON object: outcome counters,
+     * golden-run reference numbers, and the retained hung/lost trial
+     * diagnostics (capped at maxDiags each).
+     */
+    void reportJson(std::ostream &os) const;
+
     uint64_t goldenInsts() const { return goldenInsts_; }
     uint64_t goldenTraps() const { return goldenTraps_; }
+
+    /** Diagnostics of hung trials, in trial order (capped). */
+    const std::vector<HungDiag> &hungDiags() const { return hungDiags_; }
 
     StatGroup stats;
     Counter runs;
@@ -85,6 +136,7 @@ class FaultCampaign
     Counter silent;
     Counter hung;
     Counter crashed;
+    Counter lost;
 
   private:
     SystemConfig hardenedConfig() const;
@@ -93,6 +145,9 @@ class FaultCampaign
     Addr resultAddr = 0;
     uint64_t goldenInsts_ = 0;
     uint64_t goldenTraps_ = 0;
+    std::vector<HungDiag> hungDiags_;
+    /** (trial, error) for trials the farm salvaged (capped). */
+    std::vector<std::pair<uint64_t, std::string>> lostTrials_;
 };
 
 } // namespace xt910

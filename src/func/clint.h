@@ -18,6 +18,7 @@
 
 #include <vector>
 
+#include "common/snapio.h"
 #include "common/types.h"
 
 namespace xt910
@@ -82,6 +83,30 @@ class Clint
 
     uint64_t time() const { return mtime; }
     Addr baseAddr() const { return base; }
+
+    void
+    snapSave(SnapWriter &w) const
+    {
+        w.u64(mtime);
+        w.u64(msip.size());
+        for (uint32_t v : msip)
+            w.u32(v);
+        for (uint64_t v : mtimecmp)
+            w.u64(v);
+    }
+
+    void
+    snapLoad(SnapReader &r)
+    {
+        mtime = r.u64();
+        uint64_t n = r.u64();
+        if (n != msip.size())
+            throw SnapError("clint hart count mismatch");
+        for (uint32_t &v : msip)
+            v = r.u32();
+        for (uint64_t &v : mtimecmp)
+            v = r.u64();
+    }
 
   private:
     uint64_t

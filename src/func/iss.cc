@@ -4,8 +4,11 @@
 #include <cmath>
 #include <cstring>
 
+#include <algorithm>
+
 #include "common/bitutil.h"
 #include "common/log.h"
+#include "common/snapio.h"
 #include "func/csr.h"
 #include "func/fp16.h"
 #include "isa/disasm.h"
@@ -276,6 +279,112 @@ Iss::loadProgram(const Program &p)
         h.trapCount = 0;
         h.fatalTrap = false;
     }
+}
+
+namespace
+{
+
+void
+saveHart(SnapWriter &w, const ArchState &s)
+{
+    w.u64(s.pc);
+    for (uint64_t v : s.x)
+        w.u64(v);
+    for (uint64_t v : s.f)
+        w.u64(v);
+    for (const auto &vreg : s.v)
+        w.bytes(vreg.data(), vreg.size());
+    w.u64(s.vl);
+    w.u32(s.vtype.sew);
+    w.u32(s.vtype.lmul);
+    w.b(s.vtype.fp);
+    // CSR map sorted by number so the byte stream is deterministic.
+    std::vector<std::pair<uint32_t, uint64_t>> csrs(s.csrs.begin(),
+                                                    s.csrs.end());
+    std::sort(csrs.begin(), csrs.end());
+    w.u64(csrs.size());
+    for (const auto &[num, val] : csrs) {
+        w.u32(num);
+        w.u64(val);
+    }
+    w.b(s.resValid);
+    w.u64(s.resAddr);
+    w.b(s.halted);
+    w.i64(s.exitCode);
+    w.u64(s.instret);
+    w.u8(uint8_t(s.priv));
+    w.u64(s.trapCount);
+    w.b(s.fatalTrap);
+}
+
+void
+loadHart(SnapReader &r, ArchState &s)
+{
+    s.pc = r.u64();
+    for (uint64_t &v : s.x)
+        v = r.u64();
+    for (uint64_t &v : s.f)
+        v = r.u64();
+    for (auto &vreg : s.v)
+        r.bytes(vreg.data(), vreg.size());
+    s.vl = r.u64();
+    s.vtype.sew = r.u32();
+    s.vtype.lmul = r.u32();
+    s.vtype.fp = r.b();
+    // Zero existing entries instead of clear(): absent CSRs read as
+    // zero, and System caches node pointers into this map (mstatus/mie
+    // polling) that clear() would dangle — unordered_map nodes are
+    // reference-stable only while the key stays present.
+    for (auto &kv : s.csrs)
+        kv.second = 0;
+    uint64_t nCsrs = r.u64();
+    for (uint64_t i = 0; i < nCsrs; ++i) {
+        uint32_t num = r.u32();
+        s.csrs[num] = r.u64();
+    }
+    s.resValid = r.b();
+    s.resAddr = r.u64();
+    s.halted = r.b();
+    s.exitCode = int(r.i64());
+    s.instret = r.u64();
+    s.priv = PrivMode(r.u8());
+    s.trapCount = r.u64();
+    s.fatalTrap = r.b();
+}
+
+} // namespace
+
+void
+Iss::snapSave(SnapWriter &w) const
+{
+    w.u32(unsigned(harts.size()));
+    for (const ArchState &s : harts)
+        saveHart(w, s);
+    clintDev.snapSave(w);
+    w.str(consoleBuf);
+    w.u64(armedAccessFault.size());
+    for (bool armed : armedAccessFault)
+        w.b(armed);
+}
+
+void
+Iss::snapLoad(SnapReader &r)
+{
+    if (r.u32() != harts.size())
+        throw SnapError("snapshot hart count does not match system");
+    for (ArchState &s : harts)
+        loadHart(r, s);
+    clintDev.snapLoad(r);
+    consoleBuf = r.str();
+    if (r.u64() != armedAccessFault.size())
+        throw SnapError("snapshot fault-arm count mismatch");
+    for (size_t i = 0; i < armedAccessFault.size(); ++i)
+        armedAccessFault[i] = r.b();
+    // The decode products are caches over (now-replaced) memory
+    // contents: drop them all and let execution rebuild. This also
+    // resets the per-hart block cursors and resyncs the memory
+    // mutation epoch.
+    flushDecoded();
 }
 
 bool

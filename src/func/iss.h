@@ -165,6 +165,18 @@ class Iss
     }
 
     /**
+     * Serialize the complete architectural state: every hart's
+     * registers/CSRs/vector state, the CLINT, the console buffer and
+     * armed fault injections. The predecoded block cache and decode
+     * cache are deliberately *not* captured — they are pure caches of
+     * memory contents and are rebuilt on demand after snapLoad (which
+     * flushes them), so a restored run re-decodes but executes
+     * identically.
+     */
+    void snapSave(class SnapWriter &w) const;
+    void snapLoad(class SnapReader &r);
+
+    /**
      * Timing-model cycle source backing cycle/time/mcycle CSR reads.
      * When unset (functional-only runs) those CSRs read the hart's
      * retired-instruction count, which keeps them monotonic and

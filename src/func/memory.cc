@@ -1,6 +1,9 @@
 #include "func/memory.h"
 
+#include <algorithm>
+
 #include "common/log.h"
+#include "common/snapio.h"
 #include "xasm/assembler.h"
 
 namespace xt910
@@ -97,6 +100,50 @@ void
 Memory::loadProgram(const Program &p)
 {
     writeBytes(p.base, p.image.data(), p.image.size());
+}
+
+void
+Memory::snapSave(SnapWriter &w) const
+{
+    w.u64(physBound);
+    w.u64(mutations);
+    w.u64(faultRanges.size());
+    for (const auto &[base, len] : faultRanges) {
+        w.u64(base);
+        w.u64(len);
+    }
+    std::vector<Addr> vpns;
+    vpns.reserve(pages.size());
+    for (const auto &[vpn, page] : pages)
+        vpns.push_back(vpn);
+    std::sort(vpns.begin(), vpns.end());
+    w.u64(vpns.size());
+    for (Addr vpn : vpns) {
+        w.u64(vpn);
+        w.bytes(pages.at(vpn)->data(), pageSize);
+    }
+}
+
+void
+Memory::snapLoad(SnapReader &r)
+{
+    physBound = r.u64();
+    mutations = r.u64();
+    faultRanges.clear();
+    uint64_t nRanges = r.u64();
+    for (uint64_t i = 0; i < nRanges; ++i) {
+        Addr base = r.u64();
+        uint64_t len = r.u64();
+        faultRanges.emplace_back(base, len);
+    }
+    pages.clear();
+    uint64_t nPages = r.u64();
+    for (uint64_t i = 0; i < nPages; ++i) {
+        Addr vpn = r.u64();
+        auto page = std::make_unique<Page>();
+        r.bytes(page->data(), pageSize);
+        pages.emplace(vpn, std::move(page));
+    }
 }
 
 } // namespace xt910

@@ -107,6 +107,13 @@ class Memory
     /** Number of pages currently allocated (for tests). */
     size_t pageCount() const { return pages.size(); }
 
+    /** Serialize the full image: limit, fault ranges, sparse pages
+     *  (sorted by address so the byte stream is deterministic). */
+    void snapSave(class SnapWriter &w) const;
+
+    /** Replace the entire memory contents with a saved image. */
+    void snapLoad(class SnapReader &r);
+
   private:
     using Page = std::array<uint8_t, pageSize>;
 

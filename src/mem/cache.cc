@@ -3,6 +3,7 @@
 #include "check/invariants.h"
 #include "common/bitutil.h"
 #include "common/log.h"
+#include "common/snapio.h"
 
 namespace xt910
 {
@@ -187,6 +188,40 @@ Cache::injectBitError(Addr addr)
         return true;
     }
     return false;
+}
+
+void
+Cache::snapSave(SnapWriter &w) const
+{
+    w.u32(sets);
+    w.u32(p.assoc);
+    for (const Line &l : lines) {
+        w.u64(l.tag);
+        w.u8(uint8_t(l.state));
+        w.u64(l.lastUse);
+        w.b(l.prefetched);
+        w.b(l.bitError);
+    }
+    stats.snapSave(w);
+}
+
+void
+Cache::snapLoad(SnapReader &r)
+{
+    if (r.u32() != sets || r.u32() != p.assoc)
+        throw SnapError("snapshot cache geometry does not match: " +
+                        p.name);
+    for (Line &l : lines) {
+        l.tag = r.u64();
+        uint8_t st = r.u8();
+        if (st > uint8_t(CoherState::Modified))
+            throw SnapError("corrupt snapshot: bad coherence state");
+        l.state = CoherState(st);
+        l.lastUse = r.u64();
+        l.prefetched = r.b();
+        l.bitError = r.b();
+    }
+    stats.snapLoad(r);
 }
 
 bool

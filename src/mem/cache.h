@@ -130,6 +130,12 @@ class Cache
                     fn(lineAddr(s, lines[s * p.assoc + w]));
     }
 
+    /** Serialize every line (tag/state/LRU) plus the counters. The
+     *  geometry is checked on load: a snapshot taken under different
+     *  cache parameters is rejected, not silently reinterpreted. */
+    void snapSave(class SnapWriter &w) const;
+    void snapLoad(class SnapReader &r);
+
     StatGroup stats;
     Counter hits;
     Counter misses;

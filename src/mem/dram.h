@@ -11,6 +11,7 @@
 
 #include <algorithm>
 
+#include "common/snapio.h"
 #include "common/stats.h"
 #include "common/types.h"
 
@@ -61,6 +62,22 @@ class Dram
     }
 
     const DramParams &dramParams() const { return params; }
+
+    void
+    snapSave(SnapWriter &w) const
+    {
+        w.u64(readFree);
+        w.u64(writeFree);
+        stats.snapSave(w);
+    }
+
+    void
+    snapLoad(SnapReader &r)
+    {
+        readFree = r.u64();
+        writeFree = r.u64();
+        stats.snapLoad(r);
+    }
 
     StatGroup stats;
     Counter reads;

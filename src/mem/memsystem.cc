@@ -6,6 +6,7 @@
 #include "check/invariants.h"
 #include "common/bitutil.h"
 #include "common/log.h"
+#include "common/snapio.h"
 
 namespace xt910
 {
@@ -414,6 +415,109 @@ MemSystem::forEachStatGroup(
     for (const auto &c : l2s)
         fn(c->stats);
     fn(dramModel.stats);
+}
+
+namespace
+{
+
+void
+saveCycleMap(SnapWriter &w, const std::unordered_map<Addr, Cycle> &m)
+{
+    std::vector<std::pair<Addr, Cycle>> v(m.begin(), m.end());
+    std::sort(v.begin(), v.end());
+    w.u64(v.size());
+    for (const auto &[line, cyc] : v) {
+        w.u64(line);
+        w.u64(cyc);
+    }
+}
+
+void
+loadCycleMap(SnapReader &r, std::unordered_map<Addr, Cycle> &m)
+{
+    m.clear();
+    uint64_t n = r.u64();
+    for (uint64_t i = 0; i < n; ++i) {
+        Addr line = r.u64();
+        m[line] = r.u64();
+    }
+}
+
+} // namespace
+
+void
+MemSystem::snapSave(SnapWriter &w) const
+{
+    w.u32(p.numCores);
+    stats.snapSave(w);
+    for (const auto &c : l1is)
+        c->snapSave(w);
+    for (const auto &c : l1ds)
+        c->snapSave(w);
+    for (const auto &c : l2s)
+        c->snapSave(w);
+    dramModel.snapSave(w);
+
+    std::vector<std::pair<Addr, uint32_t>> dir;
+    dir.reserve(directory.size());
+    for (const auto &[line, e] : directory)
+        dir.emplace_back(line, e.sharers);
+    std::sort(dir.begin(), dir.end());
+    w.u64(dir.size());
+    for (const auto &[line, sharers] : dir) {
+        w.u64(line);
+        w.u32(sharers);
+    }
+
+    for (const auto &m : inflight)
+        saveCycleMap(w, m);
+    for (const auto &v : l1dMshrs) {
+        w.u64(v.size());
+        for (Cycle c : v)
+            w.u64(c);
+    }
+    for (const auto &v : l1iMshrs) {
+        w.u64(v.size());
+        for (Cycle c : v)
+            w.u64(c);
+    }
+}
+
+void
+MemSystem::snapLoad(SnapReader &r)
+{
+    if (r.u32() != p.numCores)
+        throw SnapError("snapshot core count does not match memsystem");
+    stats.snapLoad(r);
+    for (const auto &c : l1is)
+        c->snapLoad(r);
+    for (const auto &c : l1ds)
+        c->snapLoad(r);
+    for (const auto &c : l2s)
+        c->snapLoad(r);
+    dramModel.snapLoad(r);
+
+    directory.clear();
+    uint64_t nDir = r.u64();
+    for (uint64_t i = 0; i < nDir; ++i) {
+        Addr line = r.u64();
+        directory[line].sharers = r.u32();
+    }
+
+    for (auto &m : inflight)
+        loadCycleMap(r, m);
+    for (auto &v : l1dMshrs) {
+        if (r.u64() != v.size())
+            throw SnapError("snapshot MSHR count does not match");
+        for (Cycle &c : v)
+            c = r.u64();
+    }
+    for (auto &v : l1iMshrs) {
+        if (r.u64() != v.size())
+            throw SnapError("snapshot MSHR count does not match");
+        for (Cycle &c : v)
+            c = r.u64();
+    }
 }
 
 } // namespace xt910

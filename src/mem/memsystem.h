@@ -130,6 +130,12 @@ class MemSystem
     void forEachStatGroup(
         const std::function<void(const StatGroup &)> &fn) const;
 
+    /** Serialize the whole hierarchy: every cache, the DRAM model, the
+     *  coherence directory, in-flight fills and MSHR availability
+     *  (sorted maps so the byte stream is deterministic). */
+    void snapSave(class SnapWriter &w) const;
+    void snapLoad(class SnapReader &r);
+
     StatGroup stats;
     Counter snoopProbes;       ///< L1 probes sent for coherence
     Counter snoopFiltered;     ///< probes avoided by the snoop filter

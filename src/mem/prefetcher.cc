@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/log.h"
+#include "common/snapio.h"
 
 namespace xt910
 {
@@ -152,6 +153,39 @@ StreamPrefetcher::issueAhead(Stream &s, Addr vaddr, Cycle when,
         }
         s.nextPrefetch += uint64_t(s.stride);
     }
+}
+
+void
+StreamPrefetcher::snapSave(SnapWriter &w) const
+{
+    w.u64(streams.size());
+    for (const Stream &s : streams) {
+        w.b(s.valid);
+        w.u64(s.lastAddr);
+        w.i64(s.stride);
+        w.u32(s.confidence);
+        w.u64(s.nextPrefetch);
+        w.u64(s.lastUse);
+    }
+    w.u64(useClock);
+    stats.snapSave(w);
+}
+
+void
+StreamPrefetcher::snapLoad(SnapReader &r)
+{
+    if (r.u64() != streams.size())
+        throw SnapError("snapshot prefetcher geometry does not match");
+    for (Stream &s : streams) {
+        s.valid = r.b();
+        s.lastAddr = r.u64();
+        s.stride = r.i64();
+        s.confidence = r.u32();
+        s.nextPrefetch = r.u64();
+        s.lastUse = r.u64();
+    }
+    useClock = r.u64();
+    stats.snapLoad(r);
 }
 
 } // namespace xt910

@@ -85,6 +85,10 @@ class StreamPrefetcher
 
     const PrefetcherParams &params() const { return p; }
 
+    /** Serialize the stream table, LRU clock and counters. */
+    void snapSave(class SnapWriter &w) const;
+    void snapLoad(class SnapReader &r);
+
     StatGroup stats;
     Counter issuedL1;
     Counter issuedL2;

@@ -2,6 +2,7 @@
 
 #include "common/bitutil.h"
 #include "common/log.h"
+#include "common/snapio.h"
 
 namespace xt910
 {
@@ -160,6 +161,65 @@ Tlb::flushVa(Addr va)
     for (TlbEntry &e : jtlb)
         if (e.valid && (va >> pageShift(e.size)) == e.vpn)
             e.valid = false;
+}
+
+namespace
+{
+
+void
+saveEntries(SnapWriter &w, const std::vector<TlbEntry> &v)
+{
+    w.u64(v.size());
+    for (const TlbEntry &e : v) {
+        w.b(e.valid);
+        w.u64(e.vpn);
+        w.u64(e.ppn);
+        w.u8(uint8_t(e.size));
+        w.u16(e.asid);
+        w.b(e.global);
+        w.u64(e.lastUse);
+    }
+}
+
+void
+loadEntries(SnapReader &r, std::vector<TlbEntry> &v)
+{
+    if (r.u64() != v.size())
+        throw SnapError("snapshot TLB geometry does not match");
+    for (TlbEntry &e : v) {
+        e.valid = r.b();
+        e.vpn = r.u64();
+        e.ppn = r.u64();
+        uint8_t sz = r.u8();
+        if (sz != uint8_t(PageSize::Page4K) &&
+            sz != uint8_t(PageSize::Page2M) &&
+            sz != uint8_t(PageSize::Page1G))
+            throw SnapError("corrupt snapshot: bad TLB page size");
+        e.size = PageSize(sz);
+        e.asid = r.u16();
+        e.global = r.b();
+        e.lastUse = r.u64();
+    }
+}
+
+} // namespace
+
+void
+Tlb::snapSave(SnapWriter &w) const
+{
+    saveEntries(w, micro);
+    saveEntries(w, jtlb);
+    w.u64(useClock);
+    stats.snapSave(w);
+}
+
+void
+Tlb::snapLoad(SnapReader &r)
+{
+    loadEntries(r, micro);
+    loadEntries(r, jtlb);
+    useClock = r.u64();
+    stats.snapLoad(r);
 }
 
 } // namespace xt910

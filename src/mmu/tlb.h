@@ -87,6 +87,10 @@ class Tlb
 
     const TlbParams &params() const { return p; }
 
+    /** Serialize every entry (micro + jTLB), LRU clock and counters. */
+    void snapSave(class SnapWriter &w) const;
+    void snapLoad(class SnapReader &r);
+
     StatGroup stats;
     Counter microHits;
     Counter jtlbHits;

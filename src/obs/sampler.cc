@@ -46,6 +46,10 @@ IntervalSampler::sample(Cycle now, uint64_t insts, bool final)
         }
     }
     os << "}}\n";
+    // Flush per record: the JSONL stream is the crash salvage — every
+    // completed interval must be on disk before the next one begins,
+    // so a killed run leaves a truncation-free prefix behind.
+    os.flush();
     ++nSamples;
     prevCycle = now;
     prevInsts = insts;

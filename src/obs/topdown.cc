@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "common/snapio.h"
+
 namespace xt910
 {
 namespace obs
@@ -69,6 +71,25 @@ TopDown::summary() const
                   pct(badSpeculation), pct(backendMem),
                   pct(backendCore));
     return buf;
+}
+
+void
+TopDown::snapSave(SnapWriter &w) const
+{
+    w.u32(retireWidth);
+    w.u64(curCycle);
+    w.u32(usedThisCycle);
+    stats.snapSave(w);
+}
+
+void
+TopDown::snapLoad(SnapReader &r)
+{
+    if (r.u32() != retireWidth)
+        throw SnapError("snapshot retire width does not match");
+    curCycle = r.u64();
+    usedThisCycle = r.u32();
+    stats.snapLoad(r);
 }
 
 } // namespace obs

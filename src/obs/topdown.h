@@ -85,6 +85,10 @@ class TopDown
     /** One-line percentage summary for CLI output. */
     std::string summary() const;
 
+    /** Serialize the slot counters and the current-cycle cursor. */
+    void snapSave(class SnapWriter &w) const;
+    void snapLoad(class SnapReader &r);
+
     StatGroup stats;
     Counter retiring;
     Counter frontendBound;

@@ -1,0 +1,373 @@
+#include "snap/snapshot.h"
+
+#include "common/log.h"
+#include "common/snapio.h"
+
+namespace xt910
+{
+namespace snap
+{
+
+const char magic[8] = {'X', 'T', '9', 'S', 'N', 'A', 'P', '\n'};
+
+namespace
+{
+
+/** Four-character section codes. */
+constexpr uint32_t
+tag4(char a, char b, char c, char d)
+{
+    return uint32_t(uint8_t(a)) | (uint32_t(uint8_t(b)) << 8) |
+           (uint32_t(uint8_t(c)) << 16) | (uint32_t(uint8_t(d)) << 24);
+}
+
+constexpr uint32_t tagMem = tag4('M', 'E', 'M', 'R');
+constexpr uint32_t tagIss = tag4('I', 'S', 'S', ' ');
+constexpr uint32_t tagMsys = tag4('M', 'S', 'Y', 'S');
+constexpr uint32_t tagCore = tag4('C', 'O', 'R', 'E');
+constexpr uint32_t tagWdog = tag4('W', 'D', 'O', 'G');
+
+std::string
+tagName(uint32_t t)
+{
+    std::string s(4, '?');
+    for (int i = 0; i < 4; ++i) {
+        char c = char(t >> (8 * i));
+        s[i] = (c >= 0x20 && c < 0x7f) ? c : '?';
+    }
+    return s;
+}
+
+void
+hashCache(SnapWriter &w, const CacheParams &c)
+{
+    w.str(c.name);
+    w.u32(c.sizeBytes);
+    w.u32(c.assoc);
+    w.u32(c.lineBytes);
+    w.u32(c.hitLatency);
+    w.u32(c.mshrs);
+    w.b(c.ecc);
+}
+
+void
+hashCore(SnapWriter &w, const CoreParams &p)
+{
+    w.u32(p.fetchBytes);
+    w.u32(p.fetchMaxInsts);
+    w.u32(p.decodeWidth);
+    w.u32(p.renameWidth);
+    w.u32(p.issueWidth);
+    w.u32(p.retireWidth);
+    w.u32(p.frontendStages);
+    w.u32(p.decodeToIssue);
+    w.u32(p.retireStages);
+    w.u32(p.execRedirectPenalty);
+    w.u32(p.ipRedirectBubbles);
+    w.u32(p.ibRedirectBubbles);
+    w.u32(p.robEntries);
+    w.u32(p.lqEntries);
+    w.u32(p.sqEntries);
+    w.u32(p.iqAluEntries);
+    w.u32(p.iqMemEntries);
+    w.u32(p.iqFpEntries);
+    w.b(p.inOrder);
+    w.b(p.lsuDualIssue);
+    w.b(p.pseudoDualStore);
+    w.b(p.memDepPredict);
+    w.u32(p.storeToLoadForwardLat);
+    w.u32(p.orderingFlushPenalty);
+    w.u32(p.trapFlushPenalty);
+    w.u32(p.vecBitsPerCycle);
+    w.u32(p.vlenBits);
+    w.u32(p.direction.tableBits);
+    w.u32(p.direction.banks);
+    w.u32(p.direction.historyBits);
+    w.b(p.direction.twoLevelBuf);
+    w.u32(p.btb.l0Entries);
+    w.u32(p.btb.l1Sets);
+    w.u32(p.btb.l1Ways);
+    w.b(p.btb.l0Enabled);
+    w.u32(p.lbuf.entries);
+    w.b(p.lbuf.enabled);
+    w.u32(p.lbuf.trainTrips);
+    w.b(p.prefetch.enableL1);
+    w.b(p.prefetch.enableL2);
+    w.b(p.prefetch.enableTlb);
+    w.u8(uint8_t(p.prefetch.mode));
+    w.u32(p.prefetch.numStreams);
+    w.u32(p.prefetch.maxDepth);
+    w.u32(p.prefetch.distance);
+    w.u32(p.prefetch.trainConfidence);
+    w.u32(p.prefetch.windowBytes);
+    w.u32(p.tlb.microEntries);
+    w.u32(p.tlb.jtlbSets);
+    w.u32(p.tlb.jtlbWays);
+    w.b(p.tlbPrefetch);
+    w.u8(uint8_t(p.translation));
+    w.u64(p.pageTableRoot);
+    w.u16(p.asid);
+    w.u32(p.ptwCacheLatency);
+}
+
+} // namespace
+
+uint64_t
+configHash(const SystemConfig &cfg)
+{
+    // Encode every machine-configuration field (NOT maxInsts/maxCycles:
+    // run-length policy, the thing a resume legitimately changes) and
+    // hash the encoding.
+    SnapWriter w;
+    w.u32(cfg.numCores);
+    hashCore(w, cfg.core);
+    w.u32(cfg.mem.numCores);
+    w.u32(cfg.mem.coresPerCluster);
+    hashCache(w, cfg.mem.l1i);
+    hashCache(w, cfg.mem.l1d);
+    hashCache(w, cfg.mem.l2);
+    w.u64(cfg.mem.dram.latency);
+    w.u64(cfg.mem.dram.cyclesPerLine);
+    w.u64(cfg.mem.busLatency);
+    w.u64(cfg.mem.c2cLatency);
+    w.u64(cfg.mem.ncoreLatency);
+    w.b(cfg.mem.snoopFilter);
+    w.b(cfg.mem.inclusiveL2);
+    w.u32(cfg.iss.vlenBits);
+    w.b(cfg.iss.enableCustom);
+    w.b(cfg.iss.enableClint);
+    w.u64(cfg.iss.stackBase);
+    w.b(cfg.iss.strictAlign);
+    w.b(cfg.iss.fatalOnUnhandledTrap);
+    w.b(cfg.watchdog.enabled);
+    w.u64(cfg.watchdog.spinWindowInsts);
+    w.u64(cfg.watchdog.pcWindowBytes);
+    w.u32(cfg.watchdog.traceDepth);
+    return fnv1a(w.data().data(), w.size());
+}
+
+namespace
+{
+
+void
+writeSection(SnapWriter &out, uint32_t tag, const SnapWriter &payload)
+{
+    out.u32(tag);
+    out.u64(payload.size());
+    out.bytes(payload.data().data(), payload.size());
+    out.u64(fnv1a(payload.data().data(), payload.size()));
+}
+
+} // namespace
+
+std::vector<uint8_t>
+saveSnapshotBytes(System &sys, uint64_t instsRetired)
+{
+    const unsigned nCores = sys.config().numCores;
+
+    SnapWriter out;
+    out.bytes(magic, sizeof(magic));
+    out.u32(formatVersion);
+    out.u64(configHash(sys.config()));
+    out.u64(instsRetired);
+    out.u32(3 + nCores + 1); // MEMR, ISS, MSYS, CORE*n, WDOG
+
+    {
+        SnapWriter w;
+        sys.memory().snapSave(w);
+        writeSection(out, tagMem, w);
+    }
+    {
+        SnapWriter w;
+        sys.iss().snapSave(w);
+        writeSection(out, tagIss, w);
+    }
+    {
+        SnapWriter w;
+        sys.memSystem().snapSave(w);
+        writeSection(out, tagMsys, w);
+    }
+    for (unsigned c = 0; c < nCores; ++c) {
+        SnapWriter w;
+        w.u32(c);
+        sys.core(c).snapSave(w);
+        writeSection(out, tagCore, w);
+    }
+    {
+        SnapWriter w;
+        w.u32(nCores);
+        for (unsigned c = 0; c < nCores; ++c)
+            sys.watchdog(c).snapSave(w);
+        writeSection(out, tagWdog, w);
+    }
+    return out.data();
+}
+
+namespace
+{
+
+struct RawSection
+{
+    uint32_t tag = 0;
+    const uint8_t *payload = nullptr;
+    uint64_t len = 0;
+    uint64_t checksum = 0;
+};
+
+/** Walk the header + section table; bounds-check everything. */
+struct ParsedSnapshot
+{
+    uint32_t version = 0;
+    uint64_t cfgHash = 0;
+    uint64_t instsRetired = 0;
+    std::vector<RawSection> sections;
+};
+
+ParsedSnapshot
+parse(const uint8_t *data, size_t n)
+{
+    SnapReader r(data, n);
+    char m[8];
+    r.bytes(m, sizeof(m));
+    if (std::memcmp(m, magic, sizeof(magic)) != 0)
+        throw SnapError("not a snapshot file (bad magic)");
+    ParsedSnapshot ps;
+    ps.version = r.u32();
+    ps.cfgHash = r.u64();
+    ps.instsRetired = r.u64();
+    uint32_t count = r.u32();
+    for (uint32_t i = 0; i < count; ++i) {
+        RawSection s;
+        s.tag = r.u32();
+        s.len = r.u64();
+        if (s.len > r.remaining())
+            throw SnapError("corrupt snapshot: truncated section " +
+                            tagName(s.tag));
+        s.payload = data + (n - r.remaining());
+        r.skip(size_t(s.len));
+        s.checksum = r.u64();
+        ps.sections.push_back(s);
+    }
+    r.expectEnd("file");
+    return ps;
+}
+
+} // namespace
+
+uint64_t
+restoreSnapshotBytes(System &sys, const uint8_t *data, size_t n)
+{
+    ParsedSnapshot ps = parse(data, n);
+    if (ps.version != formatVersion)
+        throw SnapError("snapshot format version " +
+                        std::to_string(ps.version) +
+                        " not supported (expected " +
+                        std::to_string(formatVersion) + ")");
+    uint64_t want = configHash(sys.config());
+    if (ps.cfgHash != want)
+        throw SnapError(
+            "snapshot was taken under a different configuration "
+            "(config hash mismatch) — restore refused");
+
+    for (const RawSection &s : ps.sections)
+        if (fnv1a(s.payload, size_t(s.len)) != s.checksum)
+            throw SnapError("corrupt snapshot: checksum mismatch in "
+                            "section " + tagName(s.tag));
+
+    const unsigned nCores = sys.config().numCores;
+    std::vector<uint32_t> expect{tagMem, tagIss, tagMsys};
+    for (unsigned c = 0; c < nCores; ++c)
+        expect.push_back(tagCore);
+    expect.push_back(tagWdog);
+    if (ps.sections.size() != expect.size())
+        throw SnapError("snapshot section count does not match system");
+    for (size_t i = 0; i < expect.size(); ++i)
+        if (ps.sections[i].tag != expect[i])
+            throw SnapError("unexpected snapshot section " +
+                            tagName(ps.sections[i].tag) + " (wanted " +
+                            tagName(expect[i]) + ")");
+
+    // Memory first: Iss::snapLoad flushes its decode caches against the
+    // *restored* memory contents and mutation epoch.
+    size_t idx = 0;
+    auto reader = [&](const char *what) {
+        const RawSection &s = ps.sections[idx++];
+        (void)what;
+        return SnapReader(s.payload, size_t(s.len));
+    };
+    {
+        SnapReader r = reader("MEMR");
+        sys.memory().snapLoad(r);
+        r.expectEnd("MEMR");
+    }
+    {
+        SnapReader r = reader("ISS");
+        sys.iss().snapLoad(r);
+        r.expectEnd("ISS");
+    }
+    {
+        SnapReader r = reader("MSYS");
+        sys.memSystem().snapLoad(r);
+        r.expectEnd("MSYS");
+    }
+    for (unsigned c = 0; c < nCores; ++c) {
+        SnapReader r = reader("CORE");
+        if (r.u32() != c)
+            throw SnapError("snapshot core sections out of order");
+        sys.core(c).snapLoad(r);
+        r.expectEnd("CORE");
+    }
+    {
+        SnapReader r = reader("WDOG");
+        if (r.u32() != nCores)
+            throw SnapError("snapshot watchdog count does not match");
+        for (unsigned c = 0; c < nCores; ++c)
+            sys.watchdog(c).snapLoad(r);
+        r.expectEnd("WDOG");
+    }
+    return ps.instsRetired;
+}
+
+void
+saveSnapshotFile(System &sys, const std::string &path,
+                 uint64_t instsRetired)
+{
+    std::vector<uint8_t> bytes = saveSnapshotBytes(sys, instsRetired);
+    snapWriteFileAtomic(path, bytes.data(), bytes.size());
+}
+
+uint64_t
+restoreSnapshotFile(System &sys, const std::string &path)
+{
+    std::vector<uint8_t> bytes = snapReadFile(path);
+    return restoreSnapshotBytes(sys, bytes.data(), bytes.size());
+}
+
+SnapshotInfo
+inspectSnapshot(const uint8_t *data, size_t n)
+{
+    ParsedSnapshot ps = parse(data, n);
+    SnapshotInfo info;
+    info.version = ps.version;
+    info.configHash = ps.cfgHash;
+    info.instsRetired = ps.instsRetired;
+    for (const RawSection &s : ps.sections) {
+        SectionInfo si;
+        si.tag = tagName(s.tag);
+        si.size = s.len;
+        si.checksum = s.checksum;
+        si.checksumOk = fnv1a(s.payload, size_t(s.len)) == s.checksum;
+        info.sections.push_back(si);
+    }
+    return info;
+}
+
+SnapshotInfo
+inspectSnapshotFile(const std::string &path)
+{
+    std::vector<uint8_t> bytes = snapReadFile(path);
+    return inspectSnapshot(bytes.data(), bytes.size());
+}
+
+} // namespace snap
+} // namespace xt910

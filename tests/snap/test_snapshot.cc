@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Snapshot subsystem unit tests: the save → restore → save byte
+ * round-trip (every serialized component must load exactly what it
+ * wrote), header/section-table inspection, the config-hash contract
+ * (run-length policy excluded, machine config included), and the
+ * refusal paths — version mismatch, config mismatch, payload
+ * corruption, and truncation at arbitrary byte boundaries must all
+ * throw SnapError instead of applying garbage state.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/snapio.h"
+#include "core/system.h"
+#include "snap/snapshot.h"
+#include "workloads/wl_common.h"
+#include "workloads/workload.h"
+
+namespace xt910
+{
+
+namespace
+{
+
+/** Run @p wb for @p insts instructions and serialize the System. */
+std::vector<uint8_t>
+snapAfter(const SystemConfig &cfg, const WorkloadBuild &wb,
+          uint64_t insts)
+{
+    SystemConfig bounded = cfg;
+    bounded.maxInsts = insts;
+    System sys(bounded);
+    sys.loadProgram(wb.program);
+    sys.run();
+    return snap::saveSnapshotBytes(sys, insts);
+}
+
+} // namespace
+
+TEST(Roundtrip, SaveRestoreSaveIsByteIdentical)
+{
+    WorkloadOptions o;
+    WorkloadBuild wb = findWorkload("list").build(o);
+    SystemConfig cfg;
+    std::vector<uint8_t> a = snapAfter(cfg, wb, 3000);
+
+    // Restore into a fresh System (same run-limit config so the
+    // second save sees identical headers) and serialize again: any
+    // field a component forgets to save, or loads into the wrong
+    // place, breaks byte equality somewhere in its section.
+    SystemConfig bounded = cfg;
+    bounded.maxInsts = 3000;
+    System sys(bounded);
+    sys.loadProgram(wb.program);
+    uint64_t insts = snap::restoreSnapshotBytes(sys, a.data(), a.size());
+    EXPECT_EQ(insts, 3000u);
+    std::vector<uint8_t> b = snap::saveSnapshotBytes(sys, insts);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Roundtrip, RestoreWorksWithoutLoadProgram)
+{
+    // Memory is replaced wholesale and every hart register comes from
+    // the ISS section, so restore must not depend on loadProgram
+    // having run first.
+    WorkloadOptions o;
+    WorkloadBuild wb = findWorkload("list").build(o);
+    SystemConfig cfg;
+    std::vector<uint8_t> a = snapAfter(cfg, wb, 2000);
+
+    SystemConfig bounded = cfg;
+    bounded.maxInsts = 2000;
+    System sys(bounded);
+    uint64_t insts = snap::restoreSnapshotBytes(sys, a.data(), a.size());
+    std::vector<uint8_t> b = snap::saveSnapshotBytes(sys, insts);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Roundtrip, MultiCoreSaveRestoreSave)
+{
+    WorkloadOptions o;
+    WorkloadBuild wb = findWorkload("list").build(o);
+    SystemConfig cfg;
+    cfg.numCores = 2;
+    std::vector<uint8_t> a = snapAfter(cfg, wb, 2000);
+
+    SystemConfig bounded = cfg;
+    bounded.maxInsts = 2000;
+    System sys(bounded);
+    sys.loadProgram(wb.program);
+    uint64_t insts = snap::restoreSnapshotBytes(sys, a.data(), a.size());
+    std::vector<uint8_t> b = snap::saveSnapshotBytes(sys, insts);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Inspect, HeaderAndSectionTable)
+{
+    WorkloadOptions o;
+    WorkloadBuild wb = findWorkload("list").build(o);
+    SystemConfig cfg;
+    std::vector<uint8_t> bytes = snapAfter(cfg, wb, 2000);
+
+    snap::SnapshotInfo info =
+        snap::inspectSnapshot(bytes.data(), bytes.size());
+    EXPECT_EQ(info.version, snap::formatVersion);
+    EXPECT_EQ(info.instsRetired, 2000u);
+    // maxInsts is run-length policy, excluded from the hash — the
+    // header hash must match the *unbounded* config too.
+    EXPECT_EQ(info.configHash, snap::configHash(cfg));
+
+    ASSERT_EQ(info.sections.size(), 5u); // MEMR ISS MSYS CORE WDOG
+    EXPECT_EQ(info.sections[0].tag, "MEMR");
+    EXPECT_EQ(info.sections[1].tag, "ISS ");
+    EXPECT_EQ(info.sections[2].tag, "MSYS");
+    EXPECT_EQ(info.sections[3].tag, "CORE");
+    EXPECT_EQ(info.sections[4].tag, "WDOG");
+    for (const snap::SectionInfo &s : info.sections) {
+        EXPECT_TRUE(s.checksumOk) << s.tag;
+        EXPECT_GT(s.size, 0u) << s.tag;
+    }
+}
+
+TEST(Inspect, ConfigHashContract)
+{
+    SystemConfig base;
+    SystemConfig limits = base;
+    limits.maxInsts = 12345;
+    limits.maxCycles = 999;
+    EXPECT_EQ(snap::configHash(base), snap::configHash(limits));
+
+    SystemConfig smp = base;
+    smp.numCores = 2;
+    EXPECT_NE(snap::configHash(base), snap::configHash(smp));
+
+    SystemConfig bigL2 = base;
+    bigL2.mem.l2.sizeBytes *= 2;
+    EXPECT_NE(snap::configHash(base), snap::configHash(bigL2));
+}
+
+TEST(Refuse, UnknownFormatVersion)
+{
+    WorkloadOptions o;
+    WorkloadBuild wb = findWorkload("list").build(o);
+    SystemConfig cfg;
+    std::vector<uint8_t> bytes = snapAfter(cfg, wb, 1000);
+
+    // formatVersion is the u32 straight after the 8-byte magic.
+    bytes[8] = uint8_t(snap::formatVersion + 1);
+
+    snap::SnapshotInfo info =
+        snap::inspectSnapshot(bytes.data(), bytes.size());
+    EXPECT_NE(info.version, snap::formatVersion);
+
+    System sys(cfg);
+    sys.loadProgram(wb.program);
+    EXPECT_THROW(
+        snap::restoreSnapshotBytes(sys, bytes.data(), bytes.size()),
+        SnapError);
+}
+
+TEST(Refuse, ConfigHashMismatch)
+{
+    WorkloadOptions o;
+    WorkloadBuild wb = findWorkload("list").build(o);
+    SystemConfig cfg;
+    std::vector<uint8_t> bytes = snapAfter(cfg, wb, 1000);
+
+    SystemConfig other = cfg;
+    other.mem.l2.sizeBytes *= 2;
+    System sys(other);
+    sys.loadProgram(wb.program);
+    EXPECT_THROW(
+        snap::restoreSnapshotBytes(sys, bytes.data(), bytes.size()),
+        SnapError);
+}
+
+TEST(Refuse, CorruptPayload)
+{
+    WorkloadOptions o;
+    WorkloadBuild wb = findWorkload("list").build(o);
+    SystemConfig cfg;
+    std::vector<uint8_t> bytes = snapAfter(cfg, wb, 1000);
+
+    // Flip a byte inside the first section's payload: header is 32
+    // bytes, the section header (tag + length) another 12, so offset
+    // 54 sits well inside the MEMR payload.
+    ASSERT_GT(bytes.size(), 64u);
+    bytes[54] ^= 0xff;
+
+    snap::SnapshotInfo info =
+        snap::inspectSnapshot(bytes.data(), bytes.size());
+    ASSERT_FALSE(info.sections.empty());
+    EXPECT_FALSE(info.sections[0].checksumOk);
+
+    System sys(cfg);
+    sys.loadProgram(wb.program);
+    EXPECT_THROW(
+        snap::restoreSnapshotBytes(sys, bytes.data(), bytes.size()),
+        SnapError);
+}
+
+TEST(Refuse, TruncationAtAnyBoundary)
+{
+    WorkloadOptions o;
+    WorkloadBuild wb = findWorkload("list").build(o);
+    SystemConfig cfg;
+    std::vector<uint8_t> bytes = snapAfter(cfg, wb, 1000);
+
+    // A fresh System per attempt: a refused restore may have partially
+    // applied sections and the System is dead afterwards by contract.
+    std::vector<size_t> cuts = {0,  7,  8,  20, 31, 32,
+                                43, 44, 55, bytes.size() / 2,
+                                bytes.size() - 1};
+    for (size_t cut : cuts) {
+        ASSERT_LT(cut, bytes.size());
+        System sys(cfg);
+        sys.loadProgram(wb.program);
+        EXPECT_THROW(
+            snap::restoreSnapshotBytes(sys, bytes.data(), cut),
+            SnapError)
+            << "truncated to " << cut << " bytes";
+    }
+}
+
+TEST(Refuse, BadMagic)
+{
+    WorkloadOptions o;
+    WorkloadBuild wb = findWorkload("list").build(o);
+    SystemConfig cfg;
+    std::vector<uint8_t> bytes = snapAfter(cfg, wb, 1000);
+    bytes[0] ^= 0x20;
+
+    EXPECT_THROW(snap::inspectSnapshot(bytes.data(), bytes.size()),
+                 SnapError);
+    System sys(cfg);
+    sys.loadProgram(wb.program);
+    EXPECT_THROW(
+        snap::restoreSnapshotBytes(sys, bytes.data(), bytes.size()),
+        SnapError);
+}
+
+TEST(Files, AtomicWriteAndReadBack)
+{
+    WorkloadOptions o;
+    WorkloadBuild wb = findWorkload("list").build(o);
+    SystemConfig cfg;
+    cfg.maxInsts = 1500;
+    System sys(cfg);
+    sys.loadProgram(wb.program);
+    sys.run();
+
+    const std::string path = "test_snapshot_roundtrip.ckpt";
+    snap::saveSnapshotFile(sys, path, 1500);
+    snap::SnapshotInfo info = snap::inspectSnapshotFile(path);
+    EXPECT_EQ(info.version, snap::formatVersion);
+    EXPECT_EQ(info.instsRetired, 1500u);
+
+    System fresh(cfg);
+    fresh.loadProgram(wb.program);
+    EXPECT_EQ(snap::restoreSnapshotFile(fresh, path), 1500u);
+    std::remove(path.c_str());
+}
+
+} // namespace xt910

@@ -34,11 +34,25 @@
  *   --jobs N                     worker threads for multi-workload and
  *                                campaign runs (default: XT910_JOBS
  *                                env, else serial)
+ *   --checkpoint-every N         snapshot the system every N retired
+ *                                instructions (crash-safe write-rename)
+ *   --checkpoint-dir D           where checkpoints land (default ".")
+ *   --restore FILE               resume from a snapshot file
+ *   --timeout-secs T             per-job wall-clock budget (farm runs)
+ *   --retries R                  attempts after a failed/hung job
+ *                                (default 1; retries restore from the
+ *                                job's last checkpoint when one exists)
+ *   --test-timeout NAME          testing hook: the named workload's
+ *                                farm job reports a deadline overrun
  *
  * Every value option also accepts the --opt=value form.
  *
  * Exit codes: 0 ok, 1 checksum mismatch, 2 usage error, 3 run limit
- * hit, 4 watchdog fired.
+ * hit (instruction or cycle budget exhausted before the workload
+ * halted), 4 watchdog fired (the guest made no architectural progress
+ * — see the ROB/PC-trace diagnostic on stderr), 5 a farm job failed or
+ * timed out after all retries (the other jobs still complete and
+ * report).
  */
 
 #include <cstdio>
@@ -55,11 +69,13 @@
 #include "baseline/presets.h"
 #include "common/json.h"
 #include "common/parallel.h"
+#include "common/snapio.h"
 #include "core/system.h"
 #include "fault/campaign.h"
 #include "mmu/pagetable.h"
 #include "obs/konata.h"
 #include "obs/sampler.h"
+#include "snap/snapshot.h"
 #include "workloads/wl_common.h"
 #include "workloads/workload.h"
 
@@ -82,6 +98,8 @@ usage()
         "         --max-cycles N  --max-insts N\n"
         "         --inject N  --inject-seed S  --inject-kinds a,b,...\n"
         "         --jobs N (multi-workload / campaign parallelism)\n"
+        "         --checkpoint-every N  --checkpoint-dir D\n"
+        "         --restore FILE  --timeout-secs T  --retries R\n"
         "fault kinds: reg freg vreg mem cacheline access mispredict\n");
 }
 
@@ -133,6 +151,12 @@ main(int argc, char **argv)
     std::string statsJsonPath, konataPath;
     uint64_t statsInterval = 0;
     bool topdown = false;
+    uint64_t ckptEvery = 0;
+    std::string ckptDir = ".";
+    std::string restorePath;
+    double timeoutSecs = 0.0;
+    unsigned retries = 1;
+    std::string testTimeout;
 
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
@@ -203,6 +227,18 @@ main(int argc, char **argv)
             injectSeed = uint64_t(std::atoll(next()));
         } else if (a == "--jobs") {
             jobs = unsigned(std::atoi(next()));
+        } else if (a == "--checkpoint-every") {
+            ckptEvery = uint64_t(std::atoll(next()));
+        } else if (a == "--checkpoint-dir") {
+            ckptDir = next();
+        } else if (a == "--restore") {
+            restorePath = next();
+        } else if (a == "--timeout-secs") {
+            timeoutSecs = std::atof(next());
+        } else if (a == "--retries") {
+            retries = unsigned(std::atoi(next()));
+        } else if (a == "--test-timeout") {
+            testTimeout = next();
         } else if (a == "--inject-kinds") {
             if (!parseKinds(next(), injectKinds)) {
                 std::fprintf(stderr, "bad --inject-kinds\n");
@@ -233,6 +269,10 @@ main(int argc, char **argv)
         (injectRuns || !statsJsonPath.empty() || !konataPath.empty())) {
         std::fprintf(stderr, "--inject/--stats-json/--trace-konata "
                              "need a single workload\n");
+        return 2;
+    }
+    if (!restorePath.empty() && workloads.size() > 1) {
+        std::fprintf(stderr, "--restore needs a single workload\n");
         return 2;
     }
     const std::string workload = workloads[0];
@@ -276,32 +316,84 @@ main(int argc, char **argv)
     if (workloads.size() > 1) {
         // Run farm: one independent System per workload, executed on a
         // worker pool. Output order and every number are fixed by the
-        // workload list, not by the job count.
+        // workload list, not by the job count. The farm is hardened: a
+        // job that throws or overruns --timeout-secs is retried (from
+        // its last checkpoint when --checkpoint-every is on) and, if it
+        // still fails, gets a status entry while every other job's row
+        // reports normally.
         std::vector<WorkloadBuild> builds;
         for (const std::string &n : workloads)
             builds.push_back(findWorkload(n).build(wo));
         std::vector<RunResult> results(builds.size());
         std::vector<char> oks(builds.size(), 0);
-        parallelFor(builds.size(), resolveJobs(jobs), [&](size_t i) {
-            System sys(cfg);
-            if (paged)
-                setupPaging(sys, builds[i].program);
-            sys.loadProgram(builds[i].program);
-            results[i] = sys.run();
-            oks[i] = wl::readResult(sys.memory(), builds[i].program) ==
-                     builds[i].expected;
-        });
-        std::printf("%-14s %12s %12s %6s %9s %9s\n", "workload",
-                    "insts", "cycles", "IPC", "MIPS", "checksum");
+        FarmPolicy pol;
+        pol.timeoutSecs = timeoutSecs;
+        pol.retries = retries;
+        auto ckptPathFor = [&](size_t i) {
+            return ckptDir + "/" + workloads[i] + ".ckpt";
+        };
+        auto reports = runHardened(
+            builds.size(), resolveJobs(jobs), pol,
+            [&](size_t i, JobContext &ctx) {
+                if (workloads[i] == testTimeout)
+                    throw FarmTimeout("injected test timeout");
+                System sys(cfg);
+                if (paged)
+                    setupPaging(sys, builds[i].program);
+                sys.loadProgram(builds[i].program);
+                uint64_t base = 0;
+                if (ctx.attempt > 0 && ckptEvery) {
+                    // Resume the retry from the crashed attempt's last
+                    // checkpoint; fall back to a clean start when none
+                    // was written (or it refuses to load).
+                    try {
+                        base = snap::restoreSnapshotFile(
+                            sys, ckptPathFor(i));
+                    } catch (const SnapError &) {
+                        base = 0;
+                    }
+                }
+                uint64_t lastCkpt = 0;
+                if (ckptEvery || pol.timeoutSecs > 0) {
+                    sys.stepHook = [&, i, base](uint64_t n, System &s) {
+                        if ((n & 4095) == 0)
+                            ctx.checkDeadline();
+                        if (ckptEvery && n && n % ckptEvery == 0 &&
+                            n != lastCkpt) {
+                            lastCkpt = n;
+                            snap::saveSnapshotFile(s, ckptPathFor(i),
+                                                   base + n);
+                        }
+                    };
+                }
+                results[i] = sys.run();
+                oks[i] = wl::readResult(sys.memory(),
+                                        builds[i].program) ==
+                         builds[i].expected;
+            });
+        std::printf("%-14s %12s %12s %6s %9s %9s %8s\n", "workload",
+                    "insts", "cycles", "IPC", "MIPS", "checksum",
+                    "status");
         int rc = 0;
         for (size_t i = 0; i < builds.size(); ++i) {
             const RunResult &r = results[i];
-            std::printf("%-14s %12llu %12llu %6.3f %9.2f %9s\n",
+            const JobReport &jr = reports[i];
+            std::printf("%-14s %12llu %12llu %6.3f %9.2f %9s %8s\n",
                         workloads[i].c_str(),
                         static_cast<unsigned long long>(r.insts),
                         static_cast<unsigned long long>(r.cycles),
                         r.ipc(), r.simMips(),
-                        oks[i] ? "ok" : "MISMATCH");
+                        oks[i] ? "ok" : "MISMATCH",
+                        jobStatusName(jr.status));
+            if (jr.status != JobStatus::Ok) {
+                std::fprintf(stderr,
+                             "job '%s' %s after %u attempt(s): %s\n",
+                             workloads[i].c_str(),
+                             jobStatusName(jr.status), jr.attempts,
+                             jr.error.c_str());
+                rc = std::max(rc, 5);
+                continue;
+            }
             if (r.stop == StopReason::Watchdog)
                 rc = std::max(rc, 4);
             else if (r.stop != StopReason::Halted)
@@ -313,6 +405,22 @@ main(int argc, char **argv)
     }
 
     WorkloadBuild wb = findWorkload(workload).build(wo);
+
+    // Resuming: the instruction budget is a whole-run budget, so the
+    // part already retired before the snapshot comes off the top.
+    uint64_t baseInsts = 0;
+    if (!restorePath.empty()) {
+        try {
+            baseInsts = snap::inspectSnapshotFile(restorePath)
+                            .instsRetired;
+        } catch (const SnapError &e) {
+            std::fprintf(stderr, "cannot restore %s: %s\n",
+                         restorePath.c_str(), e.what());
+            return 2;
+        }
+        cfg.maxInsts =
+            cfg.maxInsts > baseInsts ? cfg.maxInsts - baseInsts : 0;
+    }
 
     if (injectRuns) {
         CampaignConfig cc;
@@ -332,6 +440,19 @@ main(int argc, char **argv)
             std::printf("\n");
             campaign.stats.dump(std::cout);
         }
+        if (!statsJsonPath.empty()) {
+            std::ostringstream os;
+            campaign.reportJson(os);
+            const std::string doc = os.str();
+            try {
+                snapWriteFileAtomic(statsJsonPath, doc.data(),
+                                    doc.size());
+            } catch (const SnapError &e) {
+                std::fprintf(stderr, "cannot write %s: %s\n",
+                             statsJsonPath.c_str(), e.what());
+                return 2;
+            }
+        }
         return 0;
     }
 
@@ -340,20 +461,49 @@ main(int argc, char **argv)
         setupPaging(sys, wb.program);
     sys.loadProgram(wb.program);
 
+    if (!restorePath.empty()) {
+        try {
+            snap::restoreSnapshotFile(sys, restorePath);
+        } catch (const SnapError &e) {
+            std::fprintf(stderr, "cannot restore %s: %s\n",
+                         restorePath.c_str(), e.what());
+            return 2;
+        }
+    }
+
+    uint64_t lastCkpt = 0;
+    const std::string ckptPath = ckptDir + "/" + workload + ".ckpt";
+    if (ckptEvery) {
+        // Captured from *inside* the run loop (stepHook runs before
+        // each functional step): a snapshot taken after run() returned
+        // would have finalized top-down accounting baked in, and a
+        // resume from it would double-finalize and diverge.
+        sys.stepHook = [&](uint64_t n, System &s) {
+            if (n && n % ckptEvery == 0 && n != lastCkpt) {
+                lastCkpt = n;
+                snap::saveSnapshotFile(s, ckptPath, baseInsts + n);
+            }
+        };
+    }
+
+    // The interval sampler streams JSONL records during the run, so it
+    // writes to the final path directly (each record is flushed — a
+    // crash loses at most the in-progress line). The single-document
+    // stats dump instead lands via write-to-temp + atomic rename after
+    // the run, so a killed process never leaves a truncated JSON file
+    // under the requested name.
     std::ofstream jsonFile;
     std::unique_ptr<obs::IntervalSampler> sampler;
-    if (!statsJsonPath.empty()) {
+    if (!statsJsonPath.empty() && statsInterval) {
         jsonFile.open(statsJsonPath);
         if (!jsonFile) {
             std::fprintf(stderr, "cannot open %s\n",
                          statsJsonPath.c_str());
             return 2;
         }
-        if (statsInterval) {
-            sampler = std::make_unique<obs::IntervalSampler>(
-                jsonFile, statsInterval);
-            sys.attachSampler(*sampler);
-        }
+        sampler = std::make_unique<obs::IntervalSampler>(
+            jsonFile, statsInterval);
+        sys.attachSampler(*sampler);
     }
     std::ofstream konataFile;
     std::unique_ptr<obs::KonataTracer> tracer;
@@ -373,7 +523,7 @@ main(int argc, char **argv)
         tracer->finish();
 
     bool ok = wl::readResult(sys.memory(), wb.program) == wb.expected;
-    if (jsonFile.is_open()) {
+    if (!statsJsonPath.empty()) {
         if (statsInterval) {
             // JSONL mode: the sampler already wrote the interval
             // records; append one compact summary line.
@@ -385,14 +535,24 @@ main(int argc, char **argv)
             sys.dumpStatsJson(jsonFile, false);
             jsonFile << "}\n";
         } else {
-            jsonFile << "{\n  \"workload\": \"" << json::escape(workload)
-                     << "\",\n  \"insts\": " << r.insts
-                     << ",\n  \"cycles\": " << r.cycles
-                     << ",\n  \"ipc\": " << r.ipc()
-                     << ",\n  \"checksum_ok\": " << (ok ? "true" : "false")
-                     << ",\n  \"stats\": ";
-            sys.dumpStatsJson(jsonFile, true);
-            jsonFile << "\n}\n";
+            std::ostringstream os;
+            os << "{\n  \"workload\": \"" << json::escape(workload)
+               << "\",\n  \"insts\": " << r.insts
+               << ",\n  \"cycles\": " << r.cycles
+               << ",\n  \"ipc\": " << r.ipc()
+               << ",\n  \"checksum_ok\": " << (ok ? "true" : "false")
+               << ",\n  \"stats\": ";
+            sys.dumpStatsJson(os, true);
+            os << "\n}\n";
+            const std::string doc = os.str();
+            try {
+                snapWriteFileAtomic(statsJsonPath, doc.data(),
+                                    doc.size());
+            } catch (const SnapError &e) {
+                std::fprintf(stderr, "cannot write %s: %s\n",
+                             statsJsonPath.c_str(), e.what());
+                return 2;
+            }
         }
     }
     std::printf("workload   : %s (%s%s)\n", workload.c_str(),

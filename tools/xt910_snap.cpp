@@ -1,0 +1,67 @@
+/**
+ * @file
+ * xt910-snap — snapshot inspection tool.
+ *
+ *   xt910-snap <snapshot-file>...
+ *
+ * Prints, per file: the format version, the configuration hash, the
+ * instruction count at capture, and the section table (tag, payload
+ * size, stored checksum, recomputed-checksum verdict). Exit code 0
+ * when every file parses and every checksum verifies, 1 when a file is
+ * structurally valid but a checksum fails or the version is unknown,
+ * 2 on usage or unreadable/malformed input.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/snapio.h"
+#include "snap/snapshot.h"
+
+using namespace xt910;
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2 || std::strcmp(argv[1], "--help") == 0 ||
+        std::strcmp(argv[1], "-h") == 0) {
+        std::printf("usage: xt910-snap <snapshot-file>...\n");
+        return argc < 2 ? 2 : 0;
+    }
+
+    int rc = 0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string path = argv[i];
+        snap::SnapshotInfo info;
+        try {
+            info = snap::inspectSnapshotFile(path);
+        } catch (const SnapError &e) {
+            std::fprintf(stderr, "%s: %s\n", path.c_str(), e.what());
+            rc = 2;
+            continue;
+        }
+        std::printf("%s:\n", path.c_str());
+        std::printf("  format version : %u%s\n", info.version,
+                    info.version == snap::formatVersion
+                        ? ""
+                        : "  (UNSUPPORTED — restore would refuse)");
+        std::printf("  config hash    : %016llx\n",
+                    static_cast<unsigned long long>(info.configHash));
+        std::printf("  insts retired  : %llu\n",
+                    static_cast<unsigned long long>(info.instsRetired));
+        std::printf("  %-6s %14s %18s %s\n", "tag", "bytes", "checksum",
+                    "verify");
+        for (const snap::SectionInfo &s : info.sections) {
+            std::printf("  %-6s %14llu %018llx %s\n", s.tag.c_str(),
+                        static_cast<unsigned long long>(s.size),
+                        static_cast<unsigned long long>(s.checksum),
+                        s.checksumOk ? "ok" : "CORRUPT");
+            if (!s.checksumOk)
+                rc = rc < 1 ? 1 : rc;
+        }
+        if (info.version != snap::formatVersion)
+            rc = rc < 1 ? 1 : rc;
+    }
+    return rc;
+}
