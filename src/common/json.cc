@@ -1,7 +1,9 @@
 #include "common/json.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 
 namespace xt910
 {
@@ -52,17 +54,41 @@ escape(const std::string &s)
 namespace
 {
 
-/** Recursive-descent validator over a byte range. */
+/** Append @p cp to @p out as UTF-8. */
+void
+appendUtf8(std::string &out, uint32_t cp)
+{
+    if (cp < 0x80) {
+        out += char(cp);
+    } else if (cp < 0x800) {
+        out += char(0xc0 | (cp >> 6));
+        out += char(0x80 | (cp & 0x3f));
+    } else if (cp < 0x10000) {
+        out += char(0xe0 | (cp >> 12));
+        out += char(0x80 | ((cp >> 6) & 0x3f));
+        out += char(0x80 | (cp & 0x3f));
+    } else {
+        out += char(0xf0 | (cp >> 18));
+        out += char(0x80 | ((cp >> 12) & 0x3f));
+        out += char(0x80 | ((cp >> 6) & 0x3f));
+        out += char(0x80 | (cp & 0x3f));
+    }
+}
+
+/** Recursive-descent validator over a byte range; with a non-null
+ *  @p out it additionally builds the DOM as it goes. */
 class Parser
 {
   public:
-    Parser(const std::string &t, std::string *err_) : s(t), err(err_) {}
+    Parser(const std::string &t, std::string *err_, Value *out_ = nullptr)
+        : s(t), err(err_), root(out_)
+    {}
 
     bool
     run()
     {
         skipWs();
-        if (!value())
+        if (!value(root))
             return false;
         skipWs();
         if (pos != s.size())
@@ -99,7 +125,7 @@ class Parser
     }
 
     bool
-    string()
+    string(std::string *out)
     {
         if (pos >= s.size() || s[pos] != '"')
             return fail("expected string");
@@ -118,18 +144,66 @@ class Parser
                     return fail("truncated escape");
                 char e = s[pos];
                 if (e == 'u') {
+                    uint32_t cp = 0;
                     for (int i = 0; i < 4; ++i) {
                         ++pos;
                         if (pos >= s.size() ||
                             !std::isxdigit(
                                 static_cast<unsigned char>(s[pos])))
                             return fail("bad \\u escape");
+                        cp = cp * 16 +
+                             uint32_t(hexVal(
+                                 static_cast<unsigned char>(s[pos])));
                     }
-                } else if (e != '"' && e != '\\' && e != '/' &&
-                           e != 'b' && e != 'f' && e != 'n' &&
-                           e != 'r' && e != 't') {
+                    // Combine a surrogate pair when one follows.
+                    if (cp >= 0xd800 && cp < 0xdc00 &&
+                        pos + 6 < s.size() && s[pos + 1] == '\\' &&
+                        s[pos + 2] == 'u') {
+                        uint32_t lo = 0;
+                        bool loOk = true;
+                        for (int i = 0; i < 4 && loOk; ++i) {
+                            char h = s[pos + 3 + i];
+                            if (!std::isxdigit(
+                                    static_cast<unsigned char>(h)))
+                                loOk = false;
+                            else
+                                lo = lo * 16 +
+                                     uint32_t(hexVal(
+                                         static_cast<unsigned char>(h)));
+                        }
+                        if (loOk && lo >= 0xdc00 && lo < 0xe000) {
+                            cp = 0x10000 + ((cp - 0xd800) << 10) +
+                                 (lo - 0xdc00);
+                            pos += 6;
+                        }
+                    }
+                    if (cp >= 0xd800 && cp < 0xe000)
+                        return fail("lone surrogate");
+                    if (out)
+                        appendUtf8(*out, cp);
+                } else if (e == '"' || e == '\\' || e == '/') {
+                    if (out)
+                        *out += e;
+                } else if (e == 'b') {
+                    if (out)
+                        *out += '\b';
+                } else if (e == 'f') {
+                    if (out)
+                        *out += '\f';
+                } else if (e == 'n') {
+                    if (out)
+                        *out += '\n';
+                } else if (e == 'r') {
+                    if (out)
+                        *out += '\r';
+                } else if (e == 't') {
+                    if (out)
+                        *out += '\t';
+                } else {
                     return fail("bad escape");
                 }
+            } else if (out) {
+                *out += char(c);
             }
             ++pos;
         }
@@ -137,18 +211,23 @@ class Parser
     }
 
     bool
-    number()
+    number(Value *out)
     {
         size_t start = pos;
+        bool integral = true;
         if (pos < s.size() && s[pos] == '-')
             ++pos;
         if (pos >= s.size() ||
             !std::isdigit(static_cast<unsigned char>(s[pos])))
             return fail("bad number");
+        const bool leadingZero = s[pos] == '0';
         while (pos < s.size() &&
                std::isdigit(static_cast<unsigned char>(s[pos])))
             ++pos;
+        if (leadingZero && pos - start > (s[start] == '-' ? 2u : 1u))
+            return fail("leading zero");
         if (pos < s.size() && s[pos] == '.') {
+            integral = false;
             ++pos;
             if (pos >= s.size() ||
                 !std::isdigit(static_cast<unsigned char>(s[pos])))
@@ -158,6 +237,7 @@ class Parser
                 ++pos;
         }
         if (pos < s.size() && (s[pos] == 'e' || s[pos] == 'E')) {
+            integral = false;
             ++pos;
             if (pos < s.size() && (s[pos] == '+' || s[pos] == '-'))
                 ++pos;
@@ -168,11 +248,25 @@ class Parser
                    std::isdigit(static_cast<unsigned char>(s[pos])))
                 ++pos;
         }
+        if (out) {
+            const std::string text = s.substr(start, pos - start);
+            out->kind = Value::Kind::Number;
+            out->number = std::strtod(text.c_str(), nullptr);
+            if (integral) {
+                errno = 0;
+                char *end = nullptr;
+                long long v = std::strtoll(text.c_str(), &end, 10);
+                if (errno == 0 && end && *end == '\0') {
+                    out->integer = int64_t(v);
+                    out->isInteger = true;
+                }
+            }
+        }
         return pos > start;
     }
 
     bool
-    object()
+    object(Value *out)
     {
         ++pos; // '{'
         skipWs();
@@ -182,14 +276,20 @@ class Parser
         }
         while (true) {
             skipWs();
-            if (!string())
+            std::string key;
+            if (!string(out ? &key : nullptr))
                 return false;
             skipWs();
             if (pos >= s.size() || s[pos] != ':')
                 return fail("expected ':'");
             ++pos;
             skipWs();
-            if (!value())
+            Value *slot = nullptr;
+            if (out) {
+                out->members.emplace_back(std::move(key), Value{});
+                slot = &out->members.back().second;
+            }
+            if (!value(slot))
                 return false;
             skipWs();
             if (pos < s.size() && s[pos] == ',') {
@@ -205,7 +305,7 @@ class Parser
     }
 
     bool
-    array()
+    array(Value *out)
     {
         ++pos; // '['
         skipWs();
@@ -215,7 +315,12 @@ class Parser
         }
         while (true) {
             skipWs();
-            if (!value())
+            Value *slot = nullptr;
+            if (out) {
+                out->elements.emplace_back();
+                slot = &out->elements.back();
+            }
+            if (!value(slot))
                 return false;
             skipWs();
             if (pos < s.size() && s[pos] == ',') {
@@ -231,33 +336,61 @@ class Parser
     }
 
     bool
-    value()
+    value(Value *out)
     {
         if (++depth > 128)
             return fail("nesting too deep");
         bool ok;
-        if (pos >= s.size())
+        if (pos >= s.size()) {
             ok = fail("unexpected end of input");
-        else if (s[pos] == '{')
-            ok = object();
-        else if (s[pos] == '[')
-            ok = array();
-        else if (s[pos] == '"')
-            ok = string();
-        else if (s[pos] == 't')
+        } else if (s[pos] == '{') {
+            if (out)
+                out->kind = Value::Kind::Object;
+            ok = object(out);
+        } else if (s[pos] == '[') {
+            if (out)
+                out->kind = Value::Kind::Array;
+            ok = array(out);
+        } else if (s[pos] == '"') {
+            if (out)
+                out->kind = Value::Kind::String;
+            ok = string(out ? &out->string : nullptr);
+        } else if (s[pos] == 't') {
             ok = lit("true");
-        else if (s[pos] == 'f')
+            if (ok && out) {
+                out->kind = Value::Kind::Bool;
+                out->boolean = true;
+            }
+        } else if (s[pos] == 'f') {
             ok = lit("false");
-        else if (s[pos] == 'n')
+            if (ok && out) {
+                out->kind = Value::Kind::Bool;
+                out->boolean = false;
+            }
+        } else if (s[pos] == 'n') {
             ok = lit("null");
-        else
-            ok = number();
+            if (ok && out)
+                out->kind = Value::Kind::Null;
+        } else {
+            ok = number(out);
+        }
         --depth;
         return ok;
     }
 
+    static int
+    hexVal(unsigned char c)
+    {
+        if (c >= '0' && c <= '9')
+            return c - '0';
+        if (c >= 'a' && c <= 'f')
+            return c - 'a' + 10;
+        return c - 'A' + 10;
+    }
+
     const std::string &s;
     std::string *err;
+    Value *root;
     size_t pos = 0;
     unsigned depth = 0;
 };
@@ -268,6 +401,60 @@ bool
 validate(const std::string &text, std::string *err)
 {
     return Parser(text, err).run();
+}
+
+const Value *
+Value::find(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &m : members)
+        if (m.first == key)
+            return &m.second;
+    return nullptr;
+}
+
+bool
+Value::asBool(bool dflt) const
+{
+    return kind == Kind::Bool ? boolean : dflt;
+}
+
+uint64_t
+Value::asU64(uint64_t dflt) const
+{
+    if (kind != Kind::Number)
+        return dflt;
+    if (isInteger)
+        return integer >= 0 ? uint64_t(integer) : dflt;
+    return number >= 0 ? uint64_t(number) : dflt;
+}
+
+int64_t
+Value::asI64(int64_t dflt) const
+{
+    if (kind != Kind::Number)
+        return dflt;
+    return isInteger ? integer : int64_t(number);
+}
+
+double
+Value::asDouble(double dflt) const
+{
+    return kind == Kind::Number ? number : dflt;
+}
+
+std::string
+Value::asString(const std::string &dflt) const
+{
+    return kind == Kind::String ? string : dflt;
+}
+
+bool
+parse(const std::string &text, Value &out, std::string *err)
+{
+    out = Value{};
+    return Parser(text, err, &out).run();
 }
 
 } // namespace json

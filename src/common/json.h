@@ -1,17 +1,22 @@
 /**
  * @file
- * Minimal JSON helpers for the observability subsystem: string
- * escaping and a strict validating parser. The emitters in the stats
- * backend compose documents by hand (they only need objects of
- * numbers and strings); the validator exists so tests and the CLI
- * smoke check can verify every emitted line is well-formed without an
- * external dependency.
+ * Minimal JSON helpers shared by the observability subsystem and the
+ * serving layer: string escaping, a strict validating parser, and a
+ * small DOM (json::Value + json::parse) for the few places that must
+ * *read* JSON — the xt910d request bodies and its persisted job-state
+ * file. The emitters in the stats backend still compose documents by
+ * hand; the validator exists so tests and the CLI smoke check can
+ * verify every emitted line is well-formed without an external
+ * dependency.
  */
 
 #ifndef XT910_COMMON_JSON_H
 #define XT910_COMMON_JSON_H
 
+#include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace xt910
 {
@@ -29,6 +34,51 @@ std::string escape(const std::string &s);
  * stores a short description with the byte offset.
  */
 bool validate(const std::string &text, std::string *err = nullptr);
+
+/**
+ * A parsed JSON value. Objects keep member order (so round-trips are
+ * stable) and integral numbers that fit int64 are kept exact alongside
+ * the double form — instruction budgets and hashes survive parsing.
+ */
+struct Value
+{
+    enum class Kind : uint8_t { Null, Bool, Number, String, Object, Array };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;    ///< numeric value, always set for numbers
+    int64_t integer = 0;    ///< exact value when isInteger
+    bool isInteger = false;
+    std::string string;
+    std::vector<std::pair<std::string, Value>> members; ///< objects
+    std::vector<Value> elements;                        ///< arrays
+
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isString() const { return kind == Kind::String; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isBool() const { return kind == Kind::Bool; }
+    bool isNull() const { return kind == Kind::Null; }
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const Value *find(const std::string &key) const;
+
+    // Typed accessors with defaults (wrong kind returns the default).
+    bool asBool(bool dflt = false) const;
+    uint64_t asU64(uint64_t dflt = 0) const;
+    int64_t asI64(int64_t dflt = 0) const;
+    double asDouble(double dflt = 0.0) const;
+    std::string asString(const std::string &dflt = "") const;
+};
+
+/**
+ * Parse exactly one JSON value (same grammar the validator accepts,
+ * including the trailing-garbage check). \uXXXX escapes are decoded to
+ * UTF-8; surrogate pairs are combined. On failure returns false and,
+ * when @p err is non-null, stores a description with the byte offset;
+ * @p out is unspecified.
+ */
+bool parse(const std::string &text, Value &out, std::string *err = nullptr);
 
 } // namespace json
 } // namespace xt910

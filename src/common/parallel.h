@@ -19,9 +19,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <cstdlib>
 #include <exception>
+#include <limits>
 #include <mutex>
 #include <stdexcept>
 #include <string>
@@ -43,16 +45,32 @@ hardwareJobs()
  * Resolve a worker count: @p requested when nonzero, else the
  * XT910_JOBS environment variable when set and positive, else
  * @p fallback (itself resolving 0 to hardwareJobs()).
+ *
+ * A set-but-malformed XT910_JOBS (non-numeric, zero, negative, or
+ * trailing garbage) throws std::invalid_argument instead of silently
+ * falling back — a typo'd job count must not quietly serialize a
+ * campaign. An empty value counts as unset (shells export empty
+ * variables all the time).
  */
 inline unsigned
 resolveJobs(unsigned requested, unsigned fallback = 1)
 {
     if (requested)
         return requested;
-    if (const char *env = std::getenv("XT910_JOBS")) {
-        long v = std::atol(env);
-        if (v > 0)
-            return unsigned(v);
+    const char *env = std::getenv("XT910_JOBS");
+    if (env && *env) {
+        char *end = nullptr;
+        long v = std::strtol(env, &end, 10);
+        // strtol tolerates leading whitespace and '+'; a worker count
+        // must be plain digits, so treat anything else as a typo.
+        if (!std::isdigit(static_cast<unsigned char>(*env)) ||
+            end == env || *end != '\0' || v <= 0 ||
+            v > long(std::numeric_limits<unsigned>::max())) {
+            throw std::invalid_argument(
+                std::string("XT910_JOBS='") + env +
+                "' is not a positive worker count");
+        }
+        return unsigned(v);
     }
     return fallback ? fallback : hardwareJobs();
 }

@@ -1,0 +1,23 @@
+#include "common/version.h"
+
+#ifndef XT910_GIT_DESCRIBE
+#define XT910_GIT_DESCRIBE "unknown"
+#endif
+
+namespace xt910
+{
+
+const char *
+gitDescribe()
+{
+    return XT910_GIT_DESCRIBE;
+}
+
+std::string
+buildInfo(const std::string &tool)
+{
+    return tool + " " + XT910_GIT_DESCRIBE + " (result schema v" +
+           std::to_string(resultSchemaVersion) + ")";
+}
+
+} // namespace xt910

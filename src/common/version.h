@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Build identity for the CLI tools and the xt910d service: the git
+ * describe string captured at configure time plus the result-schema
+ * version. Service logs, the daemon's /v1/version endpoint, and every
+ * tool's --version flag report this so a stats artifact can always be
+ * traced back to the binary that produced it.
+ */
+
+#ifndef XT910_COMMON_VERSION_H
+#define XT910_COMMON_VERSION_H
+
+#include <cstdint>
+#include <string>
+
+namespace xt910
+{
+
+/**
+ * Version of the derived-result schema: the config-hash input set
+ * (snap::configHash) together with the stats-JSON document layout.
+ * It is part of every result-cache key, so bump it whenever either
+ * changes incompatibly — stale cache entries then simply stop
+ * matching instead of serving wrong bytes.
+ */
+constexpr uint32_t resultSchemaVersion = 1;
+
+/** `git describe --always --dirty` at configure time ("unknown" when
+ *  the build tree had no git metadata). */
+const char *gitDescribe();
+
+/** One-line build identity: "<tool> <git> (result schema v1)". */
+std::string buildInfo(const std::string &tool);
+
+} // namespace xt910
+
+#endif // XT910_COMMON_VERSION_H

@@ -11,7 +11,7 @@
  * structural hazards, dependency chains, branch-prediction and
  * memory-hierarchy behaviour, while wrong-path work is modelled as
  * redirect penalties rather than functionally executed (see DESIGN.md
- * §5 for the fidelity statement).
+ * §6 for the fidelity statement).
  */
 
 #ifndef XT910_CORE_CORE_H

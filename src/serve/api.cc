@@ -1,0 +1,203 @@
+#include "serve/api.h"
+
+#include <atomic>
+#include <memory>
+
+#include "common/json.h"
+#include "common/version.h"
+
+namespace xt910
+{
+namespace serve
+{
+
+namespace
+{
+
+std::string
+errorDoc(const std::string &msg)
+{
+    return "{\"error\": \"" + json::escape(msg) + "\"}\n";
+}
+
+const char *const kJson = "application/json";
+const char *const kJsonl = "application/jsonl";
+
+void
+respondError(HttpResponseWriter &w, int status, const std::string &msg,
+             unsigned retryAfterSecs = 0)
+{
+    std::vector<std::pair<std::string, std::string>> extra;
+    if (retryAfterSecs)
+        extra.emplace_back("Retry-After",
+                           std::to_string(retryAfterSecs));
+    w.respond(status, kJson, errorDoc(msg), extra);
+}
+
+void
+handleSubmit(JobManager &jobs, const HttpRequest &req,
+             HttpResponseWriter &w)
+{
+    json::Value v;
+    std::string err;
+    if (!json::parse(req.body, v, &err)) {
+        respondError(w, 400, "invalid JSON body: " + err);
+        return;
+    }
+    JobSpec spec;
+    if (!JobSpec::fromJson(v, spec, err)) {
+        respondError(w, 400, err);
+        return;
+    }
+    // The header is the quota identity; a body-supplied client name is
+    // allowed (state-file replay uses it) but the header wins.
+    const std::string key = req.header("x-api-key");
+    if (!key.empty())
+        spec.client = key;
+
+    SubmitResult res = jobs.submit(spec);
+    if (!res.ok) {
+        respondError(w, res.httpStatus, res.error, res.retryAfterSecs);
+        return;
+    }
+    w.respond(res.httpStatus, kJson,
+              "{\"id\": \"" + json::escape(res.id) +
+                  "\", \"cached\": " + (res.cached ? "true" : "false") +
+                  "}\n",
+              {{"Location", "/v1/jobs/" + res.id}});
+}
+
+void
+handleStream(JobManager &jobs, const std::string &id,
+             HttpResponseWriter &w)
+{
+    // Probe before committing to a chunked head, so an unknown id can
+    // still get a clean 404.
+    JobInfo info;
+    if (!jobs.get(id, info)) {
+        respondError(w, 404, "no such job");
+        return;
+    }
+    w.beginChunked(200, kJsonl);
+    size_t cursor = 0;
+    bool done = false;
+    while (!done) {
+        std::vector<std::string> lines;
+        if (!jobs.readStream(id, cursor, lines, done))
+            break;
+        for (const std::string &ln : lines)
+            if (!w.writeChunk(ln))
+                return; // client went away; nothing left to tell it
+    }
+    w.endChunked();
+}
+
+} // namespace
+
+HttpHandler
+makeApiHandler(JobManager &jobs, const ApiOptions &opts)
+{
+    auto shutdownOnce = std::make_shared<std::atomic<bool>>(false);
+    return [&jobs, opts, shutdownOnce](const HttpRequest &req,
+                                       HttpResponseWriter &w) {
+        const std::string &m = req.method;
+        const std::string &p = req.path;
+
+        if (p == "/healthz") {
+            if (m != "GET")
+                return respondError(w, 405, "method not allowed");
+            return w.respond(200, kJson, "{\"ok\": true}\n");
+        }
+        if (p == "/v1/version") {
+            if (m != "GET")
+                return respondError(w, 405, "method not allowed");
+            return w.respond(
+                200, kJson,
+                "{\"tool\": \"" + json::escape(opts.toolName) +
+                    "\", \"git\": \"" + json::escape(gitDescribe()) +
+                    "\", \"result_schema\": " +
+                    std::to_string(resultSchemaVersion) + "}\n");
+        }
+        if (p == "/v1/statsz") {
+            if (m != "GET")
+                return respondError(w, 405, "method not allowed");
+            return w.respond(200, kJson, jobs.countersJson() + "\n");
+        }
+        if (p == "/v1/admin/shutdown") {
+            if (m != "POST")
+                return respondError(w, 405, "method not allowed");
+            if (!opts.requestShutdown)
+                return respondError(w, 404, "shutdown not enabled");
+            w.respond(202, kJson, "{\"draining\": true}\n");
+            if (!shutdownOnce->exchange(true))
+                opts.requestShutdown();
+            return;
+        }
+        if (p == "/v1/jobs") {
+            if (m == "POST")
+                return handleSubmit(jobs, req, w);
+            if (m == "GET") {
+                std::string doc = "{\"jobs\": [";
+                bool first = true;
+                for (const JobInfo &j : jobs.list()) {
+                    if (!first)
+                        doc += ", ";
+                    first = false;
+                    doc += j.statusJson();
+                }
+                doc += "]}\n";
+                return w.respond(200, kJson, doc);
+            }
+            return respondError(w, 405, "method not allowed");
+        }
+        if (p.rfind("/v1/jobs/", 0) == 0) {
+            std::string rest = p.substr(9);
+            std::string sub;
+            size_t slash = rest.find('/');
+            if (slash != std::string::npos) {
+                sub = rest.substr(slash + 1);
+                rest.resize(slash);
+            }
+            const std::string &id = rest;
+            if (id.empty())
+                return respondError(w, 404, "no such job");
+
+            if (sub.empty() && m == "GET") {
+                JobInfo info;
+                if (!jobs.get(id, info))
+                    return respondError(w, 404, "no such job");
+                return w.respond(200, kJson, info.statusJson() + "\n");
+            }
+            if (sub.empty() && m == "DELETE") {
+                std::string err;
+                if (!jobs.cancel(id, err)) {
+                    int status = err == "no such job" ? 404 : 409;
+                    return respondError(w, status, err);
+                }
+                return w.respond(202, kJson,
+                                 "{\"cancelling\": true}\n");
+            }
+            if (sub == "stats" && m == "GET") {
+                std::string doc;
+                if (jobs.stats(id, doc))
+                    return w.respond(200, kJson, doc);
+                JobInfo info;
+                if (!jobs.get(id, info))
+                    return respondError(w, 404, "no such job");
+                return respondError(w, 409,
+                                    std::string("job is ") +
+                                        jobStateName(info.state) +
+                                        ", stats need state 'done'");
+            }
+            if (sub == "stream" && m == "GET")
+                return handleStream(jobs, id, w);
+            return respondError(w, sub.empty() ? 405 : 404,
+                                sub.empty() ? "method not allowed"
+                                            : "no such resource");
+        }
+        respondError(w, 404, "no such resource");
+    };
+}
+
+} // namespace serve
+} // namespace xt910

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The REST surface of xt910d: translates HTTP requests into JobManager
+ * calls and job state into JSON documents. Routes:
+ *
+ *   GET    /healthz                liveness probe
+ *   GET    /v1/version             build identity + schema version
+ *   GET    /v1/statsz              service counters
+ *   POST   /v1/jobs                submit (JSON JobSpec body)
+ *   GET    /v1/jobs                list all jobs
+ *   GET    /v1/jobs/<id>           one job's status
+ *   GET    /v1/jobs/<id>/stream    chunked JSONL interval stream
+ *   GET    /v1/jobs/<id>/stats     final stats document
+ *   DELETE /v1/jobs/<id>           cancel
+ *   POST   /v1/admin/shutdown      graceful drain (when enabled)
+ *
+ * Clients identify themselves with the X-Api-Key header (absent =
+ * "anonymous"); the key is the quota bucket, not an authentication
+ * secret. Admission rejections are 429 with a Retry-After header.
+ */
+
+#ifndef XT910_SERVE_API_H
+#define XT910_SERVE_API_H
+
+#include <functional>
+#include <string>
+
+#include "serve/http.h"
+#include "serve/jobs.h"
+
+namespace xt910
+{
+namespace serve
+{
+
+struct ApiOptions
+{
+    /** Invoked (once) by POST /v1/admin/shutdown; empty = 404. */
+    std::function<void()> requestShutdown;
+    /** Tool name reported by /v1/version. */
+    std::string toolName = "xt910d";
+};
+
+/** Build the HttpServer handler for @p jobs. */
+HttpHandler makeApiHandler(JobManager &jobs, const ApiOptions &opts);
+
+} // namespace serve
+} // namespace xt910
+
+#endif // XT910_SERVE_API_H

@@ -1,0 +1,113 @@
+#include "serve/cache.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/json.h"
+#include "common/snapio.h"
+#include "common/version.h"
+
+namespace xt910
+{
+namespace serve
+{
+
+namespace
+{
+
+uint64_t
+fnvStr(uint64_t h, const std::string &s)
+{
+    h = fnv1a(s.data(), s.size(), h);
+    uint8_t z = 0; // delimit, so ("ab","c") != ("a","bc")
+    return fnv1a(&z, 1, h);
+}
+
+uint64_t
+fnvU64(uint64_t h, uint64_t v)
+{
+    uint8_t b[8];
+    for (int i = 0; i < 8; ++i)
+        b[i] = uint8_t(v >> (8 * i));
+    return fnv1a(b, 8, h);
+}
+
+} // namespace
+
+uint64_t
+workloadHash(const std::string &name, const Program &prog,
+             uint64_t expected, const WorkloadOptions &wo)
+{
+    uint64_t h = fnv1a(nullptr, 0);
+    h = fnvStr(h, name);
+    h = fnvU64(h, prog.base);
+    h = fnvU64(h, prog.entry);
+    h = fnv1a(prog.image.data(), prog.image.size(), h);
+    h = fnvU64(h, expected);
+    h = fnvU64(h, wo.extended ? 1 : 0);
+    h = fnvU64(h, wo.vector ? 1 : 0);
+    h = fnvU64(h, wo.scale);
+    h = fnvU64(h, wo.streamBytes);
+    return h;
+}
+
+ResultCache::ResultCache(std::string dir_) : dir(std::move(dir_))
+{
+    if (!dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(dir, ec);
+    }
+}
+
+std::string
+ResultCache::key(uint64_t workloadHash, uint64_t configHash)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "v%u-%016llx-%016llx",
+                  resultSchemaVersion,
+                  static_cast<unsigned long long>(workloadHash),
+                  static_cast<unsigned long long>(configHash));
+    return buf;
+}
+
+std::string
+ResultCache::path(const std::string &key) const
+{
+    return dir + "/" + key + ".json";
+}
+
+bool
+ResultCache::lookup(const std::string &key, std::string &doc) const
+{
+    if (!enabled())
+        return false;
+    std::ifstream is(path(key), std::ios::binary);
+    if (!is)
+        return false;
+    std::ostringstream os;
+    os << is.rdbuf();
+    std::string bytes = os.str();
+    // A torn write can't happen (atomic rename) but a corrupted or
+    // hand-edited entry can; validate before serving it as truth.
+    if (bytes.empty() || !json::validate(bytes))
+        return false;
+    doc = std::move(bytes);
+    return true;
+}
+
+void
+ResultCache::store(const std::string &key, const std::string &doc) const
+{
+    if (!enabled())
+        return;
+    try {
+        snapWriteFileAtomic(path(key), doc.data(), doc.size());
+    } catch (const SnapError &) {
+        // Cache persistence is best-effort; the job still succeeded.
+    }
+}
+
+} // namespace serve
+} // namespace xt910

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Persistent content-addressed result cache: the bench prewarm memo
+ * generalized to disk. A finished job's stats document is stored under
+ * a key derived from (result-schema version, workload hash, config
+ * hash); a later submission of identical work gets the identical
+ * bytes back without re-simulating. Correctness rests on the same
+ * determinism contract the snapshot subsystem enforces — equal
+ * workload bytes plus equal machine configuration imply an equal
+ * stats document — so the key hashes the assembled program image
+ * itself (not the workload *name*, whose builder may change) and
+ * snap::configHash's machine-configuration digest.
+ *
+ * Entries are one file per key, written via the crash-safe atomic
+ * rename helper; a torn or hand-corrupted entry fails JSON validation
+ * on lookup and is treated as a miss.
+ */
+
+#ifndef XT910_SERVE_CACHE_H
+#define XT910_SERVE_CACHE_H
+
+#include <cstdint>
+#include <string>
+
+#include "workloads/workload.h"
+
+namespace xt910
+{
+
+struct SystemConfig;
+
+namespace serve
+{
+
+/**
+ * FNV-1a digest of everything workload-side that determines a run's
+ * result: the assembled image bytes, load/entry addresses, the
+ * expected checksum, and the build options. @p name participates only
+ * through the document it produces (the stats JSON embeds the
+ * workload name), so it is hashed too.
+ */
+uint64_t workloadHash(const std::string &name, const Program &prog,
+                      uint64_t expected, const WorkloadOptions &wo);
+
+/** See file comment. */
+class ResultCache
+{
+  public:
+    /** @p dir "" disables the cache entirely. Creates @p dir. */
+    explicit ResultCache(std::string dir);
+
+    bool enabled() const { return !dir.empty(); }
+
+    /** Key string: "v<schema>-<workload-hash>-<config-hash>". */
+    static std::string key(uint64_t workloadHash, uint64_t configHash);
+
+    /** True + the stored bytes when a valid entry exists. */
+    bool lookup(const std::string &key, std::string &doc) const;
+
+    /** Atomically persist @p doc under @p key (no-op when disabled). */
+    void store(const std::string &key, const std::string &doc) const;
+
+  private:
+    std::string path(const std::string &key) const;
+
+    std::string dir;
+};
+
+} // namespace serve
+} // namespace xt910
+
+#endif // XT910_SERVE_CACHE_H

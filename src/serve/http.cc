@@ -1,0 +1,697 @@
+#include "serve/http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <sys/time.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cerrno>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+namespace xt910
+{
+namespace serve
+{
+
+namespace
+{
+
+std::string
+lower(std::string s)
+{
+    for (char &c : s)
+        c = char(std::tolower(static_cast<unsigned char>(c)));
+    return s;
+}
+
+std::string
+trim(const std::string &s)
+{
+    size_t b = s.find_first_not_of(" \t");
+    if (b == std::string::npos)
+        return "";
+    size_t e = s.find_last_not_of(" \t");
+    return s.substr(b, e - b + 1);
+}
+
+/** Blocking send of the whole buffer; false on any error. */
+bool
+sendAll(int fd, const char *p, size_t n)
+{
+    while (n) {
+        ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+        if (w <= 0) {
+            if (w < 0 && errno == EINTR)
+                continue;
+            return false;
+        }
+        p += size_t(w);
+        n -= size_t(w);
+    }
+    return true;
+}
+
+/** Read until @p delim appears in @p buf (more bytes may follow it) or
+ *  @p maxBytes is exceeded. Returns the delimiter position, npos on
+ *  EOF/overrun/error. */
+size_t
+readUntil(int fd, std::string &buf, const char *delim, size_t maxBytes)
+{
+    const size_t dlen = std::strlen(delim);
+    for (;;) {
+        size_t at = buf.find(delim);
+        if (at != std::string::npos)
+            return at;
+        if (buf.size() > maxBytes)
+            return std::string::npos;
+        char tmp[4096];
+        ssize_t r = ::recv(fd, tmp, sizeof(tmp), 0);
+        if (r <= 0) {
+            if (r < 0 && errno == EINTR)
+                continue;
+            return std::string::npos;
+        }
+        buf.append(tmp, size_t(r));
+        (void)dlen;
+    }
+}
+
+/** Read exactly @p n more bytes into @p out; false on EOF/error. */
+bool
+readExact(int fd, std::string &out, size_t n)
+{
+    while (out.size() < n) {
+        char tmp[8192];
+        size_t want = std::min(n - out.size(), sizeof(tmp));
+        ssize_t r = ::recv(fd, tmp, want, 0);
+        if (r <= 0) {
+            if (r < 0 && errno == EINTR)
+                continue;
+            return false;
+        }
+        out.append(tmp, size_t(r));
+    }
+    return true;
+}
+
+int
+connectTo(const std::string &host, uint16_t port, std::string &err)
+{
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    std::string h = host == "localhost" ? "127.0.0.1" : host;
+    if (inet_pton(AF_INET, h.c_str(), &addr.sin_addr) != 1) {
+        err = "cannot resolve '" + host + "' (use a numeric address)";
+        return -1;
+    }
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        err = std::string("socket: ") + std::strerror(errno);
+        return -1;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        err = std::string("connect ") + host + ":" +
+              std::to_string(port) + ": " + std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+} // namespace
+
+std::string
+HttpRequest::header(const std::string &key) const
+{
+    auto it = headers.find(lower(key));
+    return it == headers.end() ? "" : it->second;
+}
+
+bool
+parseRequestHead(const std::string &head, HttpRequest &out,
+                 std::string &err)
+{
+    out = HttpRequest{};
+    size_t lineEnd = head.find("\r\n");
+    if (lineEnd == std::string::npos) {
+        err = "missing request line";
+        return false;
+    }
+    const std::string reqLine = head.substr(0, lineEnd);
+    size_t sp1 = reqLine.find(' ');
+    size_t sp2 = reqLine.rfind(' ');
+    if (sp1 == std::string::npos || sp2 == sp1) {
+        err = "malformed request line";
+        return false;
+    }
+    out.method = reqLine.substr(0, sp1);
+    std::string target = reqLine.substr(sp1 + 1, sp2 - sp1 - 1);
+    const std::string proto = reqLine.substr(sp2 + 1);
+    if (proto != "HTTP/1.1" && proto != "HTTP/1.0") {
+        err = "unsupported protocol '" + proto + "'";
+        return false;
+    }
+    if (out.method.empty() || target.empty() || target[0] != '/') {
+        err = "malformed request target";
+        return false;
+    }
+    size_t q = target.find('?');
+    if (q != std::string::npos) {
+        out.query = target.substr(q + 1);
+        target.resize(q);
+    }
+    out.path = target;
+
+    size_t pos = lineEnd + 2;
+    while (pos < head.size()) {
+        size_t end = head.find("\r\n", pos);
+        if (end == std::string::npos)
+            end = head.size();
+        if (end == pos)
+            break; // blank line
+        const std::string line = head.substr(pos, end - pos);
+        size_t colon = line.find(':');
+        if (colon == std::string::npos || colon == 0) {
+            err = "malformed header line '" + line + "'";
+            return false;
+        }
+        out.headers[lower(trim(line.substr(0, colon)))] =
+            trim(line.substr(colon + 1));
+        pos = end + 2;
+    }
+    return true;
+}
+
+const char *
+statusReason(int status)
+{
+    switch (status) {
+      case 200: return "OK";
+      case 201: return "Created";
+      case 202: return "Accepted";
+      case 204: return "No Content";
+      case 400: return "Bad Request";
+      case 404: return "Not Found";
+      case 405: return "Method Not Allowed";
+      case 409: return "Conflict";
+      case 413: return "Payload Too Large";
+      case 429: return "Too Many Requests";
+      case 431: return "Request Header Fields Too Large";
+      case 500: return "Internal Server Error";
+      case 503: return "Service Unavailable";
+    }
+    return "Unknown";
+}
+
+bool
+HttpResponseWriter::writeAll(const char *p, size_t n)
+{
+    if (broken)
+        return false;
+    if (!sendAll(fd, p, n)) {
+        broken = true;
+        return false;
+    }
+    return true;
+}
+
+void
+HttpResponseWriter::respond(
+    int status, const std::string &contentType, const std::string &body,
+    const std::vector<std::pair<std::string, std::string>> &extraHeaders)
+{
+    if (headerSent)
+        return;
+    headerSent = true;
+    std::string head = "HTTP/1.1 " + std::to_string(status) + " " +
+                       statusReason(status) + "\r\n";
+    head += "Content-Type: " + contentType + "\r\n";
+    head += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    for (const auto &h : extraHeaders)
+        head += h.first + ": " + h.second + "\r\n";
+    head += "Connection: close\r\n\r\n";
+    writeAll(head.data(), head.size());
+    writeAll(body.data(), body.size());
+}
+
+void
+HttpResponseWriter::beginChunked(int status,
+                                 const std::string &contentType)
+{
+    if (headerSent)
+        return;
+    headerSent = true;
+    chunked = true;
+    std::string head = "HTTP/1.1 " + std::to_string(status) + " " +
+                       statusReason(status) + "\r\n";
+    head += "Content-Type: " + contentType + "\r\n";
+    head += "Transfer-Encoding: chunked\r\n";
+    head += "Connection: close\r\n\r\n";
+    writeAll(head.data(), head.size());
+}
+
+bool
+HttpResponseWriter::writeChunk(const std::string &data)
+{
+    if (!chunked || data.empty())
+        return !broken;
+    char sz[32];
+    std::snprintf(sz, sizeof(sz), "%zx\r\n", data.size());
+    if (!writeAll(sz, std::strlen(sz)))
+        return false;
+    if (!writeAll(data.data(), data.size()))
+        return false;
+    return writeAll("\r\n", 2);
+}
+
+void
+HttpResponseWriter::endChunked()
+{
+    if (chunked)
+        writeAll("0\r\n\r\n", 5);
+}
+
+// ------------------------------------------------------------------
+// Server
+// ------------------------------------------------------------------
+
+struct HttpServer::Impl
+{
+    Options opts;
+    HttpHandler handler;
+    int listenFd = -1;
+    std::atomic<bool> stopping{false};
+    bool started = false;
+
+    std::mutex lock;
+    std::condition_variable cv;
+    std::deque<int> pending;
+
+    std::thread acceptThread;
+    std::vector<std::thread> workers;
+
+    void
+    acceptLoop()
+    {
+        while (!stopping.load(std::memory_order_relaxed)) {
+            pollfd pfd{listenFd, POLLIN, 0};
+            int pr = ::poll(&pfd, 1, 200);
+            if (pr <= 0)
+                continue;
+            int fd = ::accept(listenFd, nullptr, nullptr);
+            if (fd < 0)
+                continue;
+            {
+                std::lock_guard<std::mutex> g(lock);
+                pending.push_back(fd);
+            }
+            cv.notify_one();
+        }
+    }
+
+    void
+    workerLoop()
+    {
+        for (;;) {
+            int fd = -1;
+            {
+                std::unique_lock<std::mutex> g(lock);
+                cv.wait(g, [&] {
+                    return stopping.load() || !pending.empty();
+                });
+                if (!pending.empty()) {
+                    fd = pending.front();
+                    pending.pop_front();
+                } else if (stopping.load()) {
+                    return;
+                }
+            }
+            if (fd >= 0)
+                handleConnection(fd);
+        }
+    }
+
+    void
+    handleConnection(int fd)
+    {
+        timeval tv{};
+        tv.tv_sec = opts.recvTimeoutSecs;
+        setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+        int one = 1;
+        setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+        HttpResponseWriter w(fd);
+        std::string buf;
+        size_t headEnd =
+            readUntil(fd, buf, "\r\n\r\n", opts.maxHeaderBytes);
+        if (headEnd == std::string::npos) {
+            if (buf.size() > opts.maxHeaderBytes)
+                w.respond(431, "text/plain", "header too large\n");
+            ::close(fd);
+            return;
+        }
+        // The delimiter can arrive in the same recv() that blew the
+        // budget, so an over-limit head must be refused here too.
+        if (headEnd > opts.maxHeaderBytes) {
+            w.respond(431, "text/plain", "header too large\n");
+            ::close(fd);
+            return;
+        }
+        HttpRequest req;
+        std::string err;
+        if (!parseRequestHead(buf.substr(0, headEnd + 2), req, err)) {
+            w.respond(400, "text/plain", err + "\n");
+            ::close(fd);
+            return;
+        }
+        req.body = buf.substr(headEnd + 4);
+        const std::string cl = req.header("content-length");
+        if (!cl.empty()) {
+            char *end = nullptr;
+            unsigned long long n = std::strtoull(cl.c_str(), &end, 10);
+            if (end == cl.c_str() || *end != '\0') {
+                w.respond(400, "text/plain", "bad Content-Length\n");
+                ::close(fd);
+                return;
+            }
+            if (n > opts.maxBodyBytes) {
+                w.respond(413, "text/plain", "body too large\n");
+                ::close(fd);
+                return;
+            }
+            if (!readExact(fd, req.body, size_t(n))) {
+                ::close(fd);
+                return;
+            }
+            req.body.resize(size_t(n));
+        } else if (!req.body.empty()) {
+            // A body without Content-Length is not something the API
+            // ever sends; refuse rather than guess at framing.
+            w.respond(400, "text/plain",
+                      "body requires Content-Length\n");
+            ::close(fd);
+            return;
+        }
+
+        try {
+            handler(req, w);
+            if (!w.responded())
+                w.respond(500, "text/plain", "handler wrote nothing\n");
+        } catch (const std::exception &e) {
+            if (!w.responded())
+                w.respond(500, "text/plain",
+                          std::string("internal error: ") + e.what() +
+                              "\n");
+        }
+        ::close(fd);
+    }
+};
+
+HttpServer::HttpServer(const Options &opts, HttpHandler handler)
+    : impl(new Impl{})
+{
+    impl->opts = opts;
+    impl->handler = std::move(handler);
+
+    impl->listenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (impl->listenFd < 0) {
+        delete impl;
+        throw ServeError(std::string("socket: ") + std::strerror(errno));
+    }
+    int one = 1;
+    setsockopt(impl->listenFd, SOL_SOCKET, SO_REUSEADDR, &one,
+               sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(opts.port);
+    std::string bindAddr =
+        opts.bindAddr == "localhost" ? "127.0.0.1" : opts.bindAddr;
+    if (inet_pton(AF_INET, bindAddr.c_str(), &addr.sin_addr) != 1) {
+        ::close(impl->listenFd);
+        delete impl;
+        throw ServeError("bad bind address '" + opts.bindAddr + "'");
+    }
+    if (::bind(impl->listenFd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(impl->listenFd, 64) != 0) {
+        std::string what = std::string("bind/listen ") + opts.bindAddr +
+                           ":" + std::to_string(opts.port) + ": " +
+                           std::strerror(errno);
+        ::close(impl->listenFd);
+        delete impl;
+        throw ServeError(what);
+    }
+    sockaddr_in got{};
+    socklen_t len = sizeof(got);
+    getsockname(impl->listenFd, reinterpret_cast<sockaddr *>(&got),
+                &len);
+    boundPort = ntohs(got.sin_port);
+}
+
+HttpServer::~HttpServer()
+{
+    stop();
+    if (impl->listenFd >= 0)
+        ::close(impl->listenFd);
+    delete impl;
+}
+
+void
+HttpServer::start()
+{
+    if (impl->started)
+        return;
+    impl->started = true;
+    impl->acceptThread = std::thread([this] { impl->acceptLoop(); });
+    unsigned n = impl->opts.threads ? impl->opts.threads : 1;
+    for (unsigned i = 0; i < n; ++i)
+        impl->workers.emplace_back([this] { impl->workerLoop(); });
+}
+
+void
+HttpServer::stop()
+{
+    if (!impl->started)
+        return;
+    impl->stopping.store(true);
+    if (impl->acceptThread.joinable())
+        impl->acceptThread.join();
+    // Let workers drain already-accepted connections, then wake them.
+    impl->cv.notify_all();
+    for (auto &t : impl->workers)
+        if (t.joinable())
+            t.join();
+    impl->workers.clear();
+    impl->started = false;
+}
+
+// ------------------------------------------------------------------
+// Client
+// ------------------------------------------------------------------
+
+namespace
+{
+
+/** Shared request/response engine behind the two public entry
+ *  points. @p onBody receives decoded body bytes; when it returns
+ *  false the transfer stops early without error. */
+bool
+clientRequest(const std::string &host, uint16_t port,
+              const std::string &method, const std::string &target,
+              const std::vector<std::pair<std::string, std::string>>
+                  &headers,
+              const std::string &body, int &status,
+              std::map<std::string, std::string> *outHeaders,
+              const std::function<bool(const char *, size_t)> &onBody,
+              std::string &err)
+{
+    int fd = connectTo(host, port, err);
+    if (fd < 0)
+        return false;
+
+    std::string req = method + " " + target + " HTTP/1.1\r\n";
+    req += "Host: " + host + ":" + std::to_string(port) + "\r\n";
+    for (const auto &h : headers)
+        req += h.first + ": " + h.second + "\r\n";
+    if (!body.empty() || method == "POST" || method == "PUT")
+        req += "Content-Length: " + std::to_string(body.size()) +
+               "\r\n";
+    req += "Connection: close\r\n\r\n";
+    req += body;
+    if (!sendAll(fd, req.data(), req.size())) {
+        err = std::string("send: ") + std::strerror(errno);
+        ::close(fd);
+        return false;
+    }
+
+    std::string buf;
+    size_t headEnd = readUntil(fd, buf, "\r\n\r\n", 256 * 1024);
+    if (headEnd == std::string::npos) {
+        err = "malformed or truncated response head";
+        ::close(fd);
+        return false;
+    }
+    const std::string head = buf.substr(0, headEnd + 2);
+    size_t lineEnd = head.find("\r\n");
+    const std::string statusLine = head.substr(0, lineEnd);
+    if (statusLine.size() < 12 ||
+        statusLine.compare(0, 5, "HTTP/") != 0) {
+        err = "bad status line '" + statusLine + "'";
+        ::close(fd);
+        return false;
+    }
+    status = std::atoi(statusLine.c_str() + 9);
+
+    std::map<std::string, std::string> hdrs;
+    size_t pos = lineEnd + 2;
+    while (pos < head.size()) {
+        size_t end = head.find("\r\n", pos);
+        if (end == std::string::npos || end == pos)
+            break;
+        const std::string line = head.substr(pos, end - pos);
+        size_t colon = line.find(':');
+        if (colon != std::string::npos)
+            hdrs[lower(trim(line.substr(0, colon)))] =
+                trim(line.substr(colon + 1));
+        pos = end + 2;
+    }
+    if (outHeaders)
+        *outHeaders = hdrs;
+
+    std::string rest = buf.substr(headEnd + 4);
+    auto feed = [&](const char *p, size_t n) {
+        return onBody ? onBody(p, n) : true;
+    };
+
+    bool ok = true;
+    auto it = hdrs.find("transfer-encoding");
+    if (it != hdrs.end() && lower(it->second) == "chunked") {
+        // Decode chunks from `rest` + socket.
+        std::string acc = std::move(rest);
+        for (;;) {
+            size_t crlf;
+            for (;;) {
+                crlf = acc.find("\r\n");
+                if (crlf != std::string::npos)
+                    break;
+                char tmp[4096];
+                ssize_t r = ::recv(fd, tmp, sizeof(tmp), 0);
+                if (r <= 0) {
+                    if (r < 0 && errno == EINTR)
+                        continue;
+                    err = "truncated chunked body";
+                    ::close(fd);
+                    return false;
+                }
+                acc.append(tmp, size_t(r));
+            }
+            char *endp = nullptr;
+            unsigned long long sz =
+                std::strtoull(acc.c_str(), &endp, 16);
+            if (endp == acc.c_str()) {
+                err = "bad chunk size";
+                ok = false;
+                break;
+            }
+            acc.erase(0, crlf + 2);
+            if (sz == 0)
+                break; // final chunk (ignore trailers)
+            while (acc.size() < sz + 2) {
+                char tmp[8192];
+                ssize_t r = ::recv(fd, tmp, sizeof(tmp), 0);
+                if (r <= 0) {
+                    if (r < 0 && errno == EINTR)
+                        continue;
+                    err = "truncated chunk";
+                    ::close(fd);
+                    return false;
+                }
+                acc.append(tmp, size_t(r));
+            }
+            if (!feed(acc.data(), size_t(sz))) {
+                ok = true; // caller aborted on purpose
+                break;
+            }
+            acc.erase(0, size_t(sz) + 2);
+        }
+    } else if ((it = hdrs.find("content-length")) != hdrs.end()) {
+        unsigned long long n =
+            std::strtoull(it->second.c_str(), nullptr, 10);
+        if (rest.size() > n)
+            rest.resize(size_t(n));
+        if (!readExact(fd, rest, size_t(n))) {
+            err = "truncated body";
+            ::close(fd);
+            return false;
+        }
+        feed(rest.data(), rest.size());
+    } else {
+        // Connection-close framing: read to EOF.
+        if (!rest.empty() && !feed(rest.data(), rest.size())) {
+            ::close(fd);
+            return true;
+        }
+        for (;;) {
+            char tmp[8192];
+            ssize_t r = ::recv(fd, tmp, sizeof(tmp), 0);
+            if (r < 0 && errno == EINTR)
+                continue;
+            if (r <= 0)
+                break;
+            if (!feed(tmp, size_t(r)))
+                break;
+        }
+    }
+    ::close(fd);
+    return ok;
+}
+
+} // namespace
+
+bool
+httpRequest(const std::string &host, uint16_t port,
+            const std::string &method, const std::string &target,
+            const std::vector<std::pair<std::string, std::string>>
+                &headers,
+            const std::string &body, ClientResponse &out,
+            std::string &err)
+{
+    out = ClientResponse{};
+    auto onBody = [&](const char *p, size_t n) {
+        out.body.append(p, n);
+        return true;
+    };
+    return clientRequest(host, port, method, target, headers, body,
+                         out.status, &out.headers, onBody, err);
+}
+
+bool
+httpRequestStream(
+    const std::string &host, uint16_t port, const std::string &method,
+    const std::string &target,
+    const std::vector<std::pair<std::string, std::string>> &headers,
+    const std::string &body, int &status,
+    const std::function<bool(const char *, size_t)> &onBody,
+    std::string &err)
+{
+    return clientRequest(host, port, method, target, headers, body,
+                         status, nullptr, onBody, err);
+}
+
+} // namespace serve
+} // namespace xt910

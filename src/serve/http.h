@@ -1,0 +1,187 @@
+/**
+ * @file
+ * A from-scratch, dependency-free HTTP/1.1 stack for the simulation
+ * service: a blocking accept loop feeding a fixed pool of connection
+ * workers (one request per connection, `Connection: close`), plus the
+ * small client used by xt910-client and the tests. Only what the
+ * xt910d API needs is implemented — request heads with
+ * Content-Length bodies in, fixed or chunked (streaming) responses
+ * out — but that subset is implemented strictly: bounded header/body
+ * sizes, CRLF framing, case-insensitive header keys, and chunked
+ * transfer-encoding decode on the client side.
+ *
+ * Threading model: serveForever() accepts on the caller's thread
+ * (poll()ed so stop() can interrupt it) and hands sockets to the
+ * worker pool; handlers therefore run concurrently and must be
+ * thread-safe. A handler either calls respond() once, or
+ * beginChunked() + writeChunk()* + endChunked() to stream.
+ */
+
+#ifndef XT910_SERVE_HTTP_H
+#define XT910_SERVE_HTTP_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace xt910
+{
+namespace serve
+{
+
+/** Socket/bind/protocol failures the serving layer cannot recover. */
+class ServeError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** One parsed request. Header keys are lower-cased. */
+struct HttpRequest
+{
+    std::string method;   ///< "GET", "POST", ...
+    std::string path;     ///< target before '?', percent-decoded NOT
+    std::string query;    ///< raw query string after '?' ("" if none)
+    std::map<std::string, std::string> headers;
+    std::string body;
+
+    /** Lower-case header lookup; "" when absent. */
+    std::string header(const std::string &key) const;
+};
+
+/**
+ * Parse an HTTP/1.1 request head (everything up to and including the
+ * blank line, CRLF line endings). Returns false with @p err set on
+ * malformed input. The body is NOT consumed here.
+ */
+bool parseRequestHead(const std::string &head, HttpRequest &out,
+                      std::string &err);
+
+/** Reason phrase for the handful of status codes the API uses. */
+const char *statusReason(int status);
+
+/**
+ * Response writer handed to the handler. Exactly one of respond() or
+ * beginChunked()/writeChunk()/endChunked() must be used. Write
+ * failures (client hung up) are sticky and surface as writeChunk()
+ * returning false; respond() ignores them (there is nobody to tell).
+ */
+class HttpResponseWriter
+{
+  public:
+    explicit HttpResponseWriter(int fd) : fd(fd) {}
+
+    /** One-shot response with Content-Length framing. */
+    void respond(int status, const std::string &contentType,
+                 const std::string &body,
+                 const std::vector<std::pair<std::string, std::string>>
+                     &extraHeaders = {});
+
+    /** Start a chunked (streaming) response. */
+    void beginChunked(int status, const std::string &contentType);
+
+    /** Stream one chunk; false when the client is gone. */
+    bool writeChunk(const std::string &data);
+
+    /** Terminate the chunked stream. */
+    void endChunked();
+
+    bool responded() const { return headerSent; }
+
+  private:
+    bool writeAll(const char *p, size_t n);
+
+    int fd;
+    bool headerSent = false;
+    bool chunked = false;
+    bool broken = false;
+};
+
+using HttpHandler =
+    std::function<void(const HttpRequest &, HttpResponseWriter &)>;
+
+/** See file comment. */
+class HttpServer
+{
+  public:
+    struct Options
+    {
+        std::string bindAddr = "127.0.0.1";
+        uint16_t port = 0;          ///< 0 = ephemeral, see port()
+        unsigned threads = 4;       ///< connection workers
+        size_t maxHeaderBytes = 64 * 1024;
+        size_t maxBodyBytes = 8 * 1024 * 1024;
+        /** Per-socket recv timeout, so a stalled client cannot pin a
+         *  worker forever. */
+        unsigned recvTimeoutSecs = 30;
+    };
+
+    /** Binds and listens immediately; throws ServeError on failure. */
+    HttpServer(const Options &opts, HttpHandler handler);
+    ~HttpServer();
+
+    HttpServer(const HttpServer &) = delete;
+    HttpServer &operator=(const HttpServer &) = delete;
+
+    /** The bound port (resolves an ephemeral request). */
+    uint16_t port() const { return boundPort; }
+
+    /** Spawn the accept thread + worker pool. */
+    void start();
+
+    /** Stop accepting, drain queued connections, join everything.
+     *  Idempotent; safe to call from any thread except a handler. */
+    void stop();
+
+  private:
+    struct Impl;
+    Impl *impl;
+    uint16_t boundPort = 0;
+};
+
+// ------------------------------------------------------------------
+// Client side (xt910-client, tests).
+// ------------------------------------------------------------------
+
+/** A complete client-side response. Header keys are lower-cased. */
+struct ClientResponse
+{
+    int status = 0;
+    std::map<std::string, std::string> headers;
+    std::string body;
+};
+
+/**
+ * One blocking HTTP/1.1 request. Handles Content-Length, chunked and
+ * connection-close body framing. Returns false with @p err on any
+ * transport or framing error (a non-2xx status is NOT an error).
+ */
+bool httpRequest(const std::string &host, uint16_t port,
+                 const std::string &method, const std::string &target,
+                 const std::vector<std::pair<std::string, std::string>>
+                     &headers,
+                 const std::string &body, ClientResponse &out,
+                 std::string &err);
+
+/**
+ * Streaming variant: @p onBody is invoked with decoded body bytes as
+ * they arrive (after chunked decode); return false from it to abort
+ * the transfer early (not an error). @p status is set from the
+ * response head before the first onBody call.
+ */
+bool httpRequestStream(
+    const std::string &host, uint16_t port, const std::string &method,
+    const std::string &target,
+    const std::vector<std::pair<std::string, std::string>> &headers,
+    const std::string &body, int &status,
+    const std::function<bool(const char *, size_t)> &onBody,
+    std::string &err);
+
+} // namespace serve
+} // namespace xt910
+
+#endif // XT910_SERVE_HTTP_H

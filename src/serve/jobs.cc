@@ -1,0 +1,1018 @@
+#include "serve/jobs.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <streambuf>
+#include <thread>
+
+#include "baseline/presets.h"
+#include "check/progen.h"
+#include "common/parallel.h"
+#include "common/snapio.h"
+#include "core/system.h"
+#include "obs/sampler.h"
+#include "serve/report.h"
+#include "snap/snapshot.h"
+#include "workloads/wl_common.h"
+#include "workloads/workload.h"
+
+namespace xt910
+{
+namespace serve
+{
+
+const char *
+jobStateName(JobState s)
+{
+    switch (s) {
+    case JobState::Queued: return "queued";
+    case JobState::Running: return "running";
+    case JobState::Done: return "done";
+    case JobState::Failed: return "failed";
+    case JobState::Cancelled: return "cancelled";
+    }
+    return "?";
+}
+
+namespace
+{
+
+const char *
+priorityName(JobPriority p)
+{
+    return p == JobPriority::Batch ? "batch" : "interactive";
+}
+
+/** Thrown out of the step hook on DELETE /v1/jobs/<id>. */
+struct JobCancelled
+{
+};
+
+/** Thrown out of the step hook when the manager is draining. */
+struct JobDrained
+{
+};
+
+} // namespace
+
+std::string
+JobSpec::displayName() const
+{
+    if (!workload.empty())
+        return workload;
+    // Source jobs are named after the reproducer seed at resolve time;
+    // this fallback only shows before resolution.
+    return "source";
+}
+
+std::string
+JobSpec::toJson() const
+{
+    std::ostringstream os;
+    os << "{\"workload\": \"" << json::escape(workload)
+       << "\", \"source\": \"" << json::escape(source)
+       << "\", \"preset\": \"" << json::escape(preset)
+       << "\", \"cores\": " << cores
+       << ", \"extended\": " << (extended ? "true" : "false")
+       << ", \"vector\": " << (useVector ? "true" : "false")
+       << ", \"scale\": " << scale << ", \"l2_kib\": " << l2Kib
+       << ", \"dram_latency\": " << dramLatency
+       << ", \"no_prefetch\": " << (noPrefetch ? "true" : "false")
+       << ", \"max_insts\": " << maxInsts
+       << ", \"max_cycles\": " << maxCycles
+       << ", \"stats_interval\": " << statsInterval
+       << ", \"timeout_secs\": " << timeoutSecs << ", \"priority\": \""
+       << priorityName(priority) << "\", \"client\": \""
+       << json::escape(client) << "\"}";
+    return os.str();
+}
+
+bool
+JobSpec::fromJson(const json::Value &v, JobSpec &out, std::string &err)
+{
+    if (!v.isObject()) {
+        err = "job spec must be a JSON object";
+        return false;
+    }
+    out = JobSpec{};
+    for (const auto &kv : v.members) {
+        const std::string &k = kv.first;
+        const json::Value &x = kv.second;
+        auto str = [&](std::string &dst) {
+            if (!x.isString()) {
+                err = "field '" + k + "' must be a string";
+                return false;
+            }
+            dst = x.string;
+            return true;
+        };
+        auto boolean = [&](bool &dst) {
+            if (!x.isBool()) {
+                err = "field '" + k + "' must be a boolean";
+                return false;
+            }
+            dst = x.boolean;
+            return true;
+        };
+        auto u64 = [&](uint64_t &dst) {
+            if (!x.isNumber() || !x.isInteger || x.integer < 0) {
+                err = "field '" + k +
+                      "' must be a non-negative integer";
+                return false;
+            }
+            dst = uint64_t(x.integer);
+            return true;
+        };
+        auto u32 = [&](unsigned &dst) {
+            uint64_t w = 0;
+            if (!u64(w))
+                return false;
+            if (w > 0xffffffffull) {
+                err = "field '" + k + "' is out of range";
+                return false;
+            }
+            dst = unsigned(w);
+            return true;
+        };
+        bool ok = true;
+        if (k == "workload")
+            ok = str(out.workload);
+        else if (k == "source")
+            ok = str(out.source);
+        else if (k == "preset")
+            ok = str(out.preset);
+        else if (k == "cores")
+            ok = u32(out.cores);
+        else if (k == "extended")
+            ok = boolean(out.extended);
+        else if (k == "vector")
+            ok = boolean(out.useVector);
+        else if (k == "scale")
+            ok = u32(out.scale);
+        else if (k == "l2_kib")
+            ok = u32(out.l2Kib);
+        else if (k == "dram_latency")
+            ok = u32(out.dramLatency);
+        else if (k == "no_prefetch")
+            ok = boolean(out.noPrefetch);
+        else if (k == "max_insts")
+            ok = u64(out.maxInsts);
+        else if (k == "max_cycles")
+            ok = u64(out.maxCycles);
+        else if (k == "stats_interval")
+            ok = u64(out.statsInterval);
+        else if (k == "timeout_secs") {
+            if (!x.isNumber() || x.number < 0) {
+                err = "field 'timeout_secs' must be a non-negative "
+                      "number";
+                ok = false;
+            } else {
+                out.timeoutSecs = x.number;
+            }
+        } else if (k == "priority") {
+            std::string p;
+            if (!(ok = str(p)))
+                ;
+            else if (p == "interactive")
+                out.priority = JobPriority::Interactive;
+            else if (p == "batch")
+                out.priority = JobPriority::Batch;
+            else {
+                err = "priority must be 'interactive' or 'batch'";
+                ok = false;
+            }
+        } else if (k == "client") {
+            ok = str(out.client);
+        } else {
+            err = "unknown field '" + k + "'";
+            ok = false;
+        }
+        if (!ok)
+            return false;
+    }
+    if (out.workload.empty() == out.source.empty()) {
+        err = "exactly one of 'workload' and 'source' is required";
+        return false;
+    }
+    return true;
+}
+
+std::string
+JobInfo::statusJson() const
+{
+    std::ostringstream os;
+    os << "{\"id\": \"" << json::escape(id) << "\", \"state\": \""
+       << jobStateName(state) << "\", \"name\": \""
+       << json::escape(name) << "\", \"client\": \""
+       << json::escape(client) << "\", \"priority\": \""
+       << priorityName(priority)
+       << "\", \"cached\": " << (cached ? "true" : "false")
+       << ", \"progress_insts\": " << progressInsts
+       << ", \"insts\": " << insts << ", \"cycles\": " << cycles
+       << ", \"checksum_ok\": " << (checksumOk ? "true" : "false")
+       << ", \"error\": \"" << json::escape(error) << "\"}";
+    return os.str();
+}
+
+std::string
+ServeCounters::json(size_t queued, size_t running) const
+{
+    std::ostringstream os;
+    os << "{\"submitted\": " << submitted.load()
+       << ", \"completed\": " << completed.load()
+       << ", \"failed\": " << failed.load()
+       << ", \"cancelled\": " << cancelled.load()
+       << ", \"cache_hits\": " << cacheHits.load()
+       << ", \"simulated\": " << simulated.load()
+       << ", \"rejected_queue_full\": " << rejectedQueueFull.load()
+       << ", \"rejected_quota\": " << rejectedQuota.load()
+       << ", \"queued\": " << queued << ", \"running\": " << running
+       << "}";
+    return os.str();
+}
+
+namespace
+{
+
+/** One admitted job: spec + resolved machine inputs + live state. */
+struct Job
+{
+    std::string id;
+    JobSpec spec;
+    std::string name; ///< workload name or "xtfuzz-<seed>"
+    Program program;
+    uint64_t expected = 0;
+    bool hasExpected = true;
+    SystemConfig cfg;
+    std::string cacheKey;
+
+    std::atomic<JobState> state{JobState::Queued};
+    std::atomic<bool> cancelRequested{false};
+    std::atomic<uint64_t> progressInsts{0};
+    bool cached = false;
+
+    // Stream + result fields, all guarded by mu. Workers write results
+    // before the state store; readers take mu so partially written
+    // strings are never observed.
+    mutable std::mutex mu;
+    mutable std::condition_variable cv;
+    std::vector<std::string> lines; ///< complete JSONL lines (with \n)
+    bool streamDone = false;
+    uint64_t insts = 0;
+    Cycle cycles = 0;
+    bool checksumOk = false;
+    std::string error;
+    std::string statsJson;
+    std::string ckptPath; ///< resume point (drain or restart)
+};
+
+/**
+ * std::streambuf that chops the sampler/summary output into complete
+ * lines and publishes each to the job's stream buffer as soon as its
+ * newline arrives, so GET .../stream observes records live.
+ */
+class LineSink : public std::streambuf
+{
+  public:
+    explicit LineSink(Job &j_) : j(j_) {}
+
+  protected:
+    int
+    overflow(int c) override
+    {
+        if (c == traits_type::eof())
+            return c;
+        partial.push_back(char(c));
+        if (c == '\n') {
+            std::lock_guard<std::mutex> lk(j.mu);
+            j.lines.push_back(std::move(partial));
+            partial.clear();
+            j.cv.notify_all();
+        }
+        return c;
+    }
+
+    std::streamsize
+    xsputn(const char *s, std::streamsize n) override
+    {
+        for (std::streamsize i = 0; i < n; ++i)
+            overflow(traits_type::to_int_type(s[i]));
+        return n;
+    }
+
+  private:
+    Job &j;
+    std::string partial;
+};
+
+/** Everything resolveSpec derives from a JobSpec. */
+struct Resolved
+{
+    std::string name;
+    Program program;
+    uint64_t expected = 0;
+    bool hasExpected = true;
+    SystemConfig cfg;
+    uint64_t wlHash = 0;
+    uint64_t cfgHash = 0;
+};
+
+bool
+resolveSpec(const JobSpec &s, Resolved &out, std::string &err)
+{
+    if (s.workload.empty() == s.source.empty()) {
+        err = "exactly one of 'workload' and 'source' is required";
+        return false;
+    }
+    if (s.cores < 1 || s.cores > 64) {
+        err = "cores must be between 1 and 64";
+        return false;
+    }
+    if (s.scale < 1) {
+        err = "scale must be at least 1";
+        return false;
+    }
+    CorePreset p;
+    if (s.preset == "xt910")
+        p = xt910Preset();
+    else if (s.preset == "u74")
+        p = u74Preset();
+    else if (s.preset == "a73")
+        p = a73Preset();
+    else if (s.preset == "mcu")
+        p = mcuPreset();
+    else {
+        err = "unknown preset '" + s.preset +
+              "' (want xt910|u74|a73|mcu)";
+        return false;
+    }
+    out.cfg = p.config;
+    out.cfg.numCores = s.cores;
+    if (s.l2Kib)
+        out.cfg.mem.l2.sizeBytes = uint64_t(s.l2Kib) * 1024;
+    if (s.dramLatency)
+        out.cfg.mem.dram.latency = s.dramLatency;
+    if (s.noPrefetch) {
+        out.cfg.core.prefetch.enableL1 = false;
+        out.cfg.core.prefetch.enableL2 = false;
+        out.cfg.core.tlbPrefetch = false;
+    }
+    if (s.maxInsts)
+        out.cfg.maxInsts = s.maxInsts;
+    if (s.maxCycles)
+        out.cfg.maxCycles = s.maxCycles;
+
+    WorkloadOptions wo;
+    wo.extended = s.extended;
+    wo.vector = s.useVector;
+    wo.scale = s.scale;
+
+    if (!s.workload.empty()) {
+        // findWorkload() is fatal on an unknown name — fine for a CLI,
+        // lethal for a daemon. Validate against the registry first.
+        const Workload *w = nullptr;
+        for (const Workload &cand : allWorkloads())
+            if (cand.name == s.workload) {
+                w = &cand;
+                break;
+            }
+        if (!w) {
+            err = "unknown workload '" + s.workload + "'";
+            return false;
+        }
+        WorkloadBuild wb = w->build(wo);
+        out.name = s.workload;
+        out.program = wb.program;
+        out.expected = wb.expected;
+        out.hasExpected = true;
+    } else {
+        std::istringstream is(s.source);
+        check::GenProgram g;
+        if (!check::parseReproducer(is, g, err)) {
+            err = "bad source: " + err;
+            return false;
+        }
+        out.name = "xtfuzz-" + std::to_string(g.cfg.seed);
+        out.program = g.assemble();
+        out.expected = g.expectHash;
+        out.hasExpected = g.hasExpectHash;
+        // The generator's VLEN is part of the program contract; the
+        // core parameter wins over IssOptions, keep them in lockstep.
+        out.cfg.core.vlenBits = g.cfg.vlenBits;
+        out.cfg.iss.vlenBits = g.cfg.vlenBits;
+    }
+
+    out.wlHash = workloadHash(out.name, out.program,
+                              out.hasExpected ? out.expected : 0, wo);
+    // snap::configHash deliberately excludes the run-length budget
+    // (resuming under a different budget is the point of snapshots),
+    // but budget *does* determine a run's final stats — fold it in.
+    uint64_t h = snap::configHash(out.cfg);
+    uint64_t tail[2] = {out.cfg.maxInsts, out.cfg.maxCycles};
+    out.cfgHash = fnv1a(tail, sizeof(tail), h);
+    return true;
+}
+
+} // namespace
+
+struct JobManager::Impl
+{
+    JobManagerConfig cfg;
+    ResultCache cache;
+    ServeCounters *ctrs = nullptr;
+
+    mutable std::mutex mu; ///< registry + id counter
+    std::map<std::string, std::shared_ptr<Job>> byId;
+    std::vector<std::shared_ptr<Job>> order;
+    uint64_t nextId = 1;
+
+    std::mutex qm; ///< the two priority queues
+    std::condition_variable qcv;
+    std::deque<std::shared_ptr<Job>> queues[2];
+    std::atomic<bool> stopping{false};
+    std::atomic<bool> draining{false};
+    std::vector<std::thread> workers;
+    bool drained = false;
+
+    explicit Impl(const JobManagerConfig &c) : cfg(c), cache(c.cacheDir)
+    {
+    }
+
+    std::string
+    stateFile() const
+    {
+        return cfg.stateDir + "/state.json";
+    }
+
+    std::string
+    ckptFile(const std::string &id) const
+    {
+        return cfg.stateDir + "/" + id + ".ckpt";
+    }
+
+    std::string
+    freshId()
+    {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "j%06llu",
+                      static_cast<unsigned long long>(nextId++));
+        return buf;
+    }
+
+    void
+    enqueue(const std::shared_ptr<Job> &j)
+    {
+        std::lock_guard<std::mutex> lk(qm);
+        queues[size_t(j->spec.priority)].push_back(j);
+        qcv.notify_one();
+    }
+
+    void
+    workerLoop()
+    {
+        for (;;) {
+            std::shared_ptr<Job> j;
+            {
+                std::unique_lock<std::mutex> lk(qm);
+                qcv.wait(lk, [&] {
+                    return stopping.load() || !queues[0].empty() ||
+                           !queues[1].empty();
+                });
+                if (stopping.load())
+                    return;
+                std::deque<std::shared_ptr<Job>> &q =
+                    !queues[0].empty() ? queues[0] : queues[1];
+                j = q.front();
+                q.pop_front();
+            }
+            runJob(*j);
+        }
+    }
+
+    void
+    runJob(Job &j)
+    {
+        j.state.store(JobState::Running);
+        if (j.cancelRequested.load()) {
+            finish(j, JobState::Cancelled, "cancelled by client");
+            ctrs->cancelled.fetch_add(1);
+            return;
+        }
+        try {
+            // The budget is a whole-run budget: when resuming from a
+            // checkpoint, the part already retired comes off the top of
+            // a local copy (the job keeps its original cfg — and cache
+            // key — for any later resume).
+            SystemConfig cfg = j.cfg;
+            uint64_t base = 0;
+            std::string ckpt;
+            {
+                std::lock_guard<std::mutex> lk(j.mu);
+                ckpt = j.ckptPath;
+            }
+            if (!ckpt.empty()) {
+                try {
+                    base = snap::inspectSnapshotFile(ckpt).instsRetired;
+                } catch (const SnapError &) {
+                    base = 0;
+                    ckpt.clear();
+                }
+            }
+            if (base)
+                cfg.maxInsts =
+                    cfg.maxInsts > base ? cfg.maxInsts - base : 0;
+
+            System sys(cfg);
+            sys.loadProgram(j.program);
+            if (!ckpt.empty())
+                base = snap::restoreSnapshotFile(sys, ckpt);
+
+            LineSink sink(j);
+            std::ostream sinkOs(&sink);
+            std::unique_ptr<obs::IntervalSampler> sampler;
+            if (j.spec.statsInterval) {
+                sampler = std::make_unique<obs::IntervalSampler>(
+                    sinkOs, j.spec.statsInterval);
+                sys.attachSampler(*sampler);
+            }
+
+            const auto start = std::chrono::steady_clock::now();
+            sys.stepHook = [&](uint64_t n, System &s) {
+                if (n & 1023)
+                    return;
+                j.progressInsts.store(base + n);
+                if (j.cancelRequested.load())
+                    throw JobCancelled{};
+                if (draining.load()) {
+                    if (!this->cfg.stateDir.empty()) {
+                        const std::string path = ckptFile(j.id);
+                        snap::saveSnapshotFile(s, path, base + n);
+                        std::lock_guard<std::mutex> lk(j.mu);
+                        j.ckptPath = path;
+                    }
+                    throw JobDrained{};
+                }
+                if (j.spec.timeoutSecs > 0) {
+                    const std::chrono::duration<double> el =
+                        std::chrono::steady_clock::now() - start;
+                    if (el.count() > j.spec.timeoutSecs)
+                        throw FarmTimeout(
+                            "job exceeded its wall-clock budget");
+                }
+            };
+
+            RunResult r = sys.run();
+            ctrs->simulated.fetch_add(1);
+
+            const bool ok =
+                !j.hasExpected ||
+                wl::readResult(sys.memory(), j.program) == j.expected;
+
+            // The summary line closes the JSONL stream (same record a
+            // direct --stats-interval run appends to its file). The
+            // sink takes j.mu per line, so it must run unlocked.
+            writeRunSummaryLine(sinkOs, j.name, r, ok, sys);
+            std::lock_guard<std::mutex> lk(j.mu);
+            std::ostringstream doc;
+            writeRunStatsJson(doc, j.name, r, ok, sys);
+            j.statsJson = doc.str();
+            j.insts = r.insts;
+            j.cycles = r.cycles;
+            j.checksumOk = ok;
+            j.progressInsts.store(base + r.insts);
+            j.streamDone = true;
+            j.cv.notify_all();
+            j.state.store(JobState::Done);
+            ctrs->completed.fetch_add(1);
+            if (!j.cacheKey.empty())
+                cache.store(j.cacheKey, j.statsJson);
+        } catch (const JobCancelled &) {
+            finish(j, JobState::Cancelled, "cancelled by client");
+            ctrs->cancelled.fetch_add(1);
+        } catch (const JobDrained &) {
+            // Back to the queue conceptually: drain() persists every
+            // Queued job, and restoreState() in the next process picks
+            // it up from the checkpoint just written.
+            j.state.store(JobState::Queued);
+        } catch (const FarmTimeout &e) {
+            finish(j, JobState::Failed, e.what());
+            ctrs->failed.fetch_add(1);
+        } catch (const std::exception &e) {
+            finish(j, JobState::Failed, e.what());
+            ctrs->failed.fetch_add(1);
+        }
+    }
+
+    void
+    finish(Job &j, JobState st, const std::string &error)
+    {
+        std::lock_guard<std::mutex> lk(j.mu);
+        j.error = error;
+        j.streamDone = true;
+        j.cv.notify_all();
+        j.state.store(st);
+    }
+
+    JobInfo
+    info(const Job &j) const
+    {
+        JobInfo out;
+        out.id = j.id;
+        out.state = j.state.load();
+        out.name = j.name;
+        out.client = j.spec.client;
+        out.priority = j.spec.priority;
+        out.cached = j.cached;
+        out.progressInsts = j.progressInsts.load();
+        std::lock_guard<std::mutex> lk(j.mu);
+        out.insts = j.insts;
+        out.cycles = j.cycles;
+        out.checksumOk = j.checksumOk;
+        out.error = j.error;
+        return out;
+    }
+
+    void
+    persistState()
+    {
+        if (cfg.stateDir.empty())
+            return;
+        std::ostringstream os;
+        os << "{\"next_id\": " << nextId << ", \"jobs\": [";
+        bool first = true;
+        for (const auto &j : order) {
+            if (j->state.load() != JobState::Queued)
+                continue;
+            std::string ckpt;
+            {
+                std::lock_guard<std::mutex> lk(j->mu);
+                ckpt = j->ckptPath;
+            }
+            if (!first)
+                os << ", ";
+            first = false;
+            os << "{\"id\": \"" << json::escape(j->id)
+               << "\", \"ckpt\": \"" << json::escape(ckpt)
+               << "\", \"spec\": " << j->spec.toJson() << "}";
+        }
+        os << "]}";
+        const std::string doc = os.str();
+        try {
+            snapWriteFileAtomic(stateFile(), doc.data(), doc.size());
+        } catch (const SnapError &e) {
+            std::fprintf(stderr, "serve: cannot persist state: %s\n",
+                         e.what());
+        }
+    }
+};
+
+JobManager::JobManager(const JobManagerConfig &cfg)
+    : impl(new Impl(cfg))
+{
+    impl->ctrs = &ctrs;
+    if (!cfg.stateDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(cfg.stateDir, ec);
+    }
+    const unsigned n = cfg.simJobs ? cfg.simJobs : 1;
+    for (unsigned i = 0; i < n; ++i)
+        impl->workers.emplace_back([this] { impl->workerLoop(); });
+}
+
+JobManager::~JobManager()
+{
+    if (!impl->drained) {
+        impl->draining.store(true);
+        impl->stopping.store(true);
+        impl->qcv.notify_all();
+        for (std::thread &t : impl->workers)
+            t.join();
+        impl->workers.clear();
+    }
+}
+
+SubmitResult
+JobManager::submit(const JobSpec &spec)
+{
+    SubmitResult res;
+    Resolved rv;
+    if (!resolveSpec(spec, rv, res.error)) {
+        res.httpStatus = 400;
+        return res;
+    }
+
+    auto j = std::make_shared<Job>();
+    j->spec = spec;
+    j->name = rv.name;
+    j->program = std::move(rv.program);
+    j->expected = rv.expected;
+    j->hasExpected = rv.hasExpected;
+    j->cfg = rv.cfg;
+    if (impl->cache.enabled())
+        j->cacheKey = ResultCache::key(rv.wlHash, rv.cfgHash);
+
+    // A cache hit is already-finished work: it bypasses quota and
+    // queue-depth admission (it consumes no simulation capacity) and
+    // the job is born Done with the stored bytes.
+    std::string doc;
+    if (!j->cacheKey.empty() && impl->cache.lookup(j->cacheKey, doc)) {
+        j->cached = true;
+        j->statsJson = std::move(doc);
+        json::Value v;
+        if (json::parse(j->statsJson, v)) {
+            if (const json::Value *f = v.find("insts"))
+                j->insts = f->asU64();
+            if (const json::Value *f = v.find("cycles"))
+                j->cycles = f->asU64();
+            if (const json::Value *f = v.find("checksum_ok"))
+                j->checksumOk = f->asBool();
+        }
+        j->progressInsts.store(j->insts);
+        j->streamDone = true;
+        j->state.store(JobState::Done);
+
+        std::lock_guard<std::mutex> lk(impl->mu);
+        j->id = impl->freshId();
+        impl->byId[j->id] = j;
+        impl->order.push_back(j);
+        ctrs.submitted.fetch_add(1);
+        ctrs.cacheHits.fetch_add(1);
+        ctrs.completed.fetch_add(1);
+        res.ok = true;
+        res.cached = true;
+        res.id = j->id;
+        res.httpStatus = 201;
+        return res;
+    }
+
+    {
+        std::lock_guard<std::mutex> lk(impl->mu);
+        // Admission: per-client quota over live (queued+running) jobs,
+        // then the global queue bound.
+        size_t live = 0;
+        for (const auto &o : impl->order) {
+            JobState st = o->state.load();
+            if (o->spec.client == spec.client &&
+                (st == JobState::Queued || st == JobState::Running))
+                ++live;
+        }
+        if (live >= impl->cfg.clientQuota) {
+            ctrs.rejectedQuota.fetch_add(1);
+            res.httpStatus = 429;
+            res.error = "client quota exceeded (" +
+                        std::to_string(impl->cfg.clientQuota) +
+                        " live jobs)";
+            res.retryAfterSecs = 5;
+            return res;
+        }
+        {
+            std::lock_guard<std::mutex> qlk(impl->qm);
+            if (impl->queues[0].size() + impl->queues[1].size() >=
+                impl->cfg.queueMax) {
+                ctrs.rejectedQueueFull.fetch_add(1);
+                res.httpStatus = 429;
+                res.error = "job queue is full";
+                res.retryAfterSecs = 2;
+                return res;
+            }
+        }
+        j->id = impl->freshId();
+        impl->byId[j->id] = j;
+        impl->order.push_back(j);
+        ctrs.submitted.fetch_add(1);
+    }
+    impl->enqueue(j);
+    res.ok = true;
+    res.id = j->id;
+    res.httpStatus = 201;
+    return res;
+}
+
+bool
+JobManager::get(const std::string &id, JobInfo &out) const
+{
+    std::shared_ptr<Job> j;
+    {
+        std::lock_guard<std::mutex> lk(impl->mu);
+        auto it = impl->byId.find(id);
+        if (it == impl->byId.end())
+            return false;
+        j = it->second;
+    }
+    out = impl->info(*j);
+    return true;
+}
+
+std::vector<JobInfo>
+JobManager::list() const
+{
+    std::vector<std::shared_ptr<Job>> jobs;
+    {
+        std::lock_guard<std::mutex> lk(impl->mu);
+        jobs = impl->order;
+    }
+    std::vector<JobInfo> out;
+    out.reserve(jobs.size());
+    for (const auto &j : jobs)
+        out.push_back(impl->info(*j));
+    return out;
+}
+
+bool
+JobManager::stats(const std::string &id, std::string &doc) const
+{
+    std::shared_ptr<Job> j;
+    {
+        std::lock_guard<std::mutex> lk(impl->mu);
+        auto it = impl->byId.find(id);
+        if (it == impl->byId.end())
+            return false;
+        j = it->second;
+    }
+    if (j->state.load() != JobState::Done)
+        return false;
+    std::lock_guard<std::mutex> lk(j->mu);
+    doc = j->statsJson;
+    return true;
+}
+
+bool
+JobManager::cancel(const std::string &id, std::string &err)
+{
+    std::shared_ptr<Job> j;
+    {
+        std::lock_guard<std::mutex> lk(impl->mu);
+        auto it = impl->byId.find(id);
+        if (it == impl->byId.end()) {
+            err = "no such job";
+            return false;
+        }
+        j = it->second;
+    }
+    // Still waiting? Pull it out of the queue and it never runs.
+    {
+        std::lock_guard<std::mutex> lk(impl->qm);
+        for (auto &q : impl->queues) {
+            auto it = std::find(q.begin(), q.end(), j);
+            if (it != q.end()) {
+                q.erase(it);
+                impl->finish(*j, JobState::Cancelled,
+                             "cancelled by client");
+                ctrs.cancelled.fetch_add(1);
+                return true;
+            }
+        }
+    }
+    switch (j->state.load()) {
+    case JobState::Done:
+    case JobState::Failed:
+    case JobState::Cancelled:
+        err = "job already finished";
+        return false;
+    default:
+        // Running (or about to be): the step hook picks the flag up at
+        // its next poll and aborts the simulation.
+        j->cancelRequested.store(true);
+        return true;
+    }
+}
+
+bool
+JobManager::readStream(const std::string &id, size_t &cursor,
+                       std::vector<std::string> &out, bool &done) const
+{
+    std::shared_ptr<Job> j;
+    {
+        std::lock_guard<std::mutex> lk(impl->mu);
+        auto it = impl->byId.find(id);
+        if (it == impl->byId.end())
+            return false;
+        j = it->second;
+    }
+    std::unique_lock<std::mutex> lk(j->mu);
+    if (cursor >= j->lines.size() && !j->streamDone)
+        j->cv.wait_for(lk, std::chrono::milliseconds(250), [&] {
+            return cursor < j->lines.size() || j->streamDone;
+        });
+    for (; cursor < j->lines.size(); ++cursor)
+        out.push_back(j->lines[cursor]);
+    done = j->streamDone && cursor >= j->lines.size();
+    return true;
+}
+
+void
+JobManager::drain()
+{
+    if (impl->drained)
+        return;
+    impl->draining.store(true);
+    impl->stopping.store(true);
+    impl->qcv.notify_all();
+    for (std::thread &t : impl->workers)
+        t.join();
+    impl->workers.clear();
+    std::lock_guard<std::mutex> lk(impl->mu);
+    impl->persistState();
+    impl->drained = true;
+}
+
+void
+JobManager::restoreState()
+{
+    if (impl->cfg.stateDir.empty())
+        return;
+    const std::string path = impl->stateFile();
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return;
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    is.close();
+    std::remove(path.c_str());
+
+    json::Value v;
+    std::string err;
+    if (!json::parse(buf.str(), v, &err) || !v.isObject()) {
+        std::fprintf(stderr, "serve: ignoring bad state file %s: %s\n",
+                     path.c_str(), err.c_str());
+        return;
+    }
+    if (const json::Value *n = v.find("next_id")) {
+        std::lock_guard<std::mutex> lk(impl->mu);
+        impl->nextId = std::max<uint64_t>(impl->nextId, n->asU64());
+    }
+    const json::Value *jobs = v.find("jobs");
+    if (!jobs || !jobs->isArray())
+        return;
+    for (const json::Value &e : jobs->elements) {
+        const json::Value *id = e.find("id");
+        const json::Value *spec = e.find("spec");
+        if (!id || !id->isString() || !spec)
+            continue;
+        JobSpec s;
+        Resolved rv;
+        if (!JobSpec::fromJson(*spec, s, err) ||
+            !resolveSpec(s, rv, err)) {
+            std::fprintf(stderr,
+                         "serve: dropping job %s from state: %s\n",
+                         id->string.c_str(), err.c_str());
+            continue;
+        }
+        auto j = std::make_shared<Job>();
+        j->id = id->string;
+        j->spec = s;
+        j->name = rv.name;
+        j->program = std::move(rv.program);
+        j->expected = rv.expected;
+        j->hasExpected = rv.hasExpected;
+        j->cfg = rv.cfg;
+        if (impl->cache.enabled())
+            j->cacheKey = ResultCache::key(rv.wlHash, rv.cfgHash);
+        if (const json::Value *c = e.find("ckpt"))
+            j->ckptPath = c->asString();
+        {
+            std::lock_guard<std::mutex> lk(impl->mu);
+            if (impl->byId.count(j->id))
+                continue;
+            impl->byId[j->id] = j;
+            impl->order.push_back(j);
+        }
+        impl->enqueue(j);
+    }
+}
+
+size_t
+JobManager::queueDepth() const
+{
+    std::lock_guard<std::mutex> lk(impl->qm);
+    return impl->queues[0].size() + impl->queues[1].size();
+}
+
+size_t
+JobManager::runningCount() const
+{
+    std::lock_guard<std::mutex> lk(impl->mu);
+    size_t n = 0;
+    for (const auto &j : impl->order)
+        if (j->state.load() == JobState::Running)
+            ++n;
+    return n;
+}
+
+std::string
+JobManager::countersJson() const
+{
+    return ctrs.json(queueDepth(), runningCount());
+}
+
+} // namespace serve
+} // namespace xt910

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * The job scheduler behind the xt910d API: a bounded two-level FIFO
+ * queue (interactive ahead of batch) feeding a pool of simulation
+ * workers, with per-client admission control, a persistent
+ * content-addressed result cache consulted at submit time, cooperative
+ * cancellation through the run loop's step hook (the same mechanism
+ * the hardened farm's deadlines use), and graceful drain: on shutdown
+ * every in-flight job checkpoints itself via src/snap and the whole
+ * pending set is persisted, so a restarted daemon resumes exactly
+ * where the old one stopped.
+ *
+ * Determinism contract: a job's final stats document is composed by
+ * serve::writeRunStatsJson from its own System, so it is byte-equal to
+ * a direct `xt910-run --stats-json` of the same workload and
+ * configuration; a cache hit returns those identical bytes without
+ * running anything.
+ */
+
+#ifndef XT910_SERVE_JOBS_H
+#define XT910_SERVE_JOBS_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "serve/cache.h"
+
+namespace xt910
+{
+namespace serve
+{
+
+/** Lifecycle of a job. */
+enum class JobState : uint8_t
+{
+    Queued,    ///< admitted, waiting for a worker
+    Running,   ///< a worker is simulating it
+    Done,      ///< finished; stats document available
+    Failed,    ///< simulation threw, watchdog fired, or deadline hit
+    Cancelled, ///< client cancelled before completion
+};
+
+const char *jobStateName(JobState s);
+
+/** Scheduling class: interactive jobs are always dequeued first. */
+enum class JobPriority : uint8_t
+{
+    Interactive = 0,
+    Batch = 1,
+};
+
+/** Everything a client can specify about a run. */
+struct JobSpec
+{
+    /** Registry workload name; exactly one of workload/source is set. */
+    std::string workload;
+    /** xtfuzz reproducer text (the textual program format). */
+    std::string source;
+    std::string preset = "xt910"; ///< xt910|u74|a73|mcu
+    unsigned cores = 1;
+    bool extended = false;
+    bool useVector = false;
+    unsigned scale = 1;
+    unsigned l2Kib = 0;        ///< 0 = preset default
+    unsigned dramLatency = 0;  ///< 0 = preset default
+    bool noPrefetch = false;
+    uint64_t maxInsts = 0;     ///< 0 = system default
+    uint64_t maxCycles = 0;    ///< 0 = unlimited
+    uint64_t statsInterval = 0; ///< JSONL sample period (0 = off)
+    double timeoutSecs = 0.0;  ///< per-job wall-clock budget (0 = off)
+    JobPriority priority = JobPriority::Interactive;
+    std::string client = "anonymous"; ///< from the X-Api-Key header
+
+    /** The name runs report (workload, or "xtfuzz-<seed>"). */
+    std::string displayName() const;
+
+    /** Serialize for the API echo and the drain state file. */
+    std::string toJson() const;
+
+    /**
+     * Parse from a request body / state file. Unknown fields and
+     * wrong types are errors (a service must not silently ignore a
+     * misspelled knob). Does not validate workload existence — the
+     * manager does that at submit.
+     */
+    static bool fromJson(const json::Value &v, JobSpec &out,
+                         std::string &err);
+};
+
+/** Public snapshot of one job (what GET /v1/jobs/<id> reports). */
+struct JobInfo
+{
+    std::string id;
+    JobState state = JobState::Queued;
+    std::string name;     ///< spec.displayName()
+    std::string client;
+    JobPriority priority = JobPriority::Interactive;
+    bool cached = false;  ///< served from the result cache
+    uint64_t progressInsts = 0;
+    uint64_t insts = 0, cycles = 0; ///< final (Done only)
+    bool checksumOk = false;
+    std::string error;
+
+    /** The status document the API returns. */
+    std::string statusJson() const;
+};
+
+/** Monotonic service counters (GET /v1/statsz). */
+struct ServeCounters
+{
+    std::atomic<uint64_t> submitted{0};
+    std::atomic<uint64_t> completed{0};
+    std::atomic<uint64_t> failed{0};
+    std::atomic<uint64_t> cancelled{0};
+    std::atomic<uint64_t> cacheHits{0};
+    std::atomic<uint64_t> simulated{0}; ///< actual System runs
+    std::atomic<uint64_t> rejectedQueueFull{0};
+    std::atomic<uint64_t> rejectedQuota{0};
+
+    std::string json(size_t queued, size_t running) const;
+};
+
+struct JobManagerConfig
+{
+    unsigned simJobs = 1;     ///< simulation worker threads
+    size_t queueMax = 64;     ///< bounded FIFO depth (both classes)
+    size_t clientQuota = 8;   ///< queued+running jobs per client
+    std::string cacheDir;     ///< "" disables the result cache
+    std::string stateDir;     ///< "" disables drain persistence
+};
+
+/** Outcome of an admission attempt. */
+struct SubmitResult
+{
+    bool ok = false;
+    std::string id;       ///< valid when ok
+    bool cached = false;  ///< ok and served from cache (already Done)
+    int httpStatus = 500; ///< 201 / 400 / 429
+    std::string error;
+    unsigned retryAfterSecs = 0; ///< nonzero with 429
+};
+
+/** See file comment. */
+class JobManager
+{
+  public:
+    explicit JobManager(const JobManagerConfig &cfg);
+    ~JobManager(); ///< implies drain() without persistence of runners
+
+    JobManager(const JobManager &) = delete;
+    JobManager &operator=(const JobManager &) = delete;
+
+    /** Validate, consult the cache, and enqueue (or reject). */
+    SubmitResult submit(const JobSpec &spec);
+
+    /** Snapshot a job; false when the id is unknown. */
+    bool get(const std::string &id, JobInfo &out) const;
+
+    /** Snapshot every job, submission order. */
+    std::vector<JobInfo> list() const;
+
+    /** The final stats document; false unless the job is Done. */
+    bool stats(const std::string &id, std::string &doc) const;
+
+    /**
+     * Cancel: a queued job is dropped immediately; a running job is
+     * interrupted cooperatively at its next step-hook poll. False
+     * with @p err when unknown or already finished.
+     */
+    bool cancel(const std::string &id, std::string &err);
+
+    /**
+     * Read the job's JSONL stream from @p cursor on: appends any new
+     * complete lines to @p out, advances @p cursor, sets @p done once
+     * the stream is complete. Blocks up to ~250 ms waiting for data,
+     * so chunked-response writers can loop on it without spinning.
+     * False when the id is unknown.
+     */
+    bool readStream(const std::string &id, size_t &cursor,
+                    std::vector<std::string> &out, bool &done) const;
+
+    /**
+     * Graceful shutdown: stop dispatching, checkpoint every running
+     * job into stateDir via src/snap, persist the pending set + id
+     * counter, and join the workers. Queued and checkpointed jobs are
+     * re-admitted by a later restoreState() on the same stateDir.
+     */
+    void drain();
+
+    /** Load a drained state file (if any) and re-enqueue its jobs. */
+    void restoreState();
+
+    size_t queueDepth() const;
+    size_t runningCount() const;
+    const ServeCounters &counters() const { return ctrs; }
+    std::string countersJson() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl;
+    ServeCounters ctrs;
+};
+
+} // namespace serve
+} // namespace xt910
+
+#endif // XT910_SERVE_JOBS_H

@@ -1,0 +1,41 @@
+#include "serve/report.h"
+
+#include <ostream>
+
+#include "common/json.h"
+
+namespace xt910
+{
+namespace serve
+{
+
+void
+writeRunStatsJson(std::ostream &os, const std::string &workload,
+                  const RunResult &r, bool checksumOk,
+                  const System &sys)
+{
+    os << "{\n  \"workload\": \"" << json::escape(workload)
+       << "\",\n  \"insts\": " << r.insts
+       << ",\n  \"cycles\": " << r.cycles
+       << ",\n  \"ipc\": " << r.ipc()
+       << ",\n  \"checksum_ok\": " << (checksumOk ? "true" : "false")
+       << ",\n  \"stats\": ";
+    sys.dumpStatsJson(os, true);
+    os << "\n}\n";
+}
+
+void
+writeRunSummaryLine(std::ostream &os, const std::string &workload,
+                    const RunResult &r, bool checksumOk,
+                    const System &sys)
+{
+    os << "{\"type\": \"summary\", \"workload\": \""
+       << json::escape(workload) << "\", \"insts\": " << r.insts
+       << ", \"cycles\": " << r.cycles << ", \"checksum_ok\": "
+       << (checksumOk ? "true" : "false") << ", \"stats\": ";
+    sys.dumpStatsJson(os, false);
+    os << "}\n";
+}
+
+} // namespace serve
+} // namespace xt910

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The canonical machine-readable run reports. xt910-run and the xt910d
+ * job runner both compose their stats artifacts through these two
+ * functions, which is what makes the service's acceptance property
+ * hold by construction: the stats JSON fetched from
+ * GET /v1/jobs/<id>/stats is byte-identical to what a direct
+ * `xt910-run --stats-json` of the same workload and configuration
+ * writes, and the streamed JSONL summary line matches the one
+ * xt910-run appends in `--stats-interval` mode.
+ *
+ * Anything host-dependent (wall-clock, MIPS) is deliberately excluded
+ * — these documents are compared byte-for-byte across processes and
+ * cached persistently.
+ */
+
+#ifndef XT910_SERVE_REPORT_H
+#define XT910_SERVE_REPORT_H
+
+#include <iosfwd>
+#include <string>
+
+#include "core/system.h"
+
+namespace xt910
+{
+namespace serve
+{
+
+/** The pretty single-document stats JSON (`--stats-json` without
+ *  `--stats-interval`). */
+void writeRunStatsJson(std::ostream &os, const std::string &workload,
+                       const RunResult &r, bool checksumOk,
+                       const System &sys);
+
+/** The compact JSONL summary record appended after the interval
+ *  stream (`--stats-json` with `--stats-interval`). */
+void writeRunSummaryLine(std::ostream &os, const std::string &workload,
+                         const RunResult &r, bool checksumOk,
+                         const System &sys);
+
+} // namespace serve
+} // namespace xt910
+
+#endif // XT910_SERVE_REPORT_H

@@ -1,0 +1,146 @@
+/**
+ * DOM-parser tests for json::parse — exact integer preservation,
+ * escape/surrogate decoding, ordered object members, typed accessors,
+ * and rejection of malformed documents (same grammar as
+ * json::validate, which the rest of the suite already exercises).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/json.h"
+
+namespace xt910
+{
+namespace json
+{
+
+TEST(JsonParse, ScalarKindsAndValues)
+{
+    Value v;
+    ASSERT_TRUE(parse("null", v));
+    EXPECT_TRUE(v.isNull());
+
+    ASSERT_TRUE(parse("true", v));
+    EXPECT_TRUE(v.isBool());
+    EXPECT_TRUE(v.boolean);
+
+    ASSERT_TRUE(parse("-42", v));
+    ASSERT_TRUE(v.isNumber());
+    EXPECT_TRUE(v.isInteger);
+    EXPECT_EQ(v.integer, -42);
+    EXPECT_DOUBLE_EQ(v.number, -42.0);
+
+    ASSERT_TRUE(parse("2.5e3", v));
+    ASSERT_TRUE(v.isNumber());
+    EXPECT_FALSE(v.isInteger);
+    EXPECT_DOUBLE_EQ(v.number, 2500.0);
+
+    ASSERT_TRUE(parse("\"hi\"", v));
+    ASSERT_TRUE(v.isString());
+    EXPECT_EQ(v.string, "hi");
+}
+
+TEST(JsonParse, LargeIntegersSurviveExactly)
+{
+    // Doubles lose precision past 2^53; the stats documents carry
+    // cycle counts that can exceed that, so integers are kept exact.
+    Value v;
+    ASSERT_TRUE(parse("9007199254740993", v)); // 2^53 + 1
+    ASSERT_TRUE(v.isInteger);
+    EXPECT_EQ(v.integer, 9007199254740993ll);
+    EXPECT_EQ(v.asU64(), 9007199254740993ull);
+
+    ASSERT_TRUE(parse("-9223372036854775808", v)); // INT64_MIN
+    ASSERT_TRUE(v.isInteger);
+    EXPECT_EQ(v.integer, INT64_MIN);
+}
+
+TEST(JsonParse, StringEscapes)
+{
+    Value v;
+    ASSERT_TRUE(parse(R"("a\"b\\c\nd\te\u0041")", v));
+    EXPECT_EQ(v.string, "a\"b\\c\nd\teA");
+
+    // Non-ASCII BMP escape -> UTF-8.
+    ASSERT_TRUE(parse(R"("\u00e9")", v));
+    EXPECT_EQ(v.string, "\xc3\xa9");
+
+    // Surrogate pair -> one astral code point (U+1F600).
+    ASSERT_TRUE(parse(R"("\ud83d\ude00")", v));
+    EXPECT_EQ(v.string, "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParse, ObjectsKeepMemberOrder)
+{
+    Value v;
+    ASSERT_TRUE(parse(R"({"z": 1, "a": 2, "m": 3})", v));
+    ASSERT_TRUE(v.isObject());
+    ASSERT_EQ(v.members.size(), 3u);
+    EXPECT_EQ(v.members[0].first, "z");
+    EXPECT_EQ(v.members[1].first, "a");
+    EXPECT_EQ(v.members[2].first, "m");
+
+    const Value *a = v.find("a");
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(a->asI64(), 2);
+    EXPECT_EQ(v.find("nope"), nullptr);
+}
+
+TEST(JsonParse, NestedStructure)
+{
+    Value v;
+    ASSERT_TRUE(parse(
+        R"({"jobs": [{"id": "j1", "ok": true}, {"id": "j2"}], "n": 2})",
+        v));
+    const Value *jobs = v.find("jobs");
+    ASSERT_NE(jobs, nullptr);
+    ASSERT_TRUE(jobs->isArray());
+    ASSERT_EQ(jobs->elements.size(), 2u);
+    EXPECT_EQ(jobs->elements[0].find("id")->asString(), "j1");
+    EXPECT_TRUE(jobs->elements[0].find("ok")->asBool());
+    EXPECT_EQ(jobs->elements[1].find("ok"), nullptr);
+    EXPECT_EQ(v.find("n")->asU64(), 2u);
+}
+
+TEST(JsonParse, AccessorsReturnDefaultsOnKindMismatch)
+{
+    Value v;
+    ASSERT_TRUE(parse("\"text\"", v));
+    EXPECT_EQ(v.asU64(7), 7u);
+    EXPECT_EQ(v.asBool(true), true);
+    ASSERT_TRUE(parse("12", v));
+    EXPECT_EQ(v.asString("dflt"), "dflt");
+    EXPECT_EQ(v.asDouble(), 12.0);
+}
+
+TEST(JsonParse, RejectsMalformedDocuments)
+{
+    Value v;
+    std::string err;
+    for (const char *bad :
+         {"", "{", "[1,]", "{\"a\":}", "{\"a\" 1}", "tru", "01",
+          "\"unterminated", "{\"a\":1} trailing", "[1 2]",
+          "\"bad\\escape\"", "\"\\ud83d\"" /* lone surrogate */}) {
+        err.clear();
+        EXPECT_FALSE(parse(bad, v, &err)) << "input: " << bad;
+        EXPECT_FALSE(err.empty()) << "input: " << bad;
+    }
+}
+
+TEST(JsonParse, AgreesWithValidate)
+{
+    // Same grammar, two entry points: anything validate accepts must
+    // parse, and vice versa.
+    for (const char *doc :
+         {"{}", "[]", "[1, 2.5, \"s\", null, true]",
+          R"({"a": {"b": [false]}})", "-0.5e-2"}) {
+        Value v;
+        EXPECT_EQ(validate(doc), parse(doc, v)) << doc;
+        EXPECT_TRUE(parse(doc, v)) << doc;
+    }
+}
+
+} // namespace json
+} // namespace xt910

@@ -80,6 +80,112 @@ TEST(ResolveJobs, EnvironmentThenFallback)
     EXPECT_GE(resolveJobs(0, 0), 1u);   // fallback 0 = hardware
 }
 
+TEST(ResolveJobs, MalformedEnvironmentIsAnError)
+{
+    // A typo'd XT910_JOBS must not silently serialize a campaign.
+    for (const char *bad : {"banana", "0", "-3", "4x", "2.5", " 8"}) {
+        setenv("XT910_JOBS", bad, 1);
+        EXPECT_THROW(resolveJobs(0), std::invalid_argument)
+            << "XT910_JOBS='" << bad << "'";
+    }
+    unsetenv("XT910_JOBS");
+}
+
+TEST(ResolveJobs, ExplicitRequestBypassesBadEnvironment)
+{
+    // --jobs N wins before the environment is even looked at.
+    setenv("XT910_JOBS", "banana", 1);
+    EXPECT_EQ(resolveJobs(3), 3u);
+    unsetenv("XT910_JOBS");
+}
+
+TEST(ResolveJobs, EmptyEnvironmentCountsAsUnset)
+{
+    setenv("XT910_JOBS", "", 1);
+    EXPECT_EQ(resolveJobs(0, 4), 4u);
+    unsetenv("XT910_JOBS");
+}
+
+TEST(RunHardened, RetryExhaustionKeepsLastErrorAndAttemptCount)
+{
+    // A job that fails every attempt must report attempts ==
+    // 1 + retries and carry the *last* attempt's message, not the
+    // first's.
+    FarmPolicy pol;
+    pol.retries = 2;
+    pol.backoffMs = 1;
+    std::atomic<unsigned> calls{0};
+    auto reports = runHardened(1, 1, pol, [&](size_t, JobContext &) {
+        unsigned c = calls.fetch_add(1);
+        throw std::runtime_error("attempt-" + std::to_string(c));
+    });
+    ASSERT_EQ(reports.size(), 1u);
+    EXPECT_EQ(reports[0].status, JobStatus::Failed);
+    EXPECT_EQ(reports[0].attempts, 3u);
+    EXPECT_EQ(calls.load(), 3u);
+    EXPECT_EQ(reports[0].error, "attempt-2");
+}
+
+TEST(RunHardened, DeadlineOnFinalRetryReportsTimeout)
+{
+    // Failure mode can change across attempts; the report reflects the
+    // final one. Plain failures first, then a deadline overrun on the
+    // last retry => TimedOut.
+    FarmPolicy pol;
+    pol.retries = 2;
+    pol.backoffMs = 0;
+    auto reports = runHardened(1, 1, pol, [&](size_t, JobContext &ctx) {
+        if (ctx.attempt < 2)
+            throw std::runtime_error("transient");
+        throw FarmTimeout("deadline during final retry");
+    });
+    EXPECT_EQ(reports[0].status, JobStatus::TimedOut);
+    EXPECT_EQ(reports[0].attempts, 3u);
+    EXPECT_EQ(reports[0].error, "deadline during final retry");
+}
+
+TEST(RunHardened, TimeoutThenSuccessIsOk)
+{
+    // The converse: a timeout on the first attempt must not taint a
+    // succeeding retry.
+    FarmPolicy pol;
+    pol.retries = 1;
+    pol.backoffMs = 0;
+    auto reports = runHardened(1, 1, pol, [&](size_t, JobContext &ctx) {
+        if (ctx.attempt == 0)
+            throw FarmTimeout("slow first attempt");
+    });
+    EXPECT_EQ(reports[0].status, JobStatus::Ok);
+    EXPECT_EQ(reports[0].attempts, 2u);
+    EXPECT_TRUE(reports[0].error.empty());
+}
+
+TEST(RunHardened, SalvagesWhenEveryJobFails)
+{
+    // Even with every job failing (mixed reasons), runHardened must
+    // not throw and must report each job individually, in submission
+    // order, at any worker count.
+    FarmPolicy pol;
+    pol.retries = 0;
+    pol.backoffMs = 0;
+    for (unsigned jobs : {1u, 4u}) {
+        auto reports =
+            runHardened(8, jobs, pol, [&](size_t i, JobContext &) {
+                if (i % 2)
+                    throw FarmTimeout("t" + std::to_string(i));
+                throw std::runtime_error("f" + std::to_string(i));
+            });
+        ASSERT_EQ(reports.size(), 8u);
+        for (size_t i = 0; i < reports.size(); ++i) {
+            EXPECT_EQ(reports[i].status, i % 2 ? JobStatus::TimedOut
+                                               : JobStatus::Failed);
+            EXPECT_EQ(reports[i].attempts, 1u);
+            EXPECT_EQ(reports[i].error,
+                      (i % 2 ? "t" : "f") + std::to_string(i));
+        }
+    }
+}
+
 TEST(HardwareJobs, NeverZero)
 {
     EXPECT_GE(hardwareJobs(), 1u);

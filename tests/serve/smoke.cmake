@@ -1,0 +1,76 @@
+# Service-layer CLI smoke, run as a ctest script:
+#
+#   cmake -DXT910D=<xt910d> -DXT910_CLIENT=<xt910-client>
+#         -DXT910_RUN=<xt910-run> -DWORK_DIR=<dir> -P smoke.cmake
+#
+# Boots the daemon on an ephemeral port piped straight into the client
+# (`xt910d | xt910-client --port-stdin smoke`), whose smoke command
+# walks the whole API: healthz, version, submit, stream, status,
+# stats, cache-hit resubmission (asserting cached=true and identical
+# bytes), the 400/404 error paths, and finally the admin shutdown so
+# the daemon exits cleanly. The streamed JSONL and the stats document
+# it saves are then compared BYTE FOR BYTE against direct xt910-run
+# output of the same workload — the service must be a transparent
+# transport, not a reimplementation.
+
+foreach(v XT910D XT910_CLIENT XT910_RUN WORK_DIR)
+    if(NOT ${v})
+        message(FATAL_ERROR "usage: cmake -DXT910D=... -DXT910_CLIENT=... -DXT910_RUN=... -DWORK_DIR=... -P smoke.cmake")
+    endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(STREAM_OUT "${WORK_DIR}/stream.jsonl")
+set(STATS_OUT "${WORK_DIR}/stats.json")
+
+# ---- daemon | client smoke --------------------------------------------
+execute_process(
+    COMMAND "${XT910D}"
+        --cache-dir ${WORK_DIR}/cache --state-dir ${WORK_DIR}/state
+        --jobs 2
+    COMMAND "${XT910_CLIENT}" --port-stdin smoke
+        --workload crc --stats-interval 20000
+        --stream-out ${STREAM_OUT} --stats-out ${STATS_OUT}
+    OUTPUT_VARIABLE smoke_out
+    ERROR_VARIABLE smoke_err
+    RESULTS_VARIABLE smoke_rcs)
+foreach(rc IN LISTS smoke_rcs)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "pipeline rc=${smoke_rcs}:\n${smoke_out}\n${smoke_err}")
+    endif()
+endforeach()
+if(NOT smoke_out MATCHES "smoke: ok")
+    message(FATAL_ERROR "client smoke did not report ok:\n${smoke_out}\n${smoke_err}")
+endif()
+
+# ---- byte-identity against direct runs --------------------------------
+execute_process(
+    COMMAND "${XT910_RUN}" --stats-json ${WORK_DIR}/direct.json crc
+    OUTPUT_QUIET ERROR_VARIABLE run_err RESULT_VARIABLE run_rc)
+if(NOT run_rc EQUAL 0)
+    message(FATAL_ERROR "direct stats run failed (rc=${run_rc}):\n${run_err}")
+endif()
+execute_process(
+    COMMAND "${XT910_RUN}" --stats-json ${WORK_DIR}/direct.jsonl
+        --stats-interval 20000 crc
+    OUTPUT_QUIET ERROR_VARIABLE run_err RESULT_VARIABLE run_rc)
+if(NOT run_rc EQUAL 0)
+    message(FATAL_ERROR "direct stream run failed (rc=${run_rc}):\n${run_err}")
+endif()
+
+foreach(pair "${STATS_OUT};${WORK_DIR}/direct.json"
+             "${STREAM_OUT};${WORK_DIR}/direct.jsonl")
+    list(GET pair 0 got)
+    list(GET pair 1 want)
+    file(READ "${got}" got_bytes)
+    file(READ "${want}" want_bytes)
+    if(NOT got_bytes STREQUAL want_bytes)
+        message(FATAL_ERROR "service output ${got} differs from direct ${want}")
+    endif()
+endforeach()
+
+file(STRINGS "${STREAM_OUT}" stream_lines)
+list(LENGTH stream_lines n_stream)
+message(STATUS "serve smoke ok: stream (${n_stream} records) and stats byte-identical to direct runs")

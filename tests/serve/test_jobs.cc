@@ -1,0 +1,506 @@
+/**
+ * JobManager tests, driving the scheduler directly (no sockets):
+ * spec validation and JSON round-trip, run-to-done with stream and
+ * stats documents, cross-instance determinism of the stats bytes,
+ * cache hits that skip simulation, per-client quotas and the bounded
+ * queue, cancellation of queued and running jobs, interactive-first
+ * dispatch, and drain -> restore resume from a mid-run checkpoint.
+ *
+ * Scheduling tests pin the single worker with a "long" job (a scaled
+ * workload capped by max_insts, so its length is exact and bounded)
+ * and only assert queue behaviour once that job is observably Running.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "serve/jobs.h"
+
+namespace xt910
+{
+namespace serve
+{
+
+namespace
+{
+
+/** Fresh scratch dir under the test's cwd. */
+std::string
+scratchDir(const std::string &tag)
+{
+    std::string d = "serve_test_" + tag + "_" +
+                    std::to_string(uint64_t(::getpid()));
+    std::filesystem::remove_all(d);
+    std::filesystem::create_directories(d);
+    return d;
+}
+
+/** A quick full run: completes, checksum verifies. */
+JobSpec
+quickSpec()
+{
+    JobSpec s;
+    s.workload = "crc";
+    s.statsInterval = 20000;
+    return s;
+}
+
+/**
+ * A long but exactly-bounded run: the scale stretches the workload
+ * well past the instruction cap, so the job retires exactly max_insts
+ * instructions — long enough to be observably Running while the tests
+ * poke the queue, short enough to finish promptly.
+ */
+JobSpec
+longSpec()
+{
+    JobSpec s;
+    s.workload = "crc";
+    s.scale = 16;
+    s.maxInsts = 400000;
+    return s;
+}
+
+/** Poll until the job reaches @p want (fails the test on timeout). */
+JobInfo
+waitState(JobManager &mgr, const std::string &id, JobState want,
+          unsigned deadlineSecs = 120)
+{
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(deadlineSecs);
+    JobInfo info;
+    while (std::chrono::steady_clock::now() < deadline) {
+        EXPECT_TRUE(mgr.get(id, info));
+        if (info.state == want)
+            return info;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ADD_FAILURE() << id << ": still " << jobStateName(info.state)
+                  << " after " << deadlineSecs << "s, wanted "
+                  << jobStateName(want);
+    return info;
+}
+
+} // namespace
+
+TEST(JobSpec, JsonRoundTrip)
+{
+    JobSpec s;
+    s.workload = "numsort";
+    s.preset = "u74";
+    s.cores = 2;
+    s.scale = 3;
+    s.l2Kib = 512;
+    s.maxInsts = 12345;
+    s.statsInterval = 1000;
+    s.timeoutSecs = 2.5;
+    s.priority = JobPriority::Batch;
+    s.client = "alice";
+
+    json::Value v;
+    ASSERT_TRUE(json::parse(s.toJson(), v));
+    JobSpec back;
+    std::string err;
+    ASSERT_TRUE(JobSpec::fromJson(v, back, err)) << err;
+    EXPECT_EQ(back.toJson(), s.toJson());
+    EXPECT_EQ(back.displayName(), "numsort");
+}
+
+TEST(JobSpec, FromJsonRejectsUnknownAndMistyped)
+{
+    JobSpec out;
+    std::string err;
+    json::Value v;
+
+    ASSERT_TRUE(json::parse(R"({"workload": "crc", "cores": "two"})",
+                            v));
+    EXPECT_FALSE(JobSpec::fromJson(v, out, err));
+
+    // A misspelled knob must be an error, not silently ignored.
+    ASSERT_TRUE(json::parse(R"({"workload": "crc", "scal": 4})", v));
+    err.clear();
+    EXPECT_FALSE(JobSpec::fromJson(v, out, err));
+    EXPECT_NE(err.find("scal"), std::string::npos);
+}
+
+TEST(JobManager, SubmitValidatesSpecs)
+{
+    JobManagerConfig cfg;
+    JobManager mgr(cfg);
+
+    auto expectBad = [&](JobSpec s, const char *what) {
+        SubmitResult r = mgr.submit(s);
+        EXPECT_FALSE(r.ok) << what;
+        EXPECT_EQ(r.httpStatus, 400) << what;
+        EXPECT_FALSE(r.error.empty()) << what;
+    };
+
+    expectBad(JobSpec{}, "neither workload nor source");
+
+    JobSpec both = quickSpec();
+    both.source = "xtfuzz";
+    expectBad(both, "both workload and source");
+
+    JobSpec unknown = quickSpec();
+    unknown.workload = "no-such-workload";
+    expectBad(unknown, "unknown workload");
+
+    JobSpec preset = quickSpec();
+    preset.preset = "pentium";
+    expectBad(preset, "unknown preset");
+
+    JobSpec zeroScale = quickSpec();
+    zeroScale.scale = 0;
+    expectBad(zeroScale, "scale 0");
+
+    JobSpec cores = quickSpec();
+    cores.cores = 65;
+    expectBad(cores, "cores over the limit");
+}
+
+TEST(JobManager, RunsToDoneWithStreamAndStats)
+{
+    JobManagerConfig cfg;
+    JobManager mgr(cfg);
+
+    SubmitResult r = mgr.submit(quickSpec());
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.httpStatus, 201);
+    EXPECT_FALSE(r.cached);
+
+    JobInfo info = waitState(mgr, r.id, JobState::Done);
+    EXPECT_TRUE(info.checksumOk);
+    EXPECT_GT(info.insts, 0u);
+    EXPECT_GT(info.cycles, 0u);
+    EXPECT_EQ(info.name, "crc");
+
+    // Stats document exists and is valid JSON.
+    std::string doc;
+    ASSERT_TRUE(mgr.stats(r.id, doc));
+    EXPECT_TRUE(json::validate(doc)) << doc;
+    EXPECT_NE(doc.find("\"workload\": \"crc\""), std::string::npos);
+
+    // The JSONL stream drains to completion; every record parses and
+    // the final record is the run summary.
+    size_t cursor = 0;
+    bool done = false;
+    std::vector<std::string> lines;
+    while (!done)
+        ASSERT_TRUE(mgr.readStream(r.id, cursor, lines, done));
+    ASSERT_GT(lines.size(), 1u);
+    for (const std::string &ln : lines)
+        EXPECT_TRUE(json::validate(ln)) << ln;
+    EXPECT_NE(lines.back().find("\"workload\": \"crc\""),
+              std::string::npos);
+
+    // Unknown ids are unknown everywhere.
+    JobInfo nope;
+    EXPECT_FALSE(mgr.get("j999999", nope));
+    EXPECT_FALSE(mgr.stats("j999999", doc));
+    EXPECT_FALSE(mgr.readStream("j999999", cursor, lines, done));
+
+    // statusJson is a valid document carrying the lifecycle fields.
+    EXPECT_TRUE(json::validate(info.statusJson()));
+    EXPECT_NE(info.statusJson().find("\"state\": \"done\""),
+              std::string::npos);
+}
+
+TEST(JobManager, StatsBytesAreDeterministicAcrossInstances)
+{
+    // The determinism contract behind the result cache: two
+    // independent managers running the same spec must produce the
+    // same stats document, byte for byte.
+    std::string doc1, doc2;
+    {
+        JobManagerConfig cfg;
+        JobManager mgr(cfg);
+        SubmitResult r = mgr.submit(quickSpec());
+        ASSERT_TRUE(r.ok) << r.error;
+        waitState(mgr, r.id, JobState::Done);
+        ASSERT_TRUE(mgr.stats(r.id, doc1));
+    }
+    {
+        JobManagerConfig cfg;
+        JobManager mgr(cfg);
+        SubmitResult r = mgr.submit(quickSpec());
+        ASSERT_TRUE(r.ok) << r.error;
+        waitState(mgr, r.id, JobState::Done);
+        ASSERT_TRUE(mgr.stats(r.id, doc2));
+    }
+    EXPECT_EQ(doc1, doc2);
+}
+
+TEST(JobManager, CacheHitReturnsIdenticalBytesWithoutSimulating)
+{
+    const std::string dir = scratchDir("cache");
+    std::string doc1;
+
+    JobManagerConfig cfg;
+    cfg.cacheDir = dir;
+    {
+        JobManager mgr(cfg);
+        SubmitResult r = mgr.submit(quickSpec());
+        ASSERT_TRUE(r.ok) << r.error;
+        EXPECT_FALSE(r.cached);
+        waitState(mgr, r.id, JobState::Done);
+        ASSERT_TRUE(mgr.stats(r.id, doc1));
+        EXPECT_EQ(mgr.counters().simulated.load(), 1u);
+
+        // Same spec again: served from cache, no second simulation,
+        // identical bytes, job is born Done.
+        SubmitResult hit = mgr.submit(quickSpec());
+        ASSERT_TRUE(hit.ok) << hit.error;
+        EXPECT_TRUE(hit.cached);
+        JobInfo info;
+        ASSERT_TRUE(mgr.get(hit.id, info));
+        EXPECT_EQ(info.state, JobState::Done);
+        EXPECT_TRUE(info.cached);
+        std::string doc2;
+        ASSERT_TRUE(mgr.stats(hit.id, doc2));
+        EXPECT_EQ(doc2, doc1);
+        EXPECT_EQ(mgr.counters().simulated.load(), 1u);
+        EXPECT_EQ(mgr.counters().cacheHits.load(), 1u);
+
+        // A different configuration is a different cache key.
+        JobSpec other = quickSpec();
+        other.maxInsts = 100000;
+        SubmitResult miss = mgr.submit(other);
+        ASSERT_TRUE(miss.ok) << miss.error;
+        EXPECT_FALSE(miss.cached);
+        waitState(mgr, miss.id, JobState::Done);
+        EXPECT_EQ(mgr.counters().simulated.load(), 2u);
+    }
+
+    // The cache is persistent: a fresh manager over the same
+    // directory hits immediately.
+    JobManager mgr2(cfg);
+    SubmitResult hit = mgr2.submit(quickSpec());
+    ASSERT_TRUE(hit.ok) << hit.error;
+    EXPECT_TRUE(hit.cached);
+    std::string doc3;
+    ASSERT_TRUE(mgr2.stats(hit.id, doc3));
+    EXPECT_EQ(doc3, doc1);
+    EXPECT_EQ(mgr2.counters().simulated.load(), 0u);
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(JobManager, QuotaRejectsOverActiveClients)
+{
+    JobManagerConfig cfg;
+    cfg.simJobs = 1;
+    cfg.clientQuota = 1;
+    JobManager mgr(cfg);
+
+    JobSpec pin = longSpec();
+    pin.client = "alice";
+    SubmitResult a = mgr.submit(pin);
+    ASSERT_TRUE(a.ok) << a.error;
+
+    SubmitResult over = mgr.submit(pin);
+    EXPECT_FALSE(over.ok);
+    EXPECT_EQ(over.httpStatus, 429);
+    EXPECT_GT(over.retryAfterSecs, 0u);
+    EXPECT_EQ(mgr.counters().rejectedQuota.load(), 1u);
+
+    // Another client is not affected by alice's quota.
+    JobSpec bobs = longSpec();
+    bobs.client = "bob";
+    SubmitResult b = mgr.submit(bobs);
+    EXPECT_TRUE(b.ok) << b.error;
+
+    // Once alice's job finishes, her quota frees up.
+    waitState(mgr, a.id, JobState::Done);
+    SubmitResult again = mgr.submit(pin);
+    EXPECT_TRUE(again.ok) << again.error;
+}
+
+TEST(JobManager, BoundedQueueRejectsWhenFull)
+{
+    JobManagerConfig cfg;
+    cfg.simJobs = 1;
+    cfg.queueMax = 1;
+    cfg.clientQuota = 100;
+    JobManager mgr(cfg);
+
+    // Pin the worker, then wait until the job has left the queue so
+    // the depth check below is deterministic.
+    SubmitResult pin = mgr.submit(longSpec());
+    ASSERT_TRUE(pin.ok) << pin.error;
+    waitState(mgr, pin.id, JobState::Running);
+
+    SubmitResult q1 = mgr.submit(longSpec());
+    ASSERT_TRUE(q1.ok) << q1.error;
+    EXPECT_EQ(mgr.queueDepth(), 1u);
+
+    SubmitResult full = mgr.submit(longSpec());
+    EXPECT_FALSE(full.ok);
+    EXPECT_EQ(full.httpStatus, 429);
+    EXPECT_GT(full.retryAfterSecs, 0u);
+    EXPECT_EQ(mgr.counters().rejectedQueueFull.load(), 1u);
+}
+
+TEST(JobManager, CancelQueuedAndRunning)
+{
+    JobManagerConfig cfg;
+    cfg.simJobs = 1;
+    cfg.clientQuota = 100;
+    JobManager mgr(cfg);
+
+    SubmitResult running = mgr.submit(longSpec());
+    ASSERT_TRUE(running.ok) << running.error;
+    waitState(mgr, running.id, JobState::Running);
+
+    SubmitResult queued = mgr.submit(longSpec());
+    ASSERT_TRUE(queued.ok) << queued.error;
+
+    // A queued job dies immediately.
+    std::string err;
+    ASSERT_TRUE(mgr.cancel(queued.id, err)) << err;
+    JobInfo info;
+    ASSERT_TRUE(mgr.get(queued.id, info));
+    EXPECT_EQ(info.state, JobState::Cancelled);
+
+    // A running job dies at its next step-hook poll.
+    ASSERT_TRUE(mgr.cancel(running.id, err)) << err;
+    info = waitState(mgr, running.id, JobState::Cancelled);
+    EXPECT_EQ(info.error, "cancelled by client");
+
+    // Finished jobs and unknown ids cannot be cancelled.
+    EXPECT_FALSE(mgr.cancel(running.id, err));
+    EXPECT_FALSE(mgr.cancel("j999999", err));
+    EXPECT_EQ(mgr.counters().cancelled.load(), 2u);
+}
+
+TEST(JobManager, InteractiveJobsDispatchBeforeBatch)
+{
+    JobManagerConfig cfg;
+    cfg.simJobs = 1;
+    cfg.clientQuota = 100;
+    JobManager mgr(cfg);
+
+    JobSpec batch = longSpec();
+    batch.priority = JobPriority::Batch;
+    JobSpec inter = longSpec();
+    inter.priority = JobPriority::Interactive;
+
+    // Pin the worker, then queue batch FIRST, interactive second.
+    SubmitResult pin = mgr.submit(batch);
+    ASSERT_TRUE(pin.ok) << pin.error;
+    waitState(mgr, pin.id, JobState::Running);
+    SubmitResult b = mgr.submit(batch);
+    ASSERT_TRUE(b.ok) << b.error;
+    SubmitResult i = mgr.submit(inter);
+    ASSERT_TRUE(i.ok) << i.error;
+
+    // Free the worker; the interactive job must be dispatched next.
+    std::string err;
+    ASSERT_TRUE(mgr.cancel(pin.id, err)) << err;
+    waitState(mgr, i.id, JobState::Running);
+    JobInfo binfo;
+    ASSERT_TRUE(mgr.get(b.id, binfo));
+    EXPECT_EQ(binfo.state, JobState::Queued);
+
+    // Unblock teardown.
+    mgr.cancel(i.id, err);
+    mgr.cancel(b.id, err);
+}
+
+TEST(JobManager, DrainCheckpointsAndRestoreResumes)
+{
+    const std::string dir = scratchDir("drain");
+    JobManagerConfig cfg;
+    cfg.simJobs = 1;
+    cfg.clientQuota = 100;
+    cfg.stateDir = dir;
+
+    // Reference document from an uninterrupted run of the same spec.
+    std::string wantDoc;
+    {
+        JobManagerConfig ref;
+        JobManager mgr(ref);
+        SubmitResult r = mgr.submit(longSpec());
+        ASSERT_TRUE(r.ok) << r.error;
+        waitState(mgr, r.id, JobState::Done);
+        ASSERT_TRUE(mgr.stats(r.id, wantDoc));
+    }
+
+    std::string runId, queuedId;
+    {
+        JobManager mgr(cfg);
+        SubmitResult run = mgr.submit(longSpec());
+        ASSERT_TRUE(run.ok) << run.error;
+        runId = run.id;
+        SubmitResult q = mgr.submit(longSpec());
+        ASSERT_TRUE(q.ok) << q.error;
+        queuedId = q.id;
+
+        // Let the running job make real progress so the drain has
+        // something to checkpoint mid-run.
+        JobInfo info;
+        do {
+            ASSERT_TRUE(mgr.get(runId, info));
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        } while (info.progressInsts == 0);
+
+        mgr.drain();
+        ASSERT_TRUE(
+            std::filesystem::exists(dir + "/state.json"));
+        ASSERT_TRUE(
+            std::filesystem::exists(dir + "/" + runId + ".ckpt"));
+    }
+
+    // A new manager over the same state dir picks both jobs up; the
+    // resumed one restarts from the checkpoint, not from scratch, and
+    // still produces the uninterrupted run's exact stats bytes.
+    JobManager mgr2(cfg);
+    mgr2.restoreState();
+    JobInfo a = waitState(mgr2, runId, JobState::Done);
+    JobInfo b = waitState(mgr2, queuedId, JobState::Done);
+    EXPECT_EQ(a.insts, 400000u);
+    EXPECT_EQ(b.insts, 400000u);
+    std::string doc;
+    ASSERT_TRUE(mgr2.stats(runId, doc));
+    EXPECT_EQ(doc, wantDoc);
+
+    // Restored ids are not reissued to new jobs.
+    SubmitResult fresh = mgr2.submit(quickSpec());
+    ASSERT_TRUE(fresh.ok) << fresh.error;
+    EXPECT_NE(fresh.id, runId);
+    EXPECT_NE(fresh.id, queuedId);
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(JobManager, WallClockBudgetFailsTheJob)
+{
+    JobManagerConfig cfg;
+    JobManager mgr(cfg);
+    JobSpec s = longSpec();
+    s.timeoutSecs = 0.001; // guaranteed to fire at the first poll
+    SubmitResult r = mgr.submit(s);
+    ASSERT_TRUE(r.ok) << r.error;
+    JobInfo info = waitState(mgr, r.id, JobState::Failed);
+    EXPECT_NE(info.error.find("wall-clock"), std::string::npos);
+    EXPECT_EQ(mgr.counters().failed.load(), 1u);
+}
+
+TEST(JobManager, CountersJsonIsValid)
+{
+    JobManagerConfig cfg;
+    JobManager mgr(cfg);
+    EXPECT_TRUE(json::validate(mgr.countersJson()))
+        << mgr.countersJson();
+}
+
+} // namespace serve
+} // namespace xt910

@@ -1,0 +1,323 @@
+/**
+ * Full service-stack tests: a real JobManager behind makeApiHandler
+ * behind HttpServer, exercised through the client helpers over
+ * loopback sockets — the exact path xt910-client takes. Covers the
+ * submit/stream/status/stats lifecycle, cache-hit resubmission with
+ * byte-identical stats, API error statuses, the admin shutdown hook,
+ * and concurrent clients with per-client quotas enforced.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "serve/api.h"
+#include "serve/http.h"
+#include "serve/jobs.h"
+
+namespace xt910
+{
+namespace serve
+{
+
+namespace
+{
+
+/** JobManager + API handler + HTTP server on an ephemeral port. */
+class Service
+{
+  public:
+    explicit Service(const JobManagerConfig &cfg,
+                     std::function<void()> onShutdown = nullptr)
+        : jobs(cfg)
+    {
+        ApiOptions api;
+        api.requestShutdown = std::move(onShutdown);
+        HttpServer::Options opts;
+        server = std::make_unique<HttpServer>(
+            opts, makeApiHandler(jobs, api));
+        server->start();
+    }
+
+    ~Service() { server->stop(); }
+
+    uint16_t port() const { return server->port(); }
+
+    /** Request against the service; asserts transport success. */
+    ClientResponse request(
+        const std::string &method, const std::string &target,
+        const std::string &body = "",
+        const std::vector<std::pair<std::string, std::string>>
+            &headers = {})
+    {
+        ClientResponse resp;
+        std::string err;
+        EXPECT_TRUE(httpRequest("127.0.0.1", port(), method, target,
+                                headers, body, resp, err))
+            << method << " " << target << ": " << err;
+        return resp;
+    }
+
+    /** POST a job, return (status, id). */
+    std::pair<int, std::string>
+    submit(const std::string &body,
+           const std::string &apiKey = "")
+    {
+        std::vector<std::pair<std::string, std::string>> hdrs;
+        if (!apiKey.empty())
+            hdrs.emplace_back("X-Api-Key", apiKey);
+        ClientResponse resp =
+            request("POST", "/v1/jobs", body, hdrs);
+        std::string id;
+        json::Value v;
+        if (json::parse(resp.body, v))
+            if (const json::Value *f = v.find("id"))
+                id = f->asString();
+        return {resp.status, id};
+    }
+
+    /** Poll GET /v1/jobs/<id> until its state matches @p want. */
+    json::Value
+    waitState(const std::string &id, const std::string &want,
+              unsigned deadlineSecs = 120)
+    {
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::seconds(deadlineSecs);
+        json::Value v;
+        std::string state;
+        while (std::chrono::steady_clock::now() < deadline) {
+            ClientResponse resp = request("GET", "/v1/jobs/" + id);
+            EXPECT_EQ(resp.status, 200) << resp.body;
+            EXPECT_TRUE(json::parse(resp.body, v)) << resp.body;
+            if (const json::Value *f = v.find("state"))
+                state = f->asString();
+            if (state == want)
+                return v;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(10));
+        }
+        ADD_FAILURE() << id << ": still '" << state << "', wanted '"
+                      << want << "'";
+        return v;
+    }
+
+    JobManager jobs;
+
+  private:
+    std::unique_ptr<HttpServer> server;
+};
+
+const char *const kQuickJob =
+    R"({"workload": "crc", "stats_interval": 20000})";
+/** Scaled past the cap, so it runs exactly 400k instructions. */
+const char *const kLongJob =
+    R"({"workload": "crc", "scale": 16, "max_insts": 400000})";
+
+} // namespace
+
+TEST(Service, SubmitStreamStatusStatsLifecycle)
+{
+    const std::string cacheDir =
+        "serve_svc_cache_" + std::to_string(uint64_t(::getpid()));
+    std::filesystem::remove_all(cacheDir);
+    JobManagerConfig cfg;
+    cfg.cacheDir = cacheDir;
+    Service svc(cfg);
+
+    auto [status, id] = svc.submit(kQuickJob, "alice");
+    ASSERT_EQ(status, 201);
+    ASSERT_FALSE(id.empty());
+
+    // The stream is chunked JSONL: every record a valid document,
+    // closed by the run summary.
+    std::string streamed;
+    int streamStatus = 0;
+    std::string err;
+    ASSERT_TRUE(httpRequestStream(
+        "127.0.0.1", svc.port(), "GET", "/v1/jobs/" + id + "/stream",
+        {}, "", streamStatus,
+        [&](const char *p, size_t n) {
+            streamed.append(p, n);
+            return true;
+        },
+        err))
+        << err;
+    EXPECT_EQ(streamStatus, 200);
+    size_t records = 0, pos = 0, nl;
+    while ((nl = streamed.find('\n', pos)) != std::string::npos) {
+        EXPECT_TRUE(
+            json::validate(streamed.substr(pos, nl - pos)));
+        ++records;
+        pos = nl + 1;
+    }
+    EXPECT_GT(records, 1u);
+
+    // Status: done, checksum verified, identity echoed.
+    json::Value done = svc.waitState(id, "done");
+    EXPECT_TRUE(done.find("checksum_ok")->asBool());
+    EXPECT_EQ(done.find("client")->asString(), "alice");
+    EXPECT_EQ(done.find("name")->asString(), "crc");
+    EXPECT_FALSE(done.find("cached")->asBool());
+
+    // Stats document is served verbatim.
+    ClientResponse stats =
+        svc.request("GET", "/v1/jobs/" + id + "/stats");
+    ASSERT_EQ(stats.status, 200);
+    EXPECT_TRUE(json::validate(stats.body));
+
+    // Resubmission of the identical spec: cache hit, no simulation,
+    // byte-identical stats document.
+    ClientResponse resub = svc.request(
+        "POST", "/v1/jobs", kQuickJob, {{"X-Api-Key", "alice"}});
+    ASSERT_EQ(resub.status, 201);
+    json::Value rv;
+    ASSERT_TRUE(json::parse(resub.body, rv));
+    EXPECT_TRUE(rv.find("cached")->asBool());
+    const std::string hitId = rv.find("id")->asString();
+    ClientResponse hitStats =
+        svc.request("GET", "/v1/jobs/" + hitId + "/stats");
+    ASSERT_EQ(hitStats.status, 200);
+    EXPECT_EQ(hitStats.body, stats.body);
+    EXPECT_EQ(svc.jobs.counters().simulated.load(), 1u);
+    EXPECT_EQ(svc.jobs.counters().cacheHits.load(), 1u);
+
+    // The job list carries both entries.
+    ClientResponse list = svc.request("GET", "/v1/jobs");
+    ASSERT_EQ(list.status, 200);
+    json::Value lv;
+    ASSERT_TRUE(json::parse(list.body, lv));
+    EXPECT_EQ(lv.find("jobs")->elements.size(), 2u);
+
+    std::filesystem::remove_all(cacheDir);
+}
+
+TEST(Service, ApiErrorStatusesAndIntrospection)
+{
+    JobManagerConfig cfg;
+    Service svc(cfg);
+
+    EXPECT_EQ(svc.request("GET", "/healthz").body, "{\"ok\": true}\n");
+    EXPECT_EQ(svc.request("GET", "/nope").status, 404);
+    EXPECT_EQ(svc.request("POST", "/healthz").status, 405);
+
+    ClientResponse ver = svc.request("GET", "/v1/version");
+    ASSERT_EQ(ver.status, 200);
+    json::Value vv;
+    ASSERT_TRUE(json::parse(ver.body, vv));
+    EXPECT_EQ(vv.find("tool")->asString(), "xt910d");
+    EXPECT_NE(vv.find("result_schema"), nullptr);
+
+    ClientResponse statsz = svc.request("GET", "/v1/statsz");
+    ASSERT_EQ(statsz.status, 200);
+    EXPECT_TRUE(json::validate(statsz.body));
+
+    // Submit-side 400s.
+    EXPECT_EQ(svc.request("POST", "/v1/jobs", "not json").status, 400);
+    EXPECT_EQ(
+        svc.request("POST", "/v1/jobs", R"({"workload": "zzz"})")
+            .status,
+        400);
+    EXPECT_EQ(svc.request("POST", "/v1/jobs",
+                          R"({"workload": "crc", "typo": 1})")
+                  .status,
+              400);
+
+    // Unknown job everywhere.
+    EXPECT_EQ(svc.request("GET", "/v1/jobs/j999999").status, 404);
+    EXPECT_EQ(svc.request("GET", "/v1/jobs/j999999/stats").status,
+              404);
+    EXPECT_EQ(svc.request("GET", "/v1/jobs/j999999/stream").status,
+              404);
+    EXPECT_EQ(svc.request("DELETE", "/v1/jobs/j999999").status, 404);
+    EXPECT_EQ(svc.request("GET", "/v1/jobs/j1/bogus").status, 404);
+
+    // Lifecycle conflicts: stats before done is 409, cancelling a
+    // finished job is 409.
+    auto [status, id] = svc.submit(kQuickJob);
+    ASSERT_EQ(status, 201);
+    svc.waitState(id, "done");
+    EXPECT_EQ(svc.request("DELETE", "/v1/jobs/" + id).status, 409);
+
+    // Shutdown is not wired in this fixture.
+    EXPECT_EQ(svc.request("POST", "/v1/admin/shutdown").status, 404);
+}
+
+TEST(Service, AdminShutdownFiresOnce)
+{
+    std::atomic<int> fired{0};
+    JobManagerConfig cfg;
+    Service svc(cfg, [&] { fired.fetch_add(1); });
+
+    EXPECT_EQ(svc.request("POST", "/v1/admin/shutdown").status, 202);
+    EXPECT_EQ(svc.request("POST", "/v1/admin/shutdown").status, 202);
+    EXPECT_EQ(fired.load(), 1);
+    EXPECT_EQ(svc.request("GET", "/v1/admin/shutdown").status, 405);
+}
+
+TEST(Service, ConcurrentClientsQuotasEnforced)
+{
+    JobManagerConfig cfg;
+    cfg.simJobs = 1;
+    cfg.clientQuota = 1;
+    cfg.queueMax = 64;
+    Service svc(cfg);
+
+    // Each client submits one long job (admitted — quotas are per
+    // client) and immediately a second (rejected — quota is 1 and the
+    // first cannot have finished yet: one worker, each job hundreds
+    // of milliseconds long).
+    constexpr int kClients = 6;
+    std::vector<std::thread> threads;
+    std::atomic<int> admitted{0}, rejected{0}, retryAfterSeen{0};
+    for (int i = 0; i < kClients; ++i) {
+        threads.emplace_back([&, i] {
+            const std::string key = "client-" + std::to_string(i);
+            std::vector<std::pair<std::string, std::string>> hdrs{
+                {"X-Api-Key", key}};
+            ClientResponse first;
+            std::string err;
+            if (!httpRequest("127.0.0.1", svc.port(), "POST",
+                             "/v1/jobs", hdrs, kLongJob, first, err))
+                return;
+            if (first.status == 201)
+                admitted.fetch_add(1);
+            ClientResponse second;
+            if (!httpRequest("127.0.0.1", svc.port(), "POST",
+                             "/v1/jobs", hdrs, kLongJob, second, err))
+                return;
+            if (second.status == 429) {
+                rejected.fetch_add(1);
+                if (!second.headers["retry-after"].empty())
+                    retryAfterSeen.fetch_add(1);
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    EXPECT_EQ(admitted.load(), kClients);
+    EXPECT_EQ(rejected.load(), kClients);
+    EXPECT_EQ(retryAfterSeen.load(), kClients);
+    EXPECT_EQ(svc.jobs.counters().rejectedQuota.load(),
+              uint64_t(kClients));
+
+    // Drain the backlog so teardown is quick: cancel everything.
+    ClientResponse list = svc.request("GET", "/v1/jobs");
+    json::Value lv;
+    ASSERT_TRUE(json::parse(list.body, lv));
+    for (const json::Value &j : lv.find("jobs")->elements)
+        svc.request("DELETE",
+                    "/v1/jobs/" + j.find("id")->asString());
+}
+
+} // namespace serve
+} // namespace xt910

@@ -1,0 +1,503 @@
+/**
+ * @file
+ * xt910-client — command-line client for the xt910d daemon.
+ *
+ *   xt910-client [connection options] <command> [command options]
+ *
+ * Connection:
+ *   --host H           daemon host (default 127.0.0.1, numeric or
+ *                      "localhost")
+ *   --port N           daemon port
+ *   --port-stdin       read the daemon's "listening on ADDR:PORT"
+ *                      banner from stdin instead (for pipelines that
+ *                      launch both ends)
+ *   --api-key K        client identity for quota accounting
+ *
+ * Commands:
+ *   submit             submit a job, print its id. Job options:
+ *                      --workload NAME | --source FILE (reproducer),
+ *                      --preset P --cores N --extended --vector
+ *                      --scale N --l2-kib N --dram-latency N
+ *                      --no-prefetch --max-insts N --max-cycles N
+ *                      --stats-interval N --timeout-secs T --batch
+ *   status ID          print the job's status document
+ *   watch ID           stream the job's JSONL records until it ends
+ *                      (--out FILE writes them to a file instead)
+ *   stats ID           fetch the final stats JSON (--out FILE)
+ *   cancel ID          request cancellation
+ *   list               list all jobs
+ *   statsz             print service counters
+ *   version            print the daemon's build identity
+ *   shutdown           ask the daemon to drain and exit
+ *   smoke              CI self-test: submit/watch/stats/cache-check/
+ *                      shutdown (--workload W --stats-interval N
+ *                      --stream-out F --stats-out F)
+ *
+ * Exit codes: 0 ok, 1 request failed (non-2xx), 2 usage error,
+ * 3 transport error, 4 smoke assertion failed.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/version.h"
+#include "serve/http.h"
+
+using namespace xt910;
+
+namespace
+{
+
+struct Conn
+{
+    std::string host = "127.0.0.1";
+    unsigned port = 0;
+    std::string apiKey;
+};
+
+void
+usage()
+{
+    std::printf(
+        "usage: xt910-client [--host H] [--port N | --port-stdin]\n"
+        "                    [--api-key K] <command> [options]\n"
+        "commands: submit status watch stats cancel list statsz\n"
+        "          version shutdown smoke\n");
+}
+
+std::vector<std::pair<std::string, std::string>>
+baseHeaders(const Conn &c)
+{
+    std::vector<std::pair<std::string, std::string>> h;
+    if (!c.apiKey.empty())
+        h.emplace_back("X-Api-Key", c.apiKey);
+    return h;
+}
+
+/** One request; exits 3 on transport error. Returns the response. */
+serve::ClientResponse
+request(const Conn &c, const std::string &method,
+        const std::string &target, const std::string &body = "")
+{
+    serve::ClientResponse resp;
+    std::string err;
+    if (!serve::httpRequest(c.host, uint16_t(c.port), method, target,
+                            baseHeaders(c), body, resp, err)) {
+        std::fprintf(stderr, "xt910-client: %s\n", err.c_str());
+        std::exit(3);
+    }
+    return resp;
+}
+
+/** Print the body; 0 when 2xx, else 1. */
+int
+finish(const serve::ClientResponse &resp)
+{
+    if (resp.status >= 200 && resp.status < 300) {
+        std::fputs(resp.body.c_str(), stdout);
+        return 0;
+    }
+    std::fprintf(stderr, "HTTP %d: %s", resp.status,
+                 resp.body.c_str());
+    return 1;
+}
+
+/** Parse "listening on ADDR:PORT" from stdin (daemon stdout pipe). */
+bool
+portFromStdin(unsigned &port)
+{
+    std::string line;
+    while (std::getline(std::cin, line)) {
+        size_t at = line.rfind(':');
+        if (line.rfind("listening on ", 0) == 0 &&
+            at != std::string::npos) {
+            port = unsigned(std::atoi(line.c_str() + at + 1));
+            return port != 0;
+        }
+    }
+    return false;
+}
+
+/** Extract a top-level field from a response document. */
+std::string
+field(const std::string &doc, const std::string &key)
+{
+    json::Value v;
+    if (!json::parse(doc, v))
+        return "";
+    const json::Value *f = v.find(key);
+    if (!f)
+        return "";
+    if (f->isString())
+        return f->string;
+    if (f->isBool())
+        return f->boolean ? "true" : "false";
+    if (f->isNumber())
+        return std::to_string(f->integer);
+    return "";
+}
+
+struct SubmitArgs
+{
+    std::string bodyJson;
+};
+
+/** Build a POST /v1/jobs body from submit-style CLI options.
+ *  Returns false + a message on a bad option. */
+bool
+parseSubmitArgs(const std::vector<std::string> &args, std::string &body,
+                std::string &err)
+{
+    std::string workload, sourceFile;
+    std::ostringstream os;
+    std::vector<std::string> fields;
+    for (size_t i = 0; i < args.size(); ++i) {
+        std::string a = args[i];
+        std::string inlineVal;
+        bool hasInline = false;
+        size_t eq = a.find('=');
+        if (a.size() > 1 && a[0] == '-' && eq != std::string::npos) {
+            inlineVal = a.substr(eq + 1);
+            a.resize(eq);
+            hasInline = true;
+        }
+        auto next = [&]() -> std::string {
+            if (hasInline)
+                return inlineVal;
+            if (i + 1 >= args.size()) {
+                err = "option " + a + " needs a value";
+                return "";
+            }
+            return args[++i];
+        };
+        auto num = [&](const char *name) {
+            std::string v = next();
+            fields.push_back(std::string("\"") + name +
+                             "\": " + (v.empty() ? "0" : v));
+        };
+        if (a == "--workload")
+            workload = next();
+        else if (a == "--source")
+            sourceFile = next();
+        else if (a == "--preset")
+            fields.push_back("\"preset\": \"" + json::escape(next()) +
+                             "\"");
+        else if (a == "--cores")
+            num("cores");
+        else if (a == "--scale")
+            num("scale");
+        else if (a == "--l2-kib")
+            num("l2_kib");
+        else if (a == "--dram-latency")
+            num("dram_latency");
+        else if (a == "--max-insts")
+            num("max_insts");
+        else if (a == "--max-cycles")
+            num("max_cycles");
+        else if (a == "--stats-interval")
+            num("stats_interval");
+        else if (a == "--timeout-secs")
+            num("timeout_secs");
+        else if (a == "--extended")
+            fields.push_back("\"extended\": true");
+        else if (a == "--vector")
+            fields.push_back("\"vector\": true");
+        else if (a == "--no-prefetch")
+            fields.push_back("\"no_prefetch\": true");
+        else if (a == "--batch")
+            fields.push_back("\"priority\": \"batch\"");
+        else {
+            err = "unknown submit option " + a;
+            return false;
+        }
+        if (!err.empty())
+            return false;
+    }
+    if (workload.empty() == sourceFile.empty()) {
+        err = "need exactly one of --workload and --source";
+        return false;
+    }
+    if (!workload.empty()) {
+        fields.push_back("\"workload\": \"" + json::escape(workload) +
+                         "\"");
+    } else {
+        std::ifstream is(sourceFile, std::ios::binary);
+        if (!is) {
+            err = "cannot read " + sourceFile;
+            return false;
+        }
+        std::ostringstream ss;
+        ss << is.rdbuf();
+        fields.push_back("\"source\": \"" + json::escape(ss.str()) +
+                         "\"");
+    }
+    os << "{";
+    for (size_t i = 0; i < fields.size(); ++i)
+        os << (i ? ", " : "") << fields[i];
+    os << "}";
+    body = os.str();
+    return true;
+}
+
+/** Stream a job's JSONL records into @p out until the server ends the
+ *  stream. Exits 3 on transport error; returns the HTTP status. */
+int
+streamTo(const Conn &c, const std::string &id, std::ostream &out)
+{
+    int status = 0;
+    std::string err;
+    auto onBody = [&](const char *p, size_t n) {
+        out.write(p, std::streamsize(n));
+        out.flush();
+        return true;
+    };
+    if (!serve::httpRequestStream(c.host, uint16_t(c.port), "GET",
+                                  "/v1/jobs/" + id + "/stream",
+                                  baseHeaders(c), "", status, onBody,
+                                  err)) {
+        std::fprintf(stderr, "xt910-client: %s\n", err.c_str());
+        std::exit(3);
+    }
+    return status;
+}
+
+int
+smokeFail(const char *what, const std::string &detail = "")
+{
+    std::fprintf(stderr, "smoke: FAIL: %s%s%s\n", what,
+                 detail.empty() ? "" : ": ", detail.c_str());
+    return 4;
+}
+
+/**
+ * The serve.cli_smoke body: drives a freshly started daemon through
+ * the full API against real sockets, leaving the streamed JSONL and
+ * fetched stats in files for the harness to byte-compare against a
+ * direct xt910-run, then asks the daemon to shut down (so the
+ * pipeline's daemon side exits 0 too).
+ */
+int
+runSmoke(const Conn &c, const std::vector<std::string> &args)
+{
+    std::string workload = "crc";
+    uint64_t interval = 0;
+    std::string streamOut, statsOut;
+    for (size_t i = 0; i < args.size(); ++i) {
+        auto next = [&]() -> std::string {
+            return i + 1 < args.size() ? args[++i] : "";
+        };
+        if (args[i] == "--workload")
+            workload = next();
+        else if (args[i] == "--stats-interval")
+            interval = uint64_t(std::atoll(next().c_str()));
+        else if (args[i] == "--stream-out")
+            streamOut = next();
+        else if (args[i] == "--stats-out")
+            statsOut = next();
+        else
+            return smokeFail("unknown option", args[i]);
+    }
+
+    if (field(request(c, "GET", "/healthz").body, "ok") != "true")
+        return smokeFail("healthz");
+    if (field(request(c, "GET", "/v1/version").body, "tool") !=
+        "xt910d")
+        return smokeFail("version");
+
+    std::string body = "{\"workload\": \"" + json::escape(workload) +
+                       "\", \"stats_interval\": " +
+                       std::to_string(interval) + "}";
+    serve::ClientResponse r = request(c, "POST", "/v1/jobs", body);
+    if (r.status != 201)
+        return smokeFail("submit status", r.body);
+    if (field(r.body, "cached") != "false")
+        return smokeFail("first submit must not be cached", r.body);
+    const std::string id = field(r.body, "id");
+    if (id.empty())
+        return smokeFail("submit id", r.body);
+
+    // Stream until completion; every record must be valid JSON.
+    std::ostringstream stream;
+    if (streamTo(c, id, stream) != 200)
+        return smokeFail("stream status");
+    std::istringstream lines(stream.str());
+    std::string line;
+    size_t nLines = 0;
+    bool sawSummary = false;
+    while (std::getline(lines, line)) {
+        ++nLines;
+        if (!json::validate(line))
+            return smokeFail("stream record is not JSON", line);
+        json::Value v;
+        if (json::parse(line, v)) {
+            if (const json::Value *t = v.find("type"))
+                sawSummary |= t->asString() == "summary";
+        }
+    }
+    if (!nLines || !sawSummary)
+        return smokeFail("stream missing records/summary");
+    if (!streamOut.empty()) {
+        std::ofstream os(streamOut, std::ios::binary);
+        os << stream.str();
+        if (!os)
+            return smokeFail("cannot write", streamOut);
+    }
+
+    r = request(c, "GET", "/v1/jobs/" + id);
+    if (field(r.body, "state") != "done" ||
+        field(r.body, "checksum_ok") != "true")
+        return smokeFail("job did not finish cleanly", r.body);
+
+    r = request(c, "GET", "/v1/jobs/" + id + "/stats");
+    if (r.status != 200)
+        return smokeFail("stats fetch", r.body);
+    const std::string stats1 = r.body;
+    if (!json::validate(stats1))
+        return smokeFail("stats not valid JSON");
+    if (!statsOut.empty()) {
+        std::ofstream os(statsOut, std::ios::binary);
+        os << stats1;
+        if (!os)
+            return smokeFail("cannot write", statsOut);
+    }
+
+    // Identical resubmission must be served from the result cache,
+    // without simulating, with byte-identical stats.
+    r = request(c, "POST", "/v1/jobs", body);
+    if (r.status != 201 || field(r.body, "cached") != "true")
+        return smokeFail("resubmit must hit the cache", r.body);
+    const std::string id2 = field(r.body, "id");
+    r = request(c, "GET", "/v1/jobs/" + id2 + "/stats");
+    if (r.status != 200 || r.body != stats1)
+        return smokeFail("cached stats differ from original");
+
+    // Error paths: bad workload is a 400, unknown job a 404.
+    r = request(c, "POST", "/v1/jobs", "{\"workload\": \"nope\"}");
+    if (r.status != 400)
+        return smokeFail("bad workload should be 400", r.body);
+    r = request(c, "GET", "/v1/jobs/zzz");
+    if (r.status != 404)
+        return smokeFail("unknown job should be 404", r.body);
+
+    r = request(c, "POST", "/v1/admin/shutdown");
+    if (r.status != 202)
+        return smokeFail("shutdown", r.body);
+    std::printf("smoke: ok (%zu stream records)\n", nLines);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Conn c;
+    bool portStdin = false;
+    int i = 1;
+    for (; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--host" && i + 1 < argc)
+            c.host = argv[++i];
+        else if (a == "--port" && i + 1 < argc)
+            c.port = unsigned(std::atoi(argv[++i]));
+        else if (a == "--port-stdin")
+            portStdin = true;
+        else if (a == "--api-key" && i + 1 < argc)
+            c.apiKey = argv[++i];
+        else if (a == "--version") {
+            std::printf("%s\n", buildInfo("xt910-client").c_str());
+            return 0;
+        } else if (a == "--help" || a == "-h") {
+            usage();
+            return 0;
+        } else if (!a.empty() && a[0] == '-') {
+            std::fprintf(stderr, "unknown option %s\n", a.c_str());
+            usage();
+            return 2;
+        } else {
+            break;
+        }
+    }
+    if (i >= argc) {
+        usage();
+        return 2;
+    }
+    const std::string cmd = argv[i++];
+    std::vector<std::string> args(argv + i, argv + argc);
+
+    if (portStdin && !portFromStdin(c.port)) {
+        std::fprintf(stderr, "no 'listening on' banner on stdin\n");
+        return 3;
+    }
+    if (!c.port || c.port > 0xffff) {
+        std::fprintf(stderr, "need --port or --port-stdin\n");
+        return 2;
+    }
+
+    if (cmd == "submit") {
+        std::string body, err;
+        if (!parseSubmitArgs(args, body, err)) {
+            std::fprintf(stderr, "%s\n", err.c_str());
+            return 2;
+        }
+        return finish(request(c, "POST", "/v1/jobs", body));
+    }
+    if (cmd == "status" || cmd == "stats" || cmd == "cancel" ||
+        cmd == "watch") {
+        if (args.empty()) {
+            std::fprintf(stderr, "%s needs a job id\n", cmd.c_str());
+            return 2;
+        }
+        const std::string id = args[0];
+        if (cmd == "status")
+            return finish(request(c, "GET", "/v1/jobs/" + id));
+        if (cmd == "cancel")
+            return finish(request(c, "DELETE", "/v1/jobs/" + id));
+        std::string outPath;
+        for (size_t k = 1; k < args.size(); ++k)
+            if (args[k] == "--out" && k + 1 < args.size())
+                outPath = args[++k];
+        if (cmd == "stats") {
+            serve::ClientResponse r =
+                request(c, "GET", "/v1/jobs/" + id + "/stats");
+            if (r.status == 200 && !outPath.empty()) {
+                std::ofstream os(outPath, std::ios::binary);
+                os << r.body;
+                return os ? 0 : 3;
+            }
+            return finish(r);
+        }
+        // watch
+        if (!outPath.empty()) {
+            std::ofstream os(outPath, std::ios::binary);
+            if (!os) {
+                std::fprintf(stderr, "cannot open %s\n",
+                             outPath.c_str());
+                return 3;
+            }
+            return streamTo(c, id, os) == 200 ? 0 : 1;
+        }
+        return streamTo(c, id, std::cout) == 200 ? 0 : 1;
+    }
+    if (cmd == "list")
+        return finish(request(c, "GET", "/v1/jobs"));
+    if (cmd == "statsz")
+        return finish(request(c, "GET", "/v1/statsz"));
+    if (cmd == "version")
+        return finish(request(c, "GET", "/v1/version"));
+    if (cmd == "shutdown")
+        return finish(request(c, "POST", "/v1/admin/shutdown"));
+    if (cmd == "smoke")
+        return runSmoke(c, args);
+
+    std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+    usage();
+    return 2;
+}

@@ -41,6 +41,7 @@
 #include "check/progen.h"
 #include "check/shrink.h"
 #include "common/parallel.h"
+#include "common/version.h"
 
 using namespace xt910;
 using namespace xt910::check;
@@ -161,7 +162,10 @@ main(int argc, char **argv)
             replays.push_back(need("--replay"));
         else if (arg == "--print-hash")
             printHash = true;
-        else if (arg == "--help" || arg == "-h") {
+        else if (arg == "--version") {
+            std::printf("%s\n", buildInfo("xt910-fuzz").c_str());
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
         } else {
@@ -179,7 +183,12 @@ main(int argc, char **argv)
         return 2;
     }
 
-    jobs = resolveJobs(jobs, 2);
+    try {
+        jobs = resolveJobs(jobs, 2);
+    } catch (const std::invalid_argument &e) {
+        std::fprintf(stderr, "xt910-fuzz: %s\n", e.what());
+        return 2;
+    }
 
     // Draw the batch.
     std::vector<GenProgram> progs;

@@ -73,8 +73,10 @@
 #include "core/system.h"
 #include "fault/campaign.h"
 #include "mmu/pagetable.h"
+#include "common/version.h"
 #include "obs/konata.h"
 #include "obs/sampler.h"
+#include "serve/report.h"
 #include "snap/snapshot.h"
 #include "workloads/wl_common.h"
 #include "workloads/workload.h"
@@ -245,6 +247,9 @@ main(int argc, char **argv)
                 usage();
                 return 2;
             }
+        } else if (a == "--version") {
+            std::printf("%s\n", buildInfo("xt910-run").c_str());
+            return 0;
         } else if (a == "--help" || a == "-h") {
             usage();
             return 0;
@@ -276,6 +281,17 @@ main(int argc, char **argv)
         return 2;
     }
     const std::string workload = workloads[0];
+
+    // Resolve the worker count up front: a malformed XT910_JOBS is a
+    // usage error, not something to surface mid-run from deep inside
+    // the farm or a campaign.
+    unsigned resolvedJobs = 1;
+    try {
+        resolvedJobs = resolveJobs(jobs);
+    } catch (const std::invalid_argument &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+    }
 
     CorePreset p = preset == "u74"   ? u74Preset()
                    : preset == "a73" ? a73Preset()
@@ -333,7 +349,7 @@ main(int argc, char **argv)
             return ckptDir + "/" + workloads[i] + ".ckpt";
         };
         auto reports = runHardened(
-            builds.size(), resolveJobs(jobs), pol,
+            builds.size(), resolvedJobs, pol,
             [&](size_t i, JobContext &ctx) {
                 if (workloads[i] == testTimeout)
                     throw FarmTimeout("injected test timeout");
@@ -526,24 +542,13 @@ main(int argc, char **argv)
     if (!statsJsonPath.empty()) {
         if (statsInterval) {
             // JSONL mode: the sampler already wrote the interval
-            // records; append one compact summary line.
-            jsonFile << "{\"type\": \"summary\", \"workload\": \""
-                     << json::escape(workload) << "\", \"insts\": "
-                     << r.insts << ", \"cycles\": " << r.cycles
-                     << ", \"checksum_ok\": " << (ok ? "true" : "false")
-                     << ", \"stats\": ";
-            sys.dumpStatsJson(jsonFile, false);
-            jsonFile << "}\n";
+            // records; append one compact summary line. Composed by
+            // the shared report writer so the xt910d stream stays
+            // byte-identical to this file.
+            serve::writeRunSummaryLine(jsonFile, workload, r, ok, sys);
         } else {
             std::ostringstream os;
-            os << "{\n  \"workload\": \"" << json::escape(workload)
-               << "\",\n  \"insts\": " << r.insts
-               << ",\n  \"cycles\": " << r.cycles
-               << ",\n  \"ipc\": " << r.ipc()
-               << ",\n  \"checksum_ok\": " << (ok ? "true" : "false")
-               << ",\n  \"stats\": ";
-            sys.dumpStatsJson(os, true);
-            os << "\n}\n";
+            serve::writeRunStatsJson(os, workload, r, ok, sys);
             const std::string doc = os.str();
             try {
                 snapWriteFileAtomic(statsJsonPath, doc.data(),

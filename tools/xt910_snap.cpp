@@ -17,6 +17,7 @@
 #include <string>
 
 #include "common/snapio.h"
+#include "common/version.h"
 #include "snap/snapshot.h"
 
 using namespace xt910;
@@ -24,9 +25,15 @@ using namespace xt910;
 int
 main(int argc, char **argv)
 {
+    if (argc >= 2 && std::strcmp(argv[1], "--version") == 0) {
+        std::printf("%s (snapshot format v%u)\n",
+                    buildInfo("xt910-snap").c_str(),
+                    snap::formatVersion);
+        return 0;
+    }
     if (argc < 2 || std::strcmp(argv[1], "--help") == 0 ||
         std::strcmp(argv[1], "-h") == 0) {
-        std::printf("usage: xt910-snap <snapshot-file>...\n");
+        std::printf("usage: xt910-snap [--version] <snapshot-file>...\n");
         return argc < 2 ? 2 : 0;
     }
 

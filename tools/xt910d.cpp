@@ -1,0 +1,203 @@
+/**
+ * @file
+ * xt910d — the simulation-as-a-service daemon. Serves the REST API
+ * described in src/serve/api.h over plain HTTP/1.1 on a loopback (by
+ * default) socket, simulating submitted jobs on a worker pool.
+ *
+ *   xt910d [options]
+ *
+ * Options:
+ *   --bind ADDR        bind address (default 127.0.0.1)
+ *   --port N           TCP port (default 0 = ephemeral; the actual
+ *                      port is printed as "listening on ADDR:PORT")
+ *   --jobs N           simulation workers (default: XT910_JOBS env,
+ *                      else 1)
+ *   --http-threads N   HTTP connection workers (default 4)
+ *   --queue-max N      bounded job-queue depth (default 64)
+ *   --quota N          per-client live-job quota (default 8)
+ *   --cache-dir D      persistent result cache (default: off)
+ *   --no-cache         explicit off (reserved; off is the default)
+ *   --state-dir D      drain/restore state (default: off). On SIGTERM
+ *                      or POST /v1/admin/shutdown the daemon
+ *                      checkpoints in-flight jobs here and a later
+ *                      xt910d --state-dir D resumes them.
+ *   --version          print build info and exit
+ *
+ * Exit codes: 0 clean shutdown, 2 usage error, 3 bind failure.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/parallel.h"
+#include "common/version.h"
+#include "serve/api.h"
+#include "serve/http.h"
+#include "serve/jobs.h"
+
+using namespace xt910;
+
+namespace
+{
+
+void
+usage()
+{
+    std::printf(
+        "usage: xt910d [options]\n"
+        "options: --bind ADDR  --port N  --jobs N  --http-threads N\n"
+        "         --queue-max N  --quota N  --cache-dir D  --no-cache\n"
+        "         --state-dir D  --version\n");
+}
+
+std::mutex shutdownMu;
+std::condition_variable shutdownCv;
+bool shutdownRequested = false;
+
+void
+requestShutdown()
+{
+    {
+        std::lock_guard<std::mutex> lk(shutdownMu);
+        shutdownRequested = true;
+    }
+    shutdownCv.notify_all();
+}
+
+void
+onSignal(int)
+{
+    // Async-signal-safety: pthread condvar signalling is not strictly
+    // async-signal-safe, but this is the established idiom for a
+    // single-threaded flag handoff and the alternative (self-pipe)
+    // buys nothing for a tool of this size. The flag write is what
+    // matters; a lost wakeup is recovered by the next SIGTERM.
+    requestShutdown();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string bindAddr = "127.0.0.1";
+    unsigned port = 0;
+    unsigned jobs = 0, httpThreads = 4;
+    size_t queueMax = 64, quota = 8;
+    std::string cacheDir, stateDir;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        std::string inlineVal;
+        bool hasInline = false;
+        if (a.size() > 1 && a[0] == '-') {
+            size_t eq = a.find('=');
+            if (eq != std::string::npos) {
+                inlineVal = a.substr(eq + 1);
+                a.resize(eq);
+                hasInline = true;
+            }
+        }
+        auto next = [&]() -> const char * {
+            if (hasInline)
+                return inlineVal.c_str();
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--bind") {
+            bindAddr = next();
+        } else if (a == "--port") {
+            port = unsigned(std::atoi(next()));
+        } else if (a == "--jobs") {
+            jobs = unsigned(std::atoi(next()));
+        } else if (a == "--http-threads") {
+            httpThreads = unsigned(std::atoi(next()));
+        } else if (a == "--queue-max") {
+            queueMax = size_t(std::atoll(next()));
+        } else if (a == "--quota") {
+            quota = size_t(std::atoll(next()));
+        } else if (a == "--cache-dir") {
+            cacheDir = next();
+        } else if (a == "--no-cache") {
+            cacheDir.clear();
+        } else if (a == "--state-dir") {
+            stateDir = next();
+        } else if (a == "--version") {
+            std::printf("%s\n", buildInfo("xt910d").c_str());
+            return 0;
+        } else if (a == "--help" || a == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown option %s\n", a.c_str());
+            usage();
+            return 2;
+        }
+    }
+    if (port > 0xffff || !queueMax || !quota) {
+        std::fprintf(stderr, "bad --port/--queue-max/--quota\n");
+        return 2;
+    }
+
+    serve::JobManagerConfig jc;
+    try {
+        jc.simJobs = resolveJobs(jobs);
+    } catch (const std::invalid_argument &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+    }
+    jc.queueMax = queueMax;
+    jc.clientQuota = quota;
+    jc.cacheDir = cacheDir;
+    jc.stateDir = stateDir;
+
+    serve::JobManager manager(jc);
+    manager.restoreState();
+
+    serve::ApiOptions ao;
+    ao.requestShutdown = requestShutdown;
+
+    serve::HttpServer::Options ho;
+    ho.bindAddr = bindAddr;
+    ho.port = uint16_t(port);
+    ho.threads = httpThreads;
+
+    std::unique_ptr<serve::HttpServer> server;
+    try {
+        server = std::make_unique<serve::HttpServer>(
+            ho, serve::makeApiHandler(manager, ao));
+    } catch (const serve::ServeError &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 3;
+    }
+
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGINT, onSignal);
+
+    server->start();
+    // The one line a supervisor (or the smoke test) needs; stdout may
+    // be a pipe, so flush it explicitly.
+    std::printf("listening on %s:%u\n", bindAddr.c_str(),
+                unsigned(server->port()));
+    std::fflush(stdout);
+
+    {
+        std::unique_lock<std::mutex> lk(shutdownMu);
+        shutdownCv.wait(lk, [] { return shutdownRequested; });
+    }
+
+    std::fprintf(stderr, "xt910d: draining...\n");
+    server->stop();     // finish in-flight HTTP exchanges first
+    manager.drain();    // checkpoint + persist pending jobs
+    std::fprintf(stderr, "xt910d: bye\n");
+    return 0;
+}
