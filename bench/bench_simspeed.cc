@@ -23,6 +23,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iterator>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -102,7 +104,7 @@ main(int argc, char **argv)
     using namespace xt910;
 
     std::string out = "BENCH_simspeed.json";
-    int reps = 2;
+    int reps = 3;
     bool issOnly = false;
     std::vector<std::string> names;
     for (int i = 1; i < argc; ++i) {
@@ -191,6 +193,54 @@ main(int argc, char **argv)
     geo = cnt ? std::pow(geo, 1.0 / double(cnt)) : 0.0;
     std::printf("geomean iss block/legacy speedup: %.2fx\n", geo);
 
+    // System-mode absolute throughput: the headline number for "is the
+    // timing model fast enough to serve" (ROADMAP item 1).
+    double geoSys = 1.0;
+    unsigned cntSys = 0;
+    for (const Row &r : rows) {
+        if (r.system.blockMips > 0) {
+            geoSys *= r.system.blockMips;
+            ++cntSys;
+        }
+    }
+    geoSys = cntSys ? std::pow(geoSys, 1.0 / double(cntSys)) : 0.0;
+    if (cntSys)
+        std::printf("geomean system-mode MIPS (block): %.2f\n", geoSys);
+
+    // Trajectory: carry the previous runs' system geomeans forward so
+    // the JSON records how sim speed moved across changes, and append
+    // the previous top-level value as the newest history point.
+    std::vector<double> history;
+    {
+        std::ifstream is(out);
+        if (is) {
+            std::string prev((std::istreambuf_iterator<char>(is)),
+                             std::istreambuf_iterator<char>());
+            size_t h = prev.find("\"history_system_block_mips\"");
+            if (h != std::string::npos) {
+                size_t b = prev.find('[', h);
+                size_t e = prev.find(']', h);
+                if (b != std::string::npos && e != std::string::npos) {
+                    std::string list = prev.substr(b + 1, e - b - 1);
+                    for (char &ch : list)
+                        if (ch == ',')
+                            ch = ' ';
+                    std::istringstream ls(list);
+                    double v;
+                    while (ls >> v)
+                        history.push_back(v);
+                }
+            }
+            size_t g = prev.find("\"geomean_system_block_mips\"");
+            if (g != std::string::npos) {
+                double v = std::atof(
+                    prev.c_str() + prev.find(':', g) + 1);
+                if (v > 0)
+                    history.push_back(v);
+            }
+        }
+    }
+
     std::ofstream os(out);
     if (!os) {
         std::fprintf(stderr, "cannot write %s\n", out.c_str());
@@ -215,7 +265,15 @@ main(int argc, char **argv)
     }
     char geobuf[64];
     std::snprintf(geobuf, sizeof(geobuf), "%.3f", geo);
-    os << "  ],\n  \"geomean_iss_speedup\": " << geobuf << "\n}\n";
+    os << "  ],\n  \"geomean_iss_speedup\": " << geobuf << ",\n";
+    std::snprintf(geobuf, sizeof(geobuf), "%.3f", geoSys);
+    os << "  \"geomean_system_block_mips\": " << geobuf << ",\n";
+    os << "  \"history_system_block_mips\": [";
+    for (size_t i = 0; i < history.size(); ++i) {
+        std::snprintf(geobuf, sizeof(geobuf), "%.3f", history[i]);
+        os << (i ? ", " : "") << geobuf;
+    }
+    os << "]\n}\n";
     std::printf("wrote %s\n", out.c_str());
     return 0;
 }

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Compile-time-gated hot-path section profiling. Built with
+ * -DXT910_PROFILE=ON the XT_PROF_SCOPE() markers in the timing model
+ * record per-section TSC cycles and call counts; xt910-run
+ * --profile-hot prints the report. In default builds every marker
+ * compiles to nothing, so the hot path carries zero overhead.
+ *
+ * The timer is the raw x86 TSC (or steady_clock elsewhere): the
+ * sections are µs-scale aggregates for "where do host cycles go in
+ * consume()", not a calibrated clock.
+ */
+
+#ifndef XT910_COMMON_PROFILE_H
+#define XT910_COMMON_PROFILE_H
+
+#include <cstdint>
+
+#ifdef XT910_PROFILE
+
+#include <ostream>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#else
+#include <chrono>
+#endif
+
+namespace xt910::prof
+{
+
+inline uint64_t
+now()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    return __rdtsc();
+#else
+    return uint64_t(std::chrono::steady_clock::now()
+                        .time_since_epoch()
+                        .count());
+#endif
+}
+
+enum Section : unsigned
+{
+    Frontend, ///< fetch/loop-buffer/decode gate
+    Rename,   ///< window stalls + rename gate
+    Issue,    ///< IQ admit, port probe/book, issue gate
+    Execute,  ///< execute switch incl. memory-system calls
+    Retire,   ///< retire gate, ROB/top-down bookkeeping
+    NumSections
+};
+
+struct SectionStats
+{
+    uint64_t ticks = 0;
+    uint64_t calls = 0;
+};
+
+inline SectionStats sections[NumSections];
+
+struct Scope
+{
+    explicit Scope(Section s_) : s(s_), t0(now()) {}
+    ~Scope()
+    {
+        sections[s].ticks += now() - t0;
+        ++sections[s].calls;
+    }
+    Section s;
+    uint64_t t0;
+};
+
+inline void
+report(std::ostream &os)
+{
+    static const char *names[NumSections] = {
+        "frontend", "rename", "issue", "execute", "retire"};
+    uint64_t total = 0;
+    for (unsigned i = 0; i < NumSections; ++i)
+        total += sections[i].ticks;
+    os << "hot-path profile (tsc ticks):\n";
+    for (unsigned i = 0; i < NumSections; ++i) {
+        const SectionStats &ss = sections[i];
+        os << "  " << names[i] << ": " << ss.ticks << " ticks, "
+           << ss.calls << " calls";
+        if (total)
+            os << " (" << (ss.ticks * 1000 / total) / 10.0 << "%)";
+        os << "\n";
+    }
+}
+
+} // namespace xt910::prof
+
+#define XT_PROF_SCOPE(sec) \
+    ::xt910::prof::Scope xtProfScope##sec(::xt910::prof::sec)
+#define XT_PROF_ENABLED 1
+
+#else // !XT910_PROFILE
+
+#define XT_PROF_SCOPE(sec) \
+    do {                   \
+    } while (0)
+#define XT_PROF_ENABLED 0
+
+#endif // XT910_PROFILE
+
+#endif // XT910_COMMON_PROFILE_H

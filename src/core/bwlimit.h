@@ -1,131 +1,323 @@
 /**
  * @file
- * A per-cycle bandwidth limiter used to model pipeline-stage widths
- * (decode 3/cycle, rename 4/cycle, issue 8/cycle, ...): schedule()
- * books the earliest cycle at or after the request with spare slots.
+ * Bandwidth and port schedulers for the timing model's pipeline
+ * stages. These are the structures that "jump the clock": instead of
+ * walking candidate cycles one by one (the old std::map/std::set
+ * limiters — which profiling showed at >90% of System-mode runtime on
+ * store-heavy loops), each scheduler computes the next free cycle in
+ * O(1) (in-order stage gates) or O(words) (issue/port windows), and
+ * exposes a `busyHorizon()` / `nextEventCycle()` hook so callers can
+ * detect quiescence (DESIGN.md §3f).
+ *
+ * Three schedulers model three different hardware disciplines:
+ *  - StageGate: an in-order stage of fixed width (decode 3/cycle,
+ *    rename 4/cycle, retire 4/cycle). In-order means a younger µop can
+ *    never pass through the stage earlier than an older one, so the
+ *    whole booking history collapses to {last cycle, slots used}.
+ *  - IssueGate: total issue bandwidth (8 µops/cycle) across all pipes.
+ *    Issue is out of order — a younger µop may legally claim an issue
+ *    slot earlier than an older, stalled µop — so per-cycle counts are
+ *    kept over a sliding window.
+ *  - PortSchedule: a single execution pipe, one µop per cycle, with
+ *    multi-cycle occupancy for unpipelined units. Also out of order;
+ *    kept as a sliding bitmap (one bit per cycle).
+ *
+ * The sliding windows never *forget* a booking the way the old pruned
+ * containers did (the prune made ancient cycles look free again, a
+ * modeling artifact); requests that fall behind the window floor are
+ * clamped up to it instead. See DESIGN.md §3f for the semantics
+ * statement and EXPERIMENTS.md for the measured impact.
  */
 
 #ifndef XT910_CORE_BWLIMIT_H
 #define XT910_CORE_BWLIMIT_H
 
-#include <map>
-#include <set>
+#include <algorithm>
+#include <array>
+#include <cstdint>
 
+#include "common/bitutil.h"
+#include "common/log.h"
 #include "common/snapio.h"
 #include "common/types.h"
 
 namespace xt910
 {
 
-/** See file comment. */
-class BandwidthLimiter
+/**
+ * In-order pipeline-stage width gate: schedule() books the earliest
+ * cycle >= the request that still has a free slot, never earlier than
+ * the last booked cycle (program order passes through an in-order
+ * stage monotonically). O(1), two words of state.
+ */
+class StageGate
 {
   public:
-    explicit BandwidthLimiter(unsigned perCycle) : width(perCycle) {}
+    explicit StageGate(unsigned perCycle) : width(perCycle) {}
 
-    /** Book a slot at the earliest cycle >= @p earliest. */
+    /** Book a slot at the earliest in-order cycle >= @p earliest. */
     Cycle
     schedule(Cycle earliest)
     {
-        Cycle c = earliest;
-        auto it = booked.lower_bound(c);
-        while (it != booked.end() && it->first == c &&
-               it->second >= width) {
-            ++c;
-            it = booked.lower_bound(c);
+        if (earliest > last) {
+            last = earliest;
+            used = 1;
+        } else if (used < width) {
+            ++used;
+        } else {
+            ++last;
+            used = 1;
         }
-        ++booked[c];
-        // Prune ancient entries to bound memory.
-        if (booked.size() > 1024)
-            booked.erase(booked.begin(),
-                         booked.lower_bound(c > 512 ? c - 512 : 0));
-        return c;
+        return last;
     }
 
     unsigned perCycle() const { return width; }
 
+    /** Latest cycle with a booking; the gate is quiescent past it. */
+    Cycle busyHorizon() const { return last; }
+
+    /** Earliest cycle the next request could be granted. */
+    Cycle nextEventCycle() const { return used < width ? last : last + 1; }
+
     void
     snapSave(SnapWriter &w) const
     {
-        w.u64(booked.size());
-        for (const auto &[cyc, n] : booked) {
-            w.u64(cyc);
-            w.u32(n);
-        }
+        w.u64(last);
+        w.u32(used);
     }
 
     void
     snapLoad(SnapReader &r)
     {
-        booked.clear();
-        uint64_t n = r.u64();
-        for (uint64_t i = 0; i < n; ++i) {
-            Cycle cyc = r.u64();
-            booked[cyc] = r.u32();
-        }
+        last = r.u64();
+        used = r.u32();
     }
 
   private:
     unsigned width;
-    std::map<Cycle, unsigned> booked;
+    Cycle last = 0;     ///< most recent booked cycle
+    unsigned used = 0;  ///< slots consumed at `last`
+};
+
+/**
+ * Out-of-order issue-bandwidth gate: per-cycle booking counts over a
+ * sliding window of `window` cycles. Requests below the window floor
+ * (i.e. more than ~`lookback` cycles behind the newest booking) are
+ * clamped up to the floor; within the window the booking semantics are
+ * exactly the tick-every-cycle reference ("earliest cycle >= request
+ * with a free slot"), found by a linear scan over dense uint8 counts.
+ */
+class IssueGate
+{
+  public:
+    static constexpr unsigned window = 4096;
+    static constexpr unsigned lookback = window / 2;
+
+    explicit IssueGate(unsigned perCycle) : width(perCycle)
+    {
+        xt_assert(perCycle > 0 && perCycle < 255,
+                  "issue width out of range");
+    }
+
+    /** Book a slot at the earliest cycle >= @p earliest (clamped to
+     *  the window floor) with spare bandwidth. */
+    Cycle
+    schedule(Cycle earliest)
+    {
+        Cycle c = earliest < base ? base : earliest;
+        if (c >= base + window)
+            slide(c);
+        unsigned i = unsigned(c - base);
+        while (cnt[i] >= width) {
+            ++c;
+            if (++i == window) {
+                slide(c);
+                i = unsigned(c - base);
+            }
+        }
+        ++cnt[i];
+        if (c > maxBooked)
+            maxBooked = c;
+        return c;
+    }
+
+    unsigned perCycle() const { return width; }
+    Cycle busyHorizon() const { return maxBooked; }
+    Cycle nextEventCycle() const { return maxBooked; }
+    Cycle windowFloor() const { return base; }
+
+    void
+    snapSave(SnapWriter &w) const
+    {
+        w.u64(base);
+        w.u64(maxBooked);
+        for (unsigned i = 0; i < window; ++i)
+            w.u8(cnt[i]);
+    }
+
+    void
+    snapLoad(SnapReader &r)
+    {
+        base = r.u64();
+        maxBooked = r.u64();
+        for (unsigned i = 0; i < window; ++i)
+            cnt[i] = r.u8();
+    }
+
+  private:
+    /** Slide the floor so cycle @p c fits, keeping `lookback` cycles
+     *  of history. Amortized O(1): a slide of k cycles only happens
+     *  after >= k bookings advanced the clock. */
+    void
+    slide(Cycle c)
+    {
+        Cycle nb = c > lookback ? c - lookback : 0;
+        if (nb <= base)
+            return;
+        uint64_t shift = nb - base;
+        if (shift >= window) {
+            cnt.fill(0);
+        } else {
+            std::copy(cnt.begin() + shift, cnt.end(), cnt.begin());
+            std::fill(cnt.end() - ptrdiff_t(shift), cnt.end(), 0);
+        }
+        base = nb;
+    }
+
+    unsigned width;
+    Cycle base = 0;      ///< cycle cnt[0] describes
+    Cycle maxBooked = 0; ///< latest booked cycle
+    std::array<uint8_t, window> cnt{};
 };
 
 /**
  * A single-issue execution port with cycle-granular bookings. Unlike a
  * monotonic "free-after" pointer, younger µops may book *earlier* idle
  * cycles than an older µop that issues late — which is exactly what an
- * out-of-order scheduler does with its issue slots.
+ * out-of-order scheduler does with its issue slots. Kept as a sliding
+ * bitmap, one bit per cycle; probe() finds a run of @p len free cycles
+ * with word-at-a-time scans.
  */
 class PortSchedule
 {
   public:
-    /** Earliest start >= @p earliest with @p len consecutive free
-     *  cycles. Does not book. */
+    static constexpr unsigned window = 8192; ///< cycles tracked
+    static constexpr unsigned words = window / 64;
+    static constexpr unsigned lookback = window / 2;
+
+    /** Earliest start >= @p earliest (clamped to the window floor)
+     *  with @p len consecutive free cycles. Does not book. May slide
+     *  the window forward, hence non-const. */
     Cycle
-    probe(Cycle earliest, unsigned len = 1) const
+    probe(Cycle earliest, unsigned len = 1)
     {
-        Cycle c = earliest;
-        auto it = busy.lower_bound(c);
-        while (it != busy.end() && *it < c + len) {
-            // Collision: restart just after the conflicting booking.
-            c = *it + 1;
-            it = busy.lower_bound(c);
+        xt_assert(len > 0 && len <= lookback, "port occupancy too long");
+        Cycle c = earliest < base ? base : earliest;
+        for (;;) {
+            if (c + len > base + window)
+                slide(c + len);
+            Cycle conflict;
+            if (runFree(c, len, conflict))
+                return c;
+            c = conflict + 1;
         }
-        return c;
     }
 
     /** Book cycles [start, start+len). */
     void
     book(Cycle start, unsigned len = 1)
     {
-        for (unsigned i = 0; i < len; ++i)
-            busy.insert(start + i);
-        // Bound memory: forget bookings far in the past.
-        if (busy.size() > 4096) {
-            Cycle horizon = start > 2048 ? start - 2048 : 0;
-            busy.erase(busy.begin(), busy.lower_bound(horizon));
-        }
+        if (start < base)
+            start = base;
+        if (start + len > base + window)
+            slide(start + len);
+        uint64_t b = start - base;
+        for (uint64_t i = b; i < b + len; ++i)
+            bits[i >> 6] |= uint64_t(1) << (i & 63);
+        if (start + len - 1 > maxBooked)
+            maxBooked = start + len - 1;
     }
+
+    Cycle busyHorizon() const { return maxBooked; }
+    Cycle nextEventCycle() const { return maxBooked; }
+    Cycle windowFloor() const { return base; }
 
     void
     snapSave(SnapWriter &w) const
     {
-        w.u64(busy.size());
-        for (Cycle c : busy)
-            w.u64(c);
+        w.u64(base);
+        w.u64(maxBooked);
+        for (unsigned i = 0; i < words; ++i)
+            w.u64(bits[i]);
     }
 
     void
     snapLoad(SnapReader &r)
     {
-        busy.clear();
-        uint64_t n = r.u64();
-        for (uint64_t i = 0; i < n; ++i)
-            busy.insert(r.u64());
+        base = r.u64();
+        maxBooked = r.u64();
+        for (unsigned i = 0; i < words; ++i)
+            bits[i] = r.u64();
     }
 
   private:
-    std::set<Cycle> busy;
+    /** All of [c, c+len) free? If not, @p conflict = last busy cycle
+     *  in the range (the probe restart point). */
+    bool
+    runFree(Cycle c, unsigned len, Cycle &conflict) const
+    {
+        uint64_t b = c - base;
+        uint64_t e = b + len; // exclusive
+        bool free = true;
+        uint64_t lastSet = 0;
+        for (uint64_t wi = b >> 6; wi <= (e - 1) >> 6; ++wi) {
+            uint64_t m = ~uint64_t(0);
+            if (wi == b >> 6)
+                m &= ~uint64_t(0) << (b & 63);
+            if (wi == (e - 1) >> 6) {
+                unsigned top = unsigned((e - 1) & 63);
+                m &= top == 63 ? ~uint64_t(0)
+                               : ((uint64_t(1) << (top + 1)) - 1);
+            }
+            uint64_t hit = bits[wi] & m;
+            if (hit) {
+                free = false;
+                lastSet = (wi << 6) + (63 - unsigned(__builtin_clzll(hit)));
+            }
+        }
+        if (!free)
+            conflict = base + lastSet;
+        return free;
+    }
+
+    /** Slide the floor so cycle range ending at @p end fits, keeping
+     *  `lookback` cycles of history. Amortized O(1) per booking. */
+    void
+    slide(Cycle end)
+    {
+        Cycle nb = end > lookback ? end - lookback : 0;
+        if (nb <= base)
+            return;
+        uint64_t shift = nb - base;
+        if (shift >= window) {
+            bits.fill(0);
+            base = nb;
+            return;
+        }
+        // Shift the bitmap down by `shift` bits (word+bit granular).
+        uint64_t ws = shift >> 6;
+        unsigned bs = unsigned(shift & 63);
+        for (unsigned i = 0; i < words; ++i) {
+            uint64_t lo = i + ws < words ? bits[i + ws] : 0;
+            uint64_t hi = i + ws + 1 < words ? bits[i + ws + 1] : 0;
+            bits[i] = bs == 0 ? lo : (lo >> bs) | (hi << (64 - bs));
+        }
+        base = nb;
+    }
+
+    Cycle base = 0;
+    Cycle maxBooked = 0;
+    std::array<uint64_t, words> bits{};
 };
 
 } // namespace xt910

@@ -8,6 +8,7 @@
 #include "check/invariants.h"
 #include "common/bitutil.h"
 #include "common/log.h"
+#include "common/profile.h"
 #include "common/snapio.h"
 #include "isa/disasm.h"
 
@@ -81,6 +82,25 @@ XtCore::XtCore(unsigned coreId_, const CoreParams &params, MemSystem &ms,
     if (p.translation == TranslationMode::Paged)
         xt_assert(p.pageTableRoot != 0,
                   "Paged translation requires a page-table root");
+
+    // One arena holds every window container (struct-of-arrays; see
+    // core/sched.h): three retire rings, three issue-queue heaps and
+    // the six store-queue columns, all sized from Params.
+    xt_assert(p.robEntries > 0 && p.lqEntries > 0 && p.sqEntries > 0 &&
+                  p.iqAluEntries > 0 && p.iqMemEntries > 0 &&
+                  p.iqFpEntries > 0,
+              "window sizes must be non-zero");
+    const size_t words = size_t(p.robEntries) + p.lqEntries +
+                         p.sqEntries + p.iqAluEntries + p.iqMemEntries +
+                         p.iqFpEntries + 6 * size_t(p.sqEntries);
+    arena.reserve(words);
+    rob.bind(arena.take(p.robEntries), p.robEntries);
+    lqRetire.bind(arena.take(p.lqEntries), p.lqEntries);
+    sqRetireQ.bind(arena.take(p.sqEntries), p.sqEntries);
+    iqBusy[0].bind(arena.take(p.iqAluEntries), p.iqAluEntries);
+    iqBusy[1].bind(arena.take(p.iqMemEntries), p.iqMemEntries);
+    iqBusy[2].bind(arena.take(p.iqFpEntries), p.iqFpEntries);
+    sq.bind(arena, p.sqEntries);
 }
 
 void
@@ -130,6 +150,62 @@ XtCore::pipesFor(OpClass cls) const
     }
 }
 
+void
+XtCore::buildPlan(const DecodedInst &di, UopPlan &plan) const
+{
+    const OpClass cls = di.cls();
+    auto [pipeA, pipeB] = pipesFor(cls);
+    plan.valid = 1;
+    plan.cls = uint8_t(cls);
+    plan.pipeA = uint8_t(pipeA);
+    plan.pipeB = uint8_t(pipeB);
+    plan.iqGroup = pipeA <= Bju ? 0u : pipeA <= StDataP ? 1u : 2u;
+    plan.latency = uint16_t(defaultLatency(di.op));
+    uint8_t f = 0;
+    if (cls == OpClass::Csr || cls == OpClass::System ||
+        cls == OpClass::Fence || cls == OpClass::CacheOp)
+        f |= kSerializes;
+    if (isMacOp(di.op))
+        f |= kMac;
+    if (di.writesReg())
+        f |= kWritesReg;
+    const bool scalarStore =
+        cls == OpClass::Store || cls == OpClass::FpStore;
+    if (scalarStore) {
+        f |= kScalarStore;
+        if (p.pseudoDualStore)
+            f |= kSplitStore;
+    }
+    if (di.isLoad() && !di.isStore())
+        f |= kLoadNotStore;
+    if (di.isBranch() || di.isJump())
+        f |= kBranchOrJump;
+    plan.flags = f;
+}
+
+const XtCore::UopPlan &
+XtCore::planFor(const ExecRecord &rec)
+{
+    if (rec.planIdx == ExecRecord::noPlan) {
+        // Legacy per-instruction path (block cache off, or trap/fault
+        // records): derive the plan on the fly.
+        buildPlan(rec.di, scratchPlan);
+        return scratchPlan;
+    }
+    if (rec.planGen != planGenSeen) {
+        // The ISS flushed its predecoded blocks: every slot index was
+        // reassigned, so the whole table is stale.
+        planTab.clear();
+        planGenSeen = rec.planGen;
+    }
+    if (rec.planIdx >= planTab.size())
+        planTab.resize(rec.planIdx + 1);
+    UopPlan &plan = planTab[rec.planIdx];
+    if (!plan.valid)
+        buildPlan(rec.di, plan);
+    return plan;
+}
+
 Cycle
 XtCore::readyOf(RegClass cls, RegIndex r) const
 {
@@ -153,14 +229,14 @@ XtCore::setReady(RegClass cls, RegIndex r, Cycle c)
 Cycle
 XtCore::iqAdmit(unsigned g, Cycle when, unsigned capacity)
 {
-    auto &q = iqBusy[g];
+    MinCycleHeap &q = iqBusy[g];
     // Entries that issued before `when` have left the queue.
-    while (!q.empty() && *q.begin() <= when)
-        q.erase(q.begin());
+    while (!q.empty() && q.min() <= when)
+        q.pop();
     // Queue full: dispatch waits for the earliest occupant to issue.
     while (q.size() >= capacity) {
-        when = *q.begin() + 1;
-        q.erase(q.begin());
+        when = q.min() + 1;
+        q.pop();
     }
     return when;
 }
@@ -399,43 +475,46 @@ XtCore::executeLoad(const ExecRecord &rec, Cycle issue)
 
     // Memory-dependence predictor: tagged loads wait for all older
     // store addresses (§V.A "execution is blocked").
-    if (p.memDepPredict && taggedLoads.count(rec.pc)) {
-        Cycle wait = 0;
-        for (const SqEntry &s : sq)
-            wait = std::max(wait, s.addrReady);
+    const bool tagged = p.memDepPredict && taggedLoads.count(rec.pc);
+    if (tagged) {
+        Cycle wait = sq.maxAddrReady();
         if (wait > ag) {
             ++blockedLoads;
             ag = wait;
         }
     }
 
-    // Store queue search, youngest first.
-    for (auto it = sq.rbegin(); it != sq.rend(); ++it) {
-        const SqEntry &s = *it;
-        bool overlap = rec.memAddr < s.addr + s.size &&
-                       s.addr < rec.memAddr + rec.memSize;
+    // Store queue search, youngest first: the address/size columns are
+    // scanned contiguously; the other columns load only on a hit.
+    const Addr lo = rec.memAddr;
+    const Addr hi = rec.memAddr + rec.memSize;
+    for (uint32_t k = sq.size(); k-- > 0;) {
+        const uint32_t i = sq.slot(k);
+        const Addr sAddr = sq.addrAt(i);
+        const uint32_t sSize = sq.sizeAt(i);
+        bool overlap = lo < sAddr + sSize && sAddr < hi;
         if (!overlap)
             continue;
-        bool contains = s.addr <= rec.memAddr &&
-                        rec.memAddr + rec.memSize <= s.addr + s.size;
-        if (s.addrReady > ag && !(p.memDepPredict &&
-                                  taggedLoads.count(rec.pc))) {
+        bool contains = sAddr <= lo && hi <= sAddr + sSize;
+        const Cycle sAddrReady = sq.addrReadyAt(i);
+        if (sAddrReady > ag && !tagged) {
             // The load executed before the older store's address was
             // known: ordering violation -> global flush (§V.A).
             ++orderingViolations;
             if (p.memDepPredict)
                 taggedLoads.insert(rec.pc);
-            Cycle redo = std::max(s.dataReady, s.addrReady) +
+            Cycle redo = std::max(sq.dataReadyAt(i), sAddrReady) +
                          p.orderingFlushPenalty;
             redirect(redo);
             return redo + p.storeToLoadForwardLat;
         }
         if (contains) {
             ++forwardedLoads;
-            return std::max(ag, s.dataReady) + p.storeToLoadForwardLat;
+            return std::max(ag, sq.dataReadyAt(i)) +
+                   p.storeToLoadForwardLat;
         }
         // Partial overlap: wait until the store drains to the cache.
-        Cycle drained = std::max(s.retire, ag);
+        Cycle drained = std::max(sq.retireAt(i), ag);
         MemResult r = mem.read(coreId, pa, drained);
         pf.observe(rec.memAddr, !r.l1Hit, drained, *this);
         return r.done;
@@ -485,7 +564,9 @@ void
 XtCore::consume(const ExecRecord &rec)
 {
     const DecodedInst &di = rec.di;
-    const OpClass cls = di.cls();
+    const UopPlan &plan = planFor(rec);
+    const OpClass cls = OpClass(plan.cls);
+    const uint8_t pf_ = plan.flags;
 
     // Konata tracing: when off, the hot path pays one (predictable)
     // branch on the null tracer pointer per capture point. Flush
@@ -496,13 +577,16 @@ XtCore::consume(const ExecRecord &rec)
 
     // ------------------------------------------------------ frontend
     Cycle groupStart = lastGroupStart;
-    Cycle avail = frontend(rec);
-    Cycle decodeC = decodeBw.schedule(avail);
+    Cycle avail, decodeC;
+    {
+        XT_PROF_SCOPE(Frontend);
+        avail = frontend(rec);
+        decodeC = decodeBw.schedule(avail);
+    }
 
     // ------------------------------------------------ µop formation
-    const bool isScalarStore =
-        (cls == OpClass::Store || cls == OpClass::FpStore);
-    const bool splitStore = isScalarStore && p.pseudoDualStore;
+    const bool isScalarStore = (pf_ & kScalarStore) != 0;
+    const bool splitStore = (pf_ & kSplitStore) != 0;
     const unsigned nUops = splitStore ? 2 : 1;
 
     Cycle instDone = 0;
@@ -514,24 +598,28 @@ XtCore::consume(const ExecRecord &rec)
         const bool isStData = splitStore && u == 1;
 
         // Rename: window capacity + width.
-        Cycle renameC = decodeC + 1;
-        if (rob.size() >= p.robEntries) {
-            renameC = std::max(renameC, rob.front());
-            rob.pop_front();
-        }
-        if (rec.isMemOp() && di.isLoad() && !di.isStore()) {
-            if (lqRetire.size() >= p.lqEntries) {
-                renameC = std::max(renameC, lqRetire.front());
-                lqRetire.pop_front();
+        Cycle renameC;
+        {
+            XT_PROF_SCOPE(Rename);
+            renameC = decodeC + 1;
+            if (rob.size() >= p.robEntries) {
+                renameC = std::max(renameC, rob.front());
+                rob.popFront();
             }
-        }
-        if (isScalarStore && u == 0) {
-            if (sqRetireQ.size() >= p.sqEntries) {
-                renameC = std::max(renameC, sqRetireQ.front());
-                sqRetireQ.pop_front();
+            if (rec.isMemOp() && (pf_ & kLoadNotStore)) {
+                if (lqRetire.size() >= p.lqEntries) {
+                    renameC = std::max(renameC, lqRetire.front());
+                    lqRetire.popFront();
+                }
             }
+            if (isScalarStore && u == 0) {
+                if (sqRetireQ.size() >= p.sqEntries) {
+                    renameC = std::max(renameC, sqRetireQ.front());
+                    sqRetireQ.popFront();
+                }
+            }
+            renameC = renameBw.schedule(renameC);
         }
-        renameC = renameBw.schedule(renameC);
 
         // Source readiness.
         Cycle srcReady = 0;
@@ -552,7 +640,7 @@ XtCore::consume(const ExecRecord &rec)
             // MAC-style ops also read their destination; a chain of
             // dependent MACs forwards inside the accumulate stage, so
             // the rd source uses the accumulator-ready time.
-            if (isMacOp(di.op)) {
+            if (pf_ & kMac) {
                 Cycle acc = di.rdClass == RegClass::None ||
                                     di.rd == invalidReg
                                 ? 0
@@ -563,17 +651,14 @@ XtCore::consume(const ExecRecord &rec)
         }
 
         // Serializing classes drain the pipeline first.
-        const bool serializes = cls == OpClass::Csr ||
-                                cls == OpClass::System ||
-                                cls == OpClass::Fence ||
-                                cls == OpClass::CacheOp;
+        const bool serializes = (pf_ & kSerializes) != 0;
 
         // Pipe occupancy: pipelined units take one slot; the divider
         // is unpipelined; vector ops occupy per their element count.
         unsigned occupancy = 1;
         if (cls == OpClass::IntDiv || cls == OpClass::FpDiv ||
             cls == OpClass::VecDiv) {
-            occupancy = defaultLatency(di.op);
+            occupancy = plan.latency;
         } else if (cls == OpClass::VecAlu || cls == OpClass::VecMul) {
             unsigned bw = std::max(1u, p.vecBitsPerCycle);
             occupancy = std::max(1u, (rec.vl * rec.sew + bw - 1) / bw);
@@ -581,130 +666,162 @@ XtCore::consume(const ExecRecord &rec)
             occupancy = std::max(1u, (rec.vl * rec.sew + 127) / 128);
         }
 
-        auto [pipeA, pipeB] = pipesFor(cls);
+        Pipe pipeA = Pipe(plan.pipeA);
+        Pipe pipeB = Pipe(plan.pipeB);
         if (isStData)
             pipeA = pipeB = p.lsuDualIssue ? StDataP : LoadP;
 
-        Cycle issueMin =
-            std::max({renameC + 1, srcReady, serializeUntil});
-        if (serializes)
-            issueMin = std::max(issueMin, maxDone);
-        if (p.inOrder)
-            issueMin = std::max(issueMin, lastIssue);
+        Cycle issueC;
+        {
+            XT_PROF_SCOPE(Issue);
+            Cycle issueMin =
+                std::max({renameC + 1, srcReady, serializeUntil});
+            if (serializes)
+                issueMin = std::max(issueMin, maxDone);
+            if (p.inOrder)
+                issueMin = std::max(issueMin, lastIssue);
 
-        // Distributed issue-queue capacity (§IV): dispatch into the
-        // class's queue can itself stall when the queue is clogged by
-        // long-latency-dependent µops.
-        unsigned iqGroup = pipeA <= Bju ? 0u
-                           : pipeA <= StDataP ? 1u
-                                              : 2u;
-        unsigned iqCap = iqGroup == 0   ? p.iqAluEntries
-                         : iqGroup == 1 ? p.iqMemEntries
-                                        : p.iqFpEntries;
-        Cycle dispatchAt = iqAdmit(iqGroup, renameC + 1, iqCap);
-        issueMin = std::max(issueMin, dispatchAt);
+            // Distributed issue-queue capacity (§IV): dispatch into the
+            // class's queue can itself stall when the queue is clogged
+            // by long-latency-dependent µops.
+            const unsigned iqGroup = plan.iqGroup;
+            unsigned iqCap = iqGroup == 0   ? p.iqAluEntries
+                             : iqGroup == 1 ? p.iqMemEntries
+                                            : p.iqFpEntries;
+            Cycle dispatchAt = iqAdmit(iqGroup, renameC + 1, iqCap);
+            issueMin = std::max(issueMin, dispatchAt);
 
-        // OoO slot booking: younger µops may claim pipe cycles an
-        // older, later-issuing µop left idle.
-        Cycle ta = ports[pipeA].probe(issueMin, occupancy);
-        Cycle tb = pipeB != pipeA ? ports[pipeB].probe(issueMin, occupancy)
-                                  : ta;
-        Pipe pipe = ta <= tb ? pipeA : pipeB;
-        Cycle slot = std::min(ta, tb);
-        Cycle issueC = issueBw.schedule(slot);
-        if (issueC != slot)
-            issueC = ports[pipe].probe(issueC, occupancy);
-        ports[pipe].book(issueC, occupancy);
-        lastIssue = issueC;
-        iqBusy[iqGroup].insert(issueC);
+            // OoO slot booking: younger µops may claim pipe cycles an
+            // older, later-issuing µop left idle.
+            Cycle ta = ports[pipeA].probe(issueMin, occupancy);
+            Cycle tb = pipeB != pipeA
+                           ? ports[pipeB].probe(issueMin, occupancy)
+                           : ta;
+            Pipe pipe = ta <= tb ? pipeA : pipeB;
+            Cycle slot = std::min(ta, tb);
+            issueC = issueBw.schedule(slot);
+            if (issueC != slot)
+                issueC = ports[pipe].probe(issueC, occupancy);
+            ports[pipe].book(issueC, occupancy);
+            lastIssue = issueC;
+            iqBusy[iqGroup].push(issueC);
+        }
 
         // Execute.
         Cycle done;
-        switch (cls) {
-          case OpClass::Load:
-          case OpClass::FpLoad:
-            done = executeLoad(rec, issueC);
-            break;
-          case OpClass::Amo: {
-            Cycle ag = issueC + 1;
-            Addr pa = translate(rec.memAddr, false, ag);
-            done = mem.amo(coreId, pa, ag).done;
-            break;
-          }
-          case OpClass::VecLoad:
-            done = executeVectorMem(rec, issueC, false, 0);
-            break;
-          case OpClass::VecStore:
-            done = executeVectorMem(rec, issueC, true,
-                                    issueC + 8 + p.retireStages);
-            break;
-          case OpClass::Store:
-          case OpClass::FpStore:
-            if (isStAddr) {
+        {
+            XT_PROF_SCOPE(Execute);
+            switch (cls) {
+              case OpClass::Load:
+              case OpClass::FpLoad:
+                done = executeLoad(rec, issueC);
+                break;
+              case OpClass::Amo: {
                 Cycle ag = issueC + 1;
                 Addr pa = translate(rec.memAddr, false, ag);
-                stAddrReady = ag;
-                done = ag;
-                // §V.B: the early address lets the cache query (and a
-                // write-allocate fill on a miss) start ahead of the
-                // data — the benefit the pseudo double store buys.
-                if (!mem.l1d(coreId).findLine(pa))
-                    mem.prefetchFill(coreId, pa, true, ag);
-                pf.observe(rec.memAddr, false, ag, *this);
-            } else if (isStData) {
-                stDataReady = issueC + 1;
-                done = stDataReady;
-            } else {
-                // Unsplit store: address generation also waits for the
-                // data operand (the cost §V.B's split removes).
-                Cycle ag = issueC + 1;
-                Addr pa = translate(rec.memAddr, false, ag);
-                stAddrReady = ag;
-                stDataReady = ag;
-                done = ag;
-                if (!mem.l1d(coreId).findLine(pa))
-                    mem.prefetchFill(coreId, pa, true, ag);
-                pf.observe(rec.memAddr, false, ag, *this);
+                done = mem.amo(coreId, pa, ag).done;
+                break;
+              }
+              case OpClass::VecLoad:
+                done = executeVectorMem(rec, issueC, false, 0);
+                break;
+              case OpClass::VecStore:
+                done = executeVectorMem(rec, issueC, true,
+                                        issueC + 8 + p.retireStages);
+                break;
+              case OpClass::Store:
+              case OpClass::FpStore:
+                if (isStAddr) {
+                    Cycle ag = issueC + 1;
+                    Addr pa = translate(rec.memAddr, false, ag);
+                    stAddrReady = ag;
+                    done = ag;
+                    // §V.B: the early address lets the cache query (and
+                    // a write-allocate fill on a miss) start ahead of
+                    // the data — the benefit the pseudo double store
+                    // buys.
+                    if (!mem.l1d(coreId).findLine(pa))
+                        mem.prefetchFill(coreId, pa, true, ag);
+                    pf.observe(rec.memAddr, false, ag, *this);
+                } else if (isStData) {
+                    stDataReady = issueC + 1;
+                    done = stDataReady;
+                } else {
+                    // Unsplit store: address generation also waits for
+                    // the data operand (the cost §V.B's split removes).
+                    Cycle ag = issueC + 1;
+                    Addr pa = translate(rec.memAddr, false, ag);
+                    stAddrReady = ag;
+                    stDataReady = ag;
+                    done = ag;
+                    if (!mem.l1d(coreId).findLine(pa))
+                        mem.prefetchFill(coreId, pa, true, ag);
+                    pf.observe(rec.memAddr, false, ag, *this);
+                }
+                break;
+              case OpClass::VecAlu:
+              case OpClass::VecMul:
+              case OpClass::VecDiv:
+                done = issueC + plan.latency + occupancy - 1;
+                break;
+              default:
+                done = issueC + plan.latency;
+                break;
             }
-            break;
-          case OpClass::VecAlu:
-          case OpClass::VecMul:
-          case OpClass::VecDiv:
-            done = issueC + defaultLatency(di.op) + occupancy - 1;
-            break;
-          default:
-            done = issueC + defaultLatency(di.op);
-            break;
         }
 
         // Writeback / retirement.
-        if (!isStAddr && !isStData && di.writesReg()) {
-            setReady(di.rdClass, di.rd, done);
-            accReady[unsigned(di.rdClass)][di.rd & 31] =
-                isMacOp(di.op) ? issueC + 1 : done;
-        }
-
-        Cycle retireC = retireBw.schedule(
-            std::max(done + p.retireStages, lastRetire));
-        lastRetire = retireC;
-        XT_INVARIANT(rob.empty() || rob.back() <= retireC,
-                     "ROB retire out of order at pc ", std::hex, rec.pc,
-                     ": ", std::dec, rob.back(), " > ", retireC);
-        rob.push_back(retireC);
-        instDone = std::max(instDone, done);
-
-        // Top-down slot accounting: why was the gap (if any) between
-        // the previous retire cycle and this one left empty?
+        Cycle retireC;
         {
-            const bool backendBound =
-                done + p.retireStages >= retireC;
-            const bool memBound =
-                cls == OpClass::Load || cls == OpClass::FpLoad ||
-                cls == OpClass::Store || cls == OpClass::FpStore ||
-                cls == OpClass::VecLoad || cls == OpClass::VecStore ||
-                cls == OpClass::Amo;
-            topdown.onRetire(retireC, backendBound, memBound,
-                             fetchRedirectBound);
+            XT_PROF_SCOPE(Retire);
+            if (!isStAddr && !isStData && (pf_ & kWritesReg)) {
+                setReady(di.rdClass, di.rd, done);
+                accReady[unsigned(di.rdClass)][di.rd & 31] =
+                    (pf_ & kMac) ? issueC + 1 : done;
+            }
+
+            retireC = retireBw.schedule(
+                std::max(done + p.retireStages, lastRetire));
+            lastRetire = retireC;
+            XT_INVARIANT(rob.empty() || rob.back() <= retireC,
+                         "ROB retire out of order at pc ", std::hex,
+                         rec.pc, ": ", std::dec, rob.back(), " > ",
+                         retireC);
+            rob.pushBack(retireC);
+            instDone = std::max(instDone, done);
+
+            // Top-down slot accounting: why was the gap (if any)
+            // between the previous retire cycle and this one left
+            // empty?
+            {
+                const bool backendBound =
+                    done + p.retireStages >= retireC;
+                const bool memBound =
+                    cls == OpClass::Load || cls == OpClass::FpLoad ||
+                    cls == OpClass::Store || cls == OpClass::FpStore ||
+                    cls == OpClass::VecLoad ||
+                    cls == OpClass::VecStore || cls == OpClass::Amo;
+                topdown.onRetire(retireC, backendBound, memBound,
+                                 fetchRedirectBound);
+            }
+
+            if (di.isLoad() && !di.isStore()) {
+                XT_INVARIANT(lqRetire.empty() ||
+                                 lqRetire.back() <= retireC,
+                             "load queue age order at pc ", std::hex,
+                             rec.pc);
+                if (lqRetire.size() >= p.lqEntries)
+                    lqRetire.popFront(); // faulting-load corner: the
+                                         // capacity stall above only
+                                         // runs for real memory ops
+                lqRetire.pushBack(retireC);
+            }
+
+            if (serializes) {
+                ++serializations;
+                serializeUntil = std::max(serializeUntil, done);
+            }
+            maxDone = std::max(maxDone, done);
         }
 
         if (traceHook)
@@ -713,36 +830,19 @@ XtCore::consume(const ExecRecord &rec)
         if (tracer)
             traceCapture(u, nUops, rec, avail, decodeC, renameC,
                          issueC, done, retireC);
-
-        if (di.isLoad() && !di.isStore()) {
-            XT_INVARIANT(lqRetire.empty() || lqRetire.back() <= retireC,
-                         "load queue age order at pc ", std::hex, rec.pc);
-            lqRetire.push_back(retireC);
-        }
-
-        if (serializes) {
-            ++serializations;
-            serializeUntil = std::max(serializeUntil, done);
-        }
-        maxDone = std::max(maxDone, done);
     }
 
     // Store completion bookkeeping: drain to cache post-retire (§V.B
     // write buffer), record in SQ for later forwarding checks.
     if (isScalarStore) {
-        SqEntry e;
-        e.pc = rec.pc;
-        e.addr = rec.memAddr;
-        e.size = rec.memSize;
-        e.addrReady = stAddrReady;
-        e.dataReady = std::max(stDataReady, stAddrReady);
-        e.retire = lastRetire;
-        sq.push_back(e);
-        if (sq.size() > p.sqEntries)
-            sq.pop_front();
-        XT_INVARIANT(sqRetireQ.empty() || sqRetireQ.back() <= lastRetire,
+        XT_INVARIANT(sqRetireQ.empty() ||
+                         sqRetireQ.back() <= lastRetire,
                      "store queue age order at pc ", std::hex, rec.pc);
-        sqRetireQ.push_back(lastRetire);
+        sq.push(rec.pc, rec.memAddr, rec.memSize, stAddrReady,
+                std::max(stDataReady, stAddrReady), lastRetire);
+        if (sqRetireQ.size() >= p.sqEntries)
+            sqRetireQ.popFront(); // mirror of the lq corner above
+        sqRetireQ.pushBack(lastRetire);
         Cycle wb = lastRetire + 1;
         Addr pa = rec.memAddr;
         Cycle t = wb;
@@ -793,7 +893,7 @@ XtCore::consume(const ExecRecord &rec)
         redirect(instDone + p.trapFlushPenalty);
         curWindow = ~Addr(0); // wrong-path fetch group discarded
         lbuf.exitLoop();
-    } else if (di.isBranch() || di.isJump()) {
+    } else if (pf_ & kBranchOrJump) {
         predictAndTrain(rec, groupStart, instDone);
     }
 
@@ -801,6 +901,28 @@ XtCore::consume(const ExecRecord &rec)
         traceEmit(rec, nUops);
 
     ++nRetired;
+}
+
+Cycle
+XtCore::busyHorizon() const
+{
+    Cycle h = std::max({decodeBw.busyHorizon(), renameBw.busyHorizon(),
+                        issueBw.busyHorizon(), retireBw.busyHorizon()});
+    for (const PortSchedule &port : ports)
+        h = std::max(h, port.busyHorizon());
+    for (const MinCycleHeap &q : iqBusy)
+        h = std::max(h, q.busyHorizon());
+    h = std::max({h, rob.busyHorizon(), lqRetire.busyHorizon(),
+                  sqRetireQ.busyHorizon(), sq.busyHorizon()});
+    for (const auto &cls : regReady)
+        for (Cycle c : cls)
+            h = std::max(h, c);
+    for (const auto &cls : accReady)
+        for (Cycle c : cls)
+            h = std::max(h, c);
+    h = std::max({h, lastRetire, lastIssue, serializeUntil, maxDone,
+                  fetchResume, redirectResume, curWindowReady});
+    return h;
 }
 
 __attribute__((noinline)) void
@@ -889,28 +1011,6 @@ XtCore::dumpStats(std::ostream &os) const
     dtlb.stats.dump(os);
 }
 
-namespace
-{
-
-void
-saveCycleDeque(SnapWriter &w, const std::deque<Cycle> &d)
-{
-    w.u64(d.size());
-    for (Cycle c : d)
-        w.u64(c);
-}
-
-void
-loadCycleDeque(SnapReader &r, std::deque<Cycle> &d)
-{
-    d.clear();
-    uint64_t n = r.u64();
-    for (uint64_t i = 0; i < n; ++i)
-        d.push_back(r.u64());
-}
-
-} // namespace
-
 void
 XtCore::snapSave(SnapWriter &w) const
 {
@@ -950,24 +1050,13 @@ XtCore::snapSave(SnapWriter &w) const
     w.u64(redirectResume);
     w.b(fetchRedirectBound);
 
-    saveCycleDeque(w, rob);
-    saveCycleDeque(w, lqRetire);
-    saveCycleDeque(w, sqRetireQ);
-    for (const auto &iq : iqBusy) {
-        w.u64(iq.size());
-        for (Cycle c : iq)
-            w.u64(c);
-    }
+    rob.snapSave(w);
+    lqRetire.snapSave(w);
+    sqRetireQ.snapSave(w);
+    for (const MinCycleHeap &iq : iqBusy)
+        iq.snapSave(w);
 
-    w.u64(sq.size());
-    for (const SqEntry &e : sq) {
-        w.u64(e.pc);
-        w.u64(e.addr);
-        w.u32(e.size);
-        w.u64(e.addrReady);
-        w.u64(e.dataReady);
-        w.u64(e.retire);
-    }
+    sq.snapSave(w);
 
     std::vector<Addr> tagged(taggedLoads.begin(), taggedLoads.end());
     std::sort(tagged.begin(), tagged.end());
@@ -1023,28 +1112,13 @@ XtCore::snapLoad(SnapReader &r)
     redirectResume = r.u64();
     fetchRedirectBound = r.b();
 
-    loadCycleDeque(r, rob);
-    loadCycleDeque(r, lqRetire);
-    loadCycleDeque(r, sqRetireQ);
-    for (auto &iq : iqBusy) {
-        iq.clear();
-        uint64_t n = r.u64();
-        for (uint64_t i = 0; i < n; ++i)
-            iq.insert(r.u64());
-    }
+    rob.snapLoad(r);
+    lqRetire.snapLoad(r);
+    sqRetireQ.snapLoad(r);
+    for (MinCycleHeap &iq : iqBusy)
+        iq.snapLoad(r);
 
-    sq.clear();
-    uint64_t nSq = r.u64();
-    for (uint64_t i = 0; i < nSq; ++i) {
-        SqEntry e;
-        e.pc = r.u64();
-        e.addr = r.u64();
-        e.size = r.u32();
-        e.addrReady = r.u64();
-        e.dataReady = r.u64();
-        e.retire = r.u64();
-        sq.push_back(e);
-    }
+    sq.snapLoad(r);
 
     taggedLoads.clear();
     uint64_t nTagged = r.u64();
@@ -1059,6 +1133,12 @@ XtCore::snapLoad(SnapReader &r)
     lastVl = r.u32();
     lastVlValid = r.b();
     forcedMispredict = r.b();
+
+    // The µop-plan table is a derived cache keyed by the ISS's
+    // block-cache generation; the restored ISS rebuilds its blocks
+    // with fresh slot numbering, so force a rebuild here too.
+    planTab.clear();
+    planGenSeen = 0;
 }
 
 } // namespace xt910

@@ -12,21 +12,29 @@
  * memory-hierarchy behaviour, while wrong-path work is modelled as
  * redirect penalties rather than functionally executed (see DESIGN.md
  * §6 for the fidelity statement).
+ *
+ * Hot-path layout: all window state (ROB/LQ/SQ/issue queues/store
+ * queue) lives in fixed-capacity rings over one struct-of-arrays
+ * arena sized from CoreParams (core/sched.h), and the stage/port
+ * schedulers jump the clock in O(1) (core/bwlimit.h). Per-block µop
+ * plans cache the decode-derived scheduling metadata so the timing
+ * front-end charges a predecoded block's µops without re-deriving
+ * per-instruction state (DESIGN.md §3f).
  */
 
 #ifndef XT910_CORE_CORE_H
 #define XT910_CORE_CORE_H
 
-#include <deque>
 #include <functional>
-#include <set>
 #include <unordered_set>
+#include <vector>
 
 #include "branch/btb.h"
 #include "branch/direction.h"
 #include "branch/loopbuffer.h"
 #include "core/bwlimit.h"
 #include "core/params.h"
+#include "core/sched.h"
 #include "func/iss.h"
 #include "mem/memsystem.h"
 #include "mem/prefetcher.h"
@@ -153,6 +161,18 @@ class XtCore : public PrefetchSink
     size_t robOccupancy() const { return rob.size(); }
     Cycle robHeadRetire() const { return rob.empty() ? 0 : rob.front(); }
 
+    /**
+     * Event-skip hook (DESIGN.md §3f): the latest cycle any scheduler,
+     * window or in-flight µop of this core still owns. At any cycle
+     * past the horizon the core is quiescent — consuming the next
+     * instruction would schedule it purely from its fetch availability,
+     * with every structural resource free.
+     */
+    Cycle busyHorizon() const;
+
+    /** Quiescence predicate for the event-skip contract. */
+    bool quiescentAt(Cycle c) const { return busyHorizon() <= c; }
+
   private:
     enum Pipe : uint8_t
     {
@@ -167,15 +187,39 @@ class XtCore : public PrefetchSink
         NumPipes
     };
 
-    struct SqEntry
+    /**
+     * Decode-derived scheduling metadata of one static instruction,
+     * cached per predecoded-block slot (ExecRecord::planIdx) so the
+     * timing front-end charges a block's µops from a flat table
+     * instead of re-walking the opcode switches every execution.
+     */
+    struct UopPlan
     {
-        Addr pc = 0;
-        Addr addr = 0;
-        unsigned size = 0;
-        Cycle addrReady = 0;
-        Cycle dataReady = 0;
-        Cycle retire = 0;
+        uint8_t valid = 0;
+        uint8_t cls = 0;       ///< OpClass
+        uint8_t pipeA = 0;
+        uint8_t pipeB = 0;
+        uint8_t iqGroup = 0;   ///< 0 = ALU, 1 = Mem, 2 = FpVec
+        uint8_t flags = 0;     ///< kSerializes | kMac | ...
+        uint16_t latency = 0;  ///< defaultLatency(op)
     };
+    enum PlanFlag : uint8_t
+    {
+        kSerializes = 1 << 0,
+        kMac = 1 << 1,
+        kWritesReg = 1 << 2,
+        kSplitStore = 1 << 3,
+        kLoadNotStore = 1 << 4,
+        kScalarStore = 1 << 5,
+        kBranchOrJump = 1 << 6,
+    };
+
+    /** Fill @p plan from a decoded instruction (slow path, once per
+     *  static instruction per block-cache generation). */
+    void buildPlan(const DecodedInst &di, UopPlan &plan) const;
+    /** Plan lookup for this record; always returns a valid plan (the
+     *  scratch plan is used for records without a block slot). */
+    const UopPlan &planFor(const ExecRecord &rec);
 
     /** Frontend: cycle the instruction leaves the IBUF toward decode. */
     Cycle frontend(const ExecRecord &rec);
@@ -207,10 +251,10 @@ class XtCore : public PrefetchSink
     ReturnAddressStack ras;
     IndirectPredictor indirect;
 
-    BandwidthLimiter decodeBw;
-    BandwidthLimiter renameBw;
-    BandwidthLimiter issueBw;
-    BandwidthLimiter retireBw;
+    StageGate decodeBw;
+    StageGate renameBw;
+    IssueGate issueBw;
+    StageGate retireBw;
 
     std::array<PortSchedule, NumPipes> ports{};
     std::array<std::array<Cycle, 32>, 3> regReady{}; // [RegClass][reg]
@@ -251,19 +295,29 @@ class XtCore : public PrefetchSink
     /** Set by frontend(): this µop's fetch was held back by a flush. */
     bool fetchRedirectBound = false;
 
+    /** Arena backing every window container below (core/sched.h). */
+    CoreArena arena;
+
     // Window occupancy (retire cycles of in-flight µops).
-    std::deque<Cycle> rob;
-    std::deque<Cycle> lqRetire;
-    std::deque<Cycle> sqRetireQ;
+    CycleRing rob;
+    CycleRing lqRetire;
+    CycleRing sqRetireQ;
 
     /** Issue-queue occupancy: issue cycles of dispatched µops per
      *  queue group (Alu / Mem / FpVec). Entries leave when issued. */
-    std::array<std::multiset<Cycle>, 3> iqBusy;
+    std::array<MinCycleHeap, 3> iqBusy;
     /** Dispatch gating for a µop entering group @p g at @p when. */
     Cycle iqAdmit(unsigned g, Cycle when, unsigned capacity);
 
-    std::deque<SqEntry> sq;  ///< recent stores for forwarding checks
+    StoreQueueSoa sq;  ///< recent stores for forwarding checks
     std::unordered_set<Addr> taggedLoads; ///< mem-dep predictor
+
+    // Per-block µop-plan table, keyed by ExecRecord::planIdx and
+    // invalidated wholesale when the ISS block-cache generation
+    // (ExecRecord::planGen) moves.
+    std::vector<UopPlan> planTab;
+    uint32_t planGenSeen = 0;
+    UopPlan scratchPlan; ///< for records without a block slot
 
     Cycle lastRetire = 0;
     Cycle lastIssue = 0;       ///< for in-order mode

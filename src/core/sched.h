@@ -1,0 +1,395 @@
+/**
+ * @file
+ * Fixed-capacity window containers for the core timing model, all
+ * carved from one per-core arena allocation (struct-of-arrays layout)
+ * sized from CoreParams. These replace the std::deque / std::multiset
+ * window structures: every container here is a flat array with a
+ * couple of cursors, so the per-retire bookkeeping is branch-light,
+ * allocation-free and cache-dense, and each exposes a horizon for the
+ * event-skip quiescence contract (DESIGN.md §3f).
+ *
+ * Capacity discipline: capacities come from Params (ROB/LQ/SQ/IQ
+ * entries) and the call sites guarantee occupancy never exceeds them
+ * (the rename stage stalls on a full window before inserting), so the
+ * containers xt_assert rather than grow.
+ */
+
+#ifndef XT910_CORE_SCHED_H
+#define XT910_CORE_SCHED_H
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/log.h"
+#include "common/snapio.h"
+#include "common/types.h"
+
+namespace xt910
+{
+
+/**
+ * One bump allocation backing every window container of a core.
+ * reserve() once with the total word count, then take() spans. All
+ * spans are uint64-typed (Cycle/Addr both are 64-bit); a span stays
+ * valid for the arena's lifetime (no rehash/realloc ever).
+ */
+class CoreArena
+{
+  public:
+    void
+    reserve(size_t words)
+    {
+        storage.assign(words, 0);
+        off = 0;
+    }
+
+    uint64_t *
+    take(size_t n)
+    {
+        xt_assert(off + n <= storage.size(), "core arena overflow");
+        uint64_t *p = storage.data() + off;
+        off += n;
+        return p;
+    }
+
+    size_t capacityWords() const { return storage.size(); }
+
+  private:
+    std::vector<uint64_t> storage;
+    size_t off = 0;
+};
+
+/**
+ * Fixed-capacity FIFO ring of cycles — the ROB / load-queue /
+ * store-queue retire windows. Entries are retire cycles in
+ * program (== monotone) order.
+ */
+class CycleRing
+{
+  public:
+    void
+    bind(uint64_t *storage, uint32_t capacity)
+    {
+        buf = storage;
+        cap = capacity;
+        head = 0;
+        n = 0;
+    }
+
+    bool empty() const { return n == 0; }
+    uint32_t size() const { return n; }
+    uint32_t capacity() const { return cap; }
+
+    Cycle front() const { return buf[head]; }
+
+    Cycle
+    back() const
+    {
+        uint32_t i = head + n - 1;
+        return buf[i >= cap ? i - cap : i];
+    }
+
+    void
+    pushBack(Cycle c)
+    {
+        xt_assert(n < cap, "CycleRing overflow");
+        uint32_t i = head + n;
+        buf[i >= cap ? i - cap : i] = c;
+        ++n;
+    }
+
+    void
+    popFront()
+    {
+        xt_assert(n > 0, "CycleRing underflow");
+        ++head;
+        if (head == cap)
+            head = 0;
+        --n;
+    }
+
+    void
+    clear()
+    {
+        head = 0;
+        n = 0;
+    }
+
+    /** Latest retire cycle in the window (0 when empty). */
+    Cycle busyHorizon() const { return empty() ? 0 : back(); }
+
+    void
+    snapSave(SnapWriter &w) const
+    {
+        w.u64(n);
+        for (uint32_t i = 0; i < n; ++i) {
+            uint32_t j = head + i;
+            w.u64(buf[j >= cap ? j - cap : j]);
+        }
+    }
+
+    void
+    snapLoad(SnapReader &r)
+    {
+        clear();
+        uint64_t count = r.u64();
+        xt_assert(count <= cap, "snapshot CycleRing larger than window");
+        for (uint64_t i = 0; i < count; ++i)
+            pushBack(r.u64());
+    }
+
+  private:
+    uint64_t *buf = nullptr;
+    uint32_t cap = 0;
+    uint32_t head = 0;
+    uint32_t n = 0;
+};
+
+/**
+ * Bounded binary min-heap of cycles — issue-queue occupancy. The old
+ * std::multiset was only ever read through begin() (the minimum), so a
+ * flat heap is an exact replacement with no node allocation.
+ */
+class MinCycleHeap
+{
+  public:
+    void
+    bind(uint64_t *storage, uint32_t capacity)
+    {
+        a = storage;
+        cap = capacity;
+        n = 0;
+        maxSeen = 0;
+    }
+
+    bool empty() const { return n == 0; }
+    uint32_t size() const { return n; }
+
+    Cycle min() const { return a[0]; }
+
+    void
+    push(Cycle c)
+    {
+        xt_assert(n < cap, "MinCycleHeap overflow");
+        uint32_t i = n++;
+        while (i > 0) {
+            uint32_t parent = (i - 1) / 2;
+            if (a[parent] <= c)
+                break;
+            a[i] = a[parent];
+            i = parent;
+        }
+        a[i] = c;
+        if (c > maxSeen)
+            maxSeen = c;
+    }
+
+    void
+    pop()
+    {
+        xt_assert(n > 0, "MinCycleHeap underflow");
+        Cycle last = a[--n];
+        uint32_t i = 0;
+        for (;;) {
+            uint32_t kid = 2 * i + 1;
+            if (kid >= n)
+                break;
+            if (kid + 1 < n && a[kid + 1] < a[kid])
+                ++kid;
+            if (a[kid] >= last)
+                break;
+            a[i] = a[kid];
+            i = kid;
+        }
+        if (n)
+            a[i] = last;
+    }
+
+    void
+    clear()
+    {
+        n = 0;
+        maxSeen = 0;
+    }
+
+    /** Monotone upper bound on the latest issue cycle ever queued —
+     *  conservative but O(1) (a live-entry max would need a scan). */
+    Cycle busyHorizon() const { return maxSeen; }
+
+    void
+    snapSave(SnapWriter &w) const
+    {
+        // Emit in sorted order so the byte stream is canonical
+        // regardless of the internal heap shape.
+        std::vector<Cycle> sorted(a, a + n);
+        std::sort(sorted.begin(), sorted.end());
+        w.u64(n);
+        for (Cycle c : sorted)
+            w.u64(c);
+        w.u64(maxSeen);
+    }
+
+    void
+    snapLoad(SnapReader &r)
+    {
+        clear();
+        uint64_t count = r.u64();
+        xt_assert(count <= cap, "snapshot heap larger than queue");
+        for (uint64_t i = 0; i < count; ++i)
+            push(r.u64());
+        maxSeen = r.u64();
+    }
+
+  private:
+    uint64_t *a = nullptr;
+    uint32_t cap = 0;
+    uint32_t n = 0;
+    Cycle maxSeen = 0;
+};
+
+/**
+ * The store queue kept struct-of-arrays: parallel fixed-capacity rings
+ * of pc / address / size / address-ready / data-ready / retire. The
+ * hot operation is executeLoad()'s youngest-first overlap scan, which
+ * walks the addr/size columns only — dense in two cache lines for the
+ * paper's 24-entry queue — and touches the other columns just on a hit.
+ * Pushing past capacity drops the oldest entry (stores leave the real
+ * SQ at drain; the model keeps the `sqEntries` youngest for forwarding
+ * checks, as the deque it replaces did).
+ */
+class StoreQueueSoa
+{
+  public:
+    void
+    bind(CoreArena &arena, uint32_t capacity)
+    {
+        cap = capacity;
+        pcCol = arena.take(capacity);
+        addrCol = arena.take(capacity);
+        sizeCol = arena.take(capacity);
+        addrReadyCol = arena.take(capacity);
+        dataReadyCol = arena.take(capacity);
+        retireCol = arena.take(capacity);
+        head = 0;
+        n = 0;
+    }
+
+    bool empty() const { return n == 0; }
+    uint32_t size() const { return n; }
+
+    void
+    push(Addr pc, Addr addr, uint32_t bytes, Cycle addrReady,
+         Cycle dataReady, Cycle retire)
+    {
+        if (n == cap) { // oldest store leaves the forwarding window
+            ++head;
+            if (head == cap)
+                head = 0;
+            --n;
+        }
+        uint32_t i = slot(n);
+        pcCol[i] = pc;
+        addrCol[i] = addr;
+        sizeCol[i] = bytes;
+        addrReadyCol[i] = addrReady;
+        dataReadyCol[i] = dataReady;
+        retireCol[i] = retire;
+        ++n;
+    }
+
+    /** Physical slot of logical index @p k (0 = oldest). */
+    uint32_t
+    slot(uint32_t k) const
+    {
+        uint32_t i = head + k;
+        return i >= cap ? i - cap : i;
+    }
+
+    Addr addrAt(uint32_t i) const { return addrCol[i]; }
+    uint32_t sizeAt(uint32_t i) const { return uint32_t(sizeCol[i]); }
+    Cycle addrReadyAt(uint32_t i) const { return addrReadyCol[i]; }
+    Cycle dataReadyAt(uint32_t i) const { return dataReadyCol[i]; }
+    Cycle retireAt(uint32_t i) const { return retireCol[i]; }
+
+    /** Max address-ready over live entries (dep-predictor blocking). */
+    Cycle
+    maxAddrReady() const
+    {
+        Cycle m = 0;
+        for (uint32_t k = 0; k < n; ++k) {
+            Cycle c = addrReadyCol[slot(k)];
+            if (c > m)
+                m = c;
+        }
+        return m;
+    }
+
+    void
+    clear()
+    {
+        head = 0;
+        n = 0;
+    }
+
+    Cycle
+    busyHorizon() const
+    {
+        Cycle m = 0;
+        for (uint32_t k = 0; k < n; ++k) {
+            uint32_t i = slot(k);
+            if (retireCol[i] > m)
+                m = retireCol[i];
+            if (dataReadyCol[i] > m)
+                m = dataReadyCol[i];
+        }
+        return m;
+    }
+
+    void
+    snapSave(SnapWriter &w) const
+    {
+        w.u64(n);
+        for (uint32_t k = 0; k < n; ++k) {
+            uint32_t i = slot(k);
+            w.u64(pcCol[i]);
+            w.u64(addrCol[i]);
+            w.u32(uint32_t(sizeCol[i]));
+            w.u64(addrReadyCol[i]);
+            w.u64(dataReadyCol[i]);
+            w.u64(retireCol[i]);
+        }
+    }
+
+    void
+    snapLoad(SnapReader &r)
+    {
+        clear();
+        uint64_t count = r.u64();
+        xt_assert(count <= cap, "snapshot store queue larger than window");
+        for (uint64_t k = 0; k < count; ++k) {
+            Addr pc = r.u64();
+            Addr addr = r.u64();
+            uint32_t bytes = r.u32();
+            Cycle ar = r.u64();
+            Cycle dr = r.u64();
+            Cycle rt = r.u64();
+            push(pc, addr, bytes, ar, dr, rt);
+        }
+    }
+
+  private:
+    uint64_t *pcCol = nullptr;
+    uint64_t *addrCol = nullptr;
+    uint64_t *sizeCol = nullptr;
+    uint64_t *addrReadyCol = nullptr;
+    uint64_t *dataReadyCol = nullptr;
+    uint64_t *retireCol = nullptr;
+    uint32_t cap = 0;
+    uint32_t head = 0;
+    uint32_t n = 0;
+};
+
+} // namespace xt910
+
+#endif // XT910_CORE_SCHED_H

@@ -135,34 +135,67 @@ System::run()
             pick = ready.back().second;
             ready.pop_back();
         }
-        if (stepHook)
-            stepHook(n, *this);
-        ExecRecord rec = issModel->step(pick);
-        cores[pick]->consume(rec);
-        ++n;
-        if (issModel->halted(pick)) {
-            --runningHarts;
+
+        // Batch dispatch (event skip, DESIGN.md §3f): keep stepping
+        // the picked hart for as long as it would be re-picked anyway.
+        // (cycle, index) pair order is exactly the heap's pop order —
+        // including the lowest-index-among-minima tie-break — so
+        // checking the batch-continue condition against the unpopped
+        // heap top gives the same schedule with no heap traffic for
+        // consecutive instructions of the laggard hart. Watchdogs, the
+        // sampler and the cycle/instruction limits are still evaluated
+        // per instruction inside the batch.
+        bool stopRun = false;
+        bool alive = true;
+        for (;;) {
+            if (stepHook)
+                stepHook(n, *this);
+            ExecRecord rec = issModel->step(pick);
+            cores[pick]->consume(rec);
+            ++n;
+            if (issModel->halted(pick)) {
+                alive = false;
+                --runningHarts;
+                if (single)
+                    ready.clear();
+            }
+            if (sampler) {
+                sampleCycle =
+                    std::max(sampleCycle, cores[pick]->cycles());
+                sampler->tick(sampleCycle, n);
+            }
+            watchdogs[pick].observe(rec, interruptible(pick));
+            if (watchdogs[pick].fired()) {
+                r.stop = StopReason::Watchdog;
+                r.diagnostic = diagnose(pick);
+                xt_warn("watchdog fired:\n", r.diagnostic);
+                stopRun = true;
+                break;
+            }
+            if (cfg.maxCycles &&
+                cores[pick]->cycles() >= cfg.maxCycles) {
+                r.stop = StopReason::CycleLimit;
+                r.diagnostic = diagnose(pick);
+                stopRun = true;
+                break;
+            }
+            if (!alive || n >= cfg.maxInsts)
+                break;
             if (single)
-                ready.clear();
-        } else if (!single) {
+                continue; // sole running hart: always re-picked
+            if (disableFastPath)
+                break;
+            if (ready.empty())
+                continue; // every other hart halted: always re-picked
+            if (!(std::make_pair(cores[pick]->cycles(), pick) <
+                  ready.front()))
+                break;
+        }
+        if (stopRun)
+            break;
+        if (alive && !single) {
             ready.emplace_back(cores[pick]->cycles(), pick);
             std::push_heap(ready.begin(), ready.end(), minFirst);
-        }
-        if (sampler) {
-            sampleCycle = std::max(sampleCycle, cores[pick]->cycles());
-            sampler->tick(sampleCycle, n);
-        }
-        watchdogs[pick].observe(rec, interruptible(pick));
-        if (watchdogs[pick].fired()) {
-            r.stop = StopReason::Watchdog;
-            r.diagnostic = diagnose(pick);
-            xt_warn("watchdog fired:\n", r.diagnostic);
-            break;
-        }
-        if (cfg.maxCycles && cores[pick]->cycles() >= cfg.maxCycles) {
-            r.stop = StopReason::CycleLimit;
-            r.diagnostic = diagnose(pick);
-            break;
         }
     }
     if (n >= cfg.maxInsts) {
@@ -185,6 +218,15 @@ System::run()
                         std::chrono::steady_clock::now() - hostStart)
                         .count();
     return r;
+}
+
+Cycle
+System::busyHorizon() const
+{
+    Cycle h = memSys->busyHorizon();
+    for (const auto &c : cores)
+        h = std::max(h, c->busyHorizon());
+    return h;
 }
 
 void

@@ -124,6 +124,21 @@ class System
      */
     std::function<void(uint64_t, System &)> stepHook;
 
+    /**
+     * A/B switch for the event-skip batch dispatch in run(): when set,
+     * every instruction goes through the full pop/push heap round even
+     * if the same hart would be re-picked. Scheduling is identical
+     * either way (tests assert it); only host speed differs.
+     */
+    bool disableFastPath = false;
+
+    /**
+     * Event-skip hook (DESIGN.md §3f): latest cycle at which any core
+     * or the shared memory system still owns a resource. The whole
+     * system is quiescent past this cycle.
+     */
+    Cycle busyHorizon() const;
+
   private:
     /** Could anything outside @p hart still unblock it? */
     bool interruptible(unsigned hart) const;

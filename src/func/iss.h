@@ -46,6 +46,19 @@ struct ExecRecord
      */
     Trap trap;
 
+    /**
+     * Timing-model plan slot: a stable per-generation index of this
+     * static instruction in the ISS's predecoded block cache, so the
+     * core can cache decode-derived scheduling metadata per slot
+     * instead of re-deriving it every execution (noPlan = record did
+     * not come from a cached block). planGen is the block-cache
+     * generation the index belongs to; a flush bumps it and
+     * invalidates every consumer-side table keyed by planIdx.
+     */
+    static constexpr uint32_t noPlan = ~uint32_t(0);
+    uint32_t planIdx = noPlan;
+    uint32_t planGen = 0;
+
     bool isMemOp() const { return memSize != 0; }
 };
 
@@ -228,6 +241,8 @@ class Iss
     {
         Addr pc = 0;
         DecodedInst di;
+        /** Plan slot stamped into ExecRecord::planIdx (see there). */
+        uint32_t planIdx = ExecRecord::noPlan;
     };
 
     /**
@@ -282,6 +297,13 @@ class Iss
     std::unordered_map<Addr, DecodedBlock> blockCache;
     std::vector<BlockCursor> cursors;
     BlockCacheStats bcStats;
+    /** Build-time scratch (reserved once; see buildBlock). */
+    std::vector<BlockInst> scratchInsts;
+    /** Next plan slot to hand out (one per predecoded instruction). */
+    uint32_t nextPlanIdx = 0;
+    /** Block-cache generation for plan-slot invalidation. Starts at 1
+     *  so a freshly reset consumer (planGenSeen 0) always rebuilds. */
+    uint32_t planGen = 1;
     /** Flush requested by the currently executing instruction (SMC
      *  store, fence.i, icache.iall); applied at the next step() so the
      *  in-flight DecodedInst reference is never freed underneath

@@ -63,6 +63,11 @@ class Dram
 
     const DramParams &dramParams() const { return params; }
 
+    /** Event-skip hook (DESIGN.md §3f): latest cycle either bandwidth
+     *  track is still reserved; the controller is quiescent past it. */
+    Cycle nextEventCycle() const { return std::max(readFree, writeFree); }
+    Cycle busyHorizon() const { return nextEventCycle(); }
+
     void
     snapSave(SnapWriter &w) const
     {

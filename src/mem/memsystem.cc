@@ -322,6 +322,22 @@ MemSystem::amo(unsigned core, Addr pa, Cycle when)
 }
 
 Cycle
+MemSystem::busyHorizon() const
+{
+    Cycle h = dramModel.busyHorizon();
+    for (const auto &mshrs : l1dMshrs)
+        for (Cycle c : mshrs)
+            h = std::max(h, c);
+    for (const auto &mshrs : l1iMshrs)
+        for (Cycle c : mshrs)
+            h = std::max(h, c);
+    for (const auto &fl : inflight)
+        for (const auto &[line, ready] : fl)
+            h = std::max(h, ready);
+    return h;
+}
+
+Cycle
 MemSystem::prefetchFill(unsigned core, Addr pa, bool toL1, Cycle when)
 {
     Addr line = lineAlign(pa);

@@ -136,6 +136,15 @@ class MemSystem
     void snapSave(class SnapWriter &w) const;
     void snapLoad(class SnapReader &r);
 
+    /**
+     * Event-skip hook (DESIGN.md §3f): latest cycle any MSHR, in-flight
+     * fill or DRAM bandwidth track is still reserved. The hierarchy is
+     * quiescent past this cycle — a request arriving later is limited
+     * only by hit/miss latency, never by occupancy.
+     */
+    Cycle busyHorizon() const;
+    Cycle nextEventCycle() const { return busyHorizon(); }
+
     StatGroup stats;
     Counter snoopProbes;       ///< L1 probes sent for coherence
     Counter snoopFiltered;     ///< probes avoided by the snoop filter

@@ -10,7 +10,7 @@
  * File layout (all integers little-endian):
  *
  *   magic            8 bytes  "XT9SNAP\n"
- *   formatVersion    u32      (currently 1)
+ *   formatVersion    u32      (currently 2)
  *   configHash       u64      FNV-1a over the machine configuration
  *   instsRetired     u64      instructions retired when captured
  *   sectionCount     u32
@@ -48,8 +48,12 @@ namespace xt910
 namespace snap
 {
 
-/** Current snapshot format version. */
-constexpr uint32_t formatVersion = 1;
+/** Current snapshot format version. Version history:
+ *   1  original layout (deque/multiset window serialization).
+ *   2  struct-of-arrays core state: ring/heap/gate window formats and
+ *      the O(1) stage/port scheduler state (core/sched.h, bwlimit.h).
+ */
+constexpr uint32_t formatVersion = 2;
 
 /** The 8-byte file magic. */
 extern const char magic[8];

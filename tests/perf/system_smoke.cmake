@@ -1,0 +1,66 @@
+# System-mode sim-speed smoke, run as a ctest script:
+#
+#   cmake -DBENCH_SIMSPEED=<path-to-bench_simspeed> -DWORK_DIR=<dir> \
+#       -P system_smoke.cmake
+#
+# Runs the sim-speed bench in full System (timing) mode on crc — the
+# workload whose tight store loop made the old tick-every-cycle
+# bandwidth limiters quadratic (0.15 MIPS before the event-skip
+# schedulers; ~8 MIPS after, see EXPERIMENTS.md) — and validates the
+# JSON plus a deliberately loose throughput floor.
+#
+# Unlike simspeed_smoke (which asserts no threshold), this test IS a
+# performance canary: it fails only on an order-of-magnitude collapse
+# (block-path system MIPS under 0.5, >10x below current numbers on a
+# mid-range host but ~3x above the pre-event-skip scheduler), i.e.
+# someone reintroduced a per-cycle walk on the hot path. Host noise and
+# slow CI machines stay well clear of the floor.
+
+if(NOT BENCH_SIMSPEED OR NOT WORK_DIR)
+    message(FATAL_ERROR "usage: cmake -DBENCH_SIMSPEED=... -DWORK_DIR=... -P system_smoke.cmake")
+endif()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(JSON_OUT "${WORK_DIR}/BENCH_simspeed.json")
+
+execute_process(
+    COMMAND "${BENCH_SIMSPEED}" --reps=1 --out=${JSON_OUT} crc
+    OUTPUT_VARIABLE run_out
+    ERROR_VARIABLE run_err
+    RESULT_VARIABLE run_rc)
+if(NOT run_rc EQUAL 0)
+    message(FATAL_ERROR "bench_simspeed failed (rc=${run_rc}):\n${run_out}\n${run_err}")
+endif()
+if(NOT run_out MATCHES "geomean system-mode MIPS")
+    message(FATAL_ERROR "system-mode summary missing:\n${run_out}")
+endif()
+
+file(READ "${JSON_OUT}" doc)
+string(JSON name ERROR_VARIABLE jerr GET "${doc}" workloads 0 name)
+if(jerr)
+    message(FATAL_ERROR "unparseable ${JSON_OUT} (${jerr})")
+endif()
+string(JSON insts GET "${doc}" workloads 0 insts)
+string(JSON block_mips GET "${doc}" workloads 0 system block_mips)
+string(JSON legacy_mips GET "${doc}" workloads 0 system legacy_mips)
+string(JSON geomean GET "${doc}" geomean_system_block_mips)
+
+if(NOT insts GREATER 0)
+    message(FATAL_ERROR "workload ${name}: insts not positive (${insts})")
+endif()
+foreach(v IN ITEMS block_mips legacy_mips geomean)
+    if(NOT ${v} GREATER 0)
+        message(FATAL_ERROR "workload ${name}: ${v} not positive (${${v}})")
+    endif()
+endforeach()
+
+# The order-of-magnitude canary (see header comment).
+if(block_mips LESS 0.5)
+    message(FATAL_ERROR "system-mode throughput collapsed: ${name} at "
+        "${block_mips} MIPS (< 0.5) — a per-cycle walk is back on the "
+        "hot path? See DESIGN.md §3f / EXPERIMENTS.md.")
+endif()
+
+message(STATUS "system smoke ok: ${name} ${insts} insts, "
+    "system block ${block_mips} MIPS, legacy ${legacy_mips} MIPS "
+    "(geomean ${geomean})")

@@ -68,6 +68,7 @@
 
 #include "baseline/presets.h"
 #include "common/json.h"
+#include "common/profile.h"
 #include "common/parallel.h"
 #include "common/snapio.h"
 #include "core/system.h"
@@ -102,6 +103,7 @@ usage()
         "         --jobs N (multi-workload / campaign parallelism)\n"
         "         --checkpoint-every N  --checkpoint-dir D\n"
         "         --restore FILE  --timeout-secs T  --retries R\n"
+        "         --profile-hot (needs an XT910_PROFILE=ON build)\n"
         "fault kinds: reg freg vreg mem cacheline access mispredict\n");
 }
 
@@ -159,6 +161,21 @@ main(int argc, char **argv)
     double timeoutSecs = 0.0;
     unsigned retries = 1;
     std::string testTimeout;
+
+    // --profile-hot: print the hot-path section profile when main
+    // returns, whichever path it returns by. Needs an XT910_PROFILE=ON
+    // build; otherwise the flag warns and is ignored.
+    struct ProfReportGuard
+    {
+        bool enabled = false;
+        ~ProfReportGuard()
+        {
+#if XT_PROF_ENABLED
+            if (enabled)
+                xt910::prof::report(std::cerr);
+#endif
+        }
+    } profGuard;
 
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
@@ -247,6 +264,13 @@ main(int argc, char **argv)
                 usage();
                 return 2;
             }
+        } else if (a == "--profile-hot") {
+            profGuard.enabled = true;
+            if (!XT_PROF_ENABLED)
+                std::fprintf(stderr,
+                             "--profile-hot: built without "
+                             "XT910_PROFILE, no profile will be "
+                             "collected\n");
         } else if (a == "--version") {
             std::printf("%s\n", buildInfo("xt910-run").c_str());
             return 0;
