@@ -207,9 +207,12 @@ main(int argc, char **argv)
     if (cntSys)
         std::printf("geomean system-mode MIPS (block): %.2f\n", geoSys);
 
-    // Trajectory: carry the previous runs' system geomeans forward so
-    // the JSON records how sim speed moved across changes, and append
-    // the previous top-level value as the newest history point.
+    // Trajectory: carry the previous runs' history forward and append
+    // *this* run's geomean as the newest point. (Appending the
+    // previous file's top-level value instead — as this used to do —
+    // left the trajectory perpetually one run behind: the current
+    // result only landed in history on the *next* run, and never at
+    // all if the bench wasn't rerun.)
     std::vector<double> history;
     {
         std::ifstream is(out);
@@ -231,15 +234,10 @@ main(int argc, char **argv)
                         history.push_back(v);
                 }
             }
-            size_t g = prev.find("\"geomean_system_block_mips\"");
-            if (g != std::string::npos) {
-                double v = std::atof(
-                    prev.c_str() + prev.find(':', g) + 1);
-                if (v > 0)
-                    history.push_back(v);
-            }
         }
     }
+    if (cntSys)
+        history.push_back(geoSys);
 
     std::ofstream os(out);
     if (!os) {

@@ -50,10 +50,49 @@ fnv1a(const void *data, size_t n,
     return h;
 }
 
+/**
+ * Word-at-a-time FNV-1a variant: feeds 8-byte little-endian chunks
+ * (zero-padded tail) through the same xor/multiply step. Not
+ * byte-compatible with fnv1a(), but ~8x fewer sequential multiplies —
+ * the byte-serial dependency chain of plain FNV costs several
+ * milliseconds per multi-megabyte snapshot section, which dominates
+ * sampled-simulation capture. Used for snapshot section checksums
+ * (format v3).
+ */
+inline uint64_t
+fnv1aWords(const void *data, size_t n,
+           uint64_t seed = 0xcbf29ce484222325ull)
+{
+    const uint8_t *p = static_cast<const uint8_t *>(data);
+    uint64_t h = seed;
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        uint64_t w;
+        std::memcpy(&w, p + i, 8);
+        h ^= w;
+        h *= 0x100000001b3ull;
+    }
+    if (i < n) {
+        uint64_t w = 0;
+        std::memcpy(&w, p + i, n - i);
+        h ^= w;
+        h *= 0x100000001b3ull;
+    }
+    // Fold the length in so "abc" and "abc\0" (padded) differ.
+    h ^= uint64_t(n);
+    h *= 0x100000001b3ull;
+    return h;
+}
+
 /** Append-only little-endian byte buffer. */
 class SnapWriter
 {
   public:
+    /** Pre-grow for @p n *additional* bytes (snapshot sections know
+     *  their payload size up front; this removes the doubling
+     *  reallocs on multi-megabyte memory images). */
+    void reserve(size_t n) { buf.reserve(buf.size() + n); }
+
     void
     bytes(const void *data, size_t n)
     {
@@ -96,6 +135,9 @@ class SnapWriter
 
     const std::vector<uint8_t> &data() const { return buf; }
     size_t size() const { return buf.size(); }
+
+    /** Move the buffer out (the writer is empty afterwards). */
+    std::vector<uint8_t> take() { return std::move(buf); }
 
   private:
     std::vector<uint8_t> buf;

@@ -227,6 +227,13 @@ class PortSchedule
     void
     book(Cycle start, unsigned len = 1)
     {
+        // Same bound probe() asserts. book() must enforce it too: a
+        // longer run that crosses the window top would slide the base
+        // *past* `start` (slide keeps only `lookback` of history), the
+        // start-base index would wrap negative, and the booking would
+        // be silently lost — the bitmap untouched while maxBooked
+        // claims the cycles are busy.
+        xt_assert(len > 0 && len <= lookback, "port occupancy too long");
         if (start < base)
             start = base;
         if (start + len > base + window)

@@ -200,8 +200,11 @@ System::run()
     }
     if (n >= cfg.maxInsts) {
         r.stop = StopReason::InstLimit;
-        r.diagnostic = diagnose(0);
-        xt_warn("run hit the instruction limit (", cfg.maxInsts, ")");
+        if (!cfg.quietInstLimit) {
+            r.diagnostic = diagnose(0);
+            xt_warn("run hit the instruction limit (", cfg.maxInsts,
+                    ")");
+        }
     }
 
     for (unsigned c = 0; c < cfg.numCores; ++c) {

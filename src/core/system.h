@@ -39,6 +39,14 @@ struct SystemConfig
     uint64_t maxInsts = 2'000'000'000;
     /** Stop once any core's timing model passes this cycle (0 = off). */
     Cycle maxCycles = 0;
+    /**
+     * Suppress the instruction-limit warning and its diagnostic dump.
+     * Bounded sub-runs (sampled-interval measurement) hit the budget
+     * by design; the stop reason is still reported as InstLimit.
+     * Run-length policy, like maxInsts — excluded from the snapshot
+     * config hash.
+     */
+    bool quietInstLimit = false;
     WatchdogParams watchdog{};  ///< livelock detection (per hart)
 };
 

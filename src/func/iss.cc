@@ -265,6 +265,10 @@ Iss::Iss(Memory &mem_, unsigned numHarts, IssOptions opts_)
         // Give each hart its own 1 MiB stack below stackBase.
         harts[i].x[2] = opts.stackBase - uint64_t(i) * 0x100000;
     }
+    for (unsigned i = 0; i < numHarts; ++i) {
+        mstatusSlot.push_back(&harts[i].csrs[csr::mstatus]);
+        mieSlot.push_back(&harts[i].csrs[csr::mie]);
+    }
 }
 
 void
@@ -409,6 +413,71 @@ Iss::run(uint64_t maxInsts)
         }
     }
     return n;
+}
+
+uint64_t
+Iss::runFast(unsigned hartId, uint64_t maxInsts)
+{
+    ArchState &s = harts[hartId];
+    uint64_t done = 0;
+    if (!opts.blockCache) {
+        // The legacy decode path exists only for A/B measurement; no
+        // batched variant.
+        while (done < maxInsts && !s.halted) {
+            step(hartId);
+            ++done;
+        }
+        return done;
+    }
+    // Mirror of step()'s block-cache path, minus the per-instruction
+    // ExecRecord hand-off: the record is built once per instruction in
+    // place (NRVO) and never copied back out. Any behavioural change
+    // here must be mirrored in step() — tests/func pins the two paths
+    // to bit-identical architectural state.
+    while (done < maxInsts && !s.halted) {
+        if (opts.enableClint) {
+            clintDev.tick();
+            maybeTakeInterrupt(s, hartId);
+        }
+        if (pendingFlush || memEpochSeen != mem.mutationEpoch())
+            flushDecoded();
+        const Addr pc = s.pc;
+        BlockCursor &cur = cursors[hartId];
+        const DecodedInst *di = nullptr;
+        if (cur.blk && cur.idx < cur.blk->insts.size() &&
+            cur.blk->insts[cur.idx].pc == pc) {
+            ++bcStats.hits;
+            di = &cur.blk->insts[cur.idx].di;
+        } else {
+            cur.blk = lookupBlock(pc);
+            cur.idx = 0;
+            if (cur.blk)
+                di = &cur.blk->insts[0].di;
+        }
+        if (di && di->valid()) {
+            ExecRecord rec = execute(s, *di, pc);
+            ++cur.idx;
+            if (rec.trap.valid)
+                deliverTrap(s, rec, pc);
+            s.pc = rec.nextPc;
+        } else {
+            ExecRecord rec;
+            rec.pc = pc;
+            if (!di) {
+                rec.nextPc = pc;
+                rec.trap = makeTrap(trap::instAccessFault, pc);
+            } else {
+                rec.di = *di;
+                rec.nextPc = pc + di->len;
+                rec.trap = makeTrap(trap::illegalInstruction, di->raw);
+            }
+            deliverTrap(s, rec, pc);
+            s.pc = rec.nextPc;
+        }
+        ++s.instret;
+        ++done;
+    }
+    return done;
 }
 
 const DecodedInst &
@@ -687,10 +756,12 @@ Iss::maybeTakeInterrupt(ArchState &s, unsigned hartId)
 {
     if (!opts.enableClint)
         return;
-    uint64_t mstatusV = readCsr(s, csr::mstatus);
-    if (!(mstatusV & 0x8)) // mstatus.MIE
+    // Polled before every instruction: read the cached CSR nodes, not
+    // readCsr's hash lookups. Both CSRs read as their raw map value
+    // (absent == 0), so the slots are exact.
+    if (!(*mstatusSlot[hartId] & 0x8)) // mstatus.MIE
         return;
-    uint64_t mieV = readCsr(s, csr::mie);
+    uint64_t mieV = *mieSlot[hartId];
     bool timer = (mieV & (1ull << 7)) && clintDev.timerPending(hartId);
     bool soft = (mieV & (1ull << 3)) && clintDev.softwarePending(hartId);
     if (!timer && !soft)

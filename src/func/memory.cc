@@ -118,6 +118,10 @@ Memory::snapSave(SnapWriter &w) const
         vpns.push_back(vpn);
     std::sort(vpns.begin(), vpns.end());
     w.u64(vpns.size());
+    // The page image is by far the largest snapshot payload; growing
+    // the buffer in one step removes the doubling reallocs that made
+    // sampled-mode interval captures memcpy the image several times.
+    w.reserve(vpns.size() * (8 + pageSize));
     for (Addr vpn : vpns) {
         w.u64(vpn);
         w.bytes(pages.at(vpn)->data(), pageSize);

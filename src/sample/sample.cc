@@ -1,0 +1,519 @@
+#include "sample/sample.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <ostream>
+#include <sstream>
+
+#include "common/parallel.h"
+#include "common/random.h"
+#include "snap/snapshot.h"
+
+namespace xt910
+{
+namespace sample
+{
+
+namespace
+{
+
+/** Warm-up-aware capture position of interval @p k: the boundary minus
+ *  the warm-up budget, clamped to instruction 0 (the earliest
+ *  intervals get shorter — but exact — warm-up). */
+uint64_t
+capturePos(uint64_t k, uint64_t interval, uint64_t warmup)
+{
+    const uint64_t b = k * interval;
+    return b - std::min(warmup, b);
+}
+
+/** Counter values at one point of a measurement run. */
+struct Probe
+{
+    Cycle cycles = 0;
+    uint64_t retiring = 0, frontendBound = 0, badSpeculation = 0,
+             backendMem = 0, backendCore = 0;
+    uint64_t l1d = 0, l1i = 0, l2 = 0, br = 0, itlb = 0, dtlb = 0;
+};
+
+Probe
+readProbe(System &s)
+{
+    XtCore &core = s.core(0);
+    MemSystem &ms = s.memSystem();
+    Probe p;
+    p.cycles = core.cycles();
+    p.retiring = core.topdown.retiring.value();
+    p.frontendBound = core.topdown.frontendBound.value();
+    p.badSpeculation = core.topdown.badSpeculation.value();
+    p.backendMem = core.topdown.backendMem.value();
+    p.backendCore = core.topdown.backendCore.value();
+    p.l1d = ms.l1d(0).misses.value();
+    p.l1i = ms.l1i(0).misses.value();
+    p.l2 = ms.l2(ms.params().clusterOf(0)).misses.value();
+    p.br = core.branchMispredicts.value() + core.targetMispredicts.value();
+    p.itlb = core.itlbUnit().misses.value();
+    p.dtlb = core.dtlbUnit().misses.value();
+    return p;
+}
+
+void
+validate(const SystemConfig &cfg, const SampleConfig &sc)
+{
+    if (sc.interval == 0)
+        throw SampleError("sample interval must be > 0");
+    if (cfg.numCores != 1)
+        throw SampleError(
+            "sampled mode requires a single-core configuration "
+            "(functional fast-forward and detailed timing interleave "
+            "harts differently)");
+    if (sc.maxStored < 2)
+        throw SampleError("snapshot retention bound must be >= 2");
+}
+
+/** Mean-spread error bar around an externally computed point
+ *  estimate: 1.96 * s / sqrt(K) over the per-interval values. */
+Estimate
+estimate(double point, const std::vector<double> &per)
+{
+    Estimate e;
+    e.value = point;
+    const size_t k = per.size();
+    if (k > 1) {
+        double mean = std::accumulate(per.begin(), per.end(), 0.0) /
+                      double(k);
+        double ss = 0.0;
+        for (double v : per)
+            ss += (v - mean) * (v - mean);
+        e.ci95 = 1.96 * std::sqrt(ss / double(k - 1)) /
+                 std::sqrt(double(k));
+    }
+    return e;
+}
+
+/** Fixed-precision float for deterministic JSON output. */
+std::string
+fmt(double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.6f", v);
+    return buf;
+}
+
+void
+figure(std::ostream &os, const char *name, const Estimate &e,
+       bool last = false)
+{
+    os << "\"" << name << "\": [" << fmt(e.value) << ", " << fmt(e.ci95)
+       << "]" << (last ? "" : ", ");
+}
+
+} // namespace
+
+FastForwardResult
+fastForward(const SystemConfig &cfg, const Program &prog,
+            const SampleConfig &sc, const SampleHooks &hooks)
+{
+    validate(cfg, sc);
+
+    System ff(cfg);
+    if (hooks.setup)
+        hooks.setup(ff);
+    ff.loadProgram(prog);
+    Iss &iss = ff.iss();
+
+    const uint64_t cap = cfg.maxInsts;
+    uint64_t n = 0;
+    uint64_t stride = 1; ///< capture every stride-th interval boundary
+    uint64_t nextK = 0;  ///< next interval index to capture
+    uint64_t nextPos = capturePos(0, sc.interval, sc.warmup);
+
+    FastForwardResult out;
+    std::vector<CapturedInterval> &snaps = out.snaps;
+
+    // Functional-only execution via the ISS's batched fast path
+    // (Iss::runFast, bit-equivalent to stepping), stopping exactly at
+    // each capture position. The abort hook is polled once per chunk.
+    while (!iss.halted(0) && n < cap) {
+        if (hooks.keepGoing && !hooks.keepGoing(n))
+            throw SampleError("sampled run aborted (fast-forward)");
+        while (n == nextPos) {
+            CapturedInterval ci;
+            ci.index = nextK;
+            ci.captureAt = n;
+            // Early intervals whose warm-up window is clamped to
+            // instruction 0 share a capture position; reuse the blob.
+            if (!snaps.empty() && snaps.back().captureAt == n)
+                ci.bytes = snaps.back().bytes;
+            else
+                ci.bytes = snap::saveSnapshotBytes(
+                    ff, n, /*functionalOnly=*/true);
+            snaps.push_back(std::move(ci));
+            nextK += stride;
+            if (snaps.size() > sc.maxStored) {
+                // Adaptive stride: drop every other retained snapshot
+                // and capture half as often from here on. The retained
+                // set stays evenly spaced over the run so far.
+                const uint64_t wider = stride * 2;
+                std::vector<CapturedInterval> kept;
+                kept.reserve(snaps.size() / 2 + 1);
+                for (CapturedInterval &s : snaps)
+                    if (s.index % wider == 0)
+                        kept.push_back(std::move(s));
+                snaps = std::move(kept);
+                stride = wider;
+                if (nextK % stride)
+                    nextK += stride - nextK % stride;
+            }
+            nextPos = capturePos(nextK, sc.interval, sc.warmup);
+        }
+        uint64_t until = std::min(cap, std::max(nextPos, n + 1));
+        uint64_t chunk = std::min<uint64_t>(until - n, 16384);
+        n += iss.runFast(0, chunk);
+    }
+
+    out.totalInsts = n;
+    out.halted = iss.halted(0);
+    out.exitCode = iss.exitCode(0);
+    if (hooks.checkResult)
+        out.checksumOk = hooks.checkResult(ff);
+
+    // A snapshot whose boundary lies at or past the end of the run has
+    // nothing to measure.
+    snaps.erase(std::remove_if(snaps.begin(), snaps.end(),
+                               [&](const CapturedInterval &s) {
+                                   return s.index * sc.interval >= n;
+                               }),
+                snaps.end());
+    return out;
+}
+
+IntervalRecord
+measureInterval(const SystemConfig &cfg, const CapturedInterval &snap,
+                const SampleConfig &sc, uint64_t totalInsts,
+                const SampleHooks &hooks)
+{
+    validate(cfg, sc);
+    const uint64_t b = snap.index * sc.interval;
+    if (b >= totalInsts)
+        throw SampleError("interval starts at/past the end of the run");
+    if (snap.captureAt > b)
+        throw SampleError("snapshot captured past its boundary");
+
+    const uint64_t warmK = b - snap.captureAt;
+    const uint64_t m = std::min(sc.interval, totalInsts - b);
+
+    SystemConfig mc = cfg;
+    mc.maxInsts = warmK + m; ///< budget relative to the restore point
+    mc.maxCycles = 0;
+    mc.quietInstLimit = true; ///< hitting the budget is the plan
+
+    System sys(mc);
+    snap::restoreSnapshotBytes(sys, snap.bytes.data(),
+                               snap.bytes.size());
+
+    // Stats at the warm-up/measurement boundary. stepHook runs before
+    // every functional step with n = instructions already retired (and
+    // consumed by the timing core), so n == warmK is exactly the end
+    // of warm-up. With warmK == 0 this reads the restored (all-zero)
+    // timing state — asserted clean by tests/sample.
+    Probe atWarm;
+    bool probed = false;
+    sys.stepHook = [&](uint64_t n, System &s) {
+        if (!probed && n == warmK) {
+            atWarm = readProbe(s);
+            probed = true;
+        }
+        if ((n & 4095) == 0 && hooks.keepGoing && !hooks.keepGoing(n))
+            throw SampleError("sampled run aborted (measurement)");
+    };
+
+    RunResult r = sys.run();
+    if (r.stop == StopReason::Watchdog)
+        throw SampleError("watchdog fired measuring interval " +
+                          std::to_string(snap.index) + ":\n" +
+                          r.diagnostic);
+    if (!probed || r.insts != warmK + m)
+        throw SampleError(
+            "interval " + std::to_string(snap.index) +
+            " ended early: expected " + std::to_string(warmK + m) +
+            " instructions, got " + std::to_string(r.insts));
+
+    const Probe fin = readProbe(sys);
+
+    IntervalRecord rec;
+    rec.index = snap.index;
+    rec.startInst = b;
+    rec.warmupInsts = warmK;
+    rec.measuredInsts = m;
+    rec.cycles = fin.cycles - atWarm.cycles;
+    rec.retiring = fin.retiring - atWarm.retiring;
+    rec.frontendBound = fin.frontendBound - atWarm.frontendBound;
+    rec.badSpeculation = fin.badSpeculation - atWarm.badSpeculation;
+    rec.backendMem = fin.backendMem - atWarm.backendMem;
+    rec.backendCore = fin.backendCore - atWarm.backendCore;
+    rec.l1dMisses = fin.l1d - atWarm.l1d;
+    rec.l1iMisses = fin.l1i - atWarm.l1i;
+    rec.l2Misses = fin.l2 - atWarm.l2;
+    rec.branchMispredicts = fin.br - atWarm.br;
+    rec.itlbMisses = fin.itlb - atWarm.itlb;
+    rec.dtlbMisses = fin.dtlb - atWarm.dtlb;
+    return rec;
+}
+
+namespace
+{
+
+/** Deterministic selection of @p want of the @p have candidates:
+ *  evenly spaced (seed 0) or seeded Fisher-Yates. Returns sorted
+ *  candidate positions. */
+std::vector<size_t>
+selectIntervals(size_t have, unsigned want, uint64_t seed)
+{
+    std::vector<size_t> pick;
+    if (want == 0 || size_t(want) >= have) {
+        pick.resize(have);
+        std::iota(pick.begin(), pick.end(), size_t(0));
+        return pick;
+    }
+    if (seed == 0) {
+        // Evenly spaced including both ends; floor((j*(have-1))/(w-1))
+        // is strictly increasing because have > want.
+        pick.reserve(want);
+        if (want == 1) {
+            pick.push_back(have / 2);
+        } else {
+            for (unsigned j = 0; j < want; ++j)
+                pick.push_back(size_t(uint64_t(j) * (have - 1) /
+                                      (want - 1)));
+        }
+        return pick;
+    }
+    Xorshift64 rng(seed);
+    std::vector<size_t> all(have);
+    std::iota(all.begin(), all.end(), size_t(0));
+    for (unsigned j = 0; j < want; ++j) {
+        const size_t r = j + size_t(rng.below(uint64_t(have - j)));
+        std::swap(all[j], all[r]);
+    }
+    pick.assign(all.begin(), all.begin() + want);
+    std::sort(pick.begin(), pick.end());
+    return pick;
+}
+
+void
+aggregate(SampleReport &rep)
+{
+    const std::vector<IntervalRecord> &iv = rep.intervals;
+    const size_t k = iv.size();
+    uint64_t sumI = 0, sumC = 0;
+    uint64_t td[5] = {0, 0, 0, 0, 0};
+    uint64_t miss[6] = {0, 0, 0, 0, 0, 0};
+    std::vector<double> cpiPer(k), tdPer[5], missPer[6];
+    for (auto &v : tdPer)
+        v.resize(k);
+    for (auto &v : missPer)
+        v.resize(k);
+    for (size_t i = 0; i < k; ++i) {
+        const IntervalRecord &r = iv[i];
+        sumI += r.measuredInsts;
+        sumC += r.cycles;
+        cpiPer[i] = r.cpi();
+        const uint64_t t[5] = {r.retiring, r.frontendBound,
+                               r.badSpeculation, r.backendMem,
+                               r.backendCore};
+        const uint64_t slots = t[0] + t[1] + t[2] + t[3] + t[4];
+        for (int j = 0; j < 5; ++j) {
+            td[j] += t[j];
+            tdPer[j][i] = slots ? double(t[j]) / double(slots) : 0.0;
+        }
+        const uint64_t ms[6] = {r.l1dMisses,         r.l1iMisses,
+                                r.l2Misses,          r.branchMispredicts,
+                                r.itlbMisses,        r.dtlbMisses};
+        for (int j = 0; j < 6; ++j) {
+            miss[j] += ms[j];
+            missPer[j][i] = r.measuredInsts
+                                ? 1000.0 * double(ms[j]) /
+                                      double(r.measuredInsts)
+                                : 0.0;
+        }
+    }
+    rep.measuredInsts = sumI;
+    rep.measuredCycles = sumC;
+    rep.coverage =
+        rep.totalInsts ? double(sumI) / double(rep.totalInsts) : 0.0;
+    const double cpi = sumI ? double(sumC) / double(sumI) : 0.0;
+    rep.cpi = estimate(cpi, cpiPer);
+    rep.estCycles = uint64_t(std::llround(cpi * double(rep.totalInsts)));
+    const uint64_t slotsAll = td[0] + td[1] + td[2] + td[3] + td[4];
+    Estimate *tdOut[5] = {&rep.retiring, &rep.frontendBound,
+                          &rep.badSpeculation, &rep.backendMem,
+                          &rep.backendCore};
+    for (int j = 0; j < 5; ++j)
+        *tdOut[j] = estimate(
+            slotsAll ? double(td[j]) / double(slotsAll) : 0.0, tdPer[j]);
+    Estimate *missOut[6] = {&rep.l1dMpki,    &rep.l1iMpki,
+                            &rep.l2Mpki,     &rep.branchMpki,
+                            &rep.itlbMpki,   &rep.dtlbMpki};
+    for (int j = 0; j < 6; ++j)
+        *missOut[j] = estimate(
+            sumI ? 1000.0 * double(miss[j]) / double(sumI) : 0.0,
+            missPer[j]);
+}
+
+} // namespace
+
+SampleReport
+runSampled(const SystemConfig &cfg, const Program &prog,
+           const SampleConfig &sc, unsigned jobs,
+           const SampleHooks &hooks)
+{
+    FastForwardResult ff = fastForward(cfg, prog, sc, hooks);
+
+    SampleReport rep;
+    rep.cfgUsed = sc;
+    rep.totalInsts = ff.totalInsts;
+    rep.intervalCount =
+        ff.totalInsts ? (ff.totalInsts + sc.interval - 1) / sc.interval
+                      : 0;
+    rep.halted = ff.halted;
+    rep.exitCode = ff.exitCode;
+    rep.checksumOk = ff.checksumOk;
+    if (ff.snaps.empty())
+        return rep;
+
+    const std::vector<size_t> pick =
+        selectIntervals(ff.snaps.size(), sc.count, sc.seed);
+
+    // One worker per interval snapshot; results land in their slot and
+    // are merged in interval order, so the report does not depend on
+    // the job count or completion order.
+    std::vector<IntervalRecord> recs(pick.size());
+    std::vector<std::string> errs(pick.size());
+    parallelFor(pick.size(), jobs, [&](size_t i) {
+        try {
+            recs[i] = measureInterval(cfg, ff.snaps[pick[i]], sc,
+                                      ff.totalInsts, hooks);
+        } catch (const std::exception &e) {
+            errs[i] = e.what();
+        }
+    });
+    for (const std::string &e : errs)
+        if (!e.empty())
+            throw SampleError(e);
+
+    rep.intervals = std::move(recs);
+    aggregate(rep);
+    return rep;
+}
+
+void
+writeSampleJson(std::ostream &os, const std::string &workload,
+                const SampleReport &rep)
+{
+    const SampleConfig &sc = rep.cfgUsed;
+    os << "{\n";
+    os << "  \"workload\": \"" << workload << "\",\n";
+    os << "  \"mode\": \"sampled\",\n";
+    os << "  \"sample\": {\"interval\": " << sc.interval
+       << ", \"warmup\": " << sc.warmup << ", \"count\": " << sc.count
+       << ", \"seed\": " << sc.seed << "},\n";
+    os << "  \"run\": {\"total_insts\": " << rep.totalInsts
+       << ", \"intervals\": " << rep.intervalCount
+       << ", \"measured\": " << rep.intervals.size()
+       << ", \"measured_insts\": " << rep.measuredInsts
+       << ", \"coverage\": " << fmt(rep.coverage)
+       << ", \"halted\": " << (rep.halted ? "true" : "false")
+       << ", \"exit_code\": " << rep.exitCode
+       << ", \"checksum_ok\": " << (rep.checksumOk ? "true" : "false")
+       << "},\n";
+    os << "  \"estimate\": {\n";
+    os << "    \"cpi\": [" << fmt(rep.cpi.value) << ", "
+       << fmt(rep.cpi.ci95) << "],\n";
+    os << "    \"est_cycles\": " << rep.estCycles << ",\n";
+    os << "    \"topdown\": {";
+    figure(os, "retiring", rep.retiring);
+    figure(os, "frontend", rep.frontendBound);
+    figure(os, "bad_speculation", rep.badSpeculation);
+    figure(os, "backend_mem", rep.backendMem);
+    figure(os, "backend_core", rep.backendCore, true);
+    os << "},\n";
+    os << "    \"mpki\": {";
+    figure(os, "l1d", rep.l1dMpki);
+    figure(os, "l1i", rep.l1iMpki);
+    figure(os, "l2", rep.l2Mpki);
+    figure(os, "branch_mispredict", rep.branchMpki);
+    figure(os, "itlb", rep.itlbMpki);
+    figure(os, "dtlb", rep.dtlbMpki, true);
+    os << "}\n  },\n";
+    os << "  \"intervals\": [\n";
+    for (size_t i = 0; i < rep.intervals.size(); ++i) {
+        const IntervalRecord &r = rep.intervals[i];
+        os << "    {\"index\": " << r.index
+           << ", \"start\": " << r.startInst
+           << ", \"warmup\": " << r.warmupInsts
+           << ", \"insts\": " << r.measuredInsts
+           << ", \"cycles\": " << r.cycles << ", \"cpi\": "
+           << fmt(r.cpi()) << "}"
+           << (i + 1 < rep.intervals.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+}
+
+void
+writeSampleSummaryLine(std::ostream &os, const std::string &workload,
+                       const SampleReport &rep)
+{
+    os << "{\"workload\": \"" << workload
+       << "\", \"mode\": \"sampled\", \"total_insts\": "
+       << rep.totalInsts
+       << ", \"measured\": " << rep.intervals.size()
+       << ", \"coverage\": " << fmt(rep.coverage) << ", \"cpi\": "
+       << fmt(rep.cpi.value) << ", \"cpi_ci95\": " << fmt(rep.cpi.ci95)
+       << ", \"est_cycles\": " << rep.estCycles
+       << ", \"checksum_ok\": " << (rep.checksumOk ? "true" : "false")
+       << "}\n";
+}
+
+std::string
+summarize(const SampleReport &rep)
+{
+    char buf[512];
+    std::ostringstream os;
+    std::snprintf(buf, sizeof(buf),
+                  "ff insts   : %llu (%llu intervals of %llu)\n",
+                  (unsigned long long)rep.totalInsts,
+                  (unsigned long long)rep.intervalCount,
+                  (unsigned long long)rep.cfgUsed.interval);
+    os << buf;
+    std::snprintf(buf, sizeof(buf),
+                  "measured   : %zu intervals, %llu insts "
+                  "(coverage %.2f%%), warm-up %llu\n",
+                  rep.intervals.size(),
+                  (unsigned long long)rep.measuredInsts,
+                  100.0 * rep.coverage,
+                  (unsigned long long)rep.cfgUsed.warmup);
+    os << buf;
+    std::snprintf(buf, sizeof(buf),
+                  "CPI        : %.3f +/- %.3f (95%% CI)\n",
+                  rep.cpi.value, rep.cpi.ci95);
+    os << buf;
+    std::snprintf(buf, sizeof(buf), "est cycles : %llu\n",
+                  (unsigned long long)rep.estCycles);
+    os << buf;
+    std::snprintf(buf, sizeof(buf),
+                  "topdown    : ret %.1f%% fe %.1f%% bad-spec %.1f%% "
+                  "be-mem %.1f%% be-core %.1f%%\n",
+                  100.0 * rep.retiring.value,
+                  100.0 * rep.frontendBound.value,
+                  100.0 * rep.badSpeculation.value,
+                  100.0 * rep.backendMem.value,
+                  100.0 * rep.backendCore.value);
+    os << buf;
+    return os.str();
+}
+
+} // namespace sample
+} // namespace xt910

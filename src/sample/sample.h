@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Sampled simulation (ROADMAP item 2): SMARTS/SimPoint-style interval
+ * sampling on top of the src/snap checkpoint subsystem. A whole run is
+ * covered in two phases:
+ *
+ *  1. *Fast-forward* — the guest executes purely functionally (ISS
+ *     only, 23-60 MIPS; the timing cores never consume a record), and
+ *     a versioned in-memory snapshot (snap::saveSnapshotBytes) is
+ *     captured just *before* each interval boundary — `warmup`
+ *     instructions early, so the detailed phase can warm caches, TLBs
+ *     and predictors before measurement starts. Because the boundary
+ *     count is unknown until the guest halts, capture runs at an
+ *     adaptive stride: every boundary is captured until the retained
+ *     set exceeds SampleConfig::maxStored, then every other retained
+ *     snapshot is dropped and the stride doubles. The retained set is
+ *     always evenly spaced over the run so far.
+ *
+ *  2. *Measurement* — for each sampled interval, a fresh System is
+ *     restored from the interval's snapshot and run in full detail for
+ *     warm-up + interval instructions; the stats deltas between the
+ *     end of warm-up and the end of the interval are the interval's
+ *     measurement. Intervals shard across the run farm
+ *     (common/parallel.h, one worker per snapshot) and are merged in
+ *     interval order, so the extrapolated report is bitwise-identical
+ *     at any job count.
+ *
+ * Extrapolation uses the ratio-of-sums estimator (CPI = sum cycles /
+ * sum insts over the measured units) with a 95% confidence interval
+ * from the per-interval spread (1.96 * s / sqrt(K)); the same
+ * mean +/- ci95 error bar is attached to every reported figure
+ * (top-down slot fractions, miss rates).
+ *
+ * Methodology caveats (DESIGN.md "Sampled simulation" has the full
+ * contract):
+ *  - Snapshots from a functional fast-forward carry *cold*
+ *    microarchitectural state — the ISS reads memory directly and
+ *    never touches the caches — which is exactly why the detailed
+ *    warm-up window exists. Warm-up bias is measurable: rerun with a
+ *    different --sample-warmup and compare.
+ *  - Single-core configurations only. The functional fast-forward
+ *    interleaves harts round-robin while detailed timing interleaves
+ *    them by cycle order, so a multi-hart memory image at an interval
+ *    boundary would not match what a detailed run observes.
+ *  - rdcycle/mcycle guest reads return the restored core's local cycle
+ *    count, not the extrapolated whole-run cycle — a guest that *times
+ *    itself* mid-run sees different values than in a full detailed
+ *    run (mtime is instruction-counted and is consistent).
+ */
+
+#ifndef XT910_SAMPLE_SAMPLE_H
+#define XT910_SAMPLE_SAMPLE_H
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/system.h"
+
+namespace xt910
+{
+namespace sample
+{
+
+/** Invalid sampling parameters or a measurement that cannot complete
+ *  (watchdog fired inside an interval, snapshot refused). */
+class SampleError : public std::runtime_error
+{
+  public:
+    explicit SampleError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/** Sampling policy. All instruction counts are in retired guest
+ *  instructions. */
+struct SampleConfig
+{
+    /** Interval length. Must be > 0 to sample. */
+    uint64_t interval = 0;
+    /** Measured intervals (0 = every captured candidate). */
+    unsigned count = 0;
+    /** Detailed warm-up instructions executed before each measured
+     *  interval (not counted in the measurement). */
+    uint64_t warmup = 0;
+    /** 0 = evenly spaced selection; nonzero seeds a deterministic
+     *  random pick (common/random.h Xorshift64). */
+    uint64_t seed = 0;
+    /** Fast-forward snapshot retention bound; capture stride doubles
+     *  whenever the retained set would exceed it. */
+    unsigned maxStored = 512;
+};
+
+/** One candidate interval: its snapshot, captured `warmup`
+ *  instructions before the boundary (clamped to instruction 0). */
+struct CapturedInterval
+{
+    uint64_t index = 0;     ///< interval number k (boundary k*interval)
+    uint64_t captureAt = 0; ///< insts retired at the capture point
+    std::vector<uint8_t> bytes; ///< snap::saveSnapshotBytes blob
+};
+
+/** Outcome of the functional fast-forward pass. */
+struct FastForwardResult
+{
+    uint64_t totalInsts = 0; ///< T: whole-run retired instructions
+    bool halted = false;     ///< guest halted (vs cfg.maxInsts cap)
+    int exitCode = 0;
+    bool checksumOk = true;  ///< hooks.checkResult verdict (true if unset)
+    std::vector<CapturedInterval> snaps; ///< by index, evenly strided
+};
+
+/** Optional environment hooks for runs that need more than
+ *  loadProgram (page tables) or that can validate the guest result. */
+struct SampleHooks
+{
+    /** Called on the fresh fast-forward System before loadProgram
+     *  (e.g. to build page tables). Measurement Systems restore the
+     *  captured memory image wholesale and need no setup. */
+    std::function<void(System &)> setup;
+    /** Called once at the end of the fast-forward with the halted
+     *  System; the verdict lands in FastForwardResult::checksumOk. */
+    std::function<bool(System &)> checkResult;
+    /**
+     * Cooperative abort (xt910d cancel/drain/deadline): polled every
+     * few thousand instructions of the fast-forward (once per batched
+     * runFast chunk) and of every measurement run, with the
+     * instruction count of the current leg. Return
+     * false to abort — the pipeline raises SampleError. Must be
+     * thread-safe: measurement legs poll from farm workers.
+     */
+    std::function<bool(uint64_t)> keepGoing;
+};
+
+/** Fast-forward @p prog functionally under @p cfg, capturing interval
+ *  snapshots per @p sc. Requires cfg.numCores == 1 and sc.interval > 0
+ *  (throws SampleError otherwise). */
+FastForwardResult fastForward(const SystemConfig &cfg,
+                              const Program &prog,
+                              const SampleConfig &sc,
+                              const SampleHooks &hooks = {});
+
+/** One measured interval: stats deltas over the measured region only
+ *  (warm-up excluded). */
+struct IntervalRecord
+{
+    uint64_t index = 0;        ///< interval number k
+    uint64_t startInst = 0;    ///< boundary (first measured instruction)
+    uint64_t warmupInsts = 0;  ///< detailed warm-up actually executed
+    uint64_t measuredInsts = 0;
+    Cycle cycles = 0;          ///< core cycles spent in the measured region
+    uint64_t retiring = 0, frontendBound = 0, badSpeculation = 0,
+             backendMem = 0, backendCore = 0; ///< top-down slot deltas
+    uint64_t l1dMisses = 0, l1iMisses = 0, l2Misses = 0;
+    uint64_t branchMispredicts = 0; ///< direction + target
+    uint64_t itlbMisses = 0, dtlbMisses = 0;
+
+    double
+    cpi() const
+    {
+        return measuredInsts ? double(cycles) / double(measuredInsts)
+                             : 0.0;
+    }
+};
+
+/**
+ * Run detailed timing over one captured interval: restore the
+ * snapshot into a fresh System, execute warm-up + measured-region
+ * instructions, and return the deltas. Pure function of its inputs —
+ * safe to run concurrently per interval. @p totalInsts bounds the
+ * final (possibly partial) interval. Throws SampleError if the
+ * measurement cannot complete (watchdog).
+ */
+IntervalRecord measureInterval(const SystemConfig &cfg,
+                               const CapturedInterval &snap,
+                               const SampleConfig &sc,
+                               uint64_t totalInsts,
+                               const SampleHooks &hooks = {});
+
+/** A reported figure: point estimate with its 95% CI half-width. */
+struct Estimate
+{
+    double value = 0.0;
+    double ci95 = 0.0;
+};
+
+/** The extrapolated whole-run report. */
+struct SampleReport
+{
+    SampleConfig cfgUsed;      ///< the parameters that produced this
+    uint64_t totalInsts = 0;   ///< from the fast-forward
+    uint64_t intervalCount = 0; ///< ceil(totalInsts / interval)
+    bool halted = false;
+    int exitCode = 0;
+    bool checksumOk = true;
+    std::vector<IntervalRecord> intervals; ///< measured, interval order
+
+    uint64_t measuredInsts = 0; ///< sum over measured intervals
+    Cycle measuredCycles = 0;
+    double coverage = 0.0;      ///< measuredInsts / totalInsts
+
+    Estimate cpi;               ///< ratio-of-sums + per-interval CI
+    uint64_t estCycles = 0;     ///< round(cpi * totalInsts)
+    /** Top-down slot fractions (of all slots accounted). */
+    Estimate retiring, frontendBound, badSpeculation, backendMem,
+        backendCore;
+    /** Misses per kilo-instruction over the measured region. */
+    Estimate l1dMpki, l1iMpki, l2Mpki, branchMpki, itlbMpki, dtlbMpki;
+};
+
+/**
+ * The whole pipeline: fast-forward, select sc.count intervals from
+ * the captured candidates (evenly spaced, or seeded-random when
+ * sc.seed != 0), measure them on @p jobs workers, extrapolate.
+ * The report is bitwise-identical at any @p jobs value.
+ */
+SampleReport runSampled(const SystemConfig &cfg, const Program &prog,
+                        const SampleConfig &sc, unsigned jobs,
+                        const SampleHooks &hooks = {});
+
+/** The deterministic machine-readable report (the sampled-mode
+ *  counterpart of serve::writeRunStatsJson — no host timings). */
+void writeSampleJson(std::ostream &os, const std::string &workload,
+                     const SampleReport &rep);
+
+/** Compact single-line JSONL summary (the sampled-mode counterpart of
+ *  serve::writeRunSummaryLine). */
+void writeSampleSummaryLine(std::ostream &os,
+                            const std::string &workload,
+                            const SampleReport &rep);
+
+/** Multi-line human summary for the CLI. */
+std::string summarize(const SampleReport &rep);
+
+} // namespace sample
+} // namespace xt910
+
+#endif // XT910_SAMPLE_SAMPLE_H

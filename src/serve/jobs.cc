@@ -20,6 +20,7 @@
 #include "common/snapio.h"
 #include "core/system.h"
 #include "obs/sampler.h"
+#include "sample/sample.h"
 #include "serve/report.h"
 #include "snap/snapshot.h"
 #include "workloads/wl_common.h"
@@ -90,6 +91,10 @@ JobSpec::toJson() const
        << ", \"max_insts\": " << maxInsts
        << ", \"max_cycles\": " << maxCycles
        << ", \"stats_interval\": " << statsInterval
+       << ", \"sample_interval\": " << sampleInterval
+       << ", \"sample_count\": " << sampleCount
+       << ", \"sample_warmup\": " << sampleWarmup
+       << ", \"sample_seed\": " << sampleSeed
        << ", \"timeout_secs\": " << timeoutSecs << ", \"priority\": \""
        << priorityName(priority) << "\", \"client\": \""
        << json::escape(client) << "\"}";
@@ -170,6 +175,14 @@ JobSpec::fromJson(const json::Value &v, JobSpec &out, std::string &err)
             ok = u64(out.maxCycles);
         else if (k == "stats_interval")
             ok = u64(out.statsInterval);
+        else if (k == "sample_interval")
+            ok = u64(out.sampleInterval);
+        else if (k == "sample_count")
+            ok = u32(out.sampleCount);
+        else if (k == "sample_warmup")
+            ok = u64(out.sampleWarmup);
+        else if (k == "sample_seed")
+            ok = u64(out.sampleSeed);
         else if (k == "timeout_secs") {
             if (!x.isNumber() || x.number < 0) {
                 err = "field 'timeout_secs' must be a non-negative "
@@ -341,6 +354,26 @@ resolveSpec(const JobSpec &s, Resolved &out, std::string &err)
         err = "scale must be at least 1";
         return false;
     }
+    if (s.sampleInterval) {
+        if (s.cores != 1) {
+            err = "sampled mode ('sample_interval') requires cores = 1";
+            return false;
+        }
+        if (s.statsInterval) {
+            err = "'stats_interval' is incompatible with sampled mode "
+                  "(measurement restarts per interval)";
+            return false;
+        }
+        if (s.maxCycles) {
+            err = "'max_cycles' is incompatible with sampled mode "
+                  "(intervals are instruction-bounded)";
+            return false;
+        }
+    } else if (s.sampleCount || s.sampleWarmup || s.sampleSeed) {
+        err = "'sample_count'/'sample_warmup'/'sample_seed' require "
+              "'sample_interval'";
+        return false;
+    }
     CorePreset p;
     if (s.preset == "xt910")
         p = xt910Preset();
@@ -419,6 +452,16 @@ resolveSpec(const JobSpec &s, Resolved &out, std::string &err)
     uint64_t h = snap::configHash(out.cfg);
     uint64_t tail[2] = {out.cfg.maxInsts, out.cfg.maxCycles};
     out.cfgHash = fnv1a(tail, sizeof(tail), h);
+    // A sampled run *estimates* its stats, so its document must never
+    // collide with a full run of the same workload+config — nor with a
+    // sampled run under different parameters. Fold all four sampling
+    // knobs in, but only when sampling is on, so every pre-existing
+    // full-run cache key stays byte-identical.
+    if (s.sampleInterval) {
+        uint64_t stail[4] = {s.sampleInterval, uint64_t(s.sampleCount),
+                             s.sampleWarmup, s.sampleSeed};
+        out.cfgHash = fnv1a(stail, sizeof(stail), out.cfgHash);
+    }
     return true;
 }
 
@@ -505,6 +548,10 @@ struct JobManager::Impl
         if (j.cancelRequested.load()) {
             finish(j, JobState::Cancelled, "cancelled by client");
             ctrs->cancelled.fetch_add(1);
+            return;
+        }
+        if (j.spec.sampleInterval) {
+            runSampledJob(j);
             return;
         }
         try {
@@ -606,6 +653,100 @@ struct JobManager::Impl
         } catch (const FarmTimeout &e) {
             finish(j, JobState::Failed, e.what());
             ctrs->failed.fetch_add(1);
+        } catch (const std::exception &e) {
+            finish(j, JobState::Failed, e.what());
+            ctrs->failed.fetch_add(1);
+        }
+    }
+
+    /**
+     * Sampled-mode batch job: the whole src/sample pipeline
+     * (fast-forward, interval measurement sharded across the farm,
+     * extrapolation) runs as one job. No mid-flight checkpoint exists
+     * — an interval shard is not a resume point — so cancel, drain and
+     * the wall-clock budget all interrupt through the pipeline's
+     * cooperative keepGoing hook; a drained sampled job goes back to
+     * Queued whole and restarts from scratch after restore (it is
+     * cacheable, so the repeat cost is bounded).
+     */
+    void
+    runSampledJob(Job &j)
+    {
+        sample::SampleConfig sc;
+        sc.interval = j.spec.sampleInterval;
+        sc.count = j.spec.sampleCount;
+        sc.warmup = j.spec.sampleWarmup;
+        sc.seed = j.spec.sampleSeed;
+
+        sample::SampleHooks hooks;
+        if (j.hasExpected)
+            hooks.checkResult = [&](System &s) {
+                return wl::readResult(s.memory(), j.program) ==
+                       j.expected;
+            };
+        const auto start = std::chrono::steady_clock::now();
+        std::atomic<bool> timedOut{false};
+        hooks.keepGoing = [&](uint64_t n) {
+            // Progress is fed from the fast-forward and from every
+            // measurement shard; keep it monotonic (the shards report
+            // small per-leg counts after the fast-forward's total).
+            uint64_t prev = j.progressInsts.load();
+            while (n > prev &&
+                   !j.progressInsts.compare_exchange_weak(prev, n)) {
+            }
+            if (j.cancelRequested.load() || draining.load())
+                return false;
+            if (j.spec.timeoutSecs > 0) {
+                const std::chrono::duration<double> el =
+                    std::chrono::steady_clock::now() - start;
+                if (el.count() > j.spec.timeoutSecs) {
+                    timedOut.store(true);
+                    return false;
+                }
+            }
+            return true;
+        };
+
+        try {
+            sample::SampleReport rep = sample::runSampled(
+                j.cfg, j.program, sc, cfg.simJobs, hooks);
+            ctrs->simulated.fetch_add(1);
+
+            // Same composition order as the full-run path: the summary
+            // line closes the JSONL stream unlocked, then the stats
+            // document — byte-equal to `xt910-run --sample-*
+            // --stats-json` of the same spec — lands under the lock.
+            LineSink sink(j);
+            std::ostream sinkOs(&sink);
+            sample::writeSampleSummaryLine(sinkOs, j.name, rep);
+            std::lock_guard<std::mutex> lk(j.mu);
+            std::ostringstream doc;
+            sample::writeSampleJson(doc, j.name, rep);
+            j.statsJson = doc.str();
+            j.insts = rep.totalInsts;
+            j.cycles = rep.estCycles;
+            j.checksumOk = rep.checksumOk;
+            j.progressInsts.store(rep.totalInsts);
+            j.streamDone = true;
+            j.cv.notify_all();
+            j.state.store(JobState::Done);
+            ctrs->completed.fetch_add(1);
+            if (!j.cacheKey.empty())
+                cache.store(j.cacheKey, j.statsJson);
+        } catch (const sample::SampleError &e) {
+            if (j.cancelRequested.load()) {
+                finish(j, JobState::Cancelled, "cancelled by client");
+                ctrs->cancelled.fetch_add(1);
+            } else if (timedOut.load()) {
+                finish(j, JobState::Failed,
+                       "job exceeded its wall-clock budget");
+                ctrs->failed.fetch_add(1);
+            } else if (draining.load()) {
+                j.state.store(JobState::Queued);
+            } else {
+                finish(j, JobState::Failed, e.what());
+                ctrs->failed.fetch_add(1);
+            }
         } catch (const std::exception &e) {
             finish(j, JobState::Failed, e.what());
             ctrs->failed.fetch_add(1);
@@ -735,6 +876,16 @@ JobManager::submit(const JobSpec &spec)
                 j->cycles = f->asU64();
             if (const json::Value *f = v.find("checksum_ok"))
                 j->checksumOk = f->asBool();
+            // Sampled documents nest their totals ("run"/"estimate").
+            if (const json::Value *run = v.find("run")) {
+                if (const json::Value *f = run->find("total_insts"))
+                    j->insts = f->asU64();
+                if (const json::Value *f = run->find("checksum_ok"))
+                    j->checksumOk = f->asBool();
+            }
+            if (const json::Value *est = v.find("estimate"))
+                if (const json::Value *f = est->find("est_cycles"))
+                    j->cycles = f->asU64();
         }
         j->progressInsts.store(j->insts);
         j->streamDone = true;

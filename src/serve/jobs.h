@@ -71,6 +71,16 @@ struct JobSpec
     uint64_t maxInsts = 0;     ///< 0 = system default
     uint64_t maxCycles = 0;    ///< 0 = unlimited
     uint64_t statsInterval = 0; ///< JSONL sample period (0 = off)
+    /** Sampled mode (src/sample) when > 0: functional fast-forward +
+     *  detailed timing on sampled intervals of this many instructions.
+     *  Requires cores == 1; incompatible with stats_interval and
+     *  max_cycles. The stats document is the sampled-mode report
+     *  (mode: "sampled"), cached under a key that folds all four
+     *  sampling knobs, so it never collides with a full run. */
+    uint64_t sampleInterval = 0;
+    unsigned sampleCount = 0;  ///< measured intervals (0 = all)
+    uint64_t sampleWarmup = 0; ///< detailed warm-up insts per interval
+    uint64_t sampleSeed = 0;   ///< 0 = evenly spaced selection
     double timeoutSecs = 0.0;  ///< per-job wall-clock budget (0 = off)
     JobPriority priority = JobPriority::Interactive;
     std::string client = "anonymous"; ///< from the X-Api-Key header

@@ -10,15 +10,17 @@
  * File layout (all integers little-endian):
  *
  *   magic            8 bytes  "XT9SNAP\n"
- *   formatVersion    u32      (currently 2)
+ *   formatVersion    u32      (currently 3)
  *   configHash       u64      FNV-1a over the machine configuration
  *   instsRetired     u64      instructions retired when captured
- *   sectionCount     u32
+ *   sectionCount     u32      2 = functional-only (MEMR + ISS; see
+ *                             saveSnapshotBytes), else full
  *   section * N:
  *     tag            u32      four ASCII chars ("MEMR", "ISS ", ...)
  *     payloadLen     u64
  *     payload        payloadLen bytes
- *     checksum       u64      FNV-1a over the payload
+ *     checksum       u64      word-at-a-time FNV-1a over the payload
+ *                             (common/snapio.h fnv1aWords)
  *
  * Restore refuses (throws SnapError) on a bad magic, an unknown format
  * version, a configuration-hash mismatch, a checksum mismatch, or a
@@ -52,8 +54,11 @@ namespace snap
  *   1  original layout (deque/multiset window serialization).
  *   2  struct-of-arrays core state: ring/heap/gate window formats and
  *      the O(1) stage/port scheduler state (core/sched.h, bwlimit.h).
+ *   3  word-at-a-time section checksums (fnv1aWords): the byte-serial
+ *      FNV dependency chain dominated snapshot capture once sampled
+ *      simulation started taking hundreds of interval snapshots.
  */
-constexpr uint32_t formatVersion = 2;
+constexpr uint32_t formatVersion = 3;
 
 /** The 8-byte file magic. */
 extern const char magic[8];
@@ -67,10 +72,22 @@ extern const char magic[8];
  */
 uint64_t configHash(const SystemConfig &cfg);
 
-/** Serialize @p sys. @p instsRetired is the run-loop instruction count
- *  at the capture point (stored in the header for resume bookkeeping). */
+/**
+ * Serialize @p sys. @p instsRetired is the run-loop instruction count
+ * at the capture point (stored in the header for resume bookkeeping).
+ *
+ * With @p functionalOnly the snapshot carries only the architectural
+ * sections (MEMR + ISS): restore leaves every timing component —
+ * caches, directory, predictors, core windows, watchdogs — at
+ * construction state. That is the sampled-simulation capture format:
+ * a fast-forwarding System never touches its timing side, so those
+ * sections would serialize multi-megabyte construction-state noise on
+ * every interval boundary (they were >95% of a small-footprint
+ * workload's capture cost).
+ */
 std::vector<uint8_t> saveSnapshotBytes(System &sys,
-                                       uint64_t instsRetired);
+                                       uint64_t instsRetired,
+                                       bool functionalOnly = false);
 
 /**
  * Restore @p data into @p sys (fresh, same config, program loaded or

@@ -274,6 +274,186 @@ TEST(PortSchedule, MatchesTickEveryCycleReference)
     }
 }
 
+// ------------------------------------- window jumps larger than window
+
+// Event-skip and fast-forward can advance the clock past the whole
+// booking window in one step. The contract (DESIGN.md §3f): the slide
+// must fully discard stale bookings — a request after the jump must
+// never alias into counts/bits left over from pre-jump cycles. The
+// references below only use windowFloor() for the documented
+// clamp-to-floor of ancient requests; the booking state itself is
+// modelled exactly.
+
+TEST(IssueGate, ClockJumpPastWindowMatchesReference)
+{
+    IssueGate gate(4);
+    std::unordered_map<Cycle, unsigned> cnt; // unbounded reference
+    std::mt19937_64 rng(2024);
+    Cycle maxSeen = 0;
+    for (int i = 0; i < 30000; ++i) {
+        Cycle earliest;
+        const unsigned shape = unsigned(rng() % 100);
+        if (shape < 2) {
+            // Jump: far past the window top (>= base + window).
+            earliest = maxSeen + IssueGate::window + rng() % 10000;
+        } else if (shape < 10) {
+            // Ancient request from long before the floor.
+            earliest = rng() % 16;
+        } else {
+            Cycle lo = maxSeen > 300 ? maxSeen - 300 : 0;
+            earliest = lo + rng() % 400;
+        }
+        // Documented semantics: requests behind the floor clamp up.
+        Cycle c = std::max(earliest, gate.windowFloor());
+        while (cnt[c] >= 4)
+            ++c;
+        ++cnt[c];
+        maxSeen = std::max(maxSeen, c);
+        ASSERT_EQ(gate.schedule(earliest), c) << "step " << i;
+        ASSERT_EQ(gate.busyHorizon(), maxSeen);
+    }
+}
+
+TEST(IssueGate, JumpPastWindowFullyFreesTheNewWindow)
+{
+    // Saturate the whole current window, then jump > window ahead:
+    // every slot of the new window must be bookable from the floor up
+    // (stale counts would shift the grants).
+    IssueGate gate(2);
+    for (int k = 0; k < 200; ++k) {
+        gate.schedule(0);
+        gate.schedule(0);
+    }
+    const Cycle far = 10 * IssueGate::window;
+    ASSERT_EQ(gate.schedule(far), far);
+    const Cycle floor = gate.windowFloor();
+    ASSERT_GT(floor, Cycle(200)); // the old region is gone
+    // Ancient requests clamp to the floor and fill it width-first.
+    ASSERT_EQ(gate.schedule(0), floor);
+    ASSERT_EQ(gate.schedule(0), floor);
+    ASSERT_EQ(gate.schedule(0), floor + 1);
+}
+
+TEST(IssueGate, SnapshotRoundTripOfSlidWindow)
+{
+    // A gate whose window slid far from cycle 0 must restore
+    // bit-identically: the same request stream gives the same grants.
+    IssueGate a(3);
+    std::mt19937_64 rng(5);
+    Cycle maxSeen = 0;
+    for (int i = 0; i < 500; ++i) {
+        Cycle e = maxSeen + rng() % 3;
+        maxSeen = std::max(maxSeen, a.schedule(e));
+    }
+    maxSeen = std::max(maxSeen, a.schedule(maxSeen + 5 * IssueGate::window));
+
+    SnapWriter w;
+    a.snapSave(w);
+    IssueGate b(3);
+    SnapReader r(w.data().data(), w.size());
+    b.snapLoad(r);
+
+    ASSERT_EQ(b.windowFloor(), a.windowFloor());
+    ASSERT_EQ(b.busyHorizon(), a.busyHorizon());
+    std::mt19937_64 rng2(17);
+    for (int i = 0; i < 2000; ++i) {
+        Cycle lo = a.windowFloor();
+        Cycle e = lo + rng2() % (IssueGate::lookback + 64);
+        ASSERT_EQ(b.schedule(e), a.schedule(e)) << "step " << i;
+    }
+}
+
+TEST(PortSchedule, ClockJumpPastWindowMatchesReference)
+{
+    PortSchedule port;
+    std::set<Cycle> busy; // unbounded reference bitmap
+    std::mt19937_64 rng(31337);
+    Cycle maxSeen = 0;
+    for (int i = 0; i < 20000; ++i) {
+        Cycle earliest;
+        const unsigned shape = unsigned(rng() % 100);
+        if (shape < 2)
+            earliest = maxSeen + PortSchedule::window + rng() % 20000;
+        else if (shape < 10)
+            earliest = rng() % 16;
+        else {
+            Cycle lo = maxSeen > 600 ? maxSeen - 600 : 0;
+            earliest = lo + rng() % 700;
+        }
+        unsigned len = 1 + unsigned(rng() % 4);
+
+        Cycle c = std::max(earliest, port.windowFloor());
+        for (;;) {
+            bool free = true;
+            Cycle conflict = 0;
+            for (Cycle k = c; k < c + len; ++k)
+                if (busy.count(k)) {
+                    free = false;
+                    conflict = k;
+                }
+            if (free)
+                break;
+            c = conflict + 1;
+        }
+        ASSERT_EQ(port.probe(earliest, len), c) << "step " << i;
+        port.book(c, len);
+        for (Cycle k = c; k < c + len; ++k)
+            busy.insert(k);
+        maxSeen = std::max(maxSeen, c + len - 1);
+        ASSERT_EQ(port.busyHorizon(), maxSeen);
+    }
+}
+
+TEST(PortSchedule, JumpPastWindowFullyFreesTheNewBitmap)
+{
+    PortSchedule port;
+    for (Cycle k = 0; k < 300; ++k)
+        port.book(k, 1);
+    const Cycle far = 10 * PortSchedule::window;
+    ASSERT_EQ(port.probe(far, 4), far);
+    port.book(far, 4);
+    const Cycle floor = port.windowFloor();
+    ASSERT_GT(floor, Cycle(300));
+    // The whole region below the jump target is genuinely free.
+    ASSERT_EQ(port.probe(0, 8), floor);
+    port.book(floor, 8);
+    ASSERT_EQ(port.probe(0, 1), floor + 8);
+}
+
+TEST(PortSchedule, SnapshotRoundTripOfSlidWindow)
+{
+    PortSchedule a;
+    std::mt19937_64 rng(23);
+    Cycle maxSeen = 0;
+    for (int i = 0; i < 500; ++i) {
+        Cycle c = a.probe(maxSeen + rng() % 3, 1 + unsigned(rng() % 3));
+        a.book(c, 1);
+        maxSeen = std::max(maxSeen, c);
+    }
+    Cycle c = a.probe(maxSeen + 3 * PortSchedule::window, 2);
+    a.book(c, 2);
+
+    SnapWriter w;
+    a.snapSave(w);
+    PortSchedule b;
+    SnapReader r(w.data().data(), w.size());
+    b.snapLoad(r);
+
+    ASSERT_EQ(b.windowFloor(), a.windowFloor());
+    ASSERT_EQ(b.busyHorizon(), a.busyHorizon());
+    std::mt19937_64 rng2(29);
+    for (int i = 0; i < 2000; ++i) {
+        Cycle lo = a.windowFloor();
+        Cycle e = lo + rng2() % (PortSchedule::lookback + 64);
+        unsigned len = 1 + unsigned(rng2() % 3);
+        Cycle ca = a.probe(e, len);
+        Cycle cb = b.probe(e, len);
+        ASSERT_EQ(cb, ca) << "step " << i;
+        a.book(ca, len);
+        b.book(cb, len);
+    }
+}
+
 // --------------------------------------------- system-level event skip
 
 namespace

@@ -6,8 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include "common/snapio.h"
 #include "func/csr.h"
 #include "func/iss.h"
+#include "workloads/workload.h"
 
 namespace xt910
 {
@@ -397,6 +399,67 @@ TEST(Iss, ExecRecordCarriesMemAddr)
         }
     }
     EXPECT_TRUE(sawStore && sawLoad);
+}
+
+// runFast is a mirror of step()'s block path and must stay
+// architecturally bit-identical to stepping: drive a real workload
+// (branches, memory traffic, CSRs, the exit ecall) down both paths —
+// including uneven chunk sizes that split basic blocks — and compare
+// the complete serialized architectural state.
+TEST(Iss, RunFastMatchesStepBitExactly)
+{
+    WorkloadOptions wo;
+    WorkloadBuild wb = findWorkload("crc").build(wo);
+
+    auto finalState = [&](auto &&advance) {
+        Memory mem;
+        Iss iss(mem);
+        iss.loadProgram(wb.program);
+        uint64_t n = advance(iss);
+        SnapWriter w;
+        iss.snapSave(w);
+        return std::make_pair(n, w.take());
+    };
+
+    auto [nStep, stateStep] = finalState([](Iss &iss) {
+        uint64_t n = 0;
+        while (!iss.halted(0) && n < 2'000'000) {
+            iss.step(0);
+            ++n;
+        }
+        return n;
+    });
+    EXPECT_LT(nStep, 2'000'000u) << "workload did not halt";
+
+    auto [nFast, stateFast] = finalState([](Iss &iss) {
+        uint64_t n = 0;
+        // Deliberately awkward chunk sizes (1, 2, 4, ... then 8191)
+        // so chunk boundaries land mid-block.
+        uint64_t chunk = 1;
+        while (!iss.halted(0) && n < 2'000'000) {
+            n += iss.runFast(0, chunk);
+            chunk = chunk < 4096 ? chunk * 2 : 8191;
+        }
+        return n;
+    });
+
+    EXPECT_EQ(nStep, nFast);
+    EXPECT_EQ(stateStep, stateFast);
+
+    // Interleaving the two paths mid-run must also be seamless.
+    auto [nMix, stateMix] = finalState([](Iss &iss) {
+        uint64_t n = 0;
+        while (!iss.halted(0) && n < 2'000'000) {
+            n += iss.runFast(0, 1000);
+            for (int i = 0; i < 17 && !iss.halted(0); ++i) {
+                iss.step(0);
+                ++n;
+            }
+        }
+        return n;
+    });
+    EXPECT_EQ(nStep, nMix);
+    EXPECT_EQ(stateStep, stateMix);
 }
 
 } // namespace xt910

@@ -1,0 +1,118 @@
+# Sampled-simulation speed/accuracy smoke, run as a ctest script:
+#
+#   cmake -DXT910_RUN=<path-to-xt910-run> -DWORK_DIR=<dir> \
+#       -P sample_smoke.cmake
+#
+# Runs crc (homogeneous, so a handful of intervals extrapolates
+# accurately) at a scale where full detailed timing takes seconds, then
+# in sampled mode, and asserts the two contract properties:
+#   1. the sampled run is >= 5x faster end-to-end than full detailed
+#      timing (both timings self-reported by xt910-run on the same
+#      machine, so the ratio is host-speed independent);
+#   2. the extrapolated cycle estimate is within 2% of the full run's
+#      true cycle count (measured ~0.1%; the bound leaves room for
+#      interval-placement drift if the workload changes).
+# Thresholds have margin over measured values (5.7x, 0.09%) so the test
+# guards the mechanism, not one machine's exact timings.
+
+if(NOT XT910_RUN OR NOT WORK_DIR)
+    message(FATAL_ERROR "usage: cmake -DXT910_RUN=... -DWORK_DIR=... -P sample_smoke.cmake")
+endif()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+# ---- full detailed run -------------------------------------------------
+execute_process(
+    COMMAND "${XT910_RUN}" crc --scale 64
+    OUTPUT_VARIABLE full_out
+    ERROR_VARIABLE full_err
+    RESULT_VARIABLE full_rc)
+if(NOT full_rc EQUAL 0)
+    message(FATAL_ERROR "full detailed run failed (rc=${full_rc}):\n${full_out}\n${full_err}")
+endif()
+if(NOT full_out MATCHES "insts      : ([0-9]+)")
+    message(FATAL_ERROR "no instruction count in full run output:\n${full_out}")
+endif()
+set(full_insts ${CMAKE_MATCH_1})
+if(NOT full_out MATCHES "cycles     : ([0-9]+)")
+    message(FATAL_ERROR "no cycle count in full run output:\n${full_out}")
+endif()
+set(full_cycles ${CMAKE_MATCH_1})
+if(NOT full_out MATCHES "sim speed  : ([0-9.]+) MIPS")
+    message(FATAL_ERROR "no sim speed in full run output:\n${full_out}")
+endif()
+set(full_mips ${CMAKE_MATCH_1})
+
+# ---- sampled run -------------------------------------------------------
+execute_process(
+    COMMAND "${XT910_RUN}" crc --scale 64
+        --sample-interval 200000 --sample-count 8 --sample-warmup 10000
+        --stats-json ${WORK_DIR}/sample.json
+    OUTPUT_VARIABLE samp_out
+    ERROR_VARIABLE samp_err
+    RESULT_VARIABLE samp_rc)
+if(NOT samp_rc EQUAL 0)
+    message(FATAL_ERROR "sampled run failed (rc=${samp_rc}):\n${samp_out}\n${samp_err}")
+endif()
+if(NOT samp_out MATCHES "host time  : ([0-9.]+) s")
+    message(FATAL_ERROR "no host time in sampled output:\n${samp_out}")
+endif()
+set(samp_secs ${CMAKE_MATCH_1})
+if(NOT samp_out MATCHES "est cycles : ([0-9]+)")
+    message(FATAL_ERROR "no cycle estimate in sampled output:\n${samp_out}")
+endif()
+set(est_cycles ${CMAKE_MATCH_1})
+if(NOT samp_out MATCHES "checksum   : ok")
+    message(FATAL_ERROR "sampled run checksum not ok:\n${samp_out}")
+endif()
+
+# The stats JSON must agree with stdout and carry the error bar.
+file(READ "${WORK_DIR}/sample.json" doc)
+string(JSON json_est ERROR_VARIABLE jerr GET "${doc}" estimate est_cycles)
+if(jerr)
+    message(FATAL_ERROR "unparseable sample.json (${jerr})")
+endif()
+if(NOT json_est EQUAL est_cycles)
+    message(FATAL_ERROR "est_cycles mismatch: stdout ${est_cycles} vs json ${json_est}")
+endif()
+string(JSON cpi_ci GET "${doc}" estimate cpi 1)
+
+# ---- assertions (integer math: cmake's math() has no floats) -----------
+# Full-run host time comes from its self-reported speed:
+#   full_us = insts / MIPS   (since MIPS = insts per microsecond)
+# computed with MIPS scaled x100; the sampled run's "host time" line is
+# parsed to microseconds directly. Both are self-timed by xt910-run.
+string(REGEX MATCH "^([0-9]+)\\.?([0-9]?[0-9]?)" _ "${full_mips}")
+set(mips_int ${CMAKE_MATCH_1})
+set(mips_frac "${CMAKE_MATCH_2}00")
+string(SUBSTRING "${mips_frac}" 0 2 mips_frac)
+math(EXPR mips_x100 "${mips_int} * 100 + ${mips_frac}")
+math(EXPR full_us "${full_insts} * 100 / ${mips_x100}")
+string(REGEX MATCH "^([0-9]+)\\.?([0-9]?[0-9]?[0-9]?)" _ "${samp_secs}")
+set(ss_int ${CMAKE_MATCH_1})
+set(ss_frac "${CMAKE_MATCH_2}000")
+string(SUBSTRING "${ss_frac}" 0 3 ss_frac)
+math(EXPR samp_us "(${ss_int} * 1000 + ${ss_frac}) * 1000")
+math(EXPR speedup_x10 "${full_us} * 10 / ${samp_us}")
+if(speedup_x10 LESS 50)
+    math(EXPR spd_i "${speedup_x10} / 10")
+    math(EXPR spd_f "${speedup_x10} % 10")
+    message(FATAL_ERROR "sampled run only ${spd_i}.${spd_f}x faster than full detailed (need >= 5x): full ~${full_us}us vs sampled ${samp_us}us")
+endif()
+
+# |est - true| / true <= 2%
+if(est_cycles GREATER full_cycles)
+    math(EXPR diff "${est_cycles} - ${full_cycles}")
+else()
+    math(EXPR diff "${full_cycles} - ${est_cycles}")
+endif()
+math(EXPR err_x10000 "${diff} * 10000 / ${full_cycles}")
+if(err_x10000 GREATER 200)
+    message(FATAL_ERROR "cycle estimate off by ${err_x10000}e-4 relative (bound 200e-4 = 2%): est ${est_cycles} vs true ${full_cycles}")
+endif()
+
+math(EXPR spd_i "${speedup_x10} / 10")
+math(EXPR spd_f "${speedup_x10} % 10")
+message(STATUS "sample smoke ok: ${spd_i}.${spd_f}x faster, "
+    "cycle error ${err_x10000}e-4 (est ${est_cycles} vs ${full_cycles}, "
+    "cpi ci95 ${cpi_ci})")

@@ -1,0 +1,53 @@
+# Sampled-simulation determinism, run as a ctest script:
+#
+#   cmake -DXT910_RUN=<path-to-xt910-run> -DWORK_DIR=<dir> \
+#       -P determinism.cmake
+#
+# The extrapolated stats must be bitwise-identical at any --jobs count:
+# interval measurements land in per-interval slots and are merged in
+# interval order, so the worker count must be invisible in the
+# --stats-json document (which carries no host timings). Checked for
+# both evenly-spaced (seed 0) and seeded-random interval selection.
+
+if(NOT XT910_RUN OR NOT WORK_DIR)
+    message(FATAL_ERROR "usage: cmake -DXT910_RUN=... -DWORK_DIR=... -P determinism.cmake")
+endif()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+function(run_sampled out_file jobs seed)
+    execute_process(
+        COMMAND "${XT910_RUN}" crc --scale 4
+            --sample-interval 100000 --sample-count 4
+            --sample-warmup 10000 --sample-seed ${seed}
+            --stats-json ${out_file} --jobs ${jobs}
+        OUTPUT_VARIABLE out
+        ERROR_VARIABLE err
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "sampled run (jobs=${jobs} seed=${seed}) failed (rc=${rc}):\n${out}\n${err}")
+    endif()
+    if(NOT out MATCHES "checksum   : ok")
+        message(FATAL_ERROR "sampled run (jobs=${jobs} seed=${seed}) checksum not ok:\n${out}")
+    endif()
+endfunction()
+
+foreach(seed IN ITEMS 0 12345)
+    run_sampled("${WORK_DIR}/j1_s${seed}.json" 1 ${seed})
+    run_sampled("${WORK_DIR}/j5_s${seed}.json" 5 ${seed})
+    file(READ "${WORK_DIR}/j1_s${seed}.json" doc1)
+    file(READ "${WORK_DIR}/j5_s${seed}.json" doc5)
+    if(NOT doc1 STREQUAL doc5)
+        message(FATAL_ERROR "sampled stats differ between --jobs 1 and --jobs 5 (seed ${seed}):\n--- jobs=1\n${doc1}\n--- jobs=5\n${doc5}")
+    endif()
+    # Sanity: the document is parseable and measured what was asked.
+    string(JSON measured ERROR_VARIABLE jerr GET "${doc1}" run measured)
+    if(jerr)
+        message(FATAL_ERROR "unparseable sampled stats (${jerr}):\n${doc1}")
+    endif()
+    if(NOT measured EQUAL 4)
+        message(FATAL_ERROR "expected 4 measured intervals, got ${measured} (seed ${seed})")
+    endif()
+endforeach()
+
+message(STATUS "sample determinism ok: stats bitwise-identical across job counts (seeds 0 and 12345)")

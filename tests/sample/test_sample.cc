@@ -1,0 +1,286 @@
+/**
+ * Sampled-simulation tests (src/sample): fast-forward snapshot capture
+ * (adaptive stride, warm-up-aware positions), the clean-restore
+ * contract for timing state re-created from a functional checkpoint,
+ * restore-vs-straight-through cycle equality, bitwise determinism of
+ * the extrapolated report across worker counts, the accuracy of the
+ * extrapolation at full coverage, and the cooperative abort hook.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "baseline/presets.h"
+#include "core/system.h"
+#include "sample/sample.h"
+#include "snap/snapshot.h"
+#include "workloads/wl_common.h"
+#include "workloads/workload.h"
+
+namespace xt910
+{
+namespace sample
+{
+
+namespace
+{
+
+SystemConfig
+testConfig()
+{
+    SystemConfig cfg = xt910Preset().config;
+    cfg.numCores = 1;
+    return cfg;
+}
+
+WorkloadBuild
+crcBuild()
+{
+    WorkloadOptions wo;
+    return findWorkload("crc").build(wo);
+}
+
+SampleHooks
+checkedHooks(const WorkloadBuild &wb)
+{
+    SampleHooks hooks;
+    hooks.checkResult = [&wb](System &s) {
+        return wl::readResult(s.memory(), wb.program) == wb.expected;
+    };
+    return hooks;
+}
+
+} // namespace
+
+TEST(Sample, ValidateRejectsBadConfigs)
+{
+    WorkloadBuild wb = crcBuild();
+    SampleConfig sc;
+    sc.interval = 0;
+    EXPECT_THROW(fastForward(testConfig(), wb.program, sc),
+                 SampleError);
+
+    sc.interval = 10000;
+    SystemConfig multi = testConfig();
+    multi.numCores = 2;
+    EXPECT_THROW(fastForward(multi, wb.program, sc), SampleError);
+
+    sc.maxStored = 1;
+    EXPECT_THROW(fastForward(testConfig(), wb.program, sc),
+                 SampleError);
+}
+
+TEST(Sample, FastForwardCapturesWarmupAwareBoundaries)
+{
+    WorkloadBuild wb = crcBuild();
+    SampleConfig sc;
+    sc.interval = 50000;
+    sc.warmup = 10000;
+    FastForwardResult ff =
+        fastForward(testConfig(), wb.program, sc, checkedHooks(wb));
+
+    EXPECT_TRUE(ff.halted);
+    EXPECT_TRUE(ff.checksumOk);
+    EXPECT_GT(ff.totalInsts, sc.interval);
+    ASSERT_FALSE(ff.snaps.empty());
+
+    // Every snapshot sits `warmup` instructions before its boundary
+    // (clamped to 0), strictly inside the run.
+    for (const CapturedInterval &s : ff.snaps) {
+        const uint64_t b = s.index * sc.interval;
+        const uint64_t w = b < sc.warmup ? b : sc.warmup;
+        EXPECT_EQ(s.captureAt, b - w) << "interval " << s.index;
+        EXPECT_LT(b, ff.totalInsts) << "interval " << s.index;
+        EXPECT_FALSE(s.bytes.empty());
+    }
+    // Interval 0 exists and its snapshot is the program entry state.
+    EXPECT_EQ(ff.snaps.front().index, 0u);
+    EXPECT_EQ(ff.snaps.front().captureAt, 0u);
+}
+
+TEST(Sample, FastForwardThinsToAnEvenStride)
+{
+    WorkloadBuild wb = crcBuild();
+    SampleConfig sc;
+    sc.interval = 10000;   // crc retires ~540k insts -> ~54 boundaries
+    sc.maxStored = 8;      // force repeated stride doubling
+    FastForwardResult ff =
+        fastForward(testConfig(), wb.program, sc);
+
+    ASSERT_GE(ff.snaps.size(), 2u);
+    EXPECT_LE(ff.snaps.size(), 8u + 1);
+    // Retained indices form an arithmetic sequence from 0: the sample
+    // frame stays evenly spaced over the whole run.
+    const uint64_t stride = ff.snaps[1].index - ff.snaps[0].index;
+    EXPECT_EQ(ff.snaps[0].index, 0u);
+    for (size_t i = 1; i < ff.snaps.size(); ++i)
+        EXPECT_EQ(ff.snaps[i].index - ff.snaps[i - 1].index, stride)
+            << "at " << i;
+}
+
+/** The satellite contract: a System re-created from a functional
+ *  fast-forward checkpoint starts its timing model *clean* — zero
+ *  cycles, zero top-down slots, zero miss counters — because the ISS
+ *  never touched any of them. (Warm-up exists precisely to heal this
+ *  cold state before measurement.) */
+TEST(Sample, RestoreFromFastForwardSnapshotStartsTimingClean)
+{
+    WorkloadBuild wb = crcBuild();
+    SampleConfig sc;
+    sc.interval = 50000;
+    FastForwardResult ff =
+        fastForward(testConfig(), wb.program, sc);
+    ASSERT_GT(ff.snaps.size(), 2u);
+    const CapturedInterval &mid = ff.snaps[ff.snaps.size() / 2];
+    ASSERT_GT(mid.captureAt, 0u);
+
+    System sys(testConfig());
+    snap::restoreSnapshotBytes(sys, mid.bytes.data(),
+                               mid.bytes.size());
+
+    XtCore &core = sys.core(0);
+    EXPECT_EQ(core.cycles(), 0u);
+    EXPECT_EQ(core.topdown.retiring.value(), 0u);
+    EXPECT_EQ(core.topdown.frontendBound.value(), 0u);
+    EXPECT_EQ(core.topdown.badSpeculation.value(), 0u);
+    EXPECT_EQ(core.topdown.backendMem.value(), 0u);
+    EXPECT_EQ(core.topdown.backendCore.value(), 0u);
+    EXPECT_EQ(core.branchMispredicts.value(), 0u);
+    MemSystem &ms = sys.memSystem();
+    EXPECT_EQ(ms.l1d(0).misses.value(), 0u);
+    EXPECT_EQ(ms.l1i(0).misses.value(), 0u);
+
+    // And the restored guest still finishes the workload correctly:
+    // the architectural state at the capture point was exact.
+    RunResult r = sys.run();
+    EXPECT_EQ(r.stop, StopReason::Halted);
+    EXPECT_EQ(wl::readResult(sys.memory(), wb.program), wb.expected);
+}
+
+/** Interval 0's snapshot is the entry state, so measuring it must
+ *  reproduce a straight-through detailed run of the same length
+ *  cycle for cycle — restore is not allowed to perturb timing. */
+TEST(Sample, FirstIntervalMatchesStraightThroughRun)
+{
+    WorkloadBuild wb = crcBuild();
+    SampleConfig sc;
+    sc.interval = 50000;
+    FastForwardResult ff =
+        fastForward(testConfig(), wb.program, sc);
+    ASSERT_FALSE(ff.snaps.empty());
+    ASSERT_EQ(ff.snaps.front().index, 0u);
+
+    IntervalRecord rec = measureInterval(
+        testConfig(), ff.snaps.front(), sc, ff.totalInsts);
+    EXPECT_EQ(rec.warmupInsts, 0u);
+    EXPECT_EQ(rec.measuredInsts, sc.interval);
+
+    SystemConfig straight = testConfig();
+    straight.maxInsts = sc.interval;
+    straight.quietInstLimit = true;
+    System sys(straight);
+    sys.loadProgram(wb.program);
+    RunResult r = sys.run();
+    ASSERT_EQ(r.insts, sc.interval);
+    EXPECT_EQ(rec.cycles, r.cycles);
+    EXPECT_EQ(rec.retiring, sys.core(0).topdown.retiring.value());
+}
+
+TEST(Sample, ReportIsBitwiseIdenticalAcrossJobCounts)
+{
+    WorkloadBuild wb = crcBuild();
+    SampleConfig sc;
+    sc.interval = 50000;
+    sc.warmup = 10000;
+    sc.count = 6;
+
+    SampleReport r1 = runSampled(testConfig(), wb.program, sc, 1,
+                                 checkedHooks(wb));
+    SampleReport r4 = runSampled(testConfig(), wb.program, sc, 4,
+                                 checkedHooks(wb));
+
+    std::ostringstream j1, j4;
+    writeSampleJson(j1, "crc", r1);
+    writeSampleJson(j4, "crc", r4);
+    EXPECT_EQ(j1.str(), j4.str());
+
+    std::ostringstream l1, l4;
+    writeSampleSummaryLine(l1, "crc", r1);
+    writeSampleSummaryLine(l4, "crc", r4);
+    EXPECT_EQ(l1.str(), l4.str());
+}
+
+TEST(Sample, SeededSelectionIsDeterministicAndDistinct)
+{
+    WorkloadBuild wb = crcBuild();
+    SampleConfig sc;
+    sc.interval = 25000;
+    sc.warmup = 5000;
+    sc.count = 3;
+    sc.seed = 12345;
+
+    SampleReport a = runSampled(testConfig(), wb.program, sc, 2);
+    SampleReport b = runSampled(testConfig(), wb.program, sc, 2);
+    std::ostringstream ja, jb;
+    writeSampleJson(ja, "crc", a);
+    writeSampleJson(jb, "crc", b);
+    EXPECT_EQ(ja.str(), jb.str());
+
+    ASSERT_EQ(a.intervals.size(), 3u);
+    // Measured indices are sorted and unique (merged interval order).
+    EXPECT_LT(a.intervals[0].index, a.intervals[1].index);
+    EXPECT_LT(a.intervals[1].index, a.intervals[2].index);
+}
+
+/** Full coverage (every interval measured, generous warm-up from the
+ *  preceding interval tail) must land the extrapolated cycle count
+ *  within the CLI's stated 5% error bound of a full detailed run —
+ *  on crc it is well under 1%. */
+TEST(Sample, EstimateMatchesFullRunWithinBound)
+{
+    WorkloadBuild wb = crcBuild();
+    SampleConfig sc;
+    sc.interval = 50000;
+    sc.warmup = 10000;
+    sc.count = 0; // all intervals
+
+    SampleReport rep = runSampled(testConfig(), wb.program, sc, 4,
+                                  checkedHooks(wb));
+    EXPECT_TRUE(rep.halted);
+    EXPECT_TRUE(rep.checksumOk);
+
+    System sys(testConfig());
+    sys.loadProgram(wb.program);
+    RunResult full = sys.run();
+    ASSERT_EQ(full.stop, StopReason::Halted);
+    ASSERT_EQ(full.insts, rep.totalInsts);
+
+    const double err =
+        std::abs(double(rep.estCycles) - double(full.cycles)) /
+        double(full.cycles);
+    EXPECT_LT(err, 0.05) << "est " << rep.estCycles << " vs full "
+                         << full.cycles;
+    // The error bar is honest: the full-run CPI lies within ~2 CI
+    // half-widths of the estimate (ratio-of-sums vs per-interval CI).
+    const double fullCpi = double(full.cycles) / double(full.insts);
+    EXPECT_LT(std::abs(rep.cpi.value - fullCpi),
+              2.0 * rep.cpi.ci95 + 0.05 * fullCpi);
+}
+
+TEST(Sample, KeepGoingHookAbortsThePipeline)
+{
+    WorkloadBuild wb = crcBuild();
+    SampleConfig sc;
+    sc.interval = 50000;
+
+    SampleHooks hooks;
+    hooks.keepGoing = [](uint64_t n) { return n < 100000; };
+    EXPECT_THROW(
+        runSampled(testConfig(), wb.program, sc, 1, hooks),
+        SampleError);
+}
+
+} // namespace sample
+} // namespace xt910

@@ -502,5 +502,154 @@ TEST(JobManager, CountersJsonIsValid)
         << mgr.countersJson();
 }
 
+namespace
+{
+
+/** A sampled-mode batch job over the same workload as quickSpec(). */
+JobSpec
+sampledSpec()
+{
+    JobSpec s;
+    s.workload = "crc";
+    s.sampleInterval = 50000;
+    s.sampleCount = 4;
+    s.sampleWarmup = 10000;
+    s.priority = JobPriority::Batch;
+    return s;
+}
+
+} // namespace
+
+TEST(JobSpec, SampleFieldsRoundTrip)
+{
+    JobSpec s = sampledSpec();
+    s.sampleSeed = 7;
+    json::Value v;
+    ASSERT_TRUE(json::parse(s.toJson(), v));
+    JobSpec back;
+    std::string err;
+    ASSERT_TRUE(JobSpec::fromJson(v, back, err)) << err;
+    EXPECT_EQ(back.sampleInterval, 50000u);
+    EXPECT_EQ(back.sampleCount, 4u);
+    EXPECT_EQ(back.sampleWarmup, 10000u);
+    EXPECT_EQ(back.sampleSeed, 7u);
+    EXPECT_EQ(back.toJson(), s.toJson());
+}
+
+TEST(JobManager, SubmitValidatesSamplingSpecs)
+{
+    JobManagerConfig cfg;
+    JobManager mgr(cfg);
+
+    auto expectBad = [&](JobSpec s, const char *what) {
+        SubmitResult r = mgr.submit(s);
+        EXPECT_FALSE(r.ok) << what;
+        EXPECT_EQ(r.httpStatus, 400) << what;
+        EXPECT_FALSE(r.error.empty()) << what;
+    };
+
+    JobSpec multi = sampledSpec();
+    multi.cores = 2;
+    expectBad(multi, "sampling with multiple cores");
+
+    JobSpec stream = sampledSpec();
+    stream.statsInterval = 1000;
+    expectBad(stream, "sampling with stats_interval");
+
+    JobSpec cyc = sampledSpec();
+    cyc.maxCycles = 100000;
+    expectBad(cyc, "sampling with max_cycles");
+
+    JobSpec orphan;
+    orphan.workload = "crc";
+    orphan.sampleWarmup = 1000; // without sample_interval
+    expectBad(orphan, "sample knobs without sample_interval");
+}
+
+TEST(JobManager, SampledJobRunsAndCacheKeyFoldsSamplingParams)
+{
+    const std::string dir = scratchDir("sample_cache");
+    JobManagerConfig cfg;
+    cfg.cacheDir = dir;
+    JobManager mgr(cfg);
+
+    // A sampled batch job completes with the sampled-mode document.
+    SubmitResult r = mgr.submit(sampledSpec());
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_FALSE(r.cached);
+    JobInfo info = waitState(mgr, r.id, JobState::Done);
+    EXPECT_TRUE(info.checksumOk);
+    EXPECT_GT(info.insts, 0u);   // fast-forward total
+    EXPECT_GT(info.cycles, 0u);  // extrapolated estimate
+    std::string doc1;
+    ASSERT_TRUE(mgr.stats(r.id, doc1));
+    EXPECT_TRUE(json::validate(doc1)) << doc1;
+    EXPECT_NE(doc1.find("\"mode\": \"sampled\""), std::string::npos);
+    EXPECT_EQ(mgr.counters().simulated.load(), 1u);
+
+    // The stream closed with the sampled summary line.
+    size_t cursor = 0;
+    bool done = false;
+    std::vector<std::string> lines;
+    while (!done)
+        ASSERT_TRUE(mgr.readStream(r.id, cursor, lines, done));
+    ASSERT_FALSE(lines.empty());
+    EXPECT_NE(lines.back().find("\"mode\": \"sampled\""),
+              std::string::npos);
+
+    // Identical sampled spec: served from cache, byte-identical, no
+    // second simulation — and the cached hit carries the totals.
+    SubmitResult hit = mgr.submit(sampledSpec());
+    ASSERT_TRUE(hit.ok) << hit.error;
+    EXPECT_TRUE(hit.cached);
+    std::string doc2;
+    ASSERT_TRUE(mgr.stats(hit.id, doc2));
+    EXPECT_EQ(doc2, doc1);
+    EXPECT_EQ(mgr.counters().simulated.load(), 1u);
+    JobInfo cachedInfo;
+    ASSERT_TRUE(mgr.get(hit.id, cachedInfo));
+    EXPECT_EQ(cachedInfo.insts, info.insts);
+    EXPECT_EQ(cachedInfo.cycles, info.cycles);
+    EXPECT_TRUE(cachedInfo.checksumOk);
+
+    // A *full* run of the same workload+config must not collide with
+    // the sampled document: different key, real simulation, and a
+    // full-run (not sampled) stats document.
+    JobSpec full;
+    full.workload = "crc";
+    full.priority = JobPriority::Batch;
+    SubmitResult fr = mgr.submit(full);
+    ASSERT_TRUE(fr.ok) << fr.error;
+    EXPECT_FALSE(fr.cached);
+    waitState(mgr, fr.id, JobState::Done);
+    std::string fullDoc;
+    ASSERT_TRUE(mgr.stats(fr.id, fullDoc));
+    EXPECT_EQ(fullDoc.find("\"mode\": \"sampled\""), std::string::npos);
+    EXPECT_EQ(mgr.counters().simulated.load(), 2u);
+
+    // Every sampling knob is part of the key: varying any one of
+    // interval, count, warm-up or seed misses the cache.
+    unsigned expectSim = 2;
+    for (int knob = 0; knob < 4; ++knob) {
+        JobSpec s = sampledSpec();
+        if (knob == 0)
+            s.sampleInterval = 25000;
+        else if (knob == 1)
+            s.sampleCount = 3;
+        else if (knob == 2)
+            s.sampleWarmup = 5000;
+        else
+            s.sampleSeed = 42;
+        SubmitResult miss = mgr.submit(s);
+        ASSERT_TRUE(miss.ok) << miss.error;
+        EXPECT_FALSE(miss.cached) << "knob " << knob;
+        waitState(mgr, miss.id, JobState::Done);
+        EXPECT_EQ(mgr.counters().simulated.load(), ++expectSim)
+            << "knob " << knob;
+    }
+
+    std::filesystem::remove_all(dir);
+}
+
 } // namespace serve
 } // namespace xt910

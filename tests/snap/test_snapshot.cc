@@ -99,6 +99,47 @@ TEST(Roundtrip, MultiCoreSaveRestoreSave)
     EXPECT_EQ(a, b);
 }
 
+TEST(Roundtrip, FunctionalOnlySnapshotRestoresColdTiming)
+{
+    // The sampled-simulation capture format: only MEMR + ISS are
+    // serialized (the fast-forwarding System never touches its timing
+    // side), and restore leaves every timing component at
+    // construction state.
+    WorkloadOptions o;
+    WorkloadBuild wb = findWorkload("list").build(o);
+    SystemConfig cfg;
+
+    System ff(cfg);
+    ff.loadProgram(wb.program);
+    Iss &iss = ff.iss();
+    for (int i = 0; i < 2000; ++i)
+        iss.step(0);
+    std::vector<uint8_t> fn =
+        snap::saveSnapshotBytes(ff, 2000, /*functionalOnly=*/true);
+    std::vector<uint8_t> full = snap::saveSnapshotBytes(ff, 2000);
+    EXPECT_LT(fn.size(), full.size() / 4);
+
+    snap::SnapshotInfo info = snap::inspectSnapshot(fn.data(), fn.size());
+    ASSERT_EQ(info.sections.size(), 2u);
+    EXPECT_EQ(info.sections[0].tag, "MEMR");
+    EXPECT_EQ(info.sections[1].tag, "ISS ");
+
+    System sys(cfg);
+    uint64_t insts = snap::restoreSnapshotBytes(sys, fn.data(), fn.size());
+    EXPECT_EQ(insts, 2000u);
+    // Architectural state came across...
+    EXPECT_EQ(sys.iss().hart(0).pc, iss.hart(0).pc);
+    EXPECT_EQ(sys.iss().hart(0).instret, iss.hart(0).instret);
+    // ...and the timing side is untouched construction state.
+    EXPECT_EQ(sys.core(0).cycles(), 0u);
+    EXPECT_EQ(sys.memSystem().l1d(0).misses.value(), 0u);
+    // A functional-only snapshot must serialize back identically after
+    // the restore (the architectural round-trip is exact).
+    std::vector<uint8_t> again =
+        snap::saveSnapshotBytes(sys, insts, /*functionalOnly=*/true);
+    EXPECT_EQ(fn, again);
+}
+
 TEST(Inspect, HeaderAndSectionTable)
 {
     WorkloadOptions o;

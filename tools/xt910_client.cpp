@@ -20,6 +20,9 @@
  *                      --scale N --l2-kib N --dram-latency N
  *                      --no-prefetch --max-insts N --max-cycles N
  *                      --stats-interval N --timeout-secs T --batch
+ *                      --sample-interval N --sample-count N
+ *                      --sample-warmup N --sample-seed N (sampled
+ *                      mode: see `xt910-run --help`; batch-friendly)
  *   status ID          print the job's status document
  *   watch ID           stream the job's JSONL records until it ends
  *                      (--out FILE writes them to a file instead)
@@ -203,6 +206,14 @@ parseSubmitArgs(const std::vector<std::string> &args, std::string &body,
             num("max_cycles");
         else if (a == "--stats-interval")
             num("stats_interval");
+        else if (a == "--sample-interval")
+            num("sample_interval");
+        else if (a == "--sample-count")
+            num("sample_count");
+        else if (a == "--sample-warmup")
+            num("sample_warmup");
+        else if (a == "--sample-seed")
+            num("sample_seed");
         else if (a == "--timeout-secs")
             num("timeout_secs");
         else if (a == "--extended")

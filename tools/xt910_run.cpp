@@ -38,6 +38,16 @@
  *                                instructions (crash-safe write-rename)
  *   --checkpoint-dir D           where checkpoints land (default ".")
  *   --restore FILE               resume from a snapshot file
+ *   --sample-interval N          sampled mode: fast-forward in ISS
+ *                                mode, measure detailed timing only on
+ *                                N-instruction intervals and
+ *                                extrapolate with error bars
+ *   --sample-count K             measured intervals (default: every
+ *                                captured candidate)
+ *   --sample-warmup N            detailed warm-up instructions before
+ *                                each measured interval
+ *   --sample-seed S              0 = evenly spaced intervals, else a
+ *                                seeded deterministic random pick
  *   --timeout-secs T             per-job wall-clock budget (farm runs)
  *   --retries R                  attempts after a failed/hung job
  *                                (default 1; retries restore from the
@@ -55,6 +65,7 @@
  * report).
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -77,6 +88,7 @@
 #include "common/version.h"
 #include "obs/konata.h"
 #include "obs/sampler.h"
+#include "sample/sample.h"
 #include "serve/report.h"
 #include "snap/snapshot.h"
 #include "workloads/wl_common.h"
@@ -103,6 +115,8 @@ usage()
         "         --jobs N (multi-workload / campaign parallelism)\n"
         "         --checkpoint-every N  --checkpoint-dir D\n"
         "         --restore FILE  --timeout-secs T  --retries R\n"
+        "         --sample-interval N  --sample-count K\n"
+        "         --sample-warmup N  --sample-seed S\n"
         "         --profile-hot (needs an XT910_PROFILE=ON build)\n"
         "fault kinds: reg freg vreg mem cacheline access mispredict\n");
 }
@@ -158,6 +172,7 @@ main(int argc, char **argv)
     uint64_t ckptEvery = 0;
     std::string ckptDir = ".";
     std::string restorePath;
+    sample::SampleConfig sampleCfg;
     double timeoutSecs = 0.0;
     unsigned retries = 1;
     std::string testTimeout;
@@ -252,6 +267,14 @@ main(int argc, char **argv)
             ckptDir = next();
         } else if (a == "--restore") {
             restorePath = next();
+        } else if (a == "--sample-interval") {
+            sampleCfg.interval = uint64_t(std::atoll(next()));
+        } else if (a == "--sample-count") {
+            sampleCfg.count = unsigned(std::atoi(next()));
+        } else if (a == "--sample-warmup") {
+            sampleCfg.warmup = uint64_t(std::atoll(next()));
+        } else if (a == "--sample-seed") {
+            sampleCfg.seed = uint64_t(std::atoll(next()));
         } else if (a == "--timeout-secs") {
             timeoutSecs = std::atof(next());
         } else if (a == "--retries") {
@@ -303,6 +326,35 @@ main(int argc, char **argv)
     if (!restorePath.empty() && workloads.size() > 1) {
         std::fprintf(stderr, "--restore needs a single workload\n");
         return 2;
+    }
+    if ((sampleCfg.count || sampleCfg.warmup || sampleCfg.seed) &&
+        !sampleCfg.interval) {
+        std::fprintf(stderr, "--sample-count/--sample-warmup/"
+                             "--sample-seed need --sample-interval\n");
+        return 2;
+    }
+    if (sampleCfg.interval) {
+        if (workloads.size() > 1) {
+            std::fprintf(stderr,
+                         "--sample-interval needs a single workload\n");
+            return 2;
+        }
+        if (cores != 1) {
+            std::fprintf(stderr,
+                         "sampled mode requires --cores 1 (functional "
+                         "fast-forward and detailed timing interleave "
+                         "harts differently)\n");
+            return 2;
+        }
+        if (injectRuns || ckptEvery || !restorePath.empty() ||
+            !konataPath.empty() || statsInterval || maxCycles) {
+            std::fprintf(
+                stderr,
+                "--sample-interval is incompatible with --inject, "
+                "--checkpoint-every, --restore, --trace-konata, "
+                "--stats-interval and --max-cycles\n");
+            return 2;
+        }
     }
     const std::string workload = workloads[0];
 
@@ -445,6 +497,64 @@ main(int argc, char **argv)
     }
 
     WorkloadBuild wb = findWorkload(workload).build(wo);
+
+    if (sampleCfg.interval) {
+        // Sampled mode: fast-forward functionally, measure detailed
+        // timing only on sampled intervals (sharded over the run
+        // farm), extrapolate with error bars. See DESIGN.md "Sampled
+        // simulation" for the methodology contract.
+        sample::SampleHooks hooks;
+        if (paged)
+            hooks.setup = [&](System &sys) {
+                setupPaging(sys, wb.program);
+            };
+        hooks.checkResult = [&](System &sys) {
+            return wl::readResult(sys.memory(), wb.program) ==
+                   wb.expected;
+        };
+        sample::SampleReport rep;
+        const auto t0 = std::chrono::steady_clock::now();
+        try {
+            rep = sample::runSampled(cfg, wb.program, sampleCfg,
+                                     resolvedJobs, hooks);
+        } catch (const sample::SampleError &e) {
+            std::fprintf(stderr, "sampled run failed: %s\n", e.what());
+            return 2;
+        }
+        const std::chrono::duration<double> el =
+            std::chrono::steady_clock::now() - t0;
+        if (!statsJsonPath.empty()) {
+            std::ostringstream os;
+            sample::writeSampleJson(os, workload, rep);
+            const std::string doc = os.str();
+            try {
+                snapWriteFileAtomic(statsJsonPath, doc.data(),
+                                    doc.size());
+            } catch (const SnapError &e) {
+                std::fprintf(stderr, "cannot write %s: %s\n",
+                             statsJsonPath.c_str(), e.what());
+                return 2;
+            }
+        }
+        std::printf("workload   : %s (%s%s, sampled)\n",
+                    workload.c_str(), p.name.c_str(),
+                    wo.extended ? ", extended" : "");
+        std::printf("%s", sample::summarize(rep).c_str());
+        std::printf("host time  : %.3f s (%.2f MIPS end-to-end)\n",
+                    el.count(),
+                    el.count() > 0
+                        ? double(rep.totalInsts) / el.count() / 1e6
+                        : 0.0);
+        std::printf("checksum   : %s\n",
+                    rep.checksumOk ? "ok" : "MISMATCH");
+        if (!rep.halted) {
+            std::fprintf(stderr,
+                         "fast-forward stopped at the instruction "
+                         "limit before the workload halted\n");
+            return 3;
+        }
+        return rep.checksumOk ? 0 : 1;
+    }
 
     // Resuming: the instruction budget is a whole-run budget, so the
     // part already retired before the snapshot comes off the top.
