@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Host-side cost of the timing model's consume path, isolated from the
+ * ISS: per-OpClass nanoseconds per instruction for the per-record
+ * reference path (XtCore::consume) and the block-batched path
+ * (XtCore::consumeBlock, DESIGN.md §3h), plus the simple-slot hit
+ * rate each record stream achieves.
+ *
+ * Method: assemble a small kernel dominated by one op class, run the
+ * ISS once to capture its retired-record stream, then replay the same
+ * records into fresh timing cores — per-record and in spans — timing
+ * only the consume calls. Replay keeps the measurement free of ISS
+ * cost and makes the two paths consume byte-identical inputs.
+ *
+ * Like bench_simspeed this is a bench about the simulator, not the
+ * modelled core; it writes a BENCH_consume.json sidecar next to
+ * BENCH_simspeed.json so consume-cost regressions are visible
+ * per class, not just in end-to-end MIPS.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "baseline/presets.h"
+#include "common/log.h"
+#include "common/version.h"
+#include "core/core.h"
+#include "func/csr.h"
+#include "func/iss.h"
+#include "mem/memsystem.h"
+#include "xasm/assembler.h"
+
+namespace xt910
+{
+namespace
+{
+
+using namespace reg;
+
+struct Scenario
+{
+    const char *name;
+    std::function<void(Assembler &)> body;
+};
+
+/** Kernel: @p body repeated inside a counted loop (the loop branch
+ *  adds one Branch + one IntAlu per iteration to every stream). */
+Program
+kernel(const Scenario &sc, int iters)
+{
+    Assembler a;
+    // Scratch pointer for the memory scenarios (off-image region the
+    // workloads also use; sparse memory reads back zero).
+    a.li(s1, 0x9000'0000);
+    a.li(s0, iters);
+    a.label("loop");
+    sc.body(a);
+    a.addi(s0, s0, -1);
+    a.bnez(s0, "loop");
+    a.ebreak();
+    return a.assemble();
+}
+
+/** The ISS-retired record stream of @p prog (block cache on, so the
+ *  records carry µop-plan slots exactly as System hands them over). */
+std::vector<ExecRecord>
+captureRecords(const Program &prog, size_t cap)
+{
+    Memory mem;
+    IssOptions io;
+    io.blockCache = true;
+    Iss iss(mem, 1, io);
+    iss.loadProgram(prog);
+    std::vector<ExecRecord> recs;
+    recs.reserve(cap);
+    while (!iss.halted(0) && recs.size() < cap)
+        recs.push_back(iss.step(0));
+    return recs;
+}
+
+struct Cost
+{
+    double recordNs = 0.0; ///< per-record consume() path
+    double blockNs = 0.0;  ///< consumeBlock() span path
+    double hitRate = 0.0;  ///< simple-slot fraction in the block path
+};
+
+/** Replay @p recs into fresh cores, best of @p reps per path. */
+Cost
+measure(const std::vector<ExecRecord> &recs, const CoreParams &cp,
+        int reps)
+{
+    constexpr unsigned kSpan = 64;
+    MemSystemParams mp;
+    mp.numCores = 1;
+    Memory ptMem;
+    Cost cost;
+    double bestRec = 1e30, bestBlk = 1e30;
+    for (int i = 0; i < reps; ++i) {
+        {
+            MemSystem ms(mp);
+            XtCore core(0, cp, ms, ptMem);
+            auto t0 = std::chrono::steady_clock::now();
+            for (const ExecRecord &r : recs)
+                core.consume(r);
+            double sec = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+            bestRec = std::min(bestRec, sec / double(recs.size()));
+        }
+        {
+            MemSystem ms(mp);
+            XtCore core(0, cp, ms, ptMem);
+            auto t0 = std::chrono::steady_clock::now();
+            for (size_t at = 0; at < recs.size(); at += kSpan) {
+                unsigned n = unsigned(
+                    std::min<size_t>(kSpan, recs.size() - at));
+                core.consumeBlock(recs.data() + at, n);
+            }
+            double sec = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+            bestBlk = std::min(bestBlk, sec / double(recs.size()));
+            cost.hitRate = double(core.simpleSlotInsts()) /
+                           double(core.retired());
+        }
+    }
+    cost.recordNs = bestRec * 1e9;
+    cost.blockNs = bestBlk * 1e9;
+    return cost;
+}
+
+} // namespace
+} // namespace xt910
+
+int
+main(int argc, char **argv)
+{
+    using namespace xt910;
+
+    std::string out = "BENCH_consume.json";
+    int reps = 3;
+    int iters = 20000;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a.rfind("--out=", 0) == 0)
+            out = a.substr(6);
+        else if (a.rfind("--reps=", 0) == 0)
+            reps = std::atoi(a.c_str() + 7);
+        else if (a.rfind("--iters=", 0) == 0)
+            iters = std::atoi(a.c_str() + 8);
+        else {
+            std::fprintf(stderr,
+                         "usage: %s [--out=FILE] [--reps=N] "
+                         "[--iters=N]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+    if (reps < 1)
+        reps = 1;
+
+    // One kernel per op class the consume path treats differently:
+    // the simple-slot classes (alu/mul/div/branch), the memory classes
+    // (slow path: LSU, store queue, prefetcher), and a serializer.
+    const std::vector<Scenario> scenarios = {
+        {"IntAlu",
+         [](Assembler &a) {
+             for (int k = 0; k < 8; ++k)
+                 a.addi(a0, a0, 1);
+         }},
+        {"IntMul",
+         [](Assembler &a) {
+             for (int k = 0; k < 8; ++k)
+                 a.mul(a0, a0, a1);
+         }},
+        {"IntDiv",
+         [](Assembler &a) {
+             for (int k = 0; k < 4; ++k)
+                 a.div(a0, a0, a1);
+         }},
+        {"Branch",
+         [](Assembler &a) {
+             for (int k = 0; k < 4; ++k) {
+                 a.beq(zero, zero, "b" + std::to_string(k));
+                 a.label("b" + std::to_string(k));
+             }
+         }},
+        {"Load",
+         [](Assembler &a) {
+             for (int k = 0; k < 8; ++k)
+                 a.ld(a0, s1, 8 * k);
+         }},
+        {"Store",
+         [](Assembler &a) {
+             for (int k = 0; k < 8; ++k)
+                 a.sd(a1, s1, 8 * k);
+         }},
+        {"Csr",
+         [](Assembler &a) {
+             for (int k = 0; k < 2; ++k)
+                 a.csrr(a2, csr::minstret);
+         }},
+    };
+
+    const CoreParams cp = xt910Preset().config.core;
+    constexpr size_t cap = 200'000;
+
+    struct Row
+    {
+        std::string name;
+        size_t insts;
+        Cost cost;
+    };
+    std::vector<Row> rows;
+
+    std::printf("consume cost per op-class stream (best of %d)\n",
+                reps);
+    std::printf("%-8s %9s | %12s %12s %8s %9s\n", "class", "insts",
+                "record ns/i", "block ns/i", "speedup", "hit rate");
+    for (const Scenario &sc : scenarios) {
+        std::vector<ExecRecord> recs =
+            captureRecords(kernel(sc, iters), cap);
+        xt_assert(!recs.empty(), "no records for ", sc.name);
+        Row row{sc.name, recs.size(), measure(recs, cp, reps)};
+        std::printf("%-8s %9zu | %12.1f %12.1f %7.2fx %8.1f%%\n",
+                    row.name.c_str(), row.insts, row.cost.recordNs,
+                    row.cost.blockNs,
+                    row.cost.blockNs > 0
+                        ? row.cost.recordNs / row.cost.blockNs
+                        : 0.0,
+                    100.0 * row.cost.hitRate);
+        rows.push_back(std::move(row));
+    }
+
+    std::ofstream os(out);
+    if (!os) {
+        std::fprintf(stderr, "cannot write %s\n", out.c_str());
+        return 1;
+    }
+    os << "{\n  \"buildInfo\": \"" << buildInfo("bench_consume")
+       << "\",\n  \"reps\": " << reps << ",\n  \"classes\": [\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        char buf[256];
+        std::snprintf(
+            buf, sizeof(buf),
+            "    { \"name\": \"%s\", \"insts\": %zu,\n"
+            "      \"consume_ns_per_inst\": %.1f, "
+            "\"block_consume_ns_per_inst\": %.1f, "
+            "\"simple_hit_rate\": %.3f }%s\n",
+            r.name.c_str(), r.insts, r.cost.recordNs, r.cost.blockNs,
+            r.cost.hitRate, i + 1 < rows.size() ? "," : "");
+        os << buf;
+    }
+    os << "  ]\n}\n";
+    std::printf("wrote %s\n", out.c_str());
+    return 0;
+}

@@ -30,6 +30,7 @@
 
 #include "baseline/presets.h"
 #include "common/log.h"
+#include "common/version.h"
 #include "core/system.h"
 #include "func/iss.h"
 #include "workloads/wl_common.h"
@@ -244,7 +245,11 @@ main(int argc, char **argv)
         std::fprintf(stderr, "cannot write %s\n", out.c_str());
         return 1;
     }
-    os << "{\n  \"reps\": " << reps << ",\n  \"workloads\": [\n";
+    // Provenance: MIPS numbers are host-dependent, so the artifact
+    // records which binary produced them (git describe + schema).
+    os << "{\n  \"buildInfo\": \""
+       << buildInfo("bench_simspeed") << "\",\n";
+    os << "  \"reps\": " << reps << ",\n  \"workloads\": [\n";
     for (size_t i = 0; i < rows.size(); ++i) {
         const Row &r = rows[i];
         char buf[384];

@@ -19,6 +19,11 @@ DirectionPredictor::DirectionPredictor(const DirectionParams &p_,
                      std::vector<uint8_t>((size_t(1) << p.tableBits) / 16 +
                                               1,
                                           2));
+    // The per-bank history slice is fixed by the geometry; cache the
+    // masks so index() — banks+1 calls per update — is division-free.
+    histMask.resize(p.banks);
+    for (unsigned b = 0; b < p.banks; ++b)
+        histMask[b] = mask(p.historyBits * (b + 1) / p.banks);
 }
 
 size_t
@@ -26,8 +31,7 @@ DirectionPredictor::index(Addr pc, unsigned bank) const
 {
     // Each bank hashes pc and a different slice of the history so the
     // banks behave like predictors of different history lengths.
-    unsigned hbits = p.historyBits * (bank + 1) / p.banks;
-    uint64_t h = history & mask(hbits);
+    uint64_t h = history & histMask[bank];
     return size_t(((pc >> 1) ^ h ^ (h << 3)) & mask(p.tableBits));
 }
 
@@ -35,13 +39,13 @@ unsigned
 DirectionPredictor::chooseBank(Addr pc) const
 {
     // Dynamic monitoring: pick the bank with the best recent score for
-    // this pc region.
+    // this pc region. Every bank's score table has the same geometry,
+    // so the (integer-division) region index is computed once.
+    const size_t s = (pc >> 5) % bankScore[0].size();
     unsigned best = 0;
-    for (unsigned b = 1; b < p.banks; ++b) {
-        size_t s = (pc >> 5) % bankScore[b].size();
+    for (unsigned b = 1; b < p.banks; ++b)
         if (bankScore[b][s] > bankScore[best][s])
             best = b;
-    }
     return best;
 }
 
@@ -62,6 +66,7 @@ DirectionPredictor::update(Addr pc, bool taken)
     if (mispredict)
         ++mispredicts;
 
+    const size_t s = (pc >> 5) % bankScore[0].size();
     for (unsigned b = 0; b < p.banks; ++b) {
         BankEntry &e = banks[b][index(pc, b)];
         bool thisPredicted = e.counter >= 2;
@@ -71,7 +76,6 @@ DirectionPredictor::update(Addr pc, bool taken)
         else if (!taken && e.counter > 0)
             --e.counter;
         // Score the bank's accuracy for the monitoring algorithm.
-        size_t s = (pc >> 5) % bankScore[b].size();
         uint8_t &score = bankScore[b][s];
         if (thisPredicted == taken && score < 3)
             ++score;

@@ -75,6 +75,8 @@ class DirectionPredictor
     unsigned chooseBank(Addr pc) const;
 
     DirectionParams p;
+    /** Per-bank history mask (geometry-derived, not serialized). */
+    std::vector<uint64_t> histMask;
     std::vector<std::vector<BankEntry>> banks;
     /** Per-bank success score for the dynamic monitoring algorithm. */
     std::vector<std::vector<uint8_t>> bankScore;

@@ -188,16 +188,23 @@ systemConfig(const GenProgram &prog)
 } // namespace
 
 ArchSnapshot
-runSystem(const GenProgram &prog)
+runSystem(const GenProgram &prog, bool disableBlockConsume,
+          std::string *statsJson)
 {
     Program p = prog.assemble();
     SystemConfig cfg = systemConfig(prog);
+    cfg.disableBlockConsume = disableBlockConsume;
     System sys(cfg);
     sys.loadProgram(p);
     RunResult r = sys.run();
     ArchSnapshot snap =
         capture(sys.iss(), sys.memory(), p, prog.cfg.vlenBits);
     snap.ran = r.stop == StopReason::Halted;
+    if (statsJson) {
+        std::ostringstream os;
+        sys.dumpStatsJson(os, true);
+        *statsJson = os.str();
+    }
     return snap;
 }
 
@@ -217,10 +224,24 @@ checkProgram(const GenProgram &prog)
         res.what = "block-cache vs legacy decode: " + describeDiff(a, b);
         return res;
     }
-    ArchSnapshot c = runSystem(prog);
+    std::string statsC, statsD;
+    ArchSnapshot c = runSystem(prog, false, &statsC);
     if (!(a == c)) {
         res.ok = false;
         res.what = "ISS-only vs timing System: " + describeDiff(a, c);
+        return res;
+    }
+    ArchSnapshot d = runSystem(prog, true, &statsD);
+    if (!(c == d)) {
+        res.ok = false;
+        res.what = "block-consume vs per-record timing: " +
+                   describeDiff(c, d);
+        return res;
+    }
+    if (statsC != statsD) {
+        res.ok = false;
+        res.what =
+            "block-consume vs per-record timing: stats JSON differs";
         return res;
     }
     if (prog.hasExpectHash && a.guestHash != prog.expectHash) {

@@ -8,6 +8,10 @@
  *   A  ISS, predecoded block-cache fast path (the default engine)
  *   B  ISS, legacy per-PC decode cache (blockCache = false)
  *   C  full System run — ISS oracle + timing core + coherent memory
+ *   D  full System run with the block-batched consume hand-off
+ *      disabled (per-record timing path); besides the architectural
+ *      snapshot, C and D must agree on the component-stats JSON
+ *      byte-for-byte (DESIGN.md §3h)
  *
  * plus, across a batch, running path A under worker counts 1 and N
  * (the run farm must be invisible in results).
@@ -58,8 +62,15 @@ std::string describeDiff(const ArchSnapshot &a, const ArchSnapshot &b);
 /** Run @p prog through a pure-ISS engine. */
 ArchSnapshot runIss(const GenProgram &prog, bool blockCache);
 
-/** Run @p prog through a full System (timing + memory hierarchy). */
-ArchSnapshot runSystem(const GenProgram &prog);
+/**
+ * Run @p prog through a full System (timing + memory hierarchy).
+ * @p disableBlockConsume selects the per-record timing path (leg D);
+ * when @p statsJson is non-null the component-stats dump (without
+ * host-dependent fields) is returned through it for cross-leg diffs.
+ */
+ArchSnapshot runSystem(const GenProgram &prog,
+                       bool disableBlockConsume = false,
+                       std::string *statsJson = nullptr);
 
 /** Outcome of a differential check. */
 struct DiffResult

@@ -43,11 +43,14 @@ now()
 
 enum Section : unsigned
 {
-    Frontend, ///< fetch/loop-buffer/decode gate
-    Rename,   ///< window stalls + rename gate
-    Issue,    ///< IQ admit, port probe/book, issue gate
-    Execute,  ///< execute switch incl. memory-system calls
-    Retire,   ///< retire gate, ROB/top-down bookkeeping
+    Frontend,     ///< fetch/loop-buffer/decode gate
+    Rename,       ///< window stalls + rename gate
+    Issue,        ///< IQ admit, port probe/book, issue gate
+    Execute,      ///< execute switch incl. memory-system calls
+    Retire,       ///< retire gate, ROB/top-down bookkeeping
+    BlockConsume, ///< whole consumeBlock() spans (contains the two below)
+    SimpleSlot,   ///< precomputed single-µop fast path per record
+    SlowSlot,     ///< full consume walk per record (contains the five above)
     NumSections
 };
 
@@ -75,16 +78,20 @@ inline void
 report(std::ostream &os)
 {
     static const char *names[NumSections] = {
-        "frontend", "rename", "issue", "execute", "retire"};
+        "frontend",      "rename",     "issue",    "execute", "retire",
+        "block-consume", "simple-slot", "slow-slot"};
+    // Percentages are over the five disjoint stage sections only: the
+    // block-consume/slot sections nest around them (inclusive timing),
+    // so adding them in would double-count.
     uint64_t total = 0;
-    for (unsigned i = 0; i < NumSections; ++i)
+    for (unsigned i = 0; i <= Retire; ++i)
         total += sections[i].ticks;
     os << "hot-path profile (tsc ticks):\n";
     for (unsigned i = 0; i < NumSections; ++i) {
         const SectionStats &ss = sections[i];
         os << "  " << names[i] << ": " << ss.ticks << " ticks, "
            << ss.calls << " calls";
-        if (total)
+        if (total && i <= Retire)
             os << " (" << (ss.ticks * 1000 / total) / 10.0 << "%)";
         os << "\n";
     }

@@ -213,6 +213,45 @@ class PortSchedule
     {
         xt_assert(len > 0 && len <= lookback, "port occupancy too long");
         Cycle c = earliest < base ? base : earliest;
+        // Busy-run memo: bits are only ever *set* inside the window, so
+        // "[busyFrom, busyTo) had no free cycle" can never become false
+        // — a probe landing inside that run may start at its end. On a
+        // saturated port this skips re-scanning the whole in-flight
+        // backlog (~ROB depth) that every consume would otherwise walk.
+        if (c >= busyFrom && c < busyTo)
+            c = busyTo;
+        if (len == 1) {
+            // Single-cycle occupancy (every pipelined µop): the next
+            // free cycle is the next *clear bit*, found word-at-a-time.
+            // The generic restart loop below advances one cycle per
+            // conflict, which profiling showed walking the entire
+            // port-bound backlog (~ROB depth) per probe on
+            // branch-dense code.
+            const Cycle scanStart = c;
+            for (;;) {
+                if (c + 1 > base + window)
+                    slide(c + 1);
+                uint64_t b = c - base;
+                uint64_t m = ~uint64_t(0) << (b & 63);
+                for (uint64_t wi = b >> 6; wi < words; ++wi) {
+                    uint64_t freeBits = ~bits[wi] & m;
+                    if (freeBits) {
+                        Cycle r = base + (wi << 6) +
+                                  unsigned(__builtin_ctzll(freeBits));
+                        // [scanStart, r) is busy; merge into the memo.
+                        if (scanStart == busyTo) {
+                            busyTo = r;
+                        } else if (r > busyTo) {
+                            busyFrom = scanStart;
+                            busyTo = r;
+                        }
+                        return r;
+                    }
+                    m = ~uint64_t(0);
+                }
+                c = base + window; // whole window busy above c: slide
+            }
+        }
         for (;;) {
             if (c + len > base + window)
                 slide(c + len);
@@ -265,6 +304,7 @@ class PortSchedule
         maxBooked = r.u64();
         for (unsigned i = 0; i < words; ++i)
             bits[i] = r.u64();
+        busyFrom = busyTo = 0; // memo may not describe the new bitmap
     }
 
   private:
@@ -324,6 +364,14 @@ class PortSchedule
 
     Cycle base = 0;
     Cycle maxBooked = 0;
+    /**
+     * Known-busy run [busyFrom, busyTo): a pure probe memo, valid
+     * because booked bits are never cleared inside the window. Not
+     * serialized — snapLoad leaves it empty (conservative: probes
+     * just re-scan once).
+     */
+    Cycle busyFrom = 0;
+    Cycle busyTo = 0;
     std::array<uint64_t, words> bits{};
 };
 

@@ -39,6 +39,49 @@ isMacOp(Opcode op)
     }
 }
 
+/**
+ * Classes whose execute stage is consume()'s plain `issue + latency`
+ * default arm — no memory system, no vector-length dependence. These
+ * are the simple-slot candidates (core.h PlanFlag::kSimple).
+ */
+bool
+simpleClass(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::IntAlu:
+      case OpClass::IntMul:
+      case OpClass::IntDiv:
+      case OpClass::Branch:
+      case OpClass::Jump:
+      case OpClass::FpAlu:
+      case OpClass::FpMul:
+      case OpClass::FpDiv:
+      case OpClass::FpCvt:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Opcodes with post-retire microarchitectural side effects (the
+ *  cache/TLB maintenance switch at the tail of consumeSlow). */
+bool
+isCacheTlbOp(Opcode op)
+{
+    switch (op) {
+      case Opcode::XT_DCACHE_CALL:
+      case Opcode::XT_DCACHE_CIALL:
+      case Opcode::XT_ICACHE_IALL:
+      case Opcode::XT_TLB_IALL:
+      case Opcode::XT_TLB_IASID:
+      case Opcode::XT_TLB_BCAST:
+      case Opcode::SFENCE_VMA:
+        return true;
+      default:
+        return false;
+    }
+}
+
 } // namespace
 
 XtCore::XtCore(unsigned coreId_, const CoreParams &params, MemSystem &ms,
@@ -180,6 +223,23 @@ XtCore::buildPlan(const DecodedInst &di, UopPlan &plan) const
         f |= kLoadNotStore;
     if (di.isBranch() || di.isJump())
         f |= kBranchOrJump;
+
+    // Plan-static occupancy, mirroring consumeSlow's occupancy switch:
+    // 0 marks the vector classes whose occupancy depends on the
+    // record's vl/sew and must stay dynamic.
+    if (cls == OpClass::IntDiv || cls == OpClass::FpDiv ||
+        cls == OpClass::VecDiv)
+        plan.occ = plan.latency;
+    else if (cls == OpClass::VecAlu || cls == OpClass::VecMul ||
+             cls == OpClass::VecLoad || cls == OpClass::VecStore)
+        plan.occ = 0;
+    else
+        plan.occ = 1;
+
+    if (simpleClass(cls) &&
+        !(f & (kSerializes | kScalarStore | kSplitStore)) &&
+        !di.isLoad() && !di.isStore() && !isCacheTlbOp(di.op))
+        f |= kSimple;
     plan.flags = f;
 }
 
@@ -229,8 +289,12 @@ XtCore::setReady(RegClass cls, RegIndex r, Cycle c)
 Cycle
 XtCore::iqAdmit(unsigned g, Cycle when, unsigned capacity)
 {
-    MinCycleHeap &q = iqBusy[g];
-    // Entries that issued before `when` have left the queue.
+    SortedCycleRing &q = iqBusy[g];
+    // Entries that issued before `when` have left the queue. In the
+    // steady state the whole queue expires at once; dropThrough proves
+    // that from its live-max bound and clears in O(1), leaving the pop
+    // loop for the partially-expired case.
+    q.dropThrough(when);
     while (!q.empty() && q.min() <= when)
         q.pop();
     // Queue full: dispatch waits for the earliest occupant to issue.
@@ -475,7 +539,10 @@ XtCore::executeLoad(const ExecRecord &rec, Cycle issue)
 
     // Memory-dependence predictor: tagged loads wait for all older
     // store addresses (§V.A "execution is blocked").
-    const bool tagged = p.memDepPredict && taggedLoads.count(rec.pc);
+    // The empty() guard spares the hash on the (overwhelmingly common)
+    // no-violations-yet case — count() on an empty set still hashes.
+    const bool tagged = p.memDepPredict && !taggedLoads.empty() &&
+                        taggedLoads.count(rec.pc);
     if (tagged) {
         Cycle wait = sq.maxAddrReady();
         if (wait > ag) {
@@ -563,8 +630,134 @@ XtCore::executeVectorMem(const ExecRecord &rec, Cycle issue, bool isStore,
 void
 XtCore::consume(const ExecRecord &rec)
 {
+    consumeSlow(rec, planFor(rec));
+}
+
+void
+XtCore::consumeBlock(const ExecRecord *recs, unsigned n)
+{
+    XT_PROF_SCOPE(BlockConsume);
+    if (tracer || traceHook) {
+        // Trace consumers observe per-record capture points; run the
+        // span through the reference path untouched.
+        for (unsigned i = 0; i < n; ++i)
+            consume(recs[i]);
+        return;
+    }
+    for (unsigned i = 0; i < n; ++i) {
+        const ExecRecord &rec = recs[i];
+        const UopPlan &plan = planFor(rec);
+        if ((plan.flags & kSimple) && !rec.trap.valid) {
+            XT_PROF_SCOPE(SimpleSlot);
+            consumeSimple(rec, plan);
+            ++nSimpleSlot;
+        } else {
+            XT_PROF_SCOPE(SlowSlot);
+            consumeSlow(rec, plan);
+        }
+    }
+}
+
+/**
+ * The simple-slot schedule: a kSimple plan guarantees one µop, no
+ * memory access, no serialization, no split store, no cache/TLB side
+ * effects, plan-static pipe occupancy and the plain `issue + latency`
+ * execute arm; the caller guarantees no trap and no trace consumers.
+ * Under those facts this is consumeSlow with every dead branch
+ * removed — each scheduling step below must stay in lockstep with its
+ * slow-path counterpart (tests/core/test_sched.cc pins equivalence).
+ */
+void
+XtCore::consumeSimple(const ExecRecord &rec, const UopPlan &plan)
+{
     const DecodedInst &di = rec.di;
-    const UopPlan &plan = planFor(rec);
+    const uint8_t pf_ = plan.flags;
+
+    // Frontend + decode gate.
+    const Cycle groupStart = lastGroupStart;
+    const Cycle avail = frontend(rec);
+    const Cycle decodeC = decodeBw.schedule(avail);
+
+    ++uops;
+
+    // Rename: ROB capacity + width (no LQ/SQ claims for these ops).
+    Cycle renameC = decodeC + 1;
+    if (rob.size() >= p.robEntries) {
+        renameC = std::max(renameC, rob.front());
+        rob.popFront();
+    }
+    renameC = renameBw.schedule(renameC);
+
+    // Source readiness (incl. the MAC accumulator-forward path).
+    Cycle srcReady = std::max({readyOf(di.rs1Class, di.rs1),
+                               readyOf(di.rs2Class, di.rs2),
+                               readyOf(di.rs3Class, di.rs3)});
+    if (pf_ & kMac) {
+        Cycle acc =
+            di.rdClass == RegClass::None || di.rd == invalidReg
+                ? 0
+                : accReady[unsigned(di.rdClass)][di.rd & 31];
+        srcReady = std::max(srcReady, acc);
+    }
+
+    // Issue: queue admission, port probe/book, issue width.
+    Cycle issueMin = std::max({renameC + 1, srcReady, serializeUntil});
+    if (p.inOrder)
+        issueMin = std::max(issueMin, lastIssue);
+    const unsigned iqGroup = plan.iqGroup;
+    const unsigned iqCap = iqGroup == 0   ? p.iqAluEntries
+                           : iqGroup == 1 ? p.iqMemEntries
+                                          : p.iqFpEntries;
+    issueMin = std::max(issueMin, iqAdmit(iqGroup, renameC + 1, iqCap));
+
+    const Pipe pipeA = Pipe(plan.pipeA);
+    const Pipe pipeB = Pipe(plan.pipeB);
+    const unsigned occupancy = plan.occ;
+    Cycle ta = ports[pipeA].probe(issueMin, occupancy);
+    // probe() returns >= issueMin and ties pick pipeA, so a first-try
+    // hit makes the second probe unreachable.
+    Cycle tb = pipeB != pipeA && ta != issueMin
+                   ? ports[pipeB].probe(issueMin, occupancy)
+                   : ta;
+    Pipe pipe = ta <= tb ? pipeA : pipeB;
+    Cycle slot = std::min(ta, tb);
+    Cycle issueC = issueBw.schedule(slot);
+    if (issueC != slot)
+        issueC = ports[pipe].probe(issueC, occupancy);
+    ports[pipe].book(issueC, occupancy);
+    lastIssue = issueC;
+    iqBusy[iqGroup].push(issueC);
+
+    // Execute: the default arm only.
+    const Cycle done = issueC + plan.latency;
+
+    // Writeback / retirement.
+    if (pf_ & kWritesReg) {
+        setReady(di.rdClass, di.rd, done);
+        accReady[unsigned(di.rdClass)][di.rd & 31] =
+            (pf_ & kMac) ? issueC + 1 : done;
+    }
+    const Cycle retireC =
+        retireBw.schedule(std::max(done + p.retireStages, lastRetire));
+    lastRetire = retireC;
+    XT_INVARIANT(rob.empty() || rob.back() <= retireC,
+                 "ROB retire out of order at pc ", std::hex, rec.pc,
+                 ": ", std::dec, rob.back(), " > ", retireC);
+    rob.pushBack(retireC);
+    topdown.onRetire(retireC, done + p.retireStages >= retireC,
+                     /*memBound=*/false, fetchRedirectBound);
+    maxDone = std::max(maxDone, done);
+
+    if (pf_ & kBranchOrJump)
+        predictAndTrain(rec, groupStart, done);
+
+    ++nRetired;
+}
+
+void
+XtCore::consumeSlow(const ExecRecord &rec, const UopPlan &plan)
+{
+    const DecodedInst &di = rec.di;
     const OpClass cls = OpClass(plan.cls);
     const uint8_t pf_ = plan.flags;
 
@@ -694,7 +887,9 @@ XtCore::consume(const ExecRecord &rec)
             // OoO slot booking: younger µops may claim pipe cycles an
             // older, later-issuing µop left idle.
             Cycle ta = ports[pipeA].probe(issueMin, occupancy);
-            Cycle tb = pipeB != pipeA
+            // probe() returns >= issueMin and ties pick pipeA, so a
+            // first-try hit makes the second probe unreachable.
+            Cycle tb = pipeB != pipeA && ta != issueMin
                            ? ports[pipeB].probe(issueMin, occupancy)
                            : ta;
             Pipe pipe = ta <= tb ? pipeA : pipeB;
@@ -910,7 +1105,7 @@ XtCore::busyHorizon() const
                         issueBw.busyHorizon(), retireBw.busyHorizon()});
     for (const PortSchedule &port : ports)
         h = std::max(h, port.busyHorizon());
-    for (const MinCycleHeap &q : iqBusy)
+    for (const SortedCycleRing &q : iqBusy)
         h = std::max(h, q.busyHorizon());
     h = std::max({h, rob.busyHorizon(), lqRetire.busyHorizon(),
                   sqRetireQ.busyHorizon(), sq.busyHorizon()});
@@ -1053,7 +1248,7 @@ XtCore::snapSave(SnapWriter &w) const
     rob.snapSave(w);
     lqRetire.snapSave(w);
     sqRetireQ.snapSave(w);
-    for (const MinCycleHeap &iq : iqBusy)
+    for (const SortedCycleRing &iq : iqBusy)
         iq.snapSave(w);
 
     sq.snapSave(w);
@@ -1115,7 +1310,7 @@ XtCore::snapLoad(SnapReader &r)
     rob.snapLoad(r);
     lqRetire.snapLoad(r);
     sqRetireQ.snapLoad(r);
-    for (MinCycleHeap &iq : iqBusy)
+    for (SortedCycleRing &iq : iqBusy)
         iq.snapLoad(r);
 
     sq.snapLoad(r);

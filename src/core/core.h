@@ -61,6 +61,27 @@ class XtCore : public PrefetchSink
     /** Advance the model by one architecturally retired instruction. */
     void consume(const ExecRecord &rec);
 
+    /**
+     * Advance the model by a span of @p n architecturally retired
+     * instructions (the block-batched hand-off from Iss::stepBlock,
+     * DESIGN.md §3h). Schedules every record onto exactly the cycles
+     * n consume() calls would — records whose cached plan qualifies
+     * for the precomputed "simple slot" go through a straight-line
+     * fast path, everything else (memory ops, serializers, traps,
+     * vector ops) through the full walk. With a Konata tracer or a
+     * traceHook attached the span degrades to per-record consume()
+     * calls so trace capture points are untouched.
+     */
+    void consumeBlock(const ExecRecord *recs, unsigned n);
+
+    /**
+     * Block-consume accounting (plain counters, deliberately outside
+     * the StatGroup so stats JSON stays byte-identical with the span
+     * path on or off): instructions taken by the simple-slot fast
+     * path. Hit rate = simpleSlotInsts() / retired().
+     */
+    uint64_t simpleSlotInsts() const { return nSimpleSlot; }
+
     /** Cycle the most recently consumed instruction retired. */
     Cycle cycles() const { return lastRetire; }
 
@@ -202,6 +223,10 @@ class XtCore : public PrefetchSink
         uint8_t iqGroup = 0;   ///< 0 = ALU, 1 = Mem, 2 = FpVec
         uint8_t flags = 0;     ///< kSerializes | kMac | ...
         uint16_t latency = 0;  ///< defaultLatency(op)
+        /** Plan-static pipe occupancy (1 for pipelined units, the
+         *  full latency for the unpipelined dividers); 0 = dynamic
+         *  (vector ops: depends on the record's vl/sew). */
+        uint16_t occ = 1;
     };
     enum PlanFlag : uint8_t
     {
@@ -212,6 +237,11 @@ class XtCore : public PrefetchSink
         kLoadNotStore = 1 << 4,
         kScalarStore = 1 << 5,
         kBranchOrJump = 1 << 6,
+        /** Single-µop scalar non-memory non-serializing op with
+         *  plan-static occupancy: eligible for the simple-slot fast
+         *  path in consumeBlock (trap-carrying records still take the
+         *  slow path). */
+        kSimple = 1 << 7,
     };
 
     /** Fill @p plan from a decoded instruction (slow path, once per
@@ -220,6 +250,15 @@ class XtCore : public PrefetchSink
     /** Plan lookup for this record; always returns a valid plan (the
      *  scratch plan is used for records without a block slot). */
     const UopPlan &planFor(const ExecRecord &rec);
+
+    /** Full per-record scheduling walk (consume() minus the plan
+     *  lookup); the reference path every record may take. */
+    void consumeSlow(const ExecRecord &rec, const UopPlan &plan);
+    /** Straight-line schedule for kSimple plans: single µop, no
+     *  memory, no serialization, static occupancy. Bit-equivalent to
+     *  consumeSlow for every record whose plan carries kSimple (the
+     *  fast-path gtests pin this). */
+    void consumeSimple(const ExecRecord &rec, const UopPlan &plan);
 
     /** Frontend: cycle the instruction leaves the IBUF toward decode. */
     Cycle frontend(const ExecRecord &rec);
@@ -305,7 +344,7 @@ class XtCore : public PrefetchSink
 
     /** Issue-queue occupancy: issue cycles of dispatched µops per
      *  queue group (Alu / Mem / FpVec). Entries leave when issued. */
-    std::array<MinCycleHeap, 3> iqBusy;
+    std::array<SortedCycleRing, 3> iqBusy;
     /** Dispatch gating for a µop entering group @p g at @p when. */
     Cycle iqAdmit(unsigned g, Cycle when, unsigned capacity);
 
@@ -324,6 +363,9 @@ class XtCore : public PrefetchSink
     Cycle serializeUntil = 0;
     Cycle maxDone = 0;         ///< completion fence for serializing ops
     uint64_t nRetired = 0;
+    /** Simple-slot fast-path hits (see simpleSlotInsts()). Not a
+     *  stats Counter and not serialized: host-path accounting only. */
+    uint64_t nSimpleSlot = 0;
 
     // vsetvl speculation state (§VII).
     unsigned lastVl = 0;

@@ -147,11 +147,17 @@ class CycleRing
 };
 
 /**
- * Bounded binary min-heap of cycles — issue-queue occupancy. The old
- * std::multiset was only ever read through begin() (the minimum), so a
- * flat heap is an exact replacement with no node allocation.
+ * Bounded sorted ring of cycles — issue-queue occupancy. Replaces the
+ * earlier binary heap (itself a std::multiset replacement): issue
+ * cycles arrive *almost* sorted (a younger µop only books an earlier
+ * cycle when it finds a port hole), so keeping the live multiset as a
+ * sorted circular buffer makes push an append and pop-min a head
+ * increment — no sift, no node allocation — with a short memmove-style
+ * shift only on the rare out-of-order insert. Identical multiset
+ * semantics; the snapshot byte stream (sorted entries) is unchanged
+ * from the heap's canonical form.
  */
-class MinCycleHeap
+class SortedCycleRing
 {
   public:
     void
@@ -159,6 +165,7 @@ class MinCycleHeap
     {
         a = storage;
         cap = capacity;
+        head = 0;
         n = 0;
         maxSeen = 0;
     }
@@ -166,21 +173,21 @@ class MinCycleHeap
     bool empty() const { return n == 0; }
     uint32_t size() const { return n; }
 
-    Cycle min() const { return a[0]; }
+    Cycle min() const { return a[head]; }
 
     void
     push(Cycle c)
     {
-        xt_assert(n < cap, "MinCycleHeap overflow");
-        uint32_t i = n++;
-        while (i > 0) {
-            uint32_t parent = (i - 1) / 2;
-            if (a[parent] <= c)
-                break;
-            a[i] = a[parent];
-            i = parent;
+        xt_assert(n < cap, "SortedCycleRing overflow");
+        // Find the insertion point scanning back from the tail; almost
+        // always the first probe (append) wins.
+        uint32_t i = n;
+        while (i > 0 && at(i - 1) > c) {
+            at(i) = at(i - 1);
+            --i;
         }
-        a[i] = c;
+        at(i) = c;
+        ++n;
         if (c > maxSeen)
             maxSeen = c;
     }
@@ -188,45 +195,47 @@ class MinCycleHeap
     void
     pop()
     {
-        xt_assert(n > 0, "MinCycleHeap underflow");
-        Cycle last = a[--n];
-        uint32_t i = 0;
-        for (;;) {
-            uint32_t kid = 2 * i + 1;
-            if (kid >= n)
-                break;
-            if (kid + 1 < n && a[kid + 1] < a[kid])
-                ++kid;
-            if (a[kid] >= last)
-                break;
-            a[i] = a[kid];
-            i = kid;
-        }
-        if (n)
-            a[i] = last;
+        xt_assert(n > 0, "SortedCycleRing underflow");
+        head = head + 1 == cap ? 0 : head + 1;
+        --n;
     }
 
     void
     clear()
     {
+        head = 0;
         n = 0;
         maxSeen = 0;
     }
 
+    /**
+     * Bulk-expire every entry <= @p when in O(1) when possible: the
+     * ring is sorted, so the tail entry <= when proves the whole queue
+     * would drain through pop()-the-minimum anyway. Exactly equivalent
+     * to popping minima <= when — callers still run that loop for the
+     * partial case. No-op (the caller's loop takes over) otherwise.
+     */
+    void
+    dropThrough(Cycle when)
+    {
+        if (n != 0 && at(n - 1) <= when) {
+            head = 0;
+            n = 0;
+        }
+    }
+
     /** Monotone upper bound on the latest issue cycle ever queued —
-     *  conservative but O(1) (a live-entry max would need a scan). */
+     *  conservative but O(1) (live entries alone would forget pops). */
     Cycle busyHorizon() const { return maxSeen; }
 
     void
     snapSave(SnapWriter &w) const
     {
-        // Emit in sorted order so the byte stream is canonical
-        // regardless of the internal heap shape.
-        std::vector<Cycle> sorted(a, a + n);
-        std::sort(sorted.begin(), sorted.end());
+        // The ring is sorted, so emitting in order reproduces the
+        // canonical (sorted) byte stream the heap predecessor wrote.
         w.u64(n);
-        for (Cycle c : sorted)
-            w.u64(c);
+        for (uint32_t i = 0; i < n; ++i)
+            w.u64(at(i));
         w.u64(maxSeen);
     }
 
@@ -235,15 +244,31 @@ class MinCycleHeap
     {
         clear();
         uint64_t count = r.u64();
-        xt_assert(count <= cap, "snapshot heap larger than queue");
+        xt_assert(count <= cap, "snapshot queue larger than capacity");
         for (uint64_t i = 0; i < count; ++i)
             push(r.u64());
         maxSeen = r.u64();
     }
 
   private:
+    /** The @p i-th smallest live entry (ring-indexed from head). */
+    uint64_t &
+    at(uint32_t i)
+    {
+        uint32_t j = head + i;
+        return a[j >= cap ? j - cap : j];
+    }
+
+    uint64_t
+    at(uint32_t i) const
+    {
+        uint32_t j = head + i;
+        return a[j >= cap ? j - cap : j];
+    }
+
     uint64_t *a = nullptr;
     uint32_t cap = 0;
+    uint32_t head = 0;
     uint32_t n = 0;
     Cycle maxSeen = 0;
 };

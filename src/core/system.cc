@@ -60,6 +60,41 @@ System::System(const SystemConfig &cfg_) : cfg(cfg_)
         mstatusSlot.push_back(&s.csrs[csr::mstatus]);
         mieSlot.push_back(&s.csrs[csr::mie]);
     }
+
+    // Mid-span timing-CSR reads (rdcycle/rdtime/hpmcounters) must see
+    // the timing model caught up to the reading instruction, exactly
+    // as the per-record loop leaves it: drain the span prefix before
+    // the CSR value is served. No-op outside a span.
+    issModel->timingSync = [this]() {
+        if (spanActive)
+            drainSpan(issModel->spanProgress());
+    };
+}
+
+bool
+System::drainSpan(unsigned upTo)
+{
+    Watchdog &wd = watchdogs[spanHart];
+    if (wd.fired())
+        return true; // post-fire sync calls consume nothing further
+    unsigned limit = upTo;
+    bool fired = false;
+    for (unsigned i = spanConsumed; i < upTo; ++i) {
+        // interruptible() collapses to the record's intEnabled bit
+        // here: spans only run when this is the sole runnable hart.
+        wd.observe(spanBuf[i], spanBuf[i].intEnabled);
+        if (wd.fired()) {
+            limit = i + 1; // the firing record still consumes
+            fired = true;
+            break;
+        }
+    }
+    if (limit > spanConsumed) {
+        cores[spanHart]->consumeBlock(spanBuf.data() + spanConsumed,
+                                      limit - spanConsumed);
+        spanConsumed = limit;
+    }
+    return fired;
 }
 
 bool
@@ -126,6 +161,20 @@ System::run()
     std::make_heap(ready.begin(), ready.end(), minFirst);
     runningHarts = unsigned(ready.size());
 
+    // Block-batched hand-off (DESIGN.md §3h): when nothing needs a
+    // per-instruction interleave — no step hook, no sampler, no cycle
+    // limit, fast paths not disabled for A/B, predecode on — the ISS
+    // fills whole record spans that consumeBlock replays in one call.
+    // Spans also require a sole runnable hart (checked per pick):
+    // with several harts running, span-length ISS run-ahead would
+    // reorder cross-hart memory interleaving.
+    const bool spansEnabled = !cfg.disableBlockConsume &&
+                              !disableFastPath && !stepHook &&
+                              !sampler && cfg.maxCycles == 0 &&
+                              cfg.iss.blockCache;
+    if (spansEnabled)
+        spanBuf.resize(kSpanInsts);
+
     while (n < cfg.maxInsts && !ready.empty()) {
         unsigned pick;
         if (single) {
@@ -147,6 +196,49 @@ System::run()
         // per instruction inside the batch.
         bool stopRun = false;
         bool alive = true;
+
+        if (spansEnabled && (single || ready.empty())) {
+            // Span dispatch: every per-instruction concern the batch
+            // loop below handles is either compiled into the records
+            // (intEnabled for the watchdog), handled by drainSpan
+            // (observe/consume order, fire truncation), or served by
+            // the timingSync hook (mid-span rdcycle). On a watchdog
+            // fire the ISS has run ahead of the timing stop point by
+            // up to a span; stats only ever include consumed records.
+            while (alive && n < cfg.maxInsts) {
+                const unsigned want = unsigned(std::min<uint64_t>(
+                    kSpanInsts, cfg.maxInsts - n));
+                spanHart = pick;
+                spanConsumed = 0;
+                spanActive = true;
+                const unsigned got =
+                    issModel->stepBlock(pick, spanBuf.data(), want);
+                const bool fired = drainSpan(got);
+                spanActive = false;
+                n += spanConsumed;
+                if (issModel->halted(pick)) {
+                    alive = false;
+                    --runningHarts;
+                    if (single)
+                        ready.clear();
+                }
+                if (fired) {
+                    r.stop = StopReason::Watchdog;
+                    r.diagnostic = diagnose(pick);
+                    xt_warn("watchdog fired:\n", r.diagnostic);
+                    stopRun = true;
+                    break;
+                }
+            }
+            if (stopRun)
+                break;
+            if (alive && !single) {
+                ready.emplace_back(cores[pick]->cycles(), pick);
+                std::push_heap(ready.begin(), ready.end(), minFirst);
+            }
+            continue;
+        }
+
         for (;;) {
             if (stepHook)
                 stepHook(n, *this);

@@ -47,6 +47,15 @@ struct SystemConfig
      * config hash.
      */
     bool quietInstLimit = false;
+    /**
+     * A/B switch for the block-batched timing hand-off (DESIGN.md
+     * §3h): when set, run() consumes every record through the
+     * per-instruction path even when a whole span could be batched.
+     * Scheduling and stats are byte-identical either way (tests
+     * assert it); only host speed differs. Host-path policy like
+     * maxInsts — excluded from the snapshot config hash.
+     */
+    bool disableBlockConsume = false;
     WatchdogParams watchdog{};  ///< livelock detection (per hart)
 };
 
@@ -153,6 +162,20 @@ class System
     /** Compose the watchdog/limit diagnostic for @p hart. */
     std::string diagnose(unsigned hart) const;
 
+    /**
+     * Feed the pending span records [spanConsumed, upTo) of spanHart
+     * through the watchdog and the timing model, preserving the
+     * reference loop's per-instruction observe/consume order: if the
+     * watchdog fires on record k, records through k are consumed and
+     * the rest of the span is abandoned. Returns whether it fired.
+     * Also the target of the ISS timingSync hook, so a mid-span
+     * rdcycle sees the timing model caught up to its own record.
+     */
+    bool drainSpan(unsigned upTo);
+
+    /** Records per stepBlock span in the batched hand-off. */
+    static constexpr unsigned kSpanInsts = 64;
+
     SystemConfig cfg;
     Memory mem;
     std::unique_ptr<MemSystem> memSys;
@@ -169,6 +192,13 @@ class System
     std::vector<const uint64_t *> mstatusSlot, mieSlot;
     /** Harts not yet halted; maintained by run() for interruptible(). */
     unsigned runningHarts = 0;
+
+    // Span-dispatch state (DESIGN.md §3h), live only while run()'s
+    // batched path has a stepBlock span in flight.
+    std::vector<ExecRecord> spanBuf;
+    unsigned spanHart = 0;
+    unsigned spanConsumed = 0;
+    bool spanActive = false;
 };
 
 } // namespace xt910

@@ -480,6 +480,77 @@ Iss::runFast(unsigned hartId, uint64_t maxInsts)
     return done;
 }
 
+unsigned
+Iss::stepBlock(unsigned hartId, ExecRecord *out, unsigned maxN)
+{
+    ArchState &s = harts[hartId];
+    spanFilled = 0;
+    if (!opts.blockCache) {
+        // The legacy decode path exists only for A/B measurement; no
+        // batched variant.
+        if (s.halted || maxN == 0)
+            return 0;
+        out[0] = step(hartId);
+        spanFilled = 1;
+        return 1;
+    }
+    // Mirror of step()'s block-cache path, batched like runFast but
+    // keeping the per-instruction ExecRecord hand-off: the CLINT tick,
+    // interrupt poll, deferred-flush check and trap delivery all run
+    // per instruction inside the batch, so every record comes out
+    // bit-identical to a step() loop. Any behavioural change here must
+    // be mirrored in step() (tests/func pins the two paths).
+    unsigned done = 0;
+    while (done < maxN && !s.halted) {
+        if (opts.enableClint) {
+            clintDev.tick();
+            maybeTakeInterrupt(s, hartId);
+        }
+        if (pendingFlush || memEpochSeen != mem.mutationEpoch())
+            flushDecoded();
+        const Addr pc = s.pc;
+        BlockCursor &cur = cursors[hartId];
+        const BlockInst *bi = nullptr;
+        if (cur.blk && cur.idx < cur.blk->insts.size() &&
+            cur.blk->insts[cur.idx].pc == pc) {
+            ++bcStats.hits;
+            bi = &cur.blk->insts[cur.idx];
+        } else {
+            cur.blk = lookupBlock(pc);
+            cur.idx = 0;
+            if (cur.blk)
+                bi = &cur.blk->insts[0];
+        }
+        ExecRecord &rec = out[done];
+        if (!bi) {
+            rec = ExecRecord{};
+            rec.pc = pc;
+            rec.nextPc = pc;
+            rec.trap = makeTrap(trap::instAccessFault, pc);
+        } else if (!bi->di.valid()) {
+            rec = ExecRecord{};
+            rec.pc = pc;
+            rec.di = bi->di;
+            rec.nextPc = pc + bi->di.len;
+            rec.trap = makeTrap(trap::illegalInstruction, bi->di.raw);
+        } else {
+            rec = execute(s, bi->di, pc);
+            rec.planIdx = bi->planIdx;
+            rec.planGen = planGen;
+            ++cur.idx;
+        }
+        if (rec.trap.valid)
+            deliverTrap(s, rec, pc);
+        s.pc = rec.nextPc;
+        ++s.instret;
+        rec.intEnabled =
+            opts.enableClint && (*mstatusSlot[hartId] & 0x8) &&
+            (*mieSlot[hartId] & ((1ull << 7) | (1ull << 3))) != 0;
+        spanFilled = ++done;
+    }
+    return done;
+}
+
 const DecodedInst &
 Iss::fetchDecode(Addr pc)
 {
@@ -627,6 +698,10 @@ Iss::readCsr(ArchState &s, uint32_t num) const
         // Under a timing core the counters expose model cycles; in
         // functional-only runs they fall back to the instruction count
         // so guest code still sees monotonic, deterministic time.
+        // Batched runs first let the timing model catch up with the
+        // records produced so far (stepBlock span contract).
+        if (timingSync)
+            timingSync();
         return cycleSource ? cycleSource(hartOf(s)) : s.instret;
       case csr::instret:
       case csr::minstret:
@@ -649,6 +724,8 @@ Iss::readCsr(ArchState &s, uint32_t num) const
             auto ev = s.csrs.find(csr::mhpmevent3 + idx);
             if (ev == s.csrs.end() || !ev->second || !hpmSource)
                 return 0;
+            if (timingSync)
+                timingSync();
             return hpmSource(hartOf(s), ev->second);
         }
         auto it = s.csrs.find(num);
@@ -845,6 +922,9 @@ Iss::step(unsigned hartId)
         deliverTrap(s, rec, pc);
     s.pc = rec.nextPc;
     ++s.instret;
+    rec.intEnabled =
+        opts.enableClint && (*mstatusSlot[hartId] & 0x8) &&
+        (*mieSlot[hartId] & ((1ull << 7) | (1ull << 3))) != 0;
     return rec;
 }
 

@@ -40,6 +40,14 @@ struct ExecRecord
     unsigned sew = 0;     ///< element width in effect (vector ops)
     bool halted = false;  ///< hart halted after this instruction
     /**
+     * Machine interrupts deliverable after this instruction retired
+     * (mstatus.MIE set and a timer/software source enabled in mie).
+     * Recorded by the ISS so a batched consumer (System's span path)
+     * can evaluate the watchdog's "interruptible" input per record
+     * without re-reading CSR state the ISS has since run ahead of.
+     */
+    bool intEnabled = false;
+    /**
      * Synchronous exception raised by this instruction. When valid,
      * nextPc already points at the handler (or the hart halted) and the
      * timing core replays the event as a full pipeline flush.
@@ -110,6 +118,33 @@ class Iss
 
     /** Execute one instruction on @p hartId. No-op if halted. */
     ExecRecord step(unsigned hartId = 0);
+
+    /**
+     * Execute up to @p maxN instructions on @p hartId, filling
+     * @p out[0..result) with the per-instruction ExecRecords — the
+     * batched hand-off for System's block-consume path (DESIGN.md
+     * §3h). Bit-equivalent to calling step(hartId) that many times
+     * (per-instruction CLINT ticks, interrupt polls, flush checks and
+     * trap delivery all run inside the batch); stops early only when
+     * the hart halts. Returns the number of records filled (0 when
+     * the hart was already halted).
+     *
+     * The ISS runs ahead of the timing model inside a span. Guest
+     * reads of timing-backed CSRs (cycle/mcycle/time, hpmcounters)
+     * would observe stale model state, so before serving one the ISS
+     * invokes timingSync — the span consumer uses it to drain the
+     * records produced so far into the timing core first, keeping the
+     * read bit-exact with the per-record path. spanProgress() tells
+     * the hook how many records of the in-flight batch are complete.
+     */
+    unsigned stepBlock(unsigned hartId, ExecRecord *out, unsigned maxN);
+
+    /** Records completed so far by an in-flight stepBlock call. */
+    uint32_t spanProgress() const { return spanFilled; }
+
+    /** Called before a timing-backed CSR read is served (see
+     *  stepBlock). Unset for functional-only / per-record runs. */
+    std::function<void()> timingSync;
 
     /**
      * Run hart 0 (or all harts round-robin) until everything halts or
@@ -329,6 +364,8 @@ class Iss
     bool pendingFlush = false;
     /** Memory mutation epoch the caches were built against. */
     uint64_t memEpochSeen = 0;
+    /** Progress cursor of an in-flight stepBlock (see spanProgress). */
+    uint32_t spanFilled = 0;
     /** Byte range + page set backing any predecoded state. The range
      *  check filters stores in two compares; the page set makes the
      *  slow path precise enough that data stores near code do not

@@ -89,13 +89,8 @@ Cache::findLine(Addr addr) const
 void
 Cache::touch(Addr addr, Cycle now)
 {
-    if (Line *l = findLine(addr)) {
-        l->lastUse = now;
-        if (l->prefetched) {
-            l->prefetched = false;
-            ++prefetchUseful;
-        }
-    }
+    if (Line *l = findLine(addr))
+        touchLine(l, now);
 }
 
 Cache::Victim
@@ -228,15 +223,7 @@ bool
 Cache::resolveError(Addr addr)
 {
     Line *l = findLine(addr);
-    if (!l || !l->bitError)
-        return false;
-    l->bitError = false;
-    if (p.ecc) {
-        ++eccCorrected; // SECDED corrects the single-bit upset
-        return false;
-    }
-    ++eccDetected; // parity: detected, data not recoverable
-    return true;
+    return l != nullptr && resolveErrorLine(l);
 }
 
 } // namespace xt910

@@ -78,6 +78,18 @@ class Cache
     /** Record a use of @p addr for replacement (call on hits). */
     void touch(Addr addr, Cycle now);
 
+    /** touch() when the caller already holds the line from findLine()
+     *  — the hot L1-hit path pays for one tag lookup, not three. */
+    void
+    touchLine(Line *l, Cycle now)
+    {
+        l->lastUse = now;
+        if (l->prefetched) {
+            l->prefetched = false;
+            ++prefetchUseful;
+        }
+    }
+
     /** Outcome of an insert: the line that had to leave, if any. */
     struct Victim
     {
@@ -115,6 +127,22 @@ class Cache
      *  Returns true if the access would deliver corrupted data (i.e.,
      *  a detected-but-uncorrectable parity error). */
     bool resolveError(Addr addr);
+
+    /** resolveError() on a line the caller already holds. The common
+     *  no-error case is a single flag test, no tag lookup. */
+    bool
+    resolveErrorLine(Line *l)
+    {
+        if (!l->bitError)
+            return false;
+        l->bitError = false;
+        if (p.ecc) {
+            ++eccCorrected; // SECDED corrects the single-bit upset
+            return false;
+        }
+        ++eccDetected; // parity: detected, data not recoverable
+        return true;
+    }
 
     const CacheParams &params() const { return p; }
     uint32_t numSets() const { return sets; }

@@ -42,6 +42,7 @@ MemSystem::MemSystem(const MemSystemParams &p_)
         lp.name = "cluster" + std::to_string(cl) + "." + lp.name;
         l2s.push_back(std::make_unique<Cache>(lp));
         inflight.emplace_back();
+        inflightMax.push_back(0);
     }
 }
 
@@ -214,6 +215,8 @@ MemSystem::serviceMiss(unsigned core, Addr line, Cycle when, bool isWrite,
     // DRAM.
     Cycle ready = dramModel.read(t + p.l2.hitLatency);
     fl[line] = ready;
+    if (ready > inflightMax[cluster])
+        inflightMax[cluster] = ready;
     if (fl.size() > 4096) {
         // Lazy cleanup of long-completed fills.
         for (auto it = fl.begin(); it != fl.end();)
@@ -252,7 +255,7 @@ MemSystem::accessL1(unsigned core, Addr pa, Cycle when, bool isWrite,
             }
             l->state = CoherState::Modified;
             ++l1.hits;
-            l1.touch(pa, when);
+            l1.touchLine(l, when);
             r.done = when + l1.params().hitLatency + p.busLatency;
             r.l1Hit = true;
             r.level = ServiceLevel::L1;
@@ -261,20 +264,25 @@ MemSystem::accessL1(unsigned core, Addr pa, Cycle when, bool isWrite,
         if (isWrite)
             l->state = CoherState::Modified;
         ++l1.hits;
-        l1.touch(pa, when);
+        l1.touchLine(l, when);
         r.done = when + l1.params().hitLatency;
-        if (l1.resolveError(pa))
+        if (l1.resolveErrorLine(l))
             r.done += 1; // parity re-fetch handling (model: stall)
         r.l1Hit = true;
         r.level = ServiceLevel::L1;
         // The line may still be in flight (fills are installed when the
         // miss is issued, timestamped with their data-ready cycle): the
-        // consumer cannot see data before it arrives.
-        auto &fl = inflight[p.clusterOf(core)];
-        auto inf = fl.find(line);
-        if (inf != fl.end() && inf->second > when) {
-            r.done = inf->second + l1.params().hitLatency;
-            r.level = ServiceLevel::Merged;
+        // consumer cannot see data before it arrives. The watermark
+        // proves most hits past the last outstanding fill, skipping
+        // the hash lookup.
+        const unsigned cluster = p.clusterOf(core);
+        if (when < inflightMax[cluster]) {
+            auto &fl = inflight[cluster];
+            auto inf = fl.find(line);
+            if (inf != fl.end() && inf->second > when) {
+                r.done = inf->second + l1.params().hitLatency;
+                r.level = ServiceLevel::Merged;
+            }
         }
         return r;
     }
@@ -360,6 +368,8 @@ MemSystem::prefetchFill(unsigned core, Addr pa, bool toL1, Cycle when)
     } else {
         ready = dramModel.read(when + p.busLatency + p.l2.hitLatency);
         fl[line] = ready;
+        if (ready > inflightMax[cluster])
+            inflightMax[cluster] = ready;
         fillL2(cluster, line, ready, /*wasPrefetch=*/!toL1);
     }
     if (toL1)
@@ -386,6 +396,8 @@ MemSystem::prefetchInstLine(unsigned core, Addr pa, Cycle when)
     } else {
         ready = dramModel.read(when + p.busLatency + p.l2.hitLatency);
         fl[line] = ready;
+        if (ready > inflightMax[cluster])
+            inflightMax[cluster] = ready;
         fillL2(cluster, line, ready);
     }
     l1is[core]->insert(line, CoherState::Shared, ready,
@@ -522,6 +534,11 @@ MemSystem::snapLoad(SnapReader &r)
 
     for (auto &m : inflight)
         loadCycleMap(r, m);
+    for (unsigned cl = 0; cl < inflight.size(); ++cl) {
+        inflightMax[cl] = 0;
+        for (const auto &[line, ready] : inflight[cl])
+            inflightMax[cl] = std::max(inflightMax[cl], ready);
+    }
     for (auto &v : l1dMshrs) {
         if (r.u64() != v.size())
             throw SnapError("snapshot MSHR count does not match");

@@ -182,6 +182,15 @@ class MemSystem
     std::unordered_map<Addr, DirEntry> directory;
     /** In-flight line fills per cluster: line -> data-ready cycle. */
     std::vector<std::unordered_map<Addr, Cycle>> inflight;
+    /**
+     * Per-cluster upper bound on any in-flight data-ready cycle. An
+     * L1 hit at `when >= inflightMax[cluster]` provably cannot merge
+     * with a fill, so the hot hit path skips the hash lookup
+     * entirely. Monotone (never lowered when entries complete) —
+     * conservative but exact. Derived state: rebuilt on snapLoad,
+     * not serialized.
+     */
+    std::vector<Cycle> inflightMax;
     std::vector<std::vector<Cycle>> l1dMshrs;
     std::vector<std::vector<Cycle>> l1iMshrs;
 };

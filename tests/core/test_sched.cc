@@ -24,8 +24,11 @@
 #include "core/bwlimit.h"
 #include "core/sched.h"
 #include "core/system.h"
+#include "fault/campaign.h"
 #include "func/clint.h"
 #include "func/csr.h"
+#include "mem/memsystem.h"
+#include "snap/snapshot.h"
 
 namespace xt910
 {
@@ -91,10 +94,40 @@ TEST(CycleRing, FillsToCapacityAndSnapshotsAcrossTheWrap)
     EXPECT_EQ(ring2.front(), 30u);
 }
 
-TEST(MinCycleHeap, MatchesMultisetUnderRandomOps)
+TEST(SortedCycleRing, DropThroughMatchesPopLoopReference)
+{
+    // dropThrough(when) must be exactly "pop every min <= when": run
+    // the ring against a multiset popped one minimum at a time.
+    std::vector<uint64_t> storage(32, 0);
+    SortedCycleRing ring;
+    ring.bind(storage.data(), 32);
+    std::multiset<Cycle> ref;
+
+    std::mt19937_64 rng(777);
+    Cycle clock = 0;
+    for (int i = 0; i < 4000; ++i) {
+        if (ref.size() < 32 && (rng() & 1)) {
+            Cycle c = clock + rng() % 40;
+            ring.push(c);
+            ref.insert(c);
+        } else {
+            clock += rng() % 25;
+            ring.dropThrough(clock);
+            while (!ring.empty() && ring.min() <= clock)
+                ring.pop();
+            while (!ref.empty() && *ref.begin() <= clock)
+                ref.erase(ref.begin());
+        }
+        ASSERT_EQ(ring.size(), ref.size()) << "step " << i;
+        if (!ref.empty())
+            ASSERT_EQ(ring.min(), *ref.begin()) << "step " << i;
+    }
+}
+
+TEST(SortedCycleRing, MatchesMultisetUnderRandomOps)
 {
     std::vector<uint64_t> storage(64, 0);
-    MinCycleHeap heap;
+    SortedCycleRing heap;
     heap.bind(storage.data(), 64);
     std::multiset<Cycle> ref;
 
@@ -116,10 +149,10 @@ TEST(MinCycleHeap, MatchesMultisetUnderRandomOps)
     }
 }
 
-TEST(MinCycleHeap, SnapshotRoundTripPreservesOrder)
+TEST(SortedCycleRing, SnapshotRoundTripPreservesOrder)
 {
     std::vector<uint64_t> storage(8, 0);
-    MinCycleHeap heap;
+    SortedCycleRing heap;
     heap.bind(storage.data(), 8);
     for (Cycle c : {42u, 7u, 99u, 7u, 13u})
         heap.push(c);
@@ -127,7 +160,7 @@ TEST(MinCycleHeap, SnapshotRoundTripPreservesOrder)
     SnapWriter w;
     heap.snapSave(w);
     std::vector<uint64_t> storage2(8, 0);
-    MinCycleHeap heap2;
+    SortedCycleRing heap2;
     heap2.bind(storage2.data(), 8);
     SnapReader r(w.data().data(), w.size());
     heap2.snapLoad(r);
@@ -574,6 +607,202 @@ TEST(EventSkip, WatchdogArmsAndFiresIdenticallyMidBatch)
     EXPECT_EQ(fast.r.cycles, slow.r.cycles);
     EXPECT_EQ(fast.r.coreCycles, slow.r.coreCycles);
     EXPECT_EQ(fast.statsJson, slow.statsJson);
+}
+
+// ------------------------------------------- block-batched consume A/B
+
+namespace
+{
+
+/** Like runAb but toggling the span/per-record consume hand-off
+ *  (DESIGN.md §3h) instead of the event-skip batch dispatch. */
+AbDump
+runAbConsume(SystemConfig cfg, const Program &p,
+             bool disableBlockConsume)
+{
+    cfg.disableBlockConsume = disableBlockConsume;
+    System sys(cfg);
+    sys.loadProgram(p);
+    AbDump d;
+    d.r = sys.run();
+    std::ostringstream os;
+    sys.dumpStatsJson(os, true);
+    d.statsJson = os.str();
+    return d;
+}
+
+} // namespace
+
+TEST(BlockConsume, MultiHartClintInterruptsMatchPerRecordPath)
+{
+    // Spans engage whenever only one hart is runnable, and the CLINT
+    // timer redirects both harts mid-run — so the block path crosses
+    // interrupt delivery and hart-halt boundaries, and everything
+    // observable must still match the per-record reference.
+    SystemConfig cfg;
+    cfg.numCores = 2;
+    cfg.iss.enableClint = true;
+    cfg.maxInsts = 2'000'000;
+    Program p = timerInterruptProgram();
+
+    AbDump block = runAbConsume(cfg, p, /*disableBlockConsume=*/false);
+    AbDump record = runAbConsume(cfg, p, /*disableBlockConsume=*/true);
+
+    EXPECT_EQ(block.r.stop, StopReason::Halted);
+    EXPECT_EQ(block.r.insts, record.r.insts);
+    EXPECT_EQ(block.r.cycles, record.r.cycles);
+    EXPECT_EQ(block.r.coreCycles, record.r.coreCycles);
+    EXPECT_EQ(block.r.coreInsts, record.r.coreInsts);
+    EXPECT_EQ(block.statsJson, record.statsJson);
+}
+
+TEST(BlockConsume, FaultCampaignMatchesPerRecordPath)
+{
+    // Same campaign seed, block vs per-record timing path: trap
+    // records take the slow slot either way, so the classification
+    // counts and the whole campaign JSON must be identical.
+    Assembler a;
+    a.j("_start");
+    a.align(4);
+    a.label("handler");
+    a.addi(a2, a2, 1);
+    a.csrr(t0, csr::mepc);
+    a.addi(t0, t0, 4);
+    a.csrw(csr::mepc, t0);
+    a.mret();
+    a.label("_start");
+    a.la(t0, "handler");
+    a.csrw(csr::mtvec, t0);
+    a.li(a0, 0);
+    a.li(t0, 1);
+    a.li(t1, 101);
+    a.label("loop");
+    a.add(a0, a0, t0);
+    a.addi(t0, t0, 1);
+    a.blt(t0, t1, "loop");
+    a.la(t6, "result");
+    a.sd(a0, t6, 0);
+    a.ebreak();
+    a.align(8);
+    a.label("result");
+    a.dword(0);
+
+    auto campaignJson = [&](bool disableBlockConsume) {
+        CampaignConfig cc;
+        cc.program = a.assemble();
+        cc.expected = 5050;
+        cc.runs = 20;
+        cc.seed = 42;
+        cc.jobs = 1;
+        cc.sys.disableBlockConsume = disableBlockConsume;
+        FaultCampaign campaign(cc);
+        campaign.run();
+        std::ostringstream os;
+        campaign.reportJson(os);
+        return os.str();
+    };
+    EXPECT_EQ(campaignJson(false), campaignJson(true));
+}
+
+TEST(BlockConsume, SnapshotRestoreMidBlockMatchesStraightRun)
+{
+    // Snapshot state captured per-record (the step hook forces the
+    // reference path) must restore into a span-enabled System and
+    // finish bit-identically: any block-consume cached state has to
+    // rebuild from the serialized plan generation, not linger.
+    Assembler a;
+    a.li(a1, 20000);
+    a.label("loop");
+    a.addi(a0, a0, 3);
+    a.addi(a1, a1, -1);
+    a.bnez(a1, "loop");
+    a.ebreak();
+    Program p = a.assemble();
+    SystemConfig cfg;
+
+    AbDump straight = runAbConsume(cfg, p, false);
+    ASSERT_EQ(straight.r.stop, StopReason::Halted);
+
+    std::vector<uint8_t> bytes;
+    {
+        System sys(cfg);
+        sys.loadProgram(p);
+        sys.stepHook = [&](uint64_t n, System &s) {
+            if (bytes.empty() && n >= 30'000)
+                bytes = snap::saveSnapshotBytes(s, n);
+        };
+        sys.run();
+    }
+    ASSERT_FALSE(bytes.empty());
+
+    System resumed(cfg);
+    resumed.loadProgram(p);
+    snap::restoreSnapshotBytes(resumed, bytes.data(), bytes.size());
+    RunResult r2 = resumed.run(); // no hook: spans re-enable here
+    EXPECT_EQ(r2.stop, StopReason::Halted);
+    EXPECT_EQ(r2.cycles, straight.r.cycles);
+    EXPECT_EQ(r2.insts, straight.r.insts);
+    std::ostringstream os;
+    resumed.dumpStatsJson(os, true);
+    EXPECT_EQ(os.str(), straight.statsJson);
+}
+
+TEST(BlockConsume, SimpleSlotMatchesSlowPathReference)
+{
+    // Core-level pin of the §3h hoisting contract: replaying one
+    // record stream through consume() (always the slow reference
+    // path) and through consumeBlock() (simple-slot fast path where
+    // eligible) must produce identical schedules and identical stats.
+    Assembler a;
+    a.li(a1, 5000);
+    a.label("loop");
+    a.addi(a0, a0, 1);
+    a.slli(a2, a0, 2);
+    a.mul(a3, a0, a2);
+    a.addi(a1, a1, -1);
+    a.bnez(a1, "loop");
+    a.ebreak();
+    Program p = a.assemble();
+
+    Memory mem;
+    IssOptions io;
+    io.blockCache = true;
+    Iss iss(mem, 1, io);
+    iss.loadProgram(p);
+    std::vector<ExecRecord> recs;
+    while (!iss.halted(0) && recs.size() < 100'000)
+        recs.push_back(iss.step(0));
+    ASSERT_FALSE(recs.empty());
+
+    const CoreParams cp = SystemConfig{}.core;
+    MemSystemParams mp;
+    mp.numCores = 1;
+    Memory ptMem;
+
+    MemSystem msA(mp);
+    XtCore ref(0, cp, msA, ptMem);
+    for (const ExecRecord &r : recs)
+        ref.consume(r);
+
+    MemSystem msB(mp);
+    XtCore fast(0, cp, msB, ptMem);
+    constexpr unsigned kSpan = 64;
+    for (size_t at = 0; at < recs.size(); at += kSpan)
+        fast.consumeBlock(recs.data() + at,
+                          unsigned(std::min<size_t>(kSpan,
+                                                    recs.size() - at)));
+
+    // The ALU/MUL loop body is simple-slot eligible; the fast path
+    // must actually engage for this test to pin anything.
+    EXPECT_GT(fast.simpleSlotInsts(), recs.size() / 2);
+    EXPECT_EQ(ref.simpleSlotInsts(), 0u);
+    EXPECT_EQ(fast.retired(), ref.retired());
+    EXPECT_EQ(fast.cycles(), ref.cycles());
+    EXPECT_EQ(fast.busyHorizon(), ref.busyHorizon());
+    std::ostringstream osRef, osFast;
+    ref.dumpStats(osRef);
+    fast.dumpStats(osFast);
+    EXPECT_EQ(osFast.str(), osRef.str());
 }
 
 // ------------------------------------------------------- quiescence

@@ -1,0 +1,47 @@
+# Block-consume fast-path smoke, run as a ctest script:
+#
+#   cmake -DXT910_RUN=<path-to-xt910-run> -P consume_smoke.cmake
+#
+# Runs `xt910-run --profile-hot` on the scalar (coremark-like)
+# workloads and asserts the simple-slot fast path actually engages:
+# hit rate >= 80% on each. The fast path only fires for single-µop,
+# non-memory, non-serializing records (DESIGN.md §3h), so a drop below
+# the floor means either the µop-plan flags regressed (ops wrongly
+# classified as slow) or the span dispatch stopped engaging — both
+# silent performance losses that no correctness test would catch.
+# `list` is intentionally absent: its load-heavy mix sits in the 60%s
+# by instruction-stream construction, not by fast-path health.
+#
+# Hit rates are deterministic (instruction-stream properties, not
+# host timing), so unlike the MIPS canaries this floor is noise-free.
+
+if(NOT XT910_RUN)
+    message(FATAL_ERROR "usage: cmake -DXT910_RUN=... -P consume_smoke.cmake")
+endif()
+
+foreach(wl IN ITEMS crc matrix state)
+    execute_process(
+        COMMAND "${XT910_RUN}" --profile-hot ${wl}
+        OUTPUT_VARIABLE run_out
+        ERROR_VARIABLE run_err
+        RESULT_VARIABLE run_rc)
+    if(NOT run_rc EQUAL 0)
+        message(FATAL_ERROR "xt910-run ${wl} failed (rc=${run_rc}):\n${run_out}\n${run_err}")
+    endif()
+    set(all_out "${run_out}\n${run_err}")
+    if(NOT all_out MATCHES "simple-slot ([0-9]+)/([0-9]+) \\(hit rate ([0-9.]+)%\\)")
+        message(FATAL_ERROR "no block-consume hit-rate report for ${wl}:\n${all_out}")
+    endif()
+    set(hits ${CMAKE_MATCH_1})
+    set(total ${CMAKE_MATCH_2})
+    set(rate ${CMAKE_MATCH_3})
+    if(NOT total GREATER 0)
+        message(FATAL_ERROR "${wl}: no consumed records (${total})")
+    endif()
+    if(rate LESS 80.0)
+        message(FATAL_ERROR "simple-slot hit rate collapsed on ${wl}: "
+            "${hits}/${total} = ${rate}% (< 80%) — µop-plan kSimple "
+            "classification or span dispatch regressed? See DESIGN.md §3h.")
+    endif()
+    message(STATUS "consume smoke ok: ${wl} ${hits}/${total} (${rate}%)")
+endforeach()

@@ -6,14 +6,20 @@
 # Runs crc (homogeneous, so a handful of intervals extrapolates
 # accurately) at a scale where full detailed timing takes seconds, then
 # in sampled mode, and asserts the two contract properties:
-#   1. the sampled run is >= 5x faster end-to-end than full detailed
+#   1. the sampled run is >= 3x faster end-to-end than full detailed
 #      timing (both timings self-reported by xt910-run on the same
 #      machine, so the ratio is host-speed independent);
 #   2. the extrapolated cycle estimate is within 2% of the full run's
 #      true cycle count (measured ~0.1%; the bound leaves room for
 #      interval-placement drift if the workload changes).
-# Thresholds have margin over measured values (5.7x, 0.09%) so the test
-# guards the mechanism, not one machine's exact timings.
+# Thresholds have margin over measured values (4.0x, 0.09%) so the test
+# guards the mechanism, not one machine's exact timings. The speed
+# floor was 5x (measured 5.7x) before the block-batched consume work
+# (DESIGN.md §3h) took full detailed timing from ~9 to ~13+ MIPS: the
+# sampled run is fast-forward-bound (~67 MIPS functional), so a faster
+# detailed denominator mechanically shrinks the end-to-end ratio. The
+# sampling machinery itself did not regress — the absolute sampled
+# time is unchanged.
 
 if(NOT XT910_RUN OR NOT WORK_DIR)
     message(FATAL_ERROR "usage: cmake -DXT910_RUN=... -DWORK_DIR=... -P sample_smoke.cmake")
@@ -94,10 +100,10 @@ set(ss_frac "${CMAKE_MATCH_2}000")
 string(SUBSTRING "${ss_frac}" 0 3 ss_frac)
 math(EXPR samp_us "(${ss_int} * 1000 + ${ss_frac}) * 1000")
 math(EXPR speedup_x10 "${full_us} * 10 / ${samp_us}")
-if(speedup_x10 LESS 50)
+if(speedup_x10 LESS 30)
     math(EXPR spd_i "${speedup_x10} / 10")
     math(EXPR spd_f "${speedup_x10} % 10")
-    message(FATAL_ERROR "sampled run only ${spd_i}.${spd_f}x faster than full detailed (need >= 5x): full ~${full_us}us vs sampled ${samp_us}us")
+    message(FATAL_ERROR "sampled run only ${spd_i}.${spd_f}x faster than full detailed (need >= 3x): full ~${full_us}us vs sampled ${samp_us}us")
 endif()
 
 # |est - true| / true <= 2%

@@ -117,7 +117,9 @@ usage()
         "         --restore FILE  --timeout-secs T  --retries R\n"
         "         --sample-interval N  --sample-count K\n"
         "         --sample-warmup N  --sample-seed S\n"
-        "         --profile-hot (needs an XT910_PROFILE=ON build)\n"
+        "         --no-block-consume (A/B: per-record timing path)\n"
+        "         --profile-hot (hit-rate report; section timers need\n"
+        "                        an XT910_PROFILE=ON build)\n"
         "fault kinds: reg freg vreg mem cacheline access mispredict\n");
 }
 
@@ -156,6 +158,7 @@ main(int argc, char **argv)
     std::string preset = "xt910";
     unsigned cores = 1;
     bool stats = false, paged = false, noPrefetch = false;
+    bool noBlockConsume = false;
     WorkloadOptions wo;
 
     SystemConfig cfg;
@@ -287,13 +290,16 @@ main(int argc, char **argv)
                 usage();
                 return 2;
             }
+        } else if (a == "--no-block-consume") {
+            noBlockConsume = true;
         } else if (a == "--profile-hot") {
             profGuard.enabled = true;
             if (!XT_PROF_ENABLED)
                 std::fprintf(stderr,
                              "--profile-hot: built without "
-                             "XT910_PROFILE, no profile will be "
-                             "collected\n");
+                             "XT910_PROFILE, section timers will not "
+                             "be collected (the block-consume "
+                             "hit-rate report still prints)\n");
         } else if (a == "--version") {
             std::printf("%s\n", buildInfo("xt910-run").c_str());
             return 0;
@@ -394,6 +400,7 @@ main(int argc, char **argv)
         cfg.maxCycles = maxCycles;
     if (maxInsts)
         cfg.maxInsts = maxInsts;
+    cfg.disableBlockConsume = noBlockConsume;
 
     auto setupPaging = [&](System &sys, const Program &prog) {
         PageTableBuilder ptb(sys.memory(), tableBase);
@@ -671,6 +678,23 @@ main(int argc, char **argv)
     RunResult r = sys.run();
     if (tracer)
         tracer->finish();
+
+    if (profGuard.enabled) {
+        // Block-consume fast-path accounting. Unlike the section
+        // timers this needs no special build: the counters are plain
+        // and always maintained.
+        for (unsigned c = 0; c < cores; ++c) {
+            const uint64_t ret = sys.core(c).retired();
+            const uint64_t hits = sys.core(c).simpleSlotInsts();
+            std::fprintf(
+                stderr,
+                "block-consume core%u: simple-slot %llu/%llu "
+                "(hit rate %.1f%%)\n",
+                c, static_cast<unsigned long long>(hits),
+                static_cast<unsigned long long>(ret),
+                ret ? 100.0 * double(hits) / double(ret) : 0.0);
+        }
+    }
 
     bool ok = wl::readResult(sys.memory(), wb.program) == wb.expected;
     if (!statsJsonPath.empty()) {
